@@ -1,0 +1,49 @@
+//! Figure 2: total-run-time overhead of the assertion infrastructure.
+//!
+//! Benchmarks every suite workload (plus pseudojbb) under Base and under
+//! Infrastructure; comparing the two criterion groups reproduces the
+//! normalized-execution-time bars of Figure 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gca_workloads::pseudojbb::PseudoJbb;
+use gca_workloads::runner::{run_once, ExpConfig, Workload};
+use gca_workloads::suite;
+
+const SCALE: f64 = 0.25;
+
+fn scaled_suite() -> Vec<suite::SyntheticWorkload> {
+    suite::full_suite()
+        .into_iter()
+        .map(|mut w| {
+            w.iterations = ((w.iterations as f64 * SCALE) as usize).max(2);
+            w
+        })
+        .collect()
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_total_time");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for w in scaled_suite() {
+        group.bench_function(format!("{}/base", w.name()), |b| {
+            b.iter(|| run_once(&w, ExpConfig::Base).unwrap().total)
+        });
+        group.bench_function(format!("{}/infrastructure", w.name()), |b| {
+            b.iter(|| run_once(&w, ExpConfig::Infrastructure).unwrap().total)
+        });
+    }
+    let mut jbb = PseudoJbb::for_figures();
+    jbb.transactions = ((jbb.transactions as f64 * SCALE) as usize).max(100);
+    group.bench_function("pseudojbb/base", |b| {
+        b.iter(|| run_once(&jbb, ExpConfig::Base).unwrap().total)
+    });
+    group.bench_function("pseudojbb/infrastructure", |b| {
+        b.iter(|| run_once(&jbb, ExpConfig::Infrastructure).unwrap().total)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 3: GC-time overhead of the assertion infrastructure.
+//!
+//! Uses `iter_custom` to accumulate only the collector's wall time, so
+//! the Base-vs-Infrastructure comparison isolates GC time exactly as the
+//! paper's Figure 3 does.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gca_workloads::runner::{run_once, ExpConfig, Workload};
+use gca_workloads::suite;
+use std::time::Duration;
+
+const SCALE: f64 = 0.25;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_gc_time");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for mut w in suite::full_suite() {
+        w.iterations = ((w.iterations as f64 * SCALE) as usize).max(2);
+        for config in [ExpConfig::Base, ExpConfig::Infrastructure] {
+            let label = format!("{}/{}", w.name(), config.label().to_lowercase());
+            group.bench_function(label, |b| {
+                b.iter_custom(|iters| {
+                    let mut gc = Duration::ZERO;
+                    for _ in 0..iters {
+                        gc += run_once(&w, config).unwrap().gc;
+                    }
+                    gc
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

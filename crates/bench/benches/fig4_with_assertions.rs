@@ -1,0 +1,41 @@
+//! Figure 4: total-run-time overhead with real assertion loads on
+//! `_209_db` (ownership + dead assertions) and pseudojbb (ownership +
+//! instance assertions), under all three configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gca_workloads::db::Db209;
+use gca_workloads::pseudojbb::PseudoJbb;
+use gca_workloads::runner::{run_once, ExpConfig};
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_total_time_with_assertions");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let db = Db209 {
+        operations: 1_000,
+        initial_entries: 800,
+        ..Db209::default()
+    };
+    let mut jbb = PseudoJbb::for_figures();
+    jbb.transactions = 1_000;
+
+    for config in [
+        ExpConfig::Base,
+        ExpConfig::Infrastructure,
+        ExpConfig::WithAssertions,
+    ] {
+        group.bench_function(format!("209_db/{}", config.label().to_lowercase()), |b| {
+            b.iter(|| run_once(&db, config).unwrap().total)
+        });
+        group.bench_function(
+            format!("pseudojbb/{}", config.label().to_lowercase()),
+            |b| b.iter(|| run_once(&jbb, config).unwrap().total),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

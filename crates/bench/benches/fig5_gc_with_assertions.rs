@@ -1,0 +1,46 @@
+//! Figure 5: GC-time overhead with real assertion loads (the ownership
+//! phase plus per-object checks), isolated with `iter_custom`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gca_workloads::db::Db209;
+use gca_workloads::pseudojbb::PseudoJbb;
+use gca_workloads::runner::{run_once, ExpConfig, Workload};
+use std::time::Duration;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_gc_time_with_assertions");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let db = Db209 {
+        operations: 1_000,
+        initial_entries: 800,
+        ..Db209::default()
+    };
+    let mut jbb = PseudoJbb::for_figures();
+    jbb.transactions = 1_000;
+
+    for config in [
+        ExpConfig::Base,
+        ExpConfig::Infrastructure,
+        ExpConfig::WithAssertions,
+    ] {
+        for (name, w) in [("209_db", &db as &dyn Workload), ("pseudojbb", &jbb)] {
+            let label = format!("{}/{}", name, config.label().to_lowercase());
+            group.bench_function(label, |b| {
+                b.iter_custom(|iters| {
+                    let mut gc = Duration::ZERO;
+                    for _ in 0..iters {
+                        gc += run_once(w, config).unwrap().gc;
+                    }
+                    gc
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+use gca_workloads::pseudojbb::PseudoJbb;
+use gca_workloads::runner::Workload;
+use gc_assertions::{Vm, VmConfig, Mode};
+
+fn main() {
+    for (label, mode, asserts) in [("base", Mode::Base, false), ("infra", Mode::Instrumented, false), ("with", Mode::Instrumented, true)] {
+        let jbb = PseudoJbb::for_figures();
+        let mut vm = Vm::new(VmConfig::new().heap_budget_words(jbb.heap_budget()).mode(mode));
+        let t = std::time::Instant::now();
+        jbb.run(&mut vm, asserts).unwrap();
+        let total = t.elapsed();
+        let s = vm.gc_stats();
+        println!("{label}: total={total:?} collections={} gc={:?} pre_root={:?} mark={:?} sweep={:?} marked={} owners={} ownees={}",
+            s.collections, s.total_gc_time, s.pre_root_time, s.mark_time, s.sweep_time, s.objects_marked, vm.owner_count(), vm.ownee_count());
+    }
+}

@@ -1,0 +1,342 @@
+//! Collection-cycle orchestration: pre-root phase, mark, sweep, timing.
+
+use std::time::Instant;
+
+use gca_heap::{Flags, Heap, HeapError, ObjRef};
+
+use crate::hooks::TraceHooks;
+use crate::stats::{CycleStats, GcStats};
+use crate::tracer::Tracer;
+
+/// A full-heap mark-sweep collector.
+///
+/// The paper uses Jikes RVM's MarkSweep plan because it is a *full-heap*
+/// collector that checks every assertion at every collection (§2.2); this
+/// is the Rust analogue. The collector owns a reusable [`Tracer`] and
+/// cumulative [`GcStats`].
+///
+/// # Example
+///
+/// ```
+/// use gca_collector::{Collector, NoHooks};
+/// use gca_heap::Heap;
+///
+/// # fn main() -> Result<(), gca_heap::HeapError> {
+/// let mut heap = Heap::new();
+/// let c = heap.register_class("T", &["f"]);
+/// let root = heap.alloc(c, 1, 0)?;
+/// let garbage = heap.alloc(c, 1, 0)?;
+/// let mut gc = Collector::new();
+/// let cycle = gc.collect(&mut heap, &[root], &mut NoHooks)?;
+/// assert_eq!(cycle.objects_marked, 1);
+/// assert_eq!(cycle.objects_swept, 1);
+/// assert!(!heap.is_valid(garbage));
+/// assert_eq!(gc.stats().collections, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Collector {
+    tracer: Tracer,
+    stats: GcStats,
+}
+
+impl Collector {
+    /// Creates a collector with zeroed statistics.
+    pub fn new() -> Collector {
+        Collector::default()
+    }
+
+    /// Cumulative statistics across all collections.
+    pub fn stats(&self) -> &GcStats {
+        &self.stats
+    }
+
+    /// Zeroes the cumulative statistics (used between benchmark
+    /// iterations).
+    pub fn reset_stats(&mut self) {
+        self.stats = GcStats::new();
+    }
+
+    /// Runs one full collection cycle: `gc_begin`, the hooks' pre-root
+    /// phase, root scan + transitive mark, `trace_done`, sweep, `gc_end`.
+    ///
+    /// `roots` is the stop-the-world snapshot of all thread stacks and
+    /// global variables. Unreachable objects are freed; survivors have
+    /// their per-GC flags ([`Flags::PER_GC`]) cleared for the next cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reference-validity errors from tracing, which indicate a
+    /// broken collector invariant (e.g. a caller-supplied stale root).
+    pub fn collect<H: TraceHooks>(
+        &mut self,
+        heap: &mut Heap,
+        roots: &[ObjRef],
+        hooks: &mut H,
+    ) -> Result<CycleStats, HeapError> {
+        let cycle_start = Instant::now();
+        hooks.gc_begin(heap);
+
+        self.tracer.set_path_mode(hooks.wants_paths());
+        self.tracer.begin_cycle();
+
+        let t = Instant::now();
+        hooks.pre_root_phase(heap, &mut self.tracer)?;
+        let pre_root = t.elapsed();
+
+        let t = Instant::now();
+        for &r in roots {
+            self.tracer.push_root(r);
+        }
+        self.tracer.drain(heap, hooks)?;
+        let mark = t.elapsed();
+
+        hooks.trace_done(heap);
+
+        let t = Instant::now();
+        let (objects_swept, words_swept) = sweep(heap, hooks)?;
+        let sweep_time = t.elapsed();
+
+        let cycle = CycleStats {
+            total: cycle_start.elapsed(),
+            pre_root,
+            mark,
+            sweep: sweep_time,
+            objects_marked: self.tracer.objects_marked(),
+            edges_traced: self.tracer.edges_traced(),
+            objects_swept,
+            words_swept,
+        };
+        hooks.gc_end(heap, &cycle);
+        self.stats.absorb(&cycle);
+        Ok(cycle)
+    }
+}
+
+/// Sweeps the heap: frees every unmarked object (calling
+/// [`TraceHooks::swept`] first) and clears the per-GC flags of survivors.
+fn sweep<H: TraceHooks>(heap: &mut Heap, hooks: &mut H) -> Result<(u64, u64), HeapError> {
+    let mut objects = 0u64;
+    let mut words = 0u64;
+    for i in 0..heap.slot_count() {
+        let (r, marked) = match heap.entry(i) {
+            Some((r, o)) => (r, o.has_flags(Flags::MARK)),
+            None => continue,
+        };
+        if marked {
+            heap.clear_flag(r, Flags::PER_GC)?;
+        } else {
+            hooks.swept(heap, r);
+            words += heap.free(r)? as u64;
+            objects += 1;
+        }
+    }
+    Ok((objects, words))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NoHooks;
+    use crate::tracer::TraceCtx;
+    use crate::Visit;
+
+    #[test]
+    fn unreachable_objects_are_reclaimed() {
+        let mut heap = Heap::new();
+        let c = heap.register_class("T", &["f"]);
+        let root = heap.alloc(c, 1, 0).unwrap();
+        let kept = heap.alloc(c, 1, 0).unwrap();
+        let dead1 = heap.alloc(c, 1, 0).unwrap();
+        let dead2 = heap.alloc(c, 1, 0).unwrap();
+        heap.set_ref_field(root, 0, kept).unwrap();
+        heap.set_ref_field(dead1, 0, dead2).unwrap(); // garbage cycle feeder
+
+        let mut gc = Collector::new();
+        let cycle = gc.collect(&mut heap, &[root], &mut NoHooks).unwrap();
+        assert_eq!(cycle.objects_marked, 2);
+        assert_eq!(cycle.objects_swept, 2);
+        assert!(heap.is_valid(root));
+        assert!(heap.is_valid(kept));
+        assert!(!heap.is_valid(dead1));
+        assert!(!heap.is_valid(dead2));
+    }
+
+    #[test]
+    fn garbage_cycles_are_collected() {
+        let mut heap = Heap::new();
+        let c = heap.register_class("T", &["f"]);
+        let a = heap.alloc(c, 1, 0).unwrap();
+        let b = heap.alloc(c, 1, 0).unwrap();
+        heap.set_ref_field(a, 0, b).unwrap();
+        heap.set_ref_field(b, 0, a).unwrap();
+        let mut gc = Collector::new();
+        let cycle = gc.collect(&mut heap, &[], &mut NoHooks).unwrap();
+        assert_eq!(cycle.objects_swept, 2);
+        assert_eq!(heap.live_objects(), 0);
+    }
+
+    #[test]
+    fn survivors_have_per_gc_flags_cleared() {
+        let mut heap = Heap::new();
+        let c = heap.register_class("T", &[]);
+        let root = heap.alloc(c, 0, 0).unwrap();
+        heap.set_flag(root, Flags::OWNED).unwrap();
+        let mut gc = Collector::new();
+        gc.collect(&mut heap, &[root], &mut NoHooks).unwrap();
+        assert!(!heap.has_flag(root, Flags::MARK).unwrap());
+        assert!(!heap.has_flag(root, Flags::OWNED).unwrap());
+    }
+
+    #[test]
+    fn sticky_flags_survive_collection() {
+        let mut heap = Heap::new();
+        let c = heap.register_class("T", &[]);
+        let root = heap.alloc(c, 0, 0).unwrap();
+        heap.set_flag(root, Flags::DEAD | Flags::UNSHARED | Flags::OWNEE)
+            .unwrap();
+        let mut gc = Collector::new();
+        gc.collect(&mut heap, &[root], &mut NoHooks).unwrap();
+        assert!(heap
+            .has_flag(root, Flags::DEAD | Flags::UNSHARED | Flags::OWNEE)
+            .unwrap());
+    }
+
+    #[test]
+    fn repeated_collections_are_stable() {
+        let mut heap = Heap::new();
+        let c = heap.register_class("T", &["f"]);
+        let root = heap.alloc(c, 1, 0).unwrap();
+        let kept = heap.alloc(c, 1, 0).unwrap();
+        heap.set_ref_field(root, 0, kept).unwrap();
+        let mut gc = Collector::new();
+        for _ in 0..5 {
+            let cycle = gc.collect(&mut heap, &[root], &mut NoHooks).unwrap();
+            assert_eq!(cycle.objects_marked, 2);
+            assert_eq!(cycle.objects_swept, 0);
+        }
+        assert_eq!(gc.stats().collections, 5);
+        assert_eq!(gc.stats().objects_marked, 10);
+    }
+
+    /// Pre-root-phase hooks that mark one object in advance, simulating the
+    /// ownership phase keeping owner-reachable objects alive.
+    struct Premarker {
+        target: ObjRef,
+    }
+
+    impl TraceHooks for Premarker {
+        fn pre_root_phase(
+            &mut self,
+            heap: &mut Heap,
+            tracer: &mut Tracer,
+        ) -> Result<(), HeapError> {
+            tracer.push_children_of(heap, self.target)?;
+            tracer.drain(heap, &mut NoHooks)?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn pre_root_phase_marks_survive_even_if_unrooted() {
+        // unrooted -> child. The pre-root phase scans from `unrooted`, so
+        // `child` is marked and survives one extra GC (floating garbage,
+        // exactly the paper's §2.5.2 trade-off), while `unrooted` itself is
+        // collected because nothing marks it.
+        let mut heap = Heap::new();
+        let c = heap.register_class("T", &["f"]);
+        let unrooted = heap.alloc(c, 1, 0).unwrap();
+        let child = heap.alloc(c, 1, 0).unwrap();
+        heap.set_ref_field(unrooted, 0, child).unwrap();
+        let mut gc = Collector::new();
+        let mut hooks = Premarker { target: unrooted };
+        gc.collect(&mut heap, &[], &mut hooks).unwrap();
+        assert!(!heap.is_valid(unrooted));
+        assert!(heap.is_valid(child));
+        // Next collection reclaims the floating garbage.
+        gc.collect(&mut heap, &[], &mut NoHooks).unwrap();
+        assert!(!heap.is_valid(child));
+    }
+
+    /// Hooks that count visits and sweeps.
+    #[derive(Default)]
+    struct Counter {
+        new: u64,
+        marked: u64,
+        swept: u64,
+        begun: u64,
+        ended: u64,
+        traced: u64,
+    }
+
+    impl TraceHooks for Counter {
+        fn gc_begin(&mut self, _heap: &mut Heap) {
+            self.begun += 1;
+        }
+        fn visit_new(&mut self, _h: &mut Heap, _o: ObjRef, _c: &TraceCtx<'_>) -> Visit {
+            self.new += 1;
+            Visit::Descend
+        }
+        fn visit_marked(&mut self, _h: &mut Heap, _o: ObjRef, _c: &TraceCtx<'_>) {
+            self.marked += 1;
+        }
+        fn trace_done(&mut self, _heap: &mut Heap) {
+            self.traced += 1;
+        }
+        fn swept(&mut self, _heap: &Heap, _obj: ObjRef) {
+            self.swept += 1;
+        }
+        fn gc_end(&mut self, _heap: &mut Heap, _cycle: &CycleStats) {
+            self.ended += 1;
+        }
+    }
+
+    #[test]
+    fn hooks_fire_in_expected_quantities() {
+        // diamond: root -> {l, r} -> shared ; plus one garbage object.
+        let mut heap = Heap::new();
+        let c = heap.register_class("T", &["a", "b"]);
+        let root = heap.alloc(c, 2, 0).unwrap();
+        let l = heap.alloc(c, 2, 0).unwrap();
+        let r = heap.alloc(c, 2, 0).unwrap();
+        let shared = heap.alloc(c, 2, 0).unwrap();
+        let _garbage = heap.alloc(c, 2, 0).unwrap();
+        heap.set_ref_field(root, 0, l).unwrap();
+        heap.set_ref_field(root, 1, r).unwrap();
+        heap.set_ref_field(l, 0, shared).unwrap();
+        heap.set_ref_field(r, 0, shared).unwrap();
+
+        let mut gc = Collector::new();
+        let mut counter = Counter::default();
+        let cycle = gc.collect(&mut heap, &[root], &mut counter).unwrap();
+        assert_eq!(counter.new, 4);
+        assert_eq!(counter.marked, 1); // shared revisited once
+        assert_eq!(counter.swept, 1);
+        assert_eq!(counter.begun, 1);
+        assert_eq!(counter.ended, 1);
+        assert_eq!(counter.traced, 1);
+        assert_eq!(cycle.edges_traced, 4);
+    }
+
+    #[test]
+    fn empty_heap_collects_cleanly() {
+        let mut heap = Heap::new();
+        let mut gc = Collector::new();
+        let cycle = gc.collect(&mut heap, &[], &mut NoHooks).unwrap();
+        assert_eq!(cycle.objects_marked, 0);
+        assert_eq!(cycle.objects_swept, 0);
+    }
+
+    #[test]
+    fn reset_stats_zeroes() {
+        let mut heap = Heap::new();
+        let c = heap.register_class("T", &[]);
+        let root = heap.alloc(c, 0, 0).unwrap();
+        let mut gc = Collector::new();
+        gc.collect(&mut heap, &[root], &mut NoHooks).unwrap();
+        assert_eq!(gc.stats().collections, 1);
+        gc.reset_stats();
+        assert_eq!(gc.stats().collections, 0);
+    }
+}

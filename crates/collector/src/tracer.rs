@@ -1,0 +1,480 @@
+//! The tracing engine: worklist management, marking, and on-demand path
+//! reconstruction.
+
+use gca_heap::{Flags, Heap, HeapError, ObjRef};
+
+use crate::hooks::{TraceHooks, Visit};
+use crate::path::{HeapPath, PathStep};
+
+/// Sentinel field index for worklist entries pushed from a root.
+const ROOT_FIELD: u32 = u32::MAX;
+
+/// One worklist entry. `on_path` is the Rust spelling of the paper's
+/// low-order tag bit: "we pop a reference from the worklist, set its low
+/// order bit and push it back onto the worklist; then we continue to scan
+/// the object normally" (§2.7). Entries also remember the reference-field
+/// index they were pushed through, which lets reports name the exact field
+/// that keeps an object alive.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    obj: ObjRef,
+    field: u32,
+    on_path: bool,
+}
+
+/// The marking engine used by [`crate::Collector`], exposed so that
+/// [`TraceHooks::pre_root_phase`] implementations (the ownership phase) can
+/// drive tracing from arbitrary start objects before the root scan.
+///
+/// In *path mode* the tracer keeps gray objects on the worklist with an
+/// on-path tag; at any instant the tagged subset of the worklist, bottom to
+/// top, is the exact path from a root to the object currently being
+/// scanned. [`TraceCtx::current_path`] snapshots it. In plain mode (the
+/// Base configuration) no tags are pushed and paths are unavailable.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    entries: Vec<Entry>,
+    path_mode: bool,
+    objects_marked: u64,
+    edges_traced: u64,
+}
+
+impl Tracer {
+    /// Creates a tracer in plain (no-path) mode.
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Enables or disables the path-tracking worklist for subsequent work.
+    pub fn set_path_mode(&mut self, on: bool) {
+        self.path_mode = on;
+    }
+
+    /// Whether path tracking is active.
+    pub fn path_mode(&self) -> bool {
+        self.path_mode
+    }
+
+    /// Resets per-cycle counters and drops any leftover worklist entries.
+    pub fn begin_cycle(&mut self) {
+        self.entries.clear();
+        self.objects_marked = 0;
+        self.edges_traced = 0;
+    }
+
+    /// Objects marked so far this cycle.
+    pub fn objects_marked(&self) -> u64 {
+        self.objects_marked
+    }
+
+    /// Edges traced so far this cycle.
+    pub fn edges_traced(&self) -> u64 {
+        self.edges_traced
+    }
+
+    /// Queues a root reference for scanning (null roots are ignored).
+    pub fn push_root(&mut self, r: ObjRef) {
+        if r.is_some() {
+            self.entries.push(Entry {
+                obj: r,
+                field: ROOT_FIELD,
+                on_path: false,
+            });
+        }
+    }
+
+    /// Queues the non-null reference fields of `obj` without visiting `obj`
+    /// itself. The ownership phase uses this both to start scans from
+    /// owners ("we avoid marking the owner object when we do the ownership
+    /// scan", §2.5.2) and to resume scanning below queued ownees.
+    ///
+    /// # Errors
+    ///
+    /// Reference-validity errors if `obj` is not live.
+    pub fn push_children_of(&mut self, heap: &Heap, obj: ObjRef) -> Result<(), HeapError> {
+        let o = heap.get(obj)?;
+        for (i, &c) in o.refs().iter().enumerate() {
+            if c.is_some() {
+                self.edges_traced += 1;
+                self.entries.push(Entry {
+                    obj: c,
+                    field: i as u32,
+                    on_path: false,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Processes the worklist to exhaustion, marking objects and invoking
+    /// `hooks` at each first visit and re-visit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reference-validity errors, which indicate a collector
+    /// invariant violation (the heap never contains edges to dead objects).
+    pub fn drain<H: TraceHooks>(
+        &mut self,
+        heap: &mut Heap,
+        hooks: &mut H,
+    ) -> Result<(), HeapError> {
+        while let Some(entry) = self.entries.pop() {
+            if entry.on_path {
+                // The paper: "If we encounter a reference whose low-order
+                // bit is set, we discard it — this simply indicates that we
+                // have already visited all objects reachable from it."
+                continue;
+            }
+            let r = entry.obj;
+            if heap.has_flag(r, Flags::MARK)? {
+                let ctx = TraceCtx {
+                    entries: &self.entries,
+                    path_mode: self.path_mode,
+                    tip: r,
+                    tip_field: field_index(entry.field),
+                };
+                hooks.visit_marked(heap, r, &ctx);
+                continue;
+            }
+            heap.set_flag(r, Flags::MARK)?;
+            self.objects_marked += 1;
+            let action = {
+                let ctx = TraceCtx {
+                    entries: &self.entries,
+                    path_mode: self.path_mode,
+                    tip: r,
+                    tip_field: field_index(entry.field),
+                };
+                hooks.visit_new(heap, r, &ctx)
+            };
+            if action == Visit::Skip {
+                continue;
+            }
+            if self.path_mode {
+                self.entries.push(Entry {
+                    obj: r,
+                    field: entry.field,
+                    on_path: true,
+                });
+            }
+            let o = heap.get(r)?;
+            for (i, &c) in o.refs().iter().enumerate() {
+                if c.is_some() {
+                    self.edges_traced += 1;
+                    self.entries.push(Entry {
+                        obj: c,
+                        field: i as u32,
+                        on_path: false,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[inline]
+fn field_index(raw: u32) -> Option<usize> {
+    if raw == ROOT_FIELD {
+        None
+    } else {
+        Some(raw as usize)
+    }
+}
+
+/// A view of the tracer's state handed to [`TraceHooks`] callbacks, from
+/// which the current root-to-object path can be reconstructed.
+#[derive(Debug)]
+pub struct TraceCtx<'a> {
+    entries: &'a [Entry],
+    path_mode: bool,
+    tip: ObjRef,
+    tip_field: Option<usize>,
+}
+
+impl TraceCtx<'_> {
+    /// A context with no path information, for tests and for hooks invoked
+    /// outside a trace.
+    pub fn no_paths() -> TraceCtx<'static> {
+        TraceCtx {
+            entries: &[],
+            path_mode: false,
+            tip: ObjRef::NULL,
+            tip_field: None,
+        }
+    }
+
+    /// The object the current hook call is about.
+    pub fn tip(&self) -> ObjRef {
+        self.tip
+    }
+
+    /// Whether path reconstruction is available (path-tracking worklist in
+    /// use).
+    pub fn has_paths(&self) -> bool {
+        self.path_mode
+    }
+
+    /// The heap edge through which the hook's object was reached: the
+    /// parent object and the parent's reference-field index. `None` if the
+    /// object was reached from a root, or in plain mode.
+    ///
+    /// The `ForceTrue` violation reaction uses this to null out the
+    /// references keeping an asserted-dead object alive (§2.6).
+    pub fn parent_edge(&self) -> Option<(ObjRef, usize)> {
+        let field = self.tip_field?;
+        let parent = self.entries.iter().rev().find(|e| e.on_path)?;
+        Some((parent.obj, field))
+    }
+
+    /// Reconstructs the path from the root (or phase start object) to the
+    /// hook's object: the on-path suffix of the worklist plus the object
+    /// itself. Returns [`HeapPath::empty`] in plain mode, mirroring the
+    /// Base configuration's lack of debugging information.
+    pub fn current_path(&self, heap: &Heap) -> HeapPath {
+        if !self.path_mode {
+            return HeapPath::empty();
+        }
+        let mut steps: Vec<PathStep> = Vec::new();
+        for e in self.entries.iter().filter(|e| e.on_path) {
+            if let Ok(o) = heap.get(e.obj) {
+                steps.push(PathStep {
+                    object: e.obj,
+                    class: o.class(),
+                    field: field_index(e.field),
+                });
+            }
+        }
+        if self.tip.is_some() {
+            if let Ok(o) = heap.get(self.tip) {
+                steps.push(PathStep {
+                    object: self.tip,
+                    class: o.class(),
+                    field: self.tip_field,
+                });
+            }
+        }
+        HeapPath::new(steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NoHooks;
+
+    fn linked_heap() -> (Heap, Vec<ObjRef>) {
+        // chain: a -> b -> c, plus isolated d
+        let mut heap = Heap::new();
+        let node = heap.register_class("Node", &["next"]);
+        let a = heap.alloc(node, 1, 0).unwrap();
+        let b = heap.alloc(node, 1, 0).unwrap();
+        let c = heap.alloc(node, 1, 0).unwrap();
+        let d = heap.alloc(node, 1, 0).unwrap();
+        heap.set_ref_field(a, 0, b).unwrap();
+        heap.set_ref_field(b, 0, c).unwrap();
+        (heap, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn marks_reachable_only() {
+        let (mut heap, objs) = linked_heap();
+        let mut tr = Tracer::new();
+        tr.begin_cycle();
+        tr.push_root(objs[0]);
+        tr.drain(&mut heap, &mut NoHooks).unwrap();
+        assert!(heap.has_flag(objs[0], Flags::MARK).unwrap());
+        assert!(heap.has_flag(objs[1], Flags::MARK).unwrap());
+        assert!(heap.has_flag(objs[2], Flags::MARK).unwrap());
+        assert!(!heap.has_flag(objs[3], Flags::MARK).unwrap());
+        assert_eq!(tr.objects_marked(), 3);
+        assert_eq!(tr.edges_traced(), 2);
+    }
+
+    #[test]
+    fn handles_cycles() {
+        let mut heap = Heap::new();
+        let node = heap.register_class("Node", &["next"]);
+        let a = heap.alloc(node, 1, 0).unwrap();
+        let b = heap.alloc(node, 1, 0).unwrap();
+        heap.set_ref_field(a, 0, b).unwrap();
+        heap.set_ref_field(b, 0, a).unwrap(); // cycle
+        let mut tr = Tracer::new();
+        tr.begin_cycle();
+        tr.push_root(a);
+        tr.drain(&mut heap, &mut NoHooks).unwrap();
+        assert_eq!(tr.objects_marked(), 2);
+    }
+
+    #[test]
+    fn self_loop_marks_once() {
+        let mut heap = Heap::new();
+        let node = heap.register_class("Node", &["next"]);
+        let a = heap.alloc(node, 1, 0).unwrap();
+        heap.set_ref_field(a, 0, a).unwrap();
+        let mut tr = Tracer::new();
+        tr.begin_cycle();
+        tr.push_root(a);
+        tr.drain(&mut heap, &mut NoHooks).unwrap();
+        assert_eq!(tr.objects_marked(), 1);
+        assert_eq!(tr.edges_traced(), 1);
+    }
+
+    #[test]
+    fn null_roots_ignored() {
+        let mut heap = Heap::new();
+        let mut tr = Tracer::new();
+        tr.begin_cycle();
+        tr.push_root(ObjRef::NULL);
+        tr.drain(&mut heap, &mut NoHooks).unwrap();
+        assert_eq!(tr.objects_marked(), 0);
+    }
+
+    /// Hooks that record the path at each first visit.
+    struct PathRecorder {
+        paths: Vec<(ObjRef, HeapPath)>,
+    }
+
+    impl TraceHooks for PathRecorder {
+        fn wants_paths(&self) -> bool {
+            true
+        }
+        fn visit_new(&mut self, heap: &mut Heap, obj: ObjRef, ctx: &TraceCtx<'_>) -> Visit {
+            self.paths.push((obj, ctx.current_path(heap)));
+            Visit::Descend
+        }
+    }
+
+    #[test]
+    fn paths_reconstruct_ancestor_chain() {
+        let (mut heap, objs) = linked_heap();
+        let mut tr = Tracer::new();
+        tr.set_path_mode(true);
+        tr.begin_cycle();
+        tr.push_root(objs[0]);
+        let mut rec = PathRecorder { paths: Vec::new() };
+        tr.drain(&mut heap, &mut rec).unwrap();
+
+        let path_c = &rec
+            .paths
+            .iter()
+            .find(|(o, _)| *o == objs[2])
+            .expect("c visited")
+            .1;
+        let chain: Vec<ObjRef> = path_c.steps().iter().map(|s| s.object).collect();
+        assert_eq!(chain, vec![objs[0], objs[1], objs[2]]);
+        // Root step has no field; the rest came through field 0 ("next").
+        assert_eq!(path_c.steps()[0].field, None);
+        assert_eq!(path_c.steps()[1].field, Some(0));
+        assert_eq!(path_c.steps()[2].field, Some(0));
+    }
+
+    #[test]
+    fn paths_branching_structure() {
+        // root -> left, root -> right -> leaf; check leaf's path goes
+        // through right, not left.
+        let mut heap = Heap::new();
+        let node = heap.register_class("Node", &["l", "r"]);
+        let root = heap.alloc(node, 2, 0).unwrap();
+        let left = heap.alloc(node, 2, 0).unwrap();
+        let right = heap.alloc(node, 2, 0).unwrap();
+        let leaf = heap.alloc(node, 2, 0).unwrap();
+        heap.set_ref_field(root, 0, left).unwrap();
+        heap.set_ref_field(root, 1, right).unwrap();
+        heap.set_ref_field(right, 0, leaf).unwrap();
+
+        let mut tr = Tracer::new();
+        tr.set_path_mode(true);
+        tr.begin_cycle();
+        tr.push_root(root);
+        let mut rec = PathRecorder { paths: Vec::new() };
+        tr.drain(&mut heap, &mut rec).unwrap();
+
+        let path_leaf = &rec.paths.iter().find(|(o, _)| *o == leaf).unwrap().1;
+        let chain: Vec<ObjRef> = path_leaf.steps().iter().map(|s| s.object).collect();
+        assert_eq!(chain, vec![root, right, leaf]);
+        assert_eq!(path_leaf.steps()[1].field, Some(1)); // root.r
+        assert_eq!(path_leaf.steps()[2].field, Some(0)); // right.l
+    }
+
+    /// Hooks that skip descending into a designated object.
+    struct Skipper {
+        skip: ObjRef,
+    }
+
+    impl TraceHooks for Skipper {
+        fn visit_new(&mut self, _heap: &mut Heap, obj: ObjRef, _ctx: &TraceCtx<'_>) -> Visit {
+            if obj == self.skip {
+                Visit::Skip
+            } else {
+                Visit::Descend
+            }
+        }
+    }
+
+    #[test]
+    fn skip_truncates_scan() {
+        let (mut heap, objs) = linked_heap();
+        let mut tr = Tracer::new();
+        tr.begin_cycle();
+        tr.push_root(objs[0]);
+        let mut sk = Skipper { skip: objs[1] };
+        tr.drain(&mut heap, &mut sk).unwrap();
+        // b was marked but its children not scanned, so c stays unmarked.
+        assert!(heap.has_flag(objs[1], Flags::MARK).unwrap());
+        assert!(!heap.has_flag(objs[2], Flags::MARK).unwrap());
+    }
+
+    #[test]
+    fn push_children_of_skips_start_object() {
+        let (mut heap, objs) = linked_heap();
+        let mut tr = Tracer::new();
+        tr.begin_cycle();
+        tr.push_children_of(&heap, objs[0]).unwrap();
+        tr.drain(&mut heap, &mut NoHooks).unwrap();
+        assert!(!heap.has_flag(objs[0], Flags::MARK).unwrap());
+        assert!(heap.has_flag(objs[1], Flags::MARK).unwrap());
+        assert!(heap.has_flag(objs[2], Flags::MARK).unwrap());
+    }
+
+    /// Hooks that record visit_marked (re-visit) calls.
+    struct RevisitRecorder {
+        revisits: Vec<ObjRef>,
+    }
+
+    impl TraceHooks for RevisitRecorder {
+        fn visit_marked(&mut self, _heap: &mut Heap, obj: ObjRef, _ctx: &TraceCtx<'_>) {
+            self.revisits.push(obj);
+        }
+    }
+
+    #[test]
+    fn second_edge_triggers_visit_marked() {
+        // a -> shared, b -> shared; roots {a, b}.
+        let mut heap = Heap::new();
+        let node = heap.register_class("Node", &["x"]);
+        let a = heap.alloc(node, 1, 0).unwrap();
+        let b = heap.alloc(node, 1, 0).unwrap();
+        let shared = heap.alloc(node, 1, 0).unwrap();
+        heap.set_ref_field(a, 0, shared).unwrap();
+        heap.set_ref_field(b, 0, shared).unwrap();
+        let mut tr = Tracer::new();
+        tr.begin_cycle();
+        tr.push_root(a);
+        tr.push_root(b);
+        let mut rec = RevisitRecorder {
+            revisits: Vec::new(),
+        };
+        tr.drain(&mut heap, &mut rec).unwrap();
+        assert_eq!(rec.revisits, vec![shared]);
+    }
+
+    #[test]
+    fn no_paths_ctx_is_empty() {
+        let heap = Heap::new();
+        let ctx = TraceCtx::no_paths();
+        assert!(!ctx.has_paths());
+        assert!(ctx.current_path(&heap).is_empty());
+        assert!(ctx.tip().is_null());
+    }
+}

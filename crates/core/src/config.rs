@@ -1,0 +1,233 @@
+//! VM configuration.
+
+/// How the VM reacts when a collection detects assertion violations
+/// (§2.6 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Reaction {
+    /// Log the error (into the [`crate::GcReport`]) and continue executing.
+    /// This retains the semantics of the program without any assertions
+    /// and is the paper's chosen default.
+    #[default]
+    Log,
+    /// Log the error and halt: the VM refuses further mutator work, for
+    /// assertions whose failure indicates a non-recoverable error.
+    Halt,
+    /// Force lifetime assertions to be true: the collector nulls out all
+    /// incoming references to asserted-dead objects that it encountered
+    /// during the trace, so the object is reclaimed at the *next*
+    /// collection. As the paper notes, this may let a program run longer
+    /// without exhausting memory but risks introducing null-pointer
+    /// errors in the mutator.
+    ForceTrue,
+}
+
+/// Which collector configuration the VM runs — the three configurations of
+/// the paper's evaluation (§3.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Unmodified collector ([`gca_collector::NoHooks`]); the assertion API
+    /// is unavailable. Paper configuration **Base**.
+    Base,
+    /// Collector with the assertion engine attached. With no assertions
+    /// registered this measures the infrastructure overhead (paper
+    /// configuration **Infrastructure**); with assertions registered it is
+    /// **WithAssertions**.
+    #[default]
+    Instrumented,
+}
+
+/// The classes of assertion a [`Reaction`] override can target — §2.6
+/// suggests "different actions based on the class of assertion that is
+/// violated" as future work; this implements it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssertionClass {
+    /// `assert-dead` and region assertions (lifetime).
+    Lifetime,
+    /// `assert-instances` (volume).
+    Volume,
+    /// `assert-unshared` and `assert-ownedby` (connectivity/ownership).
+    Connectivity,
+}
+
+/// Configuration for a [`crate::Vm`].
+///
+/// # Example
+///
+/// ```
+/// use gc_assertions::{Reaction, VmConfig};
+///
+/// let config = VmConfig::new()
+///     .heap_budget_words(64 * 1024)
+///     .grow_on_oom(false)
+///     .reaction(Reaction::Log);
+/// assert_eq!(config.heap_budget, 64 * 1024);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VmConfig {
+    /// Heap budget in words; an allocation that would exceed it triggers a
+    /// collection first. The paper's methodology fixes this at 2× the
+    /// minimum heap for each benchmark.
+    pub heap_budget: usize,
+    /// If `true`, the budget doubles when a collection cannot make room
+    /// (convenient default); if `false`, allocation fails with
+    /// out-of-memory, as on a fixed experimental heap.
+    pub grow: bool,
+    /// Reaction to assertion violations.
+    pub reaction: Reaction,
+    /// Collector configuration (Base vs Instrumented).
+    pub mode: Mode,
+    /// Use the path-tracking worklist so reports carry full heap paths
+    /// (§2.7). Disabling it removes the per-object worklist overhead and
+    /// all path information; exposed for the ablation benchmark.
+    pub path_tracking: bool,
+    /// Report each violating object only once across collections (via the
+    /// `REPORTED` header bit) instead of on every collection it survives.
+    pub report_once: bool,
+    /// Extension (not in the paper): when an owner dies, report any of its
+    /// ownees that are still live, instead of silently dropping the pair.
+    pub strict_owner_lifetime: bool,
+    /// Per-assertion-class reaction overrides (paper §2.6 future work);
+    /// classes without an override use [`VmConfig::reaction`].
+    pub reaction_overrides: Vec<(AssertionClass, Reaction)>,
+    /// Generational collection (paper §2.2): `Some(n)` makes
+    /// allocation-triggered collections *minor* (nursery-only, no
+    /// assertion checks) with a full major collection forced after `n`
+    /// consecutive minors — demonstrating the paper's observation that a
+    /// generational collector lets assertions go unchecked for long
+    /// periods. `None` (default) is the paper's full-heap MarkSweep.
+    pub generational: Option<usize>,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            heap_budget: 1 << 20,
+            grow: true,
+            reaction: Reaction::Log,
+            mode: Mode::Instrumented,
+            path_tracking: true,
+            report_once: true,
+            strict_owner_lifetime: false,
+            reaction_overrides: Vec::new(),
+            generational: None,
+        }
+    }
+}
+
+impl VmConfig {
+    /// Default configuration: 1 Mi-word growable heap, instrumented mode,
+    /// path tracking on, log-and-continue.
+    pub fn new() -> VmConfig {
+        VmConfig::default()
+    }
+
+    /// Sets the heap budget in words.
+    #[must_use]
+    pub fn heap_budget_words(mut self, words: usize) -> VmConfig {
+        self.heap_budget = words;
+        self
+    }
+
+    /// Sets whether the heap may grow when full.
+    #[must_use]
+    pub fn grow_on_oom(mut self, grow: bool) -> VmConfig {
+        self.grow = grow;
+        self
+    }
+
+    /// Sets the violation reaction.
+    #[must_use]
+    pub fn reaction(mut self, reaction: Reaction) -> VmConfig {
+        self.reaction = reaction;
+        self
+    }
+
+    /// Sets the collector configuration.
+    #[must_use]
+    pub fn mode(mut self, mode: Mode) -> VmConfig {
+        self.mode = mode;
+        self
+    }
+
+    /// Enables or disables the path-tracking worklist.
+    #[must_use]
+    pub fn path_tracking(mut self, on: bool) -> VmConfig {
+        self.path_tracking = on;
+        self
+    }
+
+    /// Enables or disables once-only violation reporting.
+    #[must_use]
+    pub fn report_once(mut self, on: bool) -> VmConfig {
+        self.report_once = on;
+        self
+    }
+
+    /// Enables the strict owner-lifetime extension.
+    #[must_use]
+    pub fn strict_owner_lifetime(mut self, on: bool) -> VmConfig {
+        self.strict_owner_lifetime = on;
+        self
+    }
+
+    /// Enables generational collection with a major collection forced
+    /// after `major_every` consecutive minors.
+    #[must_use]
+    pub fn generational(mut self, major_every: usize) -> VmConfig {
+        self.generational = Some(major_every.max(1));
+        self
+    }
+
+    /// Overrides the reaction for one assertion class (later overrides for
+    /// the same class win).
+    #[must_use]
+    pub fn reaction_for(mut self, class: AssertionClass, reaction: Reaction) -> VmConfig {
+        self.reaction_overrides.push((class, reaction));
+        self
+    }
+
+    /// The effective reaction for an assertion class.
+    pub fn effective_reaction(&self, class: AssertionClass) -> Reaction {
+        self.reaction_overrides
+            .iter()
+            .rev()
+            .find(|(c, _)| *c == class)
+            .map(|(_, r)| *r)
+            .unwrap_or(self.reaction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = VmConfig::new();
+        assert_eq!(c.reaction, Reaction::Log);
+        assert_eq!(c.mode, Mode::Instrumented);
+        assert!(c.path_tracking);
+        assert!(c.report_once);
+        assert!(!c.strict_owner_lifetime);
+        assert!(c.grow);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = VmConfig::new()
+            .heap_budget_words(123)
+            .grow_on_oom(false)
+            .reaction(Reaction::Halt)
+            .mode(Mode::Base)
+            .path_tracking(false)
+            .report_once(false)
+            .strict_owner_lifetime(true);
+        assert_eq!(c.heap_budget, 123);
+        assert!(!c.grow);
+        assert_eq!(c.reaction, Reaction::Halt);
+        assert_eq!(c.mode, Mode::Base);
+        assert!(!c.path_tracking);
+        assert!(!c.report_once);
+        assert!(c.strict_owner_lifetime);
+    }
+}

@@ -1,0 +1,472 @@
+//! The assertion engine: a [`TraceHooks`] implementation that checks every
+//! registered GC assertion by piggybacking on the collector's trace.
+
+use gca_collector::{TraceCtx, TraceHooks, Tracer, Visit};
+use gca_heap::{Flags, Heap, HeapError, ObjRef};
+
+use crate::config::{AssertionClass, Reaction, VmConfig};
+use crate::error::VmError;
+use crate::ownership::OwnershipTable;
+use crate::report::CheckCounters;
+use crate::violation::{Violation, ViolationKind};
+
+/// Which tracing phase the engine is in; the checks differ between the
+/// ownership phase (scanning from owners, §2.5.2 phase 1) and the normal
+/// root scan (phase 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Not inside a collection.
+    Idle,
+    /// Ownership phase, scanning directly from the owner at this table
+    /// index.
+    Ownership(usize),
+    /// Ownership phase, resuming below a deferred ownee of the owner at
+    /// this table index. Runs after *all* direct owner scans, so an
+    /// unmarked wrong-owner ownee found here has a final verdict: its own
+    /// owner's scan did not reach it.
+    DeferredOwnership(usize),
+    /// Root scan.
+    Root,
+}
+
+/// The assertion-checking [`TraceHooks`] implementation.
+///
+/// One engine is owned by each instrumented [`crate::Vm`]; attaching it
+/// with *no* assertions registered is the paper's **Infrastructure**
+/// configuration (the collector performs the per-object flag checks and
+/// maintains path information, but nothing ever fires).
+///
+/// The checks, and where they ride:
+///
+/// | assertion | piggyback point |
+/// |---|---|
+/// | `assert-dead` | `visit_new`: `DEAD` bit on a newly marked (hence reachable) object |
+/// | `assert-unshared` | `visit_marked`: `UNSHARED` bit on an already-marked object (second incoming pointer) |
+/// | `assert-instances` | `visit_new` counts tracked classes; `trace_done` compares against limits |
+/// | `assert-ownedby` | `pre_root_phase` scans from owners; `visit_new` during the root scan flags unowned ownees |
+#[derive(Debug)]
+pub struct AssertionEngine {
+    path_tracking: bool,
+    report_once: bool,
+    /// Effective reaction for lifetime assertions — the only class whose
+    /// reaction the engine acts on itself (`ForceTrue` edge severing).
+    lifetime_reaction: Reaction,
+    strict_owner_lifetime: bool,
+    phase: Phase,
+    ownership: OwnershipTable,
+    /// Ownees discovered during the ownership phase, queued so scans
+    /// truncate at ownees ("collections are essentially truncated when
+    /// their leaves are reached") and are resumed after all owners.
+    deferred: Vec<(ObjRef, usize)>,
+    violations: Vec<Violation>,
+    /// Ownees reached through another owner's region during deferred
+    /// processing; their ownership verdict is resolved once the whole
+    /// ownership phase has finished (their own owner's chains may still
+    /// credit them).
+    pending_unowned: Vec<(ObjRef, gca_collector::HeapPath)>,
+    /// Incoming edges to asserted-dead objects, recorded for the
+    /// `ForceTrue` reaction.
+    dead_edges: Vec<(ObjRef, usize)>,
+    /// Ownees/owners freed by the current sweep, recorded from the `swept`
+    /// hook so table retirement costs O(dead) instead of a table rescan.
+    swept_ownees: Vec<ObjRef>,
+    swept_owners: Vec<ObjRef>,
+    counters: CheckCounters,
+}
+
+impl AssertionEngine {
+    /// Creates an engine configured from `config`.
+    pub fn new(config: &VmConfig) -> AssertionEngine {
+        AssertionEngine {
+            path_tracking: config.path_tracking,
+            report_once: config.report_once,
+            lifetime_reaction: config.effective_reaction(AssertionClass::Lifetime),
+            strict_owner_lifetime: config.strict_owner_lifetime,
+            phase: Phase::Idle,
+            ownership: OwnershipTable::new(),
+            deferred: Vec::new(),
+            violations: Vec::new(),
+            pending_unowned: Vec::new(),
+            dead_edges: Vec::new(),
+            swept_ownees: Vec::new(),
+            swept_owners: Vec::new(),
+            counters: CheckCounters::default(),
+        }
+    }
+
+    /// Marks `obj` as asserted-dead (sets the `DEAD` header bit). The
+    /// check happens at the next collection.
+    pub fn assert_dead(&self, heap: &mut Heap, obj: ObjRef) -> Result<(), VmError> {
+        heap.set_flag(obj, Flags::DEAD)?;
+        Ok(())
+    }
+
+    /// Marks `obj` as asserted-unshared (sets the `UNSHARED` header bit).
+    pub fn assert_unshared(&self, heap: &mut Heap, obj: ObjRef) -> Result<(), VmError> {
+        heap.set_flag(obj, Flags::UNSHARED)?;
+        Ok(())
+    }
+
+    /// Registers an owner/ownee pair.
+    pub fn assert_owned_by(
+        &mut self,
+        heap: &mut Heap,
+        owner: ObjRef,
+        ownee: ObjRef,
+    ) -> Result<(), VmError> {
+        self.ownership.add(heap, owner, ownee)
+    }
+
+    /// Unregisters an ownee.
+    pub fn release_ownee(&mut self, heap: &mut Heap, ownee: ObjRef) -> bool {
+        self.ownership.remove_ownee(heap, ownee)
+    }
+
+    /// Number of registered owners.
+    pub fn owner_count(&self) -> usize {
+        self.ownership.len()
+    }
+
+    /// Number of registered ownees.
+    pub fn ownee_count(&self) -> usize {
+        self.ownership.ownee_count()
+    }
+
+    /// Post-minor-collection maintenance: retires ownership metadata for
+    /// the objects the minor sweep reclaimed (recorded via the `swept`
+    /// hook). No assertions are checked — that is the generational
+    /// trade-off the paper describes (§2.2) — but the strict
+    /// owner-lifetime extension still reports ownees that outlived an
+    /// owner reclaimed by the nursery.
+    pub fn after_minor(&mut self, heap: &mut Heap) {
+        let swept_ownees = std::mem::take(&mut self.swept_ownees);
+        let swept_owners = std::mem::take(&mut self.swept_owners);
+        let retired = self.ownership.retire(heap, &swept_ownees, &swept_owners);
+        if self.strict_owner_lifetime {
+            for (owner_class, survivors) in retired {
+                for ownee in survivors {
+                    let ownee_class = Self::class_name(heap, ownee);
+                    self.violations.push(Violation {
+                        kind: ViolationKind::OwneeOutlivedOwner {
+                            ownee,
+                            ownee_class,
+                            owner_class: owner_class.clone(),
+                        },
+                        path: gca_collector::HeapPath::empty(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Takes the violations and counters accumulated during the last
+    /// collection.
+    pub fn drain(&mut self) -> (Vec<Violation>, CheckCounters) {
+        (
+            std::mem::take(&mut self.violations),
+            std::mem::take(&mut self.counters),
+        )
+    }
+
+    fn class_name(heap: &Heap, obj: ObjRef) -> String {
+        match heap.get(obj) {
+            Ok(o) => heap.registry().name(o.class()).to_owned(),
+            Err(_) => "<dead>".to_owned(),
+        }
+    }
+
+    /// Whether a violation for `obj` should be recorded, honouring
+    /// report-once semantics via the `REPORTED` bit.
+    fn should_report(&self, heap: &mut Heap, obj: ObjRef) -> bool {
+        if !self.report_once {
+            return true;
+        }
+        if heap.has_flag(obj, Flags::REPORTED).unwrap_or(true) {
+            return false;
+        }
+        let _ = heap.set_flag(obj, Flags::REPORTED);
+        true
+    }
+}
+
+impl TraceHooks for AssertionEngine {
+    fn wants_paths(&self) -> bool {
+        self.path_tracking
+    }
+
+    fn gc_begin(&mut self, heap: &mut Heap) {
+        heap.registry_mut().reset_instance_counts();
+        self.ownership.prepare_for_gc();
+        self.counters = CheckCounters::default();
+        self.deferred.clear();
+        self.pending_unowned.clear();
+        self.dead_edges.clear();
+        self.swept_ownees.clear();
+        self.swept_owners.clear();
+        self.phase = Phase::Root;
+    }
+
+    fn pre_root_phase(&mut self, heap: &mut Heap, tracer: &mut Tracer) -> Result<(), HeapError> {
+        if self.ownership.is_empty() {
+            return Ok(());
+        }
+        // Phase 1 (§2.5.2): scan from each owner's children — never the
+        // owner itself, so a dead owner is still collected this cycle.
+        for idx in 0..self.ownership.len() {
+            let owner = self.ownership.owner_at(idx);
+            debug_assert!(heap.is_valid(owner), "dead owners are retired at gc_end");
+            self.phase = Phase::Ownership(idx);
+            self.counters.owners_scanned += 1;
+            tracer.push_children_of(heap, owner)?;
+            tracer.drain(heap, self)?;
+        }
+        // Resume scanning below the queued ownees, still on behalf of
+        // their owners (an ownee's subtree may contain further ownees of
+        // the same owner).
+        while let Some((ownee, idx)) = self.deferred.pop() {
+            self.phase = Phase::DeferredOwnership(idx);
+            self.counters.deferred_ownees_processed += 1;
+            tracer.push_children_of(heap, ownee)?;
+            tracer.drain(heap, self)?;
+        }
+        // Resolve the held-back verdicts: every owner scan and deferred
+        // chain has run, so an ownee still lacking OWNED is genuinely not
+        // reachable through its owner.
+        let pending = std::mem::take(&mut self.pending_unowned);
+        for (obj, path) in pending {
+            let flags = heap.get(obj)?.flags();
+            if flags.contains(Flags::OWNED) {
+                continue;
+            }
+            if self.should_report(heap, obj) {
+                let ownee_class = Self::class_name(heap, obj);
+                let (owner, owner_class) = match self.ownership.owner_of(obj) {
+                    Some(idx) => {
+                        let e = self.ownership.entry(idx);
+                        (e.owner, e.owner_class.clone())
+                    }
+                    None => (ObjRef::NULL, "<unknown>".to_owned()),
+                };
+                self.violations.push(Violation {
+                    kind: ViolationKind::NotOwned {
+                        ownee: obj,
+                        ownee_class,
+                        owner,
+                        owner_class,
+                    },
+                    path,
+                });
+            }
+        }
+        self.phase = Phase::Root;
+        Ok(())
+    }
+
+    fn visit_new(&mut self, heap: &mut Heap, obj: ObjRef, ctx: &TraceCtx<'_>) -> Visit {
+        let (flags, class) = {
+            let o = heap.get(obj).expect("traced object is live");
+            (o.flags(), o.class())
+        };
+
+        // assert-instances: count every traced object of a tracked class
+        // ("we check the RVMClass of every object during tracing").
+        if heap.registry().info(class).instance_limit.is_some() {
+            heap.registry_mut().info_mut(class).instance_count += 1;
+            self.counters.tracked_instances_counted += 1;
+        }
+
+        // assert-dead: the object is reachable (we just marked it).
+        if flags.contains(Flags::DEAD) {
+            self.counters.dead_bits_seen += 1;
+            if self.should_report(heap, obj) {
+                self.violations.push(Violation {
+                    kind: ViolationKind::DeadReachable {
+                        object: obj,
+                        class_name: heap.registry().name(class).to_owned(),
+                    },
+                    path: ctx.current_path(heap),
+                });
+            }
+            if self.lifetime_reaction == Reaction::ForceTrue {
+                if let Some(edge) = ctx.parent_edge() {
+                    self.dead_edges.push(edge);
+                }
+            }
+        }
+
+        match self.phase {
+            Phase::Ownership(current) | Phase::DeferredOwnership(current) => {
+                if flags.contains(Flags::OWNEE) {
+                    self.counters.ownees_checked += 1;
+                    if self.ownership.entry_contains(current, obj) {
+                        heap.set_flag(obj, Flags::OWNED)
+                            .expect("traced object is live");
+                        self.deferred.push((obj, current));
+                    } else if matches!(self.phase, Phase::Ownership(_)) {
+                        // A *direct* owner scan reached another owner's
+                        // ownee: the disjointness restriction is violated
+                        // (§2.5.2, "improper use of the assertion").
+                        let scanned_owner = self.ownership.owner_at(current);
+                        self.violations.push(Violation {
+                            kind: ViolationKind::ImproperOwnership {
+                                ownee: obj,
+                                ownee_class: heap.registry().name(class).to_owned(),
+                                scanned_owner,
+                                scanned_owner_class: Self::class_name(heap, scanned_owner),
+                            },
+                            path: ctx.current_path(heap),
+                        });
+                    } else {
+                        // Reached below an ownee (a back edge out of the
+                        // owner region, e.g. Order -> Customer ->
+                        // lastOrder). Its own owner's deferred chains may
+                        // still credit it, so hold the verdict until the
+                        // ownership phase completes.
+                        self.pending_unowned.push((obj, ctx.current_path(heap)));
+                    }
+                    // Truncate: ownees stop the scan and are processed
+                    // from the deferred queue.
+                    return Visit::Skip;
+                }
+                if flags.contains(Flags::OWNER) {
+                    // "If we encounter another owner, mark it and stop the
+                    // scan — we will scan this owner independently."
+                    return Visit::Skip;
+                }
+                Visit::Descend
+            }
+            Phase::Root | Phase::Idle => {
+                if flags.contains(Flags::OWNEE) && !flags.contains(Flags::OWNED) {
+                    // Phase 2: "If we encounter an ownee it means that it
+                    // is not properly owned, or it would have been marked
+                    // in the first phase."
+                    if self.should_report(heap, obj) {
+                        let (owner, owner_class) = match self.ownership.owner_of(obj) {
+                            Some(idx) => {
+                                let e = self.ownership.entry(idx);
+                                (e.owner, e.owner_class.clone())
+                            }
+                            None => (ObjRef::NULL, "<unknown>".to_owned()),
+                        };
+                        self.violations.push(Violation {
+                            kind: ViolationKind::NotOwned {
+                                ownee: obj,
+                                ownee_class: heap.registry().name(class).to_owned(),
+                                owner,
+                                owner_class,
+                            },
+                            path: ctx.current_path(heap),
+                        });
+                    }
+                }
+                Visit::Descend
+            }
+        }
+    }
+
+    fn visit_marked(&mut self, heap: &mut Heap, obj: ObjRef, ctx: &TraceCtx<'_>) {
+        let flags = heap.get(obj).expect("traced object is live").flags();
+        // During the ownership phase, an already-marked ownee of the
+        // *current* owner may have been marked through another region's
+        // back edge before its owner's scan reached it — credit it now and
+        // resume below it (its children were truncated when first seen).
+        if let Phase::Ownership(current) | Phase::DeferredOwnership(current) = self.phase {
+            if flags.contains(Flags::OWNEE)
+                && !flags.contains(Flags::OWNED)
+                && self.ownership.entry_contains(current, obj)
+            {
+                heap.set_flag(obj, Flags::OWNED)
+                    .expect("traced object is live");
+                self.deferred.push((obj, current));
+            }
+        }
+        // assert-unshared: an already-marked object reached through another
+        // edge has (at least) two incoming pointers.
+        if flags.contains(Flags::UNSHARED) && self.should_report(heap, obj) {
+            let class_name = Self::class_name(heap, obj);
+            self.violations.push(Violation {
+                kind: ViolationKind::Shared {
+                    object: obj,
+                    class_name,
+                },
+                path: ctx.current_path(heap),
+            });
+        }
+        // Additional incoming edges to an asserted-dead object must also
+        // be severed for ForceTrue to actually free it next cycle.
+        if flags.contains(Flags::DEAD) && self.lifetime_reaction == Reaction::ForceTrue {
+            if let Some(edge) = ctx.parent_edge() {
+                self.dead_edges.push(edge);
+            }
+        }
+    }
+
+    fn swept(&mut self, heap: &Heap, obj: ObjRef) {
+        // A flag test per reclaimed object — the header is already being
+        // touched by the free.
+        if let Ok(o) = heap.get(obj) {
+            let flags = o.flags();
+            if flags.contains(Flags::OWNEE) {
+                self.swept_ownees.push(obj);
+            }
+            if flags.contains(Flags::OWNER) {
+                self.swept_owners.push(obj);
+            }
+        }
+    }
+
+    fn trace_done(&mut self, heap: &mut Heap) {
+        // assert-instances: "at the end of GC, we iterate through our list
+        // of tracked types, checking whether the instance limit has been
+        // violated."
+        let tracked: Vec<_> = heap.registry().tracked().to_vec();
+        for class in tracked {
+            let info = heap.registry().info(class);
+            if let Some(limit) = info.instance_limit {
+                if info.instance_count > limit {
+                    self.violations.push(Violation {
+                        kind: ViolationKind::InstanceLimit {
+                            class_name: info.name().to_owned(),
+                            limit,
+                            count: info.instance_count,
+                        },
+                        path: gca_collector::HeapPath::empty(),
+                    });
+                }
+            }
+        }
+    }
+
+    fn gc_end(&mut self, heap: &mut Heap, _cycle: &gca_collector::CycleStats) {
+        // ForceTrue: sever the recorded incoming edges so the object dies
+        // at the next collection (§2.6 "force the assertion to be true").
+        if self.lifetime_reaction == Reaction::ForceTrue {
+            for (parent, field) in self.dead_edges.drain(..) {
+                if heap.is_valid(parent) {
+                    let _ = heap.set_ref_field(parent, field, ObjRef::NULL);
+                }
+            }
+        }
+        // Retire pairs whose participants died this cycle (recorded by
+        // the sweep hook).
+        let swept_ownees = std::mem::take(&mut self.swept_ownees);
+        let swept_owners = std::mem::take(&mut self.swept_owners);
+        let retired = self.ownership.retire(heap, &swept_ownees, &swept_owners);
+        if self.strict_owner_lifetime {
+            for (owner_class, survivors) in retired {
+                for ownee in survivors {
+                    let ownee_class = Self::class_name(heap, ownee);
+                    self.violations.push(Violation {
+                        kind: ViolationKind::OwneeOutlivedOwner {
+                            ownee,
+                            ownee_class,
+                            owner_class: owner_class.clone(),
+                        },
+                        path: gca_collector::HeapPath::empty(),
+                    });
+                }
+            }
+        }
+        self.phase = Phase::Idle;
+    }
+}

@@ -1,0 +1,111 @@
+//! VM error type.
+
+use std::error::Error;
+use std::fmt;
+
+use gca_heap::{HeapError, ObjRef};
+
+use crate::mutator::MutatorId;
+
+/// Errors returned by [`crate::Vm`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VmError {
+    /// An underlying heap error (stale reference, bad field index,
+    /// out-of-memory, …).
+    Heap(HeapError),
+    /// The VM halted after a violation under [`crate::Reaction::Halt`];
+    /// no further mutator work is accepted.
+    Halted,
+    /// The assertion API was used on a [`crate::Mode::Base`] VM, which
+    /// models the unmodified collector and has no assertion support.
+    BaseMode,
+    /// `start_region` while the mutator already has an active region
+    /// (regions do not nest; each thread is either in or out of a region,
+    /// §2.3.2).
+    RegionActive(MutatorId),
+    /// `assert_alldead` without a preceding `start_region`.
+    NoRegion(MutatorId),
+    /// The mutator id does not name a live mutator.
+    NoSuchMutator(MutatorId),
+    /// `pop_frame` on a mutator whose base frame would be removed.
+    NoFrame(MutatorId),
+    /// `remove_global` for a reference that is not a global root.
+    GlobalNotFound(ObjRef),
+    /// `set_root` with an out-of-range slot.
+    BadRootSlot {
+        /// Mutator whose root stack was addressed.
+        mutator: MutatorId,
+        /// Requested slot.
+        slot: usize,
+        /// Current root-stack size.
+        len: usize,
+    },
+    /// An `assert_owned_by` registration that violates the disjointness
+    /// restriction (an owner may not be an ownee and vice versa, and an
+    /// object cannot own itself); the message names the conflict.
+    OwnershipConflict(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Heap(e) => write!(f, "heap error: {e}"),
+            VmError::Halted => write!(f, "vm halted after assertion violation"),
+            VmError::BaseMode => {
+                write!(f, "assertion api unavailable: vm is in base (uninstrumented) mode")
+            }
+            VmError::RegionActive(m) => {
+                write!(f, "mutator {m} already has an active allocation region")
+            }
+            VmError::NoRegion(m) => write!(f, "mutator {m} has no active allocation region"),
+            VmError::NoSuchMutator(m) => write!(f, "no such mutator: {m}"),
+            VmError::NoFrame(m) => write!(f, "mutator {m} has no poppable frame"),
+            VmError::GlobalNotFound(r) => write!(f, "reference {r} is not a global root"),
+            VmError::BadRootSlot { mutator, slot, len } => write!(
+                f,
+                "root slot {slot} out of range for mutator {mutator} with {len} roots"
+            ),
+            VmError::OwnershipConflict(msg) => write!(f, "ownership conflict: {msg}"),
+        }
+    }
+}
+
+impl Error for VmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VmError::Heap(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HeapError> for VmError {
+    fn from(e: HeapError) -> VmError {
+        VmError::Heap(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(VmError::Halted.to_string().contains("halted"));
+        assert!(VmError::BaseMode.to_string().contains("base"));
+        assert!(VmError::from(HeapError::NullRef)
+            .to_string()
+            .contains("null reference"));
+        assert!(VmError::OwnershipConflict("x owns itself".into())
+            .to_string()
+            .contains("x owns itself"));
+    }
+
+    #[test]
+    fn source_chains_heap_error() {
+        let e = VmError::from(HeapError::NullRef);
+        assert!(e.source().is_some());
+        assert!(VmError::Halted.source().is_none());
+    }
+}

@@ -1,0 +1,401 @@
+//! The owner/ownee table behind `assert-ownedby` (§2.5.2).
+
+use std::collections::HashMap;
+
+use gca_heap::{Flags, Heap, ObjRef};
+
+use crate::error::VmError;
+
+/// One owner and its ownee array. The paper stores "a pair of arrays, one
+/// containing owner objects and the other containing arrays of ownee
+/// objects, one for each owner", with ownee arrays sorted for binary
+/// search; this struct is that layout.
+///
+/// Registration appends in O(1); the array is sorted lazily once per
+/// collection ([`OwnershipTable::prepare_for_gc`]), so the total sorting
+/// work per collection is the paper's n log n worst case and `assert-
+/// ownedby` stays cheap on the mutator's critical path.
+#[derive(Debug, Clone)]
+pub(crate) struct OwnerEntry {
+    pub(crate) owner: ObjRef,
+    /// Class name captured at registration so reports can still name the
+    /// owner after it dies.
+    pub(crate) owner_class: String,
+    /// Sorted between `prepare_for_gc` and the next registration.
+    pub(crate) ownees: Vec<ObjRef>,
+}
+
+/// The set of registered owner/ownee pairs.
+///
+/// Invariants maintained here (the paper's restrictions):
+///
+/// * an object is never both an owner and an ownee,
+/// * an ownee has exactly one owner (re-asserting moves it),
+/// * an object never owns itself.
+#[derive(Debug, Default)]
+pub(crate) struct OwnershipTable {
+    entries: Vec<OwnerEntry>,
+    owner_index: HashMap<ObjRef, usize>,
+    ownee_owner: HashMap<ObjRef, usize>,
+}
+
+impl OwnershipTable {
+    pub(crate) fn new() -> OwnershipTable {
+        OwnershipTable::default()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub(crate) fn ownee_count(&self) -> usize {
+        self.ownee_owner.len()
+    }
+
+    pub(crate) fn owner_at(&self, idx: usize) -> ObjRef {
+        self.entries[idx].owner
+    }
+
+    pub(crate) fn entry(&self, idx: usize) -> &OwnerEntry {
+        &self.entries[idx]
+    }
+
+    /// Table-based owner test; the engine's hot path uses the `OWNER`
+    /// header bit instead, so this is only needed by tests.
+    #[cfg(test)]
+    pub(crate) fn is_owner(&self, r: ObjRef) -> bool {
+        self.owner_index.contains_key(&r)
+    }
+
+    /// The entry index of `ownee`'s owner, if registered.
+    pub(crate) fn owner_of(&self, ownee: ObjRef) -> Option<usize> {
+        self.ownee_owner.get(&ownee).copied()
+    }
+
+    /// Binary search of entry `idx`'s sorted ownee array.
+    pub(crate) fn entry_contains(&self, idx: usize, ownee: ObjRef) -> bool {
+        self.entries[idx].ownees.binary_search(&ownee).is_ok()
+    }
+
+    /// Registers `owner` owns `ownee`, setting the `OWNEE` header bit.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::OwnershipConflict`] if the pair violates the
+    /// disjointness restrictions.
+    pub(crate) fn add(
+        &mut self,
+        heap: &mut Heap,
+        owner: ObjRef,
+        ownee: ObjRef,
+    ) -> Result<(), VmError> {
+        if owner == ownee {
+            return Err(VmError::OwnershipConflict(format!(
+                "object {owner} cannot own itself"
+            )));
+        }
+        if self.ownee_owner.contains_key(&owner) {
+            return Err(VmError::OwnershipConflict(format!(
+                "object {owner} is already an ownee and cannot also be an owner"
+            )));
+        }
+        if self.owner_index.contains_key(&ownee) {
+            return Err(VmError::OwnershipConflict(format!(
+                "object {ownee} is already an owner and cannot also be an ownee"
+            )));
+        }
+
+        // Re-asserting moves the ownee to its new owner; asserting the
+        // same pair again is a no-op.
+        if let Some(&old_idx) = self.ownee_owner.get(&ownee) {
+            if let Some(&new_idx) = self.owner_index.get(&owner) {
+                if old_idx == new_idx {
+                    return Ok(());
+                }
+            }
+            let ownees = &mut self.entries[old_idx].ownees;
+            if let Some(pos) = ownees.iter().position(|&o| o == ownee) {
+                ownees.remove(pos);
+            }
+        }
+
+        let idx = match self.owner_index.get(&owner) {
+            Some(&idx) => idx,
+            None => {
+                let owner_class = {
+                    let o = heap.get(owner).map_err(VmError::Heap)?;
+                    heap.registry().name(o.class()).to_owned()
+                };
+                let idx = self.entries.len();
+                self.entries.push(OwnerEntry {
+                    owner,
+                    owner_class,
+                    ownees: Vec::new(),
+                });
+                self.owner_index.insert(owner, idx);
+                // The OWNER header bit lets the tracer recognize owner
+                // boundaries with a flag test instead of a map lookup on
+                // every traced object.
+                heap.set_flag(owner, Flags::OWNER).map_err(VmError::Heap)?;
+                idx
+            }
+        };
+
+        // O(1) append; the `ownee_owner` map guarantees no duplicates.
+        self.entries[idx].ownees.push(ownee);
+        self.ownee_owner.insert(ownee, idx);
+        heap.set_flag(ownee, Flags::OWNEE).map_err(VmError::Heap)?;
+        Ok(())
+    }
+
+    /// Sorts every ownee array, restoring the binary-search invariant the
+    /// tracing-time checks rely on. Called once at the start of each
+    /// collection — this is where the paper's n log n worst case lives.
+    pub(crate) fn prepare_for_gc(&mut self) {
+        for entry in &mut self.entries {
+            if !entry.ownees.is_sorted() {
+                entry.ownees.sort_unstable();
+            }
+        }
+    }
+
+    /// Unregisters an ownee (e.g. the program legitimately removed and
+    /// discarded it); clears its `OWNEE` bit if it is still live.
+    pub(crate) fn remove_ownee(&mut self, heap: &mut Heap, ownee: ObjRef) -> bool {
+        match self.ownee_owner.remove(&ownee) {
+            Some(idx) => {
+                let ownees = &mut self.entries[idx].ownees;
+                if let Some(pos) = ownees.iter().position(|&o| o == ownee) {
+                    ownees.remove(pos);
+                }
+                if heap.is_valid(ownee) {
+                    let _ = heap.clear_flag(ownee, Flags::OWNEE);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Post-sweep maintenance ("we must remove each unreachable ownee
+    /// after a GC", §3.1.2): drops the ownees and owners the sweep just
+    /// freed — the engine records them from its `swept` hook, so this
+    /// costs O(dead) rather than a rescan of the whole table. Entries of
+    /// dead owners are dropped with the `OWNEE` bit of their surviving
+    /// ownees cleared, so the next collection does not check an
+    /// unregistered pair.
+    ///
+    /// Returns, for each dead owner, its class name and surviving ownees
+    /// (consumed by the strict-owner-lifetime extension).
+    pub(crate) fn retire(
+        &mut self,
+        heap: &mut Heap,
+        dead_ownees: &[ObjRef],
+        dead_owners: &[ObjRef],
+    ) -> Vec<(String, Vec<ObjRef>)> {
+        // 1. Drop dead ownees from their entries, grouped so each affected
+        //    entry is filtered once.
+        if !dead_ownees.is_empty() {
+            let mut by_entry: HashMap<usize, Vec<ObjRef>> = HashMap::new();
+            for &o in dead_ownees {
+                if let Some(idx) = self.ownee_owner.remove(&o) {
+                    by_entry.entry(idx).or_default().push(o);
+                }
+            }
+            for (idx, mut dead) in by_entry {
+                dead.sort_unstable();
+                self.entries[idx]
+                    .ownees
+                    .retain(|o| dead.binary_search(o).is_err());
+            }
+        }
+
+        if dead_owners.is_empty() {
+            return Vec::new();
+        }
+
+        // 2. Retire entries whose owner died.
+        let mut retired = Vec::new();
+        for &owner in dead_owners {
+            let Some(&idx) = self.owner_index.get(&owner) else {
+                continue;
+            };
+            let entry = &self.entries[idx];
+            for &ownee in &entry.ownees {
+                let _ = heap.clear_flag(ownee, Flags::OWNEE);
+            }
+            retired.push((entry.owner_class.clone(), entry.ownees.clone()));
+        }
+
+        // 3. Rebuild the table without the dead entries (indices shift, so
+        //    both maps are rebuilt).
+        let old = std::mem::take(&mut self.entries);
+        self.owner_index.clear();
+        self.ownee_owner.clear();
+        for entry in old {
+            if dead_owners.contains(&entry.owner) {
+                continue;
+            }
+            let idx = self.entries.len();
+            self.owner_index.insert(entry.owner, idx);
+            for &ownee in &entry.ownees {
+                self.ownee_owner.insert(ownee, idx);
+            }
+            self.entries.push(entry);
+        }
+        retired
+    }
+
+    /// Scan-based retirement used by unit tests: computes the dead sets by
+    /// checking every participant's validity, then delegates to
+    /// [`OwnershipTable::retire`].
+    #[cfg(test)]
+    pub(crate) fn retire_dead(&mut self, heap: &mut Heap) -> Vec<(String, Vec<ObjRef>)> {
+        let dead_ownees: Vec<ObjRef> = self
+            .ownee_owner
+            .keys()
+            .copied()
+            .filter(|&o| !heap.is_valid(o))
+            .collect();
+        let dead_owners: Vec<ObjRef> = self
+            .entries
+            .iter()
+            .map(|e| e.owner)
+            .filter(|&o| !heap.is_valid(o))
+            .collect();
+        self.retire(heap, &dead_ownees, &dead_owners)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Heap, ObjRef, ObjRef, ObjRef) {
+        let mut heap = Heap::new();
+        let c = heap.register_class("C", &["f", "g"]);
+        let owner = heap.alloc(c, 2, 0).unwrap();
+        let a = heap.alloc(c, 2, 0).unwrap();
+        let b = heap.alloc(c, 2, 0).unwrap();
+        (heap, owner, a, b)
+    }
+
+    #[test]
+    fn add_and_query() {
+        let (mut heap, owner, a, b) = setup();
+        let mut t = OwnershipTable::new();
+        t.add(&mut heap, owner, a).unwrap();
+        t.add(&mut heap, owner, b).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.ownee_count(), 2);
+        assert!(t.is_owner(owner));
+        assert!(!t.is_owner(a));
+        assert_eq!(t.owner_of(a), Some(0));
+        assert!(t.entry_contains(0, a));
+        assert!(t.entry_contains(0, b));
+        assert!(heap.has_flag(a, Flags::OWNEE).unwrap());
+        assert_eq!(t.entry(0).owner_class, "C");
+    }
+
+    #[test]
+    fn self_ownership_rejected() {
+        let (mut heap, owner, _, _) = setup();
+        let mut t = OwnershipTable::new();
+        assert!(matches!(
+            t.add(&mut heap, owner, owner),
+            Err(VmError::OwnershipConflict(_))
+        ));
+    }
+
+    #[test]
+    fn owner_ownee_role_conflicts_rejected() {
+        let (mut heap, owner, a, b) = setup();
+        let mut t = OwnershipTable::new();
+        t.add(&mut heap, owner, a).unwrap();
+        // a is an ownee; it cannot become an owner.
+        assert!(matches!(
+            t.add(&mut heap, a, b),
+            Err(VmError::OwnershipConflict(_))
+        ));
+        // owner is an owner; it cannot become an ownee.
+        t.add(&mut heap, b, owner).unwrap_err();
+    }
+
+    #[test]
+    fn reassert_moves_ownee() {
+        let (mut heap, owner, a, _) = setup();
+        let c = heap.register_class("C", &[]);
+        let owner2 = heap.alloc(c, 0, 0).unwrap();
+        let mut t = OwnershipTable::new();
+        t.add(&mut heap, owner, a).unwrap();
+        t.add(&mut heap, owner2, a).unwrap();
+        assert_eq!(t.owner_of(a), Some(1));
+        assert!(!t.entry_contains(0, a));
+        assert!(t.entry_contains(1, a));
+        assert_eq!(t.ownee_count(), 1);
+    }
+
+    #[test]
+    fn remove_ownee_clears_flag() {
+        let (mut heap, owner, a, _) = setup();
+        let mut t = OwnershipTable::new();
+        t.add(&mut heap, owner, a).unwrap();
+        assert!(t.remove_ownee(&mut heap, a));
+        assert!(!t.remove_ownee(&mut heap, a));
+        assert!(!heap.has_flag(a, Flags::OWNEE).unwrap());
+        assert_eq!(t.ownee_count(), 0);
+    }
+
+    #[test]
+    fn retire_dead_ownees() {
+        let (mut heap, owner, a, b) = setup();
+        let mut t = OwnershipTable::new();
+        t.add(&mut heap, owner, a).unwrap();
+        t.add(&mut heap, owner, b).unwrap();
+        heap.free(a).unwrap();
+        let retired = t.retire_dead(&mut heap);
+        assert!(retired.is_empty()); // owner still alive
+        assert_eq!(t.ownee_count(), 1);
+        assert!(t.entry_contains(0, b));
+    }
+
+    #[test]
+    fn retire_dead_owner_clears_surviving_ownee_flags() {
+        let (mut heap, owner, a, b) = setup();
+        let mut t = OwnershipTable::new();
+        t.add(&mut heap, owner, a).unwrap();
+        t.add(&mut heap, owner, b).unwrap();
+        heap.free(owner).unwrap();
+        heap.free(b).unwrap();
+        let retired = t.retire_dead(&mut heap);
+        assert_eq!(retired.len(), 1);
+        let (class, survivors) = &retired[0];
+        assert_eq!(class, "C");
+        assert_eq!(survivors.as_slice(), &[a]);
+        assert!(t.is_empty());
+        assert_eq!(t.ownee_count(), 0);
+        assert!(!heap.has_flag(a, Flags::OWNEE).unwrap());
+    }
+
+    #[test]
+    fn retire_rebuilds_indices() {
+        // Two owners; kill the first; the second's index must be remapped.
+        let (mut heap, owner1, a, b) = setup();
+        let c = heap.register_class("C", &[]);
+        let owner2 = heap.alloc(c, 0, 0).unwrap();
+        let mut t = OwnershipTable::new();
+        t.add(&mut heap, owner1, a).unwrap();
+        t.add(&mut heap, owner2, b).unwrap();
+        heap.free(owner1).unwrap();
+        t.retire_dead(&mut heap);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.owner_at(0), owner2);
+        assert_eq!(t.owner_of(b), Some(0));
+        assert!(t.entry_contains(0, b));
+        assert_eq!(t.owner_of(a), None);
+    }
+}

@@ -1,0 +1,79 @@
+//! Per-collection reports.
+
+use std::fmt;
+
+use gca_collector::CycleStats;
+
+use crate::violation::Violation;
+
+/// Per-cycle assertion-checking counters — the quantities the paper
+/// reports in §3.1.2 (e.g. "during each GC we check on average 15,274
+/// ownee objects").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckCounters {
+    /// Owner objects whose subgraphs the ownership phase scanned.
+    pub owners_scanned: u64,
+    /// Ownee objects checked for correct ownership during this cycle.
+    pub ownees_checked: u64,
+    /// Ownees taken off the deferred queue and scanned after the owner
+    /// scans completed.
+    pub deferred_ownees_processed: u64,
+    /// Objects whose `DEAD` bit was found set during tracing (reachable
+    /// asserted-dead objects; equals the dead-reachable violations plus
+    /// re-encounters).
+    pub dead_bits_seen: u64,
+    /// Live instances counted across all tracked classes this cycle.
+    pub tracked_instances_counted: u64,
+}
+
+/// The result of one [`crate::Vm::collect`] call: collector timing plus
+/// the assertion violations detected during the cycle.
+#[derive(Debug, Clone, Default)]
+pub struct GcReport {
+    /// Collector phase timings and object counts for the cycle.
+    pub cycle: CycleStats,
+    /// Violations detected this cycle, in detection order.
+    pub violations: Vec<Violation>,
+    /// Assertion-checking work performed this cycle.
+    pub counters: CheckCounters,
+    /// `true` if the VM halted because of a violation under
+    /// [`crate::Reaction::Halt`].
+    pub halted: bool,
+}
+
+impl GcReport {
+    /// Returns `true` if no assertion failed this cycle.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for GcReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} violation(s), {} ownees checked, {} owners scanned, cycle {:?}",
+            self.violations.len(),
+            self.counters.ownees_checked,
+            self.counters.owners_scanned,
+            self.cycle.total
+        )?;
+        if self.halted {
+            write!(f, " [halted]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report() {
+        let r = GcReport::default();
+        assert!(r.is_clean());
+        assert!(!r.halted);
+        assert!(r.to_string().contains("0 violation(s)"));
+    }
+}

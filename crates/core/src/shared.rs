@@ -1,0 +1,306 @@
+//! Real-thread access to a VM: stop-the-world via a global lock.
+//!
+//! The paper's platform runs real Java threads and stops the world to
+//! collect. [`SharedVm`] gives the reproduction the same shape with OS
+//! threads: every VM operation takes the world lock, and since
+//! collections happen inside an operation (allocation pressure or an
+//! explicit `collect`), a collecting thread automatically has exclusive
+//! access — all other mutators are stopped at the lock.
+//!
+//! [`VmThread`] is the per-thread face: it remembers its `MutatorId`, so
+//! worker code reads like single-threaded VM code. Regions (§2.3.2) are
+//! naturally per-thread, matching the paper's design.
+//!
+//! # Example
+//!
+//! ```
+//! use gc_assertions::{SharedVm, VmConfig};
+//! use std::thread;
+//!
+//! let shared = SharedVm::new(VmConfig::new());
+//! let class = shared.with(|vm| vm.register_class("Buf", &[]));
+//!
+//! let handles: Vec<_> = (0..4)
+//!     .map(|_| {
+//!         let t = shared.spawn_thread();
+//!         thread::spawn(move || {
+//!             for _ in 0..100 {
+//!                 t.alloc(class, 0, 4).unwrap();
+//!             }
+//!         })
+//!     })
+//!     .collect();
+//! for h in handles {
+//!     h.join().unwrap();
+//! }
+//! let report = shared.with(|vm| vm.collect()).unwrap();
+//! assert!(report.is_clean());
+//! ```
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use gca_heap::{ClassId, ObjRef};
+
+use crate::config::VmConfig;
+use crate::error::VmError;
+use crate::mutator::MutatorId;
+use crate::report::GcReport;
+use crate::vm::Vm;
+
+/// A [`Vm`] shared between OS threads behind the world lock.
+#[derive(Debug, Clone)]
+pub struct SharedVm {
+    inner: Arc<Mutex<Vm>>,
+}
+
+impl SharedVm {
+    /// Creates a shared VM.
+    pub fn new(config: VmConfig) -> SharedVm {
+        SharedVm {
+            inner: Arc::new(Mutex::new(Vm::new(config))),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Vm> {
+        // A panic while holding the world lock poisons it; the heap
+        // itself is never left inconsistent by a panicking *caller*
+        // (operations are transactional at the API level), so recover.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the VM (the world is stopped).
+    pub fn with<R>(&self, f: impl FnOnce(&mut Vm) -> R) -> R {
+        f(&mut self.lock())
+    }
+
+    /// Registers a mutator for a new worker thread and returns its
+    /// per-thread handle.
+    pub fn spawn_thread(&self) -> VmThread {
+        let mutator = self.lock().spawn_mutator();
+        VmThread {
+            vm: SharedVm {
+                inner: Arc::clone(&self.inner),
+            },
+            mutator,
+        }
+    }
+
+    /// A handle bound to the main mutator.
+    pub fn main_thread(&self) -> VmThread {
+        let mutator = self.lock().main();
+        VmThread {
+            vm: SharedVm {
+                inner: Arc::clone(&self.inner),
+            },
+            mutator,
+        }
+    }
+
+    /// Stops the world and collects.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::collect`].
+    pub fn collect(&self) -> Result<GcReport, VmError> {
+        self.lock().collect()
+    }
+}
+
+/// A per-thread view of a [`SharedVm`]: the thread's `MutatorId` plus the
+/// world lock. All methods lock for the duration of one VM operation.
+#[derive(Debug, Clone)]
+pub struct VmThread {
+    vm: SharedVm,
+    mutator: MutatorId,
+}
+
+impl VmThread {
+    /// This thread's mutator id.
+    pub fn mutator(&self) -> MutatorId {
+        self.mutator
+    }
+
+    /// Runs `f` with the world stopped (escape hatch for multi-step
+    /// operations that must be atomic with respect to other threads).
+    pub fn with<R>(&self, f: impl FnOnce(&mut Vm, MutatorId) -> R) -> R {
+        let m = self.mutator;
+        self.vm.with(|vm| f(vm, m))
+    }
+
+    /// Allocates on behalf of this thread; see [`Vm::alloc`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::alloc`].
+    pub fn alloc(&self, class: ClassId, nrefs: usize, data_words: usize) -> Result<ObjRef, VmError> {
+        self.with(|vm, m| vm.alloc(m, class, nrefs, data_words))
+    }
+
+    /// Allocates and roots in this thread's current frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::alloc_rooted`].
+    pub fn alloc_rooted(
+        &self,
+        class: ClassId,
+        nrefs: usize,
+        data_words: usize,
+    ) -> Result<ObjRef, VmError> {
+        self.with(|vm, m| vm.alloc_rooted(m, class, nrefs, data_words))
+    }
+
+    /// Writes a reference field; see [`Vm::set_field`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::set_field`].
+    pub fn set_field(&self, obj: ObjRef, field: usize, value: ObjRef) -> Result<ObjRef, VmError> {
+        self.with(|vm, _| vm.set_field(obj, field, value))
+    }
+
+    /// Reads a reference field; see [`Vm::field`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::field`].
+    pub fn field(&self, obj: ObjRef, field: usize) -> Result<ObjRef, VmError> {
+        self.with(|vm, _| vm.field(obj, field))
+    }
+
+    /// Pushes a root frame on this thread's shadow stack.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::push_frame`].
+    pub fn push_frame(&self) -> Result<(), VmError> {
+        self.with(|vm, m| vm.push_frame(m))
+    }
+
+    /// Pops this thread's top root frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::pop_frame`].
+    pub fn pop_frame(&self) -> Result<(), VmError> {
+        self.with(|vm, m| vm.pop_frame(m))
+    }
+
+    /// Adds a root to this thread's current frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::add_root`].
+    pub fn add_root(&self, r: ObjRef) -> Result<usize, VmError> {
+        self.with(|vm, m| vm.add_root(m, r))
+    }
+
+    /// `assert-dead` from this thread; see [`Vm::assert_dead`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::assert_dead`].
+    pub fn assert_dead(&self, p: ObjRef) -> Result<(), VmError> {
+        self.with(|vm, _| vm.assert_dead(p))
+    }
+
+    /// Starts this thread's allocation region; see [`Vm::start_region`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::start_region`].
+    pub fn start_region(&self) -> Result<(), VmError> {
+        self.with(|vm, m| vm.start_region(m))
+    }
+
+    /// Ends this thread's region; see [`Vm::assert_alldead`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::assert_alldead`].
+    pub fn assert_alldead(&self) -> Result<usize, VmError> {
+        self.with(|vm, m| vm.assert_alldead(m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn concurrent_allocation_is_consistent() {
+        let shared = SharedVm::new(VmConfig::new().heap_budget_words(4_000).grow_on_oom(true));
+        let class = shared.with(|vm| vm.register_class("T", &[]));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let t = shared.spawn_thread();
+                thread::spawn(move || {
+                    for _ in 0..500 {
+                        t.alloc(class, 0, 4).unwrap(); // churn
+                    }
+                })
+            })
+            .collect();
+        for h in threads {
+            h.join().unwrap();
+        }
+        shared.collect().unwrap();
+        let (allocs, live) = shared.with(|vm| (vm.heap_stats().allocations, vm.heap().live_objects()));
+        assert_eq!(allocs, 8 * 500);
+        assert_eq!(live, 0, "all churn reclaimed");
+    }
+
+    #[test]
+    fn per_thread_regions_under_real_threads() {
+        let shared = SharedVm::new(VmConfig::new().heap_budget_words(1 << 20));
+        let class = shared.with(|vm| vm.register_class("Req", &[]));
+        let leak_holder = shared.with(|vm| {
+            let m = vm.main();
+            let holder_class = vm.register_class("Holder", &["h"]);
+            let h = vm.alloc(m, holder_class, 1, 0).unwrap();
+            vm.add_root(m, h).unwrap();
+            h
+        });
+
+        // 4 clean workers, 2 leaky workers (each leaks exactly one
+        // region object into the shared holder; last write wins, so at
+        // least one leak is pinned).
+        let mut joins = Vec::new();
+        for leaky in [false, false, false, false, true] {
+            let t = shared.spawn_thread();
+            joins.push(thread::spawn(move || {
+                for _ in 0..20 {
+                    t.start_region().unwrap();
+                    t.push_frame().unwrap();
+                    let r = t.alloc_rooted(class, 0, 4).unwrap();
+                    if leaky {
+                        t.set_field(leak_holder, 0, r).unwrap();
+                    }
+                    t.pop_frame().unwrap();
+                    t.assert_alldead().unwrap();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let report = shared.collect().unwrap();
+        // Exactly the one object still held by the holder violates.
+        assert_eq!(report.violations.len(), 1, "{report}");
+    }
+
+    #[test]
+    fn thread_handles_are_cloneable_and_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<SharedVm>();
+        assert_send::<VmThread>();
+        let shared = SharedVm::new(VmConfig::new());
+        let t = shared.main_thread();
+        let t2 = t.clone();
+        assert_eq!(t.mutator(), t2.mutator());
+    }
+}

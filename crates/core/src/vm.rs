@@ -1,0 +1,1050 @@
+//! The VM façade: heap + collector + assertion engine + mutators.
+
+use gca_collector::{Collector, GcStats, NoHooks};
+use gca_heap::{ClassId, Flags, Heap, HeapError, HeapStats, ObjRef, TypeRegistry, HEADER_WORDS};
+
+use crate::config::{Mode, Reaction, VmConfig};
+use crate::engine::AssertionEngine;
+use crate::error::VmError;
+use crate::mutator::{Mutator, MutatorId, Region};
+use crate::report::GcReport;
+
+/// Cumulative counts of assertion API calls, matching the quantities the
+/// paper reports ("695 calls to assert-dead and 15,553 calls to
+/// assert-ownedBy", §3.1.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AssertionCallCounts {
+    /// `assert_dead` calls (direct only; region objects are counted
+    /// separately).
+    pub dead: u64,
+    /// `start_region` calls.
+    pub regions_started: u64,
+    /// Objects queued by active regions and asserted dead at
+    /// `assert_alldead`.
+    pub region_objects: u64,
+    /// `assert_unshared` calls.
+    pub unshared: u64,
+    /// `assert_instances` calls.
+    pub instances: u64,
+    /// `assert_owned_by` calls.
+    pub owned_by: u64,
+}
+
+/// A managed-heap virtual machine with GC assertions.
+///
+/// `Vm` is the programmer-facing interface of the reproduction: it owns
+/// the [`Heap`], the mark-sweep [`Collector`], the [`AssertionEngine`],
+/// and the simulated mutator threads, and implements the paper's
+/// allocation-triggered collection policy (fixed heap budget; collect when
+/// an allocation would exceed it).
+///
+/// # Roots
+///
+/// The VM cannot see the mutator's Rust locals, so reachability is defined
+/// by *registered* roots: per-mutator shadow stacks ([`Vm::add_root`],
+/// scoped by [`Vm::push_frame`]/[`Vm::pop_frame`]) and global roots
+/// ([`Vm::add_global`]). An allocated object that is not reachable from a
+/// root may be reclaimed by any later collection — root it before the next
+/// allocation if it must survive.
+///
+/// # Example
+///
+/// ```
+/// use gc_assertions::{Vm, VmConfig};
+///
+/// # fn main() -> Result<(), gc_assertions::VmError> {
+/// let mut vm = Vm::new(VmConfig::new());
+/// let node = vm.register_class("Node", &["next"]);
+/// let m = vm.main();
+///
+/// let head = vm.alloc(m, node, 1, 0)?;
+/// vm.add_root(m, head)?;
+/// let tail = vm.alloc(m, node, 1, 0)?;
+/// vm.set_field(head, 0, tail)?;
+///
+/// // Drop the list and assert the tail dies.
+/// vm.assert_dead(tail)?;
+/// vm.set_field(head, 0, gc_assertions::ObjRef::NULL)?;
+/// let report = vm.collect()?;
+/// assert!(report.is_clean());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Vm {
+    heap: Heap,
+    collector: Collector,
+    engine: AssertionEngine,
+    config: VmConfig,
+    budget: usize,
+    mutators: Vec<Mutator>,
+    globals: Vec<ObjRef>,
+    halted: bool,
+    calls: AssertionCallCounts,
+    collections_requested: u64,
+    violation_log: Vec<crate::violation::Violation>,
+    totals: crate::report::CheckCounters,
+    handler: Handler,
+    /// Generational mode: objects allocated since the last collection.
+    young: Vec<ObjRef>,
+    /// Generational mode: write-barrier log of old objects that may
+    /// reference young objects.
+    remembered: Vec<ObjRef>,
+    minors_since_major: usize,
+    minor_collections: u64,
+    minor_gc_time: std::time::Duration,
+}
+
+/// Boxed callback type for [`Vm::set_violation_handler`].
+type HandlerFn = Box<dyn FnMut(&crate::violation::Violation, &TypeRegistry) + Send>;
+
+/// The programmatic violation handler (§2.6 future work: "a programmatic
+/// interface that would allow the programmer to test the conditions
+/// directly and take action in an application-specific manner").
+#[derive(Default)]
+struct Handler(Option<HandlerFn>);
+
+impl std::fmt::Debug for Handler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0 {
+            Some(_) => f.write_str("Handler(set)"),
+            None => f.write_str("Handler(none)"),
+        }
+    }
+}
+
+impl Vm {
+    /// Creates a VM with one mutator (the main thread, [`Vm::main`]).
+    pub fn new(config: VmConfig) -> Vm {
+        let budget = config.heap_budget;
+        Vm {
+            heap: Heap::new(),
+            collector: Collector::new(),
+            engine: AssertionEngine::new(&config),
+            config,
+            budget,
+            mutators: vec![Mutator::new()],
+            globals: Vec::new(),
+            halted: false,
+            calls: AssertionCallCounts::default(),
+            collections_requested: 0,
+            violation_log: Vec::new(),
+            totals: crate::report::CheckCounters::default(),
+            handler: Handler(None),
+            young: Vec::new(),
+            remembered: Vec::new(),
+            minors_since_major: 0,
+            minor_collections: 0,
+            minor_gc_time: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Installs a programmatic violation handler, called once per
+    /// violation at each collection (in addition to the configured
+    /// [`Reaction`]). Replaces any previous handler.
+    pub fn set_violation_handler<F>(&mut self, handler: F)
+    where
+        F: FnMut(&crate::violation::Violation, &TypeRegistry) + Send + 'static,
+    {
+        self.handler = Handler(Some(Box::new(handler)));
+    }
+
+    /// Removes the programmatic violation handler.
+    pub fn clear_violation_handler(&mut self) {
+        self.handler = Handler(None);
+    }
+
+    /// The main mutator, created with the VM.
+    pub fn main(&self) -> MutatorId {
+        MutatorId(0)
+    }
+
+    /// Spawns an additional simulated mutator thread.
+    pub fn spawn_mutator(&mut self) -> MutatorId {
+        self.mutators.push(Mutator::new());
+        MutatorId((self.mutators.len() - 1) as u32)
+    }
+
+    /// Number of mutators.
+    pub fn mutator_count(&self) -> usize {
+        self.mutators.len()
+    }
+
+    fn mutator(&self, m: MutatorId) -> Result<&Mutator, VmError> {
+        self.mutators
+            .get(m.0 as usize)
+            .ok_or(VmError::NoSuchMutator(m))
+    }
+
+    fn mutator_mut(&mut self, m: MutatorId) -> Result<&mut Mutator, VmError> {
+        self.mutators
+            .get_mut(m.0 as usize)
+            .ok_or(VmError::NoSuchMutator(m))
+    }
+
+    fn check_running(&self) -> Result<(), VmError> {
+        if self.halted {
+            Err(VmError::Halted)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_instrumented(&self) -> Result<(), VmError> {
+        match self.config.mode {
+            Mode::Instrumented => Ok(()),
+            Mode::Base => Err(VmError::BaseMode),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Classes and fields
+    // ------------------------------------------------------------------
+
+    /// Registers a class (idempotent by name).
+    pub fn register_class(&mut self, name: &str, field_names: &[&str]) -> ClassId {
+        self.heap.register_class(name, field_names)
+    }
+
+    /// The type registry (for rendering reports).
+    pub fn registry(&self) -> &TypeRegistry {
+        self.heap.registry()
+    }
+
+    /// Reads a reference field.
+    ///
+    /// # Errors
+    ///
+    /// Reference-validity or field-bounds errors.
+    pub fn field(&self, obj: ObjRef, field: usize) -> Result<ObjRef, VmError> {
+        Ok(self.heap.ref_field(obj, field)?)
+    }
+
+    /// Writes a reference field, returning the old value.
+    ///
+    /// # Errors
+    ///
+    /// Reference-validity or field-bounds errors, or [`VmError::Halted`].
+    pub fn set_field(&mut self, obj: ObjRef, field: usize, value: ObjRef) -> Result<ObjRef, VmError> {
+        self.check_running()?;
+        let old = self.heap.set_ref_field(obj, field, value)?;
+        // Generational write barrier: record old objects that acquire
+        // references to young objects (deduplicated by the REMEMBERED
+        // header bit).
+        if self.config.generational.is_some() && value.is_some() {
+            let src = self.heap.get(obj)?.flags();
+            if src.contains(Flags::OLD) && !src.contains(Flags::REMEMBERED) {
+                let dst_old = self.heap.has_flag(value, Flags::OLD)?;
+                if !dst_old {
+                    self.heap.set_flag(obj, Flags::REMEMBERED)?;
+                    self.remembered.push(obj);
+                }
+            }
+        }
+        Ok(old)
+    }
+
+    /// Reads a data (primitive) word.
+    ///
+    /// # Errors
+    ///
+    /// Reference-validity or bounds errors.
+    pub fn data_word(&self, obj: ObjRef, index: usize) -> Result<u64, VmError> {
+        Ok(self.heap.data_word(obj, index)?)
+    }
+
+    /// Writes a data (primitive) word.
+    ///
+    /// # Errors
+    ///
+    /// Reference-validity or bounds errors, or [`VmError::Halted`].
+    pub fn set_data_word(&mut self, obj: ObjRef, index: usize, value: u64) -> Result<(), VmError> {
+        self.check_running()?;
+        Ok(self.heap.set_data_word(obj, index, value)?)
+    }
+
+    /// The class of an object.
+    ///
+    /// # Errors
+    ///
+    /// Reference-validity errors.
+    pub fn class_of(&self, obj: ObjRef) -> Result<ClassId, VmError> {
+        Ok(self.heap.class_of(obj)?)
+    }
+
+    /// Whether `obj` still names a live object.
+    pub fn is_live(&self, obj: ObjRef) -> bool {
+        self.heap.is_valid(obj)
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation and collection
+    // ------------------------------------------------------------------
+
+    /// Allocates an object on behalf of mutator `m`, collecting first if
+    /// the allocation would exceed the heap budget. If the mutator has an
+    /// active region, the object is appended to the region queue (§2.3.2).
+    ///
+    /// The returned object is **unrooted**; see the type-level discussion.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfMemory`] (wrapped) if even after collection the
+    /// budget cannot fit the object and growth is disabled, or
+    /// [`VmError::Halted`].
+    pub fn alloc(
+        &mut self,
+        m: MutatorId,
+        class: ClassId,
+        nrefs: usize,
+        data_words: usize,
+    ) -> Result<ObjRef, VmError> {
+        self.check_running()?;
+        self.mutator(m)?;
+        let size = HEADER_WORDS + nrefs + data_words;
+        if self.heap.occupied_words() + size > self.budget {
+            self.collect_auto()?;
+            self.check_running()?;
+            if self.heap.occupied_words() + size > self.budget {
+                if self.config.grow {
+                    self.budget = (self.budget * 2).max(self.heap.occupied_words() + size);
+                } else {
+                    return Err(VmError::Heap(HeapError::OutOfMemory {
+                        requested: size,
+                        budget: self.budget,
+                        occupied: self.heap.occupied_words(),
+                    }));
+                }
+            }
+        }
+        let r = self.heap.alloc(class, nrefs, data_words)?;
+        if self.config.generational.is_some() {
+            self.young.push(r);
+        }
+        if let Some(region) = &mut self.mutators[m.0 as usize].region {
+            region.queue.push(r);
+        }
+        Ok(r)
+    }
+
+    /// Allocation-triggered collection: a minor in generational mode
+    /// (with a major forced every `n` minors, or when the nursery sweep
+    /// cannot relieve the pressure), a major otherwise.
+    fn collect_auto(&mut self) -> Result<(), VmError> {
+        match self.config.generational {
+            None => {
+                self.collect()?;
+            }
+            Some(major_every) => {
+                if self.minors_since_major >= major_every {
+                    self.collect()?;
+                } else {
+                    self.collect_minor()?;
+                    if self.heap.occupied_words() * 4 > self.budget * 3 {
+                        // The nursery sweep left the heap >75% full: the
+                        // garbage is in the old generation.
+                        self.collect()?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocates and immediately roots the object in `m`'s current frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::alloc`].
+    pub fn alloc_rooted(
+        &mut self,
+        m: MutatorId,
+        class: ClassId,
+        nrefs: usize,
+        data_words: usize,
+    ) -> Result<ObjRef, VmError> {
+        let r = self.alloc(m, class, nrefs, data_words)?;
+        self.add_root(m, r)?;
+        Ok(r)
+    }
+
+    /// Runs a collection now, returning the report. Assertion violations
+    /// are handled according to the configured [`Reaction`].
+    ///
+    /// # Errors
+    ///
+    /// Heap errors from tracing (collector invariant violations).
+    /// A `Halt` reaction does **not** error here — the report's `halted`
+    /// flag is set and *subsequent* mutator work fails with
+    /// [`VmError::Halted`].
+    pub fn collect(&mut self) -> Result<GcReport, VmError> {
+        self.collections_requested += 1;
+        let roots = self.gather_roots();
+        let cycle = match self.config.mode {
+            Mode::Base => self
+                .collector
+                .collect(&mut self.heap, &roots, &mut NoHooks)?,
+            Mode::Instrumented => {
+                self.collector
+                    .collect(&mut self.heap, &roots, &mut self.engine)?
+            }
+        };
+        // Generational bookkeeping: a major collection promotes every
+        // survivor and resets the nursery and the remembered set.
+        if self.config.generational.is_some() {
+            for i in 0..self.young.len() {
+                let r = self.young[i];
+                if self.heap.is_valid(r) {
+                    self.heap.set_flag(r, Flags::OLD)?;
+                }
+            }
+            self.young.clear();
+            for i in 0..self.remembered.len() {
+                let r = self.remembered[i];
+                if self.heap.is_valid(r) {
+                    self.heap.clear_flag(r, Flags::REMEMBERED)?;
+                }
+            }
+            self.remembered.clear();
+            self.minors_since_major = 0;
+        }
+
+        // Purge region queues of entries that died during the collection
+        // (their generation check now fails).
+        for mutator in &mut self.mutators {
+            if let Some(region) = &mut mutator.region {
+                let heap = &self.heap;
+                region.queue.retain(|&r| heap.is_valid(r));
+            }
+        }
+        let (violations, counters) = self.engine.drain();
+        // Per-class reaction policy (§2.6 future work): halt if any
+        // violation's class is configured to halt; notify the
+        // programmatic handler about every violation.
+        let halted = violations
+            .iter()
+            .any(|v| self.config.effective_reaction(v.class()) == Reaction::Halt);
+        if halted {
+            self.halted = true;
+        }
+        if let Some(handler) = self.handler.0.as_mut() {
+            for v in &violations {
+                handler(v, self.heap.registry());
+            }
+        }
+        // Keep a cumulative log so violations from collections triggered
+        // implicitly inside `alloc` are not lost.
+        self.violation_log.extend(violations.iter().cloned());
+        self.totals.owners_scanned += counters.owners_scanned;
+        self.totals.ownees_checked += counters.ownees_checked;
+        self.totals.deferred_ownees_processed += counters.deferred_ownees_processed;
+        self.totals.dead_bits_seen += counters.dead_bits_seen;
+        self.totals.tracked_instances_counted += counters.tracked_instances_counted;
+        Ok(GcReport {
+            cycle,
+            violations,
+            counters,
+            halted,
+        })
+    }
+
+    /// Runs a minor (nursery-only) collection now. Only available in
+    /// generational mode; **no assertions are checked** — the paper's
+    /// §2.2 trade-off. Ownership metadata for reclaimed objects is still
+    /// retired, and the strict-owner-lifetime extension may report.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::BaseMode`]-like misuse is not possible (minor works in
+    /// both modes); heap errors propagate; [`VmError::Halted`] if halted.
+    pub fn collect_minor(&mut self) -> Result<gca_collector::MinorStats, VmError> {
+        self.check_running()?;
+        let roots = self.gather_roots();
+        let young = std::mem::take(&mut self.young);
+        let remembered = std::mem::take(&mut self.remembered);
+        let mut tracer = gca_collector::Tracer::new();
+        let stats = match self.config.mode {
+            Mode::Base => gca_collector::collect_minor(
+                &mut tracer,
+                &mut self.heap,
+                &roots,
+                &remembered,
+                &young,
+                &mut NoHooks,
+            )?,
+            Mode::Instrumented => {
+                let stats = gca_collector::collect_minor(
+                    &mut tracer,
+                    &mut self.heap,
+                    &roots,
+                    &remembered,
+                    &young,
+                    &mut self.engine,
+                )?;
+                self.engine.after_minor(&mut self.heap);
+                let (violations, _) = self.engine.drain();
+                self.violation_log.extend(violations);
+                stats
+            }
+        };
+        self.minors_since_major += 1;
+        self.minor_collections += 1;
+        self.minor_gc_time += stats.total;
+        for mutator in &mut self.mutators {
+            if let Some(region) = &mut mutator.region {
+                let heap = &self.heap;
+                region.queue.retain(|&r| heap.is_valid(r));
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Number of minor collections performed (generational mode).
+    pub fn minor_collections(&self) -> u64 {
+        self.minor_collections
+    }
+
+    /// Total wall time spent in minor collections.
+    pub fn minor_gc_time(&self) -> std::time::Duration {
+        self.minor_gc_time
+    }
+
+    fn gather_roots(&self) -> Vec<ObjRef> {
+        let mut roots: Vec<ObjRef> =
+            Vec::with_capacity(self.globals.len() + self.mutators.iter().map(|m| m.roots.len()).sum::<usize>());
+        roots.extend_from_slice(&self.globals);
+        for m in &self.mutators {
+            roots.extend_from_slice(&m.roots);
+        }
+        roots
+    }
+
+    // ------------------------------------------------------------------
+    // Roots
+    // ------------------------------------------------------------------
+
+    /// Pushes a new frame on `m`'s shadow stack.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::NoSuchMutator`].
+    pub fn push_frame(&mut self, m: MutatorId) -> Result<(), VmError> {
+        let len = self.mutator(m)?.roots.len();
+        self.mutator_mut(m)?.frames.push(len);
+        Ok(())
+    }
+
+    /// Pops `m`'s top frame, dropping the roots registered in it.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::NoFrame`] if only the base frame remains.
+    pub fn pop_frame(&mut self, m: MutatorId) -> Result<(), VmError> {
+        let mu = self.mutator_mut(m)?;
+        if mu.frames.len() <= 1 {
+            return Err(VmError::NoFrame(m));
+        }
+        let base = mu.frames.pop().expect("checked length");
+        mu.roots.truncate(base);
+        Ok(())
+    }
+
+    /// Registers `r` as a root in `m`'s current frame, returning its slot
+    /// (valid until the frame is popped) for use with [`Vm::set_root`].
+    ///
+    /// # Errors
+    ///
+    /// Reference-validity errors; null cannot be rooted directly (use a
+    /// slot and [`Vm::set_root`] to clear it).
+    pub fn add_root(&mut self, m: MutatorId, r: ObjRef) -> Result<usize, VmError> {
+        if !self.heap.is_valid(r) {
+            return Err(VmError::Heap(HeapError::StaleRef(r)));
+        }
+        let mu = self.mutator_mut(m)?;
+        mu.roots.push(r);
+        Ok(mu.roots.len() - 1)
+    }
+
+    /// Overwrites root slot `slot` of `m` (the moral equivalent of
+    /// reassigning a local variable; `ObjRef::NULL` models `x = null`).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::BadRootSlot`] or reference-validity errors.
+    pub fn set_root(&mut self, m: MutatorId, slot: usize, r: ObjRef) -> Result<(), VmError> {
+        if r.is_some() && !self.heap.is_valid(r) {
+            return Err(VmError::Heap(HeapError::StaleRef(r)));
+        }
+        let mu = self.mutator_mut(m)?;
+        let len = mu.roots.len();
+        match mu.roots.get_mut(slot) {
+            Some(s) => {
+                *s = r;
+                Ok(())
+            }
+            None => Err(VmError::BadRootSlot {
+                mutator: m,
+                slot,
+                len,
+            }),
+        }
+    }
+
+    /// Reads root slot `slot` of `m`.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::BadRootSlot`].
+    pub fn root(&self, m: MutatorId, slot: usize) -> Result<ObjRef, VmError> {
+        let mu = self.mutator(m)?;
+        mu.roots.get(slot).copied().ok_or(VmError::BadRootSlot {
+            mutator: m,
+            slot,
+            len: mu.roots.len(),
+        })
+    }
+
+    /// Registers a global (static) root.
+    ///
+    /// # Errors
+    ///
+    /// Reference-validity errors.
+    pub fn add_global(&mut self, r: ObjRef) -> Result<(), VmError> {
+        if !self.heap.is_valid(r) {
+            return Err(VmError::Heap(HeapError::StaleRef(r)));
+        }
+        self.globals.push(r);
+        Ok(())
+    }
+
+    /// Removes a global root (first occurrence).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::GlobalNotFound`].
+    pub fn remove_global(&mut self, r: ObjRef) -> Result<(), VmError> {
+        match self.globals.iter().position(|&g| g == r) {
+            Some(i) => {
+                self.globals.swap_remove(i);
+                Ok(())
+            }
+            None => Err(VmError::GlobalNotFound(r)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // GC assertions (§2 of the paper)
+    // ------------------------------------------------------------------
+
+    /// `assert-dead(p)`: triggered at the next collection if `p` is still
+    /// reachable (§2.3.1).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::BaseMode`], [`VmError::Halted`] or reference-validity
+    /// errors.
+    pub fn assert_dead(&mut self, p: ObjRef) -> Result<(), VmError> {
+        self.check_running()?;
+        self.check_instrumented()?;
+        self.calls.dead += 1;
+        self.engine.assert_dead(&mut self.heap, p)
+    }
+
+    /// `start-region()`: begins an allocation region on mutator `m`; every
+    /// object `m` allocates until [`Vm::assert_alldead`] is recorded
+    /// (§2.3.2). Regions do not nest.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::RegionActive`] if `m` already has a region, plus the
+    /// mode/halt errors.
+    pub fn start_region(&mut self, m: MutatorId) -> Result<(), VmError> {
+        self.check_running()?;
+        self.check_instrumented()?;
+        let mu = self.mutator_mut(m)?;
+        if mu.region.is_some() {
+            return Err(VmError::RegionActive(m));
+        }
+        mu.region = Some(Region::default());
+        self.calls.regions_started += 1;
+        Ok(())
+    }
+
+    /// `assert-alldead()`: ends `m`'s region and asserts every object
+    /// allocated inside it dead (queued objects that were already
+    /// reclaimed pass trivially). Returns the number of objects asserted.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::NoRegion`] if no region is active, plus the mode/halt
+    /// errors.
+    pub fn assert_alldead(&mut self, m: MutatorId) -> Result<usize, VmError> {
+        self.check_running()?;
+        self.check_instrumented()?;
+        let mu = self.mutator_mut(m)?;
+        let region = mu.region.take().ok_or(VmError::NoRegion(m))?;
+        let mut asserted = 0;
+        for r in region.queue {
+            if self.heap.is_valid(r) {
+                self.engine.assert_dead(&mut self.heap, r)?;
+                asserted += 1;
+            }
+        }
+        self.calls.region_objects += asserted as u64;
+        Ok(asserted)
+    }
+
+    /// `assert-instances(T, I)`: triggered when more than `limit` live
+    /// instances of `class` exist at collection time (§2.4.1). Passing 0
+    /// asserts that no instances exist at GC time.
+    ///
+    /// # Errors
+    ///
+    /// Mode/halt errors.
+    pub fn assert_instances(&mut self, class: ClassId, limit: u32) -> Result<(), VmError> {
+        self.check_running()?;
+        self.check_instrumented()?;
+        self.calls.instances += 1;
+        self.heap.registry_mut().track_instances(class, limit);
+        Ok(())
+    }
+
+    /// `assert-unshared(p)`: triggered if `p` is found with more than one
+    /// incoming pointer (§2.5.1).
+    ///
+    /// # Errors
+    ///
+    /// Mode/halt or reference-validity errors.
+    pub fn assert_unshared(&mut self, p: ObjRef) -> Result<(), VmError> {
+        self.check_running()?;
+        self.check_instrumented()?;
+        self.calls.unshared += 1;
+        self.engine.assert_unshared(&mut self.heap, p)
+    }
+
+    /// `assert-ownedby(p, q)`: triggered if, at a collection, no path to
+    /// ownee `q` passes through owner `p` (§2.5.2).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::OwnershipConflict`] for disjointness violations, plus
+    /// mode/halt and reference-validity errors.
+    pub fn assert_owned_by(&mut self, owner: ObjRef, ownee: ObjRef) -> Result<(), VmError> {
+        self.check_running()?;
+        self.check_instrumented()?;
+        self.calls.owned_by += 1;
+        self.engine.assert_owned_by(&mut self.heap, owner, ownee)
+    }
+
+    /// Withdraws the ownership assertion on `ownee` (the program removed
+    /// it legitimately and no longer expects the property). Returns
+    /// whether an assertion was present.
+    ///
+    /// # Errors
+    ///
+    /// Mode/halt errors.
+    pub fn release_ownee(&mut self, ownee: ObjRef) -> Result<bool, VmError> {
+        self.check_running()?;
+        self.check_instrumented()?;
+        Ok(self.engine.release_ownee(&mut self.heap, ownee))
+    }
+
+    /// Withdraws an `assert_dead` (clears the `DEAD` bit) — useful when a
+    /// destroyed object is legitimately resurrected in tests.
+    ///
+    /// # Errors
+    ///
+    /// Mode/halt or reference-validity errors.
+    pub fn retract_dead(&mut self, p: ObjRef) -> Result<(), VmError> {
+        self.check_running()?;
+        self.check_instrumented()?;
+        self.heap.clear_flag(p, Flags::DEAD)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Heap probes (QVM-style immediate queries, for comparison)
+    // ------------------------------------------------------------------
+
+    /// Clears the marks left behind by a probe traversal.
+    fn clear_probe_marks(&mut self) -> Result<(), VmError> {
+        for i in 0..self.heap.slot_count() {
+            let (r, marked) = match self.heap.entry(i) {
+                Some((r, o)) => (r, o.flags().intersects(Flags::PER_GC)),
+                None => continue,
+            };
+            if marked {
+                self.heap.clear_flag(r, Flags::PER_GC)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Immediately answers "is `target` reachable, and through what
+    /// path?" by running a full mark-only traversal *right now* — the
+    /// semantics of QVM's heap probes (§4.1), provided for comparison.
+    /// Each probe costs a complete heap trace; batching questions into GC
+    /// assertions amortizes that cost, which is the paper's central
+    /// performance argument. The heap is left unmodified (marks cleared).
+    ///
+    /// Returns `None` if `target` is dead or unreachable.
+    ///
+    /// # Errors
+    ///
+    /// Tracing errors ([`VmError::Heap`]) or [`VmError::Halted`].
+    pub fn probe_path(&mut self, target: ObjRef) -> Result<Option<gca_collector::HeapPath>, VmError> {
+        self.check_running()?;
+        if !self.heap.is_valid(target) {
+            return Ok(None);
+        }
+
+        struct PathFinder {
+            target: ObjRef,
+            found: Option<gca_collector::HeapPath>,
+        }
+        impl gca_collector::TraceHooks for PathFinder {
+            fn wants_paths(&self) -> bool {
+                true
+            }
+            fn visit_new(
+                &mut self,
+                heap: &mut Heap,
+                obj: ObjRef,
+                ctx: &gca_collector::TraceCtx<'_>,
+            ) -> gca_collector::Visit {
+                if obj == self.target && self.found.is_none() {
+                    self.found = Some(ctx.current_path(heap));
+                }
+                gca_collector::Visit::Descend
+            }
+        }
+
+        let roots = self.gather_roots();
+        let mut tracer = gca_collector::Tracer::new();
+        tracer.set_path_mode(true);
+        tracer.begin_cycle();
+        for r in roots {
+            tracer.push_root(r);
+        }
+        let mut finder = PathFinder {
+            target,
+            found: None,
+        };
+        tracer.drain(&mut self.heap, &mut finder)?;
+        self.clear_probe_marks()?;
+        Ok(finder.found)
+    }
+
+    /// Immediately counts the live (reachable) instances of `class` with
+    /// a full traversal — the probe-style equivalent of
+    /// [`Vm::assert_instances`], at one heap trace per call.
+    ///
+    /// # Errors
+    ///
+    /// Tracing errors or [`VmError::Halted`].
+    pub fn probe_instances(&mut self, class: ClassId) -> Result<u32, VmError> {
+        self.check_running()?;
+
+        struct Counter {
+            class: ClassId,
+            count: u32,
+        }
+        impl gca_collector::TraceHooks for Counter {
+            fn visit_new(
+                &mut self,
+                heap: &mut Heap,
+                obj: ObjRef,
+                _ctx: &gca_collector::TraceCtx<'_>,
+            ) -> gca_collector::Visit {
+                if heap.get(obj).map(|o| o.class()) == Ok(self.class) {
+                    self.count += 1;
+                }
+                gca_collector::Visit::Descend
+            }
+        }
+
+        let roots = self.gather_roots();
+        let mut tracer = gca_collector::Tracer::new();
+        tracer.begin_cycle();
+        for r in roots {
+            tracer.push_root(r);
+        }
+        let mut counter = Counter { class, count: 0 };
+        tracer.drain(&mut self.heap, &mut counter)?;
+        self.clear_probe_marks()?;
+        Ok(counter.count)
+    }
+
+    /// Immediately answers whether `target` is reachable (probe-style
+    /// `assert_dead` complement). See [`Vm::probe_path`] for the cost
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// Tracing errors or [`VmError::Halted`].
+    pub fn probe_reachable(&mut self, target: ObjRef) -> Result<bool, VmError> {
+        Ok(self.probe_path(target)?.is_some())
+    }
+
+    /// Collects a root-to-object path for **every live instance** of
+    /// `class`, in one traversal.
+    ///
+    /// The paper notes that when `assert-instances` fires, "the problem
+    /// paths may have been traced earlier" and the user "will need to use
+    /// other tools" (§2.7) — this is that tool: run it after an
+    /// instance-limit violation to see exactly what keeps each instance
+    /// alive.
+    ///
+    /// # Errors
+    ///
+    /// Tracing errors or [`VmError::Halted`].
+    pub fn explain_instances(
+        &mut self,
+        class: ClassId,
+    ) -> Result<Vec<(ObjRef, gca_collector::HeapPath)>, VmError> {
+        self.check_running()?;
+
+        struct InstanceFinder {
+            class: ClassId,
+            found: Vec<(ObjRef, gca_collector::HeapPath)>,
+        }
+        impl gca_collector::TraceHooks for InstanceFinder {
+            fn wants_paths(&self) -> bool {
+                true
+            }
+            fn visit_new(
+                &mut self,
+                heap: &mut Heap,
+                obj: ObjRef,
+                ctx: &gca_collector::TraceCtx<'_>,
+            ) -> gca_collector::Visit {
+                if heap.get(obj).map(|o| o.class()) == Ok(self.class) {
+                    self.found.push((obj, ctx.current_path(heap)));
+                }
+                gca_collector::Visit::Descend
+            }
+        }
+
+        let roots = self.gather_roots();
+        let mut tracer = gca_collector::Tracer::new();
+        tracer.set_path_mode(true);
+        tracer.begin_cycle();
+        for r in roots {
+            tracer.push_root(r);
+        }
+        let mut finder = InstanceFinder {
+            class,
+            found: Vec::new(),
+        };
+        tracer.drain(&mut self.heap, &mut finder)?;
+        self.clear_probe_marks()?;
+        Ok(finder.found)
+    }
+
+    /// Enumerates every heap reference into `target`: `(source object,
+    /// field index)` pairs, plus whether any *root* references it.
+    ///
+    /// The complement of the `assert-unshared` report, which can only
+    /// show the second path the tracer happened to find (§2.7) — this
+    /// shows all of them. One pass over the live heap, no tracing.
+    ///
+    /// # Errors
+    ///
+    /// Reference-validity errors or [`VmError::Halted`].
+    pub fn incoming_references(
+        &mut self,
+        target: ObjRef,
+    ) -> Result<(Vec<(ObjRef, usize)>, bool), VmError> {
+        self.check_running()?;
+        if !self.heap.is_valid(target) {
+            return Err(VmError::Heap(HeapError::StaleRef(target)));
+        }
+        let mut edges = Vec::new();
+        for (src, obj) in self.heap.iter() {
+            for (f, &r) in obj.refs().iter().enumerate() {
+                if r == target {
+                    edges.push((src, f));
+                }
+            }
+        }
+        let rooted = self.gather_roots().contains(&target);
+        Ok((edges, rooted))
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Direct read access to the heap (detectors and tests).
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// A stop-the-world snapshot of all roots (thread stacks + globals),
+    /// as the collector would see them. Used by offline analyzers (heap
+    /// snapshots, dominator trees).
+    pub fn roots(&self) -> Vec<ObjRef> {
+        self.gather_roots()
+    }
+
+    /// Cumulative collector statistics (GC time for the figures).
+    pub fn gc_stats(&self) -> &GcStats {
+        self.collector.stats()
+    }
+
+    /// Cumulative heap statistics.
+    pub fn heap_stats(&self) -> &HeapStats {
+        self.heap.stats()
+    }
+
+    /// Cumulative assertion-call counts.
+    pub fn assertion_calls(&self) -> &AssertionCallCounts {
+        &self.calls
+    }
+
+    /// Current heap budget in words (may have grown).
+    pub fn heap_budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Number of registered owner objects.
+    pub fn owner_count(&self) -> usize {
+        self.engine.owner_count()
+    }
+
+    /// Number of registered ownee objects.
+    pub fn ownee_count(&self) -> usize {
+        self.engine.ownee_count()
+    }
+
+    /// All violations detected so far, including those from collections
+    /// triggered implicitly by allocation pressure.
+    pub fn violation_log(&self) -> &[crate::violation::Violation] {
+        &self.violation_log
+    }
+
+    /// Takes (and clears) the cumulative violation log.
+    pub fn take_violation_log(&mut self) -> Vec<crate::violation::Violation> {
+        std::mem::take(&mut self.violation_log)
+    }
+
+    /// Cumulative assertion-checking work across all collections.
+    pub fn check_totals(&self) -> &crate::report::CheckCounters {
+        &self.totals
+    }
+
+    /// Total collections performed (implicit and explicit).
+    pub fn collections(&self) -> u64 {
+        self.gc_stats().collections
+    }
+
+    /// Whether the VM halted after a violation under [`Reaction::Halt`].
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The configuration the VM was built with.
+    pub fn config(&self) -> &VmConfig {
+        &self.config
+    }
+}

@@ -1,0 +1,225 @@
+//! Semantics of `assert-dead` (§2.3.1) and the violation reactions (§2.6).
+
+use gc_assertions::{ObjRef, Reaction, Vm, VmConfig, ViolationKind, VmError};
+
+fn vm() -> Vm {
+    Vm::new(VmConfig::new())
+}
+
+#[test]
+fn reclaimed_object_passes() {
+    let mut vm = vm();
+    let c = vm.register_class("Order", &[]);
+    let m = vm.main();
+    let o = vm.alloc(m, c, 0, 0).unwrap(); // unrooted
+    vm.assert_dead(o).unwrap();
+    let report = vm.collect().unwrap();
+    assert!(report.is_clean());
+    assert!(!vm.is_live(o));
+}
+
+#[test]
+fn reachable_object_fires_with_path() {
+    let mut vm = vm();
+    let holder = vm.register_class("Customer", &["lastOrder"]);
+    let order = vm.register_class("Order", &[]);
+    let m = vm.main();
+    let cust = vm.alloc_rooted(m, holder, 1, 0).unwrap();
+    let o = vm.alloc(m, order, 0, 0).unwrap();
+    vm.set_field(cust, 0, o).unwrap();
+    vm.assert_dead(o).unwrap();
+
+    let report = vm.collect().unwrap();
+    assert_eq!(report.violations.len(), 1);
+    let v = &report.violations[0];
+    match &v.kind {
+        ViolationKind::DeadReachable { object, class_name } => {
+            assert_eq!(*object, o);
+            assert_eq!(class_name, "Order");
+        }
+        other => panic!("wrong kind: {other:?}"),
+    }
+    // Path: Customer -> .lastOrder Order
+    let chain: Vec<ObjRef> = v.path.steps().iter().map(|s| s.object).collect();
+    assert_eq!(chain, vec![cust, o]);
+    let text = v.render(vm.registry());
+    assert!(text.contains("Customer"));
+    assert!(text.contains(".lastOrder Order"));
+}
+
+#[test]
+fn null_assignment_idiom_checked() {
+    // The motivating example: assigning null should kill the object, but a
+    // second reference keeps it alive.
+    let mut vm = vm();
+    let c = vm.register_class("Holder", &["a", "b"]);
+    let t = vm.register_class("T", &[]);
+    let m = vm.main();
+    let h = vm.alloc_rooted(m, c, 2, 0).unwrap();
+    let x = vm.alloc(m, t, 0, 0).unwrap();
+    vm.set_field(h, 0, x).unwrap();
+    vm.set_field(h, 1, x).unwrap(); // forgotten alias
+    vm.set_field(h, 0, ObjRef::NULL).unwrap(); // "x = null"
+    vm.assert_dead(x).unwrap();
+    let report = vm.collect().unwrap();
+    assert_eq!(report.violations.len(), 1);
+    // The path pinpoints the alias: Holder.b.
+    let text = report.violations[0].render(vm.registry());
+    assert!(text.contains(".b T"), "path should name field b: {text}");
+}
+
+#[test]
+fn transient_violation_is_missed() {
+    // The price of batching (§1): a violation repaired before the next GC
+    // is never observed. Pin this design property.
+    let mut vm = vm();
+    let c = vm.register_class("Holder", &["f"]);
+    let t = vm.register_class("T", &[]);
+    let m = vm.main();
+    let h = vm.alloc_rooted(m, c, 1, 0).unwrap();
+    let x = vm.alloc(m, t, 0, 0).unwrap();
+    vm.set_field(h, 0, x).unwrap();
+    vm.assert_dead(x).unwrap();
+    // Transiently violated... then repaired before any collection.
+    vm.set_field(h, 0, ObjRef::NULL).unwrap();
+    let report = vm.collect().unwrap();
+    assert!(report.is_clean());
+}
+
+#[test]
+fn report_once_suppresses_repeats() {
+    let mut vm = Vm::new(VmConfig::new().report_once(true));
+    let c = vm.register_class("T", &[]);
+    let m = vm.main();
+    let x = vm.alloc_rooted(m, c, 0, 0).unwrap();
+    vm.assert_dead(x).unwrap();
+    assert_eq!(vm.collect().unwrap().violations.len(), 1);
+    assert_eq!(vm.collect().unwrap().violations.len(), 0);
+    assert_eq!(vm.collect().unwrap().violations.len(), 0);
+}
+
+#[test]
+fn report_every_gc_when_configured() {
+    let mut vm = Vm::new(VmConfig::new().report_once(false));
+    let c = vm.register_class("T", &[]);
+    let m = vm.main();
+    let x = vm.alloc_rooted(m, c, 0, 0).unwrap();
+    vm.assert_dead(x).unwrap();
+    assert_eq!(vm.collect().unwrap().violations.len(), 1);
+    assert_eq!(vm.collect().unwrap().violations.len(), 1);
+}
+
+#[test]
+fn retract_dead_withdraws_the_assertion() {
+    let mut vm = vm();
+    let c = vm.register_class("T", &[]);
+    let m = vm.main();
+    let x = vm.alloc_rooted(m, c, 0, 0).unwrap();
+    vm.assert_dead(x).unwrap();
+    vm.retract_dead(x).unwrap();
+    assert!(vm.collect().unwrap().is_clean());
+}
+
+#[test]
+fn halt_reaction_stops_the_vm() {
+    let mut vm = Vm::new(VmConfig::new().reaction(Reaction::Halt));
+    let c = vm.register_class("T", &[]);
+    let m = vm.main();
+    let x = vm.alloc_rooted(m, c, 0, 0).unwrap();
+    vm.assert_dead(x).unwrap();
+    let report = vm.collect().unwrap();
+    assert!(report.halted);
+    assert!(vm.is_halted());
+    assert_eq!(vm.alloc(m, c, 0, 0), Err(VmError::Halted));
+    assert_eq!(vm.assert_dead(x), Err(VmError::Halted));
+    assert_eq!(vm.set_field(x, 0, ObjRef::NULL), Err(VmError::Halted));
+}
+
+#[test]
+fn halt_only_on_actual_violation() {
+    let mut vm = Vm::new(VmConfig::new().reaction(Reaction::Halt));
+    let c = vm.register_class("T", &[]);
+    let m = vm.main();
+    let _x = vm.alloc_rooted(m, c, 0, 0).unwrap();
+    let report = vm.collect().unwrap();
+    assert!(!report.halted);
+    assert!(!vm.is_halted());
+}
+
+#[test]
+fn force_true_reclaims_at_next_gc() {
+    // §2.6: the collector nulls incoming references so the object dies at
+    // the *next* collection.
+    let mut vm = Vm::new(VmConfig::new().reaction(Reaction::ForceTrue));
+    let holder = vm.register_class("Holder", &["a", "b"]);
+    let t = vm.register_class("T", &[]);
+    let m = vm.main();
+    let h1 = vm.alloc_rooted(m, holder, 2, 0).unwrap();
+    let h2 = vm.alloc_rooted(m, holder, 2, 0).unwrap();
+    let x = vm.alloc(m, t, 0, 0).unwrap();
+    vm.set_field(h1, 0, x).unwrap();
+    vm.set_field(h2, 1, x).unwrap(); // two incoming references
+    vm.assert_dead(x).unwrap();
+
+    let report = vm.collect().unwrap();
+    assert_eq!(report.violations.len(), 1, "still reported");
+    assert!(vm.is_live(x), "survives the reporting collection");
+    // Both incoming references were severed...
+    assert_eq!(vm.field(h1, 0).unwrap(), ObjRef::NULL);
+    assert_eq!(vm.field(h2, 1).unwrap(), ObjRef::NULL);
+    // ...so the next collection reclaims it.
+    vm.collect().unwrap();
+    assert!(!vm.is_live(x));
+}
+
+#[test]
+fn force_true_cannot_sever_roots() {
+    // A rooted object has no heap parent to null; it survives, and the
+    // report (once) is all the programmer gets.
+    let mut vm = Vm::new(VmConfig::new().reaction(Reaction::ForceTrue));
+    let c = vm.register_class("T", &[]);
+    let m = vm.main();
+    let x = vm.alloc_rooted(m, c, 0, 0).unwrap();
+    vm.assert_dead(x).unwrap();
+    let report = vm.collect().unwrap();
+    assert_eq!(report.violations.len(), 1);
+    vm.collect().unwrap();
+    assert!(vm.is_live(x));
+}
+
+#[test]
+fn dead_bit_survives_until_reclamation() {
+    // An object asserted dead that survives several GCs keeps firing its
+    // counter (dead_bits_seen) even with report_once.
+    let mut vm = Vm::new(VmConfig::new().report_once(true));
+    let c = vm.register_class("T", &[]);
+    let m = vm.main();
+    let x = vm.alloc_rooted(m, c, 0, 0).unwrap();
+    vm.assert_dead(x).unwrap();
+    let r1 = vm.collect().unwrap();
+    let r2 = vm.collect().unwrap();
+    assert_eq!(r1.counters.dead_bits_seen, 1);
+    assert_eq!(r2.counters.dead_bits_seen, 1);
+    assert_eq!(r2.violations.len(), 0);
+}
+
+#[test]
+fn many_dead_asserts_batch_in_one_collection() {
+    let mut vm = vm();
+    let c = vm.register_class("T", &[]);
+    let m = vm.main();
+    let mut leaked = Vec::new();
+    for i in 0..100 {
+        let x = vm.alloc(m, c, 0, 0).unwrap();
+        vm.assert_dead(x).unwrap();
+        if i % 2 == 0 {
+            vm.add_root(m, x).unwrap(); // half actually leak
+            leaked.push(x);
+        }
+    }
+    let report = vm.collect().unwrap();
+    assert_eq!(report.violations.len(), 50);
+    for v in &report.violations {
+        assert!(matches!(v.kind, ViolationKind::DeadReachable { .. }));
+    }
+}

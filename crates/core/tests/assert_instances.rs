@@ -1,0 +1,154 @@
+//! Semantics of `assert-instances` (§2.4.1).
+
+use gc_assertions::{Vm, VmConfig, ViolationKind};
+
+fn vm() -> Vm {
+    Vm::new(VmConfig::new())
+}
+
+#[test]
+fn under_limit_passes() {
+    let mut vm = vm();
+    let c = vm.register_class("Conn", &[]);
+    let m = vm.main();
+    vm.assert_instances(c, 4).unwrap();
+    for _ in 0..4 {
+        vm.alloc_rooted(m, c, 0, 0).unwrap();
+    }
+    assert!(vm.collect().unwrap().is_clean());
+}
+
+#[test]
+fn over_limit_fires_with_counts() {
+    // The lusearch scenario: one IndexSearcher recommended, 32 live.
+    let mut vm = vm();
+    let c = vm.register_class("IndexSearcher", &[]);
+    let m = vm.main();
+    vm.assert_instances(c, 1).unwrap();
+    for _ in 0..32 {
+        vm.alloc_rooted(m, c, 0, 0).unwrap();
+    }
+    let report = vm.collect().unwrap();
+    assert_eq!(report.violations.len(), 1);
+    match &report.violations[0].kind {
+        ViolationKind::InstanceLimit {
+            class_name,
+            limit,
+            count,
+        } => {
+            assert_eq!(class_name, "IndexSearcher");
+            assert_eq!(*limit, 1);
+            assert_eq!(*count, 32);
+        }
+        other => panic!("wrong kind {other:?}"),
+    }
+}
+
+#[test]
+fn zero_limit_asserts_no_instances() {
+    let mut vm = vm();
+    let c = vm.register_class("Forbidden", &[]);
+    let m = vm.main();
+    vm.assert_instances(c, 0).unwrap();
+    assert!(vm.collect().unwrap().is_clean());
+    let x = vm.alloc_rooted(m, c, 0, 0).unwrap();
+    let report = vm.collect().unwrap();
+    assert_eq!(report.violations.len(), 1);
+    // Once the instance dies the assertion passes again.
+    let _ = x;
+    vm.pop_frame(m).err(); // base frame; instead clear via set_root
+    let mut vm2 = Vm::new(VmConfig::new());
+    let c2 = vm2.register_class("Forbidden", &[]);
+    vm2.assert_instances(c2, 0).unwrap();
+    let m2 = vm2.main();
+    let _temp = vm2.alloc(m2, c2, 0, 0).unwrap(); // unrooted: dies at GC
+    assert!(vm2.collect().unwrap().is_clean());
+}
+
+#[test]
+fn count_reflects_only_live_instances() {
+    let mut vm = vm();
+    let c = vm.register_class("Singleton", &[]);
+    let m = vm.main();
+    vm.assert_instances(c, 1).unwrap();
+    // Churn: many instances allocated but at most one live at any GC.
+    for _ in 0..10 {
+        let slot_obj = vm.alloc(m, c, 0, 0).unwrap();
+        let _ = slot_obj; // immediately dropped (unrooted)
+    }
+    let keep = vm.alloc_rooted(m, c, 0, 0).unwrap();
+    let report = vm.collect().unwrap();
+    assert!(report.is_clean(), "only {keep} is live");
+}
+
+#[test]
+fn dead_instances_uncount_across_gcs() {
+    let mut vm = vm();
+    let c = vm.register_class("S", &[]);
+    let m = vm.main();
+    vm.assert_instances(c, 1).unwrap();
+    let a = vm.alloc(m, c, 0, 0).unwrap();
+    let sa = vm.add_root(m, a).unwrap();
+    let b = vm.alloc_rooted(m, c, 0, 0).unwrap();
+    assert_eq!(vm.collect().unwrap().violations.len(), 1); // 2 > 1
+    // Drop one; the next GC sees exactly 1 and passes.
+    vm.set_root(m, sa, gc_assertions::ObjRef::NULL).unwrap();
+    assert!(vm.collect().unwrap().is_clean());
+    assert!(vm.is_live(b));
+}
+
+#[test]
+fn multiple_tracked_classes_independent() {
+    let mut vm = vm();
+    let a = vm.register_class("A", &[]);
+    let b = vm.register_class("B", &[]);
+    let m = vm.main();
+    vm.assert_instances(a, 1).unwrap();
+    vm.assert_instances(b, 2).unwrap();
+    for _ in 0..2 {
+        vm.alloc_rooted(m, a, 0, 0).unwrap(); // violates A (2 > 1)
+        vm.alloc_rooted(m, b, 0, 0).unwrap(); // ok for B (2 <= 2)
+    }
+    let report = vm.collect().unwrap();
+    assert_eq!(report.violations.len(), 1);
+    match &report.violations[0].kind {
+        ViolationKind::InstanceLimit { class_name, .. } => assert_eq!(class_name, "A"),
+        other => panic!("wrong kind {other:?}"),
+    }
+}
+
+#[test]
+fn reasserting_updates_limit() {
+    let mut vm = vm();
+    let c = vm.register_class("C", &[]);
+    let m = vm.main();
+    vm.assert_instances(c, 1).unwrap();
+    for _ in 0..3 {
+        vm.alloc_rooted(m, c, 0, 0).unwrap();
+    }
+    assert_eq!(vm.collect().unwrap().violations.len(), 1);
+    vm.assert_instances(c, 10).unwrap();
+    assert!(vm.collect().unwrap().is_clean());
+}
+
+#[test]
+fn instances_counted_in_ownership_phase_too() {
+    // Tracked objects reachable only through an owner subgraph are counted
+    // during the ownership phase and must not be double-counted when the
+    // root scan reaches the (already marked) region.
+    let mut vm = vm();
+    let container = vm.register_class("Container", &["e0", "e1"]);
+    let elem = vm.register_class("Elem", &[]);
+    let m = vm.main();
+    vm.assert_instances(elem, 2).unwrap();
+    let cont = vm.alloc_rooted(m, container, 2, 0).unwrap();
+    let e0 = vm.alloc(m, elem, 0, 0).unwrap();
+    vm.set_field(cont, 0, e0).unwrap();
+    let e1 = vm.alloc(m, elem, 0, 0).unwrap();
+    vm.set_field(cont, 1, e1).unwrap();
+    vm.assert_owned_by(cont, e0).unwrap();
+    vm.assert_owned_by(cont, e1).unwrap();
+    let report = vm.collect().unwrap();
+    assert!(report.is_clean(), "2 instances == limit 2: {report}");
+    assert_eq!(report.counters.tracked_instances_counted, 2);
+}

@@ -1,0 +1,151 @@
+//! Semantics of `start-region` / `assert-alldead` (§2.3.2).
+
+use gc_assertions::{ObjRef, Vm, VmConfig, ViolationKind, VmError};
+
+fn vm() -> Vm {
+    Vm::new(VmConfig::new())
+}
+
+#[test]
+fn memory_stable_region_passes() {
+    // A well-behaved request handler: everything allocated inside the
+    // region is dropped before the region ends.
+    let mut vm = vm();
+    let c = vm.register_class("Request", &["next"]);
+    let m = vm.main();
+    vm.start_region(m).unwrap();
+    vm.push_frame(m).unwrap();
+    let mut prev = ObjRef::NULL;
+    for _ in 0..20 {
+        let r = vm.alloc_rooted(m, c, 1, 4).unwrap();
+        vm.set_field(r, 0, prev).ok();
+        prev = r;
+    }
+    vm.pop_frame(m).unwrap(); // request done; all locals dropped
+    let asserted = vm.assert_alldead(m).unwrap();
+    assert_eq!(asserted, 20);
+    let report = vm.collect().unwrap();
+    assert!(report.is_clean());
+}
+
+#[test]
+fn region_leak_is_reported() {
+    // The handler stashes one request object in a global cache: a leak.
+    let mut vm = vm();
+    let c = vm.register_class("Request", &[]);
+    let cache_class = vm.register_class("Cache", &["entry"]);
+    let m = vm.main();
+    let cache = vm.alloc_rooted(m, cache_class, 1, 0).unwrap();
+
+    vm.start_region(m).unwrap();
+    vm.push_frame(m).unwrap();
+    let mut leaked = ObjRef::NULL;
+    for i in 0..10 {
+        let r = vm.alloc_rooted(m, c, 0, 0).unwrap();
+        if i == 3 {
+            vm.set_field(cache, 0, r).unwrap(); // the bug
+            leaked = r;
+        }
+    }
+    vm.pop_frame(m).unwrap();
+    vm.assert_alldead(m).unwrap();
+
+    let report = vm.collect().unwrap();
+    assert_eq!(report.violations.len(), 1);
+    match &report.violations[0].kind {
+        ViolationKind::DeadReachable { object, .. } => assert_eq!(*object, leaked),
+        other => panic!("wrong kind {other:?}"),
+    }
+    // The path identifies the cache as the culprit.
+    assert!(report.violations[0]
+        .path
+        .passes_through(vm.registry(), "Cache"));
+}
+
+#[test]
+fn objects_dying_mid_region_pass_trivially() {
+    // A GC inside the region reclaims short-lived allocations; the region
+    // queue must not keep them alive (weak entries), and the stale queue
+    // entries must not break assert_alldead.
+    let mut vm = Vm::new(VmConfig::new().heap_budget_words(64).grow_on_oom(false));
+    let c = vm.register_class("T", &[]);
+    let m = vm.main();
+    vm.start_region(m).unwrap();
+    for _ in 0..50 {
+        vm.alloc(m, c, 0, 8).unwrap(); // churn forces GCs inside the region
+    }
+    assert!(vm.gc_stats().collections > 0);
+    let asserted = vm.assert_alldead(m).unwrap();
+    // Everything already dead was purged from the queue by the mid-region
+    // collections and at most a handful of still-live queue entries remain.
+    assert!(asserted <= 7, "queue purged, got {asserted}");
+    let report = vm.collect().unwrap();
+    assert!(report.is_clean());
+}
+
+#[test]
+fn regions_do_not_nest() {
+    let mut vm = vm();
+    let m = vm.main();
+    vm.start_region(m).unwrap();
+    assert_eq!(vm.start_region(m), Err(VmError::RegionActive(m)));
+    vm.assert_alldead(m).unwrap();
+    // After the region ends, a new one may start.
+    vm.start_region(m).unwrap();
+}
+
+#[test]
+fn alldead_without_region_errors() {
+    let mut vm = vm();
+    let m = vm.main();
+    assert_eq!(vm.assert_alldead(m), Err(VmError::NoRegion(m)));
+}
+
+#[test]
+fn regions_are_per_mutator() {
+    // "each thread can independently be either in or out of a region"
+    let mut vm = vm();
+    let c = vm.register_class("T", &[]);
+    let m1 = vm.main();
+    let m2 = vm.spawn_mutator();
+
+    vm.start_region(m1).unwrap();
+    // m2 allocates outside any region: not tracked.
+    let keep = vm.alloc_rooted(m2, c, 0, 0).unwrap();
+    // m1 allocates inside its region: tracked.
+    let _tracked = vm.alloc(m1, c, 0, 0).unwrap();
+    let asserted = vm.assert_alldead(m1).unwrap();
+    assert_eq!(asserted, 1);
+
+    // m2's allocation is rooted and NOT asserted dead: clean collection.
+    let report = vm.collect().unwrap();
+    assert!(report.is_clean());
+    assert!(vm.is_live(keep));
+}
+
+#[test]
+fn concurrent_regions_on_two_mutators() {
+    let mut vm = vm();
+    let c = vm.register_class("T", &[]);
+    let m1 = vm.main();
+    let m2 = vm.spawn_mutator();
+    vm.start_region(m1).unwrap();
+    vm.start_region(m2).unwrap();
+    let a = vm.alloc_rooted(m1, c, 0, 0).unwrap(); // m1 leaks it
+    let _b = vm.alloc(m2, c, 0, 0).unwrap(); // m2 is clean
+    assert_eq!(vm.assert_alldead(m1).unwrap(), 1);
+    assert_eq!(vm.assert_alldead(m2).unwrap(), 1);
+    let report = vm.collect().unwrap();
+    // Only m1's rooted object violates.
+    assert_eq!(report.violations.len(), 1);
+    assert!(vm.is_live(a));
+}
+
+#[test]
+fn empty_region_asserts_nothing() {
+    let mut vm = vm();
+    let m = vm.main();
+    vm.start_region(m).unwrap();
+    assert_eq!(vm.assert_alldead(m).unwrap(), 0);
+    assert!(vm.collect().unwrap().is_clean());
+}

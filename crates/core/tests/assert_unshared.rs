@@ -1,0 +1,134 @@
+//! Semantics of `assert-unshared` (§2.5.1).
+
+use gc_assertions::{ObjRef, Vm, VmConfig, ViolationKind};
+
+fn vm() -> Vm {
+    Vm::new(VmConfig::new())
+}
+
+#[test]
+fn single_parent_passes() {
+    let mut vm = vm();
+    let c = vm.register_class("Node", &["l", "r"]);
+    let m = vm.main();
+    let root = vm.alloc_rooted(m, c, 2, 0).unwrap();
+    let child = vm.alloc(m, c, 2, 0).unwrap();
+    vm.set_field(root, 0, child).unwrap();
+    vm.assert_unshared(child).unwrap();
+    assert!(vm.collect().unwrap().is_clean());
+}
+
+#[test]
+fn tree_become_dag_fires() {
+    // A "tree" whose node gains a second parent: the classic use case.
+    let mut vm = vm();
+    let c = vm.register_class("TreeNode", &["l", "r"]);
+    let m = vm.main();
+    let root = vm.alloc_rooted(m, c, 2, 0).unwrap();
+    let a = vm.alloc(m, c, 2, 0).unwrap();
+    vm.set_field(root, 0, a).unwrap();
+    let shared = vm.alloc(m, c, 2, 0).unwrap();
+    vm.set_field(a, 0, shared).unwrap();
+    vm.assert_unshared(shared).unwrap();
+    assert!(vm.collect().unwrap().is_clean(), "still a tree");
+
+    // The bug: root.r now also points at `shared`.
+    vm.set_field(root, 1, shared).unwrap();
+    let report = vm.collect().unwrap();
+    assert_eq!(report.violations.len(), 1);
+    match &report.violations[0].kind {
+        ViolationKind::Shared { object, class_name } => {
+            assert_eq!(*object, shared);
+            assert_eq!(class_name, "TreeNode");
+        }
+        other => panic!("wrong kind {other:?}"),
+    }
+    // The reported path is *a* path to the object (the second one found).
+    assert_eq!(report.violations[0].path.target(), Some(shared));
+}
+
+#[test]
+fn two_fields_of_same_parent_count_as_sharing() {
+    // Two incoming pointers, even from one object, violate the property.
+    let mut vm = vm();
+    let c = vm.register_class("N", &["a", "b"]);
+    let m = vm.main();
+    let p = vm.alloc_rooted(m, c, 2, 0).unwrap();
+    let x = vm.alloc(m, c, 2, 0).unwrap();
+    vm.set_field(p, 0, x).unwrap();
+    vm.set_field(p, 1, x).unwrap();
+    vm.assert_unshared(x).unwrap();
+    assert_eq!(vm.collect().unwrap().violations.len(), 1);
+}
+
+#[test]
+fn root_plus_heap_edge_counts_as_sharing() {
+    // A rooted object with one heap parent is encountered twice.
+    let mut vm = vm();
+    let c = vm.register_class("N", &["f"]);
+    let m = vm.main();
+    let p = vm.alloc_rooted(m, c, 1, 0).unwrap();
+    let x = vm.alloc_rooted(m, c, 1, 0).unwrap(); // root #1
+    vm.set_field(p, 0, x).unwrap(); // heap edge #2
+    vm.assert_unshared(x).unwrap();
+    assert_eq!(vm.collect().unwrap().violations.len(), 1);
+}
+
+#[test]
+fn sharing_repaired_before_gc_is_missed() {
+    let mut vm = vm();
+    let c = vm.register_class("N", &["a", "b"]);
+    let m = vm.main();
+    let p = vm.alloc_rooted(m, c, 2, 0).unwrap();
+    let x = vm.alloc(m, c, 2, 0).unwrap();
+    vm.set_field(p, 0, x).unwrap();
+    vm.assert_unshared(x).unwrap();
+    vm.set_field(p, 1, x).unwrap(); // transiently shared
+    vm.set_field(p, 1, ObjRef::NULL).unwrap(); // repaired
+    assert!(vm.collect().unwrap().is_clean());
+}
+
+#[test]
+fn report_once_applies_across_gcs() {
+    let mut vm = Vm::new(VmConfig::new().report_once(true));
+    let c = vm.register_class("N", &["a", "b"]);
+    let m = vm.main();
+    let p = vm.alloc_rooted(m, c, 2, 0).unwrap();
+    let x = vm.alloc(m, c, 2, 0).unwrap();
+    vm.set_field(p, 0, x).unwrap();
+    vm.set_field(p, 1, x).unwrap();
+    vm.assert_unshared(x).unwrap();
+    assert_eq!(vm.collect().unwrap().violations.len(), 1);
+    assert_eq!(vm.collect().unwrap().violations.len(), 0);
+}
+
+#[test]
+fn cycle_self_reference_is_second_pointer() {
+    // x rooted and pointing at itself: root encounter + self edge.
+    let mut vm = vm();
+    let c = vm.register_class("N", &["f"]);
+    let m = vm.main();
+    let x = vm.alloc_rooted(m, c, 1, 0).unwrap();
+    vm.set_field(x, 0, x).unwrap();
+    vm.assert_unshared(x).unwrap();
+    assert_eq!(vm.collect().unwrap().violations.len(), 1);
+}
+
+#[test]
+fn many_unshared_nodes_checked_in_one_pass() {
+    // A long singly linked list where every node is asserted unshared —
+    // all pass in a single collection.
+    let mut vm = vm();
+    let c = vm.register_class("N", &["next"]);
+    let m = vm.main();
+    let head = vm.alloc_rooted(m, c, 1, 0).unwrap();
+    vm.assert_unshared(head).ok();
+    let mut prev = head;
+    for _ in 0..200 {
+        let n = vm.alloc(m, c, 1, 0).unwrap();
+        vm.set_field(prev, 0, n).unwrap();
+        vm.assert_unshared(n).unwrap();
+        prev = n;
+    }
+    assert!(vm.collect().unwrap().is_clean());
+}

@@ -1,0 +1,93 @@
+//! Property test: the generational collector and the full-heap MarkSweep
+//! collector agree — on arbitrary random programs over rooted objects,
+//! final liveness (after a closing major collection) is identical, and
+//! the heap verifies clean throughout.
+
+use gc_assertions::{ObjRef, Vm, VmConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { data: usize, root: bool },
+    Link { from: usize, field: usize, to: usize },
+    Unlink { from: usize, field: usize },
+    UnrootTo { keep: usize },
+    Collect,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0usize..6, any::<bool>()).prop_map(|(data, root)| Op::Alloc { data, root }),
+        2 => (0usize..64, 0usize..3, 0usize..64)
+            .prop_map(|(from, field, to)| Op::Link { from, field, to }),
+        1 => (0usize..64, 0usize..3).prop_map(|(from, field)| Op::Unlink { from, field }),
+        1 => (0usize..16).prop_map(|keep| Op::UnrootTo { keep }),
+        1 => Just(Op::Collect),
+    ]
+}
+
+/// Runs the op stream; operations only ever reference *rooted* objects,
+/// so the stream is valid under any collection schedule. Returns the
+/// allocation-ordered liveness bitmap after a final major collection.
+fn run(config: VmConfig, ops: &[Op]) -> Vec<bool> {
+    let mut vm = Vm::new(config);
+    let c = vm.register_class("N", &["a", "b", "c"]);
+    let m = vm.main();
+    let mut allocated: Vec<ObjRef> = Vec::new();
+    // Rooted handles with their root-slot indices (we unroot suffixes).
+    let mut rooted: Vec<(usize, ObjRef)> = Vec::new();
+
+    for op in ops {
+        match op {
+            Op::Alloc { data, root } => {
+                let o = vm.alloc(m, c, 3, *data).unwrap();
+                allocated.push(o);
+                if *root {
+                    let slot = vm.add_root(m, o).unwrap();
+                    rooted.push((slot, o));
+                }
+            }
+            Op::Link { from, field, to } if !rooted.is_empty() => {
+                let f = rooted[from % rooted.len()].1;
+                let t = rooted[to % rooted.len()].1;
+                vm.set_field(f, field % 3, t).unwrap();
+            }
+            Op::Unlink { from, field } if !rooted.is_empty() => {
+                let f = rooted[from % rooted.len()].1;
+                vm.set_field(f, field % 3, ObjRef::NULL).unwrap();
+            }
+            Op::UnrootTo { keep } if rooted.len() > *keep => {
+                for &(slot, _) in &rooted[*keep..] {
+                    vm.set_root(m, slot, ObjRef::NULL).unwrap();
+                }
+                rooted.truncate(*keep);
+            }
+            Op::Collect => {
+                vm.collect().unwrap();
+                let problems = vm.heap().verify();
+                assert!(problems.is_empty(), "heap corruption: {problems:?}");
+            }
+            _ => {}
+        }
+    }
+    vm.collect().unwrap();
+    let problems = vm.heap().verify();
+    assert!(problems.is_empty(), "heap corruption: {problems:?}");
+    allocated.iter().map(|&o| vm.is_live(o)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generational_agrees_with_marksweep(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+    ) {
+        let base = VmConfig::new().heap_budget_words(1_200).grow_on_oom(true);
+        let ms = run(base.clone(), &ops);
+        for major_every in [1usize, 3, 16] {
+            let gen = run(base.clone().generational(major_every), &ops);
+            prop_assert_eq!(&ms, &gen, "divergence at generational({})", major_every);
+        }
+    }
+}

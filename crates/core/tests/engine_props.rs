@@ -1,0 +1,170 @@
+//! Property tests: on arbitrary random object graphs, `assert-dead` and
+//! `assert-unshared` violations match independently computed oracles.
+
+use gc_assertions::{ObjRef, Vm, VmConfig, ViolationKind};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A randomly generated heap: `n` objects with up to 3 fields, random
+/// edges, random roots, and random assertion targets.
+#[derive(Debug, Clone)]
+struct Scenario {
+    n: usize,
+    edges: Vec<(usize, usize, usize)>,
+    roots: Vec<usize>,
+    dead_asserts: Vec<usize>,
+    unshared_asserts: Vec<usize>,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..30).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0usize..3, 0..n), 0..n * 3),
+            proptest::collection::vec(0..n, 0..5),
+            proptest::collection::vec(0..n, 0..6),
+            proptest::collection::vec(0..n, 0..6),
+        )
+            .prop_map(|(n, edges, roots, dead_asserts, unshared_asserts)| Scenario {
+                n,
+                edges,
+                roots,
+                dead_asserts,
+                unshared_asserts,
+            })
+    })
+}
+
+fn build(vm: &mut Vm, s: &Scenario) -> Vec<ObjRef> {
+    let c = vm.register_class("N", &["f0", "f1", "f2"]);
+    let m = vm.main();
+    let objs: Vec<ObjRef> = (0..s.n).map(|_| vm.alloc(m, c, 3, 0).unwrap()).collect();
+    for &(from, field, to) in &s.edges {
+        vm.set_field(objs[from], field, objs[to]).unwrap();
+    }
+    for &r in &s.roots {
+        vm.add_root(m, objs[r]).unwrap();
+    }
+    objs
+}
+
+fn oracle_reachable(vm: &Vm, objs: &[ObjRef], roots: &[usize]) -> HashSet<ObjRef> {
+    let mut seen = HashSet::new();
+    let mut q: VecDeque<ObjRef> = roots.iter().map(|&i| objs[i]).collect();
+    while let Some(r) = q.pop_front() {
+        if !seen.insert(r) {
+            continue;
+        }
+        for f in 0..3 {
+            let c = vm.field(r, f).unwrap();
+            if c.is_some() && !seen.contains(&c) {
+                q.push_back(c);
+            }
+        }
+    }
+    seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn dead_violations_match_reachability_oracle(s in scenario()) {
+        let mut vm = Vm::new(VmConfig::new());
+        let objs = build(&mut vm, &s);
+        let reachable = oracle_reachable(&vm, &objs, &s.roots);
+
+        let mut asserted: HashSet<ObjRef> = HashSet::new();
+        for &i in &s.dead_asserts {
+            vm.assert_dead(objs[i]).unwrap();
+            asserted.insert(objs[i]);
+        }
+        let expected: HashSet<ObjRef> =
+            asserted.intersection(&reachable).copied().collect();
+
+        let report = vm.collect().unwrap();
+        let fired: HashSet<ObjRef> = report
+            .violations
+            .iter()
+            .filter_map(|v| match &v.kind {
+                ViolationKind::DeadReachable { object, .. } => Some(*object),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(&fired, &expected);
+
+        // And every reported path actually ends at the object and starts
+        // at a root.
+        for v in &report.violations {
+            prop_assert!(!v.path.is_empty());
+            if let ViolationKind::DeadReachable { object, .. } = &v.kind {
+                prop_assert_eq!(v.path.target(), Some(*object));
+                let first = v.path.steps()[0].object;
+                prop_assert!(reachable.contains(&first));
+            }
+        }
+    }
+
+    #[test]
+    fn unshared_violations_match_indegree_oracle(s in scenario()) {
+        let mut vm = Vm::new(VmConfig::new());
+        let objs = build(&mut vm, &s);
+        let reachable = oracle_reachable(&vm, &objs, &s.roots);
+
+        // Oracle: encounters(obj) = root occurrences + edges from
+        // reachable objects. A violation fires iff the object is asserted
+        // unshared and is encountered at least twice.
+        let mut encounters: HashMap<ObjRef, usize> = HashMap::new();
+        for &r in &s.roots {
+            *encounters.entry(objs[r]).or_default() += 1;
+        }
+        for &src in &reachable {
+            for f in 0..3 {
+                let dst = vm.field(src, f).unwrap();
+                if dst.is_some() {
+                    *encounters.entry(dst).or_default() += 1;
+                }
+            }
+        }
+
+        let mut asserted: HashSet<ObjRef> = HashSet::new();
+        for &i in &s.unshared_asserts {
+            vm.assert_unshared(objs[i]).unwrap();
+            asserted.insert(objs[i]);
+        }
+        let expected: HashSet<ObjRef> = asserted
+            .iter()
+            .filter(|o| encounters.get(o).copied().unwrap_or(0) >= 2)
+            .copied()
+            .collect();
+
+        let report = vm.collect().unwrap();
+        let fired: HashSet<ObjRef> = report
+            .violations
+            .iter()
+            .filter_map(|v| match &v.kind {
+                ViolationKind::Shared { object, .. } => Some(*object),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(&fired, &expected);
+    }
+
+    #[test]
+    fn collection_with_assertions_preserves_reachable_set(s in scenario()) {
+        // Assertions must never change what survives (Log reaction).
+        let mut vm = Vm::new(VmConfig::new());
+        let objs = build(&mut vm, &s);
+        let reachable = oracle_reachable(&vm, &objs, &s.roots);
+        for &i in &s.dead_asserts {
+            vm.assert_dead(objs[i]).unwrap();
+        }
+        for &i in &s.unshared_asserts {
+            vm.assert_unshared(objs[i]).unwrap();
+        }
+        vm.collect().unwrap();
+        for &o in &objs {
+            prop_assert_eq!(vm.is_live(o), reachable.contains(&o));
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Tests for the features the paper lists as future work (§2.6) and our
+//! QVM-style probe interface: per-assertion-class reactions, the
+//! programmatic violation handler, and immediate heap probes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use gc_assertions::{
+    AssertionClass, ObjRef, Reaction, Vm, VmConfig, ViolationKind, VmError,
+};
+
+fn leaky_vm(config: VmConfig) -> (Vm, ObjRef, ObjRef) {
+    let mut vm = Vm::new(config);
+    let c = vm.register_class("Holder", &["f"]);
+    let m = vm.main();
+    let h = vm.alloc_rooted(m, c, 1, 0).unwrap();
+    let x = vm.alloc(m, c, 1, 0).unwrap();
+    vm.set_field(h, 0, x).unwrap();
+    vm.assert_dead(x).unwrap();
+    (vm, h, x)
+}
+
+// ---------------------------------------------------------------------
+// Per-class reactions
+// ---------------------------------------------------------------------
+
+#[test]
+fn lifetime_halt_override_halts_on_dead_violation() {
+    let config = VmConfig::new().reaction_for(AssertionClass::Lifetime, Reaction::Halt);
+    let (mut vm, _h, _x) = leaky_vm(config);
+    let report = vm.collect().unwrap();
+    assert!(report.halted);
+    assert!(vm.is_halted());
+}
+
+#[test]
+fn volume_halt_override_ignores_lifetime_violations() {
+    // Halt only on instance-limit violations; the dead-reachable
+    // violation is logged but execution continues.
+    let config = VmConfig::new().reaction_for(AssertionClass::Volume, Reaction::Halt);
+    let (mut vm, _h, _x) = leaky_vm(config);
+    let report = vm.collect().unwrap();
+    assert_eq!(report.violations.len(), 1);
+    assert!(!report.halted);
+    assert!(!vm.is_halted());
+}
+
+#[test]
+fn lifetime_force_true_with_default_log() {
+    // ForceTrue for lifetime assertions only; everything else logs.
+    let config = VmConfig::new().reaction_for(AssertionClass::Lifetime, Reaction::ForceTrue);
+    let (mut vm, h, x) = leaky_vm(config);
+    vm.collect().unwrap();
+    assert_eq!(vm.field(h, 0).unwrap(), ObjRef::NULL, "edge severed");
+    vm.collect().unwrap();
+    assert!(!vm.is_live(x), "forced dead at the following GC");
+}
+
+#[test]
+fn later_override_wins() {
+    let config = VmConfig::new()
+        .reaction_for(AssertionClass::Lifetime, Reaction::Halt)
+        .reaction_for(AssertionClass::Lifetime, Reaction::Log);
+    assert_eq!(
+        config.effective_reaction(AssertionClass::Lifetime),
+        Reaction::Log
+    );
+    assert_eq!(
+        config.effective_reaction(AssertionClass::Volume),
+        Reaction::Log
+    );
+}
+
+#[test]
+fn connectivity_class_maps_ownership_violations() {
+    let config = VmConfig::new().reaction_for(AssertionClass::Connectivity, Reaction::Halt);
+    let mut vm = Vm::new(config);
+    let c = vm.register_class("C", &["f"]);
+    let m = vm.main();
+    let owner = vm.alloc_rooted(m, c, 1, 0).unwrap();
+    let keeper = vm.alloc_rooted(m, c, 1, 0).unwrap();
+    let e = vm.alloc(m, c, 1, 0).unwrap();
+    vm.set_field(owner, 0, e).unwrap();
+    vm.set_field(keeper, 0, e).unwrap();
+    vm.assert_owned_by(owner, e).unwrap();
+    vm.set_field(owner, 0, ObjRef::NULL).unwrap(); // leak via keeper
+    let report = vm.collect().unwrap();
+    assert!(matches!(
+        report.violations[0].kind,
+        ViolationKind::NotOwned { .. }
+    ));
+    assert_eq!(report.violations[0].class(), AssertionClass::Connectivity);
+    assert!(report.halted);
+}
+
+// ---------------------------------------------------------------------
+// Programmatic violation handler
+// ---------------------------------------------------------------------
+
+#[test]
+fn handler_sees_every_violation() {
+    let seen = Arc::new(AtomicUsize::new(0));
+    let (mut vm, _h, _x) = leaky_vm(VmConfig::new().report_once(false));
+    let seen2 = Arc::clone(&seen);
+    vm.set_violation_handler(move |v, registry| {
+        assert!(v.render(registry).contains("asserted dead"));
+        seen2.fetch_add(1, Ordering::SeqCst);
+    });
+    vm.collect().unwrap();
+    vm.collect().unwrap();
+    assert_eq!(seen.load(Ordering::SeqCst), 2);
+
+    vm.clear_violation_handler();
+    vm.collect().unwrap();
+    assert_eq!(seen.load(Ordering::SeqCst), 2, "handler removed");
+}
+
+#[test]
+fn handler_fires_for_implicit_collections_too() {
+    let seen = Arc::new(AtomicUsize::new(0));
+    let mut vm = Vm::new(VmConfig::new().heap_budget_words(64).grow_on_oom(true));
+    let c = vm.register_class("T", &[]);
+    let m = vm.main();
+    let x = vm.alloc_rooted(m, c, 0, 0).unwrap();
+    vm.assert_dead(x).unwrap();
+    let seen2 = Arc::clone(&seen);
+    vm.set_violation_handler(move |_, _| {
+        seen2.fetch_add(1, Ordering::SeqCst);
+    });
+    // Allocation pressure triggers the collection that checks the bit.
+    for _ in 0..40 {
+        vm.alloc(m, c, 0, 8).unwrap();
+    }
+    assert!(seen.load(Ordering::SeqCst) >= 1);
+}
+
+// ---------------------------------------------------------------------
+// QVM-style probes
+// ---------------------------------------------------------------------
+
+#[test]
+fn probe_path_finds_live_objects() {
+    let mut vm = Vm::new(VmConfig::new());
+    let c = vm.register_class("Node", &["next"]);
+    let m = vm.main();
+    let a = vm.alloc_rooted(m, c, 1, 0).unwrap();
+    let b = vm.alloc(m, c, 1, 0).unwrap();
+    vm.set_field(a, 0, b).unwrap();
+
+    let path = vm.probe_path(b).unwrap().expect("b is reachable");
+    let chain: Vec<ObjRef> = path.steps().iter().map(|s| s.object).collect();
+    assert_eq!(chain, vec![a, b]);
+
+    // Unreachable object: no path (even though still live pre-GC).
+    vm.set_field(a, 0, ObjRef::NULL).unwrap();
+    assert!(vm.probe_path(b).unwrap().is_none());
+    assert!(!vm.probe_reachable(b).unwrap());
+    assert!(vm.is_live(b), "probe does not sweep");
+}
+
+#[test]
+fn probe_leaves_heap_state_clean() {
+    // Probing must not leave marks that would confuse a later collection.
+    let mut vm = Vm::new(VmConfig::new());
+    let c = vm.register_class("T", &["f"]);
+    let m = vm.main();
+    let root = vm.alloc_rooted(m, c, 1, 0).unwrap();
+    let child = vm.alloc(m, c, 1, 0).unwrap();
+    vm.set_field(root, 0, child).unwrap();
+    let garbage = vm.alloc(m, c, 1, 0).unwrap();
+
+    assert!(vm.probe_reachable(root).unwrap());
+    assert!(!vm.probe_reachable(garbage).unwrap());
+
+    // The collection after probing behaves normally.
+    let report = vm.collect().unwrap();
+    assert!(report.is_clean());
+    assert!(vm.is_live(child));
+    assert!(!vm.is_live(garbage));
+    // And a second probe still works after the GC.
+    assert!(vm.probe_reachable(child).unwrap());
+}
+
+#[test]
+fn probe_instances_counts_reachable_only() {
+    let mut vm = Vm::new(VmConfig::new());
+    let c = vm.register_class("Searcher", &[]);
+    let other = vm.register_class("Other", &[]);
+    let m = vm.main();
+    for _ in 0..5 {
+        vm.alloc_rooted(m, c, 0, 0).unwrap();
+    }
+    vm.alloc_rooted(m, other, 0, 0).unwrap();
+    let _unreachable = vm.alloc(m, c, 0, 0).unwrap();
+    assert_eq!(vm.probe_instances(c).unwrap(), 5);
+    assert_eq!(vm.probe_instances(other).unwrap(), 1);
+}
+
+#[test]
+fn probe_of_dead_handle_is_none() {
+    let mut vm = Vm::new(VmConfig::new());
+    let c = vm.register_class("T", &[]);
+    let m = vm.main();
+    let x = vm.alloc(m, c, 0, 0).unwrap();
+    vm.collect().unwrap();
+    assert!(vm.probe_path(x).unwrap().is_none());
+}
+
+#[test]
+fn explain_instances_gives_a_path_per_instance() {
+    // The lusearch follow-up: the instance-limit report has no paths, so
+    // explain_instances supplies them.
+    let mut vm = Vm::new(VmConfig::new());
+    let searcher = vm.register_class("IndexSearcher", &[]);
+    let thread_cls = vm.register_class("SearchThread", &["searcher"]);
+    let m = vm.main();
+    let mut expected = Vec::new();
+    for _ in 0..4 {
+        let t = vm.alloc_rooted(m, thread_cls, 1, 0).unwrap();
+        let s = vm.alloc(m, searcher, 0, 0).unwrap();
+        vm.set_field(t, 0, s).unwrap();
+        expected.push(s);
+    }
+    let found = vm.explain_instances(searcher).unwrap();
+    assert_eq!(found.len(), 4);
+    for (obj, path) in &found {
+        assert!(expected.contains(obj));
+        assert!(path.passes_through(vm.registry(), "SearchThread"));
+        assert_eq!(path.target(), Some(*obj));
+    }
+    // The heap is usable afterwards (marks cleared).
+    assert!(vm.collect().unwrap().is_clean());
+}
+
+#[test]
+fn incoming_references_enumerates_all_edges() {
+    let mut vm = Vm::new(VmConfig::new());
+    let c = vm.register_class("N", &["a", "b"]);
+    let m = vm.main();
+    let p1 = vm.alloc_rooted(m, c, 2, 0).unwrap();
+    let p2 = vm.alloc_rooted(m, c, 2, 0).unwrap();
+    let x = vm.alloc(m, c, 2, 0).unwrap();
+    vm.set_field(p1, 0, x).unwrap();
+    vm.set_field(p1, 1, x).unwrap();
+    vm.set_field(p2, 1, x).unwrap();
+
+    let (edges, rooted) = vm.incoming_references(x).unwrap();
+    assert!(!rooted);
+    let mut got = edges.clone();
+    got.sort();
+    assert_eq!(got, vec![(p1, 0), (p1, 1), (p2, 1)]);
+
+    // Rooting is reported separately.
+    vm.add_root(m, x).unwrap();
+    let (_, rooted) = vm.incoming_references(x).unwrap();
+    assert!(rooted);
+
+    // Dead targets are rejected.
+    let dead = vm.alloc(m, c, 2, 0).unwrap();
+    vm.collect().unwrap();
+    assert!(vm.incoming_references(dead).is_err());
+}
+
+#[test]
+fn probes_respect_halt() {
+    let (mut vm, _h, x) =
+        leaky_vm(VmConfig::new().reaction(Reaction::Halt));
+    vm.collect().unwrap();
+    assert!(matches!(vm.probe_path(x), Err(VmError::Halted)));
+    assert!(matches!(vm.probe_instances(vm.registry().lookup("Holder").unwrap()), Err(VmError::Halted)));
+}

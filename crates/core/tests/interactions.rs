@@ -1,0 +1,210 @@
+//! Interactions between assertion kinds within a single collection: the
+//! checks share one trace, one set of header bits, and one engine, so
+//! their combinations deserve their own coverage.
+
+use gc_assertions::{ObjRef, Reaction, Vm, VmConfig, ViolationKind};
+
+fn vm() -> Vm {
+    Vm::new(VmConfig::new())
+}
+
+#[test]
+fn all_five_assertions_in_one_collection() {
+    let mut vm = vm();
+    let m = vm.main();
+    let holder_cls = vm.register_class("Holder", &["a", "b"]);
+    let item_cls = vm.register_class("Item", &[]);
+    let singleton_cls = vm.register_class("Singleton", &[]);
+
+    // assert-dead violation.
+    let h = vm.alloc_rooted(m, holder_cls, 2, 0).unwrap();
+    let dead = vm.alloc(m, item_cls, 0, 0).unwrap();
+    vm.set_field(h, 0, dead).unwrap();
+    vm.assert_dead(dead).unwrap();
+
+    // assert-unshared violation.
+    let shared = vm.alloc(m, item_cls, 0, 0).unwrap();
+    vm.set_field(h, 1, shared).unwrap();
+    let h2 = vm.alloc_rooted(m, holder_cls, 2, 0).unwrap();
+    vm.set_field(h2, 0, shared).unwrap();
+    vm.assert_unshared(shared).unwrap();
+
+    // assert-instances violation.
+    vm.assert_instances(singleton_cls, 1).unwrap();
+    vm.alloc_rooted(m, singleton_cls, 0, 0).unwrap();
+    vm.alloc_rooted(m, singleton_cls, 0, 0).unwrap();
+
+    // assert-owned-by violation.
+    let owner = vm.alloc_rooted(m, holder_cls, 2, 0).unwrap();
+    let ownee = vm.alloc(m, item_cls, 0, 0).unwrap();
+    vm.set_field(owner, 0, ownee).unwrap();
+    let keeper = vm.alloc_rooted(m, holder_cls, 2, 0).unwrap();
+    vm.set_field(keeper, 0, ownee).unwrap();
+    vm.assert_owned_by(owner, ownee).unwrap();
+    vm.set_field(owner, 0, ObjRef::NULL).unwrap();
+
+    // region violation (assert-dead via region).
+    vm.start_region(m).unwrap();
+    let region_leak = vm.alloc_rooted(m, item_cls, 0, 0).unwrap();
+    let _ = region_leak;
+    vm.assert_alldead(m).unwrap();
+
+    let report = vm.collect().unwrap();
+    let kinds: Vec<&'static str> = report
+        .violations
+        .iter()
+        .map(|v| match v.kind {
+            ViolationKind::DeadReachable { .. } => "dead",
+            ViolationKind::Shared { .. } => "shared",
+            ViolationKind::InstanceLimit { .. } => "instances",
+            ViolationKind::NotOwned { .. } => "not-owned",
+            _ => "other",
+        })
+        .collect();
+    assert_eq!(
+        kinds.iter().filter(|k| **k == "dead").count(),
+        2,
+        "direct + region: {kinds:?}"
+    );
+    assert_eq!(kinds.iter().filter(|k| **k == "shared").count(), 1);
+    assert_eq!(kinds.iter().filter(|k| **k == "instances").count(), 1);
+    assert_eq!(kinds.iter().filter(|k| **k == "not-owned").count(), 1);
+}
+
+#[test]
+fn dead_ownee_inside_owner_region_reports_both_facts() {
+    // An object both asserted dead and owned: reached via the ownership
+    // phase, its DEAD bit fires there; ownership holds (reachable through
+    // the owner), so no NotOwned.
+    let mut vm = vm();
+    let m = vm.main();
+    let c = vm.register_class("C", &["f"]);
+    let owner = vm.alloc_rooted(m, c, 1, 0).unwrap();
+    let x = vm.alloc(m, c, 1, 0).unwrap();
+    vm.set_field(owner, 0, x).unwrap();
+    vm.assert_owned_by(owner, x).unwrap();
+    vm.assert_dead(x).unwrap();
+
+    let report = vm.collect().unwrap();
+    assert_eq!(report.violations.len(), 1, "{report}");
+    assert!(matches!(
+        report.violations[0].kind,
+        ViolationKind::DeadReachable { .. }
+    ));
+}
+
+#[test]
+fn force_true_on_ownee_retires_pair_next_gc() {
+    // ForceTrue severs the edges to an asserted-dead ownee; once it dies,
+    // its ownership pair is retired and later GCs are clean.
+    let mut vm = Vm::new(VmConfig::new().reaction(Reaction::ForceTrue));
+    let m = vm.main();
+    let c = vm.register_class("C", &["f"]);
+    let owner = vm.alloc_rooted(m, c, 1, 0).unwrap();
+    let x = vm.alloc(m, c, 1, 0).unwrap();
+    vm.set_field(owner, 0, x).unwrap();
+    vm.assert_owned_by(owner, x).unwrap();
+    vm.assert_dead(x).unwrap();
+
+    vm.collect().unwrap(); // reports dead-reachable, severs owner.f
+    assert_eq!(vm.field(owner, 0).unwrap(), ObjRef::NULL);
+    vm.collect().unwrap(); // x reclaimed; pair retired
+    assert!(!vm.is_live(x));
+    assert_eq!(vm.ownee_count(), 0);
+    let report = vm.collect().unwrap();
+    assert!(report.is_clean());
+}
+
+#[test]
+fn unshared_checked_during_ownership_phase_scans() {
+    // The second incoming pointer to an unshared object can be discovered
+    // during the ownership phase (both edges inside an owner region).
+    let mut vm = vm();
+    let m = vm.main();
+    let c = vm.register_class("C", &["a", "b"]);
+    let owner = vm.alloc_rooted(m, c, 2, 0).unwrap();
+    let mid = vm.alloc(m, c, 2, 0).unwrap();
+    vm.set_field(owner, 0, mid).unwrap();
+    let shared = vm.alloc(m, c, 2, 0).unwrap();
+    vm.set_field(mid, 0, shared).unwrap();
+    vm.set_field(mid, 1, shared).unwrap(); // two edges
+    vm.assert_unshared(shared).unwrap();
+    let dummy_ownee = vm.alloc(m, c, 2, 0).unwrap();
+    vm.set_field(owner, 1, dummy_ownee).unwrap();
+    vm.assert_owned_by(owner, dummy_ownee).unwrap();
+
+    let report = vm.collect().unwrap();
+    let shared_hits = report
+        .violations
+        .iter()
+        .filter(|v| matches!(v.kind, ViolationKind::Shared { .. }))
+        .count();
+    assert_eq!(shared_hits, 1, "{report}");
+}
+
+#[test]
+fn report_once_is_per_object_not_per_kind() {
+    // One object with both DEAD and UNSHARED asserted: the REPORTED bit
+    // is shared, so only the first-detected kind is reported under
+    // report-once (documented coupling).
+    let mut vm = Vm::new(VmConfig::new().report_once(true));
+    let m = vm.main();
+    let c = vm.register_class("C", &["a", "b"]);
+    let h = vm.alloc_rooted(m, c, 2, 0).unwrap();
+    let x = vm.alloc(m, c, 2, 0).unwrap();
+    vm.set_field(h, 0, x).unwrap();
+    vm.set_field(h, 1, x).unwrap();
+    vm.assert_dead(x).unwrap();
+    vm.assert_unshared(x).unwrap();
+    let report = vm.collect().unwrap();
+    assert_eq!(report.violations.len(), 1, "{report}");
+    // Without report-once, both kinds fire.
+    let mut vm2 = Vm::new(VmConfig::new().report_once(false));
+    let m2 = vm2.main();
+    let c2 = vm2.register_class("C", &["a", "b"]);
+    let h2 = vm2.alloc_rooted(m2, c2, 2, 0).unwrap();
+    let x2 = vm2.alloc(m2, c2, 2, 0).unwrap();
+    vm2.set_field(h2, 0, x2).unwrap();
+    vm2.set_field(h2, 1, x2).unwrap();
+    vm2.assert_dead(x2).unwrap();
+    vm2.assert_unshared(x2).unwrap();
+    let report2 = vm2.collect().unwrap();
+    assert_eq!(report2.violations.len(), 2, "{report2}");
+}
+
+#[test]
+fn instance_counts_unaffected_by_other_violations() {
+    // A collection with many dead-reachable violations still counts
+    // tracked instances exactly.
+    let mut vm = vm();
+    let m = vm.main();
+    let c = vm.register_class("T", &[]);
+    vm.assert_instances(c, 1000).unwrap();
+    for _ in 0..50 {
+        let x = vm.alloc_rooted(m, c, 0, 0).unwrap();
+        vm.assert_dead(x).unwrap(); // all violated
+    }
+    let report = vm.collect().unwrap();
+    assert_eq!(report.counters.tracked_instances_counted, 50);
+    assert_eq!(report.violations.len(), 50);
+    assert!(report
+        .violations
+        .iter()
+        .all(|v| matches!(v.kind, ViolationKind::DeadReachable { .. })));
+}
+
+#[test]
+fn halt_mid_collection_still_produces_full_report() {
+    // Halt stops the *mutator*, not the collection: the report contains
+    // every violation found in the cycle, not just the first.
+    let mut vm = Vm::new(VmConfig::new().reaction(Reaction::Halt));
+    let m = vm.main();
+    let c = vm.register_class("T", &[]);
+    for _ in 0..5 {
+        let x = vm.alloc_rooted(m, c, 0, 0).unwrap();
+        vm.assert_dead(x).unwrap();
+    }
+    let report = vm.collect().unwrap();
+    assert_eq!(report.violations.len(), 5);
+    assert!(report.halted);
+}

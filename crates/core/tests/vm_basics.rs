@@ -1,0 +1,210 @@
+//! VM façade behaviour: allocation policy, roots, frames, globals, modes.
+
+use gc_assertions::{HeapError, Mode, ObjRef, Vm, VmConfig, VmError};
+
+fn small_vm(budget: usize, grow: bool) -> Vm {
+    Vm::new(VmConfig::new().heap_budget_words(budget).grow_on_oom(grow))
+}
+
+#[test]
+fn alloc_triggers_gc_at_budget() {
+    // Budget fits ~4 of our 10-word objects; unrooted garbage must be
+    // collected automatically as allocation pressure mounts.
+    let mut vm = small_vm(40, false);
+    let c = vm.register_class("T", &[]);
+    let m = vm.main();
+    for _ in 0..100 {
+        vm.alloc(m, c, 0, 8).unwrap(); // 2 header + 8 data = 10 words
+    }
+    assert!(vm.gc_stats().collections > 0, "budget pressure forces GCs");
+    assert!(vm.heap().occupied_words() <= 40);
+}
+
+#[test]
+fn oom_when_rooted_objects_fill_fixed_heap() {
+    let mut vm = small_vm(40, false);
+    let c = vm.register_class("T", &[]);
+    let m = vm.main();
+    let mut last = Ok(ObjRef::NULL);
+    for _ in 0..10 {
+        last = vm.alloc_rooted(m, c, 0, 8);
+        if last.is_err() {
+            break;
+        }
+    }
+    match last {
+        Err(VmError::Heap(HeapError::OutOfMemory { .. })) => {}
+        other => panic!("expected OOM, got {other:?}"),
+    }
+}
+
+#[test]
+fn growable_heap_never_ooms() {
+    let mut vm = small_vm(40, true);
+    let c = vm.register_class("T", &[]);
+    let m = vm.main();
+    for _ in 0..50 {
+        vm.alloc_rooted(m, c, 0, 8).unwrap();
+    }
+    assert!(vm.heap_budget() > 40, "budget must have grown");
+    assert_eq!(vm.heap().live_objects(), 50);
+}
+
+#[test]
+fn rooted_objects_survive_unrooted_die() {
+    let mut vm = small_vm(1 << 20, true);
+    let c = vm.register_class("T", &["f"]);
+    let m = vm.main();
+    let kept = vm.alloc_rooted(m, c, 1, 0).unwrap();
+    let child = vm.alloc(m, c, 1, 0).unwrap();
+    vm.set_field(kept, 0, child).unwrap();
+    let garbage = vm.alloc(m, c, 1, 0).unwrap();
+    vm.collect().unwrap();
+    assert!(vm.is_live(kept));
+    assert!(vm.is_live(child));
+    assert!(!vm.is_live(garbage));
+}
+
+#[test]
+fn pop_frame_drops_roots() {
+    let mut vm = small_vm(1 << 20, true);
+    let c = vm.register_class("T", &[]);
+    let m = vm.main();
+    let outer = vm.alloc_rooted(m, c, 0, 0).unwrap();
+    vm.push_frame(m).unwrap();
+    let inner = vm.alloc_rooted(m, c, 0, 0).unwrap();
+    vm.collect().unwrap();
+    assert!(vm.is_live(inner));
+    vm.pop_frame(m).unwrap();
+    vm.collect().unwrap();
+    assert!(vm.is_live(outer));
+    assert!(!vm.is_live(inner));
+}
+
+#[test]
+fn base_frame_cannot_be_popped() {
+    let mut vm = small_vm(1 << 20, true);
+    let m = vm.main();
+    assert_eq!(vm.pop_frame(m), Err(VmError::NoFrame(m)));
+}
+
+#[test]
+fn set_root_models_local_reassignment() {
+    let mut vm = small_vm(1 << 20, true);
+    let c = vm.register_class("T", &[]);
+    let m = vm.main();
+    let a = vm.alloc(m, c, 0, 0).unwrap();
+    let slot = vm.add_root(m, a).unwrap();
+    assert_eq!(vm.root(m, slot).unwrap(), a);
+    // x = null
+    vm.set_root(m, slot, ObjRef::NULL).unwrap();
+    vm.collect().unwrap();
+    assert!(!vm.is_live(a));
+    // Bad slot is reported.
+    assert!(matches!(
+        vm.set_root(m, 999, ObjRef::NULL),
+        Err(VmError::BadRootSlot { slot: 999, .. })
+    ));
+}
+
+#[test]
+fn globals_keep_objects_alive_until_removed() {
+    let mut vm = small_vm(1 << 20, true);
+    let c = vm.register_class("T", &[]);
+    let m = vm.main();
+    let g = vm.alloc(m, c, 0, 0).unwrap();
+    vm.add_global(g).unwrap();
+    vm.collect().unwrap();
+    assert!(vm.is_live(g));
+    vm.remove_global(g).unwrap();
+    assert_eq!(vm.remove_global(g), Err(VmError::GlobalNotFound(g)));
+    vm.collect().unwrap();
+    assert!(!vm.is_live(g));
+}
+
+#[test]
+fn multiple_mutators_have_independent_stacks() {
+    let mut vm = small_vm(1 << 20, true);
+    let c = vm.register_class("T", &[]);
+    let m1 = vm.main();
+    let m2 = vm.spawn_mutator();
+    assert_eq!(vm.mutator_count(), 2);
+    let a = vm.alloc_rooted(m1, c, 0, 0).unwrap();
+    let b = vm.alloc_rooted(m2, c, 0, 0).unwrap();
+    vm.push_frame(m2).unwrap();
+    let b2 = vm.alloc_rooted(m2, c, 0, 0).unwrap();
+    vm.pop_frame(m2).unwrap();
+    vm.collect().unwrap();
+    assert!(vm.is_live(a));
+    assert!(vm.is_live(b));
+    assert!(!vm.is_live(b2));
+}
+
+#[test]
+fn base_mode_rejects_assertion_api() {
+    let mut vm = Vm::new(VmConfig::new().mode(Mode::Base));
+    let c = vm.register_class("T", &[]);
+    let m = vm.main();
+    let a = vm.alloc_rooted(m, c, 0, 0).unwrap();
+    let b = vm.alloc_rooted(m, c, 0, 0).unwrap();
+    assert_eq!(vm.assert_dead(a), Err(VmError::BaseMode));
+    assert_eq!(vm.assert_unshared(a), Err(VmError::BaseMode));
+    assert_eq!(vm.assert_instances(c, 1), Err(VmError::BaseMode));
+    assert_eq!(vm.assert_owned_by(a, b), Err(VmError::BaseMode));
+    assert_eq!(vm.start_region(m), Err(VmError::BaseMode));
+    // But ordinary execution and collection work.
+    let report = vm.collect().unwrap();
+    assert!(report.is_clean());
+}
+
+#[test]
+fn stale_handles_are_checked_errors() {
+    let mut vm = small_vm(1 << 20, true);
+    let c = vm.register_class("T", &["f"]);
+    let m = vm.main();
+    let a = vm.alloc(m, c, 1, 0).unwrap(); // unrooted
+    vm.collect().unwrap();
+    assert!(!vm.is_live(a));
+    assert!(matches!(vm.field(a, 0), Err(VmError::Heap(_))));
+    assert!(matches!(
+        vm.set_field(a, 0, ObjRef::NULL),
+        Err(VmError::Heap(_))
+    ));
+    assert!(matches!(vm.add_root(m, a), Err(VmError::Heap(_))));
+}
+
+#[test]
+fn unknown_mutator_is_rejected() {
+    let mut vm = small_vm(1 << 20, true);
+    let c = vm.register_class("T", &[]);
+    let bogus = Vm::new(VmConfig::new()).spawn_mutator();
+    assert!(matches!(
+        vm.alloc(bogus, c, 0, 0),
+        Err(VmError::NoSuchMutator(_))
+    ));
+}
+
+#[test]
+fn assertion_call_counts_accumulate() {
+    let mut vm = small_vm(1 << 20, true);
+    let c = vm.register_class("T", &[]);
+    let m = vm.main();
+    let a = vm.alloc_rooted(m, c, 0, 0).unwrap();
+    let b = vm.alloc_rooted(m, c, 0, 0).unwrap();
+    vm.assert_dead(a).unwrap();
+    vm.assert_unshared(b).unwrap();
+    vm.assert_instances(c, 5).unwrap();
+    vm.assert_owned_by(a, b).unwrap();
+    vm.start_region(m).unwrap();
+    vm.alloc(m, c, 0, 0).unwrap();
+    vm.alloc(m, c, 0, 0).unwrap();
+    let n = vm.assert_alldead(m).unwrap();
+    assert_eq!(n, 2);
+    let calls = vm.assertion_calls();
+    assert_eq!(calls.dead, 1);
+    assert_eq!(calls.unshared, 1);
+    assert_eq!(calls.instances, 1);
+    assert_eq!(calls.owned_by, 1);
+    assert_eq!(calls.regions_started, 1);
+    assert_eq!(calls.region_objects, 2);
+}

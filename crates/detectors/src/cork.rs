@@ -1,0 +1,196 @@
+//! Cork-style heap-growth differencing.
+
+use std::collections::HashMap;
+
+use gca_heap::{ClassId, Heap};
+
+/// A class the growth heuristic suspects of leaking. Type-level only: as
+/// the paper notes about Cork, the report names *types*, not the object
+/// instances or the references responsible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrowthCandidate {
+    /// The suspect class.
+    pub class: ClassId,
+    /// Its name.
+    pub class_name: String,
+    /// Live volume (words) at the first observation of the streak.
+    pub from_words: usize,
+    /// Live volume (words) at the latest observation.
+    pub to_words: usize,
+    /// Number of consecutive observations with growth.
+    pub streak: usize,
+}
+
+/// A heap-differencing leak detector in the style of Jump & McKinley's
+/// Cork: after each collection it snapshots live volume per class and
+/// reports classes whose volume has grown in `window` consecutive
+/// snapshots.
+///
+/// Compare with `assert_owned_by`/`assert_dead`: Cork needs many
+/// collections of sustained growth before it fires, cannot point at an
+/// instance, and flags any legitimately growing structure (false
+/// positive); the GC assertion fires at the first collection after the
+/// leak with a full path.
+///
+/// # Example
+///
+/// ```
+/// use gca_detectors::CorkDetector;
+/// use gca_heap::Heap;
+///
+/// # fn main() -> Result<(), gca_heap::HeapError> {
+/// let mut heap = Heap::new();
+/// let c = heap.register_class("Order", &[]);
+/// let mut cork = CorkDetector::new(3);
+/// for round in 0..4 {
+///     for _ in 0..10 {
+///         heap.alloc(c, 0, 4)?; // grows every round and never freed
+///     }
+///     let _ = cork.observe(&heap);
+///     if round == 3 {
+///         assert_eq!(cork.observe(&heap).len(), 0); // flat between allocs
+///     }
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CorkDetector {
+    window: usize,
+    prev: HashMap<ClassId, usize>,
+    streaks: HashMap<ClassId, (usize, usize)>, // (streak length, volume at streak start)
+}
+
+impl CorkDetector {
+    /// Creates a detector that reports after `window` consecutive growing
+    /// observations (Cork's slack against phase behaviour).
+    pub fn new(window: usize) -> CorkDetector {
+        CorkDetector {
+            window: window.max(1),
+            prev: HashMap::new(),
+            streaks: HashMap::new(),
+        }
+    }
+
+    /// Takes a snapshot of per-class live volume (call after each
+    /// collection) and returns the classes whose volume has now grown for
+    /// at least `window` consecutive snapshots.
+    pub fn observe(&mut self, heap: &Heap) -> Vec<GrowthCandidate> {
+        let mut volumes: HashMap<ClassId, usize> = HashMap::new();
+        for (_, obj) in heap.iter() {
+            *volumes.entry(obj.class()).or_default() += obj.size_words();
+        }
+
+        let mut out = Vec::new();
+        for (&class, &words) in &volumes {
+            let prev = self.prev.get(&class).copied().unwrap_or(0);
+            if words > prev {
+                let entry = self.streaks.entry(class).or_insert((0, prev));
+                entry.0 += 1;
+                if entry.0 >= self.window {
+                    out.push(GrowthCandidate {
+                        class,
+                        class_name: heap.registry().name(class).to_owned(),
+                        from_words: entry.1,
+                        to_words: words,
+                        streak: entry.0,
+                    });
+                }
+            } else {
+                self.streaks.remove(&class);
+            }
+        }
+        // Classes that disappeared entirely reset their streaks.
+        self.streaks.retain(|c, _| volumes.contains_key(c));
+        self.prev = volumes;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_is_quiet() {
+        let mut heap = Heap::new();
+        let c = heap.register_class("T", &[]);
+        for _ in 0..10 {
+            heap.alloc(c, 0, 1).unwrap();
+        }
+        let mut cork = CorkDetector::new(2);
+        assert!(cork.observe(&heap).len() <= 1); // first observation may grow from 0
+        assert!(cork.observe(&heap).is_empty());
+        assert!(cork.observe(&heap).is_empty());
+    }
+
+    #[test]
+    fn monotonic_growth_fires_after_window() {
+        let mut heap = Heap::new();
+        let c = heap.register_class("Order", &[]);
+        let mut cork = CorkDetector::new(3);
+        let mut fired_at = None;
+        for round in 0..6 {
+            for _ in 0..5 {
+                heap.alloc(c, 0, 2).unwrap();
+            }
+            let hits = cork.observe(&heap);
+            if !hits.is_empty() && fired_at.is_none() {
+                fired_at = Some(round);
+                assert_eq!(hits[0].class_name, "Order");
+                assert!(hits[0].to_words > hits[0].from_words);
+                assert!(hits[0].streak >= 3);
+            }
+        }
+        assert_eq!(fired_at, Some(2), "needs `window` observations to fire");
+    }
+
+    #[test]
+    fn growth_streak_resets_on_shrink() {
+        let mut heap = Heap::new();
+        let c = heap.register_class("T", &[]);
+        let mut cork = CorkDetector::new(2);
+        let a = heap.alloc(c, 0, 8).unwrap();
+        cork.observe(&heap); // streak 1
+        heap.free(a).unwrap();
+        assert!(cork.observe(&heap).is_empty()); // shrink resets
+        heap.alloc(c, 0, 8).unwrap();
+        assert!(cork.observe(&heap).is_empty(), "streak restarted at 1");
+    }
+
+    #[test]
+    fn false_positive_on_legitimate_growth() {
+        // A cache that is *supposed* to grow is still flagged — the
+        // heuristic cannot know the programmer's intent.
+        let mut heap = Heap::new();
+        let c = heap.register_class("LegitCache", &[]);
+        let mut cork = CorkDetector::new(2);
+        let mut flagged = false;
+        for _ in 0..4 {
+            for _ in 0..3 {
+                heap.alloc(c, 0, 4).unwrap();
+            }
+            flagged |= !cork.observe(&heap).is_empty();
+        }
+        assert!(flagged, "intended growth is indistinguishable from a leak");
+    }
+
+    #[test]
+    fn two_classes_tracked_independently() {
+        let mut heap = Heap::new();
+        let grow = heap.register_class("Grow", &[]);
+        let flat = heap.register_class("Flat", &[]);
+        for _ in 0..5 {
+            heap.alloc(flat, 0, 1).unwrap();
+        }
+        let mut cork = CorkDetector::new(2);
+        cork.observe(&heap);
+        for _ in 0..3 {
+            heap.alloc(grow, 0, 1).unwrap();
+            let hits = cork.observe(&heap);
+            for h in &hits {
+                assert_eq!(h.class_name, "Grow");
+            }
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Heap snapshots for offline analysis.
+//!
+//! LeakBot-style tools (Mitchell & Sevitsky, cited as [32] in the paper)
+//! diagnose leaks from heap *snapshots*: a frozen copy of the object
+//! graph that an analyzer can mine for suspicious ownership structures.
+//! This module captures such snapshots from the live heap; the
+//! [`crate::Dominators`] analysis consumes them.
+
+use std::collections::HashMap;
+
+use gca_heap::{Heap, ObjRef};
+
+/// One object in a snapshot: identity, class, size, and outgoing edges
+/// (as node indices within the snapshot).
+#[derive(Debug, Clone)]
+pub struct SnapshotNode {
+    /// The object's handle at capture time.
+    pub object: ObjRef,
+    /// Class name at capture time.
+    pub class_name: String,
+    /// Shallow size in words.
+    pub size_words: usize,
+    /// Outgoing reference edges, as indices into
+    /// [`HeapSnapshot::nodes`].
+    pub edges: Vec<usize>,
+}
+
+/// A frozen copy of the *reachable* object graph.
+///
+/// # Example
+///
+/// ```
+/// use gca_detectors::HeapSnapshot;
+/// use gca_heap::Heap;
+///
+/// # fn main() -> Result<(), gca_heap::HeapError> {
+/// let mut heap = Heap::new();
+/// let c = heap.register_class("T", &["f"]);
+/// let root = heap.alloc(c, 1, 0)?;
+/// let child = heap.alloc(c, 1, 2)?;
+/// heap.set_ref_field(root, 0, child)?;
+/// let _garbage = heap.alloc(c, 1, 0)?;
+///
+/// let snap = HeapSnapshot::capture(&heap, &[root]);
+/// assert_eq!(snap.node_count(), 2); // garbage is not captured
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HeapSnapshot {
+    nodes: Vec<SnapshotNode>,
+    /// Indices of root-referenced nodes (deduplicated).
+    roots: Vec<usize>,
+    index: HashMap<ObjRef, usize>,
+}
+
+impl HeapSnapshot {
+    /// Captures the object graph reachable from `roots`.
+    pub fn capture(heap: &Heap, roots: &[ObjRef]) -> HeapSnapshot {
+        let mut snap = HeapSnapshot {
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            index: HashMap::new(),
+        };
+        // BFS, assigning node ids in visit order.
+        let mut queue: Vec<ObjRef> = Vec::new();
+        for &r in roots {
+            if r.is_some() && heap.is_valid(r) && !snap.index.contains_key(&r) {
+                let id = snap.push_node(heap, r);
+                snap.roots.push(id);
+                queue.push(r);
+            } else if let Some(&id) = snap.index.get(&r) {
+                if !snap.roots.contains(&id) {
+                    snap.roots.push(id);
+                }
+            }
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let obj = queue[head];
+            head += 1;
+            let from = snap.index[&obj];
+            let refs: Vec<ObjRef> = heap
+                .get(obj)
+                .map(|o| o.refs().to_vec())
+                .unwrap_or_default();
+            for c in refs {
+                if c.is_null() || !heap.is_valid(c) {
+                    continue;
+                }
+                let to = match snap.index.get(&c) {
+                    Some(&id) => id,
+                    None => {
+                        let id = snap.push_node(heap, c);
+                        queue.push(c);
+                        id
+                    }
+                };
+                snap.nodes[from].edges.push(to);
+            }
+        }
+        snap
+    }
+
+    fn push_node(&mut self, heap: &Heap, obj: ObjRef) -> usize {
+        let o = heap.get(obj).expect("capture only visits live objects");
+        let id = self.nodes.len();
+        self.nodes.push(SnapshotNode {
+            object: obj,
+            class_name: heap.registry().name(o.class()).to_owned(),
+            size_words: o.size_words(),
+            edges: Vec::new(),
+        });
+        self.index.insert(obj, id);
+        id
+    }
+
+    /// Number of captured (reachable) objects.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The captured nodes, indexable by the ids used in edges.
+    pub fn nodes(&self) -> &[SnapshotNode] {
+        &self.nodes
+    }
+
+    /// Indices of the root-referenced nodes.
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// The node id of `obj`, if it was reachable at capture time.
+    pub fn node_of(&self, obj: ObjRef) -> Option<usize> {
+        self.index.get(&obj).copied()
+    }
+
+    /// Total shallow size of the captured graph, in words.
+    pub fn total_words(&self) -> usize {
+        self.nodes.iter().map(|n| n.size_words).sum()
+    }
+
+    /// Renders the snapshot as a Graphviz DOT digraph: one node per
+    /// object (labelled `Class #id (size)`), root nodes double-circled,
+    /// one edge per reference. Paste into `dot -Tsvg` to visualize the
+    /// heap a violation report describes.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph heap {\n  rankdir=LR;\n  node [shape=box];\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let shape = if self.roots.contains(&i) {
+                " peripheries=2"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "  n{} [label=\"{} #{} ({}w)\"{}];\n",
+                i,
+                n.class_name.replace('"', "'"),
+                i,
+                n.size_words,
+                shape
+            ));
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            for &e in &n.edges {
+                out.push_str(&format!("  n{i} -> n{e};\n"));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Shallow size aggregated by class, sorted descending.
+    pub fn class_histogram(&self) -> Vec<(String, usize, usize)> {
+        let mut by_class: HashMap<&str, (usize, usize)> = HashMap::new();
+        for n in &self.nodes {
+            let e = by_class.entry(&n.class_name).or_default();
+            e.0 += 1;
+            e.1 += n.size_words;
+        }
+        let mut out: Vec<(String, usize, usize)> = by_class
+            .into_iter()
+            .map(|(k, (count, words))| (k.to_owned(), count, words))
+            .collect();
+        out.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap() -> (Heap, gca_heap::ClassId) {
+        let mut h = Heap::new();
+        let c = h.register_class("T", &["a", "b"]);
+        (h, c)
+    }
+
+    #[test]
+    fn captures_reachable_subgraph_only() {
+        let (mut heap, c) = heap();
+        let root = heap.alloc(c, 2, 0).unwrap();
+        let child = heap.alloc(c, 2, 3).unwrap();
+        let garbage = heap.alloc(c, 2, 0).unwrap();
+        heap.set_ref_field(root, 0, child).unwrap();
+        heap.set_ref_field(garbage, 0, child).unwrap();
+
+        let snap = HeapSnapshot::capture(&heap, &[root]);
+        assert_eq!(snap.node_count(), 2);
+        assert!(snap.node_of(root).is_some());
+        assert!(snap.node_of(child).is_some());
+        assert!(snap.node_of(garbage).is_none());
+        assert_eq!(snap.roots(), &[0]);
+        assert_eq!(snap.total_words(), 4 + 7);
+    }
+
+    #[test]
+    fn edges_preserved_including_duplicates_and_cycles() {
+        let (mut heap, c) = heap();
+        let a = heap.alloc(c, 2, 0).unwrap();
+        let b = heap.alloc(c, 2, 0).unwrap();
+        heap.set_ref_field(a, 0, b).unwrap();
+        heap.set_ref_field(a, 1, b).unwrap(); // duplicate edge
+        heap.set_ref_field(b, 0, a).unwrap(); // back edge
+        let snap = HeapSnapshot::capture(&heap, &[a]);
+        let na = snap.node_of(a).unwrap();
+        let nb = snap.node_of(b).unwrap();
+        assert_eq!(snap.nodes()[na].edges, vec![nb, nb]);
+        assert_eq!(snap.nodes()[nb].edges, vec![na]);
+    }
+
+    #[test]
+    fn duplicate_roots_deduplicated() {
+        let (mut heap, c) = heap();
+        let a = heap.alloc(c, 2, 0).unwrap();
+        let snap = HeapSnapshot::capture(&heap, &[a, a, a]);
+        assert_eq!(snap.roots().len(), 1);
+        assert_eq!(snap.node_count(), 1);
+    }
+
+    #[test]
+    fn histogram_aggregates_by_class() {
+        let mut heap = Heap::new();
+        let big = heap.register_class("Big", &[]);
+        let small = heap.register_class("Small", &[]);
+        let holder = heap.register_class("Holder", &["a", "b", "c"]);
+        let h = heap.alloc(holder, 3, 0).unwrap();
+        for i in 0..2 {
+            let o = heap.alloc(big, 0, 50).unwrap();
+            heap.set_ref_field(h, i, o).unwrap();
+        }
+        let s = heap.alloc(small, 0, 1).unwrap();
+        heap.set_ref_field(h, 2, s).unwrap();
+
+        let snap = HeapSnapshot::capture(&heap, &[h]);
+        let hist = snap.class_histogram();
+        assert_eq!(hist[0].0, "Big");
+        assert_eq!(hist[0].1, 2);
+        assert_eq!(hist[0].2, 104);
+    }
+
+    #[test]
+    fn dot_export_has_nodes_edges_and_root_marking() {
+        let (mut heap, c) = heap();
+        let root = heap.alloc(c, 2, 0).unwrap();
+        let child = heap.alloc(c, 2, 0).unwrap();
+        heap.set_ref_field(root, 0, child).unwrap();
+        let snap = HeapSnapshot::capture(&heap, &[root]);
+        let dot = snap.to_dot();
+        assert!(dot.starts_with("digraph heap {"));
+        assert!(dot.contains("n0 [label=\"T #0 (4w)\" peripheries=2]"));
+        assert!(dot.contains("n1 [label=\"T #1 (4w)\"]"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn empty_and_stale_roots_tolerated() {
+        let (mut heap, c) = heap();
+        let dead = heap.alloc(c, 2, 0).unwrap();
+        heap.free(dead).unwrap();
+        let snap = HeapSnapshot::capture(&heap, &[ObjRef::NULL, dead]);
+        assert_eq!(snap.node_count(), 0);
+        assert!(snap.roots().is_empty());
+    }
+}

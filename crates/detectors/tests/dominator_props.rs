@@ -1,0 +1,105 @@
+//! Property test: the CHK dominator computation agrees with the
+//! brute-force definition on arbitrary random heaps.
+//!
+//! Definition: `a` dominates `b` iff deleting `a` from the graph makes
+//! `b` unreachable from the roots. The retained set of `a` is exactly
+//! the set of nodes it dominates.
+
+use gca_detectors::{Dominators, HeapSnapshot};
+use gca_heap::{Heap, ObjRef};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn build(
+    n: usize,
+    edges: &[(usize, usize, usize)],
+    root_picks: &[usize],
+) -> (Heap, Vec<ObjRef>, Vec<ObjRef>) {
+    let mut heap = Heap::new();
+    let c = heap.register_class("N", &[]);
+    let objs: Vec<ObjRef> = (0..n).map(|_| heap.alloc(c, 3, 1).unwrap()).collect();
+    for &(from, field, to) in edges {
+        heap.set_ref_field(objs[from % n], field % 3, objs[to % n])
+            .unwrap();
+    }
+    let roots: Vec<ObjRef> = root_picks.iter().map(|&i| objs[i % n]).collect();
+    (heap, objs, roots)
+}
+
+/// Reachability from the roots with node `skip` deleted.
+fn reachable_without(snap: &HeapSnapshot, skip: Option<usize>) -> HashSet<usize> {
+    let mut seen = HashSet::new();
+    let mut stack: Vec<usize> = snap
+        .roots()
+        .iter()
+        .copied()
+        .filter(|&r| Some(r) != skip)
+        .collect();
+    while let Some(v) = stack.pop() {
+        if !seen.insert(v) {
+            continue;
+        }
+        for &s in &snap.nodes()[v].edges {
+            if Some(s) != skip && !seen.contains(&s) {
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn dominators_match_deletion_definition(
+        n in 1usize..18,
+        edges in proptest::collection::vec((0usize..18, 0usize..3, 0usize..18), 0..60),
+        root_picks in proptest::collection::vec(0usize..18, 1..4),
+    ) {
+        let (heap, _objs, roots) = build(n, &edges, &root_picks);
+        let snap = HeapSnapshot::capture(&heap, &roots);
+        let dom = Dominators::compute(&snap);
+
+        let all = reachable_without(&snap, None);
+        prop_assert_eq!(all.len(), snap.node_count(), "snapshot is the reachable set");
+
+        for a in 0..snap.node_count() {
+            let without_a = reachable_without(&snap, Some(a));
+            for b in 0..snap.node_count() {
+                let brute = if a == b {
+                    true
+                } else {
+                    // b reachable overall but not without a.
+                    !without_a.contains(&b)
+                };
+                prop_assert_eq!(
+                    dom.dominates(a, b),
+                    brute,
+                    "dominates({}, {}) mismatch", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retained_size_equals_dominated_set_size(
+        n in 1usize..18,
+        edges in proptest::collection::vec((0usize..18, 0usize..3, 0usize..18), 0..60),
+        root_picks in proptest::collection::vec(0usize..18, 1..4),
+    ) {
+        let (heap, _objs, roots) = build(n, &edges, &root_picks);
+        let snap = HeapSnapshot::capture(&heap, &roots);
+        let dom = Dominators::compute(&snap);
+        let retained = dom.retained_words(&snap);
+
+        for (a, &got) in retained.iter().enumerate() {
+            let without_a = reachable_without(&snap, Some(a));
+            let expected: usize = (0..snap.node_count())
+                .filter(|&b| b == a || !without_a.contains(&b))
+                .map(|b| snap.nodes()[b].size_words)
+                .sum();
+            prop_assert_eq!(got, expected, "retained({}) mismatch", a);
+        }
+    }
+}

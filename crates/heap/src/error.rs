@@ -1,0 +1,99 @@
+//! Heap error type.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ObjRef;
+
+/// Errors returned by heap operations.
+///
+/// All variants indicate a mutator (or collector) programming error that a
+/// real managed runtime would either make impossible or turn into a
+/// `NullPointerException`-style fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HeapError {
+    /// The reference is null where a live object was required.
+    NullRef,
+    /// The reference's slot index is outside the heap.
+    InvalidRef(ObjRef),
+    /// The reference's generation does not match the slot — the object it
+    /// pointed at has been reclaimed (use after free).
+    StaleRef(ObjRef),
+    /// The field index is out of bounds for the object.
+    FieldOutOfBounds {
+        /// Object being accessed.
+        object: ObjRef,
+        /// Requested reference-field index.
+        field: usize,
+        /// Number of reference fields the object actually has.
+        len: usize,
+    },
+    /// The heap budget is exhausted and a collection did not free enough
+    /// space (raised by the VM layer's allocation policy).
+    OutOfMemory {
+        /// Words requested by the failing allocation.
+        requested: usize,
+        /// Heap budget in words.
+        budget: usize,
+        /// Words still occupied after the last collection.
+        occupied: usize,
+    },
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::NullRef => write!(f, "null reference"),
+            HeapError::InvalidRef(r) => write!(f, "invalid reference {r}"),
+            HeapError::StaleRef(r) => {
+                write!(f, "stale reference {r} (object was reclaimed)")
+            }
+            HeapError::FieldOutOfBounds { object, field, len } => write!(
+                f,
+                "field index {field} out of bounds for object {object} with {len} reference fields"
+            ),
+            HeapError::OutOfMemory {
+                requested,
+                budget,
+                occupied,
+            } => write!(
+                f,
+                "out of memory: requested {requested} words, budget {budget}, occupied {occupied}"
+            ),
+        }
+    }
+}
+
+impl Error for HeapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = HeapError::NullRef;
+        assert_eq!(e.to_string(), "null reference");
+        let e = HeapError::StaleRef(ObjRef::NULL);
+        assert!(e.to_string().contains("stale"));
+        let e = HeapError::FieldOutOfBounds {
+            object: ObjRef::NULL,
+            field: 9,
+            len: 2,
+        };
+        assert!(e.to_string().contains("field index 9"));
+        let e = HeapError::OutOfMemory {
+            requested: 10,
+            budget: 100,
+            occupied: 95,
+        };
+        assert!(e.to_string().starts_with("out of memory"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn take(_: &dyn Error) {}
+        take(&HeapError::NullRef);
+    }
+}

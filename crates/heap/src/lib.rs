@@ -1,0 +1,62 @@
+//! # gca-heap — managed-heap substrate
+//!
+//! This crate implements the object model and allocator that stand in for
+//! the Jikes RVM heap in the Rust reproduction of *GC Assertions: Using the
+//! Garbage Collector to Check Heap Properties* (Aftandilian & Guyer, PLDI
+//! 2009).
+//!
+//! The heap is a **non-moving, free-list heap** (the paper uses the
+//! MarkSweep plan), holding objects that carry:
+//!
+//! * a class id into a runtime [`TypeRegistry`] (the analogue of
+//!   `RVMClass`),
+//! * a header word of [`Flags`] with the *spare header bits* the paper
+//!   steals for `assert-dead`, `assert-unshared` and the ownership marks,
+//! * a slice of reference fields, and
+//! * an opaque data payload measured in words (so allocation volume and
+//!   heap pressure behave realistically without simulating primitive data).
+//!
+//! Objects are addressed through generation-checked [`ObjRef`] handles: the
+//! heap bumps a slot's generation when the slot is freed, so a stale handle
+//! is a checked [`HeapError::StaleRef`] instead of undefined behaviour.
+//! This models the safety a managed runtime provides to the collector and
+//! mutator.
+//!
+//! # Example
+//!
+//! ```
+//! use gca_heap::{Heap, ObjRef};
+//!
+//! # fn main() -> Result<(), gca_heap::HeapError> {
+//! let mut heap = Heap::new();
+//! let list = heap.register_class("List", &["head"]);
+//! let node = heap.register_class("Node", &["next", "value"]);
+//!
+//! let l = heap.alloc(list, 1, 0)?;
+//! let n = heap.alloc(node, 2, 4)?;
+//! heap.set_ref_field(l, 0, n)?;
+//! assert_eq!(heap.ref_field(l, 0)?, n);
+//! assert_eq!(heap.class_name(heap.class_of(n)?), "Node");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod class;
+mod error;
+mod flags;
+mod heap;
+mod object;
+mod objref;
+mod stats;
+
+pub use class::{ClassId, ClassInfo, TypeRegistry};
+pub use error::HeapError;
+pub use flags::Flags;
+pub use heap::{Heap, LiveIter};
+pub use object::{Object, HEADER_WORDS};
+pub use objref::ObjRef;
+pub use stats::HeapStats;

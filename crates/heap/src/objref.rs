@@ -1,0 +1,135 @@
+//! Generation-checked object references.
+
+use std::fmt;
+
+/// A handle to a heap object: a slot index plus the slot generation at the
+/// time the handle was created.
+///
+/// The heap bumps a slot's generation when the object in it is freed, so a
+/// handle that outlives its object no longer resolves — using it is a
+/// checked error ([`crate::HeapError::StaleRef`]), never a silent read of an
+/// unrelated object that happens to reuse the slot. This is the moral
+/// equivalent of the memory safety a managed runtime gives its collector.
+///
+/// `ObjRef` is a plain `Copy` value; the *null reference* is
+/// [`ObjRef::NULL`], mirroring Java's `null` in reference fields.
+///
+/// # Example
+///
+/// ```
+/// use gca_heap::ObjRef;
+///
+/// let r = ObjRef::NULL;
+/// assert!(r.is_null());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjRef {
+    index: u32,
+    gen: u32,
+}
+
+impl ObjRef {
+    /// The null reference. Reference fields of fresh objects are null.
+    pub const NULL: ObjRef = ObjRef {
+        index: u32::MAX,
+        gen: 0,
+    };
+
+    /// Creates a reference from raw parts. Only the heap mints live
+    /// references; this is `pub(crate)` on purpose.
+    pub(crate) fn from_parts(index: u32, gen: u32) -> ObjRef {
+        ObjRef { index, gen }
+    }
+
+    /// Returns `true` if this is the null reference.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.index == u32::MAX
+    }
+
+    /// Returns `true` if this is not the null reference.
+    #[inline]
+    pub fn is_some(self) -> bool {
+        !self.is_null()
+    }
+
+    /// The slot index this handle points at.
+    ///
+    /// Stable for the lifetime of the object because the heap is
+    /// non-moving; only meaningful for diagnostics once the object dies.
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.index
+    }
+
+    /// The slot generation this handle was minted with.
+    #[inline]
+    pub fn generation(self) -> u32 {
+        self.gen
+    }
+}
+
+impl Default for ObjRef {
+    fn default() -> Self {
+        ObjRef::NULL
+    }
+}
+
+impl fmt::Debug for ObjRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "ObjRef(null)")
+        } else {
+            write!(f, "ObjRef({}v{})", self.index, self.gen)
+        }
+    }
+}
+
+impl fmt::Display for ObjRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "null")
+        } else {
+            write!(f, "@{}v{}", self.index, self.gen)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_null() {
+        assert!(ObjRef::NULL.is_null());
+        assert!(!ObjRef::NULL.is_some());
+        assert_eq!(ObjRef::default(), ObjRef::NULL);
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let r = ObjRef::from_parts(7, 3);
+        assert!(r.is_some());
+        assert_eq!(r.index(), 7);
+        assert_eq!(r.generation(), 3);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ObjRef::NULL.to_string(), "null");
+        assert_eq!(ObjRef::from_parts(5, 2).to_string(), "@5v2");
+        assert_eq!(format!("{:?}", ObjRef::NULL), "ObjRef(null)");
+        assert_eq!(format!("{:?}", ObjRef::from_parts(1, 1)), "ObjRef(1v1)");
+    }
+
+    #[test]
+    fn ordering_and_hash_are_derived() {
+        let a = ObjRef::from_parts(1, 0);
+        let b = ObjRef::from_parts(2, 0);
+        assert!(a < b);
+        let mut set = std::collections::HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&a));
+        assert!(!set.contains(&b));
+    }
+}

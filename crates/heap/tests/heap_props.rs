@@ -1,0 +1,125 @@
+//! Property-based tests for the free-list heap.
+//!
+//! Drives the heap through random interleavings of alloc / free / field
+//! writes and checks the core invariants against a shadow model:
+//!
+//! * live-object count and occupied-word accounting stay exact,
+//! * freed handles are permanently stale, live handles always resolve,
+//! * slot reuse never lets a stale handle observe the new occupant,
+//! * field writes are only visible through the written object.
+
+use gca_heap::{Flags, Heap, HeapError, ObjRef};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { nrefs: usize, data: usize },
+    Free { victim: usize },
+    Write { obj: usize, field: usize, val: usize },
+    SetFlag { obj: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..6, 0usize..16).prop_map(|(nrefs, data)| Op::Alloc { nrefs, data }),
+        (0usize..64).prop_map(|victim| Op::Free { victim }),
+        (0usize..64, 0usize..6, 0usize..64)
+            .prop_map(|(obj, field, val)| Op::Write { obj, field, val }),
+        (0usize..64).prop_map(|obj| Op::SetFlag { obj }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn heap_invariants_hold(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut heap = Heap::new();
+        let class = heap.register_class("P", &[]);
+
+        // Shadow model: live handles and their expected (nrefs, data) shape.
+        let mut live: Vec<ObjRef> = Vec::new();
+        let mut shape: HashMap<ObjRef, (usize, usize)> = HashMap::new();
+        let mut dead: Vec<ObjRef> = Vec::new();
+        let mut expected_words = 0usize;
+
+        for op in ops {
+            match op {
+                Op::Alloc { nrefs, data } => {
+                    let r = heap.alloc(class, nrefs, data).unwrap();
+                    prop_assert!(heap.is_valid(r));
+                    expected_words += gca_heap::HEADER_WORDS + nrefs + data;
+                    live.push(r);
+                    shape.insert(r, (nrefs, data));
+                }
+                Op::Free { victim } => {
+                    if live.is_empty() { continue; }
+                    let r = live.remove(victim % live.len());
+                    let (nrefs, data) = shape.remove(&r).unwrap();
+                    let words = heap.free(r).unwrap();
+                    prop_assert_eq!(words, gca_heap::HEADER_WORDS + nrefs + data);
+                    expected_words -= words;
+                    dead.push(r);
+                }
+                Op::Write { obj, field, val } => {
+                    if live.is_empty() { continue; }
+                    let o = live[obj % live.len()];
+                    let v = live[val % live.len()];
+                    let (nrefs, _) = shape[&o];
+                    let res = heap.set_ref_field(o, field, v);
+                    if field < nrefs {
+                        prop_assert!(res.is_ok());
+                        prop_assert_eq!(heap.ref_field(o, field).unwrap(), v);
+                    } else {
+                        let oob = matches!(res, Err(HeapError::FieldOutOfBounds { .. }));
+                        prop_assert!(oob);
+                    }
+                }
+                Op::SetFlag { obj } => {
+                    if live.is_empty() { continue; }
+                    let o = live[obj % live.len()];
+                    heap.set_flag(o, Flags::UNSHARED).unwrap();
+                    prop_assert!(heap.has_flag(o, Flags::UNSHARED).unwrap());
+                }
+            }
+
+            // Global invariants after every operation.
+            prop_assert_eq!(heap.live_objects(), live.len());
+            prop_assert_eq!(heap.occupied_words(), expected_words);
+            for &r in &dead {
+                prop_assert!(!heap.is_valid(r), "freed handle {r} still valid");
+            }
+            for &r in &live {
+                prop_assert!(heap.is_valid(r), "live handle {r} went stale");
+            }
+        }
+
+        // The iterator agrees with the model exactly.
+        let mut from_iter: Vec<ObjRef> = heap.iter().map(|(r, _)| r).collect();
+        let mut expected: Vec<ObjRef> = live.clone();
+        from_iter.sort();
+        expected.sort();
+        prop_assert_eq!(from_iter, expected);
+    }
+
+    #[test]
+    fn alloc_free_alloc_reuses_slots_without_growth(n in 1usize..60) {
+        let mut heap = Heap::new();
+        let class = heap.register_class("Q", &[]);
+        let first: Vec<ObjRef> = (0..n).map(|_| heap.alloc(class, 1, 1).unwrap()).collect();
+        let peak_slots = heap.slot_count();
+        for r in &first {
+            heap.free(*r).unwrap();
+        }
+        let second: Vec<ObjRef> = (0..n).map(|_| heap.alloc(class, 1, 1).unwrap()).collect();
+        // Non-moving free-list heap must reuse every slot.
+        prop_assert_eq!(heap.slot_count(), peak_slots);
+        for r in &first {
+            prop_assert!(!heap.is_valid(*r));
+        }
+        for r in &second {
+            prop_assert!(heap.is_valid(*r));
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Compact binary encoding of event logs.
+//!
+//! One byte of tag per event plus little-endian fixed-width operands and
+//! length-prefixed strings — small enough to keep "record in production"
+//! plausible, simple enough to be an interchange format.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::error::Error;
+use std::fmt;
+
+use crate::event::Event;
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The buffer ended inside an event.
+    Truncated,
+    /// An unknown event tag.
+    BadTag(u8),
+    /// A string operand was not valid UTF-8.
+    BadString,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "event log truncated"),
+            CodecError::BadTag(t) => write!(f, "unknown event tag {t:#04x}"),
+            CodecError::BadString => write!(f, "invalid utf-8 in string operand"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+const T_REGISTER_CLASS: u8 = 0x01;
+const T_SPAWN_MUTATOR: u8 = 0x02;
+const T_ALLOC: u8 = 0x03;
+const T_SET_FIELD: u8 = 0x04;
+const T_SET_DATA: u8 = 0x05;
+const T_ADD_ROOT: u8 = 0x06;
+const T_SET_ROOT: u8 = 0x07;
+const T_PUSH_FRAME: u8 = 0x08;
+const T_POP_FRAME: u8 = 0x09;
+const T_ADD_GLOBAL: u8 = 0x0A;
+const T_REMOVE_GLOBAL: u8 = 0x0B;
+const T_ASSERT_DEAD: u8 = 0x0C;
+const T_ASSERT_UNSHARED: u8 = 0x0D;
+const T_ASSERT_INSTANCES: u8 = 0x0E;
+const T_ASSERT_OWNED_BY: u8 = 0x0F;
+const T_RELEASE_OWNEE: u8 = 0x10;
+const T_START_REGION: u8 = 0x11;
+const T_ASSERT_ALL_DEAD: u8 = 0x12;
+const T_COLLECT: u8 = 0x13;
+const T_COLLECT_MINOR: u8 = 0x14;
+
+/// Null sentinel for optional object ids.
+const NULL_ID: u32 = u32::MAX;
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Encodes an event log.
+pub fn encode(events: &[Event]) -> Bytes {
+    let mut buf = BytesMut::new();
+    for e in events {
+        match e {
+            Event::RegisterClass { name, fields } => {
+                buf.put_u8(T_REGISTER_CLASS);
+                put_str(&mut buf, name);
+                buf.put_u32_le(fields.len() as u32);
+                for f in fields {
+                    put_str(&mut buf, f);
+                }
+            }
+            Event::SpawnMutator => buf.put_u8(T_SPAWN_MUTATOR),
+            Event::Alloc {
+                mutator,
+                class,
+                nrefs,
+                data_words,
+            } => {
+                buf.put_u8(T_ALLOC);
+                buf.put_u32_le(*mutator);
+                buf.put_u32_le(*class);
+                buf.put_u32_le(*nrefs);
+                buf.put_u32_le(*data_words);
+            }
+            Event::SetField { obj, field, value } => {
+                buf.put_u8(T_SET_FIELD);
+                buf.put_u32_le(*obj);
+                buf.put_u32_le(*field);
+                buf.put_u32_le(value.unwrap_or(NULL_ID));
+            }
+            Event::SetData { obj, index, value } => {
+                buf.put_u8(T_SET_DATA);
+                buf.put_u32_le(*obj);
+                buf.put_u32_le(*index);
+                buf.put_u64_le(*value);
+            }
+            Event::AddRoot { mutator, obj } => {
+                buf.put_u8(T_ADD_ROOT);
+                buf.put_u32_le(*mutator);
+                buf.put_u32_le(*obj);
+            }
+            Event::SetRoot {
+                mutator,
+                slot,
+                value,
+            } => {
+                buf.put_u8(T_SET_ROOT);
+                buf.put_u32_le(*mutator);
+                buf.put_u32_le(*slot);
+                buf.put_u32_le(value.unwrap_or(NULL_ID));
+            }
+            Event::PushFrame { mutator } => {
+                buf.put_u8(T_PUSH_FRAME);
+                buf.put_u32_le(*mutator);
+            }
+            Event::PopFrame { mutator } => {
+                buf.put_u8(T_POP_FRAME);
+                buf.put_u32_le(*mutator);
+            }
+            Event::AddGlobal { obj } => {
+                buf.put_u8(T_ADD_GLOBAL);
+                buf.put_u32_le(*obj);
+            }
+            Event::RemoveGlobal { obj } => {
+                buf.put_u8(T_REMOVE_GLOBAL);
+                buf.put_u32_le(*obj);
+            }
+            Event::AssertDead { obj } => {
+                buf.put_u8(T_ASSERT_DEAD);
+                buf.put_u32_le(*obj);
+            }
+            Event::AssertUnshared { obj } => {
+                buf.put_u8(T_ASSERT_UNSHARED);
+                buf.put_u32_le(*obj);
+            }
+            Event::AssertInstances { class, limit } => {
+                buf.put_u8(T_ASSERT_INSTANCES);
+                buf.put_u32_le(*class);
+                buf.put_u32_le(*limit);
+            }
+            Event::AssertOwnedBy { owner, ownee } => {
+                buf.put_u8(T_ASSERT_OWNED_BY);
+                buf.put_u32_le(*owner);
+                buf.put_u32_le(*ownee);
+            }
+            Event::ReleaseOwnee { ownee } => {
+                buf.put_u8(T_RELEASE_OWNEE);
+                buf.put_u32_le(*ownee);
+            }
+            Event::StartRegion { mutator } => {
+                buf.put_u8(T_START_REGION);
+                buf.put_u32_le(*mutator);
+            }
+            Event::AssertAllDead { mutator } => {
+                buf.put_u8(T_ASSERT_ALL_DEAD);
+                buf.put_u32_le(*mutator);
+            }
+            Event::Collect => buf.put_u8(T_COLLECT),
+            Event::CollectMinor => buf.put_u8(T_COLLECT_MINOR),
+        }
+    }
+    buf.freeze()
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), CodecError> {
+    if buf.remaining() < n {
+        Err(CodecError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn get_u32(buf: &mut impl Buf) -> Result<u32, CodecError> {
+    need(buf, 4)?;
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut impl Buf) -> Result<u64, CodecError> {
+    need(buf, 8)?;
+    Ok(buf.get_u64_le())
+}
+
+fn get_str(buf: &mut impl Buf) -> Result<String, CodecError> {
+    let len = get_u32(buf)? as usize;
+    need(buf, len)?;
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| CodecError::BadString)
+}
+
+fn opt_id(raw: u32) -> Option<u32> {
+    if raw == NULL_ID {
+        None
+    } else {
+        Some(raw)
+    }
+}
+
+/// Decodes an event log.
+///
+/// # Errors
+///
+/// [`CodecError`] on truncation, unknown tags, or malformed strings.
+pub fn decode(mut buf: &[u8]) -> Result<Vec<Event>, CodecError> {
+    let mut events = Vec::new();
+    while buf.has_remaining() {
+        let tag = buf.get_u8();
+        let event = match tag {
+            T_REGISTER_CLASS => {
+                let name = get_str(&mut buf)?;
+                let n = get_u32(&mut buf)? as usize;
+                let mut fields = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    fields.push(get_str(&mut buf)?);
+                }
+                Event::RegisterClass { name, fields }
+            }
+            T_SPAWN_MUTATOR => Event::SpawnMutator,
+            T_ALLOC => Event::Alloc {
+                mutator: get_u32(&mut buf)?,
+                class: get_u32(&mut buf)?,
+                nrefs: get_u32(&mut buf)?,
+                data_words: get_u32(&mut buf)?,
+            },
+            T_SET_FIELD => Event::SetField {
+                obj: get_u32(&mut buf)?,
+                field: get_u32(&mut buf)?,
+                value: opt_id(get_u32(&mut buf)?),
+            },
+            T_SET_DATA => Event::SetData {
+                obj: get_u32(&mut buf)?,
+                index: get_u32(&mut buf)?,
+                value: get_u64(&mut buf)?,
+            },
+            T_ADD_ROOT => Event::AddRoot {
+                mutator: get_u32(&mut buf)?,
+                obj: get_u32(&mut buf)?,
+            },
+            T_SET_ROOT => Event::SetRoot {
+                mutator: get_u32(&mut buf)?,
+                slot: get_u32(&mut buf)?,
+                value: opt_id(get_u32(&mut buf)?),
+            },
+            T_PUSH_FRAME => Event::PushFrame {
+                mutator: get_u32(&mut buf)?,
+            },
+            T_POP_FRAME => Event::PopFrame {
+                mutator: get_u32(&mut buf)?,
+            },
+            T_ADD_GLOBAL => Event::AddGlobal {
+                obj: get_u32(&mut buf)?,
+            },
+            T_REMOVE_GLOBAL => Event::RemoveGlobal {
+                obj: get_u32(&mut buf)?,
+            },
+            T_ASSERT_DEAD => Event::AssertDead {
+                obj: get_u32(&mut buf)?,
+            },
+            T_ASSERT_UNSHARED => Event::AssertUnshared {
+                obj: get_u32(&mut buf)?,
+            },
+            T_ASSERT_INSTANCES => Event::AssertInstances {
+                class: get_u32(&mut buf)?,
+                limit: get_u32(&mut buf)?,
+            },
+            T_ASSERT_OWNED_BY => Event::AssertOwnedBy {
+                owner: get_u32(&mut buf)?,
+                ownee: get_u32(&mut buf)?,
+            },
+            T_RELEASE_OWNEE => Event::ReleaseOwnee {
+                ownee: get_u32(&mut buf)?,
+            },
+            T_START_REGION => Event::StartRegion {
+                mutator: get_u32(&mut buf)?,
+            },
+            T_ASSERT_ALL_DEAD => Event::AssertAllDead {
+                mutator: get_u32(&mut buf)?,
+            },
+            T_COLLECT => Event::Collect,
+            T_COLLECT_MINOR => Event::CollectMinor,
+            other => return Err(CodecError::BadTag(other)),
+        };
+        events.push(event);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::RegisterClass {
+                name: "Order".into(),
+                fields: vec!["customer".into(), "lines".into()],
+            },
+            Event::SpawnMutator,
+            Event::Alloc {
+                mutator: 1,
+                class: 0,
+                nrefs: 2,
+                data_words: 4,
+            },
+            Event::SetField {
+                obj: 0,
+                field: 1,
+                value: None,
+            },
+            Event::SetField {
+                obj: 0,
+                field: 0,
+                value: Some(0),
+            },
+            Event::SetData {
+                obj: 0,
+                index: 3,
+                value: u64::MAX,
+            },
+            Event::AddRoot { mutator: 0, obj: 0 },
+            Event::SetRoot {
+                mutator: 0,
+                slot: 0,
+                value: None,
+            },
+            Event::PushFrame { mutator: 1 },
+            Event::PopFrame { mutator: 1 },
+            Event::AddGlobal { obj: 0 },
+            Event::RemoveGlobal { obj: 0 },
+            Event::AssertDead { obj: 0 },
+            Event::AssertUnshared { obj: 0 },
+            Event::AssertInstances { class: 0, limit: 7 },
+            Event::AssertOwnedBy { owner: 0, ownee: 0 },
+            Event::ReleaseOwnee { ownee: 0 },
+            Event::StartRegion { mutator: 1 },
+            Event::AssertAllDead { mutator: 1 },
+            Event::Collect,
+            Event::CollectMinor,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_event_kind() {
+        let events = sample_events();
+        let bytes = encode(&events);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(events, back);
+    }
+
+    #[test]
+    fn truncation_detected_mid_event() {
+        // Cuts inside an event fail; cuts on an event boundary simply
+        // decode the shorter log.
+        let bytes = encode(&sample_events());
+        for cut in [1, 3, 7] {
+            let err = decode(&bytes[..cut]);
+            assert!(err.is_err(), "cut at {cut} should fail");
+        }
+        // Mid-alloc: an alloc is 17 bytes; cut 5 bytes into one.
+        let alloc = encode(&[Event::Alloc {
+            mutator: 0,
+            class: 0,
+            nrefs: 1,
+            data_words: 1,
+        }]);
+        assert_eq!(decode(&alloc[..5]), Err(CodecError::Truncated));
+        // Boundary cut: dropping the trailing 1-byte CollectMinor event
+        // yields a valid, shorter log.
+        let back = decode(&bytes[..bytes.len() - 1]).unwrap();
+        assert_eq!(back.len(), sample_events().len() - 1);
+    }
+
+    #[test]
+    fn bad_tag_detected() {
+        assert_eq!(decode(&[0xFF]), Err(CodecError::BadTag(0xFF)));
+    }
+
+    #[test]
+    fn empty_log_roundtrips() {
+        assert_eq!(decode(&encode(&[])).unwrap(), Vec::<Event>::new());
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // Tag + 16 operand bytes for an alloc: no bloat.
+        let bytes = encode(&[Event::Alloc {
+            mutator: 0,
+            class: 0,
+            nrefs: 2,
+            data_words: 4,
+        }]);
+        assert_eq!(bytes.len(), 17);
+    }
+}

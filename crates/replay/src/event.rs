@@ -1,0 +1,133 @@
+//! The event vocabulary of a recorded run.
+
+/// A recorded object identity: the object's allocation sequence number
+/// (0-based, in allocation order). Stable across replays regardless of
+/// slot reuse.
+pub type ObjId = u32;
+
+/// One heap event. The recorder appends these in program order; replay
+/// executes them in order against a fresh VM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Event {
+    /// A class registration (classes are identified by registration
+    /// order at replay).
+    RegisterClass {
+        /// Class name.
+        name: String,
+        /// Reference-field names.
+        fields: Vec<String>,
+    },
+    /// A new mutator was spawned (mutators are identified by spawn
+    /// order; 0 is the main mutator).
+    SpawnMutator,
+    /// An allocation by `mutator`; the resulting object gets the next
+    /// sequence number.
+    Alloc {
+        /// Spawning mutator (0 = main).
+        mutator: u32,
+        /// Class, by registration order.
+        class: u32,
+        /// Reference-field count.
+        nrefs: u32,
+        /// Data payload words.
+        data_words: u32,
+    },
+    /// A reference-field write. `value` is `None` for null.
+    SetField {
+        /// Receiver.
+        obj: ObjId,
+        /// Field index.
+        field: u32,
+        /// New value.
+        value: Option<ObjId>,
+    },
+    /// A data-word write.
+    SetData {
+        /// Receiver.
+        obj: ObjId,
+        /// Word index.
+        index: u32,
+        /// Value.
+        value: u64,
+    },
+    /// `add_root` on a mutator's current frame.
+    AddRoot {
+        /// Mutator.
+        mutator: u32,
+        /// Rooted object.
+        obj: ObjId,
+    },
+    /// `set_root` (local reassignment).
+    SetRoot {
+        /// Mutator.
+        mutator: u32,
+        /// Root slot.
+        slot: u32,
+        /// New value (`None` = null).
+        value: Option<ObjId>,
+    },
+    /// `push_frame`.
+    PushFrame {
+        /// Mutator.
+        mutator: u32,
+    },
+    /// `pop_frame`.
+    PopFrame {
+        /// Mutator.
+        mutator: u32,
+    },
+    /// `add_global`.
+    AddGlobal {
+        /// The global root.
+        obj: ObjId,
+    },
+    /// `remove_global`.
+    RemoveGlobal {
+        /// The removed global root.
+        obj: ObjId,
+    },
+    /// `assert_dead`.
+    AssertDead {
+        /// Asserted object.
+        obj: ObjId,
+    },
+    /// `assert_unshared`.
+    AssertUnshared {
+        /// Asserted object.
+        obj: ObjId,
+    },
+    /// `assert_instances`.
+    AssertInstances {
+        /// Class, by registration order.
+        class: u32,
+        /// Limit.
+        limit: u32,
+    },
+    /// `assert_owned_by`.
+    AssertOwnedBy {
+        /// Owner.
+        owner: ObjId,
+        /// Ownee.
+        ownee: ObjId,
+    },
+    /// `release_ownee`.
+    ReleaseOwnee {
+        /// Released ownee.
+        ownee: ObjId,
+    },
+    /// `start_region`.
+    StartRegion {
+        /// Mutator.
+        mutator: u32,
+    },
+    /// `assert_alldead`.
+    AssertAllDead {
+        /// Mutator.
+        mutator: u32,
+    },
+    /// An explicit (major) collection.
+    Collect,
+    /// An explicit minor collection.
+    CollectMinor,
+}

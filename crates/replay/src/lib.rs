@@ -1,0 +1,55 @@
+//! # gca-replay — record and replay heap histories
+//!
+//! The paper's headline number (~3% total overhead) is what makes GC
+//! assertions viable *in deployment*. This crate completes that story:
+//! record a deployed run's heap events compactly (allocations, pointer
+//! writes, root operations, assertion calls, collections), then **replay
+//! the identical history in the lab** — possibly under a different
+//! configuration (path tracking on, `report_once` off, a different
+//! reaction, even a different collector mode) — to get the full forensic
+//! picture of a violation that was only summarized in production.
+//!
+//! Objects are identified by *allocation sequence number*, which is
+//! stable across record and replay even though slot indices may differ
+//! (a replay can run with a different heap budget, so collections land
+//! differently and the free list recycles slots in another order).
+//!
+//! # Example
+//!
+//! ```
+//! use gc_assertions::VmConfig;
+//! use gca_replay::{replay, Recorder};
+//!
+//! # fn main() -> Result<(), gc_assertions::VmError> {
+//! // Record a buggy run with path tracking off (cheap, "deployed").
+//! let mut rec = Recorder::new(VmConfig::new().path_tracking(false));
+//! let class = rec.register_class("Holder", &["f"]);
+//! let h = rec.alloc(class, 1, 0)?;
+//! rec.add_root(h)?;
+//! let x = rec.alloc(class, 1, 0)?;
+//! rec.set_field(h, 0, x)?;
+//! rec.assert_dead(x)?;
+//! rec.collect()?;
+//! let (vm, log) = rec.finish();
+//! assert_eq!(vm.violation_log().len(), 1);
+//! assert!(vm.violation_log()[0].path.is_empty(), "no path in production");
+//!
+//! // Replay in the lab with paths on: same violation, now with the path.
+//! let replayed = replay(&log, VmConfig::new().path_tracking(true))?;
+//! assert_eq!(replayed.violation_log().len(), 1);
+//! assert!(!replayed.violation_log()[0].path.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod codec;
+mod event;
+mod recorder;
+
+pub use codec::{decode, encode, CodecError};
+pub use event::{Event, ObjId};
+pub use recorder::{replay, Recorder};

@@ -1,0 +1,564 @@
+//! Recording wrapper and replayer.
+
+use std::collections::HashMap;
+
+use gc_assertions::{
+    ClassId, GcReport, MutatorId, ObjRef, Vm, VmConfig, VmError,
+};
+
+use crate::event::{Event, ObjId};
+
+/// A [`Vm`] wrapper that logs every heap event it performs.
+///
+/// The recorder's API mirrors the `Vm` operations workloads use; each
+/// call executes against the wrapped VM *and* appends an [`Event`].
+/// [`Recorder::finish`] returns both the VM (with whatever it observed)
+/// and the event log, which [`replay`] can re-execute under a different
+/// configuration.
+///
+/// Replay fidelity: the log captures mutator behaviour, not collection
+/// points, so a replay reclaims identically only if its configuration
+/// does not collect *more aggressively* than the recording (same heap
+/// budget) and does not mutate the heap on violations (`ForceTrue`
+/// rewrites fields). Observability settings — path tracking, report
+/// policy, `Log` vs `Halt`, Base vs Instrumented — replay exactly.
+#[derive(Debug)]
+pub struct Recorder {
+    vm: Vm,
+    events: Vec<Event>,
+    ids: HashMap<ObjRef, ObjId>,
+    next_id: ObjId,
+    classes: Vec<ClassId>,
+    mutators: Vec<MutatorId>,
+}
+
+impl Recorder {
+    /// Creates a recorder around a fresh VM.
+    pub fn new(config: VmConfig) -> Recorder {
+        let vm = Vm::new(config);
+        let main = vm.main();
+        Recorder {
+            vm,
+            events: Vec::new(),
+            ids: HashMap::new(),
+            next_id: 0,
+            classes: Vec::new(),
+            mutators: vec![main],
+        }
+    }
+
+    /// Read access to the underlying VM.
+    pub fn vm(&self) -> &Vm {
+        &self.vm
+    }
+
+    /// Ends the recording, returning the VM and the event log.
+    pub fn finish(self) -> (Vm, Vec<Event>) {
+        (self.vm, self.events)
+    }
+
+    fn id_of(&self, obj: ObjRef) -> ObjId {
+        *self
+            .ids
+            .get(&obj)
+            .expect("recorded operations only use recorded objects")
+    }
+
+    /// Registers a class (recorded; identified by registration order).
+    pub fn register_class(&mut self, name: &str, fields: &[&str]) -> ClassId {
+        let id = self.vm.register_class(name, fields);
+        if !self.classes.contains(&id) {
+            self.classes.push(id);
+            self.events.push(Event::RegisterClass {
+                name: name.to_owned(),
+                fields: fields.iter().map(|s| (*s).to_owned()).collect(),
+            });
+        }
+        id
+    }
+
+    /// Spawns an additional mutator; returns its recording index (0 is
+    /// the main mutator).
+    pub fn spawn_mutator(&mut self) -> u32 {
+        let m = self.vm.spawn_mutator();
+        self.mutators.push(m);
+        self.events.push(Event::SpawnMutator);
+        (self.mutators.len() - 1) as u32
+    }
+
+    fn class_index(&self, class: ClassId) -> u32 {
+        self.classes
+            .iter()
+            .position(|&c| c == class)
+            .expect("class was registered through the recorder") as u32
+    }
+
+    /// Allocates on the main mutator.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::alloc`].
+    pub fn alloc(&mut self, class: ClassId, nrefs: usize, data: usize) -> Result<ObjRef, VmError> {
+        self.alloc_on(0, class, nrefs, data)
+    }
+
+    /// Allocates on mutator `m` (recording index).
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::alloc`].
+    pub fn alloc_on(
+        &mut self,
+        m: u32,
+        class: ClassId,
+        nrefs: usize,
+        data: usize,
+    ) -> Result<ObjRef, VmError> {
+        let mutator = self.mutators[m as usize];
+        let obj = self.vm.alloc(mutator, class, nrefs, data)?;
+        self.ids.insert(obj, self.next_id);
+        self.next_id += 1;
+        self.events.push(Event::Alloc {
+            mutator: m,
+            class: self.class_index(class),
+            nrefs: nrefs as u32,
+            data_words: data as u32,
+        });
+        Ok(obj)
+    }
+
+    /// Writes a reference field.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::set_field`].
+    pub fn set_field(&mut self, obj: ObjRef, field: usize, value: ObjRef) -> Result<(), VmError> {
+        self.vm.set_field(obj, field, value)?;
+        self.events.push(Event::SetField {
+            obj: self.id_of(obj),
+            field: field as u32,
+            value: if value.is_null() {
+                None
+            } else {
+                Some(self.id_of(value))
+            },
+        });
+        Ok(())
+    }
+
+    /// Writes a data word.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::set_data_word`].
+    pub fn set_data_word(&mut self, obj: ObjRef, index: usize, value: u64) -> Result<(), VmError> {
+        self.vm.set_data_word(obj, index, value)?;
+        self.events.push(Event::SetData {
+            obj: self.id_of(obj),
+            index: index as u32,
+            value,
+        });
+        Ok(())
+    }
+
+    /// Roots `obj` on the main mutator's current frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::add_root`].
+    pub fn add_root(&mut self, obj: ObjRef) -> Result<usize, VmError> {
+        self.add_root_on(0, obj)
+    }
+
+    /// Roots `obj` on mutator `m`'s current frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::add_root`].
+    pub fn add_root_on(&mut self, m: u32, obj: ObjRef) -> Result<usize, VmError> {
+        let slot = self.vm.add_root(self.mutators[m as usize], obj)?;
+        self.events.push(Event::AddRoot {
+            mutator: m,
+            obj: self.id_of(obj),
+        });
+        Ok(slot)
+    }
+
+    /// Reassigns a root slot on mutator `m`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::set_root`].
+    pub fn set_root_on(&mut self, m: u32, slot: usize, value: ObjRef) -> Result<(), VmError> {
+        self.vm.set_root(self.mutators[m as usize], slot, value)?;
+        self.events.push(Event::SetRoot {
+            mutator: m,
+            slot: slot as u32,
+            value: if value.is_null() {
+                None
+            } else {
+                Some(self.id_of(value))
+            },
+        });
+        Ok(())
+    }
+
+    /// Pushes a frame on mutator `m`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::push_frame`].
+    pub fn push_frame_on(&mut self, m: u32) -> Result<(), VmError> {
+        self.vm.push_frame(self.mutators[m as usize])?;
+        self.events.push(Event::PushFrame { mutator: m });
+        Ok(())
+    }
+
+    /// Pops mutator `m`'s top frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::pop_frame`].
+    pub fn pop_frame_on(&mut self, m: u32) -> Result<(), VmError> {
+        self.vm.pop_frame(self.mutators[m as usize])?;
+        self.events.push(Event::PopFrame { mutator: m });
+        Ok(())
+    }
+
+    /// Adds a global root.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::add_global`].
+    pub fn add_global(&mut self, obj: ObjRef) -> Result<(), VmError> {
+        self.vm.add_global(obj)?;
+        self.events.push(Event::AddGlobal {
+            obj: self.id_of(obj),
+        });
+        Ok(())
+    }
+
+    /// Removes a global root.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::remove_global`].
+    pub fn remove_global(&mut self, obj: ObjRef) -> Result<(), VmError> {
+        self.vm.remove_global(obj)?;
+        self.events.push(Event::RemoveGlobal {
+            obj: self.id_of(obj),
+        });
+        Ok(())
+    }
+
+    /// Records `assert_dead`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::assert_dead`].
+    pub fn assert_dead(&mut self, obj: ObjRef) -> Result<(), VmError> {
+        self.vm.assert_dead(obj)?;
+        self.events.push(Event::AssertDead {
+            obj: self.id_of(obj),
+        });
+        Ok(())
+    }
+
+    /// Records `assert_unshared`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::assert_unshared`].
+    pub fn assert_unshared(&mut self, obj: ObjRef) -> Result<(), VmError> {
+        self.vm.assert_unshared(obj)?;
+        self.events.push(Event::AssertUnshared {
+            obj: self.id_of(obj),
+        });
+        Ok(())
+    }
+
+    /// Records `assert_instances`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::assert_instances`].
+    pub fn assert_instances(&mut self, class: ClassId, limit: u32) -> Result<(), VmError> {
+        self.vm.assert_instances(class, limit)?;
+        self.events.push(Event::AssertInstances {
+            class: self.class_index(class),
+            limit,
+        });
+        Ok(())
+    }
+
+    /// Records `assert_owned_by`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::assert_owned_by`].
+    pub fn assert_owned_by(&mut self, owner: ObjRef, ownee: ObjRef) -> Result<(), VmError> {
+        self.vm.assert_owned_by(owner, ownee)?;
+        self.events.push(Event::AssertOwnedBy {
+            owner: self.id_of(owner),
+            ownee: self.id_of(ownee),
+        });
+        Ok(())
+    }
+
+    /// Records `release_ownee`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::release_ownee`].
+    pub fn release_ownee(&mut self, ownee: ObjRef) -> Result<bool, VmError> {
+        let was = self.vm.release_ownee(ownee)?;
+        self.events.push(Event::ReleaseOwnee {
+            ownee: self.id_of(ownee),
+        });
+        Ok(was)
+    }
+
+    /// Records `start_region` on mutator `m`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::start_region`].
+    pub fn start_region_on(&mut self, m: u32) -> Result<(), VmError> {
+        self.vm.start_region(self.mutators[m as usize])?;
+        self.events.push(Event::StartRegion { mutator: m });
+        Ok(())
+    }
+
+    /// Records `assert_alldead` on mutator `m`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::assert_alldead`].
+    pub fn assert_alldead_on(&mut self, m: u32) -> Result<usize, VmError> {
+        let n = self.vm.assert_alldead(self.mutators[m as usize])?;
+        self.events.push(Event::AssertAllDead { mutator: m });
+        Ok(n)
+    }
+
+    /// Records an explicit collection.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::collect`].
+    pub fn collect(&mut self) -> Result<GcReport, VmError> {
+        let report = self.vm.collect()?;
+        self.events.push(Event::Collect);
+        Ok(report)
+    }
+
+    /// Records an explicit minor collection (generational mode).
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::collect_minor`].
+    pub fn collect_minor(&mut self) -> Result<(), VmError> {
+        self.vm.collect_minor()?;
+        self.events.push(Event::CollectMinor);
+        Ok(())
+    }
+}
+
+/// Re-executes a recorded event log against a fresh VM with `config`.
+///
+/// # Errors
+///
+/// A [`VmError`] from any replayed event — typically a sign that `config`
+/// reclaims more aggressively than the recording configuration did (see
+/// [`Recorder`] for the fidelity contract).
+pub fn replay(events: &[Event], config: VmConfig) -> Result<Vm, VmError> {
+    let mut vm = Vm::new(config);
+    let mut classes: Vec<ClassId> = Vec::new();
+    let mut mutators: Vec<MutatorId> = vec![vm.main()];
+    let mut objects: Vec<ObjRef> = Vec::new();
+
+    let resolve = |objects: &[ObjRef], id: Option<ObjId>| -> ObjRef {
+        match id {
+            Some(i) => objects[i as usize],
+            None => ObjRef::NULL,
+        }
+    };
+
+    for event in events {
+        match event {
+            Event::RegisterClass { name, fields } => {
+                let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+                classes.push(vm.register_class(name, &refs));
+            }
+            Event::SpawnMutator => mutators.push(vm.spawn_mutator()),
+            Event::Alloc {
+                mutator,
+                class,
+                nrefs,
+                data_words,
+            } => {
+                let obj = vm.alloc(
+                    mutators[*mutator as usize],
+                    classes[*class as usize],
+                    *nrefs as usize,
+                    *data_words as usize,
+                )?;
+                objects.push(obj);
+            }
+            Event::SetField { obj, field, value } => {
+                let v = resolve(&objects, *value);
+                vm.set_field(objects[*obj as usize], *field as usize, v)?;
+            }
+            Event::SetData { obj, index, value } => {
+                vm.set_data_word(objects[*obj as usize], *index as usize, *value)?;
+            }
+            Event::AddRoot { mutator, obj } => {
+                vm.add_root(mutators[*mutator as usize], objects[*obj as usize])?;
+            }
+            Event::SetRoot {
+                mutator,
+                slot,
+                value,
+            } => {
+                let v = resolve(&objects, *value);
+                vm.set_root(mutators[*mutator as usize], *slot as usize, v)?;
+            }
+            Event::PushFrame { mutator } => vm.push_frame(mutators[*mutator as usize])?,
+            Event::PopFrame { mutator } => vm.pop_frame(mutators[*mutator as usize])?,
+            Event::AddGlobal { obj } => vm.add_global(objects[*obj as usize])?,
+            Event::RemoveGlobal { obj } => vm.remove_global(objects[*obj as usize])?,
+            Event::AssertDead { obj } => vm.assert_dead(objects[*obj as usize])?,
+            Event::AssertUnshared { obj } => vm.assert_unshared(objects[*obj as usize])?,
+            Event::AssertInstances { class, limit } => {
+                vm.assert_instances(classes[*class as usize], *limit)?;
+            }
+            Event::AssertOwnedBy { owner, ownee } => {
+                vm.assert_owned_by(objects[*owner as usize], objects[*ownee as usize])?;
+            }
+            Event::ReleaseOwnee { ownee } => {
+                vm.release_ownee(objects[*ownee as usize])?;
+            }
+            Event::StartRegion { mutator } => vm.start_region(mutators[*mutator as usize])?,
+            Event::AssertAllDead { mutator } => {
+                vm.assert_alldead(mutators[*mutator as usize])?;
+            }
+            Event::Collect => {
+                vm.collect()?;
+            }
+            Event::CollectMinor => {
+                vm.collect_minor()?;
+            }
+        }
+    }
+    Ok(vm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_then_replay_same_config_is_identical() {
+        let mut rec = Recorder::new(VmConfig::new());
+        let c = rec.register_class("T", &["f"]);
+        let a = rec.alloc(c, 1, 2).unwrap();
+        rec.add_root(a).unwrap();
+        let b = rec.alloc(c, 1, 0).unwrap();
+        rec.set_field(a, 0, b).unwrap();
+        rec.set_data_word(a, 1, 99).unwrap();
+        rec.assert_unshared(b).unwrap();
+        rec.collect().unwrap();
+        let (vm, log) = rec.finish();
+
+        let replayed = replay(&log, VmConfig::new()).unwrap();
+        assert_eq!(
+            vm.heap_stats().allocations,
+            replayed.heap_stats().allocations
+        );
+        assert_eq!(vm.collections(), replayed.collections());
+        assert_eq!(
+            vm.violation_log().len(),
+            replayed.violation_log().len()
+        );
+        assert_eq!(vm.heap().live_objects(), replayed.heap().live_objects());
+    }
+
+    #[test]
+    fn production_summary_lab_forensics() {
+        // Record with paths off; replay with paths on and get the path.
+        let mut rec = Recorder::new(VmConfig::new().path_tracking(false));
+        let holder = rec.register_class("Holder", &["keep"]);
+        let order = rec.register_class("Order", &[]);
+        let h = rec.alloc(holder, 1, 0).unwrap();
+        rec.add_root(h).unwrap();
+        let o = rec.alloc(order, 0, 0).unwrap();
+        rec.set_field(h, 0, o).unwrap();
+        rec.assert_dead(o).unwrap();
+        rec.collect().unwrap();
+        let (vm, log) = rec.finish();
+        assert_eq!(vm.violation_log().len(), 1);
+        assert!(vm.violation_log()[0].path.is_empty());
+
+        let lab = replay(&log, VmConfig::new().path_tracking(true)).unwrap();
+        assert_eq!(lab.violation_log().len(), 1);
+        let text = lab.violation_log()[0].render(lab.registry());
+        assert!(text.contains("Holder"), "{text}");
+        assert!(text.contains(".keep Order"), "{text}");
+    }
+
+    #[test]
+    fn regions_and_mutators_replay() {
+        let mut rec = Recorder::new(VmConfig::new());
+        let c = rec.register_class("Req", &[]);
+        let w = rec.spawn_mutator();
+        rec.start_region_on(w).unwrap();
+        rec.push_frame_on(w).unwrap();
+        let r = rec.alloc_on(w, c, 0, 4).unwrap();
+        let slot = rec.add_root_on(w, r).unwrap();
+        let _ = slot;
+        rec.pop_frame_on(w).unwrap();
+        rec.assert_alldead_on(w).unwrap();
+        rec.collect().unwrap();
+        let (vm, log) = rec.finish();
+        assert!(vm.violation_log().is_empty());
+
+        let replayed = replay(&log, VmConfig::new()).unwrap();
+        assert!(replayed.violation_log().is_empty());
+        assert_eq!(replayed.assertion_calls().region_objects, 1);
+    }
+
+    #[test]
+    fn replay_under_base_mode_fails_on_assertions() {
+        // Base mode has no assertion API — replaying an asserting log
+        // under it reports the mismatch instead of panicking.
+        let mut rec = Recorder::new(VmConfig::new());
+        let c = rec.register_class("T", &[]);
+        let a = rec.alloc(c, 0, 0).unwrap();
+        rec.assert_dead(a).unwrap();
+        let (_, log) = rec.finish();
+        let err = replay(&log, VmConfig::new().mode(gc_assertions::Mode::Base));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn ownership_history_replays() {
+        let mut rec = Recorder::new(VmConfig::new());
+        let c = rec.register_class("C", &["e"]);
+        let owner = rec.alloc(c, 1, 0).unwrap();
+        rec.add_root(owner).unwrap();
+        let e = rec.alloc(c, 1, 0).unwrap();
+        rec.set_field(owner, 0, e).unwrap();
+        rec.assert_owned_by(owner, e).unwrap();
+        rec.collect().unwrap();
+        // Leak it.
+        let keeper = rec.alloc(c, 1, 0).unwrap();
+        rec.add_root(keeper).unwrap();
+        rec.set_field(keeper, 0, e).unwrap();
+        rec.set_field(owner, 0, ObjRef::NULL).unwrap();
+        rec.collect().unwrap();
+        let (vm, log) = rec.finish();
+        assert_eq!(vm.violation_log().len(), 1);
+
+        let replayed = replay(&log, VmConfig::new()).unwrap();
+        assert_eq!(replayed.violation_log().len(), 1);
+    }
+}

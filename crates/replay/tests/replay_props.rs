@@ -1,0 +1,119 @@
+//! Property tests for record/replay: random recorded programs replay to
+//! identical outcomes, and the codec round-trips arbitrary logs.
+
+use gc_assertions::{ObjRef, VmConfig};
+use gca_replay::{decode, encode, replay, Event, Recorder};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { data: usize },
+    Link { from: usize, field: usize, to: usize },
+    Root { obj: usize },
+    Unlink { from: usize, field: usize },
+    AssertDead { obj: usize },
+    AssertUnshared { obj: usize },
+    Gc,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..6).prop_map(|data| Op::Alloc { data }),
+        (0usize..64, 0usize..3, 0usize..64)
+            .prop_map(|(from, field, to)| Op::Link { from, field, to }),
+        (0usize..64).prop_map(|obj| Op::Root { obj }),
+        (0usize..64, 0usize..3).prop_map(|(from, field)| Op::Unlink { from, field }),
+        (0usize..64).prop_map(|obj| Op::AssertDead { obj }),
+        (0usize..64).prop_map(|obj| Op::AssertUnshared { obj }),
+        Just(Op::Gc),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_recordings_replay_identically(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        let mut rec = Recorder::new(VmConfig::new().report_once(false));
+        let class = rec.register_class("N", &["a", "b", "c"]);
+        // Track only live handles; operations target live objects, as a
+        // real recorded program would.
+        let mut live: Vec<ObjRef> = Vec::new();
+
+        for op in &ops {
+            // Refresh liveness after possible collections.
+            live.retain(|&o| rec.vm().is_live(o));
+            match op {
+                Op::Alloc { data } => {
+                    let o = rec.alloc(class, 3, *data).unwrap();
+                    live.push(o);
+                }
+                Op::Link { from, field, to } if !live.is_empty() => {
+                    let f = live[from % live.len()];
+                    let t = live[to % live.len()];
+                    rec.set_field(f, field % 3, t).unwrap();
+                }
+                Op::Unlink { from, field } if !live.is_empty() => {
+                    let f = live[from % live.len()];
+                    rec.set_field(f, field % 3, ObjRef::NULL).unwrap();
+                }
+                Op::Root { obj } if !live.is_empty() => {
+                    let o = live[obj % live.len()];
+                    rec.add_root(o).unwrap();
+                }
+                Op::AssertDead { obj } if !live.is_empty() => {
+                    let o = live[obj % live.len()];
+                    rec.assert_dead(o).unwrap();
+                }
+                Op::AssertUnshared { obj } if !live.is_empty() => {
+                    let o = live[obj % live.len()];
+                    rec.assert_unshared(o).unwrap();
+                }
+                Op::Gc => {
+                    rec.collect().unwrap();
+                }
+                _ => {}
+            }
+        }
+        let (vm, log) = rec.finish();
+
+        // Codec round-trip.
+        let decoded = decode(&encode(&log)).unwrap();
+        prop_assert_eq!(&decoded, &log);
+
+        // Replay equivalence (same config).
+        let replayed = replay(&decoded, VmConfig::new().report_once(false)).unwrap();
+        prop_assert_eq!(vm.heap_stats().allocations, replayed.heap_stats().allocations);
+        prop_assert_eq!(vm.collections(), replayed.collections());
+        prop_assert_eq!(vm.heap().live_objects(), replayed.heap().live_objects());
+        prop_assert_eq!(vm.heap().occupied_words(), replayed.heap().occupied_words());
+        prop_assert_eq!(vm.violation_log().len(), replayed.violation_log().len());
+        for (a, b) in vm.violation_log().iter().zip(replayed.violation_log()) {
+            prop_assert_eq!(a.summary(), b.summary());
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = decode(&bytes); // Ok or Err, never panic
+    }
+
+    #[test]
+    fn codec_roundtrips_synthetic_logs(
+        ids in proptest::collection::vec((any::<u32>(), any::<u32>(), any::<u64>()), 0..50),
+    ) {
+        let log: Vec<Event> = ids
+            .iter()
+            .flat_map(|&(a, b, v)| {
+                vec![
+                    Event::SetData { obj: a, index: b, value: v },
+                    Event::SetField { obj: a, field: b, value: if v % 2 == 0 { None } else { Some(b) } },
+                    Event::Collect,
+                ]
+            })
+            .collect();
+        prop_assert_eq!(decode(&encode(&log)).unwrap(), log);
+    }
+}

@@ -1,0 +1,431 @@
+//! Commands and the line parser.
+
+use crate::error::{ScriptError, ScriptErrorKind};
+
+/// A reference-valued operand: a variable or the null literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Target {
+    /// A bound variable.
+    Var(String),
+    /// The `null` literal.
+    Null,
+}
+
+/// One script command. See the crate docs for the surface syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Command {
+    /// `config <key> <value>` — VM configuration; must precede execution.
+    Config {
+        /// Configuration key (`heap`, `grow`, `reaction`, `report-once`,
+        /// `generational`, `strict-owner-lifetime`, `path-tracking`).
+        key: String,
+        /// Raw value token.
+        value: String,
+    },
+    /// `class <Name> [field...]` — declare a class with named ref fields.
+    Class {
+        /// Class name.
+        name: String,
+        /// Reference-field names.
+        fields: Vec<String>,
+    },
+    /// `new <var> <Class> [data_words]` — allocate and bind.
+    New {
+        /// Variable to bind.
+        var: String,
+        /// Declared class.
+        class: String,
+        /// Data payload words.
+        data_words: usize,
+    },
+    /// `set <var>.<field> <target>` — write a reference field.
+    Set {
+        /// Receiver variable.
+        var: String,
+        /// Field name on the receiver's class.
+        field: String,
+        /// New value.
+        value: Target,
+    },
+    /// `data <var> <index> <value>` — write a data word.
+    Data {
+        /// Receiver variable.
+        var: String,
+        /// Data-word index.
+        index: usize,
+        /// Value.
+        value: u64,
+    },
+    /// `root <var>` — add to the current frame.
+    Root(String),
+    /// `frame` — push a root frame.
+    Frame,
+    /// `end-frame` — pop the top root frame.
+    EndFrame,
+    /// `global <var>` / `unglobal <var>`.
+    Global(String),
+    /// Remove a global root.
+    Unglobal(String),
+    /// `assert-dead <var>`.
+    AssertDead(String),
+    /// `assert-unshared <var>`.
+    AssertUnshared(String),
+    /// `assert-instances <Class> <limit>`.
+    AssertInstances {
+        /// Tracked class.
+        class: String,
+        /// Instance limit.
+        limit: u32,
+    },
+    /// `assert-owned-by <owner> <ownee>`.
+    AssertOwnedBy {
+        /// Owner variable.
+        owner: String,
+        /// Ownee variable.
+        ownee: String,
+    },
+    /// `release-ownee <var>`.
+    ReleaseOwnee(String),
+    /// `start-region`.
+    StartRegion,
+    /// `all-dead` — end the region, asserting everything allocated in it
+    /// dead.
+    AllDead,
+    /// `gc` — run a (major) collection.
+    Gc,
+    /// `minor-gc` — run a minor collection (generational mode).
+    MinorGc,
+    /// `probe <var>` — print the path to the object, if reachable.
+    Probe(String),
+    /// `print` — print the last report and its violations.
+    Print,
+    /// `histogram` — print live objects aggregated by class.
+    Histogram,
+    /// `stats` — print heap/GC statistics.
+    Stats,
+    /// `expect-violations <n>` — violations in the last `gc` report.
+    ExpectViolations(usize),
+    /// `expect-total-violations <n>` — cumulative violations so far.
+    ExpectTotalViolations(usize),
+    /// `expect-live <var>` / `expect-dead <var>`.
+    ExpectLive(String),
+    /// Expect the object to have been reclaimed.
+    ExpectDead(String),
+    /// `expect-instances <Class> <n>` — live instances right now (by
+    /// probe).
+    ExpectInstances {
+        /// Probed class.
+        class: String,
+        /// Expected live count.
+        count: u32,
+    },
+}
+
+fn err(line: usize, kind: ScriptErrorKind) -> ScriptError {
+    ScriptError { line, kind }
+}
+
+fn bad(line: usize, msg: &str) -> ScriptError {
+    err(line, ScriptErrorKind::BadArguments(msg.to_owned()))
+}
+
+fn parse_target(tok: &str) -> Target {
+    if tok == "null" {
+        Target::Null
+    } else {
+        Target::Var(tok.to_owned())
+    }
+}
+
+/// Parses one line into a command; returns `Ok(None)` for blank lines and
+/// comments.
+///
+/// # Errors
+///
+/// [`ScriptErrorKind::UnknownCommand`] or
+/// [`ScriptErrorKind::BadArguments`] with the given line number.
+pub fn parse_line(line_no: usize, line: &str) -> Result<Option<Command>, ScriptError> {
+    let line = match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    };
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    let Some((&cmd, args)) = toks.split_first() else {
+        return Ok(None);
+    };
+    let command = match cmd {
+        "config" => match args {
+            [key, value] => Command::Config {
+                key: (*key).to_owned(),
+                value: (*value).to_owned(),
+            },
+            _ => return Err(bad(line_no, "config <key> <value>")),
+        },
+        "class" => match args.split_first() {
+            Some((&name, fields)) => Command::Class {
+                name: name.to_owned(),
+                fields: fields.iter().map(|s| (*s).to_owned()).collect(),
+            },
+            None => return Err(bad(line_no, "class <Name> [field...]")),
+        },
+        "new" => match args {
+            [var, class] => Command::New {
+                var: (*var).to_owned(),
+                class: (*class).to_owned(),
+                data_words: 0,
+            },
+            [var, class, words] => Command::New {
+                var: (*var).to_owned(),
+                class: (*class).to_owned(),
+                data_words: words
+                    .parse()
+                    .map_err(|_| bad(line_no, "data words must be an integer"))?,
+            },
+            _ => return Err(bad(line_no, "new <var> <Class> [data_words]")),
+        },
+        "set" => match args {
+            [lhs, value] => {
+                let (var, field) = lhs
+                    .split_once('.')
+                    .ok_or_else(|| bad(line_no, "set <var>.<field> <value>"))?;
+                Command::Set {
+                    var: var.to_owned(),
+                    field: field.to_owned(),
+                    value: parse_target(value),
+                }
+            }
+            _ => return Err(bad(line_no, "set <var>.<field> <value>")),
+        },
+        "data" => match args {
+            [var, index, value] => Command::Data {
+                var: (*var).to_owned(),
+                index: index
+                    .parse()
+                    .map_err(|_| bad(line_no, "index must be an integer"))?,
+                value: value
+                    .parse()
+                    .map_err(|_| bad(line_no, "value must be an integer"))?,
+            },
+            _ => return Err(bad(line_no, "data <var> <index> <value>")),
+        },
+        "root" => one_var(line_no, args, "root <var>", Command::Root)?,
+        "frame" => no_args(line_no, args, "frame", Command::Frame)?,
+        "end-frame" => no_args(line_no, args, "end-frame", Command::EndFrame)?,
+        "global" => one_var(line_no, args, "global <var>", Command::Global)?,
+        "unglobal" => one_var(line_no, args, "unglobal <var>", Command::Unglobal)?,
+        "assert-dead" => one_var(line_no, args, "assert-dead <var>", Command::AssertDead)?,
+        "assert-unshared" => one_var(
+            line_no,
+            args,
+            "assert-unshared <var>",
+            Command::AssertUnshared,
+        )?,
+        "assert-instances" => match args {
+            [class, limit] => Command::AssertInstances {
+                class: (*class).to_owned(),
+                limit: limit
+                    .parse()
+                    .map_err(|_| bad(line_no, "limit must be an integer"))?,
+            },
+            _ => return Err(bad(line_no, "assert-instances <Class> <limit>")),
+        },
+        "assert-owned-by" => match args {
+            [owner, ownee] => Command::AssertOwnedBy {
+                owner: (*owner).to_owned(),
+                ownee: (*ownee).to_owned(),
+            },
+            _ => return Err(bad(line_no, "assert-owned-by <owner> <ownee>")),
+        },
+        "release-ownee" => one_var(line_no, args, "release-ownee <var>", Command::ReleaseOwnee)?,
+        "start-region" => no_args(line_no, args, "start-region", Command::StartRegion)?,
+        "all-dead" => no_args(line_no, args, "all-dead", Command::AllDead)?,
+        "gc" => no_args(line_no, args, "gc", Command::Gc)?,
+        "minor-gc" => no_args(line_no, args, "minor-gc", Command::MinorGc)?,
+        "probe" => one_var(line_no, args, "probe <var>", Command::Probe)?,
+        "print" => no_args(line_no, args, "print", Command::Print)?,
+        "histogram" => no_args(line_no, args, "histogram", Command::Histogram)?,
+        "stats" => no_args(line_no, args, "stats", Command::Stats)?,
+        "expect-violations" => match args {
+            [n] => Command::ExpectViolations(
+                n.parse()
+                    .map_err(|_| bad(line_no, "count must be an integer"))?,
+            ),
+            _ => return Err(bad(line_no, "expect-violations <n>")),
+        },
+        "expect-total-violations" => match args {
+            [n] => Command::ExpectTotalViolations(
+                n.parse()
+                    .map_err(|_| bad(line_no, "count must be an integer"))?,
+            ),
+            _ => return Err(bad(line_no, "expect-total-violations <n>")),
+        },
+        "expect-live" => one_var(line_no, args, "expect-live <var>", Command::ExpectLive)?,
+        "expect-dead" => one_var(line_no, args, "expect-dead <var>", Command::ExpectDead)?,
+        "expect-instances" => match args {
+            [class, count] => Command::ExpectInstances {
+                class: (*class).to_owned(),
+                count: count
+                    .parse()
+                    .map_err(|_| bad(line_no, "count must be an integer"))?,
+            },
+            _ => return Err(bad(line_no, "expect-instances <Class> <n>")),
+        },
+        other => {
+            return Err(err(
+                line_no,
+                ScriptErrorKind::UnknownCommand(other.to_owned()),
+            ))
+        }
+    };
+    Ok(Some(command))
+}
+
+fn one_var(
+    line_no: usize,
+    args: &[&str],
+    usage: &str,
+    make: impl FnOnce(String) -> Command,
+) -> Result<Command, ScriptError> {
+    match args {
+        [v] => Ok(make((*v).to_owned())),
+        _ => Err(bad(line_no, usage)),
+    }
+}
+
+fn no_args(
+    line_no: usize,
+    args: &[&str],
+    usage: &str,
+    cmd: Command,
+) -> Result<Command, ScriptError> {
+    if args.is_empty() {
+        Ok(cmd)
+    } else {
+        Err(bad(line_no, usage))
+    }
+}
+
+/// Parses a whole script into `(line_number, command)` pairs.
+///
+/// # Errors
+///
+/// The first parse error, tagged with its line.
+pub fn parse_script(src: &str) -> Result<Vec<(usize, Command)>, ScriptError> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        if let Some(cmd) = parse_line(i + 1, line)? {
+            out.push((i + 1, cmd));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        assert_eq!(parse_line(1, "").unwrap(), None);
+        assert_eq!(parse_line(1, "   # just a comment").unwrap(), None);
+        assert_eq!(
+            parse_line(1, "gc # trailing comment").unwrap(),
+            Some(Command::Gc)
+        );
+    }
+
+    #[test]
+    fn class_and_new() {
+        assert_eq!(
+            parse_line(1, "class Node next value").unwrap(),
+            Some(Command::Class {
+                name: "Node".into(),
+                fields: vec!["next".into(), "value".into()]
+            })
+        );
+        assert_eq!(
+            parse_line(1, "new a Node 4").unwrap(),
+            Some(Command::New {
+                var: "a".into(),
+                class: "Node".into(),
+                data_words: 4
+            })
+        );
+    }
+
+    #[test]
+    fn set_with_null_and_var() {
+        assert_eq!(
+            parse_line(1, "set a.next b").unwrap(),
+            Some(Command::Set {
+                var: "a".into(),
+                field: "next".into(),
+                value: Target::Var("b".into())
+            })
+        );
+        assert_eq!(
+            parse_line(1, "set a.next null").unwrap(),
+            Some(Command::Set {
+                var: "a".into(),
+                field: "next".into(),
+                value: Target::Null
+            })
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_line(42, "frobnicate x").unwrap_err();
+        assert_eq!(e.line, 42);
+        assert!(matches!(e.kind, ScriptErrorKind::UnknownCommand(_)));
+
+        let e = parse_line(7, "set a b").unwrap_err();
+        assert_eq!(e.line, 7);
+        assert!(matches!(e.kind, ScriptErrorKind::BadArguments(_)));
+
+        let e = parse_line(3, "new a Node nope").unwrap_err();
+        assert!(matches!(e.kind, ScriptErrorKind::BadArguments(_)));
+    }
+
+    #[test]
+    fn whole_script_parses_with_line_numbers() {
+        let script = "class T f\n\n# build\nnew a T\nroot a\ngc\n";
+        let cmds = parse_script(script).unwrap();
+        let lines: Vec<usize> = cmds.iter().map(|(l, _)| *l).collect();
+        assert_eq!(lines, vec![1, 4, 5, 6]);
+    }
+
+    #[test]
+    fn all_assertion_commands_parse() {
+        for (src, ok) in [
+            ("assert-dead a", true),
+            ("assert-unshared a", true),
+            ("assert-instances T 3", true),
+            ("assert-owned-by a b", true),
+            ("release-ownee b", true),
+            ("start-region", true),
+            ("all-dead", true),
+            ("assert-instances T", false),
+            ("assert-owned-by a", false),
+        ] {
+            assert_eq!(parse_line(1, src).is_ok(), ok, "{src}");
+        }
+    }
+
+    #[test]
+    fn expectations_parse() {
+        assert_eq!(
+            parse_line(1, "expect-violations 3").unwrap(),
+            Some(Command::ExpectViolations(3))
+        );
+        assert_eq!(
+            parse_line(1, "expect-instances Node 32").unwrap(),
+            Some(Command::ExpectInstances {
+                class: "Node".into(),
+                count: 32
+            })
+        );
+        assert!(parse_line(1, "expect-violations many").is_err());
+    }
+}

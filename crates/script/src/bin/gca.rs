@@ -1,0 +1,56 @@
+//! The `gca` script runner: executes `.gca` heap-scenario scripts.
+//!
+//! ```text
+//! gca <script.gca>     # run a script file
+//! gca -                # read the script from stdin
+//! ```
+//!
+//! Exit status 0 when the script (including its `expect-*` assertions)
+//! succeeds; 1 with a line-tagged diagnostic otherwise.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use gca_script::Interpreter;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let source = match args.as_slice() {
+        [path] if path == "-" => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("error reading stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            buf
+        }
+        [path] => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error reading {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => {
+            eprintln!("usage: gca <script.gca | ->");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match Interpreter::run_script(&source) {
+        Ok(output) => {
+            for line in &output.lines {
+                println!("{line}");
+            }
+            println!(
+                "ok: {} major + {} minor collection(s), {} violation(s)",
+                output.collections, output.minor_collections, output.total_violations
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

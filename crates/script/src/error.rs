@@ -1,0 +1,80 @@
+//! Script errors with line information.
+
+use std::error::Error;
+use std::fmt;
+
+/// What went wrong while parsing or executing a script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScriptErrorKind {
+    /// Unknown command word.
+    UnknownCommand(String),
+    /// Wrong number or shape of arguments; the message names the
+    /// expected form.
+    BadArguments(String),
+    /// Reference to a variable that was never bound.
+    UnknownVariable(String),
+    /// Reference to a class that was never declared.
+    UnknownClass(String),
+    /// Reference to a field not declared on the class.
+    UnknownField {
+        /// The class searched.
+        class: String,
+        /// The missing field.
+        field: String,
+    },
+    /// A `config` command after the VM already started executing.
+    ConfigAfterStart,
+    /// An `expect-*` assertion failed; the message describes the
+    /// mismatch.
+    ExpectationFailed(String),
+    /// The VM rejected the operation.
+    Vm(String),
+}
+
+/// A parse or execution error, tagged with its 1-based script line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptError {
+    /// 1-based line number in the script.
+    pub line: usize,
+    /// The failure.
+    pub kind: ScriptErrorKind,
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ScriptErrorKind::UnknownCommand(c) => write!(f, "unknown command `{c}`"),
+            ScriptErrorKind::BadArguments(m) => write!(f, "bad arguments: {m}"),
+            ScriptErrorKind::UnknownVariable(v) => write!(f, "unknown variable `{v}`"),
+            ScriptErrorKind::UnknownClass(c) => write!(f, "unknown class `{c}`"),
+            ScriptErrorKind::UnknownField { class, field } => {
+                write!(f, "class `{class}` has no field `{field}`")
+            }
+            ScriptErrorKind::ConfigAfterStart => {
+                write!(f, "`config` must appear before any other command")
+            }
+            ScriptErrorKind::ExpectationFailed(m) => write!(f, "expectation failed: {m}"),
+            ScriptErrorKind::Vm(m) => write!(f, "vm error: {m}"),
+        }
+    }
+}
+
+impl Error for ScriptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_line_and_kind() {
+        let e = ScriptError {
+            line: 7,
+            kind: ScriptErrorKind::UnknownVariable("x".into()),
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 7"));
+        assert!(s.contains("`x`"));
+    }
+}

@@ -1,0 +1,572 @@
+//! The script interpreter: executes commands against a [`Vm`].
+
+use std::collections::HashMap;
+
+use gc_assertions::{
+    ClassId, GcReport, Mode, ObjRef, Reaction, Vm, VmConfig,
+};
+
+use crate::ast::{parse_script, Command, Target};
+use crate::error::{ScriptError, ScriptErrorKind};
+
+/// Everything a script run produced: the printed lines and final state
+/// summaries, for asserting on in tests or printing from the CLI.
+#[derive(Debug, Default)]
+pub struct Output {
+    /// Lines the script emitted (`gc`, `probe`, `print` commands).
+    pub lines: Vec<String>,
+    /// Total violations across the run.
+    pub total_violations: usize,
+    /// Major collections performed.
+    pub collections: u64,
+    /// Minor collections performed.
+    pub minor_collections: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ClassDecl {
+    id: ClassId,
+    fields: Vec<String>,
+}
+
+/// The interpreter: owns the VM and the script's variable bindings.
+///
+/// # Example
+///
+/// ```
+/// use gca_script::Interpreter;
+///
+/// let out = Interpreter::run_script(
+///     "class T\nnew a T\nassert-dead a\ngc\nexpect-violations 0\nexpect-dead a\n",
+/// )
+/// .unwrap();
+/// assert_eq!(out.total_violations, 0);
+/// assert_eq!(out.collections, 1);
+/// ```
+#[derive(Debug)]
+pub struct Interpreter {
+    config: VmConfig,
+    vm: Option<Vm>,
+    vars: HashMap<String, ObjRef>,
+    classes: HashMap<String, ClassDecl>,
+    last_report: Option<GcReport>,
+    output: Output,
+}
+
+impl Interpreter {
+    /// Creates an interpreter with the default VM configuration (tweak it
+    /// with `config` commands before the first executing command).
+    pub fn new() -> Interpreter {
+        Interpreter {
+            config: VmConfig::new(),
+            vm: None,
+            vars: HashMap::new(),
+            classes: HashMap::new(),
+            last_report: None,
+            output: Output::default(),
+        }
+    }
+
+    /// Parses and executes `src`, returning the collected output.
+    ///
+    /// # Errors
+    ///
+    /// The first parse error, VM error, or failed expectation — tagged
+    /// with its script line.
+    pub fn run_script(src: &str) -> Result<Output, ScriptError> {
+        let mut interp = Interpreter::new();
+        for (line, cmd) in parse_script(src)? {
+            interp.execute(line, &cmd)?;
+        }
+        Ok(interp.finish())
+    }
+
+    /// Finishes the run, yielding the output.
+    pub fn finish(mut self) -> Output {
+        if let Some(vm) = &self.vm {
+            self.output.total_violations = vm.violation_log().len();
+            self.output.collections = vm.collections();
+            self.output.minor_collections = vm.minor_collections();
+        }
+        self.output
+    }
+
+    fn vm(&mut self) -> &mut Vm {
+        if self.vm.is_none() {
+            self.vm = Some(Vm::new(self.config.clone()));
+        }
+        self.vm.as_mut().expect("just initialized")
+    }
+
+    fn var(&self, line: usize, name: &str) -> Result<ObjRef, ScriptError> {
+        self.vars.get(name).copied().ok_or(ScriptError {
+            line,
+            kind: ScriptErrorKind::UnknownVariable(name.to_owned()),
+        })
+    }
+
+    fn class(&self, line: usize, name: &str) -> Result<&ClassDecl, ScriptError> {
+        self.classes.get(name).ok_or(ScriptError {
+            line,
+            kind: ScriptErrorKind::UnknownClass(name.to_owned()),
+        })
+    }
+
+    fn vm_err(line: usize) -> impl Fn(gc_assertions::VmError) -> ScriptError {
+        move |e| ScriptError {
+            line,
+            kind: ScriptErrorKind::Vm(e.to_string()),
+        }
+    }
+
+    fn expect_failed(line: usize, msg: String) -> ScriptError {
+        ScriptError {
+            line,
+            kind: ScriptErrorKind::ExpectationFailed(msg),
+        }
+    }
+
+    fn apply_config(&mut self, line: usize, key: &str, value: &str) -> Result<(), ScriptError> {
+        if self.vm.is_some() {
+            return Err(ScriptError {
+                line,
+                kind: ScriptErrorKind::ConfigAfterStart,
+            });
+        }
+        let bad = |msg: &str| ScriptError {
+            line,
+            kind: ScriptErrorKind::BadArguments(msg.to_owned()),
+        };
+        let cfg = self.config.clone();
+        self.config = match key {
+            "heap" => cfg.heap_budget_words(value.parse().map_err(|_| bad("heap <words>"))?),
+            "grow" => cfg.grow_on_oom(parse_bool(value).ok_or_else(|| bad("grow on|off"))?),
+            "report-once" => {
+                cfg.report_once(parse_bool(value).ok_or_else(|| bad("report-once on|off"))?)
+            }
+            "path-tracking" => {
+                cfg.path_tracking(parse_bool(value).ok_or_else(|| bad("path-tracking on|off"))?)
+            }
+            "strict-owner-lifetime" => cfg.strict_owner_lifetime(
+                parse_bool(value).ok_or_else(|| bad("strict-owner-lifetime on|off"))?,
+            ),
+            "generational" => {
+                cfg.generational(value.parse().map_err(|_| bad("generational <n>"))?)
+            }
+            "reaction" => cfg.reaction(match value {
+                "log" => Reaction::Log,
+                "halt" => Reaction::Halt,
+                "force-true" => Reaction::ForceTrue,
+                _ => return Err(bad("reaction log|halt|force-true")),
+            }),
+            "mode" => cfg.mode(match value {
+                "base" => Mode::Base,
+                "instrumented" => Mode::Instrumented,
+                _ => return Err(bad("mode base|instrumented")),
+            }),
+            _ => return Err(bad("unknown config key")),
+        };
+        Ok(())
+    }
+
+    /// Executes one command.
+    ///
+    /// # Errors
+    ///
+    /// VM errors and failed expectations, tagged with `line`.
+    pub fn execute(&mut self, line: usize, cmd: &Command) -> Result<(), ScriptError> {
+        let ve = Self::vm_err(line);
+        match cmd {
+            Command::Config { key, value } => self.apply_config(line, key, value)?,
+            Command::Class { name, fields } => {
+                let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+                let id = self.vm().register_class(name, &refs);
+                self.classes.insert(
+                    name.clone(),
+                    ClassDecl {
+                        id,
+                        fields: fields.clone(),
+                    },
+                );
+            }
+            Command::New {
+                var,
+                class,
+                data_words,
+            } => {
+                let decl = self.class(line, class)?.clone();
+                let m = self.vm().main();
+                let nrefs = decl.fields.len();
+                let obj = self
+                    .vm()
+                    .alloc(m, decl.id, nrefs, *data_words)
+                    .map_err(&ve)?;
+                self.vars.insert(var.clone(), obj);
+            }
+            Command::Set { var, field, value } => {
+                let obj = self.var(line, var)?;
+                let class_id = self.vm().class_of(obj).map_err(&ve)?;
+                let decl = self
+                    .classes
+                    .values()
+                    .find(|d| d.id == class_id)
+                    .cloned()
+                    .ok_or_else(|| ScriptError {
+                        line,
+                        kind: ScriptErrorKind::UnknownClass(format!("{class_id:?}")),
+                    })?;
+                let idx = decl
+                    .fields
+                    .iter()
+                    .position(|f| f == field)
+                    .ok_or_else(|| {
+                        let class_name = self
+                            .classes
+                            .iter()
+                            .find(|(_, d)| d.id == class_id)
+                            .map(|(n, _)| n.clone())
+                            .unwrap_or_default();
+                        ScriptError {
+                            line,
+                            kind: ScriptErrorKind::UnknownField {
+                                class: class_name,
+                                field: field.clone(),
+                            },
+                        }
+                    })?;
+                let value = match value {
+                    Target::Null => ObjRef::NULL,
+                    Target::Var(v) => self.var(line, v)?,
+                };
+                self.vm().set_field(obj, idx, value).map_err(&ve)?;
+            }
+            Command::Data { var, index, value } => {
+                let obj = self.var(line, var)?;
+                self.vm().set_data_word(obj, *index, *value).map_err(&ve)?;
+            }
+            Command::Root(var) => {
+                let obj = self.var(line, var)?;
+                let m = self.vm().main();
+                self.vm().add_root(m, obj).map_err(&ve)?;
+            }
+            Command::Frame => {
+                let m = self.vm().main();
+                self.vm().push_frame(m).map_err(&ve)?;
+            }
+            Command::EndFrame => {
+                let m = self.vm().main();
+                self.vm().pop_frame(m).map_err(&ve)?;
+            }
+            Command::Global(var) => {
+                let obj = self.var(line, var)?;
+                self.vm().add_global(obj).map_err(&ve)?;
+            }
+            Command::Unglobal(var) => {
+                let obj = self.var(line, var)?;
+                self.vm().remove_global(obj).map_err(&ve)?;
+            }
+            Command::AssertDead(var) => {
+                let obj = self.var(line, var)?;
+                self.vm().assert_dead(obj).map_err(&ve)?;
+            }
+            Command::AssertUnshared(var) => {
+                let obj = self.var(line, var)?;
+                self.vm().assert_unshared(obj).map_err(&ve)?;
+            }
+            Command::AssertInstances { class, limit } => {
+                let id = self.class(line, class)?.id;
+                self.vm().assert_instances(id, *limit).map_err(&ve)?;
+            }
+            Command::AssertOwnedBy { owner, ownee } => {
+                let o = self.var(line, owner)?;
+                let e = self.var(line, ownee)?;
+                self.vm().assert_owned_by(o, e).map_err(&ve)?;
+            }
+            Command::ReleaseOwnee(var) => {
+                let obj = self.var(line, var)?;
+                self.vm().release_ownee(obj).map_err(&ve)?;
+            }
+            Command::StartRegion => {
+                let m = self.vm().main();
+                self.vm().start_region(m).map_err(&ve)?;
+            }
+            Command::AllDead => {
+                let m = self.vm().main();
+                let n = self.vm().assert_alldead(m).map_err(&ve)?;
+                self.output.lines.push(format!("all-dead: {n} object(s) asserted"));
+            }
+            Command::Gc => {
+                let report = self.vm().collect().map_err(&ve)?;
+                self.output.lines.push(format!("gc: {report}"));
+                self.last_report = Some(report);
+            }
+            Command::MinorGc => {
+                let stats = self.vm().collect_minor().map_err(&ve)?;
+                self.output.lines.push(format!(
+                    "minor-gc: {} promoted, {} swept",
+                    stats.promoted, stats.objects_swept
+                ));
+            }
+            Command::Probe(var) => {
+                let obj = self.var(line, var)?;
+                let path = self.vm().probe_path(obj).map_err(&ve)?;
+                let msg = {
+                    let vm = self.vm.as_ref().expect("vm started");
+                    match path {
+                        Some(p) => format!("probe {var}: {}", p.display(vm.registry())),
+                        None => format!("probe {var}: unreachable"),
+                    }
+                };
+                self.output.lines.push(msg);
+            }
+            Command::Print => {
+                let vm = self.vm.as_ref();
+                if let (Some(vm), Some(report)) = (vm, &self.last_report) {
+                    self.output.lines.push(format!("report: {report}"));
+                    for v in &report.violations {
+                        self.output.lines.push(v.render(vm.registry()));
+                    }
+                } else {
+                    self.output.lines.push("report: (no collection yet)".to_owned());
+                }
+            }
+            Command::Histogram => {
+                let vm = self.vm();
+                let mut by_class: std::collections::HashMap<String, (usize, usize)> =
+                    std::collections::HashMap::new();
+                for (_, obj) in vm.heap().iter() {
+                    let name = vm.heap().registry().name(obj.class()).to_owned();
+                    let e = by_class.entry(name).or_default();
+                    e.0 += 1;
+                    e.1 += obj.size_words();
+                }
+                let mut rows: Vec<(String, usize, usize)> = by_class
+                    .into_iter()
+                    .map(|(k, (n, w))| (k, n, w))
+                    .collect();
+                rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+                for (class, n, words) in rows {
+                    self.output
+                        .lines
+                        .push(format!("histogram: {class} x{n} ({words} words)"));
+                }
+            }
+            Command::Stats => {
+                let vm = self.vm();
+                let line = format!(
+                    "stats: {} live objects, {} words occupied, {} allocations, {} majors, {} minors",
+                    vm.heap().live_objects(),
+                    vm.heap().occupied_words(),
+                    vm.heap_stats().allocations,
+                    vm.collections(),
+                    vm.minor_collections(),
+                );
+                self.output.lines.push(line);
+            }
+            Command::ExpectViolations(n) => {
+                let got = self
+                    .last_report
+                    .as_ref()
+                    .map(|r| r.violations.len())
+                    .unwrap_or(0);
+                if got != *n {
+                    return Err(Self::expect_failed(
+                        line,
+                        format!("expected {n} violation(s) in the last gc, got {got}"),
+                    ));
+                }
+            }
+            Command::ExpectTotalViolations(n) => {
+                let got = self.vm().violation_log().len();
+                if got != *n {
+                    return Err(Self::expect_failed(
+                        line,
+                        format!("expected {n} total violation(s), got {got}"),
+                    ));
+                }
+            }
+            Command::ExpectLive(var) => {
+                let obj = self.var(line, var)?;
+                if !self.vm().is_live(obj) {
+                    return Err(Self::expect_failed(
+                        line,
+                        format!("`{var}` was reclaimed but expected live"),
+                    ));
+                }
+            }
+            Command::ExpectDead(var) => {
+                let obj = self.var(line, var)?;
+                if self.vm().is_live(obj) {
+                    return Err(Self::expect_failed(
+                        line,
+                        format!("`{var}` is live but expected reclaimed"),
+                    ));
+                }
+            }
+            Command::ExpectInstances { class, count } => {
+                let id = self.class(line, class)?.id;
+                let got = self.vm().probe_instances(id).map_err(&ve)?;
+                if got != *count {
+                    return Err(Self::expect_failed(
+                        line,
+                        format!("expected {count} live {class} instance(s), found {got}"),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Interpreter::new()
+    }
+}
+
+fn parse_bool(s: &str) -> Option<bool> {
+    match s {
+        "on" | "true" | "yes" => Some(true),
+        "off" | "false" | "no" => Some(false),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leak_scenario_end_to_end() {
+        let out = Interpreter::run_script(
+            "
+class Registry entries
+class Session user
+class Cache hit
+new r Registry
+root r
+new s Session
+set r.entries s
+new c Cache
+root c
+set c.hit s
+set r.entries null
+assert-dead s
+gc
+expect-violations 1
+expect-live s
+set c.hit null
+gc
+expect-dead s
+",
+        )
+        .unwrap();
+        assert_eq!(out.total_violations, 1);
+        assert_eq!(out.collections, 2);
+    }
+
+    #[test]
+    fn config_is_applied() {
+        let out = Interpreter::run_script(
+            "
+config heap 128
+config grow on
+config generational 4
+class T
+new a T 8
+minor-gc
+",
+        )
+        .unwrap();
+        assert_eq!(out.minor_collections, 1);
+    }
+
+    #[test]
+    fn config_after_start_rejected() {
+        let e = Interpreter::run_script("class T\nconfig heap 99\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.kind, ScriptErrorKind::ConfigAfterStart);
+    }
+
+    #[test]
+    fn unknown_names_are_errors_with_lines() {
+        let e = Interpreter::run_script("class T\nnew a U\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(matches!(e.kind, ScriptErrorKind::UnknownClass(_)));
+
+        let e = Interpreter::run_script("class T f\nnew a T\nset a.g a\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(matches!(e.kind, ScriptErrorKind::UnknownField { .. }));
+
+        let e = Interpreter::run_script("root nobody\n").unwrap_err();
+        assert!(matches!(e.kind, ScriptErrorKind::UnknownVariable(_)));
+    }
+
+    #[test]
+    fn expectations_fail_with_message() {
+        let e = Interpreter::run_script("class T\nnew a T\nroot a\ngc\nexpect-dead a\n")
+            .unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(matches!(e.kind, ScriptErrorKind::ExpectationFailed(_)));
+    }
+
+    #[test]
+    fn probe_prints_path_or_unreachable() {
+        let out = Interpreter::run_script(
+            "class T f\nnew a T\nroot a\nnew b T\nset a.f b\nprobe b\nset a.f null\nprobe b\n",
+        )
+        .unwrap();
+        assert!(out.lines[0].contains("T"), "{:?}", out.lines);
+        assert!(out.lines[1].contains("unreachable"));
+    }
+
+    #[test]
+    fn frames_and_regions_work() {
+        let out = Interpreter::run_script(
+            "
+class Buf
+start-region
+frame
+new a Buf 8
+root a
+end-frame
+all-dead
+gc
+expect-violations 0
+",
+        )
+        .unwrap();
+        assert!(out.lines.iter().any(|l| l.contains("all-dead: 1")));
+    }
+
+    #[test]
+    fn histogram_and_stats_commands() {
+        let out = Interpreter::run_script(
+            "class Big\nclass Small\nnew a Big 20\nroot a\nnew b Small\nroot b\nnew c Small\nroot c\nhistogram\nstats\n",
+        )
+        .unwrap();
+        let hist: Vec<&String> = out
+            .lines
+            .iter()
+            .filter(|l| l.starts_with("histogram:"))
+            .collect();
+        assert_eq!(hist.len(), 2);
+        assert!(hist[0].contains("Big x1 (22 words)"), "{hist:?}");
+        assert!(hist[1].contains("Small x2"), "{hist:?}");
+        let stats = out
+            .lines
+            .iter()
+            .find(|l| l.starts_with("stats:"))
+            .unwrap();
+        assert!(stats.contains("3 live objects"), "{stats}");
+        assert!(stats.contains("3 allocations"), "{stats}");
+    }
+
+    #[test]
+    fn instance_expectation_probes_now() {
+        Interpreter::run_script(
+            "class S\nnew a S\nroot a\nnew b S\nroot b\nexpect-instances S 2\n",
+        )
+        .unwrap();
+    }
+}

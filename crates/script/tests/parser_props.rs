@@ -1,0 +1,70 @@
+//! Fuzz-style property tests for the script language: arbitrary input
+//! never panics the parser, and generated well-formed scripts always
+//! either run or fail with a line-tagged error (never a panic).
+
+use gca_script::{parse_line, parse_script, Interpreter};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(src in ".{0,200}") {
+        // Any unicode soup: must return Ok or Err, not panic.
+        let _ = parse_script(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_command_shaped_lines(
+        cmd in "[a-z-]{1,18}",
+        args in proptest::collection::vec("[A-Za-z0-9_.]{1,10}", 0..5),
+    ) {
+        let line = format!("{cmd} {}", args.join(" "));
+        let _ = parse_line(1, &line);
+    }
+
+    #[test]
+    fn generated_scripts_never_panic_the_interpreter(
+        ops in proptest::collection::vec(0u8..10, 1..60),
+        vars in proptest::collection::vec(0usize..6, 60),
+    ) {
+        // Build a syntactically valid script whose *semantics* may be
+        // nonsense (unknown vars, double regions, ...). The interpreter
+        // must produce a ScriptError, never panic.
+        let names = ["a", "b", "c", "d", "e", "f"];
+        let mut script = String::from("class T f g\n");
+        for (i, op) in ops.iter().enumerate() {
+            let v = names[vars[i % vars.len()]];
+            let w = names[vars[(i + 1) % vars.len()]];
+            let line = match op {
+                0 => format!("new {v} T"),
+                1 => format!("set {v}.f {w}"),
+                2 => format!("root {v}"),
+                3 => "frame".to_owned(),
+                4 => "end-frame".to_owned(),
+                5 => format!("assert-dead {v}"),
+                6 => format!("assert-owned-by {v} {w}"),
+                7 => "gc".to_owned(),
+                8 => "start-region".to_owned(),
+                _ => "all-dead".to_owned(),
+            };
+            script.push_str(&line);
+            script.push('\n');
+        }
+        let _ = Interpreter::run_script(&script); // Ok or Err — both fine
+    }
+
+    #[test]
+    fn well_formed_alloc_scripts_succeed(n in 1usize..30) {
+        let mut script = String::from("class T f\n");
+        for i in 0..n {
+            script.push_str(&format!("new v{i} T\nroot v{i}\n"));
+        }
+        script.push_str("gc\nexpect-violations 0\n");
+        for i in 0..n {
+            script.push_str(&format!("expect-live v{i}\n"));
+        }
+        let out = Interpreter::run_script(&script).expect("well-formed script runs");
+        prop_assert_eq!(out.collections, 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Runs every `.gca` scenario in the repository's `scripts/` directory.
+//! The scripts are self-checking (they contain `expect-*` commands), so
+//! this test is green exactly when every scenario behaves as documented.
+
+use gca_script::Interpreter;
+
+fn run_file(name: &str) -> gca_script::Output {
+    let path = format!("{}/../../scripts/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    Interpreter::run_script(&src).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+#[test]
+fn cache_leak_scenario() {
+    let out = run_file("cache_leak.gca");
+    assert_eq!(out.total_violations, 1);
+    assert!(out
+        .lines
+        .iter()
+        .any(|l| l.contains("asserted dead is reachable")));
+    assert!(out.lines.iter().any(|l| l.contains("Cache")));
+}
+
+#[test]
+fn singleton_scenario() {
+    let out = run_file("singleton.gca");
+    assert!(out
+        .lines
+        .iter()
+        .any(|l| l.contains("instance limit exceeded")));
+    assert!(out.lines.iter().any(|l| l.contains("IndexSearcher")));
+}
+
+#[test]
+fn swap_leak_scenario() {
+    let out = run_file("swap_leak.gca");
+    assert_eq!(out.total_violations, 1);
+    // The probe explains the pin through the Rep's outer reference.
+    let probe = out
+        .lines
+        .iter()
+        .find(|l| l.starts_with("probe fresh"))
+        .expect("probe output");
+    assert!(probe.contains("Rep"), "{probe}");
+}
+
+#[test]
+fn ownership_scenario() {
+    let out = run_file("ownership.gca");
+    assert_eq!(out.total_violations, 1);
+    assert!(out
+        .lines
+        .iter()
+        .any(|l| l.contains("not through its owner")));
+}
+
+#[test]
+fn region_server_scenario() {
+    let out = run_file("region_server.gca");
+    assert_eq!(out.total_violations, 1);
+    assert!(out.lines.iter().any(|l| l.contains("all-dead: 1")));
+}
+
+#[test]
+fn generational_scenario() {
+    let out = run_file("generational.gca");
+    assert_eq!(out.total_violations, 1);
+    assert!(out.minor_collections >= 2);
+    assert!(out.collections >= 1);
+}
+
+#[test]
+fn force_true_scenario() {
+    let out = run_file("force_true.gca");
+    assert_eq!(out.total_violations, 1);
+    assert_eq!(out.collections, 2);
+}
+
+#[test]
+fn unshared_tree_scenario() {
+    let out = run_file("unshared_tree.gca");
+    assert_eq!(out.total_violations, 1);
+    assert!(out
+        .lines
+        .iter()
+        .any(|l| l.contains("more than one incoming pointer")));
+}
+
+#[test]
+fn all_scripts_in_directory_run_clean() {
+    // Safety net: any script added to scripts/ must at least execute.
+    let dir = format!("{}/../../scripts", env!("CARGO_MANIFEST_DIR"));
+    let mut count = 0;
+    for entry in std::fs::read_dir(&dir).expect("scripts dir") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) == Some("gca") {
+            let src = std::fs::read_to_string(&path).unwrap();
+            Interpreter::run_script(&src)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            count += 1;
+        }
+    }
+    assert!(count >= 6, "expected the bundled scenarios, found {count}");
+}

@@ -1,0 +1,237 @@
+//! `_209_db` — the SPEC JVM98 in-memory database, instrumented with the
+//! paper's assertions (§3.1.1): every `Entry` is asserted owned by its
+//! containing `Database`, and removal sites (where the original code
+//! assigns `null` to an instance variable, "a common Java idiom that
+//! usually indicates that the object pointed to should be unreachable")
+//! carry `assert_dead`.
+//!
+//! The paper's run makes 695 `assert-dead` and 15,553 `assert-ownedby`
+//! calls and checks ≈15,274 ownees per collection; the default parameters
+//! here are a deterministic ~10× scale-down with the same call-mix shape
+//! (ownership asserted for every entry ever added; dead asserted at every
+//! removal).
+
+use gc_assertions::{MutatorId, ObjRef, Vm, VmError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::runner::Workload;
+use crate::structures::HArrayList;
+
+/// The `_209_db` workload.
+#[derive(Debug, Clone)]
+pub struct Db209 {
+    /// Entries loaded before the operation mix starts.
+    pub initial_entries: usize,
+    /// Operations to run.
+    pub operations: usize,
+    /// Entry payload words (name + address fields).
+    pub entry_data: usize,
+    /// Plant a leak: removed entries are also stashed in a hidden cache,
+    /// so `assert_dead`/`assert_owned_by` fire. Used by the detector
+    /// comparison; the performance figures run with this off.
+    pub leak: bool,
+    /// Heap budget in words.
+    pub budget: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Db209 {
+    fn default() -> Self {
+        Db209 {
+            initial_entries: 2_500,
+            operations: 20_000,
+            entry_data: 6,
+            leak: false,
+            budget: 110_000,
+            seed: 0x209DB,
+        }
+    }
+}
+
+impl Db209 {
+    /// The leak-planted variant for the detector comparison.
+    pub fn with_leak() -> Db209 {
+        Db209 {
+            leak: true,
+            ..Db209::default()
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn add_entry(
+        &self,
+        vm: &mut Vm,
+        m: MutatorId,
+        db: ObjRef,
+        entries: &HArrayList,
+        entry_class: gc_assertions::ClassId,
+        string_class: gc_assertions::ClassId,
+        id: u64,
+        assertions: bool,
+    ) -> Result<(), VmError> {
+        vm.push_frame(m)?;
+        // An entry holds name/address string objects, like the Java
+        // benchmark's records.
+        let e = vm.alloc_rooted(m, entry_class, 2, self.entry_data)?;
+        vm.set_data_word(e, 0, id)?;
+        let name = vm.alloc(m, string_class, 0, 6)?;
+        vm.set_field(e, 0, name)?;
+        let addr = vm.alloc(m, string_class, 0, 6)?;
+        vm.set_field(e, 1, addr)?;
+        entries.push(vm, m, e)?;
+        if assertions {
+            vm.assert_owned_by(db, e)?;
+        }
+        vm.pop_frame(m)?;
+        Ok(())
+    }
+}
+
+impl Workload for Db209 {
+    fn name(&self) -> &str {
+        "209_db"
+    }
+
+    fn heap_budget(&self) -> usize {
+        self.budget
+    }
+
+    fn run(&self, vm: &mut Vm, assertions: bool) -> Result<(), VmError> {
+        let m = vm.main();
+        let db_class = vm.register_class("Database", &["entries"]);
+        let entry_class = vm.register_class("Entry", &[]);
+        // Temporaries the Java benchmark churns through: enumerations for
+        // scans, strings for field edits.
+        let enum_class = vm.register_class("Enumeration", &[]);
+        let string_class = vm.register_class("String", &[]);
+
+        let db = vm.alloc(m, db_class, 1, 2)?;
+        vm.add_root(m, db)?;
+        let entries = HArrayList::new(vm, m, self.initial_entries.max(4))?;
+        vm.set_field(db, 0, entries.handle())?;
+        // The hidden cache used by the planted-leak variant — held by a
+        // *static* (outside the Database), so leaked entries are no longer
+        // reachable through their owner.
+        let cache = HArrayList::new(vm, m, 8)?;
+        vm.add_root(m, cache.handle())?;
+
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut next_id: u64 = 0;
+
+        // Load the database.
+        for _ in 0..self.initial_entries {
+            self.add_entry(vm, m, db, &entries, entry_class, string_class, next_id, assertions)?;
+            next_id += 1;
+        }
+
+        // Operation mix: ~45% find, ~25% modify, ~15% add, ~15% remove
+        // (adds and removes balance, keeping the live size stable as in
+        // the real benchmark).
+        for _ in 0..self.operations {
+            let len = entries.len(vm)?;
+            match rng.gen_range(0..100) {
+                0..=44 => {
+                    // find: allocate an enumeration and scan for an id.
+                    if len > 0 {
+                        let e_tmp = vm.alloc(m, enum_class, 0, 8)?;
+                        vm.set_data_word(e_tmp, 0, next_id)?;
+                        let target = rng.gen_range(0..next_id);
+                        for i in (0..len).step_by(7) {
+                            let e = entries.get(vm, i)?;
+                            if vm.data_word(e, 0)? == target {
+                                break;
+                            }
+                        }
+                    }
+                }
+                45..=69 => {
+                    // modify: build a fresh string value for the field.
+                    if len > 0 {
+                        let s = vm.alloc(m, string_class, 0, 16)?;
+                        vm.set_data_word(s, 0, rng.gen())?;
+                        let i = rng.gen_range(0..len);
+                        let e = entries.get(vm, i)?;
+                        vm.set_data_word(e, 1, vm.data_word(s, 0)?)?;
+                    }
+                }
+                70..=84 => {
+                    self.add_entry(vm, m, db, &entries, entry_class, string_class, next_id, assertions)?;
+                    next_id += 1;
+                }
+                _ => {
+                    // remove: the site where the original code nulls the
+                    // reference and the paper adds assert-dead.
+                    if len > 0 {
+                        let i = rng.gen_range(0..len);
+                        let e = entries.remove(vm, i)?;
+                        if self.leak {
+                            cache.push(vm, m, e)?; // the planted bug
+                        }
+                        if assertions {
+                            vm.assert_dead(e)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_once, ExpConfig};
+
+    fn small() -> Db209 {
+        Db209 {
+            initial_entries: 600,
+            operations: 600,
+            budget: 18_000,
+            ..Db209::default()
+        }
+    }
+
+    #[test]
+    fn clean_db_passes_all_assertions() {
+        let m = run_once(&small(), ExpConfig::WithAssertions).unwrap();
+        assert_eq!(m.violations, 0);
+        assert!(m.collections > 0, "must exercise the ownership phase");
+        assert!(m.ownees_checked_per_gc > 100.0, "ownees checked per GC");
+    }
+
+    #[test]
+    fn leaky_db_fires() {
+        let db = Db209 {
+            leak: true,
+            ..small()
+        };
+        let m = run_once(&db, ExpConfig::WithAssertions).unwrap();
+        assert!(m.violations > 0, "cached removed entries must fire");
+    }
+
+    #[test]
+    fn leak_invisible_without_assertions() {
+        let db = Db209 {
+            leak: true,
+            ..small()
+        };
+        let m = run_once(&db, ExpConfig::Infrastructure).unwrap();
+        assert_eq!(m.violations, 0, "no assertions, no reports");
+    }
+
+    #[test]
+    fn assertion_call_mix_matches_paper_shape() {
+        // Many more assert_owned_by than assert_dead, as in §3.1.2
+        // (15,553 vs 695).
+        let db = small();
+        let mut vm =
+            gc_assertions::Vm::new(gc_assertions::VmConfig::new().heap_budget_words(db.budget));
+        db.run(&mut vm, true).unwrap();
+        let calls = vm.assertion_calls();
+        assert!(calls.owned_by > 5 * calls.dead);
+        assert!(calls.dead > 0);
+    }
+}

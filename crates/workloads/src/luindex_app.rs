@@ -1,0 +1,207 @@
+//! luindex — the DaCapo text-indexing benchmark, modelled as a real
+//! inverted-index builder (companion to [`crate::lusearch_app`], which
+//! models the search side).
+//!
+//! Heap shape: `Index { terms: HashMap } -> PostingList (LinkedList) ->
+//! Posting { doc } -> Document`. Indexing a document allocates transient
+//! token buffers that must die with the document's processing — an ideal
+//! workload for combining two assertion styles:
+//!
+//! * `assert_owned_by(index, posting)` — every posting must stay
+//!   reachable through the index (one owner, many thousands of ownees);
+//! * `assert_dead(scratch)` — per-document tokenization scratch must be
+//!   garbage once the document is indexed.
+//!
+//! The `scratch_cache_bug` switch plants the leak this instrumentation
+//! catches: a "recent tokens" cache that pins every document's scratch
+//! buffer.
+
+use gc_assertions::{Vm, VmError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::runner::Workload;
+use crate::structures::{HHashMap, HList};
+
+/// The luindex workload.
+#[derive(Debug, Clone)]
+pub struct Luindex {
+    /// Documents to index.
+    pub documents: usize,
+    /// Tokens per document.
+    pub tokens_per_doc: usize,
+    /// Vocabulary size (term ids).
+    pub vocabulary: u64,
+    /// Plant the scratch-cache leak.
+    pub scratch_cache_bug: bool,
+    /// Heap budget in words.
+    pub budget: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Luindex {
+    fn default() -> Self {
+        Luindex {
+            documents: 150,
+            tokens_per_doc: 40,
+            vocabulary: 500,
+            scratch_cache_bug: false,
+            budget: 120_000,
+            seed: 0x10D8,
+        }
+    }
+}
+
+impl Luindex {
+    /// The buggy variant for the case-study tests.
+    pub fn with_scratch_cache_bug() -> Luindex {
+        Luindex {
+            scratch_cache_bug: true,
+            ..Luindex::default()
+        }
+    }
+}
+
+impl Workload for Luindex {
+    fn name(&self) -> &str {
+        "luindex_app"
+    }
+
+    fn heap_budget(&self) -> usize {
+        self.budget
+    }
+
+    fn run(&self, vm: &mut Vm, assertions: bool) -> Result<(), VmError> {
+        let m = vm.main();
+        let index_class = vm.register_class("Index", &["terms"]);
+        let doc_class = vm.register_class("Document", &[]);
+        let posting_class = vm.register_class("Posting", &["doc"]);
+        let scratch_class = vm.register_class("TokenScratch", &[]);
+        let cache_class = vm.register_class("RecentTokens", &["latest"]);
+
+        let index = vm.alloc(m, index_class, 1, 1)?;
+        vm.add_root(m, index)?;
+        let terms = HHashMap::new(vm, m, 64)?;
+        vm.set_field(index, 0, terms.handle())?;
+
+        // The buggy "recent tokens" cache.
+        let cache = vm.alloc(m, cache_class, 1, 0)?;
+        vm.add_root(m, cache)?;
+
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        for d in 0..self.documents {
+            vm.push_frame(m)?;
+            let doc = vm.alloc_rooted(m, doc_class, 0, 6)?;
+            vm.set_data_word(doc, 0, d as u64)?;
+
+            // Tokenize: a scratch buffer that must die with this loop.
+            let scratch = vm.alloc_rooted(m, scratch_class, 0, self.tokens_per_doc)?;
+            for t in 0..self.tokens_per_doc {
+                let term = rng.gen_range(0..self.vocabulary);
+                vm.set_data_word(scratch, t, term)?;
+            }
+            if self.scratch_cache_bug {
+                vm.set_field(cache, 0, scratch)?; // pins the scratch
+            }
+
+            // Post each token into the inverted index.
+            for t in 0..self.tokens_per_doc {
+                let term = vm.data_word(scratch, t)?;
+                let list = match terms.get(vm, term)? {
+                    Some(handle) => HList::from_handle(vm, handle)?,
+                    None => {
+                        let list = HList::new(vm, m)?;
+                        terms.put(vm, m, term, list.handle())?;
+                        list
+                    }
+                };
+                let posting = vm.alloc(m, posting_class, 1, 1)?;
+                vm.set_field(posting, 0, doc)?;
+                list.push_front(vm, m, posting)?;
+                if assertions {
+                    // Every posting is owned by the index.
+                    vm.assert_owned_by(index, posting)?;
+                }
+            }
+
+            vm.pop_frame(m)?;
+            if assertions {
+                // Tokenization scratch must be garbage once the document
+                // is indexed; with the cache bug present this fires with
+                // a path through RecentTokens.
+                vm.assert_dead(scratch)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_once, ExpConfig};
+    use gc_assertions::ViolationKind;
+
+    fn small(mut l: Luindex) -> Luindex {
+        l.documents = 40;
+        l.tokens_per_doc = 20;
+        l.budget = 40_000;
+        l
+    }
+
+    #[test]
+    fn clean_indexing_passes_both_assertion_styles() {
+        let l = small(Luindex::default());
+        let m = run_once(&l, ExpConfig::WithAssertions).unwrap();
+        assert_eq!(m.violations, 0);
+        assert!(m.ownees_checked_per_gc > 0.0, "postings were checked");
+    }
+
+    #[test]
+    fn scratch_cache_bug_caught_by_assert_dead() {
+        let l = small(Luindex::with_scratch_cache_bug());
+        let mut vm =
+            gc_assertions::Vm::new(gc_assertions::VmConfig::new().heap_budget_words(l.budget));
+        l.run(&mut vm, true).unwrap();
+        vm.collect().unwrap();
+        let log = vm.take_violation_log();
+        let scratch_leaks = log
+            .iter()
+            .filter(|v| match &v.kind {
+                ViolationKind::DeadReachable { class_name, .. } => class_name == "TokenScratch",
+                _ => false,
+            })
+            .count();
+        assert!(scratch_leaks > 0, "cached scratch buffers must fire");
+        // The path names the cache.
+        let v = log
+            .iter()
+            .find(|v| matches!(&v.kind, ViolationKind::DeadReachable { class_name, .. } if class_name == "TokenScratch"))
+            .unwrap();
+        assert!(v.path.passes_through(vm.registry(), "RecentTokens"));
+    }
+
+    #[test]
+    fn postings_stay_owned_through_queries() {
+        // After indexing, every term lookup sees postings that remain
+        // owned — repeated GCs stay clean.
+        let l = small(Luindex::default());
+        let mut vm =
+            gc_assertions::Vm::new(gc_assertions::VmConfig::new().heap_budget_words(l.budget));
+        l.run(&mut vm, true).unwrap();
+        for _ in 0..3 {
+            let report = vm.collect().unwrap();
+            assert!(report.is_clean(), "{report}");
+        }
+        assert!(vm.ownee_count() > 100);
+    }
+
+    #[test]
+    fn deterministic_allocations() {
+        let l = small(Luindex::default());
+        let a = run_once(&l, ExpConfig::Base).unwrap();
+        let b = run_once(&l, ExpConfig::Base).unwrap();
+        assert_eq!(a.allocations, b.allocations);
+    }
+}

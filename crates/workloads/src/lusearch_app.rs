@@ -1,0 +1,198 @@
+//! lusearch — the DaCapo text-search benchmark over Apache Lucene
+//! (§3.2.2).
+//!
+//! The Lucene documentation recommends opening **one** `IndexSearcher`
+//! and sharing it across threads; the benchmark instead opens one per
+//! thread. The paper instruments lusearch with
+//! `assert_instances(IndexSearcher, 1)` and finds 32 live instances, one
+//! per search thread. This module rebuilds that scenario: a shared
+//! in-heap index, N simulated searcher threads, and per-query allocation
+//! churn (queries, hit lists, score docs).
+
+use gc_assertions::{MutatorId, Vm, VmError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::runner::Workload;
+use crate::structures::HHashMap;
+
+/// The lusearch workload.
+#[derive(Debug, Clone)]
+pub struct Lusearch {
+    /// Search threads (the paper observes 32).
+    pub threads: usize,
+    /// Documents in the shared index.
+    pub documents: usize,
+    /// Queries issued per thread.
+    pub queries_per_thread: usize,
+    /// Share one `IndexSearcher` across threads (the documented fix)
+    /// instead of one per thread (the benchmark's behaviour).
+    pub share_searcher: bool,
+    /// Heap budget in words.
+    pub budget: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Lusearch {
+    fn default() -> Self {
+        Lusearch {
+            threads: 32,
+            documents: 300,
+            queries_per_thread: 40,
+            share_searcher: false,
+            budget: 80_000,
+            seed: 0x105EA,
+        }
+    }
+}
+
+impl Lusearch {
+    /// The repaired variant: one shared searcher.
+    pub fn fixed() -> Lusearch {
+        Lusearch {
+            share_searcher: true,
+            ..Lusearch::default()
+        }
+    }
+}
+
+impl Workload for Lusearch {
+    fn name(&self) -> &str {
+        "lusearch_app"
+    }
+
+    fn heap_budget(&self) -> usize {
+        self.budget
+    }
+
+    fn run(&self, vm: &mut Vm, assertions: bool) -> Result<(), VmError> {
+        let main = vm.main();
+        let index_class = vm.register_class("Index", &["terms"]);
+        let doc_class = vm.register_class("Document", &[]);
+        let searcher_class = vm.register_class("IndexSearcher", &["index"]);
+        let query_class = vm.register_class("Query", &[]);
+        let hits_class = vm.register_class("Hits", &["docs"]);
+        let array_class = vm.register_class("Object[]", &[]);
+
+        if assertions {
+            // "For performance reasons it is recommended to open only one
+            // IndexSearcher and use it for all of your searches."
+            vm.assert_instances(searcher_class, 1)?;
+        }
+
+        // Build the shared on-disk index analogue: term id -> document.
+        let index = vm.alloc(main, index_class, 1, 2)?;
+        vm.add_global(index)?;
+        let terms = HHashMap::new(vm, main, 64)?;
+        vm.set_field(index, 0, terms.handle())?;
+        for d in 0..self.documents {
+            vm.push_frame(main)?;
+            let doc = vm.alloc_rooted(main, doc_class, 0, 8)?;
+            vm.set_data_word(doc, 0, d as u64)?;
+            terms.put(vm, main, d as u64, doc)?;
+            vm.pop_frame(main)?;
+        }
+
+        // Spawn the search threads; each opens its own IndexSearcher
+        // (unless the fix is applied) and keeps it for its whole life.
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut threads: Vec<(MutatorId, gc_assertions::ObjRef)> = Vec::new();
+        let shared = if self.share_searcher {
+            let s = vm.alloc(main, searcher_class, 1, 2)?;
+            vm.set_field(s, 0, index)?;
+            vm.add_global(s)?;
+            Some(s)
+        } else {
+            None
+        };
+        for _ in 0..self.threads {
+            let t = vm.spawn_mutator();
+            let searcher = match shared {
+                Some(s) => s,
+                None => {
+                    let s = vm.alloc(t, searcher_class, 1, 2)?;
+                    vm.set_field(s, 0, index)?;
+                    vm.add_root(t, s)?; // lives on the thread's stack
+                    s
+                }
+            };
+            threads.push((t, searcher));
+        }
+
+        // Interleave the threads' queries deterministically.
+        for _round in 0..self.queries_per_thread {
+            for &(t, _searcher) in &threads {
+                vm.push_frame(t)?;
+                let _query = vm.alloc_rooted(t, query_class, 0, 4)?;
+                // Collect hits: an array of references into the index.
+                let nhits = rng.gen_range(4..12);
+                let hits = vm.alloc_rooted(t, hits_class, 1, 1)?;
+                let docs = vm.alloc(t, array_class, nhits, 0)?;
+                vm.set_field(hits, 0, docs)?;
+                for h in 0..nhits {
+                    let key = rng.gen_range(0..self.documents as u64);
+                    if let Some(doc) = terms.get(vm, key)? {
+                        vm.set_field(docs, h, doc)?;
+                    }
+                }
+                vm.pop_frame(t)?; // query + hits die with the request
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_once, ExpConfig};
+    use gc_assertions::ViolationKind;
+
+    fn small(mut l: Lusearch) -> Lusearch {
+        l.threads = 32;
+        l.documents = 100;
+        l.queries_per_thread = 8;
+        l.budget = 30_000;
+        l
+    }
+
+    #[test]
+    fn per_thread_searchers_fire_instance_limit_with_count_32() {
+        let l = small(Lusearch::default());
+        let mut vm =
+            gc_assertions::Vm::new(gc_assertions::VmConfig::new().heap_budget_words(l.budget));
+        l.run(&mut vm, true).unwrap();
+        vm.collect().unwrap();
+        let log = vm.take_violation_log();
+        let counts: Vec<(u32, u32)> = log
+            .iter()
+            .filter_map(|v| match &v.kind {
+                ViolationKind::InstanceLimit {
+                    class_name,
+                    limit,
+                    count,
+                } if class_name == "IndexSearcher" => Some((*limit, *count)),
+                _ => None,
+            })
+            .collect();
+        assert!(!counts.is_empty(), "instance-limit violation expected");
+        assert!(counts.iter().all(|&(limit, _)| limit == 1));
+        let max = counts.iter().map(|&(_, c)| c).max().unwrap();
+        assert_eq!(max, 32, "one searcher per thread, as in the paper");
+    }
+
+    #[test]
+    fn shared_searcher_fix_is_clean() {
+        let l = small(Lusearch::fixed());
+        let m = run_once(&l, ExpConfig::WithAssertions).unwrap();
+        assert_eq!(m.violations, 0);
+    }
+
+    #[test]
+    fn per_query_garbage_is_reclaimed() {
+        let l = small(Lusearch::default());
+        let m = run_once(&l, ExpConfig::Base).unwrap();
+        assert!(m.collections > 0, "query churn must trigger GCs");
+    }
+}

@@ -1,0 +1,23 @@
+//! Data structures built out of VM heap objects.
+//!
+//! Each structure is a thin Rust wrapper around a *handle* to an in-heap
+//! container object; all element storage and linkage lives in the heap, so
+//! the collector (and the assertion engine) sees the same shapes a Java
+//! program would produce. The wrapper itself is the analogue of a local
+//! variable holding the container — callers must root the handle
+//! ([`gc_assertions::Vm::add_root`]) if the structure is to survive a
+//! collection.
+//!
+//! Internal operations that allocate more than one object at a time use a
+//! temporary root frame so a collection triggered mid-operation cannot
+//! reclaim a half-linked node.
+
+mod array_list;
+mod btree;
+mod hash_map;
+mod linked_list;
+
+pub use array_list::HArrayList;
+pub use btree::HBTree;
+pub use hash_map::HHashMap;
+pub use linked_list::HList;

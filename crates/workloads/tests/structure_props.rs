@@ -1,0 +1,199 @@
+//! Property tests: the in-heap data structures behave identically to
+//! their std-library models under arbitrary operation sequences, and
+//! their elements survive collections exactly while contained.
+
+use gc_assertions::{ObjRef, Vm, VmConfig};
+use gca_workloads::structures::{HBTree, HHashMap, HList};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Put(u64),
+    Remove(u64),
+    Get(u64),
+    Gc,
+}
+
+fn map_ops() -> impl Strategy<Value = Vec<MapOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..50).prop_map(MapOp::Put),
+            (0u64..50).prop_map(MapOp::Remove),
+            (0u64..50).prop_map(MapOp::Get),
+            Just(MapOp::Gc),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hash_map_matches_std_model(ops in map_ops()) {
+        let mut vm = Vm::new(VmConfig::new());
+        let m = vm.main();
+        let elem = vm.register_class("Elem", &[]);
+        let map = HHashMap::new(&mut vm, m, 2).unwrap();
+        vm.add_root(m, map.handle()).unwrap();
+
+        let mut model: HashMap<u64, ObjRef> = HashMap::new();
+        for op in ops {
+            match op {
+                MapOp::Put(k) => {
+                    let v = vm.alloc(m, elem, 0, 1).unwrap();
+                    vm.set_data_word(v, 0, k).unwrap();
+                    let old = map.put(&mut vm, m, k, v).unwrap();
+                    prop_assert_eq!(old, model.insert(k, v));
+                }
+                MapOp::Remove(k) => {
+                    prop_assert_eq!(map.remove(&mut vm, k).unwrap(), model.remove(&k));
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(map.get(&vm, k).unwrap(), model.get(&k).copied());
+                }
+                MapOp::Gc => {
+                    vm.collect().unwrap();
+                    // Contained values survive, and their payloads are intact.
+                    for (&k, &v) in &model {
+                        prop_assert!(vm.is_live(v));
+                        prop_assert_eq!(vm.data_word(v, 0).unwrap(), k);
+                    }
+                }
+            }
+            prop_assert_eq!(map.len(&vm).unwrap(), model.len());
+        }
+        // Entries agree as sets.
+        let mut got = map.entries(&vm).unwrap();
+        got.sort();
+        let mut want: Vec<(u64, ObjRef)> = model.into_iter().collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn btree_matches_std_model(ops in map_ops()) {
+        let mut vm = Vm::new(VmConfig::new());
+        let m = vm.main();
+        let elem = vm.register_class("Elem", &[]);
+        let tree = HBTree::new(&mut vm, m).unwrap();
+        vm.add_root(m, tree.handle()).unwrap();
+
+        let mut model: BTreeMap<u64, ObjRef> = BTreeMap::new();
+        for op in ops {
+            match op {
+                MapOp::Put(k) => {
+                    let v = vm.alloc(m, elem, 0, 1).unwrap();
+                    vm.set_data_word(v, 0, k).unwrap();
+                    let old = tree.insert(&mut vm, m, k, v).unwrap();
+                    prop_assert_eq!(old, model.insert(k, v));
+                }
+                MapOp::Remove(k) => {
+                    prop_assert_eq!(tree.remove(&mut vm, k).unwrap(), model.remove(&k));
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(tree.get(&vm, k).unwrap(), model.get(&k).copied());
+                }
+                MapOp::Gc => {
+                    vm.collect().unwrap();
+                    for &v in model.values() {
+                        prop_assert!(vm.is_live(v));
+                    }
+                }
+            }
+            prop_assert_eq!(tree.len(&vm).unwrap(), model.len());
+        }
+        // values() is the model's value sequence in key order.
+        let got = tree.values(&vm).unwrap();
+        let want: Vec<ObjRef> = model.values().copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn btree_bulk_then_removals_stay_searchable(
+        keys in proptest::collection::vec(0u64..10_000, 1..400),
+        remove_mask in proptest::collection::vec(any::<bool>(), 400),
+    ) {
+        let mut vm = Vm::new(VmConfig::new().heap_budget_words(1 << 20));
+        let m = vm.main();
+        let elem = vm.register_class("Elem", &[]);
+        let tree = HBTree::new(&mut vm, m).unwrap();
+        vm.add_root(m, tree.handle()).unwrap();
+
+        let mut model: BTreeMap<u64, ObjRef> = BTreeMap::new();
+        for &k in &keys {
+            let v = vm.alloc(m, elem, 0, 0).unwrap();
+            tree.insert(&mut vm, m, k, v).unwrap();
+            model.insert(k, v);
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            if remove_mask[i % remove_mask.len()] {
+                prop_assert_eq!(tree.remove(&mut vm, k).unwrap(), model.remove(&k));
+            }
+        }
+        vm.collect().unwrap();
+        for &k in &keys {
+            prop_assert_eq!(tree.get(&vm, k).unwrap(), model.get(&k).copied());
+        }
+        // Removed values were reclaimed, contained ones survive.
+        for &k in &keys {
+            if let Some(&v) = model.get(&k) {
+                prop_assert!(vm.is_live(v));
+            }
+        }
+    }
+
+    #[test]
+    fn list_push_pop_remove_matches_vec_model(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                Just(0u8), // push
+                Just(1u8), // pop
+                Just(2u8), // remove random
+                Just(3u8), // gc
+            ],
+            1..100,
+        )
+    ) {
+        let mut vm = Vm::new(VmConfig::new());
+        let m = vm.main();
+        let elem = vm.register_class("Elem", &[]);
+        let list = HList::new(&mut vm, m).unwrap();
+        vm.add_root(m, list.handle()).unwrap();
+
+        let mut model: Vec<ObjRef> = Vec::new(); // front at index 0
+        let mut counter = 0u64;
+        for op in ops {
+            match op {
+                0 => {
+                    let v = vm.alloc(m, elem, 0, 1).unwrap();
+                    vm.set_data_word(v, 0, counter).unwrap();
+                    counter += 1;
+                    list.push_front(&mut vm, m, v).unwrap();
+                    model.insert(0, v);
+                }
+                1 => {
+                    let got = list.pop_front(&mut vm).unwrap();
+                    let want = if model.is_empty() { None } else { Some(model.remove(0)) };
+                    prop_assert_eq!(got, want);
+                }
+                2 => {
+                    if !model.is_empty() {
+                        let victim = model[counter as usize % model.len()];
+                        prop_assert!(list.remove(&mut vm, victim).unwrap());
+                        model.retain(|&v| v != victim);
+                    }
+                }
+                _ => {
+                    vm.collect().unwrap();
+                    for &v in &model {
+                        prop_assert!(vm.is_live(v));
+                    }
+                }
+            }
+            prop_assert_eq!(list.len(&vm).unwrap(), model.len());
+        }
+        prop_assert_eq!(list.elements(&vm).unwrap(), model);
+    }
+}

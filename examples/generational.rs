@@ -1,0 +1,59 @@
+//! The generational trade-off (paper §2.2): minor collections are fast
+//! but check no assertions, so a violation waits for the next major.
+//!
+//! ```text
+//! cargo run --example generational
+//! ```
+
+use gc_assertions::{Vm, VmConfig};
+
+fn main() -> Result<(), gc_assertions::VmError> {
+    let mut vm = Vm::new(
+        VmConfig::new()
+            .heap_budget_words(4_096)
+            .grow_on_oom(true)
+            .generational(8), // a major only every 8 minors
+    );
+    let c = vm.register_class("Node", &["next", "pinned"]);
+    let m = vm.main();
+
+    // Plant a violation: `victim` is asserted dead but stays referenced.
+    let holder = vm.alloc(m, c, 2, 0)?;
+    vm.add_root(m, holder)?;
+    let victim = vm.alloc(m, c, 2, 0)?;
+    vm.set_field(holder, 1, victim)?;
+    vm.assert_dead(victim)?;
+
+    // Churn: allocation pressure triggers collections automatically.
+    let mut reported_at: Option<(u64, u64)> = None;
+    for _ in 0..4_000 {
+        vm.alloc(m, c, 2, 4)?;
+        if reported_at.is_none() && !vm.violation_log().is_empty() {
+            reported_at = Some((vm.minor_collections(), vm.collections()));
+        }
+    }
+    if reported_at.is_none() {
+        vm.collect()?; // force the major
+        reported_at = Some((vm.minor_collections(), vm.collections()));
+    }
+
+    let (minors, majors) = reported_at.unwrap();
+    println!(
+        "collections before the violation was reported: {minors} minors (unchecked) + {majors} major(s)"
+    );
+    println!(
+        "total so far: {} minors ({:?}), {} majors ({:?})",
+        vm.minor_collections(),
+        vm.minor_gc_time(),
+        vm.collections(),
+        vm.gc_stats().total_gc_time
+    );
+    println!(
+        "\nWith the paper's full-heap MarkSweep (VmConfig::new(), no .generational()),\n\
+         the very first collection would have reported it."
+    );
+    for v in vm.violation_log().iter().take(1) {
+        println!("\n{}", v.render(vm.registry()));
+    }
+    Ok(())
+}

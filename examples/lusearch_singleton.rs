@@ -1,0 +1,52 @@
+//! Reproduces the §3.2.2 lusearch case study: `assert_instances` reveals
+//! 32 live `IndexSearcher`s where the Lucene documentation recommends one.
+//!
+//! ```text
+//! cargo run --example lusearch_singleton
+//! ```
+
+use gc_assertions::{Vm, VmConfig, ViolationKind};
+use gca_workloads::lusearch_app::Lusearch;
+use gca_workloads::runner::Workload;
+
+fn main() -> Result<(), gc_assertions::VmError> {
+    let app = Lusearch::default(); // one IndexSearcher per search thread
+    let mut vm = Vm::new(VmConfig::new().heap_budget_words(app.heap_budget()));
+    app.run(&mut vm, true)?;
+    vm.collect()?;
+
+    let log = vm.take_violation_log();
+    let max_count = log
+        .iter()
+        .filter_map(|v| match &v.kind {
+            ViolationKind::InstanceLimit { count, .. } => Some(*count),
+            _ => None,
+        })
+        .max();
+    match max_count {
+        Some(count) => {
+            println!(
+                "assert_instances(IndexSearcher, 1) fired: {count} live instances at GC"
+            );
+            println!("(the paper observed 32 — one per search thread)");
+            if let Some(v) = log
+                .iter()
+                .find(|v| matches!(v.kind, ViolationKind::InstanceLimit { .. }))
+            {
+                println!("\n{}", v.render(vm.registry()));
+            }
+        }
+        None => println!("no violation (unexpected for the buggy variant)"),
+    }
+
+    // The documented fix: share one searcher across all threads.
+    let fixed = Lusearch::fixed();
+    let mut vm2 = Vm::new(VmConfig::new().heap_budget_words(fixed.heap_budget()));
+    fixed.run(&mut vm2, true)?;
+    vm2.collect()?;
+    println!(
+        "\nshared-searcher variant: {} violation(s)",
+        vm2.violation_log().len()
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: catch a memory leak with `assert_dead` and read the
+//! full-path report.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use gc_assertions::{ObjRef, Vm, VmConfig};
+
+fn main() -> Result<(), gc_assertions::VmError> {
+    // A VM with default settings: instrumented collector, path tracking,
+    // log-and-continue reactions.
+    let mut vm = Vm::new(VmConfig::new());
+    let m = vm.main();
+
+    // Register some classes and build a tiny object graph:
+    //   registry (rooted) --entries--> Object[] --> Session
+    //   cache    (rooted) --hit------> Session        (the forgotten alias)
+    let registry_class = vm.register_class("SessionRegistry", &["entries"]);
+    let array_class = vm.register_class("Object[]", &[]);
+    let session_class = vm.register_class("Session", &["user"]);
+    let cache_class = vm.register_class("Cache", &["hit"]);
+
+    let registry = vm.alloc(m, registry_class, 1, 0)?;
+    vm.add_root(m, registry)?;
+    let cache = vm.alloc(m, cache_class, 1, 0)?;
+    vm.add_root(m, cache)?;
+
+    let entries = vm.alloc(m, array_class, 4, 0)?;
+    vm.set_field(registry, 0, entries)?;
+    let session = vm.alloc(m, session_class, 1, 8)?;
+    vm.set_field(entries, 0, session)?;
+    vm.set_field(cache, 0, session)?; // someone cached the session
+
+    // The program logs the user out: it removes the session from the
+    // registry and *believes* the session is now garbage.
+    vm.set_field(entries, 0, ObjRef::NULL)?;
+    vm.assert_dead(session)?;
+
+    // The next collection checks the assertion for free.
+    let report = vm.collect()?;
+    println!("collection: {report}");
+    for violation in &report.violations {
+        println!("\n{}", violation.render(vm.registry()));
+    }
+
+    // The path names the Cache.hit reference — clear it and the session
+    // really dies.
+    vm.set_field(cache, 0, ObjRef::NULL)?;
+    let report = vm.collect()?;
+    assert!(report.is_clean());
+    assert!(!vm.is_live(session));
+    println!("\nafter clearing Cache.hit: session reclaimed, no violations");
+    Ok(())
+}

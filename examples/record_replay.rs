@@ -1,0 +1,50 @@
+//! Record in "production", replay in the lab — the deployment story the
+//! paper's ~3% overhead enables, made concrete.
+//!
+//! ```text
+//! cargo run -p gca-replay --example record_replay
+//! ```
+
+use gc_assertions::VmConfig;
+use gca_replay::{decode, encode, replay, Recorder};
+
+fn main() -> Result<(), gc_assertions::VmError> {
+    // --- production: path tracking OFF (cheapest configuration) -------
+    let mut rec = Recorder::new(VmConfig::new().path_tracking(false));
+    let registry = rec.register_class("SessionRegistry", &["head"]);
+    let session = rec.register_class("Session", &["next"]);
+
+    let reg = rec.alloc(registry, 1, 0)?;
+    rec.add_root(reg)?;
+    // Sessions come and go; one "logged-out" session stays linked.
+    let mut prev = rec.alloc(session, 1, 8)?;
+    rec.set_field(reg, 0, prev)?;
+    for _ in 0..5 {
+        let s = rec.alloc(session, 1, 8)?;
+        rec.set_field(s, 0, prev)?;
+        rec.set_field(reg, 0, s)?;
+        prev = s;
+    }
+    let leaked = prev; // the handler believes this one is gone
+    rec.assert_dead(leaked)?;
+    rec.collect()?;
+
+    let (prod_vm, log) = rec.finish();
+    println!("production run: {} violation(s)", prod_vm.violation_log().len());
+    for v in prod_vm.violation_log() {
+        println!("  (no path recorded) {}", v.summary());
+    }
+
+    // Ship the compact log home.
+    let wire = encode(&log);
+    println!("\nevent log: {} events, {} bytes on the wire", log.len(), wire.len());
+
+    // --- lab: identical history, full forensics -----------------------
+    let events = decode(&wire).expect("wire format intact");
+    let lab_vm = replay(&events, VmConfig::new().path_tracking(true))?;
+    println!("\nlab replay: {} violation(s), now with paths:", lab_vm.violation_log().len());
+    for v in lab_vm.violation_log() {
+        println!("\n{}", v.render(lab_vm.registry()));
+    }
+    Ok(())
+}

@@ -1,0 +1,202 @@
+//! The paper's qualitative evaluation (§3.2), end to end: every case
+//! study's bug is found with the documented assertion, the reported path
+//! explains it, and the documented fix silences it.
+
+use gc_assertions::{Vm, VmConfig, ViolationKind};
+use gca_workloads::lusearch_app::Lusearch;
+use gca_workloads::pseudojbb::{JbbAssertions, JbbBugs, PseudoJbb};
+use gca_workloads::runner::{run_once, ExpConfig, Workload};
+use gca_workloads::swapleak::SwapLeak;
+
+fn run_collect(w: &dyn Workload) -> (Vm, Vec<gc_assertions::Violation>) {
+    let mut vm = Vm::new(VmConfig::new().heap_budget_words(w.heap_budget()));
+    w.run(&mut vm, true).unwrap();
+    vm.collect().unwrap();
+    let log = vm.take_violation_log();
+    (vm, log)
+}
+
+// ---------------------------------------------------------------------
+// §3.2.1 SPEC JBB2000
+// ---------------------------------------------------------------------
+
+#[test]
+fn jbb_order_table_leak_reproduces_figure_1() {
+    let jbb = PseudoJbb {
+        bugs: JbbBugs {
+            fix_customer_back_ref: true,
+            fix_order_table: false, // the Jump & McKinley leak
+            fix_old_company_drag: true,
+        },
+        style: JbbAssertions::Dead,
+        transactions: 600,
+        ..PseudoJbb::default()
+    };
+    let (vm, log) = run_collect(&jbb);
+    let fig1 = log
+        .iter()
+        .find(|v| {
+            matches!(&v.kind, ViolationKind::DeadReachable { class_name, .. } if class_name == "Order")
+                && v.path.passes_through(vm.registry(), "longBTreeNode")
+        })
+        .expect("an order leaked in the B-tree with a Figure-1 path");
+    let text = fig1.render(vm.registry());
+    // The exact type chain of Figure 1.
+    for cls in [
+        "Company",
+        "Object[]",
+        "Warehouse",
+        "District",
+        "longBTree",
+        "longBTreeNode",
+        "Order",
+    ] {
+        assert!(text.contains(cls), "missing {cls}:\n{text}");
+    }
+}
+
+#[test]
+fn jbb_customer_leak_found_and_fix_verified() {
+    let buggy = PseudoJbb {
+        bugs: JbbBugs {
+            fix_customer_back_ref: false,
+            fix_order_table: true,
+            fix_old_company_drag: true,
+        },
+        style: JbbAssertions::Dead,
+        transactions: 600,
+        ..PseudoJbb::default()
+    };
+    let (vm, log) = run_collect(&buggy);
+    let hit = log
+        .iter()
+        .find(|v| v.path.passes_through(vm.registry(), "Customer"))
+        .expect("path through Customer identifies lastOrder");
+    assert!(matches!(hit.kind, ViolationKind::DeadReachable { .. }));
+
+    // The paper's fix: clear the back reference in the destructor.
+    let fixed = PseudoJbb {
+        bugs: JbbBugs::all_fixed(),
+        ..buggy
+    };
+    let (_, log) = run_collect(&fixed);
+    assert!(log.is_empty(), "fix verified: {log:?}");
+}
+
+#[test]
+fn jbb_ownership_style_finds_customer_leak_without_death_sites() {
+    // "The ownership assertion is an easier way to detect such problems
+    // since the user does not need to know when an object should be dead."
+    let buggy = PseudoJbb {
+        bugs: JbbBugs {
+            fix_customer_back_ref: false,
+            fix_order_table: true,
+            fix_old_company_drag: true,
+        },
+        style: JbbAssertions::Ownership,
+        transactions: 600,
+        ..PseudoJbb::default()
+    };
+    let (vm, log) = run_collect(&buggy);
+    let not_owned: Vec<_> = log
+        .iter()
+        .filter(|v| matches!(v.kind, ViolationKind::NotOwned { .. }))
+        .collect();
+    assert!(!not_owned.is_empty());
+    assert!(not_owned[0].path.passes_through(vm.registry(), "Customer"));
+}
+
+#[test]
+fn jbb_company_drag_detected_and_fixed() {
+    let buggy = PseudoJbb {
+        bugs: JbbBugs {
+            fix_customer_back_ref: true,
+            fix_order_table: true,
+            fix_old_company_drag: false, // the oldCompany drag
+        },
+        style: JbbAssertions::Dead,
+        transactions: 400,
+        company_generations: 4,
+        budget: 130_000,
+        ..PseudoJbb::default()
+    };
+    let (_, log) = run_collect(&buggy);
+    assert!(
+        log.iter().any(|v| matches!(
+            &v.kind,
+            ViolationKind::DeadReachable { class_name, .. } if class_name == "Company"
+        )),
+        "destroyed companies dragged by the oldCompany local"
+    );
+    // assert-instances(Company, 1) also catches it, as the paper notes.
+    assert!(
+        log.iter().any(|v| matches!(
+            &v.kind,
+            ViolationKind::InstanceLimit { class_name, .. } if class_name == "Company"
+        )),
+        "two companies live at once"
+    );
+
+    let fixed = PseudoJbb {
+        bugs: JbbBugs::all_fixed(),
+        ..buggy
+    };
+    let (_, log) = run_collect(&fixed);
+    assert!(log.is_empty());
+}
+
+// ---------------------------------------------------------------------
+// §3.2.2 lusearch
+// ---------------------------------------------------------------------
+
+#[test]
+fn lusearch_thirty_two_searchers() {
+    let (_, log) = run_collect(&Lusearch {
+        documents: 120,
+        queries_per_thread: 10,
+        budget: 40_000,
+        ..Lusearch::default()
+    });
+    let max = log
+        .iter()
+        .filter_map(|v| match &v.kind {
+            ViolationKind::InstanceLimit {
+                class_name, count, ..
+            } if class_name == "IndexSearcher" => Some(*count),
+            _ => None,
+        })
+        .max()
+        .expect("instance-limit violation");
+    assert_eq!(max, 32, "one IndexSearcher per thread");
+
+    let fixed = Lusearch {
+        documents: 120,
+        queries_per_thread: 10,
+        budget: 40_000,
+        ..Lusearch::fixed()
+    };
+    let m = run_once(&fixed, ExpConfig::WithAssertions).unwrap();
+    assert_eq!(m.violations, 0);
+}
+
+// ---------------------------------------------------------------------
+// §3.2.3 SwapLeak
+// ---------------------------------------------------------------------
+
+#[test]
+fn swapleak_hidden_reference_explained_by_path() {
+    let (vm, log) = run_collect(&SwapLeak::default());
+    let v = log
+        .iter()
+        .find(|v| matches!(v.kind, ViolationKind::DeadReachable { .. }))
+        .expect("swapped SObjects leak");
+    // The paper's explaining path: SArray -> SObject -> SObject$Rep ->
+    // SObject.
+    let reg = vm.registry();
+    assert!(v.path.passes_through(reg, "SArray"));
+    assert!(v.path.passes_through(reg, "SObject"));
+    assert!(v.path.passes_through(reg, "SObject$Rep"));
+
+    let m = run_once(&SwapLeak::fixed(), ExpConfig::WithAssertions).unwrap();
+    assert_eq!(m.violations, 0, "static inner class fixes it");
+}

@@ -1,0 +1,141 @@
+//! The detector-family comparison (Ablation C) as checked claims: GC
+//! assertions are precise and instance-level; the heuristics are
+//! approximate in the specific ways the paper describes (§1, §4).
+
+use gca_bench::{baseline_detectors, baseline_eager};
+use gca_detectors::{CorkDetector, EagerOwnershipChecker, StalenessDetector};
+use gca_workloads::db::Db209;
+use gca_workloads::runner::{run_once, ExpConfig};
+
+#[test]
+fn gc_assertions_precise_heuristics_approximate() {
+    let c = baseline_detectors();
+    assert!(c.leaked > 0);
+
+    // "The system generates no false positives — any violation represents
+    // a mismatch between the programmer's expectations and the actual
+    // behavior of the program."
+    assert_eq!(c.gca_false_positives, 0);
+    assert!(c.gca_true_positives >= c.leaked, "each leak reported");
+
+    // Staleness finds the leaks but buries them in false positives
+    // (rarely accessed live objects).
+    assert!(c.stale_true_positives > 0);
+    assert!(
+        c.stale_false_positives > 0,
+        "the startup-config object must be misflagged"
+    );
+
+    // Cork points at the growing class — type-level only.
+    assert!(c.cork_flagged_entry_class);
+}
+
+#[test]
+fn eager_checking_is_much_slower_than_gc_assertions() {
+    let cmp = baseline_eager(200, 1_500);
+    // The paper cites 10x-100x for eager invariant checking; our eager
+    // checker re-traverses the owner region per mutation. GC assertions
+    // stay within a small factor of unchecked execution.
+    assert!(
+        cmp.eager_slowdown() > 5.0,
+        "eager slowdown only {:.1}x",
+        cmp.eager_slowdown()
+    );
+    assert!(
+        cmp.gc_slowdown() < 3.0,
+        "gc-assertions slowdown {:.2}x",
+        cmp.gc_slowdown()
+    );
+    assert!(cmp.eager_traversed > 100_000, "eager really traverses");
+}
+
+#[test]
+fn detectors_run_against_leaky_db_workload() {
+    // Wire all three detectors around the leaky _209_db and check the
+    // assertion-based report fires while the run itself stays healthy.
+    let db = Db209 {
+        initial_entries: 300,
+        operations: 600,
+        budget: 14_000,
+        ..Db209::with_leak()
+    };
+    let with = run_once(&db, ExpConfig::WithAssertions).unwrap();
+    assert!(with.violations > 0);
+    let base = run_once(&db, ExpConfig::Base).unwrap();
+    assert_eq!(base.violations, 0);
+}
+
+#[test]
+fn staleness_requires_threshold_tuning() {
+    // The same history judged leak/no-leak purely by threshold — the
+    // knob GC assertions do not have.
+    let mut heap = gca_heap::Heap::new();
+    let c = heap.register_class("T", &[]);
+    let obj = heap.alloc(c, 0, 0).unwrap();
+    let mut strict = StalenessDetector::new(5);
+    let mut lax = StalenessDetector::new(500);
+    strict.touch(obj);
+    lax.touch(obj);
+    for _ in 0..100 {
+        strict.advance();
+        lax.advance();
+    }
+    assert_eq!(strict.scan(&heap).len(), 1);
+    assert_eq!(lax.scan(&heap).len(), 0);
+}
+
+#[test]
+fn cork_needs_sustained_growth_gc_assertions_fire_first_cycle() {
+    // A single-shot leak: one object becomes unreachable-from-owner once.
+    // Cork's growth differencing never fires (volume is flat); the GC
+    // assertion reports it at the first collection.
+    let mut vm = gc_assertions::Vm::new(gc_assertions::VmConfig::new());
+    let m = vm.main();
+    let owner_cls = vm.register_class("Owner", &["f"]);
+    let item_cls = vm.register_class("Item", &[]);
+    let keeper_cls = vm.register_class("Keeper", &["k"]);
+    let owner = vm.alloc_rooted(m, owner_cls, 1, 0).unwrap();
+    let keeper = vm.alloc_rooted(m, keeper_cls, 1, 0).unwrap();
+    let item = vm.alloc(m, item_cls, 0, 0).unwrap();
+    vm.set_field(owner, 0, item).unwrap();
+    vm.set_field(keeper, 0, item).unwrap();
+    vm.assert_owned_by(owner, item).unwrap();
+
+    let mut cork = CorkDetector::new(2);
+    cork.observe(vm.heap());
+
+    // The leak: removed from the owner, still kept by the keeper.
+    vm.set_field(owner, 0, gc_assertions::ObjRef::NULL).unwrap();
+    let report = vm.collect().unwrap();
+    assert_eq!(report.violations.len(), 1, "assertion fires immediately");
+    assert!(
+        cork.observe(vm.heap()).is_empty(),
+        "no growth for cork to see"
+    );
+}
+
+#[test]
+fn eager_catches_transients_gc_assertions_miss() {
+    // The honest flip side: eager checking catches a violated-then-fixed
+    // invariant; the GC assertion (checked only at collections) does not.
+    let mut vm = gc_assertions::Vm::new(gc_assertions::VmConfig::new());
+    let m = vm.main();
+    let c = vm.register_class("C", &["f"]);
+    let owner = vm.alloc_rooted(m, c, 1, 0).unwrap();
+    let ownee = vm.alloc(m, c, 1, 0).unwrap();
+    vm.set_field(owner, 0, ownee).unwrap();
+    vm.add_root(m, ownee).unwrap(); // kept alive independently
+    vm.assert_owned_by(owner, ownee).unwrap();
+
+    let mut eager = EagerOwnershipChecker::new();
+    eager.add_pair(owner, ownee);
+
+    // Transient break.
+    vm.set_field(owner, 0, gc_assertions::ObjRef::NULL).unwrap();
+    let eager_hits = eager.after_mutation(vm.heap());
+    assert_eq!(eager_hits.len(), 1, "eager sees the transient");
+    // Repair before any collection.
+    vm.set_field(owner, 0, ownee).unwrap();
+    let report = vm.collect().unwrap();
+    assert!(report.is_clean(), "GC assertion misses the transient");
+}

@@ -1,0 +1,92 @@
+//! Cross-crate integration: the full pipeline (VM + collector + engine +
+//! workloads + runner) behaves consistently across configurations.
+
+use gca_workloads::pseudojbb::PseudoJbb;
+use gca_workloads::runner::{run_once, ExpConfig, Workload};
+use gca_workloads::suite;
+
+fn tiny(mut w: suite::SyntheticWorkload) -> suite::SyntheticWorkload {
+    w.iterations = (w.iterations / 12).max(2);
+    w
+}
+
+#[test]
+fn all_configs_reclaim_identically() {
+    // For a deterministic workload, Base / Infrastructure /
+    // WithAssertions must perform identical allocation work — checking is
+    // observation, not behaviour.
+    for w in suite::full_suite().into_iter().take(6).map(tiny) {
+        let base = run_once(&w, ExpConfig::Base).unwrap();
+        let infra = run_once(&w, ExpConfig::Infrastructure).unwrap();
+        let with = run_once(&w, ExpConfig::WithAssertions).unwrap();
+        assert_eq!(base.allocations, infra.allocations, "{}", w.name());
+        assert_eq!(base.allocations, with.allocations, "{}", w.name());
+        assert_eq!(base.violations, 0);
+        assert_eq!(infra.violations, 0);
+    }
+}
+
+#[test]
+fn infrastructure_never_reports_without_assertions() {
+    for w in suite::full_suite().into_iter().map(tiny) {
+        let m = run_once(&w, ExpConfig::Infrastructure).unwrap();
+        assert_eq!(m.violations, 0, "{} fired with no assertions", w.name());
+    }
+}
+
+#[test]
+fn fixed_pseudojbb_clean_across_styles_and_configs() {
+    let mut jbb = PseudoJbb::for_figures();
+    jbb.transactions = 400;
+    for cfg in [
+        ExpConfig::Base,
+        ExpConfig::Infrastructure,
+        ExpConfig::WithAssertions,
+    ] {
+        let m = run_once(&jbb, cfg).unwrap();
+        assert_eq!(m.violations, 0, "{cfg}");
+        assert!(m.collections > 0, "{cfg} must collect");
+    }
+}
+
+#[test]
+fn gc_work_is_attributed() {
+    // GC time must be a nonzero fraction of total for a GC-heavy
+    // workload, and mutator + gc == total by construction.
+    let w = tiny(suite::full_suite().remove(1)); // bloat
+    let m = run_once(&w, ExpConfig::Infrastructure).unwrap();
+    assert!(m.collections > 0);
+    assert!(m.gc.as_nanos() > 0);
+    assert_eq!(m.total, m.gc + m.mutator);
+}
+
+#[test]
+fn with_assertions_checks_ownees_on_db() {
+    use gca_workloads::db::Db209;
+    let db = Db209 {
+        initial_entries: 500,
+        operations: 500,
+        budget: 16_000,
+        ..Db209::default()
+    };
+    let m = run_once(&db, ExpConfig::WithAssertions).unwrap();
+    assert_eq!(m.violations, 0);
+    assert!(
+        m.ownees_checked_per_gc > 50.0,
+        "ownership phase must be exercised: {} ownees/GC",
+        m.ownees_checked_per_gc
+    );
+    // Infrastructure run does no ownership work at all.
+    let infra = run_once(&db, ExpConfig::Infrastructure).unwrap();
+    assert_eq!(infra.ownees_checked_per_gc, 0.0);
+}
+
+#[test]
+fn determinism_across_repeated_runs() {
+    let w = tiny(suite::full_suite().remove(0));
+    let a = run_once(&w, ExpConfig::WithAssertions).unwrap();
+    let b = run_once(&w, ExpConfig::WithAssertions).unwrap();
+    assert_eq!(a.allocations, b.allocations);
+    assert_eq!(a.collections, b.collections);
+    assert_eq!(a.violations, b.violations);
+}

@@ -1,0 +1,160 @@
+//! End-to-end region-assertion scenario: a multi-worker server whose
+//! request handlers are bracketed with `start_region` / `assert_alldead`
+//! (§2.3.2's Apache-style use case).
+
+use gc_assertions::{ClassId, MutatorId, Vm, VmConfig, ViolationKind};
+use gca_workloads::structures::{HHashMap, HList};
+
+struct Server {
+    vm: Vm,
+    request_class: ClassId,
+    buffer_class: ClassId,
+    session_class: ClassId,
+    sessions: HHashMap,
+    audit: HList,
+    workers: Vec<MutatorId>,
+}
+
+impl Server {
+    fn new(workers: usize) -> Server {
+        let mut vm = Vm::new(VmConfig::new().heap_budget_words(48 * 1024));
+        let request_class = vm.register_class("Request", &["session"]);
+        let buffer_class = vm.register_class("Buffer", &[]);
+        let session_class = vm.register_class("Session", &[]);
+        let main = vm.main();
+        let sessions = HHashMap::new(&mut vm, main, 16).unwrap();
+        vm.add_root(main, sessions.handle()).unwrap();
+        let audit = HList::new(&mut vm, main).unwrap();
+        vm.add_root(main, audit.handle()).unwrap();
+        let workers = (0..workers).map(|_| vm.spawn_mutator()).collect();
+        Server {
+            vm,
+            request_class,
+            buffer_class,
+            session_class,
+            sessions,
+            audit,
+            workers,
+        }
+    }
+
+    /// Serves one request on `worker`. `session_id` attaches the request
+    /// to a long-lived session (legitimately allocated *outside* the
+    /// region via the main thread). `leak` stashes the request in the
+    /// audit list.
+    fn serve(&mut self, worker: usize, session_id: u64, leak: bool) {
+        let w = self.workers[worker];
+        let vm = &mut self.vm;
+        vm.start_region(w).unwrap();
+        vm.push_frame(w).unwrap();
+
+        let req = vm.alloc_rooted(w, self.request_class, 1, 4).unwrap();
+        for _ in 0..4 {
+            vm.alloc_rooted(w, self.buffer_class, 0, 16).unwrap();
+        }
+        // Look up (or create) the session. Sessions are created by the
+        // *main* mutator, outside any region: long-lived state is allowed.
+        let session = match self.sessions.get(vm, session_id).unwrap() {
+            Some(s) => s,
+            None => {
+                let main = vm.main();
+                let s = vm.alloc(main, self.session_class, 0, 4).unwrap();
+                self.sessions.put(vm, main, session_id, s).unwrap();
+                s
+            }
+        };
+        vm.set_field(req, 0, session).unwrap();
+        if leak {
+            self.audit.push_front(vm, w, req).unwrap();
+        }
+
+        vm.pop_frame(w).unwrap();
+        vm.assert_alldead(w).unwrap();
+    }
+}
+
+#[test]
+fn clean_server_is_memory_stable() {
+    let mut server = Server::new(3);
+    for i in 0..120 {
+        server.serve(i % 3, (i % 10) as u64, false);
+    }
+    let report = server.vm.collect().unwrap();
+    assert!(report.is_clean(), "{report}");
+    // Sessions persist (they are not region-allocated).
+    assert_eq!(server.sessions.len(&server.vm).unwrap(), 10);
+    assert!(server.vm.assertion_calls().region_objects > 100);
+}
+
+#[test]
+fn leaky_handler_pinpointed() {
+    let mut server = Server::new(2);
+    for i in 0..40 {
+        server.serve(i % 2, (i % 5) as u64, false);
+    }
+    // Three leaky requests.
+    for i in 0..3 {
+        server.serve(0, i, true);
+    }
+    let report = server.vm.collect().unwrap();
+    // The region also catches the audit list's own ListNode allocations
+    // (they were allocated inside the region by the leaky handler), so
+    // both the requests and their list nodes are reported.
+    let dead_requests: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| matches!(&v.kind, ViolationKind::DeadReachable { class_name, .. } if class_name == "Request"))
+        .collect();
+    let dead_nodes = report
+        .violations
+        .iter()
+        .filter(|v| matches!(&v.kind, ViolationKind::DeadReachable { class_name, .. } if class_name == "ListNode"))
+        .count();
+    assert_eq!(dead_requests.len(), 3, "exactly the leaked requests: {report}");
+    assert_eq!(dead_nodes, 3, "plus the in-region list nodes: {report}");
+    for v in &dead_requests {
+        assert!(
+            v.path.passes_through(server.vm.registry(), "LinkedList"),
+            "path must name the audit list"
+        );
+    }
+}
+
+#[test]
+fn regions_survive_collections_inside_the_region() {
+    // Allocation pressure inside a request triggers collections; the
+    // region machinery (weak queue entries) must stay consistent.
+    let mut server = Server::new(1);
+    let w = server.workers[0];
+    let vm = &mut server.vm;
+    vm.start_region(w).unwrap();
+    for _ in 0..3_000 {
+        vm.alloc(w, server.buffer_class, 0, 16).unwrap(); // dropped immediately
+    }
+    assert!(vm.gc_stats().collections > 0, "pressure inside the region");
+    let asserted = vm.assert_alldead(w).unwrap();
+    let report = vm.collect().unwrap();
+    assert!(report.is_clean());
+    // Only the tail of the queue was still live at region end.
+    assert!(asserted < 3_000);
+}
+
+#[test]
+fn interleaved_worker_regions_do_not_interfere() {
+    let mut server = Server::new(4);
+    // Start all four regions, allocate on each, close them in reverse.
+    for &w in &server.workers.clone() {
+        server.vm.start_region(w).unwrap();
+        server.vm.push_frame(w).unwrap();
+        server
+            .vm
+            .alloc_rooted(w, server.buffer_class, 0, 8)
+            .unwrap();
+    }
+    for &w in server.workers.clone().iter().rev() {
+        server.vm.pop_frame(w).unwrap();
+        let n = server.vm.assert_alldead(w).unwrap();
+        assert_eq!(n, 1);
+    }
+    assert!(server.vm.collect().unwrap().is_clean());
+}
