@@ -1,0 +1,84 @@
+//! Ablation: parallel work-stealing mark phase vs the sequential tracer.
+//!
+//! Sweeps `gc_threads` over 1/2/4/8 on a large randomly-meshed live heap
+//! and measures the **mark-phase time only** (`CycleStats::mark`), with
+//! path tracking off so the 1-worker baseline is the plain sequential
+//! worklist rather than the more expensive §2.7 path-tracking one. A
+//! shard of assertion-flagged objects rides along so the parallel
+//! visitors exercise their real (non-no-op) paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gc_assertions::{ObjRef, Vm, VmConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+const NODES: usize = 120_000;
+const EXTRA_EDGES: usize = 60_000;
+const FLAGGED: usize = 1_000;
+
+/// Builds a VM with a `NODES`-object live mesh: a spine chain keeping
+/// everything reachable from one root, plus random cross edges, plus a
+/// sprinkling of unshared assertions. Deterministic for a given seed.
+fn build_vm(workers: usize) -> Vm {
+    let mut vm = Vm::new(
+        VmConfig::builder()
+            .heap_budget(16 << 20)
+            .path_tracking(false)
+            .gc_threads(workers)
+            .build(),
+    );
+    let class = vm.register_class("Node", &["next", "a", "b", "c"]);
+    let m = vm.main();
+    let mut rng = SmallRng::seed_from_u64(0x6ca5);
+
+    let mut nodes: Vec<ObjRef> = Vec::with_capacity(NODES);
+    let first = vm.alloc_rooted(m, class, 4, 0).unwrap();
+    nodes.push(first);
+    for i in 1..NODES {
+        let o = vm.alloc(m, class, 4, 0).unwrap();
+        vm.set_field(nodes[i - 1], 0, o).unwrap();
+        nodes.push(o);
+    }
+    for _ in 0..EXTRA_EDGES {
+        let from = rng.gen_range(0..NODES);
+        let to = rng.gen_range(0..NODES);
+        let field = rng.gen_range(1..4);
+        vm.set_field(nodes[from], field, nodes[to]).unwrap();
+    }
+    // Flag spine nodes: each has exactly one incoming spine edge, so the
+    // assertion machinery runs without drowning the report in violations
+    // (any extra random edge is reported once and then deduplicated).
+    for i in 0..FLAGGED {
+        vm.assertions()
+            .unshared(nodes[i * (NODES / FLAGGED)])
+            .unwrap();
+    }
+    vm
+}
+
+fn bench_parallel_mark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_parallel_mark");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for workers in [1usize, 2, 4, 8] {
+        let mut vm = build_vm(workers);
+        // Prime: sweep the build-time garbage and drain first-time
+        // violation reports so timed cycles see a steady-state heap.
+        vm.collect().unwrap();
+        group.bench_function(format!("mark/{workers}_workers"), |b| {
+            b.iter_custom(|iters| {
+                let mut mark = Duration::ZERO;
+                for _ in 0..iters {
+                    mark += vm.collect().unwrap().cycle.mark;
+                }
+                mark
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_mark);
+criterion_main!(benches);

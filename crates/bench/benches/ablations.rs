@@ -22,10 +22,11 @@ fn bench_path_tracking(c: &mut Criterion) {
     for mut w in suite::full_suite().into_iter().take(4) {
         w.iterations = (w.iterations / 4).max(2);
         for (label, paths) in [("plain", false), ("paths", true)] {
-            let cfg = VmConfig::new()
-                .heap_budget_words(w.heap_budget())
+            let cfg = VmConfig::builder()
+                .heap_budget(w.heap_budget())
                 .grow_on_oom(true)
-                .path_tracking(paths);
+                .path_tracking(paths)
+                .build();
             group.bench_function(format!("{}/{}", w.name(), label), |b| {
                 let cfg = cfg.clone();
                 b.iter_custom(|iters| {
@@ -53,7 +54,7 @@ fn bench_ownership_scaling(c: &mut Criterion) {
             b.iter_custom(|iters| {
                 let mut total = Duration::ZERO;
                 for _ in 0..iters {
-                    let mut vm = Vm::new(VmConfig::new().heap_budget_words(1 << 22));
+                    let mut vm = Vm::new(VmConfig::builder().heap_budget(1 << 22).build());
                     let m = vm.main();
                     let db_class = vm.register_class("Owner", &["list"]);
                     let e_class = vm.register_class("Ownee", &[]);

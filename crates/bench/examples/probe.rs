@@ -5,7 +5,7 @@ use gc_assertions::{Vm, VmConfig, Mode};
 fn main() {
     for (label, mode, asserts) in [("base", Mode::Base, false), ("infra", Mode::Instrumented, false), ("with", Mode::Instrumented, true)] {
         let jbb = PseudoJbb::for_figures();
-        let mut vm = Vm::new(VmConfig::new().heap_budget_words(jbb.heap_budget()).mode(mode));
+        let mut vm = Vm::new(VmConfig::builder().heap_budget(jbb.heap_budget()).mode(mode).build());
         let t = std::time::Instant::now();
         jbb.run(&mut vm, asserts).unwrap();
         let total = t.elapsed();

@@ -152,7 +152,7 @@ fn scaled_db(scale: f64) -> Db209 {
 /// path runs `Company -> … -> longBTree -> longBTreeNode -> … -> Order`.
 pub fn figure1() -> String {
     let jbb = PseudoJbb::buggy_with_dead_asserts();
-    let mut vm = Vm::new(VmConfig::new().heap_budget_words(jbb.heap_budget()));
+    let mut vm = Vm::new(VmConfig::builder().heap_budget(jbb.heap_budget()).build());
     jbb.run(&mut vm, true).expect("pseudojbb runs");
     let _ = vm.collect();
     let log = vm.take_violation_log();
@@ -291,9 +291,10 @@ pub fn ablation_path_tracking(reps: usize, scale: f64, take: usize) -> Vec<PathA
     let mut rows = Vec::new();
     for w in suite::full_suite().into_iter().take(take) {
         let w = scaled(w, scale);
-        let base_cfg = VmConfig::new()
-            .heap_budget_words(w.heap_budget())
-            .grow_on_oom(true);
+        let base_cfg = VmConfig::builder()
+            .heap_budget(w.heap_budget())
+            .grow_on_oom(true)
+            .build();
         let mut plain = Vec::new();
         let mut paths = Vec::new();
         for _ in 0..reps.max(1) {
@@ -360,7 +361,7 @@ pub fn baseline_eager(entries: usize, mutations: usize) -> EagerComparison {
         gc_asserts: bool,
         mut after_mutation: impl FnMut(&Vm, gc_assertions::ObjRef, gc_assertions::ObjRef),
     ) -> (Duration, Vm) {
-        let mut vm = Vm::new(VmConfig::new().heap_budget_words(1 << 20));
+        let mut vm = Vm::new(VmConfig::builder().heap_budget(1 << 20).build());
         let m = vm.main();
         let db_class = vm.register_class("Database", &["entries"]);
         let entry_class = vm.register_class("Entry", &[]);
@@ -453,7 +454,7 @@ pub struct GenerationalComparison {
 /// churn workload with one planted violation.
 pub fn baseline_generational() -> GenerationalComparison {
     fn run(gen: Option<usize>) -> (Duration, Duration, u64, u64, u64) {
-        let mut config = VmConfig::new().heap_budget_words(3_000).grow_on_oom(true);
+        let mut config = VmConfig::builder().heap_budget(3_000).grow_on_oom(true).build();
         if let Some(n) = gen {
             config = config.generational(n);
         }
@@ -539,7 +540,7 @@ impl ProbeComparison {
 /// objects and asks `questions` is-this-dead questions both ways.
 pub fn baseline_probes(live: usize, questions: usize) -> ProbeComparison {
     fn build(live: usize) -> (Vm, Vec<gc_assertions::ObjRef>) {
-        let mut vm = Vm::new(VmConfig::new().heap_budget_words(1 << 22));
+        let mut vm = Vm::new(VmConfig::builder().heap_budget(1 << 22).build());
         let m = vm.main();
         let c = vm.register_class("Node", &["next"]);
         let mut objs = Vec::new();
@@ -613,7 +614,7 @@ pub struct DetectorComparison {
 pub fn baseline_detectors() -> DetectorComparison {
     use gca_workloads::structures::HArrayList;
 
-    let mut vm = Vm::new(VmConfig::new().heap_budget_words(1 << 20));
+    let mut vm = Vm::new(VmConfig::builder().heap_budget(1 << 20).build());
     let m = vm.main();
     let db_class = vm.register_class("Database", &["entries"]);
     let entry_class = vm.register_class("Entry", &[]);

@@ -95,7 +95,7 @@ impl Collector {
         hooks.trace_done(heap);
 
         let t = Instant::now();
-        let (objects_swept, words_swept) = sweep(heap, hooks)?;
+        let (objects_swept, words_swept) = sweep_heap(heap, hooks)?;
         let sweep_time = t.elapsed();
 
         let cycle = CycleStats {
@@ -112,11 +112,25 @@ impl Collector {
         self.stats.absorb(&cycle);
         Ok(cycle)
     }
+
+    /// Folds an externally-orchestrated cycle (e.g. a parallel-mark cycle
+    /// driven by [`crate::mark_parallel`]) into the cumulative statistics.
+    pub fn record_cycle(&mut self, cycle: &CycleStats) {
+        self.stats.absorb(cycle);
+    }
 }
 
 /// Sweeps the heap: frees every unmarked object (calling
 /// [`TraceHooks::swept`] first) and clears the per-GC flags of survivors.
-fn sweep<H: TraceHooks>(heap: &mut Heap, hooks: &mut H) -> Result<(u64, u64), HeapError> {
+/// Returns `(objects_swept, words_swept)`.
+///
+/// Public so that callers orchestrating their own mark phase (the parallel
+/// collector in `gc-assertions`) can reuse the identical sweep.
+///
+/// # Errors
+///
+/// Propagates heap errors, which indicate a broken collector invariant.
+pub fn sweep_heap<H: TraceHooks>(heap: &mut Heap, hooks: &mut H) -> Result<(u64, u64), HeapError> {
     let mut objects = 0u64;
     let mut words = 0u64;
     for i in 0..heap.slot_count() {

@@ -19,6 +19,12 @@
 //!   drives the [`Tracer`] directly — this is how the assertion engine
 //!   implements the `assert-ownedby` ownership phase, which must trace from
 //!   owner objects **before** the root scan (§2.5.2).
+//! * [`mark_parallel`] is the work-stealing **parallel mark phase**: N
+//!   workers with private mark stacks and [`StealDeque`]s race to claim
+//!   mark bits with an atomic RMW, calling a per-worker [`ParVisitor`]
+//!   shard exactly once per object (`visit_new`) and once per extra edge
+//!   (`visit_marked`). Paths are not tracked on the fly; the caller
+//!   reconstructs them for flagged objects with [`reconstruct_path`].
 //!
 //! # Example
 //!
@@ -48,15 +54,22 @@
 #![warn(missing_debug_implementations)]
 
 mod collector;
+mod deque;
 mod hooks;
 mod minor;
+mod parallel;
 mod path;
 mod stats;
 mod tracer;
 
-pub use collector::Collector;
+pub use collector::{sweep_heap, Collector};
+pub use deque::StealDeque;
 pub use hooks::{NoHooks, TraceHooks, Visit};
 pub use minor::{collect_minor, MinorStats};
+pub use parallel::{
+    mark_parallel, push_child_items, reconstruct_path, NoParVisitor, ParMarkStats, ParVisitor,
+    WorkItem, CTX_NONE,
+};
 pub use path::{HeapPath, PathDisplay, PathStep};
 pub use stats::{CycleStats, GcStats};
 pub use tracer::{TraceCtx, Tracer};

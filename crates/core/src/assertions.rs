@@ -1,0 +1,200 @@
+//! The fluent assertion facade: [`Vm::assertions`] returns an
+//! [`Assertions`] handle that groups the paper's five assertion kinds
+//! behind one entry point.
+//!
+//! ```
+//! use gc_assertions::{Vm, VmConfig};
+//!
+//! # fn main() -> Result<(), gc_assertions::VmError> {
+//! let mut vm = Vm::new(VmConfig::builder().build());
+//! let m = vm.main();
+//! let node = vm.register_class("Node", &["next"]);
+//! let singleton = vm.register_class("Cache", &[]);
+//!
+//! let a = vm.alloc_rooted(m, node, 1, 0)?;
+//! let b = vm.alloc(m, node, 1, 0)?;
+//! vm.set_field(a, 0, b)?;
+//!
+//! vm.assertions().unshared(b)?;
+//! vm.assertions().instances(singleton, 1)?;
+//! vm.assertions().owned_by(a, b)?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Region assertions become a scope guard: the region ends — and every
+//! object allocated inside it is asserted dead — when the guard drops
+//! (or explicitly, with an error path, via [`RegionGuard::finish`]).
+
+use gca_heap::{ClassId, ObjRef};
+
+use crate::error::VmError;
+use crate::mutator::MutatorId;
+use crate::vm::Vm;
+
+/// Fluent handle over the five GC assertion kinds (§2 of the paper),
+/// obtained from [`Vm::assertions`]. The legacy `Vm::assert_*` methods
+/// delegate here.
+#[derive(Debug)]
+pub struct Assertions<'vm> {
+    vm: &'vm mut Vm,
+}
+
+impl<'vm> Assertions<'vm> {
+    pub(crate) fn new(vm: &'vm mut Vm) -> Self {
+        Assertions { vm }
+    }
+
+    /// `assert-dead(p)`: triggered at the next collection if `p` is still
+    /// reachable (§2.3.1).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::BaseMode`], [`VmError::Halted`] or reference-validity
+    /// errors.
+    pub fn dead(self, p: ObjRef) -> Result<(), VmError> {
+        self.vm.check_running()?;
+        self.vm.check_instrumented()?;
+        self.vm.calls.dead += 1;
+        self.vm.engine.assert_dead(&mut self.vm.heap, p)
+    }
+
+    /// `assert-instances(T, I)`: triggered when more than `limit` live
+    /// instances of `class` exist at collection time (§2.4.1). Passing 0
+    /// asserts that no instances exist at GC time.
+    ///
+    /// # Errors
+    ///
+    /// Mode/halt errors.
+    pub fn instances(self, class: ClassId, limit: u32) -> Result<(), VmError> {
+        self.vm.check_running()?;
+        self.vm.check_instrumented()?;
+        self.vm.calls.instances += 1;
+        self.vm.heap.registry_mut().track_instances(class, limit);
+        Ok(())
+    }
+
+    /// `assert-unshared(p)`: triggered if `p` is found with more than one
+    /// incoming pointer (§2.5.1).
+    ///
+    /// # Errors
+    ///
+    /// Mode/halt or reference-validity errors.
+    pub fn unshared(self, p: ObjRef) -> Result<(), VmError> {
+        self.vm.check_running()?;
+        self.vm.check_instrumented()?;
+        self.vm.calls.unshared += 1;
+        self.vm.engine.assert_unshared(&mut self.vm.heap, p)
+    }
+
+    /// `assert-ownedby(p, q)`: triggered if, at a collection, no path to
+    /// ownee `q` passes through owner `p` (§2.5.2).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::OwnershipConflict`] for disjointness violations, plus
+    /// mode/halt and reference-validity errors.
+    pub fn owned_by(self, owner: ObjRef, ownee: ObjRef) -> Result<(), VmError> {
+        self.vm.check_running()?;
+        self.vm.check_instrumented()?;
+        self.vm.calls.owned_by += 1;
+        self.vm.engine.assert_owned_by(&mut self.vm.heap, owner, ownee)
+    }
+
+    /// `start-region()` … `assert-alldead()` as a scope guard (§2.3.2):
+    /// begins an allocation region on mutator `m` and returns a
+    /// [`RegionGuard`] that ends the region — asserting everything
+    /// allocated inside it dead — when dropped. The guard derefs to the
+    /// [`Vm`], so the region body keeps full VM access.
+    ///
+    /// ```
+    /// use gc_assertions::{Vm, VmConfig};
+    ///
+    /// # fn main() -> Result<(), gc_assertions::VmError> {
+    /// let mut vm = Vm::new(VmConfig::builder().build());
+    /// let m = vm.main();
+    /// let scratch = vm.register_class("Scratch", &[]);
+    /// {
+    ///     let mut region = vm.assertions().region(m)?;
+    ///     region.alloc(m, scratch, 0, 4)?; // temporary work
+    /// } // region ends here; the scratch object is asserted dead
+    /// assert_eq!(vm.assertion_calls().region_objects, 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::RegionActive`] if `m` already has a region, plus the
+    /// mode/halt errors.
+    pub fn region(self, m: MutatorId) -> Result<RegionGuard<'vm>, VmError> {
+        self.vm.start_region(m)?;
+        Ok(RegionGuard {
+            vm: self.vm,
+            m,
+            armed: true,
+        })
+    }
+}
+
+/// Scope guard for a region assertion, created by [`Assertions::region`].
+///
+/// Dropping the guard ends the region and asserts everything allocated
+/// inside it dead, discarding errors (a halted VM, say). Call
+/// [`RegionGuard::finish`] instead to observe the count and any error.
+#[derive(Debug)]
+pub struct RegionGuard<'vm> {
+    vm: &'vm mut Vm,
+    m: MutatorId,
+    armed: bool,
+}
+
+impl RegionGuard<'_> {
+    /// The mutator whose region this guard closes.
+    pub fn mutator(&self) -> MutatorId {
+        self.m
+    }
+
+    /// Ends the region now, returning the number of objects asserted dead.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::assert_alldead`].
+    pub fn finish(mut self) -> Result<usize, VmError> {
+        self.armed = false;
+        self.vm.assert_alldead(self.m)
+    }
+
+    /// Abandons the region without asserting anything (the escape hatch
+    /// for a region whose objects turned out to legitimately survive).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::NoRegion`] if the region was already closed elsewhere.
+    pub fn cancel(mut self) -> Result<(), VmError> {
+        self.armed = false;
+        self.vm.cancel_region(self.m)
+    }
+}
+
+impl std::ops::Deref for RegionGuard<'_> {
+    type Target = Vm;
+
+    fn deref(&self) -> &Vm {
+        self.vm
+    }
+}
+
+impl std::ops::DerefMut for RegionGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Vm {
+        self.vm
+    }
+}
+
+impl Drop for RegionGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = self.vm.assert_alldead(self.m);
+        }
+    }
+}

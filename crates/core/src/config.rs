@@ -96,6 +96,14 @@ pub struct VmConfig {
     /// generational collector lets assertions go unchecked for long
     /// periods. `None` (default) is the paper's full-heap MarkSweep.
     pub generational: Option<usize>,
+    /// Number of tracing workers for *major* collections. `1` (default)
+    /// runs the sequential tracer with the §2.7 path-tracking worklist;
+    /// `> 1` runs the work-stealing parallel mark phase with per-worker
+    /// assertion shards (paths are then reconstructed on demand for
+    /// flagged objects, so a report may show a different — equally valid —
+    /// retaining path). `0` means *auto*: one worker per available core.
+    /// Minor collections are always sequential (the nursery is small).
+    pub gc_threads: usize,
 }
 
 impl Default for VmConfig {
@@ -110,6 +118,7 @@ impl Default for VmConfig {
             strict_owner_lifetime: false,
             reaction_overrides: Vec::new(),
             generational: None,
+            gc_threads: 1,
         }
     }
 }
@@ -178,6 +187,14 @@ impl VmConfig {
         self
     }
 
+    /// Sets the number of tracing workers for major collections
+    /// (`0` = auto, one per available core).
+    #[must_use]
+    pub fn gc_threads(mut self, workers: usize) -> VmConfig {
+        self.gc_threads = workers;
+        self
+    }
+
     /// Overrides the reaction for one assertion class (later overrides for
     /// the same class win).
     #[must_use]
@@ -194,6 +211,128 @@ impl VmConfig {
             .find(|(c, _)| *c == class)
             .map(|(_, r)| *r)
             .unwrap_or(self.reaction)
+    }
+
+    /// The resolved tracing-worker count: `gc_threads`, with `0` mapped to
+    /// the number of available cores.
+    pub fn effective_gc_threads(&self) -> usize {
+        match self.gc_threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
+    /// Starts a fluent [`VmConfigBuilder`], the preferred way to assemble
+    /// a configuration:
+    ///
+    /// ```
+    /// use gc_assertions::{AssertionClass, Reaction, VmConfig};
+    ///
+    /// let config = VmConfig::builder()
+    ///     .heap_budget(64 * 1024)
+    ///     .gc_threads(4)
+    ///     .reaction_for(AssertionClass::Lifetime, Reaction::ForceTrue)
+    ///     .build();
+    /// assert_eq!(config.heap_budget, 64 * 1024);
+    /// assert_eq!(config.gc_threads, 4);
+    /// ```
+    pub fn builder() -> VmConfigBuilder {
+        VmConfigBuilder {
+            config: VmConfig::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`VmConfig`], obtained from [`VmConfig::builder`].
+///
+/// Every setter takes and returns the builder by value, so a
+/// configuration reads as one chain ending in [`build`](Self::build),
+/// which validates the combination before handing back the finished
+/// [`VmConfig`].
+#[derive(Debug, Clone)]
+#[must_use = "call .build() to obtain the VmConfig"]
+pub struct VmConfigBuilder {
+    config: VmConfig,
+}
+
+impl VmConfigBuilder {
+    /// Sets the heap budget in words (must be non-zero).
+    pub fn heap_budget(mut self, words: usize) -> VmConfigBuilder {
+        self.config.heap_budget = words;
+        self
+    }
+
+    /// Sets whether the heap may grow when full.
+    pub fn grow_on_oom(mut self, grow: bool) -> VmConfigBuilder {
+        self.config.grow = grow;
+        self
+    }
+
+    /// Sets the violation reaction.
+    pub fn reaction(mut self, reaction: Reaction) -> VmConfigBuilder {
+        self.config.reaction = reaction;
+        self
+    }
+
+    /// Sets the collector configuration (Base vs Instrumented).
+    pub fn mode(mut self, mode: Mode) -> VmConfigBuilder {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Enables or disables the path-tracking worklist.
+    pub fn path_tracking(mut self, on: bool) -> VmConfigBuilder {
+        self.config.path_tracking = on;
+        self
+    }
+
+    /// Enables or disables once-only violation reporting.
+    pub fn report_once(mut self, on: bool) -> VmConfigBuilder {
+        self.config.report_once = on;
+        self
+    }
+
+    /// Enables the strict owner-lifetime extension.
+    pub fn strict_owner_lifetime(mut self, on: bool) -> VmConfigBuilder {
+        self.config.strict_owner_lifetime = on;
+        self
+    }
+
+    /// Enables generational collection with a major collection forced
+    /// after `major_every` consecutive minors (clamped to at least 1).
+    pub fn generational(mut self, major_every: usize) -> VmConfigBuilder {
+        self.config.generational = Some(major_every.max(1));
+        self
+    }
+
+    /// Sets the number of tracing workers for major collections
+    /// (`0` = auto, one per available core).
+    pub fn gc_threads(mut self, workers: usize) -> VmConfigBuilder {
+        self.config.gc_threads = workers;
+        self
+    }
+
+    /// Overrides the reaction for one assertion class (later overrides
+    /// for the same class win).
+    pub fn reaction_for(mut self, class: AssertionClass, reaction: Reaction) -> VmConfigBuilder {
+        self.config.reaction_overrides.push((class, reaction));
+        self
+    }
+
+    /// Validates the assembled configuration and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap budget is zero — every other combination is
+    /// meaningful (setters normalize their own inputs).
+    pub fn build(self) -> VmConfig {
+        assert!(
+            self.config.heap_budget > 0,
+            "VmConfig: heap budget must be non-zero"
+        );
+        self.config
     }
 }
 
@@ -229,5 +368,44 @@ mod tests {
         assert!(!c.path_tracking);
         assert!(!c.report_once);
         assert!(c.strict_owner_lifetime);
+    }
+
+    #[test]
+    fn fluent_builder_equals_chained_setters() {
+        let built = VmConfig::builder()
+            .heap_budget(123)
+            .grow_on_oom(false)
+            .reaction(Reaction::Halt)
+            .mode(Mode::Base)
+            .path_tracking(false)
+            .report_once(false)
+            .strict_owner_lifetime(true)
+            .generational(0)
+            .gc_threads(4)
+            .reaction_for(AssertionClass::Volume, Reaction::Log)
+            .build();
+        assert_eq!(built.heap_budget, 123);
+        assert!(!built.grow);
+        assert_eq!(built.reaction, Reaction::Halt);
+        assert_eq!(built.mode, Mode::Base);
+        assert!(!built.path_tracking);
+        assert!(!built.report_once);
+        assert!(built.strict_owner_lifetime);
+        assert_eq!(built.generational, Some(1)); // clamped
+        assert_eq!(built.gc_threads, 4);
+        assert_eq!(built.effective_reaction(AssertionClass::Volume), Reaction::Log);
+    }
+
+    #[test]
+    #[should_panic(expected = "heap budget must be non-zero")]
+    fn builder_rejects_zero_budget() {
+        let _ = VmConfig::builder().heap_budget(0).build();
+    }
+
+    #[test]
+    fn gc_threads_zero_means_auto() {
+        let c = VmConfig::builder().gc_threads(0).build();
+        assert!(c.effective_gc_threads() >= 1);
+        assert_eq!(VmConfig::new().effective_gc_threads(), 1);
     }
 }

@@ -44,21 +44,24 @@ enum Phase {
 /// | `assert-unshared` | `visit_marked`: `UNSHARED` bit on an already-marked object (second incoming pointer) |
 /// | `assert-instances` | `visit_new` counts tracked classes; `trace_done` compares against limits |
 /// | `assert-ownedby` | `pre_root_phase` scans from owners; `visit_new` during the root scan flags unowned ownees |
+/// Field visibility note: the parallel collection adapter
+/// ([`crate::par_engine`]) shares this struct's tables and accumulators
+/// between its barriered phases, so the state fields are `pub(crate)`.
 #[derive(Debug)]
 pub struct AssertionEngine {
-    path_tracking: bool,
-    report_once: bool,
+    pub(crate) path_tracking: bool,
+    pub(crate) report_once: bool,
     /// Effective reaction for lifetime assertions — the only class whose
     /// reaction the engine acts on itself (`ForceTrue` edge severing).
-    lifetime_reaction: Reaction,
-    strict_owner_lifetime: bool,
+    pub(crate) lifetime_reaction: Reaction,
+    pub(crate) strict_owner_lifetime: bool,
     phase: Phase,
-    ownership: OwnershipTable,
+    pub(crate) ownership: OwnershipTable,
     /// Ownees discovered during the ownership phase, queued so scans
     /// truncate at ownees ("collections are essentially truncated when
     /// their leaves are reached") and are resumed after all owners.
     deferred: Vec<(ObjRef, usize)>,
-    violations: Vec<Violation>,
+    pub(crate) violations: Vec<Violation>,
     /// Ownees reached through another owner's region during deferred
     /// processing; their ownership verdict is resolved once the whole
     /// ownership phase has finished (their own owner's chains may still
@@ -66,12 +69,12 @@ pub struct AssertionEngine {
     pending_unowned: Vec<(ObjRef, gca_collector::HeapPath)>,
     /// Incoming edges to asserted-dead objects, recorded for the
     /// `ForceTrue` reaction.
-    dead_edges: Vec<(ObjRef, usize)>,
+    pub(crate) dead_edges: Vec<(ObjRef, usize)>,
     /// Ownees/owners freed by the current sweep, recorded from the `swept`
     /// hook so table retirement costs O(dead) instead of a table rescan.
     swept_ownees: Vec<ObjRef>,
     swept_owners: Vec<ObjRef>,
-    counters: CheckCounters,
+    pub(crate) counters: CheckCounters,
 }
 
 impl AssertionEngine {
@@ -168,7 +171,7 @@ impl AssertionEngine {
         )
     }
 
-    fn class_name(heap: &Heap, obj: ObjRef) -> String {
+    pub(crate) fn class_name(heap: &Heap, obj: ObjRef) -> String {
         match heap.get(obj) {
             Ok(o) => heap.registry().name(o.class()).to_owned(),
             Err(_) => "<dead>".to_owned(),
@@ -177,7 +180,7 @@ impl AssertionEngine {
 
     /// Whether a violation for `obj` should be recorded, honouring
     /// report-once semantics via the `REPORTED` bit.
-    fn should_report(&self, heap: &mut Heap, obj: ObjRef) -> bool {
+    pub(crate) fn should_report(&self, heap: &mut Heap, obj: ObjRef) -> bool {
         if !self.report_once {
             return true;
         }

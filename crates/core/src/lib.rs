@@ -32,7 +32,7 @@
 //! use gc_assertions::{Vm, VmConfig, ViolationKind};
 //!
 //! # fn main() -> Result<(), gc_assertions::VmError> {
-//! let mut vm = Vm::new(VmConfig::new());
+//! let mut vm = Vm::new(VmConfig::builder().build());
 //! let m = vm.main();
 //! let list = vm.register_class("List", &["head"]);
 //! let node = vm.register_class("Node", &["next"]);
@@ -71,20 +71,25 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod assertions;
 mod config;
 mod engine;
 mod error;
 mod mutator;
 mod ownership;
+mod par_engine;
+mod probe;
 mod report;
 mod shared;
 mod violation;
 mod vm;
 
-pub use config::{AssertionClass, Mode, Reaction, VmConfig};
+pub use assertions::{Assertions, RegionGuard};
+pub use config::{AssertionClass, Mode, Reaction, VmConfig, VmConfigBuilder};
 pub use engine::AssertionEngine;
 pub use error::VmError;
 pub use mutator::MutatorId;
+pub use probe::Probe;
 pub use report::{CheckCounters, GcReport};
 pub use shared::{SharedVm, VmThread};
 pub use violation::{Violation, ViolationKind};

@@ -1,0 +1,224 @@
+//! QVM-style heap probes behind one entry point: [`Vm::probe`] returns a
+//! [`Probe`] handle whose queries each run a full traversal *right now*.
+//!
+//! Probes are the comparison point for the paper's central performance
+//! argument: an immediate query costs a complete heap trace, while GC
+//! assertions batch the same questions into the collector's normal trace
+//! for free. All probe machinery lives in this module; the legacy
+//! `Vm::probe_*` methods delegate here.
+//!
+//! ```
+//! use gc_assertions::{Vm, VmConfig};
+//!
+//! # fn main() -> Result<(), gc_assertions::VmError> {
+//! let mut vm = Vm::new(VmConfig::builder().build());
+//! let m = vm.main();
+//! let node = vm.register_class("Node", &["next"]);
+//! let a = vm.alloc_rooted(m, node, 1, 0)?;
+//! let b = vm.alloc(m, node, 1, 0)?;
+//! vm.set_field(a, 0, b)?;
+//!
+//! assert!(vm.probe().reachable(b)?);
+//! assert_eq!(vm.probe().instances(node)?, 2);
+//! let path = vm.probe().path(b)?.expect("b is reachable");
+//! assert_eq!(path.target(), Some(b));
+//! # Ok(())
+//! # }
+//! ```
+
+use gca_collector::{HeapPath, TraceCtx, TraceHooks, Tracer, Visit};
+use gca_heap::{ClassId, Flags, Heap, HeapError, ObjRef};
+
+use crate::error::VmError;
+use crate::vm::Vm;
+
+/// Fluent handle over the immediate heap queries, obtained from
+/// [`Vm::probe`].
+#[derive(Debug)]
+pub struct Probe<'vm> {
+    vm: &'vm mut Vm,
+}
+
+impl<'vm> Probe<'vm> {
+    pub(crate) fn new(vm: &'vm mut Vm) -> Self {
+        Probe { vm }
+    }
+
+    /// Is `target` reachable, and through what path? Runs a full
+    /// path-tracking traversal; the heap is left unmodified (marks
+    /// cleared). Returns `None` if `target` is dead or unreachable.
+    ///
+    /// # Errors
+    ///
+    /// Tracing errors ([`VmError::Heap`]) or [`VmError::Halted`].
+    pub fn path(self, target: ObjRef) -> Result<Option<HeapPath>, VmError> {
+        self.vm.check_running()?;
+        if !self.vm.heap.is_valid(target) {
+            return Ok(None);
+        }
+        let roots = self.vm.gather_roots();
+        let mut finder = PathFinder {
+            target,
+            found: None,
+        };
+        run_traversal(&mut self.vm.heap, &roots, true, &mut finder)?;
+        Ok(finder.found)
+    }
+
+    /// Is `target` reachable at all (probe-style `assert_dead`
+    /// complement)? Same cost as [`Probe::path`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Probe::path`].
+    pub fn reachable(self, target: ObjRef) -> Result<bool, VmError> {
+        Ok(self.path(target)?.is_some())
+    }
+
+    /// Counts the live (reachable) instances of `class` with a full
+    /// traversal — the probe-style equivalent of `assert-instances`.
+    ///
+    /// # Errors
+    ///
+    /// Tracing errors or [`VmError::Halted`].
+    pub fn instances(self, class: ClassId) -> Result<u32, VmError> {
+        self.vm.check_running()?;
+        let roots = self.vm.gather_roots();
+        let mut counter = Counter { class, count: 0 };
+        run_traversal(&mut self.vm.heap, &roots, false, &mut counter)?;
+        Ok(counter.count)
+    }
+
+    /// Collects a root-to-object path for **every live instance** of
+    /// `class`, in one traversal.
+    ///
+    /// The paper notes that when `assert-instances` fires, "the problem
+    /// paths may have been traced earlier" and the user "will need to use
+    /// other tools" (§2.7) — this is that tool: run it after an
+    /// instance-limit violation to see exactly what keeps each instance
+    /// alive.
+    ///
+    /// # Errors
+    ///
+    /// Tracing errors or [`VmError::Halted`].
+    pub fn explain_instances(self, class: ClassId) -> Result<Vec<(ObjRef, HeapPath)>, VmError> {
+        self.vm.check_running()?;
+        let roots = self.vm.gather_roots();
+        let mut finder = InstanceFinder {
+            class,
+            found: Vec::new(),
+        };
+        run_traversal(&mut self.vm.heap, &roots, true, &mut finder)?;
+        Ok(finder.found)
+    }
+
+    /// Enumerates every heap reference into `target`: `(source object,
+    /// field index)` pairs, plus whether any *root* references it.
+    ///
+    /// The complement of the `assert-unshared` report, which can only
+    /// show the second path the tracer happened to find (§2.7) — this
+    /// shows all of them. One pass over the live heap, no tracing.
+    ///
+    /// # Errors
+    ///
+    /// Reference-validity errors or [`VmError::Halted`].
+    pub fn incoming_references(
+        self,
+        target: ObjRef,
+    ) -> Result<(Vec<(ObjRef, usize)>, bool), VmError> {
+        self.vm.check_running()?;
+        if !self.vm.heap.is_valid(target) {
+            return Err(VmError::Heap(HeapError::StaleRef(target)));
+        }
+        let mut edges = Vec::new();
+        for (src, obj) in self.vm.heap.iter() {
+            for (f, &r) in obj.refs().iter().enumerate() {
+                if r == target {
+                    edges.push((src, f));
+                }
+            }
+        }
+        let rooted = self.vm.gather_roots().contains(&target);
+        Ok((edges, rooted))
+    }
+}
+
+/// Runs one probe traversal from `roots` and clears the marks it left.
+fn run_traversal<H: TraceHooks>(
+    heap: &mut Heap,
+    roots: &[ObjRef],
+    paths: bool,
+    hooks: &mut H,
+) -> Result<(), VmError> {
+    let mut tracer = Tracer::new();
+    tracer.set_path_mode(paths);
+    tracer.begin_cycle();
+    for &r in roots {
+        tracer.push_root(r);
+    }
+    tracer.drain(heap, hooks)?;
+    clear_probe_marks(heap)?;
+    Ok(())
+}
+
+/// Clears the marks left behind by a probe traversal.
+fn clear_probe_marks(heap: &mut Heap) -> Result<(), VmError> {
+    for i in 0..heap.slot_count() {
+        let (r, marked) = match heap.entry(i) {
+            Some((r, o)) => (r, o.flags().intersects(Flags::PER_GC)),
+            None => continue,
+        };
+        if marked {
+            heap.clear_flag(r, Flags::PER_GC)?;
+        }
+    }
+    Ok(())
+}
+
+struct PathFinder {
+    target: ObjRef,
+    found: Option<HeapPath>,
+}
+
+impl TraceHooks for PathFinder {
+    fn wants_paths(&self) -> bool {
+        true
+    }
+    fn visit_new(&mut self, heap: &mut Heap, obj: ObjRef, ctx: &TraceCtx<'_>) -> Visit {
+        if obj == self.target && self.found.is_none() {
+            self.found = Some(ctx.current_path(heap));
+        }
+        Visit::Descend
+    }
+}
+
+struct Counter {
+    class: ClassId,
+    count: u32,
+}
+
+impl TraceHooks for Counter {
+    fn visit_new(&mut self, heap: &mut Heap, obj: ObjRef, _ctx: &TraceCtx<'_>) -> Visit {
+        if heap.get(obj).map(|o| o.class()) == Ok(self.class) {
+            self.count += 1;
+        }
+        Visit::Descend
+    }
+}
+
+struct InstanceFinder {
+    class: ClassId,
+    found: Vec<(ObjRef, HeapPath)>,
+}
+
+impl TraceHooks for InstanceFinder {
+    fn wants_paths(&self) -> bool {
+        true
+    }
+    fn visit_new(&mut self, heap: &mut Heap, obj: ObjRef, ctx: &TraceCtx<'_>) -> Visit {
+        if heap.get(obj).map(|o| o.class()) == Ok(self.class) {
+            self.found.push((obj, ctx.current_path(heap)));
+        }
+        Visit::Descend
+    }
+}

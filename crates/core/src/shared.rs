@@ -17,7 +17,7 @@
 //! use gc_assertions::{SharedVm, VmConfig};
 //! use std::thread;
 //!
-//! let shared = SharedVm::new(VmConfig::new());
+//! let shared = SharedVm::new(VmConfig::builder().build());
 //! let class = shared.with(|vm| vm.register_class("Buf", &[]));
 //!
 //! let handles: Vec<_> = (0..4)
@@ -233,7 +233,7 @@ mod tests {
 
     #[test]
     fn concurrent_allocation_is_consistent() {
-        let shared = SharedVm::new(VmConfig::new().heap_budget_words(4_000).grow_on_oom(true));
+        let shared = SharedVm::new(VmConfig::builder().heap_budget(4_000).grow_on_oom(true).build());
         let class = shared.with(|vm| vm.register_class("T", &[]));
         let threads: Vec<_> = (0..8)
             .map(|_| {
@@ -256,7 +256,7 @@ mod tests {
 
     #[test]
     fn per_thread_regions_under_real_threads() {
-        let shared = SharedVm::new(VmConfig::new().heap_budget_words(1 << 20));
+        let shared = SharedVm::new(VmConfig::builder().heap_budget(1 << 20).build());
         let class = shared.with(|vm| vm.register_class("Req", &[]));
         let leak_holder = shared.with(|vm| {
             let m = vm.main();
@@ -298,7 +298,7 @@ mod tests {
         fn assert_send<T: Send>() {}
         assert_send::<SharedVm>();
         assert_send::<VmThread>();
-        let shared = SharedVm::new(VmConfig::new());
+        let shared = SharedVm::new(VmConfig::builder().build());
         let t = shared.main_thread();
         let t2 = t.clone();
         assert_eq!(t.mutator(), t2.mutator());

@@ -89,7 +89,7 @@ pub enum ViolationKind {
 /// use gc_assertions::{Vm, VmConfig};
 ///
 /// # fn main() -> Result<(), gc_assertions::VmError> {
-/// let mut vm = Vm::new(VmConfig::new());
+/// let mut vm = Vm::new(VmConfig::builder().build());
 /// let class = vm.register_class("Order", &[]);
 /// let m = vm.main();
 /// let order = vm.alloc(m, class, 0, 0)?;

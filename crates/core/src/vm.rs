@@ -53,7 +53,7 @@ pub struct AssertionCallCounts {
 /// use gc_assertions::{Vm, VmConfig};
 ///
 /// # fn main() -> Result<(), gc_assertions::VmError> {
-/// let mut vm = Vm::new(VmConfig::new());
+/// let mut vm = Vm::new(VmConfig::builder().build());
 /// let node = vm.register_class("Node", &["next"]);
 /// let m = vm.main();
 ///
@@ -72,15 +72,15 @@ pub struct AssertionCallCounts {
 /// ```
 #[derive(Debug)]
 pub struct Vm {
-    heap: Heap,
+    pub(crate) heap: Heap,
     collector: Collector,
-    engine: AssertionEngine,
+    pub(crate) engine: AssertionEngine,
     config: VmConfig,
     budget: usize,
     mutators: Vec<Mutator>,
     globals: Vec<ObjRef>,
     halted: bool,
-    calls: AssertionCallCounts,
+    pub(crate) calls: AssertionCallCounts,
     collections_requested: u64,
     violation_log: Vec<crate::violation::Violation>,
     totals: crate::report::CheckCounters,
@@ -176,13 +176,13 @@ impl Vm {
             .ok_or(VmError::NoSuchMutator(m))
     }
 
-    fn mutator_mut(&mut self, m: MutatorId) -> Result<&mut Mutator, VmError> {
+    pub(crate) fn mutator_mut(&mut self, m: MutatorId) -> Result<&mut Mutator, VmError> {
         self.mutators
             .get_mut(m.0 as usize)
             .ok_or(VmError::NoSuchMutator(m))
     }
 
-    fn check_running(&self) -> Result<(), VmError> {
+    pub(crate) fn check_running(&self) -> Result<(), VmError> {
         if self.halted {
             Err(VmError::Halted)
         } else {
@@ -190,7 +190,7 @@ impl Vm {
         }
     }
 
-    fn check_instrumented(&self) -> Result<(), VmError> {
+    pub(crate) fn check_instrumented(&self) -> Result<(), VmError> {
         match self.config.mode {
             Mode::Instrumented => Ok(()),
             Mode::Base => Err(VmError::BaseMode),
@@ -380,13 +380,33 @@ impl Vm {
     pub fn collect(&mut self) -> Result<GcReport, VmError> {
         self.collections_requested += 1;
         let roots = self.gather_roots();
-        let cycle = match self.config.mode {
-            Mode::Base => self
+        let workers = self.config.effective_gc_threads();
+        let cycle = match (self.config.mode, workers) {
+            (Mode::Base, 0 | 1) => self
                 .collector
                 .collect(&mut self.heap, &roots, &mut NoHooks)?,
-            Mode::Instrumented => {
+            (Mode::Instrumented, 0 | 1) => {
                 self.collector
                     .collect(&mut self.heap, &roots, &mut self.engine)?
+            }
+            // Parallel mark phase: the Collector only contributed the
+            // mark/sweep driver, so run the parallel driver directly and
+            // fold the cycle into the collector's cumulative stats.
+            (Mode::Base, n) => {
+                let cycle =
+                    crate::par_engine::collect_parallel_base(&mut self.heap, &roots, n)?;
+                self.collector.record_cycle(&cycle);
+                cycle
+            }
+            (Mode::Instrumented, n) => {
+                let cycle = crate::par_engine::collect_parallel(
+                    &mut self.engine,
+                    &mut self.heap,
+                    &roots,
+                    n,
+                )?;
+                self.collector.record_cycle(&cycle);
+                cycle
             }
         };
         // Generational bookkeeping: a major collection promotes every
@@ -509,7 +529,7 @@ impl Vm {
         self.minor_gc_time
     }
 
-    fn gather_roots(&self) -> Vec<ObjRef> {
+    pub(crate) fn gather_roots(&self) -> Vec<ObjRef> {
         let mut roots: Vec<ObjRef> =
             Vec::with_capacity(self.globals.len() + self.mutators.iter().map(|m| m.roots.len()).sum::<usize>());
         roots.extend_from_slice(&self.globals);
@@ -636,18 +656,24 @@ impl Vm {
     // GC assertions (§2 of the paper)
     // ------------------------------------------------------------------
 
+    /// The fluent assertion facade — the preferred entry point for all
+    /// five assertion kinds: `vm.assertions().dead(p)`,
+    /// `.instances(class, n)`, `.unshared(p)`, `.owned_by(p, q)` and the
+    /// `.region(m)` scope guard. The `assert_*` methods below delegate to
+    /// it.
+    pub fn assertions(&mut self) -> crate::assertions::Assertions<'_> {
+        crate::assertions::Assertions::new(self)
+    }
+
     /// `assert-dead(p)`: triggered at the next collection if `p` is still
-    /// reachable (§2.3.1).
+    /// reachable (§2.3.1). Equivalent to [`Vm::assertions`]`.dead(p)`.
     ///
     /// # Errors
     ///
     /// [`VmError::BaseMode`], [`VmError::Halted`] or reference-validity
     /// errors.
     pub fn assert_dead(&mut self, p: ObjRef) -> Result<(), VmError> {
-        self.check_running()?;
-        self.check_instrumented()?;
-        self.calls.dead += 1;
-        self.engine.assert_dead(&mut self.heap, p)
+        self.assertions().dead(p)
     }
 
     /// `start-region()`: begins an allocation region on mutator `m`; every
@@ -667,6 +693,19 @@ impl Vm {
         }
         mu.region = Some(Region::default());
         self.calls.regions_started += 1;
+        Ok(())
+    }
+
+    /// Abandons `m`'s active region without asserting anything — used by
+    /// [`crate::assertions::RegionGuard::cancel`] when a region's objects
+    /// turn out to legitimately survive.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::NoRegion`] if no region is active.
+    pub fn cancel_region(&mut self, m: MutatorId) -> Result<(), VmError> {
+        let mu = self.mutator_mut(m)?;
+        mu.region.take().ok_or(VmError::NoRegion(m))?;
         Ok(())
     }
 
@@ -702,11 +741,7 @@ impl Vm {
     ///
     /// Mode/halt errors.
     pub fn assert_instances(&mut self, class: ClassId, limit: u32) -> Result<(), VmError> {
-        self.check_running()?;
-        self.check_instrumented()?;
-        self.calls.instances += 1;
-        self.heap.registry_mut().track_instances(class, limit);
-        Ok(())
+        self.assertions().instances(class, limit)
     }
 
     /// `assert-unshared(p)`: triggered if `p` is found with more than one
@@ -716,10 +751,7 @@ impl Vm {
     ///
     /// Mode/halt or reference-validity errors.
     pub fn assert_unshared(&mut self, p: ObjRef) -> Result<(), VmError> {
-        self.check_running()?;
-        self.check_instrumented()?;
-        self.calls.unshared += 1;
-        self.engine.assert_unshared(&mut self.heap, p)
+        self.assertions().unshared(p)
     }
 
     /// `assert-ownedby(p, q)`: triggered if, at a collection, no path to
@@ -730,10 +762,7 @@ impl Vm {
     /// [`VmError::OwnershipConflict`] for disjointness violations, plus
     /// mode/halt and reference-validity errors.
     pub fn assert_owned_by(&mut self, owner: ObjRef, ownee: ObjRef) -> Result<(), VmError> {
-        self.check_running()?;
-        self.check_instrumented()?;
-        self.calls.owned_by += 1;
-        self.engine.assert_owned_by(&mut self.heap, owner, ownee)
+        self.assertions().owned_by(owner, ownee)
     }
 
     /// Withdraws the ownership assertion on `ownee` (the program removed
@@ -766,134 +795,51 @@ impl Vm {
     // Heap probes (QVM-style immediate queries, for comparison)
     // ------------------------------------------------------------------
 
-    /// Clears the marks left behind by a probe traversal.
-    fn clear_probe_marks(&mut self) -> Result<(), VmError> {
-        for i in 0..self.heap.slot_count() {
-            let (r, marked) = match self.heap.entry(i) {
-                Some((r, o)) => (r, o.flags().intersects(Flags::PER_GC)),
-                None => continue,
-            };
-            if marked {
-                self.heap.clear_flag(r, Flags::PER_GC)?;
-            }
-        }
-        Ok(())
+    /// The fluent probe facade — the preferred entry point for all
+    /// immediate heap queries: `vm.probe().path(p)`, `.reachable(p)`,
+    /// `.instances(class)`, `.explain_instances(class)` and
+    /// `.incoming_references(p)`. Each query runs a full traversal right
+    /// now — the QVM cost model the paper's assertions amortize away
+    /// (§4.1). The `probe_*` methods below delegate to it.
+    pub fn probe(&mut self) -> crate::probe::Probe<'_> {
+        crate::probe::Probe::new(self)
     }
 
     /// Immediately answers "is `target` reachable, and through what
-    /// path?" by running a full mark-only traversal *right now* — the
-    /// semantics of QVM's heap probes (§4.1), provided for comparison.
-    /// Each probe costs a complete heap trace; batching questions into GC
-    /// assertions amortizes that cost, which is the paper's central
-    /// performance argument. The heap is left unmodified (marks cleared).
-    ///
-    /// Returns `None` if `target` is dead or unreachable.
+    /// path?". Equivalent to [`Vm::probe`]`.path(target)`.
     ///
     /// # Errors
     ///
     /// Tracing errors ([`VmError::Heap`]) or [`VmError::Halted`].
-    pub fn probe_path(&mut self, target: ObjRef) -> Result<Option<gca_collector::HeapPath>, VmError> {
-        self.check_running()?;
-        if !self.heap.is_valid(target) {
-            return Ok(None);
-        }
-
-        struct PathFinder {
-            target: ObjRef,
-            found: Option<gca_collector::HeapPath>,
-        }
-        impl gca_collector::TraceHooks for PathFinder {
-            fn wants_paths(&self) -> bool {
-                true
-            }
-            fn visit_new(
-                &mut self,
-                heap: &mut Heap,
-                obj: ObjRef,
-                ctx: &gca_collector::TraceCtx<'_>,
-            ) -> gca_collector::Visit {
-                if obj == self.target && self.found.is_none() {
-                    self.found = Some(ctx.current_path(heap));
-                }
-                gca_collector::Visit::Descend
-            }
-        }
-
-        let roots = self.gather_roots();
-        let mut tracer = gca_collector::Tracer::new();
-        tracer.set_path_mode(true);
-        tracer.begin_cycle();
-        for r in roots {
-            tracer.push_root(r);
-        }
-        let mut finder = PathFinder {
-            target,
-            found: None,
-        };
-        tracer.drain(&mut self.heap, &mut finder)?;
-        self.clear_probe_marks()?;
-        Ok(finder.found)
+    pub fn probe_path(
+        &mut self,
+        target: ObjRef,
+    ) -> Result<Option<gca_collector::HeapPath>, VmError> {
+        self.probe().path(target)
     }
 
-    /// Immediately counts the live (reachable) instances of `class` with
-    /// a full traversal — the probe-style equivalent of
-    /// [`Vm::assert_instances`], at one heap trace per call.
+    /// Immediately counts the live (reachable) instances of `class`.
+    /// Equivalent to [`Vm::probe`]`.instances(class)`.
     ///
     /// # Errors
     ///
     /// Tracing errors or [`VmError::Halted`].
     pub fn probe_instances(&mut self, class: ClassId) -> Result<u32, VmError> {
-        self.check_running()?;
-
-        struct Counter {
-            class: ClassId,
-            count: u32,
-        }
-        impl gca_collector::TraceHooks for Counter {
-            fn visit_new(
-                &mut self,
-                heap: &mut Heap,
-                obj: ObjRef,
-                _ctx: &gca_collector::TraceCtx<'_>,
-            ) -> gca_collector::Visit {
-                if heap.get(obj).map(|o| o.class()) == Ok(self.class) {
-                    self.count += 1;
-                }
-                gca_collector::Visit::Descend
-            }
-        }
-
-        let roots = self.gather_roots();
-        let mut tracer = gca_collector::Tracer::new();
-        tracer.begin_cycle();
-        for r in roots {
-            tracer.push_root(r);
-        }
-        let mut counter = Counter { class, count: 0 };
-        tracer.drain(&mut self.heap, &mut counter)?;
-        self.clear_probe_marks()?;
-        Ok(counter.count)
+        self.probe().instances(class)
     }
 
-    /// Immediately answers whether `target` is reachable (probe-style
-    /// `assert_dead` complement). See [`Vm::probe_path`] for the cost
-    /// model.
+    /// Immediately answers whether `target` is reachable. Equivalent to
+    /// [`Vm::probe`]`.reachable(target)`.
     ///
     /// # Errors
     ///
     /// Tracing errors or [`VmError::Halted`].
     pub fn probe_reachable(&mut self, target: ObjRef) -> Result<bool, VmError> {
-        Ok(self.probe_path(target)?.is_some())
+        self.probe().reachable(target)
     }
 
-    /// Collects a root-to-object path for **every live instance** of
-    /// `class`, in one traversal.
-    ///
-    /// The paper notes that when `assert-instances` fires, "the problem
-    /// paths may have been traced earlier" and the user "will need to use
-    /// other tools" (§2.7) — this is that tool: run it after an
-    /// instance-limit violation to see exactly what keeps each instance
-    /// alive.
+    /// Collects a root-to-object path for every live instance of `class`.
+    /// Equivalent to [`Vm::probe`]`.explain_instances(class)`.
     ///
     /// # Errors
     ///
@@ -902,51 +848,11 @@ impl Vm {
         &mut self,
         class: ClassId,
     ) -> Result<Vec<(ObjRef, gca_collector::HeapPath)>, VmError> {
-        self.check_running()?;
-
-        struct InstanceFinder {
-            class: ClassId,
-            found: Vec<(ObjRef, gca_collector::HeapPath)>,
-        }
-        impl gca_collector::TraceHooks for InstanceFinder {
-            fn wants_paths(&self) -> bool {
-                true
-            }
-            fn visit_new(
-                &mut self,
-                heap: &mut Heap,
-                obj: ObjRef,
-                ctx: &gca_collector::TraceCtx<'_>,
-            ) -> gca_collector::Visit {
-                if heap.get(obj).map(|o| o.class()) == Ok(self.class) {
-                    self.found.push((obj, ctx.current_path(heap)));
-                }
-                gca_collector::Visit::Descend
-            }
-        }
-
-        let roots = self.gather_roots();
-        let mut tracer = gca_collector::Tracer::new();
-        tracer.set_path_mode(true);
-        tracer.begin_cycle();
-        for r in roots {
-            tracer.push_root(r);
-        }
-        let mut finder = InstanceFinder {
-            class,
-            found: Vec::new(),
-        };
-        tracer.drain(&mut self.heap, &mut finder)?;
-        self.clear_probe_marks()?;
-        Ok(finder.found)
+        self.probe().explain_instances(class)
     }
 
-    /// Enumerates every heap reference into `target`: `(source object,
-    /// field index)` pairs, plus whether any *root* references it.
-    ///
-    /// The complement of the `assert-unshared` report, which can only
-    /// show the second path the tracer happened to find (§2.7) — this
-    /// shows all of them. One pass over the live heap, no tracing.
+    /// Enumerates every heap reference into `target`. Equivalent to
+    /// [`Vm::probe`]`.incoming_references(target)`.
     ///
     /// # Errors
     ///
@@ -955,20 +861,7 @@ impl Vm {
         &mut self,
         target: ObjRef,
     ) -> Result<(Vec<(ObjRef, usize)>, bool), VmError> {
-        self.check_running()?;
-        if !self.heap.is_valid(target) {
-            return Err(VmError::Heap(HeapError::StaleRef(target)));
-        }
-        let mut edges = Vec::new();
-        for (src, obj) in self.heap.iter() {
-            for (f, &r) in obj.refs().iter().enumerate() {
-                if r == target {
-                    edges.push((src, f));
-                }
-            }
-        }
-        let rooted = self.gather_roots().contains(&target);
-        Ok((edges, rooted))
+        self.probe().incoming_references(target)
     }
 
     // ------------------------------------------------------------------

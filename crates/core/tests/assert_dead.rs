@@ -3,7 +3,7 @@
 use gc_assertions::{ObjRef, Reaction, Vm, VmConfig, ViolationKind, VmError};
 
 fn vm() -> Vm {
-    Vm::new(VmConfig::new())
+    Vm::new(VmConfig::builder().build())
 }
 
 #[test]
@@ -88,7 +88,7 @@ fn transient_violation_is_missed() {
 
 #[test]
 fn report_once_suppresses_repeats() {
-    let mut vm = Vm::new(VmConfig::new().report_once(true));
+    let mut vm = Vm::new(VmConfig::builder().report_once(true).build());
     let c = vm.register_class("T", &[]);
     let m = vm.main();
     let x = vm.alloc_rooted(m, c, 0, 0).unwrap();
@@ -100,7 +100,7 @@ fn report_once_suppresses_repeats() {
 
 #[test]
 fn report_every_gc_when_configured() {
-    let mut vm = Vm::new(VmConfig::new().report_once(false));
+    let mut vm = Vm::new(VmConfig::builder().report_once(false).build());
     let c = vm.register_class("T", &[]);
     let m = vm.main();
     let x = vm.alloc_rooted(m, c, 0, 0).unwrap();
@@ -122,7 +122,7 @@ fn retract_dead_withdraws_the_assertion() {
 
 #[test]
 fn halt_reaction_stops_the_vm() {
-    let mut vm = Vm::new(VmConfig::new().reaction(Reaction::Halt));
+    let mut vm = Vm::new(VmConfig::builder().reaction(Reaction::Halt).build());
     let c = vm.register_class("T", &[]);
     let m = vm.main();
     let x = vm.alloc_rooted(m, c, 0, 0).unwrap();
@@ -137,7 +137,7 @@ fn halt_reaction_stops_the_vm() {
 
 #[test]
 fn halt_only_on_actual_violation() {
-    let mut vm = Vm::new(VmConfig::new().reaction(Reaction::Halt));
+    let mut vm = Vm::new(VmConfig::builder().reaction(Reaction::Halt).build());
     let c = vm.register_class("T", &[]);
     let m = vm.main();
     let _x = vm.alloc_rooted(m, c, 0, 0).unwrap();
@@ -150,7 +150,7 @@ fn halt_only_on_actual_violation() {
 fn force_true_reclaims_at_next_gc() {
     // §2.6: the collector nulls incoming references so the object dies at
     // the *next* collection.
-    let mut vm = Vm::new(VmConfig::new().reaction(Reaction::ForceTrue));
+    let mut vm = Vm::new(VmConfig::builder().reaction(Reaction::ForceTrue).build());
     let holder = vm.register_class("Holder", &["a", "b"]);
     let t = vm.register_class("T", &[]);
     let m = vm.main();
@@ -176,7 +176,7 @@ fn force_true_reclaims_at_next_gc() {
 fn force_true_cannot_sever_roots() {
     // A rooted object has no heap parent to null; it survives, and the
     // report (once) is all the programmer gets.
-    let mut vm = Vm::new(VmConfig::new().reaction(Reaction::ForceTrue));
+    let mut vm = Vm::new(VmConfig::builder().reaction(Reaction::ForceTrue).build());
     let c = vm.register_class("T", &[]);
     let m = vm.main();
     let x = vm.alloc_rooted(m, c, 0, 0).unwrap();
@@ -191,7 +191,7 @@ fn force_true_cannot_sever_roots() {
 fn dead_bit_survives_until_reclamation() {
     // An object asserted dead that survives several GCs keeps firing its
     // counter (dead_bits_seen) even with report_once.
-    let mut vm = Vm::new(VmConfig::new().report_once(true));
+    let mut vm = Vm::new(VmConfig::builder().report_once(true).build());
     let c = vm.register_class("T", &[]);
     let m = vm.main();
     let x = vm.alloc_rooted(m, c, 0, 0).unwrap();

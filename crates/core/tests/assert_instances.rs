@@ -3,7 +3,7 @@
 use gc_assertions::{Vm, VmConfig, ViolationKind};
 
 fn vm() -> Vm {
-    Vm::new(VmConfig::new())
+    Vm::new(VmConfig::builder().build())
 }
 
 #[test]
@@ -57,7 +57,7 @@ fn zero_limit_asserts_no_instances() {
     // Once the instance dies the assertion passes again.
     let _ = x;
     vm.pop_frame(m).err(); // base frame; instead clear via set_root
-    let mut vm2 = Vm::new(VmConfig::new());
+    let mut vm2 = Vm::new(VmConfig::builder().build());
     let c2 = vm2.register_class("Forbidden", &[]);
     vm2.assert_instances(c2, 0).unwrap();
     let m2 = vm2.main();

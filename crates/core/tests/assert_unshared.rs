@@ -3,7 +3,7 @@
 use gc_assertions::{ObjRef, Vm, VmConfig, ViolationKind};
 
 fn vm() -> Vm {
-    Vm::new(VmConfig::new())
+    Vm::new(VmConfig::builder().build())
 }
 
 #[test]
@@ -90,7 +90,7 @@ fn sharing_repaired_before_gc_is_missed() {
 
 #[test]
 fn report_once_applies_across_gcs() {
-    let mut vm = Vm::new(VmConfig::new().report_once(true));
+    let mut vm = Vm::new(VmConfig::builder().report_once(true).build());
     let c = vm.register_class("N", &["a", "b"]);
     let m = vm.main();
     let p = vm.alloc_rooted(m, c, 2, 0).unwrap();

@@ -83,7 +83,7 @@ proptest! {
     fn generational_agrees_with_marksweep(
         ops in proptest::collection::vec(op_strategy(), 1..120),
     ) {
-        let base = VmConfig::new().heap_budget_words(1_200).grow_on_oom(true);
+        let base = VmConfig::builder().heap_budget(1_200).grow_on_oom(true).build();
         let ms = run(base.clone(), &ops);
         for major_every in [1usize, 3, 16] {
             let gen = run(base.clone().generational(major_every), &ops);

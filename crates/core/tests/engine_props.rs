@@ -70,7 +70,7 @@ proptest! {
 
     #[test]
     fn dead_violations_match_reachability_oracle(s in scenario()) {
-        let mut vm = Vm::new(VmConfig::new());
+        let mut vm = Vm::new(VmConfig::builder().build());
         let objs = build(&mut vm, &s);
         let reachable = oracle_reachable(&vm, &objs, &s.roots);
 
@@ -107,7 +107,7 @@ proptest! {
 
     #[test]
     fn unshared_violations_match_indegree_oracle(s in scenario()) {
-        let mut vm = Vm::new(VmConfig::new());
+        let mut vm = Vm::new(VmConfig::builder().build());
         let objs = build(&mut vm, &s);
         let reachable = oracle_reachable(&vm, &objs, &s.roots);
 
@@ -153,7 +153,7 @@ proptest! {
     #[test]
     fn collection_with_assertions_preserves_reachable_set(s in scenario()) {
         // Assertions must never change what survives (Log reaction).
-        let mut vm = Vm::new(VmConfig::new());
+        let mut vm = Vm::new(VmConfig::builder().build());
         let objs = build(&mut vm, &s);
         let reachable = oracle_reachable(&vm, &objs, &s.roots);
         for &i in &s.dead_asserts {

@@ -26,7 +26,7 @@ fn leaky_vm(config: VmConfig) -> (Vm, ObjRef, ObjRef) {
 
 #[test]
 fn lifetime_halt_override_halts_on_dead_violation() {
-    let config = VmConfig::new().reaction_for(AssertionClass::Lifetime, Reaction::Halt);
+    let config = VmConfig::builder().reaction_for(AssertionClass::Lifetime, Reaction::Halt).build();
     let (mut vm, _h, _x) = leaky_vm(config);
     let report = vm.collect().unwrap();
     assert!(report.halted);
@@ -37,7 +37,7 @@ fn lifetime_halt_override_halts_on_dead_violation() {
 fn volume_halt_override_ignores_lifetime_violations() {
     // Halt only on instance-limit violations; the dead-reachable
     // violation is logged but execution continues.
-    let config = VmConfig::new().reaction_for(AssertionClass::Volume, Reaction::Halt);
+    let config = VmConfig::builder().reaction_for(AssertionClass::Volume, Reaction::Halt).build();
     let (mut vm, _h, _x) = leaky_vm(config);
     let report = vm.collect().unwrap();
     assert_eq!(report.violations.len(), 1);
@@ -48,7 +48,7 @@ fn volume_halt_override_ignores_lifetime_violations() {
 #[test]
 fn lifetime_force_true_with_default_log() {
     // ForceTrue for lifetime assertions only; everything else logs.
-    let config = VmConfig::new().reaction_for(AssertionClass::Lifetime, Reaction::ForceTrue);
+    let config = VmConfig::builder().reaction_for(AssertionClass::Lifetime, Reaction::ForceTrue).build();
     let (mut vm, h, x) = leaky_vm(config);
     vm.collect().unwrap();
     assert_eq!(vm.field(h, 0).unwrap(), ObjRef::NULL, "edge severed");
@@ -58,9 +58,10 @@ fn lifetime_force_true_with_default_log() {
 
 #[test]
 fn later_override_wins() {
-    let config = VmConfig::new()
+    let config = VmConfig::builder()
         .reaction_for(AssertionClass::Lifetime, Reaction::Halt)
-        .reaction_for(AssertionClass::Lifetime, Reaction::Log);
+        .reaction_for(AssertionClass::Lifetime, Reaction::Log)
+        .build();
     assert_eq!(
         config.effective_reaction(AssertionClass::Lifetime),
         Reaction::Log
@@ -73,7 +74,7 @@ fn later_override_wins() {
 
 #[test]
 fn connectivity_class_maps_ownership_violations() {
-    let config = VmConfig::new().reaction_for(AssertionClass::Connectivity, Reaction::Halt);
+    let config = VmConfig::builder().reaction_for(AssertionClass::Connectivity, Reaction::Halt).build();
     let mut vm = Vm::new(config);
     let c = vm.register_class("C", &["f"]);
     let m = vm.main();
@@ -100,7 +101,7 @@ fn connectivity_class_maps_ownership_violations() {
 #[test]
 fn handler_sees_every_violation() {
     let seen = Arc::new(AtomicUsize::new(0));
-    let (mut vm, _h, _x) = leaky_vm(VmConfig::new().report_once(false));
+    let (mut vm, _h, _x) = leaky_vm(VmConfig::builder().report_once(false).build());
     let seen2 = Arc::clone(&seen);
     vm.set_violation_handler(move |v, registry| {
         assert!(v.render(registry).contains("asserted dead"));
@@ -118,7 +119,7 @@ fn handler_sees_every_violation() {
 #[test]
 fn handler_fires_for_implicit_collections_too() {
     let seen = Arc::new(AtomicUsize::new(0));
-    let mut vm = Vm::new(VmConfig::new().heap_budget_words(64).grow_on_oom(true));
+    let mut vm = Vm::new(VmConfig::builder().heap_budget(64).grow_on_oom(true).build());
     let c = vm.register_class("T", &[]);
     let m = vm.main();
     let x = vm.alloc_rooted(m, c, 0, 0).unwrap();
@@ -140,7 +141,7 @@ fn handler_fires_for_implicit_collections_too() {
 
 #[test]
 fn probe_path_finds_live_objects() {
-    let mut vm = Vm::new(VmConfig::new());
+    let mut vm = Vm::new(VmConfig::builder().build());
     let c = vm.register_class("Node", &["next"]);
     let m = vm.main();
     let a = vm.alloc_rooted(m, c, 1, 0).unwrap();
@@ -161,7 +162,7 @@ fn probe_path_finds_live_objects() {
 #[test]
 fn probe_leaves_heap_state_clean() {
     // Probing must not leave marks that would confuse a later collection.
-    let mut vm = Vm::new(VmConfig::new());
+    let mut vm = Vm::new(VmConfig::builder().build());
     let c = vm.register_class("T", &["f"]);
     let m = vm.main();
     let root = vm.alloc_rooted(m, c, 1, 0).unwrap();
@@ -183,7 +184,7 @@ fn probe_leaves_heap_state_clean() {
 
 #[test]
 fn probe_instances_counts_reachable_only() {
-    let mut vm = Vm::new(VmConfig::new());
+    let mut vm = Vm::new(VmConfig::builder().build());
     let c = vm.register_class("Searcher", &[]);
     let other = vm.register_class("Other", &[]);
     let m = vm.main();
@@ -198,7 +199,7 @@ fn probe_instances_counts_reachable_only() {
 
 #[test]
 fn probe_of_dead_handle_is_none() {
-    let mut vm = Vm::new(VmConfig::new());
+    let mut vm = Vm::new(VmConfig::builder().build());
     let c = vm.register_class("T", &[]);
     let m = vm.main();
     let x = vm.alloc(m, c, 0, 0).unwrap();
@@ -210,7 +211,7 @@ fn probe_of_dead_handle_is_none() {
 fn explain_instances_gives_a_path_per_instance() {
     // The lusearch follow-up: the instance-limit report has no paths, so
     // explain_instances supplies them.
-    let mut vm = Vm::new(VmConfig::new());
+    let mut vm = Vm::new(VmConfig::builder().build());
     let searcher = vm.register_class("IndexSearcher", &[]);
     let thread_cls = vm.register_class("SearchThread", &["searcher"]);
     let m = vm.main();
@@ -234,7 +235,7 @@ fn explain_instances_gives_a_path_per_instance() {
 
 #[test]
 fn incoming_references_enumerates_all_edges() {
-    let mut vm = Vm::new(VmConfig::new());
+    let mut vm = Vm::new(VmConfig::builder().build());
     let c = vm.register_class("N", &["a", "b"]);
     let m = vm.main();
     let p1 = vm.alloc_rooted(m, c, 2, 0).unwrap();
@@ -264,7 +265,7 @@ fn incoming_references_enumerates_all_edges() {
 #[test]
 fn probes_respect_halt() {
     let (mut vm, _h, x) =
-        leaky_vm(VmConfig::new().reaction(Reaction::Halt));
+        leaky_vm(VmConfig::builder().reaction(Reaction::Halt).build());
     vm.collect().unwrap();
     assert!(matches!(vm.probe_path(x), Err(VmError::Halted)));
     assert!(matches!(vm.probe_instances(vm.registry().lookup("Holder").unwrap()), Err(VmError::Halted)));

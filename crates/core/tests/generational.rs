@@ -7,10 +7,11 @@ use gc_assertions::{ObjRef, Vm, VmConfig};
 
 fn gen_vm(major_every: usize) -> Vm {
     Vm::new(
-        VmConfig::new()
-            .heap_budget_words(2_000)
+        VmConfig::builder()
+            .heap_budget(2_000)
             .grow_on_oom(true)
-            .generational(major_every),
+            .generational(major_every)
+            .build(),
     )
 }
 
@@ -120,10 +121,11 @@ fn satisfied_dead_assertions_resolve_silently_in_minors() {
 #[test]
 fn allocation_pressure_drives_minors_then_scheduled_major() {
     let mut vm = Vm::new(
-        VmConfig::new()
-            .heap_budget_words(600)
+        VmConfig::builder()
+            .heap_budget(600)
             .grow_on_oom(true)
-            .generational(4),
+            .generational(4)
+            .build(),
     );
     let c = vm.register_class("T", &[]);
     let m = vm.main();
@@ -172,7 +174,7 @@ fn generational_and_marksweep_agree_on_final_liveness() {
         (vm, kept, dropped)
     }
 
-    let base_cfg = VmConfig::new().heap_budget_words(1_500).grow_on_oom(true);
+    let base_cfg = VmConfig::builder().heap_budget(1_500).grow_on_oom(true).build();
     let (vm_ms, kept_ms, dropped_ms) = run(base_cfg.clone());
     let (vm_gen, kept_gen, dropped_gen) = run(base_cfg.generational(3));
 
@@ -190,9 +192,10 @@ fn minors_are_cheaper_than_majors_with_large_old_generation() {
     // Build a large old generation, then compare one minor against one
     // major: the minor must trace far less.
     let mut vm = Vm::new(
-        VmConfig::new()
-            .heap_budget_words(1 << 22)
-            .generational(1_000),
+        VmConfig::builder()
+            .heap_budget(1 << 22)
+            .generational(1_000)
+            .build(),
     );
     let c = vm.register_class("T", &["f"]);
     let m = vm.main();

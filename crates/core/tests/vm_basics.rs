@@ -3,7 +3,7 @@
 use gc_assertions::{HeapError, Mode, ObjRef, Vm, VmConfig, VmError};
 
 fn small_vm(budget: usize, grow: bool) -> Vm {
-    Vm::new(VmConfig::new().heap_budget_words(budget).grow_on_oom(grow))
+    Vm::new(VmConfig::builder().heap_budget(budget).grow_on_oom(grow).build())
 }
 
 #[test]
@@ -142,7 +142,7 @@ fn multiple_mutators_have_independent_stacks() {
 
 #[test]
 fn base_mode_rejects_assertion_api() {
-    let mut vm = Vm::new(VmConfig::new().mode(Mode::Base));
+    let mut vm = Vm::new(VmConfig::builder().mode(Mode::Base).build());
     let c = vm.register_class("T", &[]);
     let m = vm.main();
     let a = vm.alloc_rooted(m, c, 0, 0).unwrap();
@@ -177,7 +177,7 @@ fn stale_handles_are_checked_errors() {
 fn unknown_mutator_is_rejected() {
     let mut vm = small_vm(1 << 20, true);
     let c = vm.register_class("T", &[]);
-    let bogus = Vm::new(VmConfig::new()).spawn_mutator();
+    let bogus = Vm::new(VmConfig::builder().build()).spawn_mutator();
     assert!(matches!(
         vm.alloc(bogus, c, 0, 0),
         Err(VmError::NoSuchMutator(_))

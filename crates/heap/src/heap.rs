@@ -294,14 +294,26 @@ impl Heap {
         }
     }
 
-    /// Sets flag bits on the object behind `r`.
+    /// Sets flag bits on the object behind `r`. Takes `&self`: flags are
+    /// atomic so tracer workers can mark through a shared heap borrow.
     ///
     /// # Errors
     ///
     /// Reference-validity errors.
-    pub fn set_flag(&mut self, r: ObjRef, bits: Flags) -> Result<(), HeapError> {
-        self.get_mut(r)?.set_flags(bits);
+    pub fn set_flag(&self, r: ObjRef, bits: Flags) -> Result<(), HeapError> {
+        self.get(r)?.set_flags(bits);
         Ok(())
+    }
+
+    /// Atomically sets flag bits on the object behind `r`, returning the
+    /// flags held *before* the update (see
+    /// [`Object::fetch_set_flags`][crate::Object::fetch_set_flags]).
+    ///
+    /// # Errors
+    ///
+    /// Reference-validity errors.
+    pub fn fetch_set_flag(&self, r: ObjRef, bits: Flags) -> Result<Flags, HeapError> {
+        Ok(self.get(r)?.fetch_set_flags(bits))
     }
 
     /// Clears flag bits on the object behind `r`.
@@ -309,8 +321,8 @@ impl Heap {
     /// # Errors
     ///
     /// Reference-validity errors.
-    pub fn clear_flag(&mut self, r: ObjRef, bits: Flags) -> Result<(), HeapError> {
-        self.get_mut(r)?.clear_flags(bits);
+    pub fn clear_flag(&self, r: ObjRef, bits: Flags) -> Result<(), HeapError> {
+        self.get(r)?.clear_flags(bits);
         Ok(())
     }
 

@@ -55,7 +55,7 @@ mod stats;
 
 pub use class::{ClassId, ClassInfo, TypeRegistry};
 pub use error::HeapError;
-pub use flags::Flags;
+pub use flags::{AtomicFlags, Flags};
 pub use heap::{Heap, LiveIter};
 pub use object::{Object, HEADER_WORDS};
 pub use objref::ObjRef;

@@ -1,6 +1,6 @@
 //! In-heap object representation.
 
-use crate::{ClassId, Flags, ObjRef};
+use crate::{AtomicFlags, ClassId, Flags, ObjRef};
 
 /// Simulated per-object header cost in words (Jikes RVM uses a two-word
 /// header; the paper's assertion bits live in its spare bits).
@@ -9,9 +9,13 @@ pub const HEADER_WORDS: usize = 2;
 /// A heap object: header flags, a class id, reference fields, and a data
 /// payload of whole words (the analogue of Java primitive fields and
 /// primitive array storage, zero-initialized like Java's defaults).
+///
+/// The header flags are stored as [`AtomicFlags`] so the parallel mark
+/// phase can set mark/assertion bits through a shared `&Heap`; all flag
+/// operations therefore take `&self`.
 #[derive(Debug, Clone)]
 pub struct Object {
-    flags: Flags,
+    flags: AtomicFlags,
     class: ClassId,
     refs: Box<[ObjRef]>,
     data: Box<[u64]>,
@@ -20,7 +24,7 @@ pub struct Object {
 impl Object {
     pub(crate) fn new(class: ClassId, nrefs: usize, data_words: usize) -> Object {
         Object {
-            flags: Flags::empty(),
+            flags: AtomicFlags::empty(),
             class,
             refs: vec![ObjRef::NULL; nrefs].into_boxed_slice(),
             data: vec![0; data_words].into_boxed_slice(),
@@ -36,19 +40,27 @@ impl Object {
     /// Current header flags.
     #[inline]
     pub fn flags(&self) -> Flags {
-        self.flags
+        self.flags.load()
     }
 
     /// Sets the given flag bits.
     #[inline]
-    pub fn set_flags(&mut self, bits: Flags) {
-        self.flags |= bits;
+    pub fn set_flags(&self, bits: Flags) {
+        self.flags.fetch_set(bits);
+    }
+
+    /// Atomically sets `bits` and returns the flags held *before* the
+    /// update: during a parallel trace, the worker that sees the mark bit
+    /// clear in the return value is the object's unique visitor.
+    #[inline]
+    pub fn fetch_set_flags(&self, bits: Flags) -> Flags {
+        self.flags.fetch_set(bits)
     }
 
     /// Clears the given flag bits.
     #[inline]
-    pub fn clear_flags(&mut self, bits: Flags) {
-        self.flags = self.flags.without(bits);
+    pub fn clear_flags(&self, bits: Flags) {
+        self.flags.fetch_clear(bits);
     }
 
     /// Tests whether all of `bits` are set.
@@ -118,7 +130,7 @@ mod tests {
 
     #[test]
     fn flag_round_trip() {
-        let mut o = Object::new(class(), 0, 0);
+        let o = Object::new(class(), 0, 0);
         o.set_flags(Flags::MARK | Flags::DEAD);
         assert!(o.has_flags(Flags::MARK));
         assert!(o.has_flags(Flags::DEAD));

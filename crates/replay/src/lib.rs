@@ -22,7 +22,7 @@
 //!
 //! # fn main() -> Result<(), gc_assertions::VmError> {
 //! // Record a buggy run with path tracking off (cheap, "deployed").
-//! let mut rec = Recorder::new(VmConfig::new().path_tracking(false));
+//! let mut rec = Recorder::new(VmConfig::builder().path_tracking(false).build());
 //! let class = rec.register_class("Holder", &["f"]);
 //! let h = rec.alloc(class, 1, 0)?;
 //! rec.add_root(h)?;
@@ -35,7 +35,7 @@
 //! assert!(vm.violation_log()[0].path.is_empty(), "no path in production");
 //!
 //! // Replay in the lab with paths on: same violation, now with the path.
-//! let replayed = replay(&log, VmConfig::new().path_tracking(true))?;
+//! let replayed = replay(&log, VmConfig::builder().path_tracking(true).build())?;
 //! assert_eq!(replayed.violation_log().len(), 1);
 //! assert!(!replayed.violation_log()[0].path.is_empty());
 //! # Ok(())

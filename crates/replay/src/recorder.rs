@@ -458,7 +458,7 @@ mod tests {
 
     #[test]
     fn record_then_replay_same_config_is_identical() {
-        let mut rec = Recorder::new(VmConfig::new());
+        let mut rec = Recorder::new(VmConfig::builder().build());
         let c = rec.register_class("T", &["f"]);
         let a = rec.alloc(c, 1, 2).unwrap();
         rec.add_root(a).unwrap();
@@ -469,7 +469,7 @@ mod tests {
         rec.collect().unwrap();
         let (vm, log) = rec.finish();
 
-        let replayed = replay(&log, VmConfig::new()).unwrap();
+        let replayed = replay(&log, VmConfig::builder().build()).unwrap();
         assert_eq!(
             vm.heap_stats().allocations,
             replayed.heap_stats().allocations
@@ -485,7 +485,7 @@ mod tests {
     #[test]
     fn production_summary_lab_forensics() {
         // Record with paths off; replay with paths on and get the path.
-        let mut rec = Recorder::new(VmConfig::new().path_tracking(false));
+        let mut rec = Recorder::new(VmConfig::builder().path_tracking(false).build());
         let holder = rec.register_class("Holder", &["keep"]);
         let order = rec.register_class("Order", &[]);
         let h = rec.alloc(holder, 1, 0).unwrap();
@@ -498,7 +498,7 @@ mod tests {
         assert_eq!(vm.violation_log().len(), 1);
         assert!(vm.violation_log()[0].path.is_empty());
 
-        let lab = replay(&log, VmConfig::new().path_tracking(true)).unwrap();
+        let lab = replay(&log, VmConfig::builder().path_tracking(true).build()).unwrap();
         assert_eq!(lab.violation_log().len(), 1);
         let text = lab.violation_log()[0].render(lab.registry());
         assert!(text.contains("Holder"), "{text}");
@@ -507,7 +507,7 @@ mod tests {
 
     #[test]
     fn regions_and_mutators_replay() {
-        let mut rec = Recorder::new(VmConfig::new());
+        let mut rec = Recorder::new(VmConfig::builder().build());
         let c = rec.register_class("Req", &[]);
         let w = rec.spawn_mutator();
         rec.start_region_on(w).unwrap();
@@ -521,7 +521,7 @@ mod tests {
         let (vm, log) = rec.finish();
         assert!(vm.violation_log().is_empty());
 
-        let replayed = replay(&log, VmConfig::new()).unwrap();
+        let replayed = replay(&log, VmConfig::builder().build()).unwrap();
         assert!(replayed.violation_log().is_empty());
         assert_eq!(replayed.assertion_calls().region_objects, 1);
     }
@@ -530,18 +530,18 @@ mod tests {
     fn replay_under_base_mode_fails_on_assertions() {
         // Base mode has no assertion API — replaying an asserting log
         // under it reports the mismatch instead of panicking.
-        let mut rec = Recorder::new(VmConfig::new());
+        let mut rec = Recorder::new(VmConfig::builder().build());
         let c = rec.register_class("T", &[]);
         let a = rec.alloc(c, 0, 0).unwrap();
         rec.assert_dead(a).unwrap();
         let (_, log) = rec.finish();
-        let err = replay(&log, VmConfig::new().mode(gc_assertions::Mode::Base));
+        let err = replay(&log, VmConfig::builder().mode(gc_assertions::Mode::Base).build());
         assert!(err.is_err());
     }
 
     #[test]
     fn ownership_history_replays() {
-        let mut rec = Recorder::new(VmConfig::new());
+        let mut rec = Recorder::new(VmConfig::builder().build());
         let c = rec.register_class("C", &["e"]);
         let owner = rec.alloc(c, 1, 0).unwrap();
         rec.add_root(owner).unwrap();
@@ -558,7 +558,7 @@ mod tests {
         let (vm, log) = rec.finish();
         assert_eq!(vm.violation_log().len(), 1);
 
-        let replayed = replay(&log, VmConfig::new()).unwrap();
+        let replayed = replay(&log, VmConfig::builder().build()).unwrap();
         assert_eq!(replayed.violation_log().len(), 1);
     }
 }

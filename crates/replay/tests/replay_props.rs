@@ -36,7 +36,7 @@ proptest! {
     fn random_recordings_replay_identically(
         ops in proptest::collection::vec(op_strategy(), 1..80),
     ) {
-        let mut rec = Recorder::new(VmConfig::new().report_once(false));
+        let mut rec = Recorder::new(VmConfig::builder().report_once(false).build());
         let class = rec.register_class("N", &["a", "b", "c"]);
         // Track only live handles; operations target live objects, as a
         // real recorded program would.
@@ -84,7 +84,7 @@ proptest! {
         prop_assert_eq!(&decoded, &log);
 
         // Replay equivalence (same config).
-        let replayed = replay(&decoded, VmConfig::new().report_once(false)).unwrap();
+        let replayed = replay(&decoded, VmConfig::builder().report_once(false).build()).unwrap();
         prop_assert_eq!(vm.heap_stats().allocations, replayed.heap_stats().allocations);
         prop_assert_eq!(vm.collections(), replayed.collections());
         prop_assert_eq!(vm.heap().live_objects(), replayed.heap().live_objects());

@@ -58,7 +58,7 @@ impl Interpreter {
     /// with `config` commands before the first executing command).
     pub fn new() -> Interpreter {
         Interpreter {
-            config: VmConfig::new(),
+            config: VmConfig::builder().build(),
             vm: None,
             vars: HashMap::new(),
             classes: HashMap::new(),

@@ -228,7 +228,7 @@ mod tests {
         // (15,553 vs 695).
         let db = small();
         let mut vm =
-            gc_assertions::Vm::new(gc_assertions::VmConfig::new().heap_budget_words(db.budget));
+            gc_assertions::Vm::new(gc_assertions::VmConfig::builder().heap_budget(db.budget).build());
         db.run(&mut vm, true).unwrap();
         let calls = vm.assertion_calls();
         assert!(calls.owned_by > 5 * calls.dead);

@@ -162,7 +162,7 @@ mod tests {
     fn scratch_cache_bug_caught_by_assert_dead() {
         let l = small(Luindex::with_scratch_cache_bug());
         let mut vm =
-            gc_assertions::Vm::new(gc_assertions::VmConfig::new().heap_budget_words(l.budget));
+            gc_assertions::Vm::new(gc_assertions::VmConfig::builder().heap_budget(l.budget).build());
         l.run(&mut vm, true).unwrap();
         vm.collect().unwrap();
         let log = vm.take_violation_log();
@@ -188,7 +188,7 @@ mod tests {
         // owned — repeated GCs stay clean.
         let l = small(Luindex::default());
         let mut vm =
-            gc_assertions::Vm::new(gc_assertions::VmConfig::new().heap_budget_words(l.budget));
+            gc_assertions::Vm::new(gc_assertions::VmConfig::builder().heap_budget(l.budget).build());
         l.run(&mut vm, true).unwrap();
         for _ in 0..3 {
             let report = vm.collect().unwrap();

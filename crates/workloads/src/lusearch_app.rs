@@ -161,7 +161,7 @@ mod tests {
     fn per_thread_searchers_fire_instance_limit_with_count_32() {
         let l = small(Lusearch::default());
         let mut vm =
-            gc_assertions::Vm::new(gc_assertions::VmConfig::new().heap_budget_words(l.budget));
+            gc_assertions::Vm::new(gc_assertions::VmConfig::builder().heap_budget(l.budget).build());
         l.run(&mut vm, true).unwrap();
         vm.collect().unwrap();
         let log = vm.take_violation_log();

@@ -470,7 +470,7 @@ mod tests {
         });
         // Run manually to inspect the violation log.
         let mut vm = gc_assertions::Vm::new(
-            gc_assertions::VmConfig::new().heap_budget_words(jbb.budget),
+            gc_assertions::VmConfig::builder().heap_budget(jbb.budget).build(),
         );
         jbb.run(&mut vm, true).unwrap();
         vm.collect().unwrap();
@@ -491,7 +491,7 @@ mod tests {
     fn both_leaks_found_by_ownership_asserts() {
         let jbb = small(PseudoJbb::buggy_with_ownership_asserts());
         let mut vm = gc_assertions::Vm::new(
-            gc_assertions::VmConfig::new().heap_budget_words(jbb.budget),
+            gc_assertions::VmConfig::builder().heap_budget(jbb.budget).build(),
         );
         jbb.run(&mut vm, true).unwrap();
         vm.collect().unwrap();
@@ -512,7 +512,7 @@ mod tests {
             ..PseudoJbb::default()
         });
         let mut vm2 = gc_assertions::Vm::new(
-            gc_assertions::VmConfig::new().heap_budget_words(jbb2.budget),
+            gc_assertions::VmConfig::builder().heap_budget(jbb2.budget).build(),
         );
         jbb2.run(&mut vm2, true).unwrap();
         vm2.collect().unwrap();
@@ -545,7 +545,7 @@ mod tests {
             ..PseudoJbb::default()
         };
         let mut vm = gc_assertions::Vm::new(
-            gc_assertions::VmConfig::new().heap_budget_words(jbb.budget),
+            gc_assertions::VmConfig::builder().heap_budget(jbb.budget).build(),
         );
         jbb.run(&mut vm, true).unwrap();
         vm.collect().unwrap();

@@ -92,10 +92,11 @@ pub fn run_once(workload: &dyn Workload, config: ExpConfig) -> Result<Measuremen
         ExpConfig::Base => Mode::Base,
         _ => Mode::Instrumented,
     };
-    let vm_config = VmConfig::new()
-        .heap_budget_words(workload.heap_budget())
+    let vm_config = VmConfig::builder()
+        .heap_budget(workload.heap_budget())
         .grow_on_oom(true)
-        .mode(mode);
+        .mode(mode)
+        .build();
     run_once_config(workload, config, vm_config)
 }
 

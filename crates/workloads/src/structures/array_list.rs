@@ -16,7 +16,7 @@ use gc_assertions::{ClassId, MutatorId, ObjRef, Vm, VmError};
 /// use gca_workloads::structures::HArrayList;
 ///
 /// # fn main() -> Result<(), gc_assertions::VmError> {
-/// let mut vm = Vm::new(VmConfig::new());
+/// let mut vm = Vm::new(VmConfig::builder().build());
 /// let m = vm.main();
 /// let elem = vm.register_class("Elem", &[]);
 /// let list = HArrayList::new(&mut vm, m, 2)?;
@@ -226,7 +226,7 @@ mod tests {
     use gc_assertions::VmConfig;
 
     fn setup() -> (Vm, MutatorId, HArrayList, ClassId) {
-        let mut vm = Vm::new(VmConfig::new());
+        let mut vm = Vm::new(VmConfig::builder().build());
         let m = vm.main();
         let elem = vm.register_class("Elem", &[]);
         let list = HArrayList::new(&mut vm, m, 2).unwrap();
@@ -264,7 +264,7 @@ mod tests {
 
     #[test]
     fn growth_under_gc_pressure_preserves_elements() {
-        let mut vm = Vm::new(VmConfig::new().heap_budget_words(300).grow_on_oom(true));
+        let mut vm = Vm::new(VmConfig::builder().heap_budget(300).grow_on_oom(true).build());
         let m = vm.main();
         let elem = vm.register_class("Elem", &[]);
         let list = HArrayList::new(&mut vm, m, 1).unwrap();

@@ -33,7 +33,7 @@ const COUNT_WORD: usize = 0;
 /// use gca_workloads::structures::HBTree;
 ///
 /// # fn main() -> Result<(), gc_assertions::VmError> {
-/// let mut vm = Vm::new(VmConfig::new());
+/// let mut vm = Vm::new(VmConfig::builder().build());
 /// let m = vm.main();
 /// let order = vm.register_class("Order", &[]);
 /// let tree = HBTree::new(&mut vm, m)?;
@@ -401,7 +401,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup() -> (Vm, MutatorId, HBTree, ClassId) {
-        let mut vm = Vm::new(VmConfig::new());
+        let mut vm = Vm::new(VmConfig::builder().build());
         let m = vm.main();
         let order = vm.register_class("Order", &[]);
         let tree = HBTree::new(&mut vm, m).unwrap();
@@ -510,7 +510,7 @@ mod tests {
 
     #[test]
     fn insert_under_gc_pressure() {
-        let mut vm = Vm::new(VmConfig::new().heap_budget_words(2000).grow_on_oom(true));
+        let mut vm = Vm::new(VmConfig::builder().heap_budget(2000).grow_on_oom(true).build());
         let m = vm.main();
         let order = vm.register_class("Order", &[]);
         let tree = HBTree::new(&mut vm, m).unwrap();

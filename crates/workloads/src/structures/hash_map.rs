@@ -16,7 +16,7 @@ use gc_assertions::{ClassId, MutatorId, ObjRef, Vm, VmError};
 /// use gca_workloads::structures::HHashMap;
 ///
 /// # fn main() -> Result<(), gc_assertions::VmError> {
-/// let mut vm = Vm::new(VmConfig::new());
+/// let mut vm = Vm::new(VmConfig::builder().build());
 /// let m = vm.main();
 /// let elem = vm.register_class("Elem", &[]);
 /// let map = HHashMap::new(&mut vm, m, 4)?;
@@ -247,7 +247,7 @@ mod tests {
     use gc_assertions::VmConfig;
 
     fn setup() -> (Vm, MutatorId, HHashMap, ClassId) {
-        let mut vm = Vm::new(VmConfig::new());
+        let mut vm = Vm::new(VmConfig::builder().build());
         let m = vm.main();
         let elem = vm.register_class("Elem", &[]);
         let map = HHashMap::new(&mut vm, m, 4).unwrap();
@@ -318,7 +318,7 @@ mod tests {
 
     #[test]
     fn put_under_gc_pressure() {
-        let mut vm = Vm::new(VmConfig::new().heap_budget_words(400).grow_on_oom(true));
+        let mut vm = Vm::new(VmConfig::builder().heap_budget(400).grow_on_oom(true).build());
         let m = vm.main();
         let elem = vm.register_class("Elem", &[]);
         let map = HHashMap::new(&mut vm, m, 2).unwrap();

@@ -14,7 +14,7 @@ use gc_assertions::{ClassId, MutatorId, ObjRef, Vm, VmError};
 /// use gca_workloads::structures::HList;
 ///
 /// # fn main() -> Result<(), gc_assertions::VmError> {
-/// let mut vm = Vm::new(VmConfig::new());
+/// let mut vm = Vm::new(VmConfig::builder().build());
 /// let m = vm.main();
 /// let elem = vm.register_class("Elem", &[]);
 /// let list = HList::new(&mut vm, m)?;
@@ -190,7 +190,7 @@ mod tests {
     use gc_assertions::VmConfig;
 
     fn setup() -> (Vm, MutatorId, HList, ClassId) {
-        let mut vm = Vm::new(VmConfig::new());
+        let mut vm = Vm::new(VmConfig::builder().build());
         let m = vm.main();
         let elem = vm.register_class("Elem", &[]);
         let list = HList::new(&mut vm, m).unwrap();
@@ -258,7 +258,7 @@ mod tests {
     fn push_survives_gc_pressure() {
         // Tiny heap: pushes trigger collections mid-operation; the
         // internal pinning must keep the half-linked value alive.
-        let mut vm = Vm::new(VmConfig::new().heap_budget_words(200).grow_on_oom(true));
+        let mut vm = Vm::new(VmConfig::builder().heap_budget(200).grow_on_oom(true).build());
         let m = vm.main();
         let elem = vm.register_class("Elem", &[]);
         let list = HList::new(&mut vm, m).unwrap();

@@ -126,7 +126,7 @@ mod tests {
     fn hidden_outer_reference_pins_swapped_objects() {
         let w = SwapLeak::default();
         let mut vm =
-            gc_assertions::Vm::new(gc_assertions::VmConfig::new().heap_budget_words(w.budget));
+            gc_assertions::Vm::new(gc_assertions::VmConfig::builder().heap_budget(w.budget).build());
         w.run(&mut vm, true).unwrap();
         vm.collect().unwrap();
         let log = vm.take_violation_log();

@@ -32,7 +32,7 @@ proptest! {
 
     #[test]
     fn hash_map_matches_std_model(ops in map_ops()) {
-        let mut vm = Vm::new(VmConfig::new());
+        let mut vm = Vm::new(VmConfig::builder().build());
         let m = vm.main();
         let elem = vm.register_class("Elem", &[]);
         let map = HHashMap::new(&mut vm, m, 2).unwrap();
@@ -74,7 +74,7 @@ proptest! {
 
     #[test]
     fn btree_matches_std_model(ops in map_ops()) {
-        let mut vm = Vm::new(VmConfig::new());
+        let mut vm = Vm::new(VmConfig::builder().build());
         let m = vm.main();
         let elem = vm.register_class("Elem", &[]);
         let tree = HBTree::new(&mut vm, m).unwrap();
@@ -115,7 +115,7 @@ proptest! {
         keys in proptest::collection::vec(0u64..10_000, 1..400),
         remove_mask in proptest::collection::vec(any::<bool>(), 400),
     ) {
-        let mut vm = Vm::new(VmConfig::new().heap_budget_words(1 << 20));
+        let mut vm = Vm::new(VmConfig::builder().heap_budget(1 << 20).build());
         let m = vm.main();
         let elem = vm.register_class("Elem", &[]);
         let tree = HBTree::new(&mut vm, m).unwrap();
@@ -156,7 +156,7 @@ proptest! {
             1..100,
         )
     ) {
-        let mut vm = Vm::new(VmConfig::new());
+        let mut vm = Vm::new(VmConfig::builder().build());
         let m = vm.main();
         let elem = vm.register_class("Elem", &[]);
         let list = HList::new(&mut vm, m).unwrap();

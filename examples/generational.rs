@@ -9,10 +9,11 @@ use gc_assertions::{Vm, VmConfig};
 
 fn main() -> Result<(), gc_assertions::VmError> {
     let mut vm = Vm::new(
-        VmConfig::new()
-            .heap_budget_words(4_096)
+        VmConfig::builder()
+            .heap_budget(4_096)
             .grow_on_oom(true)
-            .generational(8), // a major only every 8 minors
+            .generational(8)
+            .build(), // a major only every 8 minors
     );
     let c = vm.register_class("Node", &["next", "pinned"]);
     let m = vm.main();
@@ -49,7 +50,7 @@ fn main() -> Result<(), gc_assertions::VmError> {
         vm.gc_stats().total_gc_time
     );
     println!(
-        "\nWith the paper's full-heap MarkSweep (VmConfig::new(), no .generational()),\n\
+        "\nWith the paper's full-heap MarkSweep (VmConfig::builder().build(), no .generational()),\n\
          the very first collection would have reported it."
     );
     for v in vm.violation_log().iter().take(1) {

@@ -16,7 +16,7 @@ use gca_workloads::runner::Workload;
 fn main() -> Result<(), gc_assertions::VmError> {
     // Run the buggy benchmark (orders leak into the orderTable B-trees).
     let jbb = PseudoJbb::buggy_with_dead_asserts();
-    let mut vm = Vm::new(VmConfig::new().heap_budget_words(jbb.heap_budget()));
+    let mut vm = Vm::new(VmConfig::builder().heap_budget(jbb.heap_budget()).build());
     jbb.run(&mut vm, false)?;
 
     // Snapshot the live heap as an offline tool would.

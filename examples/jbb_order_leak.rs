@@ -14,7 +14,7 @@ fn main() -> Result<(), gc_assertions::VmError> {
     // All three SPEC JBB2000 bugs present, assert-dead instrumentation in
     // the destructors — exactly the paper's debugging session.
     let jbb = PseudoJbb::buggy_with_dead_asserts();
-    let mut vm = Vm::new(VmConfig::new().heap_budget_words(jbb.heap_budget()));
+    let mut vm = Vm::new(VmConfig::builder().heap_budget(jbb.heap_budget()).build());
     jbb.run(&mut vm, true)?;
     vm.collect()?;
 
@@ -46,7 +46,7 @@ fn main() -> Result<(), gc_assertions::VmError> {
         style: JbbAssertions::Dead,
         ..jbb.clone()
     };
-    let mut vm2 = Vm::new(VmConfig::new().heap_budget_words(fixed.heap_budget()));
+    let mut vm2 = Vm::new(VmConfig::builder().heap_budget(fixed.heap_budget()).build());
     fixed.run(&mut vm2, true)?;
     vm2.collect()?;
     println!(

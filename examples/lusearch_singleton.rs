@@ -11,7 +11,7 @@ use gca_workloads::runner::Workload;
 
 fn main() -> Result<(), gc_assertions::VmError> {
     let app = Lusearch::default(); // one IndexSearcher per search thread
-    let mut vm = Vm::new(VmConfig::new().heap_budget_words(app.heap_budget()));
+    let mut vm = Vm::new(VmConfig::builder().heap_budget(app.heap_budget()).build());
     app.run(&mut vm, true)?;
     vm.collect()?;
 
@@ -41,7 +41,7 @@ fn main() -> Result<(), gc_assertions::VmError> {
 
     // The documented fix: share one searcher across all threads.
     let fixed = Lusearch::fixed();
-    let mut vm2 = Vm::new(VmConfig::new().heap_budget_words(fixed.heap_budget()));
+    let mut vm2 = Vm::new(VmConfig::builder().heap_budget(fixed.heap_budget()).build());
     fixed.run(&mut vm2, true)?;
     vm2.collect()?;
     println!(

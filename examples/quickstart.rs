@@ -10,7 +10,7 @@ use gc_assertions::{ObjRef, Vm, VmConfig};
 fn main() -> Result<(), gc_assertions::VmError> {
     // A VM with default settings: instrumented collector, path tracking,
     // log-and-continue reactions.
-    let mut vm = Vm::new(VmConfig::new());
+    let mut vm = Vm::new(VmConfig::builder().build());
     let m = vm.main();
 
     // Register some classes and build a tiny object graph:

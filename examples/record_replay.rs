@@ -10,7 +10,7 @@ use gca_replay::{decode, encode, replay, Recorder};
 
 fn main() -> Result<(), gc_assertions::VmError> {
     // --- production: path tracking OFF (cheapest configuration) -------
-    let mut rec = Recorder::new(VmConfig::new().path_tracking(false));
+    let mut rec = Recorder::new(VmConfig::builder().path_tracking(false).build());
     let registry = rec.register_class("SessionRegistry", &["head"]);
     let session = rec.register_class("Session", &["next"]);
 
@@ -41,7 +41,7 @@ fn main() -> Result<(), gc_assertions::VmError> {
 
     // --- lab: identical history, full forensics -----------------------
     let events = decode(&wire).expect("wire format intact");
-    let lab_vm = replay(&events, VmConfig::new().path_tracking(true))?;
+    let lab_vm = replay(&events, VmConfig::builder().path_tracking(true).build())?;
     println!("\nlab replay: {} violation(s), now with paths:", lab_vm.violation_log().len());
     for v in lab_vm.violation_log() {
         println!("\n{}", v.render(lab_vm.registry()));

@@ -40,7 +40,7 @@ fn handle_connection(
 }
 
 fn main() -> Result<(), gc_assertions::VmError> {
-    let mut vm = Vm::new(VmConfig::new().heap_budget_words(64 * 1024));
+    let mut vm = Vm::new(VmConfig::builder().heap_budget(64 * 1024).build());
     let request_class = vm.register_class("Request", &["body"]);
     let buffer_class = vm.register_class("Buffer", &[]);
 

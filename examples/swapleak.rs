@@ -16,7 +16,7 @@ use gca_workloads::swapleak::SwapLeak;
 
 fn main() -> Result<(), gc_assertions::VmError> {
     let buggy = SwapLeak::default();
-    let mut vm = Vm::new(VmConfig::new().heap_budget_words(buggy.heap_budget()));
+    let mut vm = Vm::new(VmConfig::builder().heap_budget(buggy.heap_budget()).build());
     buggy.run(&mut vm, true)?;
     vm.collect()?;
 
@@ -35,7 +35,7 @@ fn main() -> Result<(), gc_assertions::VmError> {
 
     // The fix: make Rep a static inner class (no outer reference).
     let fixed = SwapLeak::fixed();
-    let mut vm2 = Vm::new(VmConfig::new().heap_budget_words(fixed.heap_budget()));
+    let mut vm2 = Vm::new(VmConfig::builder().heap_budget(fixed.heap_budget()).build());
     fixed.run(&mut vm2, true)?;
     vm2.collect()?;
     println!(

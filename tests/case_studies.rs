@@ -9,7 +9,7 @@ use gca_workloads::runner::{run_once, ExpConfig, Workload};
 use gca_workloads::swapleak::SwapLeak;
 
 fn run_collect(w: &dyn Workload) -> (Vm, Vec<gc_assertions::Violation>) {
-    let mut vm = Vm::new(VmConfig::new().heap_budget_words(w.heap_budget()));
+    let mut vm = Vm::new(VmConfig::builder().heap_budget(w.heap_budget()).build());
     w.run(&mut vm, true).unwrap();
     vm.collect().unwrap();
     let log = vm.take_violation_log();

@@ -89,7 +89,7 @@ fn cork_needs_sustained_growth_gc_assertions_fire_first_cycle() {
     // A single-shot leak: one object becomes unreachable-from-owner once.
     // Cork's growth differencing never fires (volume is flat); the GC
     // assertion reports it at the first collection.
-    let mut vm = gc_assertions::Vm::new(gc_assertions::VmConfig::new());
+    let mut vm = gc_assertions::Vm::new(gc_assertions::VmConfig::builder().build());
     let m = vm.main();
     let owner_cls = vm.register_class("Owner", &["f"]);
     let item_cls = vm.register_class("Item", &[]);
@@ -118,7 +118,7 @@ fn cork_needs_sustained_growth_gc_assertions_fire_first_cycle() {
 fn eager_catches_transients_gc_assertions_miss() {
     // The honest flip side: eager checking catches a violated-then-fixed
     // invariant; the GC assertion (checked only at collections) does not.
-    let mut vm = gc_assertions::Vm::new(gc_assertions::VmConfig::new());
+    let mut vm = gc_assertions::Vm::new(gc_assertions::VmConfig::builder().build());
     let m = vm.main();
     let c = vm.register_class("C", &["f"]);
     let owner = vm.alloc_rooted(m, c, 1, 0).unwrap();

@@ -17,7 +17,7 @@ struct Server {
 
 impl Server {
     fn new(workers: usize) -> Server {
-        let mut vm = Vm::new(VmConfig::new().heap_budget_words(48 * 1024));
+        let mut vm = Vm::new(VmConfig::builder().heap_budget(48 * 1024).build());
         let request_class = vm.register_class("Request", &["session"]);
         let buffer_class = vm.register_class("Buffer", &[]);
         let session_class = vm.register_class("Session", &[]);

@@ -23,10 +23,11 @@ struct Torture {
 
 impl Torture {
     fn new(seed: u64, generational: bool) -> Torture {
-        let mut config = VmConfig::new()
-            .heap_budget_words(6_000)
+        let mut config = VmConfig::builder()
+            .heap_budget(6_000)
             .grow_on_oom(true)
-            .report_once(true);
+            .report_once(true)
+            .build();
         if generational {
             config = config.generational(4);
         }
@@ -215,10 +216,11 @@ fn torture_base_mode_collects_correctly() {
     // Base mode (no assertion engine): the same random mutation pattern
     // must keep rooted objects alive and accounting consistent.
     let mut vm = Vm::new(
-        VmConfig::new()
-            .heap_budget_words(4_000)
+        VmConfig::builder()
+            .heap_budget(4_000)
             .grow_on_oom(true)
-            .mode(Mode::Base),
+            .mode(Mode::Base)
+            .build(),
     );
     let c = vm.register_class("T", &["a", "b"]);
     let m = vm.main();

@@ -1,0 +1,221 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendors the
+//! subset the bench suite uses: [`Criterion::benchmark_group`], group
+//! knobs (`sample_size`, `warm_up_time`, `measurement_time`),
+//! [`BenchmarkGroup::bench_function`] with [`Bencher::iter`] /
+//! [`Bencher::iter_custom`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Instead of criterion's full statistical machinery it runs one warm-up
+//! iteration plus `sample_size` measured samples and prints
+//! `name  min …  median …` lines — enough to compare configurations
+//! (the ablation benches only need relative numbers).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimization
+/// barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepts-and-ignores CLI configuration (cargo passes `--bench`).
+    #[must_use]
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Single benchmark outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_function(id, f);
+        group.finish();
+    }
+
+    /// Upstream prints a summary here; nothing to do.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; the stub always warms up with exactly
+    /// one un-measured iteration.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the stub measures `sample_size`
+    /// single-iteration samples regardless of wall-clock budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Throughput annotation; accepted and ignored.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its min/median sample time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // One warm-up pass, unmeasured.
+        let mut warm = Bencher {
+            iters: 1,
+            measured: Duration::ZERO,
+        };
+        f(&mut warm);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: 1,
+                measured: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.measured);
+        }
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        println!(
+            "{}/{}  min {:>12.3?}  median {:>12.3?}  ({} samples)",
+            self.name, id, min, median, self.sample_size
+        );
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Throughput annotations (accepted, unused).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-sample measurement handle passed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    measured: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.measured = start.elapsed();
+    }
+
+    /// Lets the closure time itself: it receives the iteration count and
+    /// returns the measured duration (used to time GC inside a run).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.measured = f(self.iters);
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring upstream's
+/// macro shape (the `config = ...` form is accepted and ignored).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running each [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_measures_something() {
+        let mut b = Bencher {
+            iters: 3,
+            measured: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn iter_custom_uses_returned_duration() {
+        let mut b = Bencher {
+            iters: 5,
+            measured: Duration::ZERO,
+        };
+        b.iter_custom(|iters| Duration::from_nanos(iters * 10));
+        assert_eq!(b.measured, Duration::from_nanos(50));
+    }
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut runs = 0;
+        group.bench_function("b", |b| {
+            runs += 1;
+            b.iter(|| 1 + 1)
+        });
+        group.finish();
+        assert_eq!(runs, 3, "1 warm-up + 2 samples");
+    }
+}

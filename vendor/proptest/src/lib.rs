@@ -1,0 +1,662 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendors the
+//! subset of proptest 1.x this workspace uses: the [`proptest!`] macro
+//! with `#![proptest_config(...)]`, [`Strategy`] with `prop_map` /
+//! `prop_flat_map`, `any::<T>()`, integer-range and simple string-regex
+//! strategies, [`collection::vec`], [`prop_oneof!`] (weighted and
+//! unweighted), `Just`, and the `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted for a test-only
+//! stand-in:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs'
+//!   `Debug` rendering (when available via the macro) and the case seed;
+//!   cases are deterministic per (test, case index) so a failure
+//!   reproduces exactly on rerun.
+//! * String "regex" strategies support the literal-class forms the
+//!   workspace uses (`.{m,n}`, `[chars]{m,n}` with ranges like `A-Z`);
+//!   anything fancier panics loudly rather than silently misgenerating.
+
+#![allow(clippy::type_complexity)]
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Test-runner types ([`Config`] is re-exported as `ProptestConfig`).
+pub mod test_runner {
+    /// How many cases to run, and everything else upstream puts here
+    /// (unused knobs accepted-and-ignored keep call sites compiling).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+}
+
+/// Deterministic per-case random source handed to strategies.
+#[derive(Debug)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Seeded source; the `proptest!` macro derives the seed from the
+    /// test name and case index.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng(SmallRng::seed_from_u64(seed))
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            self.0.gen_range(0..n)
+        }
+    }
+}
+
+/// A source of values of one type. Upstream separates `Strategy` from
+/// `ValueTree` (the shrinkable intermediate); with shrinking gone the
+/// strategy generates values directly.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// from it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Keeps only values satisfying `f` (retries; panics after too many
+    /// rejections, mirroring upstream's global rejection cap).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            source: self,
+            f,
+            whence,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: std::rc::Rc::new(move |rng| self.new_value(rng)),
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.source.new_value(rng)).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug)]
+pub struct Filter<S, F> {
+    source: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1024 {
+            let v = self.source.new_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1024 candidates: {}", self.whence);
+    }
+}
+
+/// Type-erased strategy (see [`Strategy::boxed`]).
+#[derive(Clone)]
+pub struct BoxedStrategy<V> {
+    inner: std::rc::Rc<dyn Fn(&mut TestRng) -> V>,
+}
+
+impl<V> fmt::Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<V: fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        (self.inner)(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform values of `T` (see [`any`]).
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for a type: uniform over the whole domain.
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.0.gen_bool(0.5)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// String-literal "regex" strategies: supports the forms this workspace
+/// uses — `.{m,n}` and `[class]{m,n}` with `a-z`-style ranges and literal
+/// members, plus plain literals. Unsupported syntax panics.
+impl Strategy for &str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        match parse_simple_regex(self) {
+            None => (*self).to_string(), // literal pattern
+            Some((alphabet, lo, hi)) => {
+                let len = lo + rng.below(hi - lo + 1);
+                (0..len)
+                    .map(|_| alphabet[rng.below(alphabet.len())])
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Parses `.{m,n}` / `[class]{m,n}` into `Some((alphabet, min, max))`;
+/// `None` means the pattern is a plain literal.
+fn parse_simple_regex(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let chars: Vec<char> = pat.chars().collect();
+    let (alphabet, rest) = match chars.first() {
+        Some('.') => {
+            // Printable ASCII; close enough to upstream's "any char" for
+            // parser-fuzzing purposes.
+            ((b' '..=b'~').map(char::from).collect::<Vec<_>>(), &chars[1..])
+        }
+        Some('[') => {
+            let close = chars
+                .iter()
+                .position(|&c| c == ']')
+                .unwrap_or_else(|| panic!("unclosed [ in pattern {pat:?}"));
+            let mut alpha = Vec::new();
+            let class = &chars[1..close];
+            let mut i = 0;
+            while i < class.len() {
+                if i + 2 < class.len() && class[i + 1] == '-' {
+                    let (a, b) = (class[i] as u32, class[i + 2] as u32);
+                    assert!(a <= b, "bad range in pattern {pat:?}");
+                    for c in a..=b {
+                        alpha.push(char::from_u32(c).unwrap());
+                    }
+                    i += 3;
+                } else {
+                    alpha.push(class[i]);
+                    i += 1;
+                }
+            }
+            assert!(!alpha.is_empty(), "empty class in pattern {pat:?}");
+            (alpha, &chars[close + 1..])
+        }
+        _ => {
+            // No metacharacters: treat the whole pattern as a literal.
+            assert!(
+                !pat.contains(['{', '}', '[', ']', '*', '+', '?', '(', ')', '|', '\\']),
+                "unsupported regex pattern {pat:?} (stub proptest supports \
+                 '.{{m,n}}', '[class]{{m,n}}', and literals)"
+            );
+            return None;
+        }
+    };
+    let rest: String = rest.iter().collect();
+    if rest.is_empty() {
+        return Some((alphabet, 1, 1));
+    }
+    let inner = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition in pattern {pat:?}"));
+    let (lo, hi) = match inner.split_once(',') {
+        Some((a, b)) => (
+            a.parse().unwrap_or_else(|_| panic!("bad repeat in {pat:?}")),
+            b.parse().unwrap_or_else(|_| panic!("bad repeat in {pat:?}")),
+        ),
+        None => {
+            let n = inner
+                .parse()
+                .unwrap_or_else(|_| panic!("bad repeat in {pat:?}"));
+            (n, n)
+        }
+    };
+    assert!(lo <= hi, "bad repetition bounds in pattern {pat:?}");
+    Some((alphabet, lo, hi))
+}
+
+/// Boxes a strategy branch for [`Union`]; used by [`prop_oneof!`] to get
+/// a uniform closure type without inference-placeholder casts.
+pub fn boxed_branch<S: Strategy + 'static>(
+    s: S,
+) -> Box<dyn Fn(&mut TestRng) -> S::Value> {
+    Box::new(move |rng| s.new_value(rng))
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{fmt, Strategy, TestRng};
+
+    /// Sizes accepted by [`vec`]: a fixed `usize` or a `usize` range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of values from `element`, sized by `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi_inclusive - self.size.lo + 1;
+            let len = self.size.lo + rng.below(span);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Weighted union of same-valued strategies (built by [`prop_oneof!`]).
+pub struct Union<V> {
+    branches: Vec<(u32, Box<dyn Fn(&mut TestRng) -> V>)>,
+    total: u64,
+}
+
+impl<V> fmt::Debug for Union<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Union({} branches)", self.branches.len())
+    }
+}
+
+impl<V> Union<V> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new(branches: Vec<(u32, Box<dyn Fn(&mut TestRng) -> V>)>) -> Union<V> {
+        let total: u64 = branches.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof: all weights zero");
+        Union { branches, total }
+    }
+}
+
+impl<V: fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.0.gen_range(0..self.total);
+        for (w, f) in &self.branches {
+            let w = u64::from(*w);
+            if pick < w {
+                return f(rng);
+            }
+            pick -= w;
+        }
+        unreachable!()
+    }
+}
+
+/// Deterministic seed for one test case: FNV-1a over the test name mixed
+/// with the case index (so every `(test, case)` pair reproduces exactly).
+pub fn case_seed(test_name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Everything a test file needs via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, Strategy,
+    };
+}
+
+/// Defines property tests. Supports the subset of upstream syntax this
+/// workspace uses: an optional `#![proptest_config(expr)]` header and
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::from_seed(
+                        $crate::case_seed(concat!(module_path!(), "::", stringify!($name)), case),
+                    );
+                    $(
+                        let $pat = $crate::Strategy::new_value(&($strat), &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Skips the case when the assumption fails (upstream rejects-and-
+/// regenerates; skipping is equivalent for generation-only testing).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Weighted or unweighted choice among strategies with a common value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight, $crate::boxed_branch($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::boxed_branch($strat)),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_and_any_generate_in_domain() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let v = Strategy::new_value(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let _: bool = Strategy::new_value(&any::<bool>(), &mut rng);
+            let t = Strategy::new_value(&(0u32..4, any::<bool>()), &mut rng);
+            assert!(t.0 < 4);
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_forms() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..50 {
+            let v = Strategy::new_value(&crate::collection::vec(0u8..10, 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+            let w = Strategy::new_value(&crate::collection::vec(any::<bool>(), 7usize), &mut rng);
+            assert_eq!(w.len(), 7);
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_their_own_grammar() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..100 {
+            let s = Strategy::new_value(&"[a-c-]{1,4}", &mut rng);
+            assert!((1..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | '-')), "{s:?}");
+            let t = Strategy::new_value(&".{0,6}", &mut rng);
+            assert!(t.len() <= 6);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_honors_weights_roughly() {
+        let mut rng = TestRng::from_seed(4);
+        let s = prop_oneof![
+            9 => Just(true),
+            1 => Just(false),
+        ];
+        let trues = (0..1000)
+            .filter(|_| Strategy::new_value(&s, &mut rng))
+            .count();
+        assert!(trues > 750, "weighted pick looks broken: {trues}");
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(crate::case_seed("x", 0), crate::case_seed("x", 0));
+        assert_ne!(crate::case_seed("x", 0), crate::case_seed("x", 1));
+        assert_ne!(crate::case_seed("x", 0), crate::case_seed("y", 0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_runs(xs in crate::collection::vec(0u32..100, 0..8), b in any::<bool>()) {
+            prop_assert!(xs.len() < 8);
+            prop_assert_eq!(u32::from(b) < 2, true);
+            prop_assume!(!xs.is_empty());
+            prop_assert!(xs.iter().all(|&x| x < 100));
+        }
+    }
+}
