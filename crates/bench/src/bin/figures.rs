@@ -3,16 +3,20 @@
 //! ```text
 //! figures [--fig1] [--fig2] [--fig3] [--fig4] [--fig5]
 //!         [--ablations] [--baselines] [--all]
+//!         [--telemetry PATH]
 //!         [--reps N] [--scale F]
 //! ```
 //!
 //! With no figure flags, `--all` is assumed. `--reps` (default 3) sets
 //! runs per cell (median taken); `--scale` (default 1.0) shrinks workload
-//! iteration counts for quick runs.
+//! iteration counts for quick runs. `--telemetry PATH` is its own mode:
+//! it runs the full suite once with telemetry recording enabled and
+//! writes one JSON-lines record per GC cycle (tagged with the benchmark
+//! name) to PATH.
 
 use gca_bench::{
     ablation_path_tracking, baseline_detectors, baseline_eager, baseline_generational,
-    baseline_probes, figure1, figures_2_3, figures_4_5, summarize_infra,
+    baseline_probes, figure1, figures_2_3, figures_4_5, summarize_infra, telemetry_jsonl,
 };
 
 struct Args {
@@ -21,6 +25,7 @@ struct Args {
     fig45: bool,
     ablations: bool,
     baselines: bool,
+    telemetry: Option<String>,
     reps: usize,
     scale: f64,
 }
@@ -32,6 +37,7 @@ fn parse_args() -> Args {
         fig45: false,
         ablations: false,
         baselines: false,
+        telemetry: None,
         reps: 3,
         scale: 1.0,
     };
@@ -67,6 +73,10 @@ fn parse_args() -> Args {
                 args.baselines = true;
                 any = true;
             }
+            "--telemetry" => {
+                args.telemetry = Some(it.next().expect("--telemetry takes an output path"));
+                any = true;
+            }
             "--reps" => {
                 args.reps = it
                     .next()
@@ -97,6 +107,14 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+
+    if let Some(path) = &args.telemetry {
+        let jsonl = telemetry_jsonl(args.scale);
+        let records = jsonl.lines().count();
+        std::fs::write(path, &jsonl).expect("writing the telemetry JSONL file");
+        println!("telemetry: wrote {records} GC-cycle records to {path}");
+        println!();
+    }
 
     if args.fig1 {
         println!("==============================================================");

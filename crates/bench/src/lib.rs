@@ -257,6 +257,30 @@ pub fn figures_4_5(reps: usize, scale: f64) -> Vec<AssertRow> {
     rows
 }
 
+/// Runs the whole suite once with telemetry recording enabled and returns
+/// the per-benchmark JSON-lines export: every DaCapo/SPECjvm98 analogue
+/// under the Infrastructure configuration, plus `_209_db` and pseudojbb
+/// under WithAssertions (so the artifact carries non-zero per-assertion
+/// overhead attribution). One record per GC cycle, tagged with the
+/// benchmark name. `scale` shrinks iteration counts as for the figures.
+pub fn telemetry_jsonl(scale: f64) -> String {
+    let workloads: Vec<suite::SyntheticWorkload> = suite::full_suite()
+        .into_iter()
+        .map(|w| scaled(w, scale))
+        .collect();
+    let mut out = suite::suite_telemetry_jsonl(&workloads, ExpConfig::Infrastructure)
+        .expect("suite workloads are infallible");
+    let db = scaled_db(scale);
+    let jbb = scaled_jbb(scale);
+    for w in [&db as &dyn Workload, &jbb as &dyn Workload] {
+        let (_, telemetry) =
+            gca_workloads::runner::run_once_telemetry(w, ExpConfig::WithAssertions)
+                .expect("case-study workloads are infallible");
+        out.push_str(&telemetry.to_jsonl(Some(w.name())));
+    }
+    out
+}
+
 /// Geometric-mean overheads across Figure 2/3 rows:
 /// `(total%, mutator%, gc%)` — the paper reports +2.75%, +1.12%, +13.36%.
 pub fn summarize_infra(rows: &[InfraRow]) -> (f64, f64, f64) {

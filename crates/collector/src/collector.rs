@@ -84,6 +84,7 @@ impl Collector {
         let t = Instant::now();
         hooks.pre_root_phase(heap, &mut self.tracer)?;
         let pre_root = t.elapsed();
+        let pre_root_edges = self.tracer.edges_traced();
 
         let t = Instant::now();
         for &r in roots {
@@ -105,6 +106,7 @@ impl Collector {
             sweep: sweep_time,
             objects_marked: self.tracer.objects_marked(),
             edges_traced: self.tracer.edges_traced(),
+            pre_root_edges,
             objects_swept,
             words_swept,
         };
@@ -265,9 +267,10 @@ mod tests {
         heap.set_ref_field(unrooted, 0, child).unwrap();
         let mut gc = Collector::new();
         let mut hooks = Premarker { target: unrooted };
-        gc.collect(&mut heap, &[], &mut hooks).unwrap();
+        let cycle = gc.collect(&mut heap, &[], &mut hooks).unwrap();
         assert!(!heap.is_valid(unrooted));
         assert!(heap.is_valid(child));
+        assert_eq!(cycle.pre_root_edges, 1, "the unrooted->child edge");
         // Next collection reclaims the floating garbage.
         gc.collect(&mut heap, &[], &mut NoHooks).unwrap();
         assert!(!heap.is_valid(child));

@@ -33,6 +33,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use gca_heap::{Flags, Heap, HeapError, ObjRef};
 
@@ -118,14 +119,20 @@ impl ParVisitor for NoParVisitor {
     fn visit_marked(&mut self, _h: &Heap, _o: ObjRef, _p: Flags, _i: &WorkItem) {}
 }
 
-/// Totals from one parallel mark phase (summed over workers).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Totals from one parallel mark phase (summed over workers, except
+/// `worker_busy` which stays per-worker).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ParMarkStats {
     /// Objects newly marked.
     pub objects_marked: u64,
     /// Reference edges traversed (each non-null field of each descended
     /// object; seed items do not count, matching the sequential tracer).
     pub edges_traced: u64,
+    /// Wall time each worker spent inside its mark loop, indexed by
+    /// worker. All entries span the whole phase (workers park in the
+    /// idle-wait loop rather than exiting early), so the vector is a
+    /// per-worker busy profile telemetry can attribute skew to.
+    pub worker_busy: Vec<Duration>,
 }
 
 /// Appends a [`WorkItem`] for every non-null reference field of `parent`,
@@ -207,10 +214,13 @@ pub fn mark_parallel<V: ParVisitor>(
                     s.spawn(move || worker_loop(heap, me, deques, idle, done, error, visitor))
                 })
                 .collect();
+            // Joining in spawn order keeps `worker_busy[i]` aligned with
+            // worker `i`.
             for h in handles {
                 let s = h.join().expect("mark worker panicked");
                 totals.objects_marked += s.objects_marked;
                 totals.edges_traced += s.edges_traced;
+                totals.worker_busy.extend(s.worker_busy);
             }
         });
         totals
@@ -235,6 +245,7 @@ fn worker_loop<V: ParVisitor>(
     let workers = deques.len();
     let mut local: Vec<WorkItem> = Vec::new();
     let mut stats = ParMarkStats::default();
+    let started = Instant::now();
 
     'run: loop {
         // 1. Acquire an item: private stack, then own deque, then theft.
@@ -314,6 +325,7 @@ fn worker_loop<V: ParVisitor>(
         }
     }
 
+    stats.worker_busy.push(started.elapsed());
     stats
 }
 
@@ -460,6 +472,7 @@ mod tests {
             assert_eq!(stats.objects_marked, 364, "workers={workers}");
             assert_eq!(stats.edges_traced, 363, "workers={workers}");
             assert_eq!(marked_count(&heap), 364, "workers={workers}");
+            assert_eq!(stats.worker_busy.len(), workers, "one busy span per worker");
         }
     }
 

@@ -19,6 +19,9 @@ pub struct CycleStats {
     pub objects_marked: u64,
     /// Reference edges traversed.
     pub edges_traced: u64,
+    /// The subset of `edges_traced` traversed during the hooks' pre-root
+    /// phase (ownership-assertion work; zero without an engine attached).
+    pub pre_root_edges: u64,
     /// Objects reclaimed by the sweep.
     pub objects_swept: u64,
     /// Words reclaimed by the sweep.
@@ -63,6 +66,8 @@ pub struct GcStats {
     pub objects_marked: u64,
     /// Total edges traced across all cycles.
     pub edges_traced: u64,
+    /// Total pre-root (ownership) phase edges across all cycles.
+    pub pre_root_edges: u64,
     /// Total objects reclaimed across all cycles.
     pub objects_swept: u64,
     /// Total words reclaimed across all cycles.
@@ -84,6 +89,7 @@ impl GcStats {
         self.sweep_time += cycle.sweep;
         self.objects_marked += cycle.objects_marked;
         self.edges_traced += cycle.edges_traced;
+        self.pre_root_edges += cycle.pre_root_edges;
         self.objects_swept += cycle.objects_swept;
         self.words_swept += cycle.words_swept;
     }
@@ -119,6 +125,7 @@ mod tests {
             sweep: Duration::from_millis(3),
             objects_marked: 100,
             edges_traced: 250,
+            pre_root_edges: 15,
             objects_swept: 40,
             words_swept: 400,
         };
@@ -128,6 +135,7 @@ mod tests {
         assert_eq!(total.total_gc_time, Duration::from_millis(20));
         assert_eq!(total.objects_marked, 200);
         assert_eq!(total.edges_traced, 500);
+        assert_eq!(total.pre_root_edges, 30);
         assert_eq!(total.objects_swept, 80);
         assert_eq!(total.words_swept, 800);
     }

@@ -104,6 +104,13 @@ pub struct VmConfig {
     /// retaining path). `0` means *auto*: one worker per available core.
     /// Minor collections are always sequential (the nursery is small).
     pub gc_threads: usize,
+    /// Record GC telemetry: per-cycle phase spans, per-worker mark
+    /// timings, per-assertion-kind overhead attribution and pause
+    /// histograms, exposed via `Vm::telemetry()`. Off by default —
+    /// telemetry is pure observation (records are derived from cycle
+    /// statistics *after* each collection), so disabling it leaves the
+    /// collector's hot paths untouched.
+    pub telemetry: bool,
 }
 
 impl Default for VmConfig {
@@ -119,6 +126,7 @@ impl Default for VmConfig {
             reaction_overrides: Vec::new(),
             generational: None,
             gc_threads: 1,
+            telemetry: false,
         }
     }
 }
@@ -192,6 +200,13 @@ impl VmConfig {
     #[must_use]
     pub fn gc_threads(mut self, workers: usize) -> VmConfig {
         self.gc_threads = workers;
+        self
+    }
+
+    /// Enables or disables GC telemetry recording.
+    #[must_use]
+    pub fn telemetry(mut self, on: bool) -> VmConfig {
+        self.telemetry = on;
         self
     }
 
@@ -314,6 +329,13 @@ impl VmConfigBuilder {
         self
     }
 
+    /// Enables or disables GC telemetry recording (see
+    /// [`VmConfig::telemetry`]).
+    pub fn telemetry(mut self, on: bool) -> VmConfigBuilder {
+        self.config.telemetry = on;
+        self
+    }
+
     /// Overrides the reaction for one assertion class (later overrides
     /// for the same class win).
     pub fn reaction_for(mut self, class: AssertionClass, reaction: Reaction) -> VmConfigBuilder {
@@ -349,6 +371,7 @@ mod tests {
         assert!(c.report_once);
         assert!(!c.strict_owner_lifetime);
         assert!(c.grow);
+        assert!(!c.telemetry, "telemetry is observably dark by default");
     }
 
     #[test]
@@ -382,6 +405,7 @@ mod tests {
             .strict_owner_lifetime(true)
             .generational(0)
             .gc_threads(4)
+            .telemetry(true)
             .reaction_for(AssertionClass::Volume, Reaction::Log)
             .build();
         assert_eq!(built.heap_budget, 123);
@@ -393,6 +417,7 @@ mod tests {
         assert!(built.strict_owner_lifetime);
         assert_eq!(built.generational, Some(1)); // clamped
         assert_eq!(built.gc_threads, 4);
+        assert!(built.telemetry);
         assert_eq!(built.effective_reaction(AssertionClass::Volume), Reaction::Log);
     }
 

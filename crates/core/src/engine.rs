@@ -385,6 +385,9 @@ impl TraceHooks for AssertionEngine {
         }
         // assert-unshared: an already-marked object reached through another
         // edge has (at least) two incoming pointers.
+        if flags.contains(Flags::UNSHARED) {
+            self.counters.unshared_bits_seen += 1;
+        }
         if flags.contains(Flags::UNSHARED) && self.should_report(heap, obj) {
             let class_name = Self::class_name(heap, obj);
             self.violations.push(Violation {

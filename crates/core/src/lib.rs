@@ -98,3 +98,8 @@ pub use vm::{AssertionCallCounts, Vm};
 // Re-export the substrate types users need to drive the VM.
 pub use gca_collector::{CycleStats, GcStats, HeapPath, PathStep};
 pub use gca_heap::{ClassId, Flags, HeapError, HeapStats, ObjRef, TypeRegistry};
+pub use gca_telemetry::export::parse_jsonl;
+pub use gca_telemetry::{
+    AssertionKind, AssertionOverhead, CycleKind, CycleRecord, GcPhase, GcTelemetry,
+    JsonlRecord, KindOverhead, LatencyHistogram, TelemetryParseError,
+};

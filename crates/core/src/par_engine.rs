@@ -37,7 +37,7 @@
 //! precedes the ownee's own crediting scan.
 
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use gca_collector::{
     mark_parallel, push_child_items, reconstruct_path, sweep_heap, CycleStats, HeapPath,
@@ -222,6 +222,7 @@ impl ParVisitor for ShardVisitor<'_> {
         }
         // assert-unshared: one candidate per extra incoming edge.
         if prev.contains(Flags::UNSHARED) {
+            self.counters.unshared_bits_seen += 1;
             self.candidates.push(Candidate::Shared { obj, ctx: item.ctx });
         }
         if prev.contains(Flags::DEAD) && self.record_dead_edges {
@@ -241,6 +242,20 @@ struct PhaseAccum {
     dead_edges: Vec<(ObjRef, usize)>,
     objects_marked: u64,
     edges_traced: u64,
+    /// Per-worker busy time summed element-wise over every barriered
+    /// mark sub-phase of the cycle (ownership rounds plus the root scan).
+    worker_busy: Vec<Duration>,
+}
+
+/// Result of one parallel cycle: the standard stats plus the per-worker
+/// mark-loop busy profile consumed by telemetry.
+#[derive(Debug)]
+pub(crate) struct ParCycle {
+    /// Standard per-cycle statistics (recorded into `GcStats` by the VM).
+    pub cycle: CycleStats,
+    /// Busy time per tracing worker across the cycle's parallel mark
+    /// loops, indexed by worker.
+    pub worker_mark: Vec<Duration>,
 }
 
 /// Runs one barriered mark sub-phase and folds the shard results into
@@ -260,6 +275,12 @@ fn run_phase(
     let stats = mark_parallel(heap, seeds, &mut shards)?;
     acc.objects_marked += stats.objects_marked;
     acc.edges_traced += stats.edges_traced;
+    for (i, busy) in stats.worker_busy.into_iter().enumerate() {
+        if acc.worker_busy.len() <= i {
+            acc.worker_busy.push(Duration::ZERO);
+        }
+        acc.worker_busy[i] += busy;
+    }
 
     let mut deferred = Vec::new();
     for shard in shards {
@@ -270,6 +291,7 @@ fn run_phase(
         acc.counters.ownees_checked += shard.counters.ownees_checked;
         acc.counters.dead_bits_seen += shard.counters.dead_bits_seen;
         acc.counters.tracked_instances_counted += shard.counters.tracked_instances_counted;
+        acc.counters.unshared_bits_seen += shard.counters.unshared_bits_seen;
         acc.dead_edges.extend(shard.dead_edges);
         deferred.extend(shard.deferred);
     }
@@ -289,7 +311,7 @@ pub(crate) fn collect_parallel(
     heap: &mut Heap,
     roots: &[ObjRef],
     workers: usize,
-) -> Result<CycleStats, HeapError> {
+) -> Result<ParCycle, HeapError> {
     let workers = workers.max(1);
     let cycle_start = Instant::now();
     TraceHooks::gc_begin(engine, heap);
@@ -343,6 +365,7 @@ pub(crate) fn collect_parallel(
         }
     }
     let pre_root = t.elapsed();
+    let pre_root_edges = acc.edges_traced;
 
     // ---- root phase ----
     let t = Instant::now();
@@ -386,11 +409,15 @@ pub(crate) fn collect_parallel(
         sweep,
         objects_marked: acc.objects_marked,
         edges_traced: acc.edges_traced,
+        pre_root_edges,
         objects_swept,
         words_swept,
     };
     TraceHooks::gc_end(engine, heap, &cycle);
-    Ok(cycle)
+    Ok(ParCycle {
+        cycle,
+        worker_mark: acc.worker_busy,
+    })
 }
 
 /// Converts merged candidates into [`Violation`]s, sorted by object slot
@@ -591,7 +618,7 @@ pub(crate) fn collect_parallel_base(
     heap: &mut Heap,
     roots: &[ObjRef],
     workers: usize,
-) -> Result<CycleStats, HeapError> {
+) -> Result<ParCycle, HeapError> {
     let cycle_start = Instant::now();
     let t = Instant::now();
     let seeds: Vec<WorkItem> = roots
@@ -607,14 +634,18 @@ pub(crate) fn collect_parallel_base(
     let (objects_swept, words_swept) = sweep_heap(heap, &mut NoHooks)?;
     let sweep = t.elapsed();
 
-    Ok(CycleStats {
-        total: cycle_start.elapsed(),
-        pre_root: std::time::Duration::ZERO,
-        mark,
-        sweep,
-        objects_marked: stats.objects_marked,
-        edges_traced: stats.edges_traced,
-        objects_swept,
-        words_swept,
+    Ok(ParCycle {
+        cycle: CycleStats {
+            total: cycle_start.elapsed(),
+            pre_root: Duration::ZERO,
+            mark,
+            sweep,
+            objects_marked: stats.objects_marked,
+            edges_traced: stats.edges_traced,
+            pre_root_edges: 0,
+            objects_swept,
+            words_swept,
+        },
+        worker_mark: stats.worker_busy,
     })
 }

@@ -24,6 +24,10 @@ pub struct CheckCounters {
     pub dead_bits_seen: u64,
     /// Live instances counted across all tracked classes this cycle.
     pub tracked_instances_counted: u64,
+    /// Objects whose `UNSHARED` bit was found set on an extra incoming
+    /// edge during tracing (each sighting is one `assert-unshared`
+    /// header-bit check that fired).
+    pub unshared_bits_seen: u64,
 }
 
 /// The result of one [`crate::Vm::collect`] call: collector timing plus

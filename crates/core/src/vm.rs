@@ -93,6 +93,14 @@ pub struct Vm {
     minors_since_major: usize,
     minor_collections: u64,
     minor_gc_time: std::time::Duration,
+    /// Telemetry recorder, present only when [`VmConfig::telemetry`] is
+    /// set (boxed to keep the disabled VM small). Records are derived
+    /// from each cycle's statistics *after* the collection completes —
+    /// pure observation, never participation.
+    telemetry: Option<Box<gca_telemetry::GcTelemetry>>,
+    /// Call-count snapshot at the previous collection, for attributing
+    /// registrations to the cycle in which they were checked.
+    last_calls: AssertionCallCounts,
 }
 
 /// Boxed callback type for [`Vm::set_violation_handler`].
@@ -117,6 +125,9 @@ impl Vm {
     /// Creates a VM with one mutator (the main thread, [`Vm::main`]).
     pub fn new(config: VmConfig) -> Vm {
         let budget = config.heap_budget;
+        let telemetry = config
+            .telemetry
+            .then(|| Box::new(gca_telemetry::GcTelemetry::new()));
         Vm {
             heap: Heap::new(),
             collector: Collector::new(),
@@ -136,6 +147,8 @@ impl Vm {
             minors_since_major: 0,
             minor_collections: 0,
             minor_gc_time: std::time::Duration::ZERO,
+            telemetry,
+            last_calls: AssertionCallCounts::default(),
         }
     }
 
@@ -381,32 +394,39 @@ impl Vm {
         self.collections_requested += 1;
         let roots = self.gather_roots();
         let workers = self.config.effective_gc_threads();
-        let cycle = match (self.config.mode, workers) {
-            (Mode::Base, 0 | 1) => self
-                .collector
-                .collect(&mut self.heap, &roots, &mut NoHooks)?,
+        // Sequential arms report the whole mark span as worker 0's busy
+        // time; parallel arms return the per-worker profile.
+        let (cycle, worker_mark) = match (self.config.mode, workers) {
+            (Mode::Base, 0 | 1) => {
+                let cycle = self
+                    .collector
+                    .collect(&mut self.heap, &roots, &mut NoHooks)?;
+                (cycle, vec![cycle.mark])
+            }
             (Mode::Instrumented, 0 | 1) => {
-                self.collector
-                    .collect(&mut self.heap, &roots, &mut self.engine)?
+                let cycle = self
+                    .collector
+                    .collect(&mut self.heap, &roots, &mut self.engine)?;
+                (cycle, vec![cycle.mark])
             }
             // Parallel mark phase: the Collector only contributed the
             // mark/sweep driver, so run the parallel driver directly and
             // fold the cycle into the collector's cumulative stats.
             (Mode::Base, n) => {
-                let cycle =
+                let par =
                     crate::par_engine::collect_parallel_base(&mut self.heap, &roots, n)?;
-                self.collector.record_cycle(&cycle);
-                cycle
+                self.collector.record_cycle(&par.cycle);
+                (par.cycle, par.worker_mark)
             }
             (Mode::Instrumented, n) => {
-                let cycle = crate::par_engine::collect_parallel(
+                let par = crate::par_engine::collect_parallel(
                     &mut self.engine,
                     &mut self.heap,
                     &roots,
                     n,
                 )?;
-                self.collector.record_cycle(&cycle);
-                cycle
+                self.collector.record_cycle(&par.cycle);
+                (par.cycle, par.worker_mark)
             }
         };
         // Generational bookkeeping: a major collection promotes every
@@ -460,12 +480,77 @@ impl Vm {
         self.totals.deferred_ownees_processed += counters.deferred_ownees_processed;
         self.totals.dead_bits_seen += counters.dead_bits_seen;
         self.totals.tracked_instances_counted += counters.tracked_instances_counted;
+        self.totals.unshared_bits_seen += counters.unshared_bits_seen;
+        if self.telemetry.is_some() {
+            self.record_major_telemetry(&cycle, worker_mark, &counters, violations.len() as u64);
+        }
+        self.last_calls = self.calls;
         Ok(GcReport {
             cycle,
             violations,
             counters,
             halted,
         })
+    }
+
+    /// Converts one major cycle's statistics into a telemetry record,
+    /// attributing the checking work to assertion kinds:
+    ///
+    /// * `registered` — assertion API calls since the previous collection
+    ///   (the delta of [`Vm::assertion_calls`]), per kind.
+    /// * `header_bit_checks` — `DEAD` / `UNSHARED` bit sightings during
+    ///   the trace.
+    /// * `counter_bumps` — tracked-class instance counting.
+    /// * `phase_work` — ownership-phase work items (owners scanned, ownees
+    ///   checked, deferred ownees) and regions opened.
+    /// * `extra_edges_traced` — edges traced by the pre-root (ownership)
+    ///   phase that a plain collection would not have traced.
+    fn record_major_telemetry(
+        &mut self,
+        cycle: &gca_collector::CycleStats,
+        worker_mark: Vec<std::time::Duration>,
+        counters: &crate::report::CheckCounters,
+        violations: u64,
+    ) {
+        let delta = |now: u64, then: u64| now.saturating_sub(then);
+        let mut overhead = gca_telemetry::AssertionOverhead::default();
+        overhead.dead.registered = delta(self.calls.dead, self.last_calls.dead);
+        overhead.dead.header_bit_checks = counters.dead_bits_seen;
+        overhead.region.registered =
+            delta(self.calls.region_objects, self.last_calls.region_objects);
+        overhead.region.phase_work =
+            delta(self.calls.regions_started, self.last_calls.regions_started);
+        overhead.instances.registered = delta(self.calls.instances, self.last_calls.instances);
+        overhead.instances.counter_bumps = counters.tracked_instances_counted;
+        overhead.unshared.registered = delta(self.calls.unshared, self.last_calls.unshared);
+        overhead.unshared.header_bit_checks = counters.unshared_bits_seen;
+        overhead.owned_by.registered = delta(self.calls.owned_by, self.last_calls.owned_by);
+        overhead.owned_by.phase_work = counters.owners_scanned
+            + counters.ownees_checked
+            + counters.deferred_ownees_processed;
+        overhead.owned_by.extra_edges_traced = cycle.pre_root_edges;
+
+        let t = self.telemetry.as_deref_mut().expect("checked by caller");
+        t.record(gca_telemetry::CycleRecord {
+            seq: 0, // assigned by record()
+            kind: gca_telemetry::CycleKind::Major,
+            total_ns: cycle.total.as_nanos() as u64,
+            pre_root_ns: cycle.pre_root.as_nanos() as u64,
+            mark_ns: cycle.mark.as_nanos() as u64,
+            sweep_ns: cycle.sweep.as_nanos() as u64,
+            objects_marked: cycle.objects_marked,
+            edges_traced: cycle.edges_traced,
+            pre_root_edges: cycle.pre_root_edges,
+            objects_swept: cycle.objects_swept,
+            words_swept: cycle.words_swept,
+            promoted: 0,
+            violations,
+            worker_mark_ns: worker_mark
+                .into_iter()
+                .map(|d| d.as_nanos() as u64)
+                .collect(),
+            overhead,
+        });
     }
 
     /// Runs a minor (nursery-only) collection now. Only available in
@@ -510,6 +595,16 @@ impl Vm {
         self.minors_since_major += 1;
         self.minor_collections += 1;
         self.minor_gc_time += stats.total;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.record(gca_telemetry::CycleRecord {
+                kind: gca_telemetry::CycleKind::Minor,
+                total_ns: stats.total.as_nanos() as u64,
+                objects_swept: stats.objects_swept,
+                words_swept: stats.words_swept,
+                promoted: stats.promoted,
+                ..Default::default()
+            });
+        }
         for mutator in &mut self.mutators {
             if let Some(region) = &mut mutator.region {
                 let heap = &self.heap;
@@ -522,6 +617,20 @@ impl Vm {
     /// Number of minor collections performed (generational mode).
     pub fn minor_collections(&self) -> u64 {
         self.minor_collections
+    }
+
+    /// A snapshot of the GC telemetry recorded so far: per-cycle phase
+    /// spans, per-worker mark timings, per-assertion-kind overhead
+    /// attribution and pause histograms.
+    ///
+    /// When [`VmConfig::telemetry`] is off this returns the *disabled*
+    /// default snapshot (`enabled() == false`, everything empty), so
+    /// callers never need to branch on the knob.
+    pub fn telemetry(&self) -> gca_telemetry::GcTelemetry {
+        match &self.telemetry {
+            Some(t) => (**t).clone(),
+            None => gca_telemetry::GcTelemetry::default(),
+        }
     }
 
     /// Total wall time spent in minor collections.

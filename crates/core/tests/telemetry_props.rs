@@ -1,0 +1,246 @@
+//! Property tests for the telemetry invariants: on arbitrary random object
+//! graphs and VM configurations,
+//!
+//! 1. phase durations sum to at most the cycle total,
+//! 2. per-worker mark timings cover all `gc_threads` workers,
+//! 3. per-assertion overhead counters are zero when no assertions were
+//!    registered,
+//! 4. the pause histogram's sample count equals the cycle count.
+
+use gc_assertions::{CycleKind, GcPhase, Mode, ObjRef, Vm, VmConfig};
+use proptest::prelude::*;
+
+/// A randomly generated heap: `n` objects with up to 3 fields, random
+/// edges, random roots, plus optional assertion targets.
+#[derive(Debug, Clone)]
+struct Scenario {
+    n: usize,
+    edges: Vec<(usize, usize, usize)>,
+    roots: Vec<usize>,
+    dead_asserts: Vec<usize>,
+    unshared_asserts: Vec<usize>,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..30).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0usize..3, 0..n), 0..n * 3),
+            proptest::collection::vec(0..n, 0..5),
+            proptest::collection::vec(0..n, 0..6),
+            proptest::collection::vec(0..n, 0..6),
+        )
+            .prop_map(|(n, edges, roots, dead_asserts, unshared_asserts)| Scenario {
+                n,
+                edges,
+                roots,
+                dead_asserts,
+                unshared_asserts,
+            })
+    })
+}
+
+fn build(vm: &mut Vm, s: &Scenario) -> Vec<ObjRef> {
+    let c = vm.register_class("N", &["f0", "f1", "f2"]);
+    let m = vm.main();
+    let objs: Vec<ObjRef> = (0..s.n).map(|_| vm.alloc(m, c, 3, 0).unwrap()).collect();
+    for &(from, field, to) in &s.edges {
+        vm.set_field(objs[from], field, objs[to]).unwrap();
+    }
+    for &r in &s.roots {
+        vm.add_root(m, objs[r]).unwrap();
+    }
+    objs
+}
+
+fn telemetry_config(gc_threads: usize) -> VmConfig {
+    VmConfig::builder()
+        .heap_budget(1 << 20)
+        .gc_threads(gc_threads)
+        .telemetry(true)
+        .build()
+}
+
+proptest! {
+    /// Invariant 1: for every major record, pre_root + mark + sweep never
+    /// exceeds the cycle total (the phases are disjoint sub-spans).
+    #[test]
+    fn phase_spans_sum_within_total(s in scenario(), threads in 1usize..4) {
+        let mut vm = Vm::new(telemetry_config(threads));
+        build(&mut vm, &s);
+        vm.collect().unwrap();
+        vm.collect().unwrap();
+        let t = vm.telemetry();
+        prop_assert!(t.enabled());
+        for r in t.records() {
+            prop_assert!(
+                r.pre_root_ns + r.mark_ns + r.sweep_ns <= r.total_ns,
+                "phases {} + {} + {} exceed total {}",
+                r.pre_root_ns, r.mark_ns, r.sweep_ns, r.total_ns
+            );
+        }
+        // The cumulative roll-up preserves the invariant.
+        let phases = t.phase_total(GcPhase::PreRoot)
+            + t.phase_total(GcPhase::Mark)
+            + t.phase_total(GcPhase::Sweep);
+        prop_assert!(phases <= t.total_pause());
+    }
+
+    /// Invariant 2: every major record carries exactly `gc_threads`
+    /// per-worker mark spans (one span for the sequential tracer).
+    #[test]
+    fn worker_timings_cover_all_workers(s in scenario(), threads in 1usize..5) {
+        let mut vm = Vm::new(telemetry_config(threads));
+        build(&mut vm, &s);
+        vm.collect().unwrap();
+        let t = vm.telemetry();
+        for r in t.records() {
+            prop_assert_eq!(
+                r.worker_mark_ns.len(),
+                threads,
+                "expected one mark span per worker"
+            );
+        }
+        prop_assert_eq!(t.worker_mark_ns().len(), threads);
+    }
+
+    /// Invariant 3: with no assertions registered, every per-kind overhead
+    /// counter stays zero — checking work is attributable only to
+    /// registered assertions (the Infrastructure configuration).
+    #[test]
+    fn overhead_zero_without_assertions(s in scenario(), threads in 1usize..4) {
+        let mut vm = Vm::new(telemetry_config(threads));
+        build(&mut vm, &s);
+        vm.collect().unwrap();
+        vm.collect().unwrap();
+        let t = vm.telemetry();
+        prop_assert!(
+            t.overhead().is_zero(),
+            "unattributable overhead: {:?}",
+            t.overhead()
+        );
+        for r in t.records() {
+            prop_assert!(r.overhead.is_zero());
+        }
+    }
+
+    /// Invariant 3b: with assertions registered, the registration columns
+    /// match the API call deltas.
+    #[test]
+    fn registrations_are_attributed(s in scenario(), threads in 1usize..4) {
+        let mut vm = Vm::new(telemetry_config(threads));
+        let objs = build(&mut vm, &s);
+        let mut dead = 0u64;
+        for &i in &s.dead_asserts {
+            if vm.assert_dead(objs[i]).is_ok() {
+                dead += 1;
+            }
+        }
+        let mut unshared = 0u64;
+        for &i in &s.unshared_asserts {
+            if vm.assert_unshared(objs[i]).is_ok() {
+                unshared += 1;
+            }
+        }
+        vm.collect().unwrap();
+        let t = vm.telemetry();
+        prop_assert_eq!(t.overhead().dead.registered, dead);
+        prop_assert_eq!(t.overhead().unshared.registered, unshared);
+        // A second collection registers nothing new.
+        vm.collect().unwrap();
+        let t = vm.telemetry();
+        prop_assert_eq!(t.overhead().dead.registered, dead);
+        prop_assert_eq!(t.overhead().unshared.registered, unshared);
+    }
+
+    /// Invariant 4: the pause histogram counts exactly the major cycles
+    /// and every record is a major (no generational mode here).
+    #[test]
+    fn histogram_count_equals_cycle_count(s in scenario(), cycles in 1usize..5) {
+        let mut vm = Vm::new(telemetry_config(1));
+        build(&mut vm, &s);
+        for _ in 0..cycles {
+            vm.collect().unwrap();
+        }
+        let t = vm.telemetry();
+        prop_assert_eq!(t.cycles(), cycles as u64);
+        prop_assert_eq!(t.pause_histogram().count(), cycles as u64);
+        prop_assert_eq!(t.records().len(), cycles);
+        prop_assert!(t.records().iter().all(|r| r.kind == CycleKind::Major));
+        // Sequence numbers are 1..=cycles in order.
+        for (i, r) in t.records().iter().enumerate() {
+            prop_assert_eq!(r.seq, i as u64 + 1);
+        }
+    }
+
+    /// The knob is observably dark: a disabled VM yields the default
+    /// (disabled, empty) snapshot no matter how much it collects.
+    #[test]
+    fn disabled_snapshot_is_empty(s in scenario(), threads in 1usize..4) {
+        let mut vm = Vm::new(
+            VmConfig::builder().heap_budget(1 << 20).gc_threads(threads).build(),
+        );
+        build(&mut vm, &s);
+        vm.collect().unwrap();
+        let t = vm.telemetry();
+        prop_assert!(!t.enabled());
+        prop_assert_eq!(t.cycles(), 0);
+        prop_assert!(t.records().is_empty());
+        prop_assert!(t.pause_histogram().is_empty());
+    }
+}
+
+/// Base mode also records telemetry (spans and worker timings, with an
+/// all-zero overhead matrix).
+#[test]
+fn base_mode_records_spans() {
+    let mut vm = Vm::new(
+        VmConfig::builder()
+            .heap_budget(1 << 20)
+            .mode(Mode::Base)
+            .gc_threads(2)
+            .telemetry(true)
+            .build(),
+    );
+    let c = vm.register_class("N", &["f"]);
+    let m = vm.main();
+    let a = vm.alloc_rooted(m, c, 1, 0).unwrap();
+    let b = vm.alloc(m, c, 1, 0).unwrap();
+    vm.set_field(a, 0, b).unwrap();
+    vm.collect().unwrap();
+    let t = vm.telemetry();
+    assert_eq!(t.cycles(), 1);
+    assert_eq!(t.records()[0].worker_mark_ns.len(), 2);
+    assert!(t.overhead().is_zero());
+    assert_eq!(t.records()[0].pre_root_edges, 0);
+}
+
+/// Generational mode: minor collections appear as minor records and feed
+/// the minor-pause histogram.
+#[test]
+fn minor_cycles_are_recorded() {
+    let mut vm = Vm::new(
+        VmConfig::builder()
+            .heap_budget(1 << 20)
+            .generational(8)
+            .telemetry(true)
+            .build(),
+    );
+    let c = vm.register_class("N", &["f"]);
+    let m = vm.main();
+    let keep = vm.alloc_rooted(m, c, 1, 0).unwrap();
+    let _ = keep;
+    for _ in 0..3 {
+        vm.alloc(m, c, 1, 0).unwrap();
+    }
+    vm.collect_minor().unwrap();
+    vm.collect().unwrap();
+    let t = vm.telemetry();
+    assert_eq!(t.minor_cycles(), 1);
+    assert_eq!(t.cycles(), 1);
+    assert_eq!(t.minor_pause_histogram().count(), 1);
+    let minor = &t.records()[0];
+    assert_eq!(minor.kind, CycleKind::Minor);
+    assert!(minor.objects_swept > 0 || minor.promoted > 0);
+    assert_eq!(t.records()[1].kind, CycleKind::Major);
+}

@@ -1,0 +1,784 @@
+//! Telemetry exporters: JSON-lines and Prometheus-style text.
+//!
+//! Both formats are hand-rolled (the crate is dependency-free) and fully
+//! deterministic: keys are emitted in a fixed order and times are integer
+//! nanoseconds, so a [`CycleRecord`] survives a write/parse round trip
+//! bit-for-bit. The JSONL parser is defensive — truncated or corrupt input
+//! yields a [`TelemetryParseError`], never a panic — because benchmark
+//! artifacts get concatenated, grepped and truncated by shell pipelines.
+
+use std::fmt;
+
+use crate::attr::{AssertionKind, AssertionOverhead, KindOverhead};
+use crate::record::{CycleKind, CycleRecord, GcPhase, GcTelemetry};
+
+/// One parsed JSONL line: the cycle record plus its optional benchmark
+/// label.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JsonlRecord {
+    /// The `"bench"` label the line carried, if any.
+    pub bench: Option<String>,
+    /// The cycle record itself.
+    pub record: CycleRecord,
+}
+
+/// A JSONL decode failure. Line numbers are 1-based.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TelemetryParseError {
+    /// The line ended in the middle of a value.
+    Truncated {
+        /// 1-based line number of the offending line.
+        line: usize,
+    },
+    /// An unexpected byte at a known offset.
+    Unexpected {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Byte offset within the line.
+        offset: usize,
+    },
+    /// A known field held a value of the wrong JSON type.
+    WrongType {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The field whose value had the wrong type.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for TelemetryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetryParseError::Truncated { line } => {
+                write!(f, "line {line}: truncated record")
+            }
+            TelemetryParseError::Unexpected { line, offset } => {
+                write!(f, "line {line}: unexpected byte at offset {offset}")
+            }
+            TelemetryParseError::WrongType { line, field } => {
+                write!(f, "line {line}: field {field:?} has the wrong type")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TelemetryParseError {}
+
+// ---------------------------------------------------------------------------
+// JSONL writer
+// ---------------------------------------------------------------------------
+
+fn escape_json(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_kind_overhead(out: &mut String, label: &str, k: &KindOverhead) {
+    out.push('"');
+    out.push_str(label);
+    out.push_str("\":{");
+    out.push_str(&format!(
+        "\"registered\":{},\"header_bit_checks\":{},\"counter_bumps\":{},\
+         \"extra_edges_traced\":{},\"phase_work\":{}",
+        k.registered, k.header_bit_checks, k.counter_bumps, k.extra_edges_traced, k.phase_work
+    ));
+    out.push('}');
+}
+
+/// Serializes one cycle record as a single JSON object (no trailing
+/// newline). Keys appear in a fixed order; the `"bench"` label is emitted
+/// first when present; the `"overhead"` object lists only kinds that did
+/// work (an all-zero attribution serializes as `"overhead":{}`).
+pub fn record_to_json(record: &CycleRecord, bench: Option<&str>) -> String {
+    let mut out = String::with_capacity(256);
+    out.push('{');
+    if let Some(b) = bench {
+        out.push_str("\"bench\":");
+        escape_json(b, &mut out);
+        out.push(',');
+    }
+    out.push_str(&format!(
+        "\"seq\":{},\"kind\":\"{}\",\"total_ns\":{},\"pre_root_ns\":{},\
+         \"mark_ns\":{},\"sweep_ns\":{},\"objects_marked\":{},\"edges_traced\":{},\
+         \"pre_root_edges\":{},\"objects_swept\":{},\"words_swept\":{},\
+         \"promoted\":{},\"violations\":{}",
+        record.seq,
+        record.kind.label(),
+        record.total_ns,
+        record.pre_root_ns,
+        record.mark_ns,
+        record.sweep_ns,
+        record.objects_marked,
+        record.edges_traced,
+        record.pre_root_edges,
+        record.objects_swept,
+        record.words_swept,
+        record.promoted,
+        record.violations,
+    ));
+    out.push_str(",\"worker_mark_ns\":[");
+    for (i, ns) in record.worker_mark_ns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&ns.to_string());
+    }
+    out.push_str("],\"overhead\":{");
+    let mut first = true;
+    for kind in AssertionKind::ALL {
+        let k = record.overhead.kind(kind);
+        if k.is_zero() {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        push_kind_overhead(&mut out, kind.label(), k);
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Serializes records as JSON lines — one object per line, trailing
+/// newline after each — optionally labelling every line with a benchmark
+/// name.
+pub fn records_to_jsonl(records: &[CycleRecord], bench: Option<&str>) -> String {
+    let mut out = String::new();
+    for record in records {
+        out.push_str(&record_to_json(record, bench));
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSONL parser — minimal recursive-descent JSON, defensive by design
+// ---------------------------------------------------------------------------
+
+/// The subset of JSON values the telemetry schema uses.
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Str(String),
+    /// All schema numbers are unsigned integers; anything else (floats,
+    /// negatives) is decoded as `Null` so known fields reject it as a
+    /// wrong type instead of silently truncating.
+    Int(u64),
+    Arr(Vec<Val>),
+    Obj(Vec<(String, Val)>),
+    Bool(bool),
+    Null,
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+const MAX_DEPTH: usize = 16;
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str, line: usize) -> Parser<'a> {
+        Parser { bytes: s.as_bytes(), pos: 0, line }
+    }
+
+    fn truncated(&self) -> TelemetryParseError {
+        TelemetryParseError::Truncated { line: self.line }
+    }
+
+    fn unexpected(&self) -> TelemetryParseError {
+        TelemetryParseError::Unexpected { line: self.line, offset: self.pos }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\r' || b == b'\n' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), TelemetryParseError> {
+        match self.peek() {
+            Some(got) if got == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(_) => Err(self.unexpected()),
+            None => Err(self.truncated()),
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Val, TelemetryParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.unexpected());
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.truncated()),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'"') => self.parse_string().map(Val::Str),
+            Some(b't') => self.parse_keyword("true", Val::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Val::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Val::Null),
+            Some(b'0'..=b'9') => self.parse_number(),
+            Some(b'-') => {
+                // Negative numbers are outside the schema: consume and
+                // surface as Null so typed lookups reject them.
+                self.pos += 1;
+                self.parse_number()?;
+                Ok(Val::Null)
+            }
+            Some(_) => Err(self.unexpected()),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, val: Val) -> Result<Val, TelemetryParseError> {
+        let end = self.pos + word.len();
+        if end > self.bytes.len() {
+            return Err(self.truncated());
+        }
+        if &self.bytes[self.pos..end] == word.as_bytes() {
+            self.pos = end;
+            Ok(val)
+        } else {
+            Err(self.unexpected())
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Val, TelemetryParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return match self.peek() {
+                None => Err(self.truncated()),
+                Some(_) => Err(self.unexpected()),
+            };
+        }
+        // A fraction or exponent makes this a float — outside the schema.
+        if matches!(self.peek(), Some(b'.') | Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9') | Some(b'.') | Some(b'e') | Some(b'E')) {
+                self.pos += 1;
+            }
+            return Ok(Val::Null);
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ascii");
+        match text.parse::<u64>() {
+            Ok(n) => Ok(Val::Int(n)),
+            Err(_) => Ok(Val::Null), // overflow: treat as untyped
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, TelemetryParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.truncated()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        None => return Err(self.truncated()),
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 5 > self.bytes.len() {
+                                return Err(self.truncated());
+                            }
+                            let hex =
+                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                    .map_err(|_| self.unexpected())?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| self.unexpected())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        Some(_) => return Err(self.unexpected()),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 is valid inside strings; advance by
+                    // whole characters using the source str's boundaries.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.unexpected())?;
+                    let c = rest.chars().next().ok_or_else(|| self.truncated())?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Val, TelemetryParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Val::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Val::Arr(items));
+                }
+                Some(_) => return Err(self.unexpected()),
+                None => return Err(self.truncated()),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Val, TelemetryParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Val::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Val::Obj(fields));
+                }
+                Some(_) => return Err(self.unexpected()),
+                None => return Err(self.truncated()),
+            }
+        }
+    }
+}
+
+fn get<'v>(obj: &'v [(String, Val)], key: &str) -> Option<&'v Val> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_u64(
+    obj: &[(String, Val)],
+    key: &'static str,
+    line: usize,
+) -> Result<u64, TelemetryParseError> {
+    match get(obj, key) {
+        None => Ok(0),
+        Some(Val::Int(n)) => Ok(*n),
+        Some(_) => Err(TelemetryParseError::WrongType { line, field: key }),
+    }
+}
+
+fn decode_kind_overhead(
+    val: &Val,
+    line: usize,
+) -> Result<KindOverhead, TelemetryParseError> {
+    let Val::Obj(fields) = val else {
+        return Err(TelemetryParseError::WrongType { line, field: "overhead" });
+    };
+    Ok(KindOverhead {
+        registered: get_u64(fields, "registered", line)?,
+        header_bit_checks: get_u64(fields, "header_bit_checks", line)?,
+        counter_bumps: get_u64(fields, "counter_bumps", line)?,
+        extra_edges_traced: get_u64(fields, "extra_edges_traced", line)?,
+        phase_work: get_u64(fields, "phase_work", line)?,
+    })
+}
+
+fn decode_record(
+    fields: &[(String, Val)],
+    line: usize,
+) -> Result<JsonlRecord, TelemetryParseError> {
+    let bench = match get(fields, "bench") {
+        None | Some(Val::Null) => None,
+        Some(Val::Str(s)) => Some(s.clone()),
+        Some(_) => return Err(TelemetryParseError::WrongType { line, field: "bench" }),
+    };
+    let kind = match get(fields, "kind") {
+        None => CycleKind::Major,
+        Some(Val::Str(s)) if s == "major" => CycleKind::Major,
+        Some(Val::Str(s)) if s == "minor" => CycleKind::Minor,
+        Some(_) => return Err(TelemetryParseError::WrongType { line, field: "kind" }),
+    };
+    let worker_mark_ns = match get(fields, "worker_mark_ns") {
+        None => Vec::new(),
+        Some(Val::Arr(items)) => {
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                match item {
+                    Val::Int(n) => out.push(*n),
+                    _ => {
+                        return Err(TelemetryParseError::WrongType {
+                            line,
+                            field: "worker_mark_ns",
+                        })
+                    }
+                }
+            }
+            out
+        }
+        Some(_) => {
+            return Err(TelemetryParseError::WrongType { line, field: "worker_mark_ns" })
+        }
+    };
+    let mut overhead = AssertionOverhead::default();
+    match get(fields, "overhead") {
+        None => {}
+        Some(Val::Obj(kinds)) => {
+            for kind in AssertionKind::ALL {
+                if let Some(val) = get(kinds, kind.label()) {
+                    *overhead.kind_mut(kind) = decode_kind_overhead(val, line)?;
+                }
+            }
+        }
+        Some(_) => return Err(TelemetryParseError::WrongType { line, field: "overhead" }),
+    }
+    Ok(JsonlRecord {
+        bench,
+        record: CycleRecord {
+            seq: get_u64(fields, "seq", line)?,
+            kind,
+            total_ns: get_u64(fields, "total_ns", line)?,
+            pre_root_ns: get_u64(fields, "pre_root_ns", line)?,
+            mark_ns: get_u64(fields, "mark_ns", line)?,
+            sweep_ns: get_u64(fields, "sweep_ns", line)?,
+            objects_marked: get_u64(fields, "objects_marked", line)?,
+            edges_traced: get_u64(fields, "edges_traced", line)?,
+            pre_root_edges: get_u64(fields, "pre_root_edges", line)?,
+            objects_swept: get_u64(fields, "objects_swept", line)?,
+            words_swept: get_u64(fields, "words_swept", line)?,
+            promoted: get_u64(fields, "promoted", line)?,
+            violations: get_u64(fields, "violations", line)?,
+            worker_mark_ns,
+            overhead,
+        },
+    })
+}
+
+/// Parses JSONL telemetry text back into records. Blank lines are
+/// skipped; unknown keys are ignored (forward compatibility); any
+/// malformed line yields an error naming the 1-based line number. Never
+/// panics, whatever the input.
+pub fn parse_jsonl(text: &str) -> Result<Vec<JsonlRecord>, TelemetryParseError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let mut parser = Parser::new(raw, line);
+        let value = parser.parse_value(0)?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.unexpected());
+        }
+        let Val::Obj(fields) = value else {
+            return Err(TelemetryParseError::WrongType { line, field: "<record>" });
+        };
+        out.push(decode_record(&fields, line)?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exporter
+// ---------------------------------------------------------------------------
+
+/// Formats nanoseconds as decimal seconds with full nanosecond precision
+/// using only integer arithmetic, so output is deterministic across
+/// platforms (no float formatting).
+fn ns_as_seconds(ns: u64) -> String {
+    format!("{}.{:09}", ns / 1_000_000_000, ns % 1_000_000_000)
+}
+
+fn push_histogram(out: &mut String, name: &str, hist: &crate::hist::LatencyHistogram) {
+    out.push_str(&format!("# HELP {name} Log2-bucketed pause time histogram (seconds).\n"));
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let mut cumulative = 0u64;
+    if let Some(max) = hist.max_bucket() {
+        for (i, &c) in hist.bucket_counts().iter().enumerate().take(max + 1) {
+            cumulative += c;
+            let le = crate::hist::LatencyHistogram::bucket_upper_bound(i);
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                ns_as_seconds(le)
+            ));
+        }
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", hist.count()));
+    out.push_str(&format!("{name}_sum {}\n", ns_as_seconds(hist.sum_ns())));
+    out.push_str(&format!("{name}_count {}\n", hist.count()));
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+///
+/// Metrics:
+/// * `gca_gc_cycles_total`, `gca_gc_minor_cycles_total`,
+///   `gca_gc_violations_total` — plain counters.
+/// * `gca_gc_phase_seconds_total{phase=...}` — cumulative wall time per
+///   phase (`pre_root`, `mark`, `sweep`, `minor`).
+/// * `gca_gc_worker_mark_seconds_total{worker="i"}` — cumulative mark-phase
+///   busy time per tracing worker.
+/// * `gca_assertion_overhead_total{kind=...,metric=...}` — the full 5×5
+///   attribution matrix (all cells emitted, including zeros, so scrapes
+///   have a stable shape).
+/// * `gca_gc_pause_seconds` — log₂-bucketed major-pause histogram
+///   (`_bucket`/`_sum`/`_count`), buckets emitted up to the highest
+///   non-empty one.
+pub fn to_prometheus(t: &GcTelemetry) -> String {
+    let mut out = String::with_capacity(2048);
+
+    out.push_str("# HELP gca_gc_cycles_total Major collection cycles observed.\n");
+    out.push_str("# TYPE gca_gc_cycles_total counter\n");
+    out.push_str(&format!("gca_gc_cycles_total {}\n", t.cycles()));
+
+    out.push_str("# HELP gca_gc_minor_cycles_total Minor collection cycles observed.\n");
+    out.push_str("# TYPE gca_gc_minor_cycles_total counter\n");
+    out.push_str(&format!("gca_gc_minor_cycles_total {}\n", t.minor_cycles()));
+
+    out.push_str("# HELP gca_gc_violations_total Assertion violations detected.\n");
+    out.push_str("# TYPE gca_gc_violations_total counter\n");
+    out.push_str(&format!("gca_gc_violations_total {}\n", t.violations()));
+
+    out.push_str("# HELP gca_gc_phase_seconds_total Cumulative wall time per GC phase.\n");
+    out.push_str("# TYPE gca_gc_phase_seconds_total counter\n");
+    for phase in GcPhase::ALL {
+        out.push_str(&format!(
+            "gca_gc_phase_seconds_total{{phase=\"{}\"}} {}\n",
+            phase.label(),
+            ns_as_seconds(t.phase_total(phase).as_nanos() as u64)
+        ));
+    }
+
+    out.push_str(
+        "# HELP gca_gc_worker_mark_seconds_total Cumulative mark-phase busy time per worker.\n",
+    );
+    out.push_str("# TYPE gca_gc_worker_mark_seconds_total counter\n");
+    for (i, &ns) in t.worker_mark_ns().iter().enumerate() {
+        out.push_str(&format!(
+            "gca_gc_worker_mark_seconds_total{{worker=\"{i}\"}} {}\n",
+            ns_as_seconds(ns)
+        ));
+    }
+
+    out.push_str(
+        "# HELP gca_assertion_overhead_total Assertion-checking work units by kind and mechanism.\n",
+    );
+    out.push_str("# TYPE gca_assertion_overhead_total counter\n");
+    for kind in AssertionKind::ALL {
+        let k = t.overhead().kind(kind);
+        let cells = [
+            ("registered", k.registered),
+            ("header_bit_checks", k.header_bit_checks),
+            ("counter_bumps", k.counter_bumps),
+            ("extra_edges_traced", k.extra_edges_traced),
+            ("phase_work", k.phase_work),
+        ];
+        for (metric, value) in cells {
+            out.push_str(&format!(
+                "gca_assertion_overhead_total{{kind=\"{}\",metric=\"{metric}\"}} {value}\n",
+                kind.label()
+            ));
+        }
+    }
+
+    push_histogram(&mut out, "gca_gc_pause_seconds", t.pause_histogram());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> CycleRecord {
+        let mut overhead = AssertionOverhead::default();
+        overhead.dead.registered = 4;
+        overhead.dead.header_bit_checks = 9;
+        overhead.owned_by.phase_work = 12;
+        overhead.owned_by.extra_edges_traced = 31;
+        CycleRecord {
+            seq: 7,
+            kind: CycleKind::Major,
+            total_ns: 123_456,
+            pre_root_ns: 1_000,
+            mark_ns: 100_000,
+            sweep_ns: 22_456,
+            objects_marked: 512,
+            edges_traced: 777,
+            pre_root_edges: 31,
+            objects_swept: 44,
+            words_swept: 440,
+            promoted: 0,
+            violations: 2,
+            worker_mark_ns: vec![60_000, 40_000],
+            overhead,
+        }
+    }
+
+    #[test]
+    fn roundtrip_single_record() {
+        let rec = sample_record();
+        let text = records_to_jsonl(std::slice::from_ref(&rec), Some("bh"));
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].bench.as_deref(), Some("bh"));
+        assert_eq!(parsed[0].record, rec);
+    }
+
+    #[test]
+    fn roundtrip_without_bench_label() {
+        let rec = sample_record();
+        let text = records_to_jsonl(std::slice::from_ref(&rec), None);
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed[0].bench, None);
+        assert_eq!(parsed[0].record, rec);
+    }
+
+    #[test]
+    fn zero_overhead_serializes_empty_object() {
+        let rec = CycleRecord::default();
+        let json = record_to_json(&rec, None);
+        assert!(json.contains("\"overhead\":{}"));
+        let parsed = parse_jsonl(&json).unwrap();
+        assert!(parsed[0].record.overhead.is_zero());
+    }
+
+    #[test]
+    fn bench_label_is_escaped() {
+        let rec = CycleRecord::default();
+        let text = records_to_jsonl(std::slice::from_ref(&rec), Some("we\"ird\\name\n"));
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed[0].bench.as_deref(), Some("we\"ird\\name\n"));
+    }
+
+    #[test]
+    fn truncated_lines_error_not_panic() {
+        let full = record_to_json(&sample_record(), Some("bh"));
+        for cut in 1..full.len() {
+            if !full.is_char_boundary(cut) {
+                continue;
+            }
+            let r = parse_jsonl(&full[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes should not parse");
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_error_not_panic() {
+        for garbage in [
+            "{", "}", "[", "null", "42", "\"str\"", "{\"seq\":}", "{\"seq\":1,}",
+            "{\"seq\":-1}", "{\"seq\":1.5}", "{\"seq\":\"x\"}", "{\"worker_mark_ns\":7}",
+            "{\"worker_mark_ns\":[\"x\"]}", "{\"overhead\":[]}", "{\"kind\":3}",
+            "{\"overhead\":{\"dead\":[]}}", "{\"seq\":99999999999999999999999}",
+            "{\"a\":{\"a\":{\"a\":{\"a\":{\"a\":{\"a\":{\"a\":{\"a\":{\"a\":{\"a\":{\"a\":\
+             {\"a\":{\"a\":{\"a\":{\"a\":{\"a\":{\"a\":{\"a\":1}}}}}}}}}}}}}}}}}}",
+        ] {
+            let r = parse_jsonl(garbage);
+            match garbage {
+                "null" | "42" | "\"str\"" | "[" => assert!(r.is_err()),
+                _ => {
+                    // Either an error or (for over-deep/overflow cases that
+                    // degrade to Null on unknown keys) a lenient parse; the
+                    // contract is only "no panic, no bogus typed data".
+                    let _ = r;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_keys_are_ignored() {
+        let parsed =
+            parse_jsonl("{\"seq\":3,\"future_field\":[1,{\"x\":true}],\"total_ns\":10}\n")
+                .unwrap();
+        assert_eq!(parsed[0].record.seq, 3);
+        assert_eq!(parsed[0].record.total_ns, 10);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_and_line_numbers_reported() {
+        let text = "\n{\"seq\":1}\n\n{oops\n";
+        let err = parse_jsonl(text).unwrap_err();
+        match err {
+            TelemetryParseError::Unexpected { line, .. } => assert_eq!(line, 4),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ns_formatting_is_integer_exact() {
+        assert_eq!(ns_as_seconds(0), "0.000000000");
+        assert_eq!(ns_as_seconds(1), "0.000000001");
+        assert_eq!(ns_as_seconds(1_500_000_000), "1.500000000");
+        assert_eq!(ns_as_seconds(u64::MAX), "18446744073.709551615");
+    }
+
+    #[test]
+    fn prometheus_contains_all_metric_families() {
+        let mut t = GcTelemetry::new();
+        t.record(sample_record());
+        let text = t.to_prometheus();
+        for needle in [
+            "gca_gc_cycles_total 1",
+            "gca_gc_violations_total 2",
+            "gca_gc_phase_seconds_total{phase=\"mark\"}",
+            "gca_gc_worker_mark_seconds_total{worker=\"1\"}",
+            "gca_assertion_overhead_total{kind=\"dead\",metric=\"header_bit_checks\"} 9",
+            "gca_assertion_overhead_total{kind=\"instances\",metric=\"counter_bumps\"} 0",
+            "gca_gc_pause_seconds_bucket{le=\"+Inf\"} 1",
+            "gca_gc_pause_seconds_count 1",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

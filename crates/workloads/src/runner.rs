@@ -113,6 +113,21 @@ pub fn run_once_config(
     config: ExpConfig,
     vm_config: VmConfig,
 ) -> Result<Measurement, VmError> {
+    run_once_vm(workload, config, vm_config).map(|(m, _)| m)
+}
+
+/// As [`run_once_config`], but additionally returns the finished [`Vm`] so
+/// callers can inspect post-run state (telemetry snapshots, violation
+/// logs, heap statistics).
+///
+/// # Errors
+///
+/// Propagates workload VM errors.
+pub fn run_once_vm(
+    workload: &dyn Workload,
+    config: ExpConfig,
+    vm_config: VmConfig,
+) -> Result<(Measurement, Vm), VmError> {
     let mut vm = Vm::new(vm_config);
     let assertions = config == ExpConfig::WithAssertions;
 
@@ -125,7 +140,7 @@ pub fn run_once_config(
 
     let gc = vm.gc_stats().total_gc_time;
     let collections = vm.gc_stats().collections;
-    Ok(Measurement {
+    let measurement = Measurement {
         workload: workload.name().to_owned(),
         config,
         total,
@@ -139,7 +154,32 @@ pub fn run_once_config(
         } else {
             vm.check_totals().ownees_checked as f64 / collections as f64
         },
-    })
+    };
+    Ok((measurement, vm))
+}
+
+/// Runs `workload` once under `config` with telemetry recording enabled
+/// and returns the measurement plus the telemetry snapshot.
+///
+/// # Errors
+///
+/// Propagates workload VM errors.
+pub fn run_once_telemetry(
+    workload: &dyn Workload,
+    config: ExpConfig,
+) -> Result<(Measurement, gc_assertions::GcTelemetry), VmError> {
+    let mode = match config {
+        ExpConfig::Base => Mode::Base,
+        _ => Mode::Instrumented,
+    };
+    let vm_config = VmConfig::builder()
+        .heap_budget(workload.heap_budget())
+        .grow_on_oom(true)
+        .mode(mode)
+        .telemetry(true)
+        .build();
+    let (measurement, vm) = run_once_vm(workload, config, vm_config)?;
+    Ok((measurement, vm.telemetry()))
 }
 
 /// Runs `workload` `n` times under `config` and returns the run with the

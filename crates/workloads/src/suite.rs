@@ -485,6 +485,27 @@ pub fn full_suite() -> Vec<SyntheticWorkload> {
     all
 }
 
+/// Runs every workload once under `config` with telemetry enabled and
+/// returns the concatenated JSON-lines export: one record per GC cycle,
+/// each tagged with its benchmark name (`"bench"` field). This is the
+/// per-benchmark emission used by `figures --telemetry` and the CI
+/// artifact step.
+///
+/// # Errors
+///
+/// Propagates workload VM errors.
+pub fn suite_telemetry_jsonl(
+    workloads: &[SyntheticWorkload],
+    config: crate::runner::ExpConfig,
+) -> Result<String, VmError> {
+    let mut out = String::new();
+    for w in workloads {
+        let (_, telemetry) = crate::runner::run_once_telemetry(w, config)?;
+        out.push_str(&telemetry.to_jsonl(Some(w.name)));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -519,6 +540,17 @@ mod tests {
             let m2 = run_once(&w, ExpConfig::Infrastructure).unwrap();
             assert_eq!(m2.violations, 0, "{} has no assertions", w.name);
         }
+    }
+
+    #[test]
+    fn suite_jsonl_is_tagged_and_parseable() {
+        let mut w = dacapo().remove(0);
+        w.iterations = 5;
+        let jsonl = suite_telemetry_jsonl(&[w], ExpConfig::Infrastructure).unwrap();
+        assert!(!jsonl.is_empty(), "at least one GC cycle should be recorded");
+        let parsed = gc_assertions::parse_jsonl(&jsonl).unwrap();
+        assert!(!parsed.is_empty());
+        assert!(parsed.iter().all(|r| r.bench.as_deref() == Some("antlr")));
     }
 
     #[test]

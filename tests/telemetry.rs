@@ -1,0 +1,240 @@
+//! Differential and acceptance tests for the telemetry subsystem.
+//!
+//! The central claim is that telemetry is *observation, never
+//! participation*: enabling it must not change a single collector
+//! decision. The differential tests run every suite workload twice —
+//! telemetry on vs off, same seed, same configuration otherwise — and
+//! demand identical live sets, violation logs, and (non-timing) GC
+//! reports. The acceptance tests pin the ISSUE's observable guarantees:
+//! non-zero per-phase spans, per-worker mark timings when `gc_threads
+//! > 1`, per-assertion-kind overhead counters, and parseable exporters.
+
+use gc_assertions::{parse_jsonl, GcPhase, GcReport, Mode, Vm, VmConfig};
+use gca_workloads::db::Db209;
+use gca_workloads::pseudojbb::PseudoJbb;
+use gca_workloads::runner::Workload;
+use gca_workloads::suite;
+
+/// Everything a run produces that telemetry must not perturb: the final
+/// live set (handle, class, shape), the violation log, the collection
+/// count, and the final cycle's non-timing report fields.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    live: Vec<String>,
+    violations: Vec<gc_assertions::Violation>,
+    collections: u64,
+    final_cycle: String,
+    counters: gc_assertions::CheckCounters,
+    halted: bool,
+}
+
+fn non_timing_cycle_key(report: &GcReport) -> String {
+    let c = &report.cycle;
+    format!(
+        "marked={} edges={} pre_root_edges={} swept={} words={}",
+        c.objects_marked, c.edges_traced, c.pre_root_edges, c.objects_swept, c.words_swept
+    )
+}
+
+/// Runs `workload` to completion (plus one final collection) and distils
+/// the outcome. `telemetry` is the only knob that varies between the two
+/// runs of a differential pair.
+fn run_outcome(workload: &dyn Workload, assertions: bool, telemetry: bool) -> (Outcome, Vm) {
+    let config = VmConfig::builder()
+        .heap_budget(workload.heap_budget())
+        .grow_on_oom(true)
+        .mode(Mode::Instrumented)
+        .telemetry(telemetry)
+        .build();
+    let mut vm = Vm::new(config);
+    workload.run(&mut vm, assertions).unwrap();
+    let report = vm.collect().unwrap();
+    let mut live: Vec<String> = vm
+        .heap()
+        .iter()
+        .map(|(r, o)| format!("{r}:{:?}:{}", o.class(), o.ref_count()))
+        .collect();
+    live.sort();
+    let outcome = Outcome {
+        live,
+        violations: vm.violation_log().to_vec(),
+        collections: vm.gc_stats().collections,
+        final_cycle: non_timing_cycle_key(&report),
+        counters: report.counters,
+        halted: report.halted,
+    };
+    (outcome, vm)
+}
+
+/// The tentpole differential: for every benchmark in the suite, a
+/// telemetry-on run is bit-identical (live set, violations, reports) to a
+/// telemetry-off run.
+#[test]
+fn telemetry_does_not_perturb_suite_workloads() {
+    for mut w in suite::full_suite() {
+        w.iterations = (w.iterations / 10).max(3);
+        let (off, _) = run_outcome(&w, false, false);
+        let (on, vm) = run_outcome(&w, false, true);
+        assert_eq!(off, on, "{}: telemetry changed the outcome", w.name);
+        // And the run actually recorded something.
+        let t = vm.telemetry();
+        assert!(t.enabled());
+        assert_eq!(
+            t.cycles(),
+            on.collections,
+            "{}: every major cycle gets a record",
+            w.name
+        );
+    }
+}
+
+/// The same differential over the assertion-rich case studies, where the
+/// engine does real checking work (ownership phase, dead asserts).
+#[test]
+fn telemetry_does_not_perturb_assertion_workloads() {
+    let db = Db209 {
+        operations: 400,
+        initial_entries: 200,
+        ..Default::default()
+    };
+    let jbb = PseudoJbb::buggy_with_dead_asserts();
+    for w in [&db as &dyn Workload, &jbb as &dyn Workload] {
+        let (off, _) = run_outcome(w, true, false);
+        let (on, _) = run_outcome(w, true, true);
+        assert_eq!(off, on, "{}: telemetry changed the outcome", w.name());
+    }
+}
+
+/// ISSUE acceptance: non-zero per-phase spans and per-worker mark
+/// timings when `gc_threads > 1`.
+#[test]
+fn phase_spans_and_worker_timings_are_observable() {
+    let mut w = suite::full_suite().remove(0);
+    w.iterations = (w.iterations / 10).max(3);
+    for workers in [1usize, 2, 4] {
+        let config = VmConfig::builder()
+            .heap_budget(w.heap_budget())
+            .grow_on_oom(true)
+            .gc_threads(workers)
+            .telemetry(true)
+            .build();
+        let mut vm = Vm::new(config);
+        w.run(&mut vm, false).unwrap();
+        vm.collect().unwrap();
+        let t = vm.telemetry();
+        assert!(t.cycles() > 0);
+        assert!(!t.total_pause().is_zero(), "total pause must be observable");
+        assert!(
+            !t.phase_total(GcPhase::Mark).is_zero(),
+            "mark span must be non-zero"
+        );
+        assert!(
+            !t.phase_total(GcPhase::Sweep).is_zero(),
+            "sweep span must be non-zero"
+        );
+        assert_eq!(
+            t.worker_mark_ns().len(),
+            workers,
+            "one cumulative mark timing per worker"
+        );
+        assert!(
+            t.worker_mark_ns().iter().any(|&ns| ns > 0),
+            "at least one worker did observable mark work"
+        );
+        for r in t.records() {
+            assert_eq!(r.worker_mark_ns.len(), workers);
+        }
+    }
+}
+
+/// ISSUE acceptance: per-assertion-kind overhead counters are populated
+/// by a workload with real assertions (`_209_db` registers ownership,
+/// buggy pseudojbb registers dead asserts), and the pre-root (ownership)
+/// phase span becomes non-zero exactly when ownership work exists.
+#[test]
+fn assertion_kind_counters_are_attributed() {
+    let db = Db209 {
+        operations: 400,
+        initial_entries: 200,
+        ..Default::default()
+    };
+    let (_, vm) = run_outcome(&db, true, true);
+    let t = vm.telemetry();
+    let owned = &t.overhead().owned_by;
+    assert!(owned.registered > 0, "db registers owned-by assertions");
+    assert!(owned.phase_work > 0, "ownership phase scanned owners/ownees");
+    assert!(
+        !t.phase_total(GcPhase::PreRoot).is_zero(),
+        "ownership work makes the pre-root span observable"
+    );
+    assert!(
+        t.records().iter().any(|r| r.pre_root_edges > 0),
+        "ownership scans trace extra edges before the root scan"
+    );
+
+    let jbb = PseudoJbb::buggy_with_dead_asserts();
+    let (_, vm) = run_outcome(&jbb, true, true);
+    let t = vm.telemetry();
+    assert!(
+        t.overhead().dead.registered > 0,
+        "buggy pseudojbb registers assert-dead"
+    );
+    assert!(
+        t.overhead().dead.header_bit_checks > 0,
+        "dead checks inspect header bits during the sweep"
+    );
+    assert!(t.violations() > 0, "the planted leak is reported");
+}
+
+/// ISSUE acceptance: both exporters stay parseable on real runs — JSONL
+/// round-trips through the hardened parser and the Prometheus text
+/// contains every metric family.
+#[test]
+fn exporters_are_parseable_on_real_runs() {
+    let mut w = suite::full_suite().remove(1); // bloat: GC-heavy
+    w.iterations = (w.iterations / 10).max(3);
+    let (_, vm) = run_outcome(&w, false, true);
+    let t = vm.telemetry();
+
+    let jsonl = t.to_jsonl(Some(w.name));
+    let parsed = parse_jsonl(&jsonl).unwrap();
+    assert_eq!(parsed.len(), t.records().len());
+    for (line, original) in parsed.iter().zip(t.records()) {
+        assert_eq!(line.bench.as_deref(), Some("bloat"));
+        assert_eq!(&line.record, original);
+    }
+
+    let prom = t.to_prometheus();
+    for family in [
+        "gca_gc_cycles_total",
+        "gca_gc_violations_total",
+        "gca_gc_phase_seconds_total",
+        "gca_gc_worker_mark_seconds_total",
+        "gca_assertion_overhead_total",
+        "gca_gc_pause_seconds_bucket",
+    ] {
+        assert!(prom.contains(family), "missing metric family {family}");
+    }
+    for line in prom.lines() {
+        assert!(
+            line.starts_with('#') || line.contains(' '),
+            "malformed exposition line: {line}"
+        );
+    }
+}
+
+/// Telemetry off is the default, and the snapshot from a disabled VM is
+/// empty no matter how much work ran (the knob is observably dark).
+#[test]
+fn disabled_by_default_and_empty_when_disabled() {
+    assert!(!VmConfig::default().telemetry);
+    let mut w = suite::full_suite().remove(0);
+    w.iterations = 3;
+    let (outcome, vm) = run_outcome(&w, false, false);
+    assert!(outcome.collections > 0);
+    let t = vm.telemetry();
+    assert!(!t.enabled());
+    assert_eq!(t.cycles(), 0);
+    assert!(t.records().is_empty());
+    assert!(t.to_jsonl(None).is_empty());
+}

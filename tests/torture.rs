@@ -23,10 +23,16 @@ struct Torture {
 
 impl Torture {
     fn new(seed: u64, generational: bool) -> Torture {
+        Torture::new_with(seed, generational, 1, false)
+    }
+
+    fn new_with(seed: u64, generational: bool, gc_threads: usize, telemetry: bool) -> Torture {
         let mut config = VmConfig::builder()
             .heap_budget(6_000)
             .grow_on_oom(true)
             .report_once(true)
+            .gc_threads(gc_threads)
+            .telemetry(telemetry)
             .build();
         if generational {
             config = config.generational(4);
@@ -208,6 +214,52 @@ fn torture_marksweep() {
 fn torture_generational() {
     for seed in [7, 99, 0xBEEF] {
         Torture::new(seed, true).run(1_500);
+    }
+}
+
+/// Runs the soak program at `seed` with `gc_threads` workers and
+/// telemetry recording on, returning the sorted violation kinds and the
+/// telemetry snapshot. The kinds (object refs + class names, no paths)
+/// are deterministic for a seed, so sequential and parallel marking must
+/// produce identical sets.
+fn violations_with_workers(
+    seed: u64,
+    gc_threads: usize,
+) -> (Vec<String>, gc_assertions::GcTelemetry) {
+    let mut t = Torture::new_with(seed, false, gc_threads, true);
+    t.run(800);
+    let mut kinds: Vec<String> = t
+        .vm
+        .violation_log()
+        .iter()
+        .map(|v| format!("{:?}", v.kind))
+        .collect();
+    kinds.sort();
+    (kinds, t.vm.telemetry())
+}
+
+#[test]
+fn torture_parallel_violation_parity_with_telemetry() {
+    for seed in [42, 0xFEED] {
+        let (seq_kinds, seq_tel) = violations_with_workers(seed, 1);
+        for workers in [2usize, 4] {
+            let (par_kinds, par_tel) = violations_with_workers(seed, workers);
+            assert_eq!(
+                seq_kinds, par_kinds,
+                "seed {seed}: {workers}-worker marking changed the violation set"
+            );
+            // Telemetry observed the parallel mark: every major cycle
+            // carries one mark span per worker.
+            assert!(par_tel.cycles() > 0);
+            assert_eq!(par_tel.worker_mark_ns().len(), workers);
+            for r in par_tel.records() {
+                assert_eq!(r.worker_mark_ns.len(), workers, "seed {seed}");
+            }
+            // Roll-ups agree with the sequential run on what happened,
+            // even though timings differ.
+            assert_eq!(par_tel.cycles(), seq_tel.cycles());
+            assert_eq!(par_tel.violations(), seq_tel.violations());
+        }
     }
 }
 
