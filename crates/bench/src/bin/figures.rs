@@ -3,7 +3,7 @@
 //! ```text
 //! figures [--fig1] [--fig2] [--fig3] [--fig4] [--fig5]
 //!         [--ablations] [--baselines] [--all]
-//!         [--telemetry PATH]
+//!         [--telemetry PATH] [--census PATH]
 //!         [--reps N] [--scale F]
 //! ```
 //!
@@ -12,11 +12,14 @@
 //! iteration counts for quick runs. `--telemetry PATH` is its own mode:
 //! it runs the full suite once with telemetry recording enabled and
 //! writes one JSON-lines record per GC cycle (tagged with the benchmark
-//! name) to PATH.
+//! name) to PATH. `--census PATH` does the same with the heap census
+//! also enabled, so every record carries per-class live tallies and top
+//! allocation sites.
 
 use gca_bench::{
-    ablation_path_tracking, baseline_detectors, baseline_eager, baseline_generational,
-    baseline_probes, figure1, figures_2_3, figures_4_5, summarize_infra, telemetry_jsonl,
+    ablation_census, ablation_path_tracking, baseline_detectors, baseline_eager,
+    baseline_generational, baseline_probes, census_jsonl, figure1, figures_2_3, figures_4_5,
+    summarize_infra, telemetry_jsonl,
 };
 
 struct Args {
@@ -26,6 +29,7 @@ struct Args {
     ablations: bool,
     baselines: bool,
     telemetry: Option<String>,
+    census: Option<String>,
     reps: usize,
     scale: f64,
 }
@@ -38,6 +42,7 @@ fn parse_args() -> Args {
         ablations: false,
         baselines: false,
         telemetry: None,
+        census: None,
         reps: 3,
         scale: 1.0,
     };
@@ -77,6 +82,10 @@ fn parse_args() -> Args {
                 args.telemetry = Some(it.next().expect("--telemetry takes an output path"));
                 any = true;
             }
+            "--census" => {
+                args.census = Some(it.next().expect("--census takes an output path"));
+                any = true;
+            }
             "--reps" => {
                 args.reps = it
                     .next()
@@ -113,6 +122,14 @@ fn main() {
         let records = jsonl.lines().count();
         std::fs::write(path, &jsonl).expect("writing the telemetry JSONL file");
         println!("telemetry: wrote {records} GC-cycle records to {path}");
+        println!();
+    }
+
+    if let Some(path) = &args.census {
+        let jsonl = census_jsonl(args.scale);
+        let records = jsonl.lines().count();
+        std::fs::write(path, &jsonl).expect("writing the census JSONL file");
+        println!("census: wrote {records} GC-cycle records (with census fields) to {path}");
         println!();
     }
 
@@ -235,6 +252,25 @@ fn main() {
                 r.gc_plain.as_secs_f64() * 1e3,
                 r.gc_paths.as_secs_f64() * 1e3,
                 delta
+            );
+        }
+        println!();
+
+        println!("=======================================================================");
+        println!("Ablation F: heap-census accumulator cost (GC time, Infrastructure)");
+        println!("=======================================================================");
+        let rows = ablation_census(args.reps, args.scale, 6);
+        println!(
+            "{:<12} {:>12} {:>12} {:>9}",
+            "benchmark", "off(ms)", "on(ms)", "delta%"
+        );
+        for r in &rows {
+            println!(
+                "{:<12} {:>12.2} {:>12.2} {:>8.2}%",
+                r.name,
+                r.gc_off.as_secs_f64() * 1e3,
+                r.gc_on.as_secs_f64() * 1e3,
+                r.overhead()
             );
         }
         println!();

@@ -12,6 +12,10 @@
 //!   `_209_db` and pseudojbb (Figures 4 and 5);
 //! * [`ablation_path_tracking`] — cost of the path-tracking worklist
 //!   alone (ours);
+//! * [`ablation_census`] — mark-time cost of the heap census
+//!   accumulators, on vs off (ours);
+//! * [`census_jsonl`] — the telemetry export with per-class/per-site
+//!   census fields on every cycle record (ours);
 //! * [`baseline_eager`] — eager (JML-style) invariant checking vs GC
 //!   assertions on the same ownership property (ours, quantifying §4.1's
 //!   10×–100× claim);
@@ -281,6 +285,29 @@ pub fn telemetry_jsonl(scale: f64) -> String {
     out
 }
 
+/// Runs the whole suite once with telemetry *and* the heap census enabled
+/// and returns the per-benchmark JSON-lines export: as [`telemetry_jsonl`],
+/// but every cycle record additionally carries per-class live tallies and
+/// top allocation sites. This is the artifact behind `figures --census`
+/// and the CI census step.
+pub fn census_jsonl(scale: f64) -> String {
+    let workloads: Vec<suite::SyntheticWorkload> = suite::full_suite()
+        .into_iter()
+        .map(|w| scaled(w, scale))
+        .collect();
+    let mut out = suite::suite_census_jsonl(&workloads, ExpConfig::Infrastructure)
+        .expect("suite workloads are infallible");
+    let db = scaled_db(scale);
+    let jbb = scaled_jbb(scale);
+    for w in [&db as &dyn Workload, &jbb as &dyn Workload] {
+        let (_, telemetry, _) =
+            gca_workloads::runner::run_once_census(w, ExpConfig::WithAssertions)
+                .expect("case-study workloads are infallible");
+        out.push_str(&telemetry.to_jsonl(Some(w.name())));
+    }
+    out
+}
+
 /// Geometric-mean overheads across Figure 2/3 rows:
 /// `(total%, mutator%, gc%)` — the paper reports +2.75%, +1.12%, +13.36%.
 pub fn summarize_infra(rows: &[InfraRow]) -> (f64, f64, f64) {
@@ -339,6 +366,62 @@ pub fn ablation_path_tracking(reps: usize, scale: f64, take: usize) -> Vec<PathA
             name: w.name().to_owned(),
             gc_plain: plain[plain.len() / 2],
             gc_paths: paths[paths.len() / 2],
+        });
+    }
+    rows
+}
+
+/// One row of the census ablation: Infrastructure with and without the
+/// heap census accumulators.
+#[derive(Debug, Clone)]
+pub struct CensusAblationRow {
+    /// Benchmark name.
+    pub name: String,
+    /// GC time with the census off (the default).
+    pub gc_off: Duration,
+    /// GC time with the census accumulating per-class/per-site tallies.
+    pub gc_on: Duration,
+}
+
+impl CensusAblationRow {
+    /// Census GC-time overhead in percent.
+    pub fn overhead(&self) -> f64 {
+        overhead_percent(self.gc_off, self.gc_on)
+    }
+}
+
+/// Ablation F: isolates the mark-time cost of the heap census by running
+/// the infrastructure configuration with the census on vs off
+/// (interleaved medians of `reps` runs over the first `take` suite
+/// benchmarks).
+pub fn ablation_census(reps: usize, scale: f64, take: usize) -> Vec<CensusAblationRow> {
+    let mut rows = Vec::new();
+    for w in suite::full_suite().into_iter().take(take) {
+        let w = scaled(w, scale);
+        let base_cfg = VmConfig::builder()
+            .heap_budget(w.heap_budget())
+            .grow_on_oom(true)
+            .build();
+        let mut off = Vec::new();
+        let mut on = Vec::new();
+        for _ in 0..reps.max(1) {
+            off.push(
+                run_once_config(&w, ExpConfig::Infrastructure, base_cfg.clone().census(false))
+                    .expect("runs")
+                    .gc,
+            );
+            on.push(
+                run_once_config(&w, ExpConfig::Infrastructure, base_cfg.clone().census(true))
+                    .expect("runs")
+                    .gc,
+            );
+        }
+        off.sort();
+        on.sort();
+        rows.push(CensusAblationRow {
+            name: w.name().to_owned(),
+            gc_off: off[off.len() / 2],
+            gc_on: on[on.len() / 2],
         });
     }
     rows

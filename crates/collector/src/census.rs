@@ -1,0 +1,161 @@
+//! Mark-time heap-census accumulation.
+//!
+//! A [`CensusSink`] rides along with the mark phase and tallies, for every
+//! object whose mark bit is claimed, its class (object and word counts) and
+//! its heap slot. The sink deliberately knows nothing about class *names*
+//! or allocation sites: attribution is resolved after the cycle by the VM,
+//! which owns the type registry and the per-slot allocation-site table.
+//! Recording slots is sound because every observed object was marked and
+//! therefore survives the sweep — its slot still resolves afterwards.
+//!
+//! Accumulation is pure summation, so per-worker shards from the parallel
+//! mark phase merge with [`CensusSink::absorb`] in any order and produce
+//! the same totals — the same determinism argument as the engine's sharded
+//! instance counters.
+
+use std::collections::HashMap;
+
+use gca_heap::{ClassId, Heap, ObjRef};
+
+/// Per-class running totals: `(objects, words)`.
+type ClassTally = (u64, u64);
+
+/// A mark-time census accumulator.
+///
+/// The sequential [`crate::Tracer`] carries an optional sink and feeds it
+/// on every first visit; parallel-mark visitors carry one per shard. The
+/// caller observes each object exactly once per cycle (the tracer and the
+/// parallel mark both claim mark bits exactly once), so totals equal the
+/// live population.
+#[derive(Debug, Default, Clone)]
+pub struct CensusSink {
+    classes: HashMap<ClassId, ClassTally>,
+    marked_slots: Vec<u32>,
+}
+
+impl CensusSink {
+    /// Creates an empty sink.
+    pub fn new() -> CensusSink {
+        CensusSink::default()
+    }
+
+    /// Tallies one newly-marked object. Invalid references are ignored
+    /// (defensive; the mark phase only observes live objects).
+    pub fn observe(&mut self, heap: &Heap, obj: ObjRef) {
+        if let Ok(o) = heap.get(obj) {
+            let tally = self.classes.entry(o.class()).or_insert((0, 0));
+            tally.0 += 1;
+            tally.1 += o.size_words() as u64;
+            self.marked_slots.push(obj.index());
+        }
+    }
+
+    /// Folds another sink's totals into this one. Summation commutes, so
+    /// merging parallel shards in any order is deterministic.
+    pub fn absorb(&mut self, other: CensusSink) {
+        for (class, (objects, words)) in other.classes {
+            let tally = self.classes.entry(class).or_insert((0, 0));
+            tally.0 += objects;
+            tally.1 += words;
+        }
+        self.marked_slots.extend(other.marked_slots);
+    }
+
+    /// Per-class `(objects, words)` totals, in arbitrary order.
+    pub fn classes(&self) -> impl Iterator<Item = (ClassId, u64, u64)> + '_ {
+        self.classes
+            .iter()
+            .map(|(&class, &(objects, words))| (class, objects, words))
+    }
+
+    /// Heap slots of every observed object, in observation order.
+    pub fn marked_slots(&self) -> &[u32] {
+        &self.marked_slots
+    }
+
+    /// Total objects observed.
+    pub fn total_objects(&self) -> u64 {
+        self.classes.values().map(|&(objects, _)| objects).sum()
+    }
+
+    /// Drops all tallies, keeping allocated capacity for reuse.
+    pub fn clear(&mut self) {
+        self.classes.clear();
+        self.marked_slots.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_class_heap() -> (Heap, Vec<ObjRef>) {
+        let mut heap = Heap::new();
+        let node = heap.register_class("Node", &["next"]);
+        let blob = heap.register_class("Blob", &[]);
+        let a = heap.alloc(node, 1, 0).unwrap();
+        let b = heap.alloc(node, 1, 0).unwrap();
+        let c = heap.alloc(blob, 0, 6).unwrap();
+        (heap, vec![a, b, c])
+    }
+
+    #[test]
+    fn observe_tallies_objects_words_and_slots() {
+        let (heap, objs) = two_class_heap();
+        let mut sink = CensusSink::new();
+        for &o in &objs {
+            sink.observe(&heap, o);
+        }
+        assert_eq!(sink.total_objects(), 3);
+        assert_eq!(sink.marked_slots().len(), 3);
+        let mut by_class: Vec<(u64, u64)> =
+            sink.classes().map(|(_, o, w)| (o, w)).collect();
+        by_class.sort_unstable();
+        // Node: 2 objects, header(2)+1 ref each = 3 words; Blob: 2+6 = 8.
+        assert_eq!(by_class, vec![(1, 8), (2, 6)]);
+    }
+
+    #[test]
+    fn absorb_merges_shards_commutatively() {
+        let (heap, objs) = two_class_heap();
+        let mut left = CensusSink::new();
+        let mut right = CensusSink::new();
+        left.observe(&heap, objs[0]);
+        right.observe(&heap, objs[1]);
+        right.observe(&heap, objs[2]);
+
+        let mut ab = left.clone();
+        ab.absorb(right.clone());
+        let mut ba = right;
+        ba.absorb(left);
+
+        let norm = |s: &CensusSink| {
+            let mut v: Vec<_> = s.classes().collect();
+            v.sort_unstable();
+            let mut slots = s.marked_slots().to_vec();
+            slots.sort_unstable();
+            (v, slots)
+        };
+        assert_eq!(norm(&ab), norm(&ba));
+        assert_eq!(ab.total_objects(), 3);
+    }
+
+    #[test]
+    fn invalid_refs_are_ignored() {
+        let heap = Heap::new();
+        let mut sink = CensusSink::new();
+        sink.observe(&heap, ObjRef::NULL);
+        assert_eq!(sink.total_objects(), 0);
+        assert!(sink.marked_slots().is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let (heap, objs) = two_class_heap();
+        let mut sink = CensusSink::new();
+        sink.observe(&heap, objs[0]);
+        sink.clear();
+        assert_eq!(sink.total_objects(), 0);
+        assert!(sink.marked_slots().is_empty());
+    }
+}

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod census;
 mod collector;
 mod deque;
 mod hooks;
@@ -62,6 +63,7 @@ mod path;
 mod stats;
 mod tracer;
 
+pub use census::CensusSink;
 pub use collector::{sweep_heap, Collector};
 pub use deque::StealDeque;
 pub use hooks::{NoHooks, TraceHooks, Visit};

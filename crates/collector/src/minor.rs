@@ -24,6 +24,10 @@ use crate::tracer::{TraceCtx, Tracer};
 use crate::Visit;
 
 /// Statistics for one minor collection.
+///
+/// Minor cycles report the same trace counters as full collections
+/// (`objects_marked`, `edges_traced`), so telemetry records for the two
+/// cycle kinds are directly comparable.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MinorStats {
     /// Wall time of the cycle.
@@ -36,6 +40,13 @@ pub struct MinorStats {
     pub words_swept: u64,
     /// Remembered-set entries scanned.
     pub remembered_scanned: u64,
+    /// Objects marked by the minor trace. Includes old objects the trace
+    /// touched and stopped at (their mark is claimed before the visit
+    /// decides to skip), so this can exceed `promoted`.
+    pub objects_marked: u64,
+    /// Reference edges traversed by the minor trace, including the
+    /// remembered-set field scans.
+    pub edges_traced: u64,
 }
 
 /// Hooks used internally by the minor trace: stop at old objects and
@@ -106,6 +117,8 @@ pub fn collect_minor<H: TraceHooks>(
         touched_old: Vec::new(),
     };
     tracer.drain(heap, &mut minor_hooks)?;
+    stats.objects_marked = tracer.objects_marked();
+    stats.edges_traced = tracer.edges_traced();
 
     // Sweep the young population only.
     for &y in young {
@@ -244,6 +257,35 @@ mod tests {
         assert!(!heap.is_valid(young2));
         assert!(heap.is_valid(root));
         assert!(!heap.has_flag(old, Flags::MARK).unwrap(), "touched old cleaned");
+    }
+
+    #[test]
+    fn minor_reports_trace_counters() {
+        let (mut heap, mut tracer) = setup();
+        let root = alloc(&mut heap);
+        let kept = alloc(&mut heap);
+        let dead = alloc(&mut heap);
+        heap.set_ref_field(root, 0, kept).unwrap();
+        let young = vec![root, kept, dead];
+        let stats =
+            collect_minor(&mut tracer, &mut heap, &[root], &[], &young, &mut NoHooks).unwrap();
+        assert_eq!(stats.objects_marked, 2, "root and kept");
+        assert_eq!(stats.edges_traced, 1, "the root->kept edge");
+    }
+
+    #[test]
+    fn minor_counts_touched_old_as_marked() {
+        // root -> old: the trace claims old's mark before skipping it, so
+        // objects_marked counts it (documented on MinorStats).
+        let (mut heap, mut tracer) = setup();
+        let root = alloc(&mut heap);
+        let old = alloc(&mut heap);
+        heap.set_flag(old, Flags::OLD).unwrap();
+        heap.set_ref_field(root, 0, old).unwrap();
+        let stats =
+            collect_minor(&mut tracer, &mut heap, &[root], &[], &[root], &mut NoHooks).unwrap();
+        assert_eq!(stats.objects_marked, 2);
+        assert_eq!(stats.promoted, 1);
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! VM-side census state: allocation-site tagging and post-cycle
+//! attribution.
+//!
+//! The collector's [`CensusSink`] tallies classes and slots at mark time
+//! but deliberately knows no names. This module holds the other half:
+//!
+//! * **Allocation sites** — an interned string table of site labels plus a
+//!   slot-indexed side table recording which site allocated each heap
+//!   slot. Tagging is a single `Vec` store on [`crate::Vm::alloc`]'s path
+//!   (and nothing at all when the census is off).
+//! * **Attribution** — after a cycle completes, [`CensusState::build_data`]
+//!   resolves the sink's class ids against the type registry and its
+//!   marked slots against the site table. This is sound because every
+//!   marked object survives the sweep, so its slot still resolves.
+//! * **The recorder** — a [`HeapCensus`] fed one [`CensusData`] per cycle,
+//!   which maintains the drift windows and serves `Vm::census()`.
+
+use std::collections::HashMap;
+
+use gca_collector::CensusSink;
+use gca_heap::{Heap, ObjRef};
+use gca_telemetry::{CensusData, CensusEntry, HeapCensus};
+
+/// Heap words are u64s.
+const WORD_BYTES: u64 = 8;
+
+/// Site id 0 is reserved for allocations made with no site set.
+const UNATTRIBUTED: u32 = 0;
+
+/// An interned allocation-site label, obtained from
+/// [`crate::Vm::alloc_site`] and installed with
+/// [`crate::Vm::set_alloc_site`]. Copy-cheap; compares by identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocSite(pub(crate) u32);
+
+impl AllocSite {
+    /// The default site: allocations made while no site is set are
+    /// attributed to `<unattributed>`.
+    pub const UNATTRIBUTED: AllocSite = AllocSite(UNATTRIBUTED);
+}
+
+/// All census state owned by the VM (boxed, present only when
+/// [`crate::VmConfig::census`] is set).
+#[derive(Debug)]
+pub(crate) struct CensusState {
+    site_names: Vec<String>,
+    site_ids: HashMap<String, u32>,
+    current_site: u32,
+    /// Slot-indexed: which site allocated the object currently in each
+    /// heap slot. Stale entries for freed slots are overwritten by the
+    /// next allocation in that slot and never read meanwhile (attribution
+    /// only looks up slots of marked — live — objects).
+    site_of: Vec<u32>,
+    /// The rolling recorder behind `Vm::census()`.
+    pub(crate) recorder: HeapCensus,
+}
+
+impl CensusState {
+    pub(crate) fn new() -> CensusState {
+        let unattributed = "<unattributed>".to_owned();
+        CensusState {
+            site_ids: HashMap::from([(unattributed.clone(), UNATTRIBUTED)]),
+            site_names: vec![unattributed],
+            current_site: UNATTRIBUTED,
+            site_of: Vec::new(),
+            recorder: HeapCensus::new(),
+        }
+    }
+
+    /// Interns a site label, returning its id.
+    pub(crate) fn intern(&mut self, name: &str) -> AllocSite {
+        if let Some(&id) = self.site_ids.get(name) {
+            return AllocSite(id);
+        }
+        let id = self.site_names.len() as u32;
+        self.site_names.push(name.to_owned());
+        self.site_ids.insert(name.to_owned(), id);
+        AllocSite(id)
+    }
+
+    /// Replaces the current site, returning the previous one so callers
+    /// can scope-restore. A site id this table never issued (e.g. one
+    /// from another VM) falls back to `<unattributed>`.
+    pub(crate) fn set_current(&mut self, site: AllocSite) -> AllocSite {
+        let id = if (site.0 as usize) < self.site_names.len() {
+            site.0
+        } else {
+            UNATTRIBUTED
+        };
+        AllocSite(std::mem::replace(&mut self.current_site, id))
+    }
+
+    /// Tags a freshly-allocated slot with the current site.
+    pub(crate) fn note_alloc(&mut self, slot: u32) {
+        let slot = slot as usize;
+        if self.site_of.len() <= slot {
+            self.site_of.resize(slot + 1, UNATTRIBUTED);
+        }
+        self.site_of[slot] = self.current_site;
+    }
+
+    fn site_name(&self, id: u32) -> &str {
+        &self.site_names[id as usize]
+    }
+
+    /// Resolves a mark-time sink into named, normalized census data.
+    /// Must run after the cycle and before any further mutation frees
+    /// marked objects (the VM calls it straight after the sweep).
+    pub(crate) fn build_data(&self, heap: &Heap, sink: &CensusSink) -> CensusData {
+        let classes = sink
+            .classes()
+            .map(|(class, objects, words)| CensusEntry {
+                name: heap.registry().name(class).to_owned(),
+                objects,
+                bytes: words * WORD_BYTES,
+            })
+            .collect();
+
+        let mut per_site: HashMap<u32, (u64, u64)> = HashMap::new();
+        for &slot in sink.marked_slots() {
+            if let Some((_, o)) = heap.entry(slot as usize) {
+                let site = self.site_of.get(slot as usize).copied().unwrap_or(UNATTRIBUTED);
+                let tally = per_site.entry(site).or_insert((0, 0));
+                tally.0 += 1;
+                tally.1 += o.size_words() as u64 * WORD_BYTES;
+            }
+        }
+        let sites = per_site
+            .into_iter()
+            .map(|(site, (objects, bytes))| CensusEntry {
+                name: self.site_name(site).to_owned(),
+                objects,
+                bytes,
+            })
+            .collect();
+
+        let mut data = CensusData { classes, sites };
+        data.normalize();
+        data
+    }
+
+    /// Builds nursery-survivor census data after a minor collection:
+    /// every still-valid entry of the taken young list was promoted by
+    /// the sweep. Minor census covers the nursery only (untouched old
+    /// objects are invisible to a minor trace) and is kept out of the
+    /// drift windows for that reason.
+    pub(crate) fn build_minor_data(&self, heap: &Heap, young: &[ObjRef]) -> CensusData {
+        let mut per_class: HashMap<String, (u64, u64)> = HashMap::new();
+        let mut per_site: HashMap<u32, (u64, u64)> = HashMap::new();
+        for &y in young {
+            let Ok(o) = heap.get(y) else { continue };
+            let bytes = o.size_words() as u64 * WORD_BYTES;
+            let class = per_class
+                .entry(heap.registry().name(o.class()).to_owned())
+                .or_insert((0, 0));
+            class.0 += 1;
+            class.1 += bytes;
+            let site_id = self
+                .site_of
+                .get(y.index() as usize)
+                .copied()
+                .unwrap_or(UNATTRIBUTED);
+            let site = per_site.entry(site_id).or_insert((0, 0));
+            site.0 += 1;
+            site.1 += bytes;
+        }
+        let mut data = CensusData {
+            classes: per_class
+                .into_iter()
+                .map(|(name, (objects, bytes))| CensusEntry { name, objects, bytes })
+                .collect(),
+            sites: per_site
+                .into_iter()
+                .map(|(site, (objects, bytes))| CensusEntry {
+                    name: self.site_name(site).to_owned(),
+                    objects,
+                    bytes,
+                })
+                .collect(),
+        };
+        data.normalize();
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut s = CensusState::new();
+        let a = s.intern("Foo::bar");
+        let b = s.intern("Foo::bar");
+        let c = s.intern("Other");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(s.site_name(a.0), "Foo::bar");
+    }
+
+    #[test]
+    fn unattributed_is_the_default_site() {
+        let mut s = CensusState::new();
+        assert_eq!(s.intern("<unattributed>"), AllocSite::UNATTRIBUTED);
+        s.note_alloc(3);
+        assert_eq!(s.site_of, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn set_current_returns_previous() {
+        let mut s = CensusState::new();
+        let site = s.intern("X");
+        let prev = s.set_current(site);
+        assert_eq!(prev, AllocSite::UNATTRIBUTED);
+        s.note_alloc(0);
+        assert_eq!(s.site_of, vec![site.0]);
+        let prev = s.set_current(AllocSite::UNATTRIBUTED);
+        assert_eq!(prev, site);
+    }
+
+    #[test]
+    fn build_data_resolves_names_and_sites() {
+        let mut heap = Heap::new();
+        let node = heap.register_class("Node", &["next"]);
+        let mut s = CensusState::new();
+        let site = s.intern("test::mk");
+        s.set_current(site);
+        let a = heap.alloc(node, 1, 0).unwrap();
+        s.note_alloc(a.index());
+        s.set_current(AllocSite::UNATTRIBUTED);
+        let b = heap.alloc(node, 1, 0).unwrap();
+        s.note_alloc(b.index());
+
+        let mut sink = CensusSink::new();
+        sink.observe(&heap, a);
+        sink.observe(&heap, b);
+        let data = s.build_data(&heap, &sink);
+        assert_eq!(data.classes.len(), 1);
+        assert_eq!(data.classes[0].name, "Node");
+        assert_eq!(data.classes[0].objects, 2);
+        assert_eq!(data.classes[0].bytes, 2 * 3 * 8); // header 2 + 1 ref
+        let names: Vec<&str> = data.sites.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["<unattributed>", "test::mk"]); // normalized
+        assert!(data.sites.iter().all(|e| e.objects == 1 && e.bytes == 24));
+    }
+}

@@ -111,6 +111,14 @@ pub struct VmConfig {
     /// statistics *after* each collection), so disabling it leaves the
     /// collector's hot paths untouched.
     pub telemetry: bool,
+    /// Record a heap census: per-class and per-allocation-site live
+    /// object/byte histograms accumulated during each mark, with a
+    /// rolling-window drift detector over major cycles, exposed via
+    /// `Vm::census()`. Off by default — the census observes marking but
+    /// never changes which objects are marked, swept, or reported, so
+    /// census-on runs are bit-identical to census-off runs in everything
+    /// except the census itself.
+    pub census: bool,
 }
 
 impl Default for VmConfig {
@@ -127,6 +135,7 @@ impl Default for VmConfig {
             generational: None,
             gc_threads: 1,
             telemetry: false,
+            census: false,
         }
     }
 }
@@ -207,6 +216,13 @@ impl VmConfig {
     #[must_use]
     pub fn telemetry(mut self, on: bool) -> VmConfig {
         self.telemetry = on;
+        self
+    }
+
+    /// Enables or disables the heap census (see [`VmConfig::census`]).
+    #[must_use]
+    pub fn census(mut self, on: bool) -> VmConfig {
+        self.census = on;
         self
     }
 
@@ -336,6 +352,12 @@ impl VmConfigBuilder {
         self
     }
 
+    /// Enables or disables the heap census (see [`VmConfig::census`]).
+    pub fn census(mut self, on: bool) -> VmConfigBuilder {
+        self.config.census = on;
+        self
+    }
+
     /// Overrides the reaction for one assertion class (later overrides
     /// for the same class win).
     pub fn reaction_for(mut self, class: AssertionClass, reaction: Reaction) -> VmConfigBuilder {
@@ -372,6 +394,7 @@ mod tests {
         assert!(!c.strict_owner_lifetime);
         assert!(c.grow);
         assert!(!c.telemetry, "telemetry is observably dark by default");
+        assert!(!c.census, "census is observably dark by default");
     }
 
     #[test]
@@ -406,6 +429,7 @@ mod tests {
             .generational(0)
             .gc_threads(4)
             .telemetry(true)
+            .census(true)
             .reaction_for(AssertionClass::Volume, Reaction::Log)
             .build();
         assert_eq!(built.heap_budget, 123);
@@ -418,6 +442,7 @@ mod tests {
         assert_eq!(built.generational, Some(1)); // clamped
         assert_eq!(built.gc_threads, 4);
         assert!(built.telemetry);
+        assert!(built.census);
         assert_eq!(built.effective_reaction(AssertionClass::Volume), Reaction::Log);
     }
 

@@ -72,6 +72,7 @@
 #![warn(missing_debug_implementations)]
 
 mod assertions;
+mod census;
 mod config;
 mod engine;
 mod error;
@@ -85,6 +86,7 @@ mod violation;
 mod vm;
 
 pub use assertions::{Assertions, RegionGuard};
+pub use census::AllocSite;
 pub use config::{AssertionClass, Mode, Reaction, VmConfig, VmConfigBuilder};
 pub use engine::AssertionEngine;
 pub use error::VmError;
@@ -100,6 +102,7 @@ pub use gca_collector::{CycleStats, GcStats, HeapPath, PathStep};
 pub use gca_heap::{ClassId, Flags, HeapError, HeapStats, ObjRef, TypeRegistry};
 pub use gca_telemetry::export::parse_jsonl;
 pub use gca_telemetry::{
-    AssertionKind, AssertionOverhead, CycleKind, CycleRecord, GcPhase, GcTelemetry,
+    AssertionKind, AssertionOverhead, CensusData, CensusDrift, CensusEntry, CycleCensus,
+    CycleKind, CycleRecord, DriftScope, GcPhase, GcTelemetry, HeapCensus, HeapDiff, HeapDiffRow,
     JsonlRecord, KindOverhead, LatencyHistogram, TelemetryParseError,
 };

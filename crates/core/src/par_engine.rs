@@ -40,8 +40,8 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use gca_collector::{
-    mark_parallel, push_child_items, reconstruct_path, sweep_heap, CycleStats, HeapPath,
-    NoHooks, NoParVisitor, ParVisitor, TraceHooks, Visit, WorkItem, CTX_NONE,
+    mark_parallel, push_child_items, reconstruct_path, sweep_heap, CensusSink, CycleStats,
+    HeapPath, NoHooks, NoParVisitor, ParVisitor, TraceHooks, Visit, WorkItem, CTX_NONE,
 };
 use gca_heap::{ClassId, Flags, Heap, HeapError, ObjRef};
 
@@ -120,10 +120,18 @@ struct ShardVisitor<'a> {
     deferred: Vec<(ObjRef, usize)>,
     dead_edges: Vec<(ObjRef, usize)>,
     candidates: Vec<Candidate>,
+    /// Heap-census shard, merged like the instance counters (summation
+    /// commutes, so the merged totals are interleaving-independent).
+    census: Option<CensusSink>,
 }
 
 impl<'a> ShardVisitor<'a> {
-    fn new(ownership: &'a OwnershipTable, mode: ScanMode, record_dead_edges: bool) -> Self {
+    fn new(
+        ownership: &'a OwnershipTable,
+        mode: ScanMode,
+        record_dead_edges: bool,
+        census: bool,
+    ) -> Self {
         ShardVisitor {
             ownership,
             mode,
@@ -133,6 +141,7 @@ impl<'a> ShardVisitor<'a> {
             deferred: Vec::new(),
             dead_edges: Vec::new(),
             candidates: Vec::new(),
+            census: census.then(CensusSink::new),
         }
     }
 
@@ -165,6 +174,12 @@ impl<'a> ShardVisitor<'a> {
 
 impl ParVisitor for ShardVisitor<'_> {
     fn visit_new(&mut self, heap: &Heap, obj: ObjRef, prev: Flags, item: &WorkItem) -> Visit {
+        // Census first: visit_new fires exactly once per object across
+        // every sub-phase of the cycle, so each live object is tallied
+        // exactly once.
+        if let Some(census) = self.census.as_mut() {
+            census.observe(heap, obj);
+        }
         let class = heap.get(obj).expect("traced object is live").class();
 
         // assert-instances: count every traced object of a tracked class.
@@ -245,6 +260,8 @@ struct PhaseAccum {
     /// Per-worker busy time summed element-wise over every barriered
     /// mark sub-phase of the cycle (ownership rounds plus the root scan).
     worker_busy: Vec<Duration>,
+    /// Merged census shards (populated only when the census is on).
+    census: Option<CensusSink>,
 }
 
 /// Result of one parallel cycle: the standard stats plus the per-worker
@@ -256,10 +273,14 @@ pub(crate) struct ParCycle {
     /// Busy time per tracing worker across the cycle's parallel mark
     /// loops, indexed by worker.
     pub worker_mark: Vec<Duration>,
+    /// The cycle's merged heap census; `Some` exactly when the caller
+    /// requested one.
+    pub census: Option<CensusSink>,
 }
 
 /// Runs one barriered mark sub-phase and folds the shard results into
 /// `acc`, returning the merged deferred-ownee queue.
+#[allow(clippy::too_many_arguments)]
 fn run_phase(
     heap: &Heap,
     ownership: &OwnershipTable,
@@ -267,10 +288,11 @@ fn run_phase(
     seeds: Vec<WorkItem>,
     workers: usize,
     record_dead_edges: bool,
+    census: bool,
     acc: &mut PhaseAccum,
 ) -> Result<Vec<(ObjRef, usize)>, HeapError> {
     let mut shards: Vec<ShardVisitor<'_>> = (0..workers)
-        .map(|_| ShardVisitor::new(ownership, mode, record_dead_edges))
+        .map(|_| ShardVisitor::new(ownership, mode, record_dead_edges, census))
         .collect();
     let stats = mark_parallel(heap, seeds, &mut shards)?;
     acc.objects_marked += stats.objects_marked;
@@ -294,6 +316,9 @@ fn run_phase(
         acc.counters.unshared_bits_seen += shard.counters.unshared_bits_seen;
         acc.dead_edges.extend(shard.dead_edges);
         deferred.extend(shard.deferred);
+        if let Some(sink) = shard.census {
+            acc.census.get_or_insert_with(CensusSink::new).absorb(sink);
+        }
     }
     Ok(deferred)
 }
@@ -311,6 +336,7 @@ pub(crate) fn collect_parallel(
     heap: &mut Heap,
     roots: &[ObjRef],
     workers: usize,
+    census: bool,
 ) -> Result<ParCycle, HeapError> {
     let workers = workers.max(1);
     let cycle_start = Instant::now();
@@ -340,6 +366,7 @@ pub(crate) fn collect_parallel(
             seeds,
             workers,
             record_dead_edges,
+            census,
             &mut acc,
         )?;
         // Phase B: deferred-ownee rounds until the queue drains ("resume
@@ -360,6 +387,7 @@ pub(crate) fn collect_parallel(
                 seeds,
                 workers,
                 record_dead_edges,
+                census,
                 &mut acc,
             )?;
         }
@@ -381,6 +409,7 @@ pub(crate) fn collect_parallel(
         seeds,
         workers,
         record_dead_edges,
+        census,
         &mut acc,
     )?;
     debug_assert!(stray.is_empty(), "root scans never credit ownees");
@@ -417,6 +446,7 @@ pub(crate) fn collect_parallel(
     Ok(ParCycle {
         cycle,
         worker_mark: acc.worker_busy,
+        census: census.then(|| acc.census.unwrap_or_default()),
     })
 }
 
@@ -612,12 +642,30 @@ fn violation_path(
     .unwrap_or_default()
 }
 
+/// A census-only shard for the Base parallel path: tallies marked objects
+/// and otherwise behaves exactly like [`NoParVisitor`].
+#[derive(Debug, Default)]
+struct CensusShard {
+    sink: CensusSink,
+}
+
+impl ParVisitor for CensusShard {
+    fn visit_new(&mut self, heap: &Heap, obj: ObjRef, _prev: Flags, _item: &WorkItem) -> Visit {
+        self.sink.observe(heap, obj);
+        Visit::Descend
+    }
+    fn visit_marked(&mut self, _h: &Heap, _o: ObjRef, _p: Flags, _i: &WorkItem) {}
+}
+
 /// A full parallel cycle for the Base (uninstrumented) configuration:
-/// plain parallel mark + sequential sweep, no hooks.
+/// plain parallel mark + sequential sweep, no hooks. With `census` the
+/// plain visitors are swapped for census-only shards; without it the
+/// uninstrumented mark loop is untouched.
 pub(crate) fn collect_parallel_base(
     heap: &mut Heap,
     roots: &[ObjRef],
     workers: usize,
+    census: bool,
 ) -> Result<ParCycle, HeapError> {
     let cycle_start = Instant::now();
     let t = Instant::now();
@@ -626,8 +674,20 @@ pub(crate) fn collect_parallel_base(
         .filter(|r| r.is_some())
         .map(|&r| WorkItem::seed(r, CTX_NONE))
         .collect();
-    let mut visitors = vec![NoParVisitor; workers.max(1)];
-    let stats = mark_parallel(heap, seeds, &mut visitors)?;
+    let (stats, sink) = if census {
+        let mut visitors: Vec<CensusShard> = (0..workers.max(1))
+            .map(|_| CensusShard::default())
+            .collect();
+        let stats = mark_parallel(heap, seeds, &mut visitors)?;
+        let mut merged = CensusSink::new();
+        for v in visitors {
+            merged.absorb(v.sink);
+        }
+        (stats, Some(merged))
+    } else {
+        let mut visitors = vec![NoParVisitor; workers.max(1)];
+        (mark_parallel(heap, seeds, &mut visitors)?, None)
+    };
     let mark = t.elapsed();
 
     let t = Instant::now();
@@ -647,5 +707,6 @@ pub(crate) fn collect_parallel_base(
             words_swept,
         },
         worker_mark: stats.worker_busy,
+        census: sink,
     })
 }

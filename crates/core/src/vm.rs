@@ -1,8 +1,9 @@
 //! The VM façade: heap + collector + assertion engine + mutators.
 
-use gca_collector::{Collector, GcStats, NoHooks};
+use gca_collector::{CensusSink, Collector, GcStats, NoHooks};
 use gca_heap::{ClassId, Flags, Heap, HeapError, HeapStats, ObjRef, TypeRegistry, HEADER_WORDS};
 
+use crate::census::{AllocSite, CensusState};
 use crate::config::{Mode, Reaction, VmConfig};
 use crate::engine::AssertionEngine;
 use crate::error::VmError;
@@ -101,6 +102,11 @@ pub struct Vm {
     /// Call-count snapshot at the previous collection, for attributing
     /// registrations to the cycle in which they were checked.
     last_calls: AssertionCallCounts,
+    /// Heap-census state (site table + drift recorder), present only when
+    /// [`VmConfig::census`] is set. Like telemetry, the census observes
+    /// the mark but never participates: live sets, violations and reports
+    /// are bit-identical with it on or off.
+    census: Option<Box<CensusState>>,
 }
 
 /// Boxed callback type for [`Vm::set_violation_handler`].
@@ -128,6 +134,7 @@ impl Vm {
         let telemetry = config
             .telemetry
             .then(|| Box::new(gca_telemetry::GcTelemetry::new()));
+        let census = config.census.then(|| Box::new(CensusState::new()));
         Vm {
             heap: Heap::new(),
             collector: Collector::new(),
@@ -149,6 +156,7 @@ impl Vm {
             minor_gc_time: std::time::Duration::ZERO,
             telemetry,
             last_calls: AssertionCallCounts::default(),
+            census,
         }
     }
 
@@ -331,6 +339,9 @@ impl Vm {
             }
         }
         let r = self.heap.alloc(class, nrefs, data_words)?;
+        if let Some(census) = self.census.as_deref_mut() {
+            census.note_alloc(r.index());
+        }
         if self.config.generational.is_some() {
             self.young.push(r);
         }
@@ -394,29 +405,52 @@ impl Vm {
         self.collections_requested += 1;
         let roots = self.gather_roots();
         let workers = self.config.effective_gc_threads();
+        let want_census = self.census.is_some();
         // Sequential arms report the whole mark span as worker 0's busy
         // time; parallel arms return the per-worker profile.
-        let (cycle, worker_mark) = match (self.config.mode, workers) {
+        let (cycle, worker_mark, census_sink) = match (self.config.mode, workers) {
+            (Mode::Base, 0 | 1) if want_census => {
+                let (cycle, sink) = self.collector.collect_census(
+                    &mut self.heap,
+                    &roots,
+                    &mut NoHooks,
+                    CensusSink::new(),
+                )?;
+                (cycle, vec![cycle.mark], Some(sink))
+            }
             (Mode::Base, 0 | 1) => {
                 let cycle = self
                     .collector
                     .collect(&mut self.heap, &roots, &mut NoHooks)?;
-                (cycle, vec![cycle.mark])
+                (cycle, vec![cycle.mark], None)
+            }
+            (Mode::Instrumented, 0 | 1) if want_census => {
+                let (cycle, sink) = self.collector.collect_census(
+                    &mut self.heap,
+                    &roots,
+                    &mut self.engine,
+                    CensusSink::new(),
+                )?;
+                (cycle, vec![cycle.mark], Some(sink))
             }
             (Mode::Instrumented, 0 | 1) => {
                 let cycle = self
                     .collector
                     .collect(&mut self.heap, &roots, &mut self.engine)?;
-                (cycle, vec![cycle.mark])
+                (cycle, vec![cycle.mark], None)
             }
             // Parallel mark phase: the Collector only contributed the
             // mark/sweep driver, so run the parallel driver directly and
             // fold the cycle into the collector's cumulative stats.
             (Mode::Base, n) => {
-                let par =
-                    crate::par_engine::collect_parallel_base(&mut self.heap, &roots, n)?;
+                let par = crate::par_engine::collect_parallel_base(
+                    &mut self.heap,
+                    &roots,
+                    n,
+                    want_census,
+                )?;
                 self.collector.record_cycle(&par.cycle);
-                (par.cycle, par.worker_mark)
+                (par.cycle, par.worker_mark, par.census)
             }
             (Mode::Instrumented, n) => {
                 let par = crate::par_engine::collect_parallel(
@@ -424,10 +458,21 @@ impl Vm {
                     &mut self.heap,
                     &roots,
                     n,
+                    want_census,
                 )?;
                 self.collector.record_cycle(&par.cycle);
-                (par.cycle, par.worker_mark)
+                (par.cycle, par.worker_mark, par.census)
             }
+        };
+        // Resolve the census right after the sweep, while every marked
+        // slot still holds its (surviving) object.
+        let census_data = match (self.census.as_deref_mut(), census_sink) {
+            (Some(state), Some(sink)) => {
+                let data = state.build_data(&self.heap, &sink);
+                state.recorder.record_major(data.clone());
+                Some(data)
+            }
+            _ => None,
         };
         // Generational bookkeeping: a major collection promotes every
         // survivor and resets the nursery and the remembered set.
@@ -482,7 +527,19 @@ impl Vm {
         self.totals.tracked_instances_counted += counters.tracked_instances_counted;
         self.totals.unshared_bits_seen += counters.unshared_bits_seen;
         if self.telemetry.is_some() {
-            self.record_major_telemetry(&cycle, worker_mark, &counters, violations.len() as u64);
+            // The JSONL record carries the full class histogram but only
+            // the top allocation sites by bytes, keeping lines bounded.
+            let census_record = census_data.map(|d| gca_telemetry::CensusData {
+                sites: d.top_sites_by_bytes(10).into_iter().cloned().collect(),
+                classes: d.classes,
+            });
+            self.record_major_telemetry(
+                &cycle,
+                worker_mark,
+                &counters,
+                violations.len() as u64,
+                census_record,
+            );
         }
         self.last_calls = self.calls;
         Ok(GcReport {
@@ -511,6 +568,7 @@ impl Vm {
         worker_mark: Vec<std::time::Duration>,
         counters: &crate::report::CheckCounters,
         violations: u64,
+        census: Option<gca_telemetry::CensusData>,
     ) {
         let delta = |now: u64, then: u64| now.saturating_sub(then);
         let mut overhead = gca_telemetry::AssertionOverhead::default();
@@ -550,6 +608,7 @@ impl Vm {
                 .map(|d| d.as_nanos() as u64)
                 .collect(),
             overhead,
+            census,
         });
     }
 
@@ -595,13 +654,30 @@ impl Vm {
         self.minors_since_major += 1;
         self.minor_collections += 1;
         self.minor_gc_time += stats.total;
+        // Minor census: the still-valid entries of the taken young list
+        // are exactly the nursery survivors the sweep promoted. Minors
+        // are recorded beside majors but never feed the drift windows
+        // (they see only the nursery, so their histograms are not
+        // comparable cycle to cycle).
+        let mut minor_census = None;
+        if let Some(state) = self.census.as_deref_mut() {
+            let data = state.build_minor_data(&self.heap, &young);
+            state.recorder.record_minor(data.clone());
+            minor_census = Some(data);
+        }
         if let Some(t) = self.telemetry.as_deref_mut() {
             t.record(gca_telemetry::CycleRecord {
                 kind: gca_telemetry::CycleKind::Minor,
                 total_ns: stats.total.as_nanos() as u64,
+                objects_marked: stats.objects_marked,
+                edges_traced: stats.edges_traced,
                 objects_swept: stats.objects_swept,
                 words_swept: stats.words_swept,
                 promoted: stats.promoted,
+                census: minor_census.map(|d| gca_telemetry::CensusData {
+                    sites: d.top_sites_by_bytes(10).into_iter().cloned().collect(),
+                    classes: d.classes,
+                }),
                 ..Default::default()
             });
         }
@@ -630,6 +706,42 @@ impl Vm {
         match &self.telemetry {
             Some(t) => (**t).clone(),
             None => gca_telemetry::GcTelemetry::default(),
+        }
+    }
+
+    /// A snapshot of the heap census recorded so far: per-class and
+    /// per-allocation-site live histograms for every cycle, the drift
+    /// events flagged by the rolling-window detector, suggested
+    /// `assert-instances` limits, and `heapdiff` cycle comparisons.
+    ///
+    /// When [`VmConfig::census`] is off this returns the *disabled*
+    /// default snapshot (`enabled() == false`, everything empty), so
+    /// callers never need to branch on the knob.
+    pub fn census(&self) -> gca_telemetry::HeapCensus {
+        match &self.census {
+            Some(state) => state.recorder.clone(),
+            None => gca_telemetry::HeapCensus::default(),
+        }
+    }
+
+    /// Interns an allocation-site label for [`Vm::set_alloc_site`]. With
+    /// the census off this is a no-op returning
+    /// [`AllocSite::UNATTRIBUTED`], so call sites need no feature branch.
+    pub fn alloc_site(&mut self, name: &str) -> AllocSite {
+        match self.census.as_deref_mut() {
+            Some(state) => state.intern(name),
+            None => AllocSite::UNATTRIBUTED,
+        }
+    }
+
+    /// Sets the allocation site attributed to subsequent [`Vm::alloc`] /
+    /// [`Vm::alloc_rooted`] calls, returning the previous site so callers
+    /// can scope-restore. A no-op returning [`AllocSite::UNATTRIBUTED`]
+    /// when the census is off.
+    pub fn set_alloc_site(&mut self, site: AllocSite) -> AllocSite {
+        match self.census.as_deref_mut() {
+            Some(state) => state.set_current(site),
+            None => AllocSite::UNATTRIBUTED,
         }
     }
 

@@ -10,6 +10,7 @@
 use std::fmt;
 
 use crate::attr::{AssertionKind, AssertionOverhead, KindOverhead};
+use crate::census::{CensusData, CensusEntry};
 use crate::record::{CycleKind, CycleRecord, GcPhase, GcTelemetry};
 
 /// One parsed JSONL line: the cycle record plus its optional benchmark
@@ -98,10 +99,26 @@ fn push_kind_overhead(out: &mut String, label: &str, k: &KindOverhead) {
     out.push('}');
 }
 
+fn push_census_entries(out: &mut String, key: &str, entries: &[CensusEntry]) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":[");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        escape_json(&e.name, out);
+        out.push_str(&format!(",\"objects\":{},\"bytes\":{}}}", e.objects, e.bytes));
+    }
+    out.push(']');
+}
+
 /// Serializes one cycle record as a single JSON object (no trailing
 /// newline). Keys appear in a fixed order; the `"bench"` label is emitted
 /// first when present; the `"overhead"` object lists only kinds that did
-/// work (an all-zero attribution serializes as `"overhead":{}`).
+/// work (an all-zero attribution serializes as `"overhead":{}`); the
+/// `"census"` object is emitted only when the record carries one.
 pub fn record_to_json(record: &CycleRecord, bench: Option<&str>) -> String {
     let mut out = String::with_capacity(256);
     out.push('{');
@@ -149,7 +166,15 @@ pub fn record_to_json(record: &CycleRecord, bench: Option<&str>) -> String {
         first = false;
         push_kind_overhead(&mut out, kind.label(), k);
     }
-    out.push_str("}}");
+    out.push('}');
+    if let Some(census) = &record.census {
+        out.push_str(",\"census\":{");
+        push_census_entries(&mut out, "classes", &census.classes);
+        out.push(',');
+        push_census_entries(&mut out, "sites", &census.sites);
+        out.push('}');
+    }
+    out.push('}');
     out
 }
 
@@ -435,6 +460,46 @@ fn decode_kind_overhead(
     })
 }
 
+fn decode_census_entries(
+    val: &Val,
+    line: usize,
+) -> Result<Vec<CensusEntry>, TelemetryParseError> {
+    let Val::Arr(items) = val else {
+        return Err(TelemetryParseError::WrongType { line, field: "census" });
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let Val::Obj(fields) = item else {
+            return Err(TelemetryParseError::WrongType { line, field: "census" });
+        };
+        let name = match get(fields, "name") {
+            Some(Val::Str(s)) => s.clone(),
+            _ => return Err(TelemetryParseError::WrongType { line, field: "census" }),
+        };
+        out.push(CensusEntry {
+            name,
+            objects: get_u64(fields, "objects", line)?,
+            bytes: get_u64(fields, "bytes", line)?,
+        });
+    }
+    Ok(out)
+}
+
+fn decode_census(val: &Val, line: usize) -> Result<CensusData, TelemetryParseError> {
+    let Val::Obj(fields) = val else {
+        return Err(TelemetryParseError::WrongType { line, field: "census" });
+    };
+    let classes = match get(fields, "classes") {
+        None => Vec::new(),
+        Some(v) => decode_census_entries(v, line)?,
+    };
+    let sites = match get(fields, "sites") {
+        None => Vec::new(),
+        Some(v) => decode_census_entries(v, line)?,
+    };
+    Ok(CensusData { classes, sites })
+}
+
 fn decode_record(
     fields: &[(String, Val)],
     line: usize,
@@ -483,6 +548,10 @@ fn decode_record(
         }
         Some(_) => return Err(TelemetryParseError::WrongType { line, field: "overhead" }),
     }
+    let census = match get(fields, "census") {
+        None | Some(Val::Null) => None,
+        Some(v) => Some(decode_census(v, line)?),
+    };
     Ok(JsonlRecord {
         bench,
         record: CycleRecord {
@@ -501,6 +570,7 @@ fn decode_record(
             violations: get_u64(fields, "violations", line)?,
             worker_mark_ns,
             overhead,
+            census,
         },
     })
 }
@@ -662,6 +732,7 @@ mod tests {
             violations: 2,
             worker_mark_ns: vec![60_000, 40_000],
             overhead,
+            census: None,
         }
     }
 
@@ -682,6 +753,36 @@ mod tests {
         let parsed = parse_jsonl(&text).unwrap();
         assert_eq!(parsed[0].bench, None);
         assert_eq!(parsed[0].record, rec);
+    }
+
+    #[test]
+    fn census_roundtrips_and_is_absent_by_default() {
+        let mut rec = sample_record();
+        assert!(!record_to_json(&rec, None).contains("\"census\""));
+        rec.census = Some(CensusData {
+            classes: vec![
+                CensusEntry { name: "Node".into(), objects: 12, bytes: 480 },
+                CensusEntry { name: "we\"ird".into(), objects: 1, bytes: 8 },
+            ],
+            sites: vec![CensusEntry { name: "loop:3".into(), objects: 7, bytes: 56 }],
+        });
+        let text = records_to_jsonl(std::slice::from_ref(&rec), Some("bh"));
+        assert!(text.contains("\"census\":{\"classes\":[{\"name\":\"Node\""));
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed[0].record, rec);
+        // An empty census is still Some and survives the round trip.
+        rec.census = Some(CensusData::default());
+        let parsed = parse_jsonl(&records_to_jsonl(std::slice::from_ref(&rec), None)).unwrap();
+        assert_eq!(parsed[0].record.census, Some(CensusData::default()));
+        // Malformed census values error cleanly.
+        for bad in [
+            "{\"census\":[]}",
+            "{\"census\":{\"classes\":7}}",
+            "{\"census\":{\"classes\":[{\"objects\":1}]}}",
+            "{\"census\":{\"classes\":[{\"name\":\"x\",\"objects\":\"y\"}]}}",
+        ] {
+            assert!(parse_jsonl(bad).is_err(), "{bad} should not parse");
+        }
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //!   cycle ([`export::records_to_jsonl`], with a non-panicking parser
 //!   [`export::parse_jsonl`]), and Prometheus-style text
 //!   ([`export::to_prometheus`]).
+//! * **Heap census & drift detection** — per-class and per-allocation-site
+//!   live histograms accumulated during the mark, a rolling-window leak
+//!   detector emitting [`CensusDrift`] events, cycle-vs-cycle
+//!   [`HeapDiff`] reports, and a census Prometheus exporter
+//!   ([`census`], [`HeapCensus`]).
 //!
 //! The crate is deliberately dependency-free and knows nothing about the
 //! heap or the collector: the VM converts its own cycle statistics into
@@ -31,11 +36,16 @@
 #![warn(missing_debug_implementations)]
 
 mod attr;
+pub mod census;
 pub mod export;
 mod hist;
 mod record;
 
 pub use attr::{AssertionKind, AssertionOverhead, KindOverhead};
+pub use census::{
+    CensusData, CensusDrift, CensusEntry, CycleCensus, DriftScope, HeapCensus, HeapDiff,
+    HeapDiffRow,
+};
 pub use export::{JsonlRecord, TelemetryParseError};
 pub use hist::LatencyHistogram;
 pub use record::{CycleKind, CycleRecord, GcPhase, GcTelemetry};

@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use crate::attr::AssertionOverhead;
+use crate::census::CensusData;
 use crate::hist::LatencyHistogram;
 
 /// The kind of collection a [`CycleRecord`] describes.
@@ -68,8 +69,11 @@ impl GcPhase {
 ///
 /// All times are integer nanoseconds so records round-trip exactly through
 /// the exporters. For a [`CycleKind::Minor`] record only `total_ns`,
-/// `objects_swept`, `words_swept` and `promoted` are meaningful; the other
-/// fields stay zero.
+/// `objects_marked`, `edges_traced`, `objects_swept`, `words_swept` and
+/// `promoted` are meaningful; the phase-span fields (`pre_root_ns`,
+/// `mark_ns`, `sweep_ns`), `pre_root_edges`, `violations`,
+/// `worker_mark_ns` and `overhead` stay zero *by construction* — minors
+/// are nursery-only, run sequentially and check no assertions (§2.2).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CycleRecord {
     /// 1-based cycle ordinal within the snapshot (assigned by
@@ -107,6 +111,10 @@ pub struct CycleRecord {
     pub worker_mark_ns: Vec<u64>,
     /// Assertion-checking work this cycle, attributed by kind.
     pub overhead: AssertionOverhead,
+    /// Heap census for this cycle (per-class live totals plus top
+    /// allocation sites), present only when the VM's census knob is on.
+    /// Minor cycles carry nursery-survivor totals only.
+    pub census: Option<CensusData>,
 }
 
 impl CycleRecord {

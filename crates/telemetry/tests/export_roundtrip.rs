@@ -4,7 +4,8 @@
 
 use gca_telemetry::export::{parse_jsonl, record_to_json, records_to_jsonl, to_prometheus};
 use gca_telemetry::{
-    AssertionKind, AssertionOverhead, CycleKind, CycleRecord, GcTelemetry, KindOverhead,
+    AssertionKind, AssertionOverhead, CensusData, CensusEntry, CycleKind, CycleRecord,
+    GcTelemetry, HeapCensus, KindOverhead,
 };
 use proptest::prelude::*;
 
@@ -39,6 +40,17 @@ fn fixture_records() -> Vec<CycleRecord> {
             violations: 2,
             worker_mark_ns: vec![950_000, 850_000],
             overhead,
+            census: Some(CensusData {
+                classes: vec![
+                    CensusEntry { name: "Node".to_owned(), objects: 6_000, bytes: 192_000 },
+                    CensusEntry { name: "Table".to_owned(), objects: 3_000, bytes: 240_000 },
+                ],
+                sites: vec![CensusEntry {
+                    name: "Db209::insert".to_owned(),
+                    objects: 5_500,
+                    bytes: 176_000,
+                }],
+            }),
         },
         CycleRecord {
             seq: 2,
@@ -101,6 +113,55 @@ fn regenerate_prometheus_golden() {
     std::fs::write(path, to_prometheus(&fixture_snapshot())).unwrap();
 }
 
+/// A deterministic census fixture: three major cycles with one leaking
+/// class and one steady class (the leak drifts on the third cycle under a
+/// window of 3), plus one minor cycle.
+fn fixture_census() -> HeapCensus {
+    let mut c = HeapCensus::with_window(3);
+    for i in 0..3u64 {
+        c.record_major(CensusData {
+            classes: vec![
+                CensusEntry {
+                    name: "SObject".to_owned(),
+                    objects: 100 + 40 * i,
+                    bytes: (100 + 40 * i) * 40,
+                },
+                CensusEntry { name: "SArray".to_owned(), objects: 1, bytes: 416 },
+            ],
+            sites: vec![
+                CensusEntry {
+                    name: "SwapLeak::swap".to_owned(),
+                    objects: 100 + 40 * i,
+                    bytes: (100 + 40 * i) * 40,
+                },
+                CensusEntry { name: "<unattributed>".to_owned(), objects: 1, bytes: 416 },
+            ],
+        });
+    }
+    c.record_minor(CensusData {
+        classes: vec![CensusEntry { name: "SObject".to_owned(), objects: 7, bytes: 280 }],
+        sites: Vec::new(),
+    });
+    c
+}
+
+/// The census Prometheus rendering of a fixed snapshot is pinned
+/// byte-for-byte, in the same style as `prometheus_golden_pin`.
+/// Regenerate with the ignored `regenerate_census_prometheus_golden`.
+#[test]
+fn census_prometheus_golden_pin() {
+    let got = fixture_census().to_prometheus();
+    let want = include_str!("golden/census_prometheus.txt");
+    assert_eq!(got, want, "census Prometheus output drifted from the golden file");
+}
+
+#[test]
+#[ignore = "writes the golden fixture; run explicitly to regenerate"]
+fn regenerate_census_prometheus_golden() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/census_prometheus.txt");
+    std::fs::write(path, fixture_census().to_prometheus()).unwrap();
+}
+
 #[test]
 fn truncation_never_panics_and_never_misparses() {
     let full = record_to_json(&fixture_records()[0], Some("bh"));
@@ -136,6 +197,22 @@ fn kind_overhead_strategy() -> impl Strategy<Value = KindOverhead> {
         })
 }
 
+fn census_entry_strategy() -> impl Strategy<Value = CensusEntry> {
+    ("[A-Za-z$:_\"\\\\]{1,12}", any::<u64>(), any::<u64>())
+        .prop_map(|(name, objects, bytes)| CensusEntry { name, objects, bytes })
+}
+
+fn census_strategy() -> impl Strategy<Value = Option<CensusData>> {
+    prop_oneof![
+        Just(None),
+        (
+            proptest::collection::vec(census_entry_strategy(), 0..4),
+            proptest::collection::vec(census_entry_strategy(), 0..4),
+        )
+            .prop_map(|(classes, sites)| Some(CensusData { classes, sites })),
+    ]
+}
+
 fn record_strategy() -> impl Strategy<Value = CycleRecord> {
     (
         (
@@ -150,8 +227,9 @@ fn record_strategy() -> impl Strategy<Value = CycleRecord> {
         (any::<u64>(), any::<u64>(), any::<u64>()),
         proptest::collection::vec(any::<u64>(), 0..8),
         (kind_overhead_strategy(), kind_overhead_strategy(), kind_overhead_strategy()),
+        census_strategy(),
     )
-        .prop_map(|(a, b, c, worker_mark_ns, (dead, unshared, owned_by))| {
+        .prop_map(|(a, b, c, worker_mark_ns, (dead, unshared, owned_by), census)| {
             let (seq, kind, total_ns, pre_root_ns, mark_ns, sweep_ns) = a;
             let (objects_marked, edges_traced, pre_root_edges, objects_swept) = b;
             let (words_swept, promoted, violations) = c;
@@ -176,6 +254,7 @@ fn record_strategy() -> impl Strategy<Value = CycleRecord> {
                     owned_by,
                     ..Default::default()
                 },
+                census,
             }
         })
 }

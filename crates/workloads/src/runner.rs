@@ -182,6 +182,34 @@ pub fn run_once_telemetry(
     Ok((measurement, vm.telemetry()))
 }
 
+/// Runs `workload` once under `config` with both telemetry and the heap
+/// census enabled and returns the measurement, the telemetry snapshot
+/// (whose cycle records carry census fields), and the census snapshot
+/// (per-class/per-site live tallies, drift detection, heap diffing).
+///
+/// # Errors
+///
+/// Propagates workload VM errors.
+pub fn run_once_census(
+    workload: &dyn Workload,
+    config: ExpConfig,
+) -> Result<(Measurement, gc_assertions::GcTelemetry, gc_assertions::HeapCensus), VmError> {
+    let mode = match config {
+        ExpConfig::Base => Mode::Base,
+        _ => Mode::Instrumented,
+    };
+    let vm_config = VmConfig::builder()
+        .heap_budget(workload.heap_budget())
+        .grow_on_oom(true)
+        .mode(mode)
+        .telemetry(true)
+        .census(true)
+        .build();
+    let (measurement, vm) = run_once_vm(workload, config, vm_config)?;
+    let telemetry = vm.telemetry();
+    Ok((measurement, telemetry, vm.census()))
+}
+
 /// Runs `workload` `n` times under `config` and returns the run with the
 /// median total time — the repetition discipline of §3.1.1, scaled down.
 ///

@@ -506,6 +506,26 @@ pub fn suite_telemetry_jsonl(
     Ok(out)
 }
 
+/// As [`suite_telemetry_jsonl`], but with the heap census enabled so each
+/// cycle record additionally carries per-class live tallies and top
+/// allocation sites. This feeds `figures --census` and the CI census
+/// artifact.
+///
+/// # Errors
+///
+/// Propagates workload VM errors.
+pub fn suite_census_jsonl(
+    workloads: &[SyntheticWorkload],
+    config: crate::runner::ExpConfig,
+) -> Result<String, VmError> {
+    let mut out = String::new();
+    for w in workloads {
+        let (_, telemetry, _) = crate::runner::run_once_census(w, config)?;
+        out.push_str(&telemetry.to_jsonl(Some(w.name)));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -551,6 +571,23 @@ mod tests {
         let parsed = gc_assertions::parse_jsonl(&jsonl).unwrap();
         assert!(!parsed.is_empty());
         assert!(parsed.iter().all(|r| r.bench.as_deref() == Some("antlr")));
+    }
+
+    #[test]
+    fn suite_census_jsonl_records_carry_census_fields() {
+        let mut w = dacapo().remove(0);
+        // Enough iterations that a GC triggers mid-burst, while the
+        // temporary chain is still rooted (so "Temp" shows up live).
+        w.iterations = 20;
+        let jsonl = suite_census_jsonl(&[w], ExpConfig::Infrastructure).unwrap();
+        let parsed = gc_assertions::parse_jsonl(&jsonl).unwrap();
+        assert!(!parsed.is_empty());
+        let censuses: Vec<_> = parsed.iter().filter_map(|r| r.record.census.as_ref()).collect();
+        assert!(!censuses.is_empty(), "census fields present");
+        assert!(censuses.iter().any(|c| c.classes.iter().any(|e| e.name == "Temp")));
+        assert!(censuses
+            .iter()
+            .all(|c| c.classes.iter().all(|e| e.objects > 0 && e.bytes > 0)));
     }
 
     #[test]

@@ -70,12 +70,18 @@ impl Workload for SwapLeak {
         let sobj_class = vm.register_class("SObject", &["rep"]);
         let rep_class = vm.register_class("SObject$Rep", &["this$0"]);
 
+        // Allocation-site labels for the heap census (no-ops when the
+        // census is off, so instrumented and plain runs stay identical).
+        let ctor_site = vm.alloc_site("SObject::new");
+
         // new SObject(): constructs its Rep; a non-static inner class
         // captures the enclosing instance.
         let new_sobject = |vm: &mut Vm, static_inner: bool| -> Result<ObjRef, VmError> {
             vm.push_frame(m)?;
+            let prev = vm.set_alloc_site(ctor_site);
             let s = vm.alloc_rooted(m, sobj_class, 1, 2)?;
             let rep = vm.alloc(m, rep_class, 1, 4)?;
+            vm.set_alloc_site(prev);
             vm.set_field(s, SOBJ_REP, rep)?;
             if !static_inner {
                 vm.set_field(rep, REP_OUTER, s)?; // the hidden this$0
