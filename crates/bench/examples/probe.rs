@@ -1,11 +1,20 @@
+use gc_assertions::{Mode, Vm, VmConfig};
 use gca_workloads::pseudojbb::PseudoJbb;
 use gca_workloads::runner::Workload;
-use gc_assertions::{Vm, VmConfig, Mode};
 
 fn main() {
-    for (label, mode, asserts) in [("base", Mode::Base, false), ("infra", Mode::Instrumented, false), ("with", Mode::Instrumented, true)] {
+    for (label, mode, asserts) in [
+        ("base", Mode::Base, false),
+        ("infra", Mode::Instrumented, false),
+        ("with", Mode::Instrumented, true),
+    ] {
         let jbb = PseudoJbb::for_figures();
-        let mut vm = Vm::new(VmConfig::builder().heap_budget(jbb.heap_budget()).mode(mode).build());
+        let mut vm = Vm::new(
+            VmConfig::builder()
+                .heap_budget(jbb.heap_budget())
+                .mode(mode)
+                .build(),
+        );
         let t = std::time::Instant::now();
         jbb.run(&mut vm, asserts).unwrap();
         let total = t.elapsed();

@@ -27,13 +27,13 @@
 
 use std::time::{Duration, Instant};
 
-use gc_assertions::{Vm, VmConfig, ViolationKind};
+use gc_assertions::{ViolationKind, Vm, VmConfig};
 use gca_detectors::{CorkDetector, EagerOwnershipChecker, StalenessDetector};
 use gca_workloads::db::Db209;
 use gca_workloads::pseudojbb::PseudoJbb;
 use gca_workloads::runner::{
-    geomean_overhead_percent, overhead_percent, run_once, run_once_config, ExpConfig,
-    Measurement, Workload,
+    geomean_overhead_percent, overhead_percent, run_once, run_once_config, ExpConfig, Measurement,
+    Workload,
 };
 use gca_workloads::suite;
 
@@ -350,14 +350,22 @@ pub fn ablation_path_tracking(reps: usize, scale: f64, take: usize) -> Vec<PathA
         let mut paths = Vec::new();
         for _ in 0..reps.max(1) {
             plain.push(
-                run_once_config(&w, ExpConfig::Infrastructure, base_cfg.clone().path_tracking(false))
-                    .expect("runs")
-                    .gc,
+                run_once_config(
+                    &w,
+                    ExpConfig::Infrastructure,
+                    base_cfg.clone().path_tracking(false),
+                )
+                .expect("runs")
+                .gc,
             );
             paths.push(
-                run_once_config(&w, ExpConfig::Infrastructure, base_cfg.clone().path_tracking(true))
-                    .expect("runs")
-                    .gc,
+                run_once_config(
+                    &w,
+                    ExpConfig::Infrastructure,
+                    base_cfg.clone().path_tracking(true),
+                )
+                .expect("runs")
+                .gc,
             );
         }
         plain.sort();
@@ -406,9 +414,13 @@ pub fn ablation_census(reps: usize, scale: f64, take: usize) -> Vec<CensusAblati
         let mut on = Vec::new();
         for _ in 0..reps.max(1) {
             off.push(
-                run_once_config(&w, ExpConfig::Infrastructure, base_cfg.clone().census(false))
-                    .expect("runs")
-                    .gc,
+                run_once_config(
+                    &w,
+                    ExpConfig::Infrastructure,
+                    base_cfg.clone().census(false),
+                )
+                .expect("runs")
+                .gc,
             );
             on.push(
                 run_once_config(&w, ExpConfig::Infrastructure, base_cfg.clone().census(true))
@@ -561,7 +573,10 @@ pub struct GenerationalComparison {
 /// churn workload with one planted violation.
 pub fn baseline_generational() -> GenerationalComparison {
     fn run(gen: Option<usize>) -> (Duration, Duration, u64, u64, u64) {
-        let mut config = VmConfig::builder().heap_budget(3_000).grow_on_oom(true).build();
+        let mut config = VmConfig::builder()
+            .heap_budget(3_000)
+            .grow_on_oom(true)
+            .build();
         if let Some(n) = gen {
             config = config.generational(n);
         }
@@ -794,14 +809,8 @@ pub fn baseline_detectors() -> DetectorComparison {
     let gca_false_positives = gca_hits.iter().filter(|o| !leaked.contains(o)).count();
 
     let stale = staleness.scan(vm.heap());
-    let stale_true_positives = stale
-        .iter()
-        .filter(|s| leaked.contains(&s.object))
-        .count();
-    let stale_false_positives = stale
-        .iter()
-        .filter(|s| !leaked.contains(&s.object))
-        .count();
+    let stale_true_positives = stale.iter().filter(|s| leaked.contains(&s.object)).count();
+    let stale_false_positives = stale.iter().filter(|s| !leaked.contains(&s.object)).count();
 
     DetectorComparison {
         leaked: leaked.len(),

@@ -15,7 +15,18 @@
 
 use std::collections::HashMap;
 
-use gca_heap::{ClassId, Heap, ObjRef};
+use gca_heap::{ClassId, Flags, Heap, ObjRef};
+
+/// Returns whether any live object already carries the mark bit — stale
+/// marks left behind by a minor collection on a non-generational heap. A
+/// census riding the next full cycle legitimately undercounts then (the
+/// mark phase never re-claims a pre-marked object), so callers skip the
+/// [`CensusSink::verify_live_totals`] cross-check for such cycles.
+pub fn heap_has_stale_marks(heap: &Heap) -> bool {
+    (0..heap.slot_count())
+        .filter_map(|i| heap.entry(i))
+        .any(|(_, o)| o.has_flags(Flags::MARK))
+}
 
 /// Per-class running totals: `(objects, words)`.
 type ClassTally = (u64, u64);
@@ -83,6 +94,57 @@ impl CensusSink {
         self.classes.clear();
         self.marked_slots.clear();
     }
+
+    /// Debug-build heap cross-check: after the census cycle's sweep, the
+    /// tallies must agree with a fresh walk of the live heap — the same
+    /// per-class object and word totals, the same overall population and
+    /// occupancy, and every recorded slot still resolving. Compiles away
+    /// entirely in release builds. Callers must skip it for cycles that
+    /// began with stale mark bits (see [`heap_has_stale_marks`]).
+    pub fn verify_live_totals(&self, heap: &Heap) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let mut walked: HashMap<ClassId, ClassTally> = HashMap::new();
+        let mut walked_words = 0u64;
+        for i in 0..heap.slot_count() {
+            if let Some((_, o)) = heap.entry(i) {
+                let tally = walked.entry(o.class()).or_insert((0, 0));
+                tally.0 += 1;
+                tally.1 += o.size_words() as u64;
+                walked_words += o.size_words() as u64;
+            }
+        }
+        debug_assert_eq!(
+            self.total_objects() as usize,
+            heap.live_objects(),
+            "census object total drifted from the live heap"
+        );
+        debug_assert_eq!(
+            walked_words as usize,
+            heap.occupied_words(),
+            "heap occupancy accounting drifted from the live population"
+        );
+        for (class, objects, words) in self.classes() {
+            let &(expect_objects, expect_words) = walked.get(&class).unwrap_or(&(0, 0));
+            debug_assert_eq!(
+                (objects, words),
+                (expect_objects, expect_words),
+                "census totals drifted for class {class:?}"
+            );
+        }
+        debug_assert_eq!(
+            walked.len(),
+            self.classes.len(),
+            "census missed a live class entirely"
+        );
+        for &slot in self.marked_slots() {
+            debug_assert!(
+                heap.entry(slot as usize).is_some(),
+                "census slot {slot} no longer resolves after the sweep"
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -108,8 +170,7 @@ mod tests {
         }
         assert_eq!(sink.total_objects(), 3);
         assert_eq!(sink.marked_slots().len(), 3);
-        let mut by_class: Vec<(u64, u64)> =
-            sink.classes().map(|(_, o, w)| (o, w)).collect();
+        let mut by_class: Vec<(u64, u64)> = sink.classes().map(|(_, o, w)| (o, w)).collect();
         by_class.sort_unstable();
         // Node: 2 objects, header(2)+1 ref each = 3 words; Blob: 2+6 = 8.
         assert_eq!(by_class, vec![(1, 8), (2, 6)]);
@@ -147,6 +208,34 @@ mod tests {
         sink.observe(&heap, ObjRef::NULL);
         assert_eq!(sink.total_objects(), 0);
         assert!(sink.marked_slots().is_empty());
+    }
+
+    #[test]
+    fn verify_live_totals_accepts_a_faithful_census() {
+        let (heap, objs) = two_class_heap();
+        let mut sink = CensusSink::new();
+        for &o in &objs {
+            sink.observe(&heap, o);
+        }
+        sink.verify_live_totals(&heap);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "census object total drifted")]
+    fn verify_live_totals_catches_an_undercount() {
+        let (heap, objs) = two_class_heap();
+        let mut sink = CensusSink::new();
+        sink.observe(&heap, objs[0]); // objs[1] and objs[2] missing
+        sink.verify_live_totals(&heap);
+    }
+
+    #[test]
+    fn stale_marks_are_detected() {
+        let (heap, objs) = two_class_heap();
+        assert!(!heap_has_stale_marks(&heap));
+        heap.set_flag(objs[0], gca_heap::Flags::MARK).unwrap();
+        assert!(heap_has_stale_marks(&heap));
     }
 
     #[test]

@@ -127,6 +127,11 @@ impl Collector {
     /// As for [`Collector::collect`]. The sink is taken back out of the
     /// tracer even on error, so a failed cycle never leaks census state
     /// into the next one.
+    ///
+    /// In debug builds the returned sink is cross-checked against a fresh
+    /// walk of the post-sweep heap ([`CensusSink::verify_live_totals`]),
+    /// unless the cycle began with stale mark bits, in which case an
+    /// undercount is legitimate.
     pub fn collect_census<H: TraceHooks>(
         &mut self,
         heap: &mut Heap,
@@ -134,10 +139,15 @@ impl Collector {
         hooks: &mut H,
         sink: CensusSink,
     ) -> Result<(CycleStats, CensusSink), HeapError> {
+        let cross_check = cfg!(debug_assertions) && !crate::census::heap_has_stale_marks(heap);
         self.tracer.set_census(sink);
         let result = self.collect(heap, roots, hooks);
         let sink = self.tracer.take_census().unwrap_or_default();
-        Ok((result?, sink))
+        let stats = result?;
+        if cross_check {
+            sink.verify_live_totals(heap);
+        }
+        Ok((stats, sink))
     }
 
     /// Folds an externally-orchestrated cycle (e.g. a parallel-mark cycle

@@ -63,7 +63,7 @@ mod path;
 mod stats;
 mod tracer;
 
-pub use census::CensusSink;
+pub use census::{heap_has_stale_marks, CensusSink};
 pub use collector::{sweep_heap, Collector};
 pub use deque::StealDeque;
 pub use hooks::{NoHooks, TraceHooks, Visit};

@@ -190,8 +190,7 @@ mod tests {
         let (mut heap, mut tracer) = setup();
         let old_garbage = alloc(&mut heap);
         heap.set_flag(old_garbage, Flags::OLD).unwrap();
-        let stats =
-            collect_minor(&mut tracer, &mut heap, &[], &[], &[], &mut NoHooks).unwrap();
+        let stats = collect_minor(&mut tracer, &mut heap, &[], &[], &[], &mut NoHooks).unwrap();
         assert_eq!(stats.objects_swept, 0);
         assert!(heap.is_valid(old_garbage), "old garbage waits for a major");
     }
@@ -204,15 +203,8 @@ mod tests {
         let young = alloc(&mut heap);
         heap.set_ref_field(old, 0, young).unwrap();
         // `old` is not a root here (it is simply assumed live).
-        let stats = collect_minor(
-            &mut tracer,
-            &mut heap,
-            &[],
-            &[old],
-            &[young],
-            &mut NoHooks,
-        )
-        .unwrap();
+        let stats =
+            collect_minor(&mut tracer, &mut heap, &[], &[old], &[young], &mut NoHooks).unwrap();
         assert_eq!(stats.promoted, 1);
         assert_eq!(stats.remembered_scanned, 1);
         assert!(heap.is_valid(young));
@@ -256,7 +248,10 @@ mod tests {
         // contract) reclaimed — the barrier is the VM's responsibility.
         assert!(!heap.is_valid(young2));
         assert!(heap.is_valid(root));
-        assert!(!heap.has_flag(old, Flags::MARK).unwrap(), "touched old cleaned");
+        assert!(
+            !heap.has_flag(old, Flags::MARK).unwrap(),
+            "touched old cleaned"
+        );
     }
 
     #[test]

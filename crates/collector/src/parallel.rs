@@ -369,30 +369,31 @@ where
         queue.push_back(s);
     }
 
-    let found = pred.contains_key(&target) || 'bfs: {
-        while let Some(u) = queue.pop_front() {
-            if u != target && !may_descend(heap, u) && pred[&u].is_some() {
-                // Truncation point (starts themselves are always expanded:
-                // the tracer scanned their children to get here).
-                continue;
-            }
-            let obj = match heap.get(u) {
-                Ok(o) => o,
-                Err(_) => continue,
-            };
-            for (i, &child) in obj.refs().iter().enumerate() {
-                if child.is_null() || pred.contains_key(&child) || !heap.is_valid(child) {
+    let found = pred.contains_key(&target)
+        || 'bfs: {
+            while let Some(u) = queue.pop_front() {
+                if u != target && !may_descend(heap, u) && pred[&u].is_some() {
+                    // Truncation point (starts themselves are always expanded:
+                    // the tracer scanned their children to get here).
                     continue;
                 }
-                pred.insert(child, Some((u, i)));
-                if child == target {
-                    break 'bfs true;
+                let obj = match heap.get(u) {
+                    Ok(o) => o,
+                    Err(_) => continue,
+                };
+                for (i, &child) in obj.refs().iter().enumerate() {
+                    if child.is_null() || pred.contains_key(&child) || !heap.is_valid(child) {
+                        continue;
+                    }
+                    pred.insert(child, Some((u, i)));
+                    if child == target {
+                        break 'bfs true;
+                    }
+                    queue.push_back(child);
                 }
-                queue.push_back(child);
             }
-        }
-        false
-    };
+            false
+        };
     if !found {
         return None;
     }
@@ -631,7 +632,8 @@ mod tests {
             let nodes: Vec<ObjRef> = (0..2000).map(|_| heap.alloc(c, 3, 0).unwrap()).collect();
             for (i, &n) in nodes.iter().enumerate() {
                 heap.set_ref_field(n, 0, nodes[(i * 7 + 1) % 2000]).unwrap();
-                heap.set_ref_field(n, 1, nodes[(i * 31 + 5) % 2000]).unwrap();
+                heap.set_ref_field(n, 1, nodes[(i * 31 + 5) % 2000])
+                    .unwrap();
                 if i % 3 == 0 {
                     heap.set_ref_field(n, 2, nodes[(i + 997) % 2000]).unwrap();
                 }
@@ -648,7 +650,9 @@ mod tests {
         for &r in &roots {
             tracer.push_root(r);
         }
-        tracer.drain(&mut seq_heap, &mut crate::hooks::NoHooks).unwrap();
+        tracer
+            .drain(&mut seq_heap, &mut crate::hooks::NoHooks)
+            .unwrap();
         let seq_marked: Vec<bool> = (0..seq_heap.slot_count())
             .map(|i| {
                 seq_heap

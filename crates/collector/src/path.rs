@@ -99,9 +99,7 @@ impl HeapPath {
     /// `true` if any step's class name equals `name` (test helper for case
     /// studies that assert on the shape of reported paths).
     pub fn passes_through(&self, registry: &TypeRegistry, name: &str) -> bool {
-        self.steps
-            .iter()
-            .any(|s| registry.name(s.class) == name)
+        self.steps.iter().any(|s| registry.name(s.class) == name)
     }
 }
 

@@ -98,7 +98,12 @@ fn million_deep_chain_traced_without_stack_overflow() {
         fn wants_paths(&self) -> bool {
             true
         }
-        fn visit_new(&mut self, heap: &mut Heap, _obj: gca_heap::ObjRef, ctx: &TraceCtx<'_>) -> Visit {
+        fn visit_new(
+            &mut self,
+            heap: &mut Heap,
+            _obj: gca_heap::ObjRef,
+            ctx: &TraceCtx<'_>,
+        ) -> Visit {
             // Reconstructing full million-step paths per node would be
             // quadratic; just track that the machinery survives depth by
             // sampling the parent edge.

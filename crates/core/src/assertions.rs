@@ -98,7 +98,9 @@ impl<'vm> Assertions<'vm> {
         self.vm.check_running()?;
         self.vm.check_instrumented()?;
         self.vm.calls.owned_by += 1;
-        self.vm.engine.assert_owned_by(&mut self.vm.heap, owner, ownee)
+        self.vm
+            .engine
+            .assert_owned_by(&mut self.vm.heap, owner, ownee)
     }
 
     /// `start-region()` … `assert-alldead()` as a scope guard (§2.3.2):

@@ -119,7 +119,11 @@ impl CensusState {
         let mut per_site: HashMap<u32, (u64, u64)> = HashMap::new();
         for &slot in sink.marked_slots() {
             if let Some((_, o)) = heap.entry(slot as usize) {
-                let site = self.site_of.get(slot as usize).copied().unwrap_or(UNATTRIBUTED);
+                let site = self
+                    .site_of
+                    .get(slot as usize)
+                    .copied()
+                    .unwrap_or(UNATTRIBUTED);
                 let tally = per_site.entry(site).or_insert((0, 0));
                 tally.0 += 1;
                 tally.1 += o.size_words() as u64 * WORD_BYTES;
@@ -167,7 +171,11 @@ impl CensusState {
         let mut data = CensusData {
             classes: per_class
                 .into_iter()
-                .map(|(name, (objects, bytes))| CensusEntry { name, objects, bytes })
+                .map(|(name, (objects, bytes))| CensusEntry {
+                    name,
+                    objects,
+                    bytes,
+                })
                 .collect(),
             sites: per_site
                 .into_iter()

@@ -443,7 +443,10 @@ mod tests {
         assert_eq!(built.gc_threads, 4);
         assert!(built.telemetry);
         assert!(built.census);
-        assert_eq!(built.effective_reaction(AssertionClass::Volume), Reaction::Log);
+        assert_eq!(
+            built.effective_reaction(AssertionClass::Volume),
+            Reaction::Log
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ impl fmt::Display for VmError {
             VmError::Heap(e) => write!(f, "heap error: {e}"),
             VmError::Halted => write!(f, "vm halted after assertion violation"),
             VmError::BaseMode => {
-                write!(f, "assertion api unavailable: vm is in base (uninstrumented) mode")
+                write!(
+                    f,
+                    "assertion api unavailable: vm is in base (uninstrumented) mode"
+                )
             }
             VmError::RegionActive(m) => {
                 write!(f, "mutator {m} already has an active allocation region")

@@ -102,7 +102,7 @@ pub use gca_collector::{CycleStats, GcStats, HeapPath, PathStep};
 pub use gca_heap::{ClassId, Flags, HeapError, HeapStats, ObjRef, TypeRegistry};
 pub use gca_telemetry::export::parse_jsonl;
 pub use gca_telemetry::{
-    AssertionKind, AssertionOverhead, CensusData, CensusDrift, CensusEntry, CycleCensus,
-    CycleKind, CycleRecord, DriftScope, GcPhase, GcTelemetry, HeapCensus, HeapDiff, HeapDiffRow,
-    JsonlRecord, KindOverhead, LatencyHistogram, TelemetryParseError,
+    AssertionKind, AssertionOverhead, CensusData, CensusDrift, CensusEntry, CycleCensus, CycleKind,
+    CycleRecord, DriftScope, GcPhase, GcTelemetry, HeapCensus, HeapDiff, HeapDiffRow, JsonlRecord,
+    KindOverhead, LatencyHistogram, TelemetryParseError,
 };

@@ -40,8 +40,9 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use gca_collector::{
-    mark_parallel, push_child_items, reconstruct_path, sweep_heap, CensusSink, CycleStats,
-    HeapPath, NoHooks, NoParVisitor, ParVisitor, TraceHooks, Visit, WorkItem, CTX_NONE,
+    heap_has_stale_marks, mark_parallel, push_child_items, reconstruct_path, sweep_heap,
+    CensusSink, CycleStats, HeapPath, NoHooks, NoParVisitor, ParVisitor, TraceHooks, Visit,
+    WorkItem, CTX_NONE,
 };
 use gca_heap::{ClassId, Flags, Heap, HeapError, ObjRef};
 
@@ -167,7 +168,8 @@ impl<'a> ShardVisitor<'a> {
                 scanned: current,
             });
         } else {
-            self.candidates.push(Candidate::Pending { obj, ctx: item.ctx });
+            self.candidates
+                .push(Candidate::Pending { obj, ctx: item.ctx });
         }
     }
 }
@@ -238,7 +240,8 @@ impl ParVisitor for ShardVisitor<'_> {
         // assert-unshared: one candidate per extra incoming edge.
         if prev.contains(Flags::UNSHARED) {
             self.counters.unshared_bits_seen += 1;
-            self.candidates.push(Candidate::Shared { obj, ctx: item.ctx });
+            self.candidates
+                .push(Candidate::Shared { obj, ctx: item.ctx });
         }
         if prev.contains(Flags::DEAD) && self.record_dead_edges {
             if let Some(edge) = item.parent_edge() {
@@ -339,11 +342,11 @@ pub(crate) fn collect_parallel(
     census: bool,
 ) -> Result<ParCycle, HeapError> {
     let workers = workers.max(1);
+    let cross_check = census && cfg!(debug_assertions) && !heap_has_stale_marks(heap);
     let cycle_start = Instant::now();
     TraceHooks::gc_begin(engine, heap);
 
-    let record_dead_edges =
-        engine.path_tracking && engine.lifetime_reaction == Reaction::ForceTrue;
+    let record_dead_edges = engine.path_tracking && engine.lifetime_reaction == Reaction::ForceTrue;
     let mut acc = PhaseAccum::default();
 
     // ---- ownership pre-phase (§2.5.2), barriered sub-phases ----
@@ -421,7 +424,8 @@ pub(crate) fn collect_parallel(
         heap.registry_mut().info_mut(class).instance_count += n;
     }
     engine.counters = acc.counters;
-    acc.dead_edges.sort_unstable_by_key(|&(p, f)| (p.index(), f));
+    acc.dead_edges
+        .sort_unstable_by_key(|&(p, f)| (p.index(), f));
     engine.dead_edges.extend(acc.dead_edges);
     merge_candidates(engine, heap, roots, acc.candidates);
 
@@ -443,10 +447,16 @@ pub(crate) fn collect_parallel(
         words_swept,
     };
     TraceHooks::gc_end(engine, heap, &cycle);
+    let census = census.then(|| acc.census.unwrap_or_default());
+    if cross_check {
+        if let Some(sink) = &census {
+            sink.verify_live_totals(heap);
+        }
+    }
     Ok(ParCycle {
         cycle,
         worker_mark: acc.worker_busy,
-        census: census.then(|| acc.census.unwrap_or_default()),
+        census,
     })
 }
 
@@ -667,6 +677,7 @@ pub(crate) fn collect_parallel_base(
     workers: usize,
     census: bool,
 ) -> Result<ParCycle, HeapError> {
+    let cross_check = census && cfg!(debug_assertions) && !heap_has_stale_marks(heap);
     let cycle_start = Instant::now();
     let t = Instant::now();
     let seeds: Vec<WorkItem> = roots
@@ -694,6 +705,11 @@ pub(crate) fn collect_parallel_base(
     let (objects_swept, words_swept) = sweep_heap(heap, &mut NoHooks)?;
     let sweep = t.elapsed();
 
+    if cross_check {
+        if let Some(sink) = &sink {
+            sink.verify_live_totals(heap);
+        }
+    }
     Ok(ParCycle {
         cycle: CycleStats {
             total: cycle_start.elapsed(),

@@ -135,7 +135,12 @@ impl VmThread {
     /// # Errors
     ///
     /// As [`Vm::alloc`].
-    pub fn alloc(&self, class: ClassId, nrefs: usize, data_words: usize) -> Result<ObjRef, VmError> {
+    pub fn alloc(
+        &self,
+        class: ClassId,
+        nrefs: usize,
+        data_words: usize,
+    ) -> Result<ObjRef, VmError> {
         self.with(|vm, m| vm.alloc(m, class, nrefs, data_words))
     }
 
@@ -233,7 +238,12 @@ mod tests {
 
     #[test]
     fn concurrent_allocation_is_consistent() {
-        let shared = SharedVm::new(VmConfig::builder().heap_budget(4_000).grow_on_oom(true).build());
+        let shared = SharedVm::new(
+            VmConfig::builder()
+                .heap_budget(4_000)
+                .grow_on_oom(true)
+                .build(),
+        );
         let class = shared.with(|vm| vm.register_class("T", &[]));
         let threads: Vec<_> = (0..8)
             .map(|_| {
@@ -249,7 +259,8 @@ mod tests {
             h.join().unwrap();
         }
         shared.collect().unwrap();
-        let (allocs, live) = shared.with(|vm| (vm.heap_stats().allocations, vm.heap().live_objects()));
+        let (allocs, live) =
+            shared.with(|vm| (vm.heap_stats().allocations, vm.heap().live_objects()));
         assert_eq!(allocs, 8 * 500);
         assert_eq!(live, 0, "all churn reclaimed");
     }

@@ -142,10 +142,7 @@ impl Violation {
             ViolationKind::DeadReachable { object, class_name } => {
                 out.push_str("Warning: an object that was asserted dead is reachable.\n");
                 out.push_str(&format!("Type: {class_name} ({object})\n"));
-                out.push_str(&format!(
-                    "Path to object: {}",
-                    self.path.display(registry)
-                ));
+                out.push_str(&format!("Path to object: {}", self.path.display(registry)));
             }
             ViolationKind::InstanceLimit {
                 class_name,
@@ -177,10 +174,7 @@ impl Violation {
                 out.push_str(&format!(
                     "Ownee: {ownee_class} ({ownee}), owner: {owner_class} ({owner})\n"
                 ));
-                out.push_str(&format!(
-                    "Path to object: {}",
-                    self.path.display(registry)
-                ));
+                out.push_str(&format!("Path to object: {}", self.path.display(registry)));
             }
             ViolationKind::ImproperOwnership {
                 ownee,
@@ -188,9 +182,7 @@ impl Violation {
                 scanned_owner,
                 scanned_owner_class,
             } => {
-                out.push_str(
-                    "Warning: improper use of assert-ownedby (owner regions overlap).\n",
-                );
+                out.push_str("Warning: improper use of assert-ownedby (owner regions overlap).\n");
                 out.push_str(&format!(
                     "Ownee {ownee_class} ({ownee}) was reached while scanning from owner {scanned_owner_class} ({scanned_owner})\n"
                 ));

@@ -246,7 +246,12 @@ impl Vm {
     /// # Errors
     ///
     /// Reference-validity or field-bounds errors, or [`VmError::Halted`].
-    pub fn set_field(&mut self, obj: ObjRef, field: usize, value: ObjRef) -> Result<ObjRef, VmError> {
+    pub fn set_field(
+        &mut self,
+        obj: ObjRef,
+        field: usize,
+        value: ObjRef,
+    ) -> Result<ObjRef, VmError> {
         self.check_running()?;
         let old = self.heap.set_ref_field(obj, field, value)?;
         // Generational write barrier: record old objects that acquire
@@ -583,9 +588,8 @@ impl Vm {
         overhead.unshared.registered = delta(self.calls.unshared, self.last_calls.unshared);
         overhead.unshared.header_bit_checks = counters.unshared_bits_seen;
         overhead.owned_by.registered = delta(self.calls.owned_by, self.last_calls.owned_by);
-        overhead.owned_by.phase_work = counters.owners_scanned
-            + counters.ownees_checked
-            + counters.deferred_ownees_processed;
+        overhead.owned_by.phase_work =
+            counters.owners_scanned + counters.ownees_checked + counters.deferred_ownees_processed;
         overhead.owned_by.extra_edges_traced = cycle.pre_root_edges;
 
         let t = self.telemetry.as_deref_mut().expect("checked by caller");
@@ -751,8 +755,9 @@ impl Vm {
     }
 
     pub(crate) fn gather_roots(&self) -> Vec<ObjRef> {
-        let mut roots: Vec<ObjRef> =
-            Vec::with_capacity(self.globals.len() + self.mutators.iter().map(|m| m.roots.len()).sum::<usize>());
+        let mut roots: Vec<ObjRef> = Vec::with_capacity(
+            self.globals.len() + self.mutators.iter().map(|m| m.roots.len()).sum::<usize>(),
+        );
         roots.extend_from_slice(&self.globals);
         for m in &self.mutators {
             roots.extend_from_slice(&m.roots);

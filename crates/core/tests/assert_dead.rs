@@ -1,6 +1,6 @@
 //! Semantics of `assert-dead` (§2.3.1) and the violation reactions (§2.6).
 
-use gc_assertions::{ObjRef, Reaction, Vm, VmConfig, ViolationKind, VmError};
+use gc_assertions::{ObjRef, Reaction, ViolationKind, Vm, VmConfig, VmError};
 
 fn vm() -> Vm {
     Vm::new(VmConfig::builder().build())

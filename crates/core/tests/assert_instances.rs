@@ -1,6 +1,6 @@
 //! Semantics of `assert-instances` (§2.4.1).
 
-use gc_assertions::{Vm, VmConfig, ViolationKind};
+use gc_assertions::{ViolationKind, Vm, VmConfig};
 
 fn vm() -> Vm {
     Vm::new(VmConfig::builder().build())
@@ -91,7 +91,7 @@ fn dead_instances_uncount_across_gcs() {
     let sa = vm.add_root(m, a).unwrap();
     let b = vm.alloc_rooted(m, c, 0, 0).unwrap();
     assert_eq!(vm.collect().unwrap().violations.len(), 1); // 2 > 1
-    // Drop one; the next GC sees exactly 1 and passes.
+                                                           // Drop one; the next GC sees exactly 1 and passes.
     vm.set_root(m, sa, gc_assertions::ObjRef::NULL).unwrap();
     assert!(vm.collect().unwrap().is_clean());
     assert!(vm.is_live(b));

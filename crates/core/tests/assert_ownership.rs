@@ -2,7 +2,7 @@
 //! ownee processing, disjointness warnings, dead-owner floating garbage,
 //! and the strict-owner-lifetime extension.
 
-use gc_assertions::{ObjRef, Vm, VmConfig, ViolationKind};
+use gc_assertions::{ObjRef, ViolationKind, Vm, VmConfig};
 
 fn vm() -> Vm {
     Vm::new(VmConfig::builder().build())
@@ -317,7 +317,10 @@ fn back_edge_into_other_owner_region_does_not_false_positive() {
     vm.assert_owned_by(t2, o2).unwrap();
 
     let report = vm.collect().unwrap();
-    assert!(report.is_clean(), "both orders are properly owned: {report}");
+    assert!(
+        report.is_clean(),
+        "both orders are properly owned: {report}"
+    );
 
     // Now remove o2 from its table: only the back edge keeps it alive —
     // a genuine leak that must be the one and only violation.

@@ -1,6 +1,6 @@
 //! Semantics of `assert-unshared` (§2.5.1).
 
-use gc_assertions::{ObjRef, Vm, VmConfig, ViolationKind};
+use gc_assertions::{ObjRef, ViolationKind, Vm, VmConfig};
 
 fn vm() -> Vm {
     Vm::new(VmConfig::builder().build())

@@ -8,10 +8,22 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Alloc { data: usize, root: bool },
-    Link { from: usize, field: usize, to: usize },
-    Unlink { from: usize, field: usize },
-    UnrootTo { keep: usize },
+    Alloc {
+        data: usize,
+        root: bool,
+    },
+    Link {
+        from: usize,
+        field: usize,
+        to: usize,
+    },
+    Unlink {
+        from: usize,
+        field: usize,
+    },
+    UnrootTo {
+        keep: usize,
+    },
     Collect,
 }
 

@@ -1,7 +1,7 @@
 //! Property tests: on arbitrary random object graphs, `assert-dead` and
 //! `assert-unshared` violations match independently computed oracles.
 
-use gc_assertions::{ObjRef, Vm, VmConfig, ViolationKind};
+use gc_assertions::{ObjRef, ViolationKind, Vm, VmConfig};
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -25,13 +25,15 @@ fn scenario() -> impl Strategy<Value = Scenario> {
             proptest::collection::vec(0..n, 0..6),
             proptest::collection::vec(0..n, 0..6),
         )
-            .prop_map(|(n, edges, roots, dead_asserts, unshared_asserts)| Scenario {
-                n,
-                edges,
-                roots,
-                dead_asserts,
-                unshared_asserts,
-            })
+            .prop_map(
+                |(n, edges, roots, dead_asserts, unshared_asserts)| Scenario {
+                    n,
+                    edges,
+                    roots,
+                    dead_asserts,
+                    unshared_asserts,
+                },
+            )
     })
 }
 

@@ -5,9 +5,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use gc_assertions::{
-    AssertionClass, ObjRef, Reaction, Vm, VmConfig, ViolationKind, VmError,
-};
+use gc_assertions::{AssertionClass, ObjRef, Reaction, ViolationKind, Vm, VmConfig, VmError};
 
 fn leaky_vm(config: VmConfig) -> (Vm, ObjRef, ObjRef) {
     let mut vm = Vm::new(config);
@@ -26,7 +24,9 @@ fn leaky_vm(config: VmConfig) -> (Vm, ObjRef, ObjRef) {
 
 #[test]
 fn lifetime_halt_override_halts_on_dead_violation() {
-    let config = VmConfig::builder().reaction_for(AssertionClass::Lifetime, Reaction::Halt).build();
+    let config = VmConfig::builder()
+        .reaction_for(AssertionClass::Lifetime, Reaction::Halt)
+        .build();
     let (mut vm, _h, _x) = leaky_vm(config);
     let report = vm.collect().unwrap();
     assert!(report.halted);
@@ -37,7 +37,9 @@ fn lifetime_halt_override_halts_on_dead_violation() {
 fn volume_halt_override_ignores_lifetime_violations() {
     // Halt only on instance-limit violations; the dead-reachable
     // violation is logged but execution continues.
-    let config = VmConfig::builder().reaction_for(AssertionClass::Volume, Reaction::Halt).build();
+    let config = VmConfig::builder()
+        .reaction_for(AssertionClass::Volume, Reaction::Halt)
+        .build();
     let (mut vm, _h, _x) = leaky_vm(config);
     let report = vm.collect().unwrap();
     assert_eq!(report.violations.len(), 1);
@@ -48,7 +50,9 @@ fn volume_halt_override_ignores_lifetime_violations() {
 #[test]
 fn lifetime_force_true_with_default_log() {
     // ForceTrue for lifetime assertions only; everything else logs.
-    let config = VmConfig::builder().reaction_for(AssertionClass::Lifetime, Reaction::ForceTrue).build();
+    let config = VmConfig::builder()
+        .reaction_for(AssertionClass::Lifetime, Reaction::ForceTrue)
+        .build();
     let (mut vm, h, x) = leaky_vm(config);
     vm.collect().unwrap();
     assert_eq!(vm.field(h, 0).unwrap(), ObjRef::NULL, "edge severed");
@@ -74,7 +78,9 @@ fn later_override_wins() {
 
 #[test]
 fn connectivity_class_maps_ownership_violations() {
-    let config = VmConfig::builder().reaction_for(AssertionClass::Connectivity, Reaction::Halt).build();
+    let config = VmConfig::builder()
+        .reaction_for(AssertionClass::Connectivity, Reaction::Halt)
+        .build();
     let mut vm = Vm::new(config);
     let c = vm.register_class("C", &["f"]);
     let m = vm.main();
@@ -119,7 +125,12 @@ fn handler_sees_every_violation() {
 #[test]
 fn handler_fires_for_implicit_collections_too() {
     let seen = Arc::new(AtomicUsize::new(0));
-    let mut vm = Vm::new(VmConfig::builder().heap_budget(64).grow_on_oom(true).build());
+    let mut vm = Vm::new(
+        VmConfig::builder()
+            .heap_budget(64)
+            .grow_on_oom(true)
+            .build(),
+    );
     let c = vm.register_class("T", &[]);
     let m = vm.main();
     let x = vm.alloc_rooted(m, c, 0, 0).unwrap();
@@ -264,9 +275,11 @@ fn incoming_references_enumerates_all_edges() {
 
 #[test]
 fn probes_respect_halt() {
-    let (mut vm, _h, x) =
-        leaky_vm(VmConfig::builder().reaction(Reaction::Halt).build());
+    let (mut vm, _h, x) = leaky_vm(VmConfig::builder().reaction(Reaction::Halt).build());
     vm.collect().unwrap();
     assert!(matches!(vm.probe_path(x), Err(VmError::Halted)));
-    assert!(matches!(vm.probe_instances(vm.registry().lookup("Holder").unwrap()), Err(VmError::Halted)));
+    assert!(matches!(
+        vm.probe_instances(vm.registry().lookup("Holder").unwrap()),
+        Err(VmError::Halted)
+    ));
 }

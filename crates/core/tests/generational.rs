@@ -38,7 +38,7 @@ fn promoted_objects_survive_minors_without_roots_scanning_them() {
     let m = vm.main();
     let a = vm.alloc_rooted(m, c, 1, 0).unwrap();
     vm.collect_minor().unwrap(); // a promoted
-    // Old garbage: drop the root; minors never reclaim old objects.
+                                 // Old garbage: drop the root; minors never reclaim old objects.
     vm.set_root(m, 0, ObjRef::NULL).unwrap();
     vm.collect_minor().unwrap();
     assert!(vm.is_live(a), "old garbage survives minors");
@@ -54,7 +54,7 @@ fn write_barrier_keeps_old_to_young_edges_alive() {
     let m = vm.main();
     let old = vm.alloc_rooted(m, c, 1, 0).unwrap();
     vm.collect_minor().unwrap(); // promote `old`
-    // Create an old -> young edge; the barrier must remember it.
+                                 // Create an old -> young edge; the barrier must remember it.
     let young = vm.alloc(m, c, 1, 0).unwrap();
     vm.set_field(old, 0, young).unwrap();
     let stats = vm.collect_minor().unwrap();
@@ -174,7 +174,10 @@ fn generational_and_marksweep_agree_on_final_liveness() {
         (vm, kept, dropped)
     }
 
-    let base_cfg = VmConfig::builder().heap_budget(1_500).grow_on_oom(true).build();
+    let base_cfg = VmConfig::builder()
+        .heap_budget(1_500)
+        .grow_on_oom(true)
+        .build();
     let (vm_ms, kept_ms, dropped_ms) = run(base_cfg.clone());
     let (vm_gen, kept_gen, dropped_gen) = run(base_cfg.generational(3));
 

@@ -2,7 +2,7 @@
 //! checks share one trace, one set of header bits, and one engine, so
 //! their combinations deserve their own coverage.
 
-use gc_assertions::{ObjRef, Reaction, Vm, VmConfig, ViolationKind};
+use gc_assertions::{ObjRef, Reaction, ViolationKind, Vm, VmConfig};
 
 fn vm() -> Vm {
     Vm::new(VmConfig::builder().build())

@@ -23,7 +23,11 @@ enum Op {
     /// Allocate a 3-ref-field node, optionally rooting it.
     Alloc { root: bool },
     /// Link field of one rooted object to another.
-    Link { from: usize, field: usize, to: usize },
+    Link {
+        from: usize,
+        field: usize,
+        to: usize,
+    },
     /// Null out a field of a rooted object.
     Unlink { from: usize, field: usize },
     /// `assert-dead` on a rooted (guaranteed-reachable) or recent object.

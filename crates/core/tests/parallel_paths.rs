@@ -17,14 +17,20 @@ use gc_assertions::{HeapPath, ObjRef, ViolationKind, Vm, VmConfig};
 fn assert_path_valid(vm: &Vm, path: &HeapPath, target: ObjRef, valid_starts: &[ObjRef]) {
     let steps = path.steps();
     assert!(!steps.is_empty(), "path for {target:?} is empty");
-    assert_eq!(steps.last().unwrap().object, target, "path must end at the violation");
+    assert_eq!(
+        steps.last().unwrap().object,
+        target,
+        "path must end at the violation"
+    );
     assert!(
         valid_starts.contains(&steps[0].object),
         "path must start at a root or scanned-owner child, got {:?}",
         steps[0].object
     );
     for w in steps.windows(2) {
-        let field = w[1].field.expect("non-first steps carry their incoming field");
+        let field = w[1]
+            .field
+            .expect("non-first steps carry their incoming field");
         let actual = vm
             .heap()
             .ref_field(w[0].object, field)
@@ -80,7 +86,9 @@ fn run(workers: usize) -> (Vm, Vec<gc_assertions::Violation>, Scenario) {
     let orphan_owner = vm.alloc_rooted(m, owner_c, 1, 0).unwrap();
     let orphan_ownee = vm.alloc(m, ownee_c, 0, 0).unwrap();
     vm.set_field(orphan_owner, 0, orphan_ownee).unwrap();
-    vm.assertions().owned_by(orphan_owner, orphan_ownee).unwrap();
+    vm.assertions()
+        .owned_by(orphan_owner, orphan_ownee)
+        .unwrap();
     // Keep the ownee reachable from the hub, then drop the owner's edge:
     // the only remaining path avoids the owner.
     vm.set_field(hub, 2, orphan_ownee).unwrap();

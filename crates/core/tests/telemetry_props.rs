@@ -30,13 +30,15 @@ fn scenario() -> impl Strategy<Value = Scenario> {
             proptest::collection::vec(0..n, 0..6),
             proptest::collection::vec(0..n, 0..6),
         )
-            .prop_map(|(n, edges, roots, dead_asserts, unshared_asserts)| Scenario {
-                n,
-                edges,
-                roots,
-                dead_asserts,
-                unshared_asserts,
-            })
+            .prop_map(
+                |(n, edges, roots, dead_asserts, unshared_asserts)| Scenario {
+                    n,
+                    edges,
+                    roots,
+                    dead_asserts,
+                    unshared_asserts,
+                },
+            )
     })
 }
 

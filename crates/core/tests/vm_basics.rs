@@ -3,7 +3,12 @@
 use gc_assertions::{HeapError, Mode, ObjRef, Vm, VmConfig, VmError};
 
 fn small_vm(budget: usize, grow: bool) -> Vm {
-    Vm::new(VmConfig::builder().heap_budget(budget).grow_on_oom(grow).build())
+    Vm::new(
+        VmConfig::builder()
+            .heap_budget(budget)
+            .grow_on_oom(grow)
+            .build(),
+    )
 }
 
 #[test]

@@ -237,7 +237,11 @@ pub fn top_retainers(snapshot: &HeapSnapshot, dom: &Dominators, k: usize) -> Vec
             shallow_words: n.size_words,
         })
         .collect();
-    all.sort_by(|a, b| b.retained_words.cmp(&a.retained_words).then(a.node.cmp(&b.node)));
+    all.sort_by(|a, b| {
+        b.retained_words
+            .cmp(&a.retained_words)
+            .then(a.node.cmp(&b.node))
+    });
     all.truncate(k);
     all
 }
@@ -336,10 +340,7 @@ mod tests {
         heap.set_ref_field(r2, 0, shared).unwrap();
         let snap = HeapSnapshot::capture(&heap, &[r1, r2]);
         let dom = Dominators::compute(&snap);
-        assert_eq!(
-            dom.immediate_dominator(snap.node_of(shared).unwrap()),
-            None
-        );
+        assert_eq!(dom.immediate_dominator(snap.node_of(shared).unwrap()), None);
     }
 
     #[test]

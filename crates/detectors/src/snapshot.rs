@@ -80,10 +80,7 @@ impl HeapSnapshot {
             let obj = queue[head];
             head += 1;
             let from = snap.index[&obj];
-            let refs: Vec<ObjRef> = heap
-                .get(obj)
-                .map(|o| o.refs().to_vec())
-                .unwrap_or_default();
+            let refs: Vec<ObjRef> = heap.get(obj).map(|o| o.refs().to_vec()).unwrap_or_default();
             for c in refs {
                 if c.is_null() || !heap.is_valid(c) {
                     continue;

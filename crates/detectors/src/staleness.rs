@@ -129,7 +129,10 @@ mod tests {
         for _ in 0..5 {
             det.advance();
         }
-        assert!(det.scan(&heap).is_empty(), "idle == threshold is not > threshold");
+        assert!(
+            det.scan(&heap).is_empty(),
+            "idle == threshold is not > threshold"
+        );
     }
 
     #[test]

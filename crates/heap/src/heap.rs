@@ -1,6 +1,6 @@
 //! The non-moving free-list heap.
 
-use crate::{ClassId, Flags, HeapError, HeapStats, Object, ObjRef, TypeRegistry};
+use crate::{ClassId, Flags, HeapError, HeapStats, ObjRef, Object, TypeRegistry};
 
 #[derive(Debug)]
 enum SlotState {
@@ -221,11 +221,14 @@ impl Heap {
     /// Reference-validity errors, or [`HeapError::FieldOutOfBounds`].
     pub fn ref_field(&self, obj: ObjRef, field: usize) -> Result<ObjRef, HeapError> {
         let o = self.get(obj)?;
-        o.refs().get(field).copied().ok_or(HeapError::FieldOutOfBounds {
-            object: obj,
-            field,
-            len: o.ref_count(),
-        })
+        o.refs()
+            .get(field)
+            .copied()
+            .ok_or(HeapError::FieldOutOfBounds {
+                object: obj,
+                field,
+                len: o.ref_count(),
+            })
     }
 
     /// Writes reference field `field` of `obj`, returning the old value.
@@ -265,11 +268,14 @@ impl Heap {
     /// `index` exceeds the payload.
     pub fn data_word(&self, obj: ObjRef, index: usize) -> Result<u64, HeapError> {
         let o = self.get(obj)?;
-        o.data().get(index).copied().ok_or(HeapError::FieldOutOfBounds {
-            object: obj,
-            field: index,
-            len: o.data_words(),
-        })
+        o.data()
+            .get(index)
+            .copied()
+            .ok_or(HeapError::FieldOutOfBounds {
+                object: obj,
+                field: index,
+                len: o.data_words(),
+            })
     }
 
     /// Writes data word `index` of `obj`.
@@ -278,7 +284,12 @@ impl Heap {
     ///
     /// Reference-validity errors, or [`HeapError::FieldOutOfBounds`] if
     /// `index` exceeds the payload.
-    pub fn set_data_word(&mut self, obj: ObjRef, index: usize, value: u64) -> Result<(), HeapError> {
+    pub fn set_data_word(
+        &mut self,
+        obj: ObjRef,
+        index: usize,
+        value: u64,
+    ) -> Result<(), HeapError> {
         let o = self.get_mut(obj)?;
         let len = o.data_words();
         match o.data_mut().get_mut(index) {
@@ -361,9 +372,7 @@ impl Heap {
     pub fn entry(&self, index: usize) -> Option<(ObjRef, &Object)> {
         match self.slots.get(index) {
             Some(slot) => match &slot.state {
-                SlotState::Occupied(obj) => {
-                    Some((ObjRef::from_parts(index as u32, slot.gen), obj))
-                }
+                SlotState::Occupied(obj) => Some((ObjRef::from_parts(index as u32, slot.gen), obj)),
                 SlotState::Free { .. } => None,
             },
             None => None,
@@ -438,9 +447,7 @@ impl Heap {
                     words += obj.size_words();
                     for (f, &r) in obj.refs().iter().enumerate() {
                         if r.is_some() && !self.is_valid(r) {
-                            problems.push(format!(
-                                "dangling reference: slot {i} field {f} -> {r}"
-                            ));
+                            problems.push(format!("dangling reference: slot {i} field {f} -> {r}"));
                         }
                     }
                 }
@@ -558,11 +565,19 @@ mod tests {
         let a = heap.alloc(c, 1, 0).unwrap();
         assert!(matches!(
             heap.ref_field(a, 1),
-            Err(HeapError::FieldOutOfBounds { field: 1, len: 1, .. })
+            Err(HeapError::FieldOutOfBounds {
+                field: 1,
+                len: 1,
+                ..
+            })
         ));
         assert!(matches!(
             heap.set_ref_field(a, 5, ObjRef::NULL),
-            Err(HeapError::FieldOutOfBounds { field: 5, len: 1, .. })
+            Err(HeapError::FieldOutOfBounds {
+                field: 5,
+                len: 1,
+                ..
+            })
         ));
     }
 
@@ -572,10 +587,7 @@ mod tests {
         let a = heap.alloc(c, 1, 0).unwrap();
         let b = heap.alloc(c, 0, 0).unwrap();
         heap.free(b).unwrap();
-        assert_eq!(
-            heap.set_ref_field(a, 0, b),
-            Err(HeapError::StaleRef(b))
-        );
+        assert_eq!(heap.set_ref_field(a, 0, b), Err(HeapError::StaleRef(b)));
     }
 
     #[test]
@@ -595,11 +607,19 @@ mod tests {
         assert_eq!(heap.data_word(a, 2).unwrap(), 42);
         assert!(matches!(
             heap.data_word(a, 3),
-            Err(HeapError::FieldOutOfBounds { field: 3, len: 3, .. })
+            Err(HeapError::FieldOutOfBounds {
+                field: 3,
+                len: 3,
+                ..
+            })
         ));
         assert!(matches!(
             heap.set_data_word(a, 9, 1),
-            Err(HeapError::FieldOutOfBounds { field: 9, len: 3, .. })
+            Err(HeapError::FieldOutOfBounds {
+                field: 9,
+                len: 3,
+                ..
+            })
         ));
     }
 

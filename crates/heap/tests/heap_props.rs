@@ -14,18 +14,32 @@ use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Alloc { nrefs: usize, data: usize },
-    Free { victim: usize },
-    Write { obj: usize, field: usize, val: usize },
-    SetFlag { obj: usize },
+    Alloc {
+        nrefs: usize,
+        data: usize,
+    },
+    Free {
+        victim: usize,
+    },
+    Write {
+        obj: usize,
+        field: usize,
+        val: usize,
+    },
+    SetFlag {
+        obj: usize,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0usize..6, 0usize..16).prop_map(|(nrefs, data)| Op::Alloc { nrefs, data }),
         (0usize..64).prop_map(|victim| Op::Free { victim }),
-        (0usize..64, 0usize..6, 0usize..64)
-            .prop_map(|(obj, field, val)| Op::Write { obj, field, val }),
+        (0usize..64, 0usize..6, 0usize..64).prop_map(|(obj, field, val)| Op::Write {
+            obj,
+            field,
+            val
+        }),
         (0usize..64).prop_map(|obj| Op::SetFlag { obj }),
     ]
 }

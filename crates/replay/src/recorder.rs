@@ -2,9 +2,7 @@
 
 use std::collections::HashMap;
 
-use gc_assertions::{
-    ClassId, GcReport, MutatorId, ObjRef, Vm, VmConfig, VmError,
-};
+use gc_assertions::{ClassId, GcReport, MutatorId, ObjRef, Vm, VmConfig, VmError};
 
 use crate::event::{Event, ObjId};
 
@@ -475,10 +473,7 @@ mod tests {
             replayed.heap_stats().allocations
         );
         assert_eq!(vm.collections(), replayed.collections());
-        assert_eq!(
-            vm.violation_log().len(),
-            replayed.violation_log().len()
-        );
+        assert_eq!(vm.violation_log().len(), replayed.violation_log().len());
         assert_eq!(vm.heap().live_objects(), replayed.heap().live_objects());
     }
 
@@ -535,7 +530,10 @@ mod tests {
         let a = rec.alloc(c, 0, 0).unwrap();
         rec.assert_dead(a).unwrap();
         let (_, log) = rec.finish();
-        let err = replay(&log, VmConfig::builder().mode(gc_assertions::Mode::Base).build());
+        let err = replay(
+            &log,
+            VmConfig::builder().mode(gc_assertions::Mode::Base).build(),
+        );
         assert!(err.is_err());
     }
 

@@ -7,20 +7,38 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Alloc { data: usize },
-    Link { from: usize, field: usize, to: usize },
-    Root { obj: usize },
-    Unlink { from: usize, field: usize },
-    AssertDead { obj: usize },
-    AssertUnshared { obj: usize },
+    Alloc {
+        data: usize,
+    },
+    Link {
+        from: usize,
+        field: usize,
+        to: usize,
+    },
+    Root {
+        obj: usize,
+    },
+    Unlink {
+        from: usize,
+        field: usize,
+    },
+    AssertDead {
+        obj: usize,
+    },
+    AssertUnshared {
+        obj: usize,
+    },
     Gc,
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0usize..6).prop_map(|data| Op::Alloc { data }),
-        (0usize..64, 0usize..3, 0usize..64)
-            .prop_map(|(from, field, to)| Op::Link { from, field, to }),
+        (0usize..64, 0usize..3, 0usize..64).prop_map(|(from, field, to)| Op::Link {
+            from,
+            field,
+            to
+        }),
         (0usize..64).prop_map(|obj| Op::Root { obj }),
         (0usize..64, 0usize..3).prop_map(|(from, field)| Op::Unlink { from, field }),
         (0usize..64).prop_map(|obj| Op::AssertDead { obj }),

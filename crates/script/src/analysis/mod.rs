@@ -1,0 +1,1302 @@
+//! Static checking for GCA scripts: `gca check`.
+//!
+//! The analyzer runs a flow-sensitive forward interpretation over the
+//! command stream with an abstract heap — an allocation-site points-to
+//! graph tracking variables, ref fields, the root set, region
+//! membership, and incoming-edge multiplicity (see [`domain`]).  At each
+//! `gc` it replays the collector's mark/sweep cycle abstractly (see
+//! [`collect`]) and classifies every registered assertion on the verdict
+//! lattice **Safe < May < Must**:
+//!
+//! * **must-violate** (error): the abstract collection proves the
+//!   assertion fires.  Must-verdicts are sound — the differential test
+//!   in `tests/check.rs` pins them as a subset of what the interpreter
+//!   actually reports.
+//! * **may-violate** (warning): plausible on the abstract heap, but the
+//!   analyzer declines to promise it.  Concretely, any collection that
+//!   begins with a non-empty ownership table downgrades all of its
+//!   verdicts to *may* — ownership reachability is where a static model
+//!   earns the least trust — and the analyzer's expectation predictions
+//!   are disabled from then on.
+//! * **safe**: nothing reported.
+//!
+//! Diagnostics carry 1-based line/column spans and a root-to-object
+//! abstract path mirroring the paper's Figure-1 reports, e.g.
+//! `occupant: SObject (line 8) -.rep-> fresh_rep: Rep (line 16)`.
+//! Advisory lints ride along as warnings: dead-but-still-rooted,
+//! unshared-with-two-stores, region allocations escaping before
+//! `all-dead`, use-after-`assert-dead`, and class redeclaration.
+
+mod collect;
+mod diag;
+mod domain;
+
+pub use diag::{Diagnostic, Severity};
+
+use crate::ast::{parse_script, token_column, Command, Target};
+use crate::error::ScriptError;
+
+use collect::{Collection, CycleOutcome, PathStep, PredKind, PredViolation};
+use domain::{AbsClass, AbsObj, AbsState, InstanceLimit, ObjId, OwnerEntry, Reaction};
+
+/// What the analyzer predicts one collection will report.
+#[derive(Debug, Clone)]
+pub struct GcPrediction {
+    /// 1-based line of the command that triggered the collection.
+    pub line: usize,
+    /// Triggered by an explicit `gc` command (as opposed to the
+    /// allocator or `minor-gc`).
+    pub explicit: bool,
+    /// A minor (nursery-only) collection.
+    pub minor: bool,
+    /// Violations certain to be reported, in the runtime's
+    /// `Violation::summary()` format.
+    pub must: Vec<String>,
+    /// Violations possible but not promised (ownership humility).
+    pub may: Vec<String>,
+}
+
+/// The result of statically checking a script.
+#[derive(Debug)]
+pub struct Analysis {
+    /// All diagnostics, in emission order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-collection verdicts, explicit and implicit, in execution
+    /// order.
+    pub collections: Vec<GcPrediction>,
+}
+
+impl Analysis {
+    /// Whether any diagnostic is at error severity (a must-violate
+    /// verdict or a predicted runtime failure) — the `gca check` exit-2
+    /// condition.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Renders every diagnostic plus a one-line verdict summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        let errors = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        let warnings = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count();
+        out.push_str(&format!(
+            "check: {} collection(s) analyzed, {errors} error(s), {warnings} warning(s)\n",
+            self.collections.len()
+        ));
+        out
+    }
+}
+
+/// Statically checks `src`, predicting each collection's assertion
+/// verdicts without running the VM.
+///
+/// # Errors
+///
+/// Parse errors only — semantic problems the *interpreter* would reject
+/// (unknown variables, halted-VM use, failing expectations, …) are
+/// reported as error-severity [`Diagnostic`]s in the returned
+/// [`Analysis`] instead, with analysis stopping at the first one.
+pub fn analyze(src: &str) -> Result<Analysis, ScriptError> {
+    let commands = parse_script(src)?;
+    let mut an = Analyzer::new(src);
+    for (line, cmd) in &commands {
+        an.execute(*line, cmd);
+        if an.stopped {
+            break;
+        }
+    }
+    Ok(Analysis {
+        diagnostics: an.diagnostics,
+        collections: an.collections,
+    })
+}
+
+struct Analyzer<'a> {
+    st: AbsState,
+    lines: Vec<&'a str>,
+    diagnostics: Vec<Diagnostic>,
+    collections: Vec<GcPrediction>,
+    /// Line of the collection that latched the halt reaction.
+    halt_line: Option<usize>,
+    /// A predicted runtime failure was emitted; analysis stops.
+    stopped: bool,
+}
+
+impl<'a> Analyzer<'a> {
+    fn new(src: &'a str) -> Analyzer<'a> {
+        Analyzer {
+            st: AbsState::new(),
+            lines: src.lines().collect(),
+            diagnostics: Vec::new(),
+            collections: Vec::new(),
+            halt_line: None,
+            stopped: false,
+        }
+    }
+
+    fn col(&self, line: usize) -> Option<usize> {
+        self.lines.get(line - 1).and_then(|l| token_column(l, 0))
+    }
+
+    fn diag(&mut self, line: usize, severity: Severity, code: &'static str, message: String) {
+        let column = self.col(line);
+        self.diagnostics.push(Diagnostic {
+            line,
+            column,
+            severity,
+            code,
+            message,
+            notes: Vec::new(),
+        });
+    }
+
+    /// A predicted runtime failure: error severity, and analysis stops
+    /// (the interpreter would abort the script here).
+    fn fail(&mut self, line: usize, code: &'static str, message: String) {
+        self.diag(line, Severity::Error, code, message);
+        self.stopped = true;
+    }
+
+    fn warn(&mut self, line: usize, code: &'static str, message: String) {
+        self.diag(line, Severity::Warning, code, message);
+    }
+
+    // ------------------------------------------------------------------
+    // Lookups, mirroring the interpreter's error behavior
+    // ------------------------------------------------------------------
+
+    fn var(&mut self, line: usize, name: &str) -> Option<ObjId> {
+        match self.st.lookup(name) {
+            Some(o) => Some(o),
+            None => {
+                self.fail(
+                    line,
+                    "unknown-variable",
+                    format!("unknown variable `{name}`"),
+                );
+                None
+            }
+        }
+    }
+
+    /// A live object bound to `name`, or a predicted stale-reference
+    /// failure.
+    fn live_var(&mut self, line: usize, name: &str) -> Option<ObjId> {
+        let obj = self.var(line, name)?;
+        if !self.st.objects[obj].alive {
+            self.fail(
+                line,
+                "stale-ref",
+                format!(
+                    "`{name}` refers to {}, which was reclaimed by an earlier collection",
+                    self.st.describe(obj)
+                ),
+            );
+            return None;
+        }
+        Some(obj)
+    }
+
+    fn class(&mut self, line: usize, name: &str) -> Option<usize> {
+        match self.st.class_by_name.get(name) {
+            Some(&c) => Some(c),
+            None => {
+                self.fail(line, "unknown-class", format!("unknown class `{name}`"));
+                None
+            }
+        }
+    }
+
+    /// Mirror of `Vm::check_running`: commands that mutate or assert
+    /// fail once a halt-reaction violation latched.
+    fn check_running(&mut self, line: usize) -> bool {
+        if self.st.halted {
+            let at = self
+                .halt_line
+                .map(|l| format!(" (halted by the collection on line {l})"))
+                .unwrap_or_default();
+            self.fail(
+                line,
+                "halted",
+                format!("the VM refuses further work after a halt-reaction violation{at}"),
+            );
+            return false;
+        }
+        true
+    }
+
+    /// Mirror of `Vm::check_instrumented`: assertions are rejected in
+    /// base mode.
+    fn check_instrumented(&mut self, line: usize) -> bool {
+        if self.st.config.base_mode {
+            self.fail(
+                line,
+                "base-mode",
+                "assertions are disabled in base mode (`config mode base`)".to_owned(),
+            );
+            return false;
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Lints
+    // ------------------------------------------------------------------
+
+    /// Warn when a command keeps using an object already asserted dead —
+    /// rooting or storing it pins it and defeats the assertion.
+    fn lint_use_after_dead(&mut self, line: usize, obj: ObjId, how: &str) {
+        if self.st.objects[obj].dead && self.st.objects[obj].alive {
+            let dead_at = self.st.objects[obj].dead_line;
+            let desc = self.st.describe(obj);
+            let at = dead_at.map(|l| format!(" at line {l}")).unwrap_or_default();
+            self.warn(
+                line,
+                "use-after-assert-dead",
+                format!("{how} {desc}, which was asserted dead{at} — this keeps it reachable"),
+            );
+        }
+    }
+
+    /// Warn at the command that gives an `assert-unshared` object a
+    /// second incoming reference — the violation is then already in the
+    /// heap, collections or not.
+    fn lint_unshared_stores(&mut self, line: usize, obj: ObjId) {
+        if !self.st.objects[obj].unshared || !self.st.objects[obj].alive {
+            return;
+        }
+        let incoming = self.st.incoming(obj);
+        if incoming >= 2 {
+            let desc = self.st.describe(obj);
+            let asserted = self.st.objects[obj].unshared_line;
+            let at = asserted
+                .map(|l| format!(" (asserted unshared at line {l})"))
+                .unwrap_or_default();
+            self.warn(
+                line,
+                "unshared-with-two-stores",
+                format!("{desc} now has {incoming} incoming references{at}"),
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Collections and verdicts
+    // ------------------------------------------------------------------
+
+    fn render_path(&self, path: &[PathStep]) -> Option<String> {
+        if path.is_empty() {
+            return None;
+        }
+        let mut out = String::from("path: ");
+        let mut prev_class: Option<usize> = None;
+        for (i, step) in path.iter().enumerate() {
+            if i > 0 {
+                let field = match (prev_class, step.field) {
+                    (Some(c), Some(f)) => self.st.classes[c].fields[f].clone(),
+                    _ => "?".to_owned(),
+                };
+                out.push_str(&format!(" -.{field}-> "));
+            }
+            out.push_str(&self.st.describe(step.obj));
+            prev_class = Some(self.st.objects[step.obj].class);
+        }
+        Some(out)
+    }
+
+    /// Turns one predicted violation into a diagnostic at the
+    /// collection's line.  `may` selects warning severity and hedged
+    /// wording.
+    fn violation_diag(&mut self, line: usize, v: &PredViolation, may: bool) {
+        let (severity, verb) = if may {
+            (Severity::Warning, "may")
+        } else {
+            (Severity::Error, "must")
+        };
+        let mut notes = Vec::new();
+        if let Some(p) = self.render_path(&v.path) {
+            notes.push(p);
+        }
+        let message = match (v.kind, v.obj) {
+            (PredKind::DeadReachable, Some(obj)) => {
+                let desc = self.st.describe(obj);
+                let at = self.st.objects[obj]
+                    .dead_line
+                    .map(|l| format!(" (line {l})"))
+                    .unwrap_or_default();
+                if let Some(r) = self.st.rooted_at(obj) {
+                    notes.push(format!(
+                        "dead but still rooted: the object is in the root set (rooted at line {r})"
+                    ));
+                }
+                if let Some(s) = self.st.objects[obj].region_site {
+                    notes.push(format!("allocated inside the region begun at line {s}"));
+                }
+                format!(
+                    "{desc} was asserted dead{at} but {verb} still be reachable at this collection"
+                )
+            }
+            (PredKind::Shared, Some(obj)) => {
+                let desc = self.st.describe(obj);
+                let at = self.st.objects[obj]
+                    .unshared_line
+                    .map(|l| format!(" (line {l})"))
+                    .unwrap_or_default();
+                format!("{desc} was asserted unshared{at} but {verb} be reachable through more than one reference")
+            }
+            (PredKind::NotOwned, Some(obj)) => {
+                let desc = self.st.describe(obj);
+                format!("{desc} {verb} be reachable without passing through its owner at this collection")
+            }
+            (PredKind::ImproperOwnership, Some(obj)) => {
+                let desc = self.st.describe(obj);
+                format!("{desc} {verb} be reached while scanning another owner's region (ownership regions must be disjoint)")
+            }
+            (PredKind::OwneeOutlivedOwner, Some(obj)) => {
+                let desc = self.st.describe(obj);
+                format!("{desc} {verb} outlive its owner, which this collection reclaims")
+            }
+            (PredKind::InstanceLimit, _) => {
+                // The summary carries class, count and limit; re-derive
+                // the asserting line for provenance.
+                let detail = v.summary.trim_start_matches("instance-limit ").to_owned();
+                let lline = self
+                    .st
+                    .classes
+                    .iter()
+                    .find(|c| detail.starts_with(&format!("{} ", c.name)))
+                    .and_then(|c| c.limit)
+                    .map(|l| format!(" (asserted line {})", l.line))
+                    .unwrap_or_default();
+                format!("instance limit {verb} be exceeded: {detail}{lline}")
+            }
+            // Kinds above always carry an object; this arm is
+            // unreachable but keeps the match total.
+            (_, None) => v.summary.clone(),
+        };
+        let code = match v.kind {
+            PredKind::DeadReachable => "dead-reachable",
+            PredKind::Shared => "unshared-violated",
+            PredKind::InstanceLimit => "instance-limit",
+            PredKind::NotOwned => "not-owned",
+            PredKind::ImproperOwnership => "improper-ownership",
+            PredKind::OwneeOutlivedOwner => "ownee-outlived-owner",
+        };
+        let column = self.col(line);
+        self.diagnostics.push(Diagnostic {
+            line,
+            column,
+            severity,
+            code,
+            message,
+            notes,
+        });
+    }
+
+    /// Records one major cycle: diagnostics for its violations plus the
+    /// must/may split for the differential harness.
+    fn record_major(&mut self, line: usize, explicit: bool, outcome: CycleOutcome) {
+        // The humility rule: a cycle that began with live ownership
+        // entries gets every verdict downgraded to may, and exactness —
+        // which gates expectation predictions — is gone for the rest of
+        // the script.
+        let may = outcome.ownership_active;
+        if may {
+            self.st.exact = false;
+        }
+        if self.st.halted && self.halt_line.is_none() {
+            self.halt_line = Some(line);
+        }
+        let mut must_summaries = Vec::new();
+        let mut may_summaries = Vec::new();
+        for v in &outcome.violations {
+            self.violation_diag(line, v, may);
+            if may {
+                may_summaries.push(v.summary.clone());
+            } else {
+                must_summaries.push(v.summary.clone());
+            }
+        }
+        if explicit {
+            self.st.last_report = outcome.violations.clone();
+        }
+        self.st.violation_log.extend(outcome.violations);
+        self.collections.push(GcPrediction {
+            line,
+            explicit,
+            minor: false,
+            must: must_summaries,
+            may: may_summaries,
+        });
+    }
+
+    fn record_minor(&mut self, line: usize, violations: Vec<PredViolation>) {
+        // Minors check no assertions; only strict-owner-lifetime
+        // retirements can report, and those are ownership territory —
+        // always may.
+        if !self.st.ownership.is_empty() || !violations.is_empty() {
+            self.st.exact = false;
+        }
+        let mut may_summaries = Vec::new();
+        for v in &violations {
+            self.violation_diag(line, v, true);
+            may_summaries.push(v.summary.clone());
+        }
+        self.st.violation_log.extend(violations);
+        self.collections.push(GcPrediction {
+            line,
+            explicit: false,
+            minor: true,
+            must: Vec::new(),
+            may: may_summaries,
+        });
+    }
+
+    fn record_auto(&mut self, line: usize, events: Vec<Collection>) {
+        for ev in events {
+            match ev {
+                Collection::Major(outcome) => self.record_major(line, false, outcome),
+                Collection::Minor(violations) => self.record_minor(line, violations),
+            }
+        }
+    }
+
+    /// Live instances of `class` reachable from the roots right now
+    /// (mirror of `Vm::probe_instances`).
+    fn reachable_instances(&self, class: usize) -> u32 {
+        let mut seen = vec![false; self.st.objects.len()];
+        let mut stack = self.st.gather_roots();
+        let mut n = 0;
+        while let Some(o) = stack.pop() {
+            if seen[o] {
+                continue;
+            }
+            seen[o] = true;
+            if self.st.objects[o].class == class {
+                n += 1;
+            }
+            for f in self.st.objects[o].fields.iter().flatten() {
+                stack.push(*f);
+            }
+        }
+        n
+    }
+
+    // ------------------------------------------------------------------
+    // The forward interpretation
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn execute(&mut self, line: usize, cmd: &Command) {
+        match cmd {
+            Command::Config { key, value } => self.exec_config(line, key, value),
+            Command::Class { name, fields } => {
+                self.st.started = true;
+                if self.st.class_by_name.contains_key(name.as_str()) {
+                    self.warn(
+                        line,
+                        "class-redeclared",
+                        format!("class `{name}` is declared again; earlier objects keep the old declaration"),
+                    );
+                }
+                let idx = self.st.classes.len();
+                self.st.classes.push(AbsClass {
+                    name: name.clone(),
+                    fields: fields.clone(),
+                    limit: None,
+                    gc_count: 0,
+                });
+                self.st.class_by_name.insert(name.clone(), idx);
+            }
+            Command::New {
+                var,
+                class,
+                data_words,
+            } => {
+                self.st.started = true;
+                let Some(cls) = self.class(line, class) else {
+                    return;
+                };
+                if !self.check_running(line) {
+                    return;
+                }
+                let nrefs = self.st.classes[cls].fields.len();
+                let size = domain::HEADER_WORDS + nrefs + *data_words;
+                if self.st.occupied + size > self.st.config.heap_budget {
+                    let events = collect::collect_auto(&mut self.st);
+                    self.record_auto(line, events);
+                    if !self.check_running(line) {
+                        return;
+                    }
+                    if self.st.occupied + size > self.st.config.heap_budget {
+                        if self.st.config.grow {
+                            self.st.config.heap_budget =
+                                (self.st.config.heap_budget * 2).max(self.st.occupied + size);
+                        } else {
+                            self.fail(
+                                line,
+                                "out-of-memory",
+                                format!(
+                                    "allocation of {size} words cannot fit: {} of {} words occupied even after collecting, and growth is off",
+                                    self.st.occupied, self.st.config.heap_budget
+                                ),
+                            );
+                            return;
+                        }
+                    }
+                }
+                let id = self.st.objects.len();
+                self.st.objects.push(AbsObj {
+                    class: cls,
+                    site_var: var.clone(),
+                    site_line: line,
+                    fields: vec![None; nrefs],
+                    size_words: *data_words,
+                    alive: true,
+                    dead: false,
+                    dead_line: None,
+                    unshared: false,
+                    unshared_line: None,
+                    ownee: false,
+                    owner: false,
+                    reported: false,
+                    old: false,
+                    remembered: false,
+                    mark: false,
+                    owned: false,
+                    region: self.st.region_open,
+                    region_site: self.st.region_open.then_some(self.st.region_line),
+                });
+                self.st.occupied += size;
+                if self.st.config.generational.is_some() {
+                    self.st.young.push(id);
+                }
+                if self.st.region_open {
+                    self.st.region_queue.push(id);
+                }
+                self.st.vars.insert(var.clone(), id);
+            }
+            Command::Set { var, field, value } => {
+                self.st.started = true;
+                let Some(recv) = self.live_var(line, var) else {
+                    return;
+                };
+                if !self.check_running(line) {
+                    return;
+                }
+                let cls = self.st.objects[recv].class;
+                // The interpreter resolves the field against the *current*
+                // declaration of the class name; a redeclaration orphans
+                // older objects.
+                if self.st.class_by_name.get(&self.st.classes[cls].name) != Some(&cls) {
+                    self.fail(
+                        line,
+                        "unknown-class",
+                        format!(
+                            "`{var}`'s class `{}` was redeclared; its old declaration is no longer known to the interpreter",
+                            self.st.classes[cls].name
+                        ),
+                    );
+                    return;
+                }
+                let Some(idx) = self.st.classes[cls].fields.iter().position(|f| f == field) else {
+                    self.fail(
+                        line,
+                        "unknown-field",
+                        format!(
+                            "class `{}` has no field `{field}`",
+                            self.st.classes[cls].name
+                        ),
+                    );
+                    return;
+                };
+                let val = match value {
+                    Target::Null => None,
+                    Target::Var(v) => match self.live_var(line, v) {
+                        Some(o) => Some(o),
+                        None => return,
+                    },
+                };
+                // Generational write barrier mirror.
+                if let Some(v) = val {
+                    if self.st.config.generational.is_some()
+                        && self.st.objects[recv].old
+                        && !self.st.objects[recv].remembered
+                        && !self.st.objects[v].old
+                    {
+                        self.st.objects[recv].remembered = true;
+                        self.st.remembered.push(recv);
+                    }
+                }
+                self.st.objects[recv].fields[idx] = val;
+                if let Some(v) = val {
+                    self.lint_use_after_dead(line, v, "storing a reference to");
+                    self.lint_unshared_stores(line, v);
+                    // Region escape: a region allocation stored into an
+                    // object outside the region outlives `all-dead`'s
+                    // intent.
+                    if self.st.objects[v].region && !self.st.objects[recv].region {
+                        let desc = self.st.describe(v);
+                        let site = self.st.objects[v].region_site;
+                        let at = site
+                            .map(|l| format!(" (region begun at line {l})"))
+                            .unwrap_or_default();
+                        self.warn(
+                            line,
+                            "region-escape",
+                            format!(
+                                "{desc} was allocated in the active region{at} but escapes into `{var}`, which is outside it"
+                            ),
+                        );
+                    }
+                }
+            }
+            Command::Data { var, index, value } => {
+                let _ = value;
+                self.st.started = true;
+                let Some(obj) = self.live_var(line, var) else {
+                    return;
+                };
+                if !self.check_running(line) {
+                    return;
+                }
+                if *index >= self.st.objects[obj].size_words {
+                    self.fail(
+                        line,
+                        "data-bounds",
+                        format!(
+                            "data index {index} out of bounds: {} has {} data word(s)",
+                            self.st.describe(obj),
+                            self.st.objects[obj].size_words
+                        ),
+                    );
+                    return;
+                }
+                self.lint_use_after_dead(line, obj, "writing a data word of");
+            }
+            Command::Root(var) => {
+                self.st.started = true;
+                let Some(obj) = self.live_var(line, var) else {
+                    return;
+                };
+                self.st.roots.push((obj, line));
+                self.lint_use_after_dead(line, obj, "rooting");
+                self.lint_unshared_stores(line, obj);
+            }
+            Command::Frame => {
+                self.st.started = true;
+                let mark = self.st.roots.len();
+                self.st.frames.push(mark);
+            }
+            Command::EndFrame => {
+                self.st.started = true;
+                if self.st.frames.len() <= 1 {
+                    self.fail(
+                        line,
+                        "no-frame",
+                        "`end-frame` with only the base frame on the stack".to_owned(),
+                    );
+                    return;
+                }
+                let base = self.st.frames.pop().expect("checked length");
+                self.st.roots.truncate(base);
+            }
+            Command::Global(var) => {
+                self.st.started = true;
+                let Some(obj) = self.live_var(line, var) else {
+                    return;
+                };
+                self.st.globals.push((obj, line));
+                self.lint_use_after_dead(line, obj, "making a global of");
+                self.lint_unshared_stores(line, obj);
+            }
+            Command::Unglobal(var) => {
+                self.st.started = true;
+                let Some(obj) = self.var(line, var) else {
+                    return;
+                };
+                match self.st.globals.iter().position(|(g, _)| *g == obj) {
+                    Some(i) => {
+                        self.st.globals.swap_remove(i);
+                    }
+                    None => {
+                        self.fail(
+                            line,
+                            "global-not-found",
+                            format!("`{var}` is not a global root"),
+                        );
+                    }
+                }
+            }
+            Command::AssertDead(var) => {
+                self.st.started = true;
+                let Some(obj) = self.live_var(line, var) else {
+                    return;
+                };
+                if !self.check_running(line) || !self.check_instrumented(line) {
+                    return;
+                }
+                self.st.objects[obj].dead = true;
+                self.st.objects[obj].dead_line = Some(line);
+            }
+            Command::AssertUnshared(var) => {
+                self.st.started = true;
+                let Some(obj) = self.live_var(line, var) else {
+                    return;
+                };
+                if !self.check_running(line) || !self.check_instrumented(line) {
+                    return;
+                }
+                self.st.objects[obj].unshared = true;
+                self.st.objects[obj].unshared_line = Some(line);
+                self.lint_unshared_stores(line, obj);
+            }
+            Command::AssertInstances { class, limit } => {
+                self.st.started = true;
+                let Some(cls) = self.class(line, class) else {
+                    return;
+                };
+                if !self.check_running(line) || !self.check_instrumented(line) {
+                    return;
+                }
+                self.st.classes[cls].limit = Some(InstanceLimit {
+                    limit: *limit,
+                    line,
+                });
+            }
+            Command::AssertOwnedBy { owner, ownee } => {
+                self.st.started = true;
+                let Some(o) = self.live_var(line, owner) else {
+                    return;
+                };
+                let Some(e) = self.live_var(line, ownee) else {
+                    return;
+                };
+                if !self.check_running(line) || !self.check_instrumented(line) {
+                    return;
+                }
+                self.assert_owned_by(line, o, e);
+            }
+            Command::ReleaseOwnee(var) => {
+                self.st.started = true;
+                let Some(obj) = self.var(line, var) else {
+                    return;
+                };
+                if !self.check_running(line) || !self.check_instrumented(line) {
+                    return;
+                }
+                for entry in &mut self.st.ownership {
+                    entry.ownees.retain(|&o| o != obj);
+                }
+                if self.st.objects[obj].alive {
+                    self.st.objects[obj].ownee = false;
+                }
+            }
+            Command::StartRegion => {
+                self.st.started = true;
+                if !self.check_running(line) || !self.check_instrumented(line) {
+                    return;
+                }
+                if self.st.region_open {
+                    self.fail(
+                        line,
+                        "region-active",
+                        format!(
+                            "a region is already active (begun at line {}); regions do not nest",
+                            self.st.region_line
+                        ),
+                    );
+                    return;
+                }
+                self.st.region_open = true;
+                self.st.region_line = line;
+                self.st.region_queue.clear();
+            }
+            Command::AllDead => {
+                self.st.started = true;
+                if !self.check_running(line) || !self.check_instrumented(line) {
+                    return;
+                }
+                if !self.st.region_open {
+                    self.fail(
+                        line,
+                        "no-region",
+                        "`all-dead` without an active region".to_owned(),
+                    );
+                    return;
+                }
+                let queue = std::mem::take(&mut self.st.region_queue);
+                for obj in queue {
+                    self.st.objects[obj].region = false;
+                    if self.st.objects[obj].alive {
+                        self.st.objects[obj].dead = true;
+                        self.st.objects[obj].dead_line = Some(line);
+                    }
+                }
+                self.st.region_open = false;
+            }
+            Command::Gc => {
+                self.st.started = true;
+                let outcome = collect::collect_major(&mut self.st);
+                self.record_major(line, true, outcome);
+            }
+            Command::MinorGc => {
+                self.st.started = true;
+                if !self.check_running(line) {
+                    return;
+                }
+                let violations = collect::collect_minor(&mut self.st);
+                self.record_minor(line, violations);
+            }
+            Command::Probe(var) => {
+                self.st.started = true;
+                if self.var(line, var).is_none() {
+                    return;
+                }
+                if !self.check_running(line) {
+                    #[allow(clippy::needless_return)]
+                    return;
+                }
+            }
+            Command::Print => {
+                // Reads the last report; does not start the VM.
+            }
+            Command::Histogram | Command::Stats => {
+                self.st.started = true;
+            }
+            Command::ExpectViolations(n) => {
+                // Does not start the VM; reads the last explicit report.
+                if self.st.exact {
+                    let got = self.st.last_report.len();
+                    if got != *n {
+                        self.fail(
+                            line,
+                            "expect-will-fail",
+                            format!(
+                                "this expectation will fail: it expects {n} violation(s) in the last gc, but the analyzer predicts {got}"
+                            ),
+                        );
+                    }
+                }
+            }
+            Command::ExpectTotalViolations(n) => {
+                self.st.started = true;
+                if self.st.exact {
+                    let got = self.st.violation_log.len();
+                    if got != *n {
+                        self.fail(
+                            line,
+                            "expect-will-fail",
+                            format!(
+                                "this expectation will fail: it expects {n} total violation(s), but the analyzer predicts {got}"
+                            ),
+                        );
+                    }
+                }
+            }
+            Command::ExpectLive(var) => {
+                self.st.started = true;
+                let Some(obj) = self.var(line, var) else {
+                    return;
+                };
+                if self.st.exact && !self.st.objects[obj].alive {
+                    self.fail(
+                        line,
+                        "expect-will-fail",
+                        format!(
+                            "this expectation will fail: {} is reclaimed by then",
+                            self.st.describe(obj)
+                        ),
+                    );
+                }
+            }
+            Command::ExpectDead(var) => {
+                self.st.started = true;
+                let Some(obj) = self.var(line, var) else {
+                    return;
+                };
+                if self.st.exact && self.st.objects[obj].alive {
+                    self.fail(
+                        line,
+                        "expect-will-fail",
+                        format!(
+                            "this expectation will fail: {} is still live by then",
+                            self.st.describe(obj)
+                        ),
+                    );
+                }
+            }
+            Command::ExpectInstances { class, count } => {
+                self.st.started = true;
+                let Some(cls) = self.class(line, class) else {
+                    return;
+                };
+                if !self.check_running(line) {
+                    return;
+                }
+                if self.st.exact {
+                    let got = self.reachable_instances(cls);
+                    if got != *count {
+                        self.fail(
+                            line,
+                            "expect-will-fail",
+                            format!(
+                                "this expectation will fail: it expects {count} live `{class}` instance(s), but the analyzer predicts {got}"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mirror of `OwnershipTable::add`, including its conflict errors.
+    fn assert_owned_by(&mut self, line: usize, owner: ObjId, ownee: ObjId) {
+        if owner == ownee {
+            self.fail(
+                line,
+                "ownership-conflict",
+                format!("{} cannot own itself", self.st.describe(owner)),
+            );
+            return;
+        }
+        if self.st.ownership.iter().any(|e| e.owner == ownee) {
+            self.fail(
+                line,
+                "ownership-conflict",
+                format!(
+                    "{} is already an owner and cannot become an ownee",
+                    self.st.describe(ownee)
+                ),
+            );
+            return;
+        }
+        if self.st.ownership.iter().any(|e| e.ownees.contains(&owner)) {
+            self.fail(
+                line,
+                "ownership-conflict",
+                format!(
+                    "{} is already an ownee and cannot become an owner",
+                    self.st.describe(owner)
+                ),
+            );
+            return;
+        }
+        // Re-asserting moves the ownee; the same pair is a no-op.
+        if let Some(existing) = self
+            .st
+            .ownership
+            .iter()
+            .position(|e| e.ownees.contains(&ownee))
+        {
+            if self.st.ownership[existing].owner == owner {
+                return;
+            }
+            self.st.ownership[existing].ownees.retain(|&o| o != ownee);
+        }
+        match self.st.ownership.iter().position(|e| e.owner == owner) {
+            Some(i) => self.st.ownership[i].ownees.push(ownee),
+            None => self.st.ownership.push(OwnerEntry {
+                owner,
+                ownees: vec![ownee],
+            }),
+        }
+        self.st.objects[owner].owner = true;
+        self.st.objects[ownee].ownee = true;
+    }
+
+    /// Mirror of the interpreter's `apply_config`, including its
+    /// config-after-start gate and key validation.
+    fn exec_config(&mut self, line: usize, key: &str, value: &str) {
+        if self.st.started {
+            self.fail(
+                line,
+                "config-after-start",
+                "`config` must appear before any other command".to_owned(),
+            );
+            return;
+        }
+        let cfg = &mut self.st.config;
+        let ok = match key {
+            "heap" => match value.parse() {
+                Ok(v) => {
+                    cfg.heap_budget = v;
+                    true
+                }
+                Err(_) => false,
+            },
+            "grow" => parse_bool(value).map(|v| cfg.grow = v).is_some(),
+            "report-once" => parse_bool(value).map(|v| cfg.report_once = v).is_some(),
+            "path-tracking" => parse_bool(value).map(|v| cfg.path_tracking = v).is_some(),
+            "strict-owner-lifetime" => parse_bool(value)
+                .map(|v| cfg.strict_owner_lifetime = v)
+                .is_some(),
+            "generational" => match value.parse() {
+                Ok(v) => {
+                    cfg.generational = Some(v);
+                    true
+                }
+                Err(_) => false,
+            },
+            "reaction" => match value {
+                "log" => {
+                    cfg.reaction = Reaction::Log;
+                    true
+                }
+                "halt" => {
+                    cfg.reaction = Reaction::Halt;
+                    true
+                }
+                "force-true" => {
+                    cfg.reaction = Reaction::ForceTrue;
+                    true
+                }
+                _ => false,
+            },
+            "mode" => match value {
+                "base" => {
+                    cfg.base_mode = true;
+                    true
+                }
+                "instrumented" => {
+                    cfg.base_mode = false;
+                    true
+                }
+                _ => false,
+            },
+            _ => false,
+        };
+        if !ok {
+            self.fail(
+                line,
+                "bad-config",
+                format!("bad config: `{key} {value}` is not a recognized setting"),
+            );
+        }
+    }
+}
+
+fn parse_bool(s: &str) -> Option<bool> {
+    match s {
+        "on" | "true" | "yes" => Some(true),
+        "off" | "false" | "no" => Some(false),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn errors(a: &Analysis) -> Vec<&'static str> {
+        a.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| d.code)
+            .collect()
+    }
+
+    fn warnings(a: &Analysis) -> Vec<&'static str> {
+        a.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn clean_script_has_no_diagnostics() {
+        let a = analyze("class T\nnew a T\nroot a\ngc\nexpect-violations 0\n").unwrap();
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+        assert_eq!(a.collections.len(), 1);
+        assert!(a.collections[0].must.is_empty());
+        assert!(!a.has_errors());
+    }
+
+    #[test]
+    fn dead_but_rooted_is_a_must_with_provenance() {
+        let a = analyze("class T\nnew a T\nroot a\nassert-dead a\ngc\n").unwrap();
+        assert_eq!(errors(&a), ["dead-reachable"]);
+        let d = &a.diagnostics[0];
+        assert_eq!(d.line, 5);
+        assert!(
+            d.notes.iter().any(|n| n.contains("rooted at line 3")),
+            "{d:?}"
+        );
+        assert_eq!(a.collections[0].must, ["dead-reachable T"]);
+    }
+
+    #[test]
+    fn abstract_path_mirrors_the_heap_route() {
+        let a = analyze(
+            "class A f\nclass B g\nnew a A\nroot a\nnew b B\nset a.f b\nnew c A\nset b.g c\nassert-dead c\ngc\n",
+        )
+        .unwrap();
+        let d = &a.diagnostics[0];
+        let path = d.notes.iter().find(|n| n.starts_with("path: ")).unwrap();
+        assert_eq!(
+            path,
+            "path: a: A (line 3) -.f-> b: B (line 5) -.g-> c: A (line 7)"
+        );
+    }
+
+    #[test]
+    fn use_after_assert_dead_lint_fires() {
+        let a =
+            analyze("class T f\nnew a T\nroot a\nnew b T\nassert-dead b\nset a.f b\ngc\n").unwrap();
+        assert!(
+            warnings(&a).contains(&"use-after-assert-dead"),
+            "{:?}",
+            a.diagnostics
+        );
+    }
+
+    #[test]
+    fn unshared_second_store_warns_at_the_store() {
+        let a = analyze(
+            "class T l r\nnew a T\nroot a\nnew b T\nset a.l b\nassert-unshared b\nset a.r b\ngc\n",
+        )
+        .unwrap();
+        let w: Vec<_> = a
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "unshared-with-two-stores")
+            .collect();
+        assert_eq!(w.len(), 1, "{:?}", a.diagnostics);
+        assert_eq!(w[0].line, 7);
+    }
+
+    #[test]
+    fn region_escape_warns_before_all_dead() {
+        let a = analyze(
+            "class Keep f\nclass Tmp\nnew k Keep\nroot k\nstart-region\nnew t Tmp\nset k.f t\nall-dead\ngc\n",
+        )
+        .unwrap();
+        assert!(
+            warnings(&a).contains(&"region-escape"),
+            "{:?}",
+            a.diagnostics
+        );
+        // And the escape makes all-dead's assertion a must-violation.
+        assert!(errors(&a).contains(&"dead-reachable"));
+    }
+
+    #[test]
+    fn ownership_predictions_are_may_not_must() {
+        let a = analyze(
+            "class C e\nclass E\nnew c C\nroot c\nnew x E\nroot x\nassert-owned-by c x\ngc\n",
+        )
+        .unwrap();
+        // x is rooted but not reachable through c — the runtime will
+        // report not-owned, but the analyzer only claims may.
+        assert!(errors(&a).is_empty(), "{:?}", a.diagnostics);
+        assert_eq!(warnings(&a), ["not-owned"]);
+        assert_eq!(a.collections[0].may, ["not-owned E"]);
+        assert!(a.collections[0].must.is_empty());
+    }
+
+    #[test]
+    fn halt_reaction_latches_and_fails_later_commands() {
+        let a =
+            analyze("config reaction halt\nclass T\nnew a T\nroot a\nassert-dead a\ngc\nnew b T\n")
+                .unwrap();
+        assert_eq!(errors(&a), ["dead-reachable", "halted"]);
+        assert_eq!(a.diagnostics.last().unwrap().line, 7);
+    }
+
+    #[test]
+    fn force_true_severs_the_pinning_edge() {
+        let a = analyze(
+            "config reaction force-true\nclass T f\nnew a T\nroot a\nnew b T\nset a.f b\nassert-dead b\ngc\nexpect-violations 1\ngc\nexpect-dead b\n",
+        )
+        .unwrap();
+        // First gc reports; the severed edge lets b die at the second,
+        // so both expectations are predicted to pass.
+        assert_eq!(errors(&a), ["dead-reachable"]);
+        assert_eq!(a.collections.len(), 2);
+        assert!(a.collections[1].must.is_empty());
+    }
+
+    #[test]
+    fn report_once_suppresses_the_second_cycle() {
+        let a = analyze("class T\nnew a T\nroot a\nassert-dead a\ngc\ngc\n").unwrap();
+        assert_eq!(a.collections[0].must, ["dead-reachable T"]);
+        assert!(a.collections[1].must.is_empty());
+    }
+
+    #[test]
+    fn report_every_cycle_when_report_once_off() {
+        let a =
+            analyze("config report-once off\nclass T\nnew a T\nroot a\nassert-dead a\ngc\ngc\n")
+                .unwrap();
+        assert_eq!(a.collections[0].must, ["dead-reachable T"]);
+        assert_eq!(a.collections[1].must, ["dead-reachable T"]);
+    }
+
+    #[test]
+    fn failing_expectation_is_predicted() {
+        let a = analyze("class T\nnew a T\nroot a\ngc\nexpect-dead a\n").unwrap();
+        assert_eq!(errors(&a), ["expect-will-fail"]);
+        assert_eq!(a.diagnostics[0].line, 5);
+    }
+
+    #[test]
+    fn runtime_failures_stop_analysis() {
+        let a = analyze("class T\nset ghost.f ghost\nnew a T\n").unwrap();
+        assert_eq!(errors(&a), ["unknown-variable"]);
+        assert_eq!(a.diagnostics.len(), 1);
+    }
+
+    #[test]
+    fn implicit_collections_are_recorded() {
+        // Budget of 6 words fits one 4-word object (2 header + 2 data);
+        // the second allocation must collect first, reclaiming the
+        // unrooted first object.
+        let a = analyze("config heap 6\nclass T\nnew a T 2\nnew b T 2\nroot b\ngc\n").unwrap();
+        assert_eq!(a.collections.len(), 2);
+        assert!(!a.collections[0].explicit);
+        assert!(a.collections[1].explicit);
+        assert!(!a.has_errors(), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn base_mode_rejects_assertions() {
+        let a = analyze("config mode base\nclass T\nnew a T\nassert-dead a\n").unwrap();
+        assert_eq!(errors(&a), ["base-mode"]);
+    }
+
+    #[test]
+    fn minor_gc_quirk_stale_marks_survive_to_the_major() {
+        // Without generational mode a minor-gc leaves mark bits set on
+        // everything it reaches; the next major sees the asserted-dead
+        // object as already marked and reports nothing (visit_marked
+        // does not check DEAD) — the analyzer must predict that too.
+        let a =
+            analyze("class T\nnew a T\nroot a\nassert-dead a\nminor-gc\ngc\nexpect-violations 0\n")
+                .unwrap();
+        assert!(errors(&a).is_empty(), "{:?}", a.diagnostics);
+        assert!(a.collections[1].must.is_empty());
+    }
+
+    #[test]
+    fn render_summarizes() {
+        let a = analyze("class T\nnew a T\nroot a\nassert-dead a\ngc\n").unwrap();
+        let r = a.render();
+        assert!(r.contains("error[dead-reachable] line 5"), "{r}");
+        assert!(r.contains("1 error(s)"), "{r}");
+    }
+}

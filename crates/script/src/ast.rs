@@ -123,11 +123,30 @@ pub enum Command {
 }
 
 fn err(line: usize, kind: ScriptErrorKind) -> ScriptError {
-    ScriptError { line, kind }
+    ScriptError::new(line, kind)
 }
 
 fn bad(line: usize, msg: &str) -> ScriptError {
     err(line, ScriptErrorKind::BadArguments(msg.to_owned()))
+}
+
+/// 1-based column of the `n`-th whitespace-separated token of `line`,
+/// counted in characters so the column matches what an editor shows.
+pub(crate) fn token_column(line: &str, n: usize) -> Option<usize> {
+    let mut tokens = 0usize;
+    let mut in_token = false;
+    for (i, ch) in line.chars().enumerate() {
+        if ch.is_whitespace() {
+            in_token = false;
+        } else if !in_token {
+            in_token = true;
+            if tokens == n {
+                return Some(i + 1);
+            }
+            tokens += 1;
+        }
+    }
+    None
 }
 
 fn parse_target(tok: &str) -> Target {
@@ -154,6 +173,25 @@ pub fn parse_line(line_no: usize, line: &str) -> Result<Option<Command>, ScriptE
     let Some((&cmd, args)) = toks.split_first() else {
         return Ok(None);
     };
+    // Any error that did not pin a more specific token points at the
+    // command word, so every parse diagnostic carries a token + column.
+    parse_tokens(line_no, line, cmd, args)
+        .map(Some)
+        .map_err(|e| {
+            if e.token.is_none() {
+                e.with_token(cmd, token_column(line, 0))
+            } else {
+                e
+            }
+        })
+}
+
+fn parse_tokens(
+    line_no: usize,
+    line: &str,
+    cmd: &str,
+    args: &[&str],
+) -> Result<Command, ScriptError> {
     let command = match cmd {
         "config" => match args {
             [key, value] => Command::Config {
@@ -178,9 +216,10 @@ pub fn parse_line(line_no: usize, line: &str) -> Result<Option<Command>, ScriptE
             [var, class, words] => Command::New {
                 var: (*var).to_owned(),
                 class: (*class).to_owned(),
-                data_words: words
-                    .parse()
-                    .map_err(|_| bad(line_no, "data words must be an integer"))?,
+                data_words: words.parse().map_err(|_| {
+                    bad(line_no, "data words must be an integer")
+                        .with_token(*words, token_column(line, 3))
+                })?,
             },
             _ => return Err(bad(line_no, "new <var> <Class> [data_words]")),
         },
@@ -200,12 +239,14 @@ pub fn parse_line(line_no: usize, line: &str) -> Result<Option<Command>, ScriptE
         "data" => match args {
             [var, index, value] => Command::Data {
                 var: (*var).to_owned(),
-                index: index
-                    .parse()
-                    .map_err(|_| bad(line_no, "index must be an integer"))?,
-                value: value
-                    .parse()
-                    .map_err(|_| bad(line_no, "value must be an integer"))?,
+                index: index.parse().map_err(|_| {
+                    bad(line_no, "index must be an integer")
+                        .with_token(*index, token_column(line, 2))
+                })?,
+                value: value.parse().map_err(|_| {
+                    bad(line_no, "value must be an integer")
+                        .with_token(*value, token_column(line, 3))
+                })?,
             },
             _ => return Err(bad(line_no, "data <var> <index> <value>")),
         },
@@ -224,9 +265,10 @@ pub fn parse_line(line_no: usize, line: &str) -> Result<Option<Command>, ScriptE
         "assert-instances" => match args {
             [class, limit] => Command::AssertInstances {
                 class: (*class).to_owned(),
-                limit: limit
-                    .parse()
-                    .map_err(|_| bad(line_no, "limit must be an integer"))?,
+                limit: limit.parse().map_err(|_| {
+                    bad(line_no, "limit must be an integer")
+                        .with_token(*limit, token_column(line, 2))
+                })?,
             },
             _ => return Err(bad(line_no, "assert-instances <Class> <limit>")),
         },
@@ -247,17 +289,15 @@ pub fn parse_line(line_no: usize, line: &str) -> Result<Option<Command>, ScriptE
         "histogram" => no_args(line_no, args, "histogram", Command::Histogram)?,
         "stats" => no_args(line_no, args, "stats", Command::Stats)?,
         "expect-violations" => match args {
-            [n] => Command::ExpectViolations(
-                n.parse()
-                    .map_err(|_| bad(line_no, "count must be an integer"))?,
-            ),
+            [n] => Command::ExpectViolations(n.parse().map_err(|_| {
+                bad(line_no, "count must be an integer").with_token(*n, token_column(line, 1))
+            })?),
             _ => return Err(bad(line_no, "expect-violations <n>")),
         },
         "expect-total-violations" => match args {
-            [n] => Command::ExpectTotalViolations(
-                n.parse()
-                    .map_err(|_| bad(line_no, "count must be an integer"))?,
-            ),
+            [n] => Command::ExpectTotalViolations(n.parse().map_err(|_| {
+                bad(line_no, "count must be an integer").with_token(*n, token_column(line, 1))
+            })?),
             _ => return Err(bad(line_no, "expect-total-violations <n>")),
         },
         "expect-live" => one_var(line_no, args, "expect-live <var>", Command::ExpectLive)?,
@@ -265,9 +305,10 @@ pub fn parse_line(line_no: usize, line: &str) -> Result<Option<Command>, ScriptE
         "expect-instances" => match args {
             [class, count] => Command::ExpectInstances {
                 class: (*class).to_owned(),
-                count: count
-                    .parse()
-                    .map_err(|_| bad(line_no, "count must be an integer"))?,
+                count: count.parse().map_err(|_| {
+                    bad(line_no, "count must be an integer")
+                        .with_token(*count, token_column(line, 2))
+                })?,
             },
             _ => return Err(bad(line_no, "expect-instances <Class> <n>")),
         },
@@ -278,7 +319,7 @@ pub fn parse_line(line_no: usize, line: &str) -> Result<Option<Command>, ScriptE
             ))
         }
     };
-    Ok(Some(command))
+    Ok(command)
 }
 
 fn one_var(
@@ -386,6 +427,25 @@ mod tests {
 
         let e = parse_line(3, "new a Node nope").unwrap_err();
         assert!(matches!(e.kind, ScriptErrorKind::BadArguments(_)));
+    }
+
+    #[test]
+    fn errors_carry_tokens_and_columns() {
+        // Unknown command: the command word itself, at its real column.
+        let e = parse_line(42, "  frobnicate x").unwrap_err();
+        assert_eq!(e.token.as_deref(), Some("frobnicate"));
+        assert_eq!(e.column, Some(3));
+        assert!(e.to_string().starts_with("line 42:3: "));
+
+        // Bad arity: falls back to the command word.
+        let e = parse_line(7, "set a b").unwrap_err();
+        assert_eq!(e.token.as_deref(), Some("set"));
+        assert_eq!(e.column, Some(1));
+
+        // Bad integer: pins the offending operand, not the command.
+        let e = parse_line(3, "new a Node nope").unwrap_err();
+        assert_eq!(e.token.as_deref(), Some("nope"));
+        assert_eq!(e.column, Some(12));
     }
 
     #[test]

@@ -1,43 +1,64 @@
-//! The `gca` script runner: executes `.gca` heap-scenario scripts.
+//! The `gca` script runner: executes and statically checks `.gca`
+//! heap-scenario scripts.
 //!
 //! ```text
-//! gca <script.gca>     # run a script file
-//! gca -                # read the script from stdin
+//! gca <script.gca>          # run a script file
+//! gca -                     # read the script from stdin
+//! gca check <script.gca>    # static analysis only: predict verdicts
+//! gca --check <script.gca>  # pre-flight check, then run
 //! ```
 //!
-//! Exit status 0 when the script (including its `expect-*` assertions)
-//! succeeds; 1 with a line-tagged diagnostic otherwise.
+//! Run mode exits 0 when the script (including its `expect-*`
+//! assertions) succeeds; 1 with a line-tagged diagnostic otherwise.
+//! Check mode exits 0 when no must-violate diagnostics are found, 2 when
+//! at least one is, and 1 on usage, read, or parse errors.  The
+//! `--check` pre-flight prints the analyzer's diagnostics to stderr and
+//! then runs the script regardless (a predicted violation may be exactly
+//! what the script expects); the exit status is the run's.
 
 use std::io::Read;
 use std::process::ExitCode;
 
-use gca_script::Interpreter;
+use gca_script::{analyze, Interpreter};
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let source = match args.as_slice() {
-        [path] if path == "-" => {
-            let mut buf = String::new();
-            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
-                eprintln!("error reading stdin: {e}");
-                return ExitCode::FAILURE;
-            }
-            buf
-        }
-        [path] => match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error reading {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-        _ => {
-            eprintln!("usage: gca <script.gca | ->");
-            return ExitCode::FAILURE;
-        }
-    };
+const USAGE: &str = "usage: gca [check | --check] <script.gca | ->";
 
-    match Interpreter::run_script(&source) {
+fn read_source(path: &str) -> Result<String, ExitCode> {
+    if path == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("error reading stdin: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("error reading {path}: {e}");
+            ExitCode::FAILURE
+        })
+    }
+}
+
+/// Exit 0 = clean, 1 = parse error, 2 = must-violate present.
+fn check(source: &str) -> ExitCode {
+    match analyze(source) {
+        Ok(analysis) => {
+            print!("{}", analysis.render());
+            if analysis.has_errors() {
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(source: &str) -> ExitCode {
+    match Interpreter::run_script(source) {
         Ok(output) => {
             for line in &output.lines {
                 println!("{line}");
@@ -50,6 +71,40 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [cmd, path] if cmd == "check" => match read_source(path) {
+            Ok(source) => check(&source),
+            Err(code) => code,
+        },
+        [flag, path] if flag == "--check" => {
+            let source = match read_source(path) {
+                Ok(s) => s,
+                Err(code) => return code,
+            };
+            // Pre-flight: diagnostics go to stderr so the run's output
+            // stays clean on stdout.
+            match analyze(&source) {
+                Ok(analysis) => eprint!("{}", analysis.render()),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            run(&source)
+        }
+        [path] if path != "check" && path != "--check" => match read_source(path) {
+            Ok(source) => run(&source),
+            Err(code) => code,
+        },
+        _ => {
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
     }

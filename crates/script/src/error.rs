@@ -32,18 +32,75 @@ pub enum ScriptErrorKind {
     Vm(String),
 }
 
-/// A parse or execution error, tagged with its 1-based script line.
+/// A source position: a 1-based line and, when the reporter could compute
+/// it cheaply, a 1-based column. This is the one renderer shared by the
+/// parser ([`crate::parse_line`]), the interpreter, and the static
+/// analyzer ([`crate::analysis`]), so every diagnostic in the crate
+/// locates itself the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceLocation {
+    /// 1-based line number in the script.
+    pub line: usize,
+    /// 1-based column of the offending token, when known.
+    pub column: Option<usize>,
+}
+
+impl fmt::Display for SourceLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.column {
+            // The column extends the classic `line N` form rather than
+            // replacing it, so line-only consumers keep working.
+            Some(col) => write!(f, "line {}:{col}", self.line),
+            None => write!(f, "line {}", self.line),
+        }
+    }
+}
+
+/// A parse or execution error, tagged with its 1-based script line and,
+/// when cheaply available, the offending token and column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScriptError {
     /// 1-based line number in the script.
     pub line: usize,
     /// The failure.
     pub kind: ScriptErrorKind,
+    /// The offending token, when the reporter identified one.
+    pub token: Option<String>,
+    /// 1-based column of the offending token, when known.
+    pub column: Option<usize>,
+}
+
+impl ScriptError {
+    /// Creates an error at `line` with no token information.
+    pub fn new(line: usize, kind: ScriptErrorKind) -> ScriptError {
+        ScriptError {
+            line,
+            kind,
+            token: None,
+            column: None,
+        }
+    }
+
+    /// Attaches the offending token (and its 1-based column, when known).
+    #[must_use]
+    pub fn with_token(mut self, token: impl Into<String>, column: Option<usize>) -> ScriptError {
+        self.token = Some(token.into());
+        self.column = column;
+        self
+    }
+
+    /// The error's source location, for the shared renderer.
+    pub fn location(&self) -> SourceLocation {
+        SourceLocation {
+            line: self.line,
+            column: self.column,
+        }
+    }
 }
 
 impl fmt::Display for ScriptError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: ", self.line)?;
+        write!(f, "{}: ", self.location())?;
         match &self.kind {
             ScriptErrorKind::UnknownCommand(c) => write!(f, "unknown command `{c}`"),
             ScriptErrorKind::BadArguments(m) => write!(f, "bad arguments: {m}"),
@@ -69,12 +126,24 @@ mod tests {
 
     #[test]
     fn display_carries_line_and_kind() {
-        let e = ScriptError {
-            line: 7,
-            kind: ScriptErrorKind::UnknownVariable("x".into()),
-        };
+        let e = ScriptError::new(7, ScriptErrorKind::UnknownVariable("x".into()));
         let s = e.to_string();
         assert!(s.contains("line 7"));
         assert!(s.contains("`x`"));
+    }
+
+    #[test]
+    fn line_only_format_is_preserved_without_column() {
+        let e = ScriptError::new(3, ScriptErrorKind::ConfigAfterStart);
+        assert!(e.to_string().starts_with("line 3: "));
+    }
+
+    #[test]
+    fn column_extends_the_location() {
+        let e = ScriptError::new(3, ScriptErrorKind::UnknownCommand("frob".into()))
+            .with_token("frob", Some(5));
+        assert!(e.to_string().starts_with("line 3:5: "));
+        assert_eq!(e.token.as_deref(), Some("frob"));
+        assert_eq!(e.location().column, Some(5));
     }
 }

@@ -2,9 +2,7 @@
 
 use std::collections::HashMap;
 
-use gc_assertions::{
-    ClassId, GcReport, Mode, ObjRef, Reaction, Vm, VmConfig,
-};
+use gc_assertions::{ClassId, GcReport, Mode, ObjRef, Reaction, Vm, VmConfig};
 
 use crate::ast::{parse_script, Command, Target};
 use crate::error::{ScriptError, ScriptErrorKind};
@@ -98,45 +96,41 @@ impl Interpreter {
         self.vm.as_mut().expect("just initialized")
     }
 
+    /// The report from the most recent explicit `gc` command, if any.
+    pub fn last_report(&self) -> Option<&GcReport> {
+        self.last_report.as_ref()
+    }
+
+    /// The VM, if any command has started it yet.
+    pub fn vm_ref(&self) -> Option<&Vm> {
+        self.vm.as_ref()
+    }
+
     fn var(&self, line: usize, name: &str) -> Result<ObjRef, ScriptError> {
-        self.vars.get(name).copied().ok_or(ScriptError {
-            line,
-            kind: ScriptErrorKind::UnknownVariable(name.to_owned()),
+        self.vars.get(name).copied().ok_or_else(|| {
+            ScriptError::new(line, ScriptErrorKind::UnknownVariable(name.to_owned()))
         })
     }
 
     fn class(&self, line: usize, name: &str) -> Result<&ClassDecl, ScriptError> {
-        self.classes.get(name).ok_or(ScriptError {
-            line,
-            kind: ScriptErrorKind::UnknownClass(name.to_owned()),
-        })
+        self.classes
+            .get(name)
+            .ok_or_else(|| ScriptError::new(line, ScriptErrorKind::UnknownClass(name.to_owned())))
     }
 
     fn vm_err(line: usize) -> impl Fn(gc_assertions::VmError) -> ScriptError {
-        move |e| ScriptError {
-            line,
-            kind: ScriptErrorKind::Vm(e.to_string()),
-        }
+        move |e| ScriptError::new(line, ScriptErrorKind::Vm(e.to_string()))
     }
 
     fn expect_failed(line: usize, msg: String) -> ScriptError {
-        ScriptError {
-            line,
-            kind: ScriptErrorKind::ExpectationFailed(msg),
-        }
+        ScriptError::new(line, ScriptErrorKind::ExpectationFailed(msg))
     }
 
     fn apply_config(&mut self, line: usize, key: &str, value: &str) -> Result<(), ScriptError> {
         if self.vm.is_some() {
-            return Err(ScriptError {
-                line,
-                kind: ScriptErrorKind::ConfigAfterStart,
-            });
+            return Err(ScriptError::new(line, ScriptErrorKind::ConfigAfterStart));
         }
-        let bad = |msg: &str| ScriptError {
-            line,
-            kind: ScriptErrorKind::BadArguments(msg.to_owned()),
-        };
+        let bad = |msg: &str| ScriptError::new(line, ScriptErrorKind::BadArguments(msg.to_owned()));
         let cfg = self.config.clone();
         self.config = match key {
             "heap" => cfg.heap_budget_words(value.parse().map_err(|_| bad("heap <words>"))?),
@@ -150,9 +144,7 @@ impl Interpreter {
             "strict-owner-lifetime" => cfg.strict_owner_lifetime(
                 parse_bool(value).ok_or_else(|| bad("strict-owner-lifetime on|off"))?,
             ),
-            "generational" => {
-                cfg.generational(value.parse().map_err(|_| bad("generational <n>"))?)
-            }
+            "generational" => cfg.generational(value.parse().map_err(|_| bad("generational <n>"))?),
             "reaction" => cfg.reaction(match value {
                 "log" => Reaction::Log,
                 "halt" => Reaction::Halt,
@@ -211,29 +203,27 @@ impl Interpreter {
                     .values()
                     .find(|d| d.id == class_id)
                     .cloned()
-                    .ok_or_else(|| ScriptError {
-                        line,
-                        kind: ScriptErrorKind::UnknownClass(format!("{class_id:?}")),
-                    })?;
-                let idx = decl
-                    .fields
-                    .iter()
-                    .position(|f| f == field)
                     .ok_or_else(|| {
-                        let class_name = self
-                            .classes
-                            .iter()
-                            .find(|(_, d)| d.id == class_id)
-                            .map(|(n, _)| n.clone())
-                            .unwrap_or_default();
-                        ScriptError {
+                        ScriptError::new(
                             line,
-                            kind: ScriptErrorKind::UnknownField {
-                                class: class_name,
-                                field: field.clone(),
-                            },
-                        }
+                            ScriptErrorKind::UnknownClass(format!("{class_id:?}")),
+                        )
                     })?;
+                let idx = decl.fields.iter().position(|f| f == field).ok_or_else(|| {
+                    let class_name = self
+                        .classes
+                        .iter()
+                        .find(|(_, d)| d.id == class_id)
+                        .map(|(n, _)| n.clone())
+                        .unwrap_or_default();
+                    ScriptError::new(
+                        line,
+                        ScriptErrorKind::UnknownField {
+                            class: class_name,
+                            field: field.clone(),
+                        },
+                    )
+                })?;
                 let value = match value {
                     Target::Null => ObjRef::NULL,
                     Target::Var(v) => self.var(line, v)?,
@@ -293,7 +283,9 @@ impl Interpreter {
             Command::AllDead => {
                 let m = self.vm().main();
                 let n = self.vm().assert_alldead(m).map_err(&ve)?;
-                self.output.lines.push(format!("all-dead: {n} object(s) asserted"));
+                self.output
+                    .lines
+                    .push(format!("all-dead: {n} object(s) asserted"));
             }
             Command::Gc => {
                 let report = self.vm().collect().map_err(&ve)?;
@@ -327,7 +319,9 @@ impl Interpreter {
                         self.output.lines.push(v.render(vm.registry()));
                     }
                 } else {
-                    self.output.lines.push("report: (no collection yet)".to_owned());
+                    self.output
+                        .lines
+                        .push("report: (no collection yet)".to_owned());
                 }
             }
             Command::Histogram => {
@@ -340,10 +334,8 @@ impl Interpreter {
                     e.0 += 1;
                     e.1 += obj.size_words();
                 }
-                let mut rows: Vec<(String, usize, usize)> = by_class
-                    .into_iter()
-                    .map(|(k, (n, w))| (k, n, w))
-                    .collect();
+                let mut rows: Vec<(String, usize, usize)> =
+                    by_class.into_iter().map(|(k, (n, w))| (k, n, w)).collect();
                 rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
                 for (class, n, words) in rows {
                     self.output
@@ -504,8 +496,8 @@ minor-gc
 
     #[test]
     fn expectations_fail_with_message() {
-        let e = Interpreter::run_script("class T\nnew a T\nroot a\ngc\nexpect-dead a\n")
-            .unwrap_err();
+        let e =
+            Interpreter::run_script("class T\nnew a T\nroot a\ngc\nexpect-dead a\n").unwrap_err();
         assert_eq!(e.line, 5);
         assert!(matches!(e.kind, ScriptErrorKind::ExpectationFailed(_)));
     }
@@ -553,11 +545,7 @@ expect-violations 0
         assert_eq!(hist.len(), 2);
         assert!(hist[0].contains("Big x1 (22 words)"), "{hist:?}");
         assert!(hist[1].contains("Small x2"), "{hist:?}");
-        let stats = out
-            .lines
-            .iter()
-            .find(|l| l.starts_with("stats:"))
-            .unwrap();
+        let stats = out.lines.iter().find(|l| l.starts_with("stats:")).unwrap();
         assert!(stats.contains("3 live objects"), "{stats}");
         assert!(stats.contains("3 allocations"), "{stats}");
     }

@@ -35,6 +35,12 @@
 //! The `expect-*` commands make scripts self-checking, so scenario files
 //! double as integration tests (see `tests/scripts.rs`).
 //!
+//! Scripts can also be checked *without* running them: the [`analysis`]
+//! module (surfaced as `gca check <script>`) forward-interprets the
+//! command stream over an abstract heap and predicts each collection's
+//! assertion verdicts as must-violate / may-violate / safe, with
+//! line-accurate root-to-object paths.
+//!
 //! # Example
 //!
 //! ```
@@ -58,10 +64,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analysis;
 mod ast;
 mod error;
 mod interp;
 
+pub use analysis::{analyze, Analysis, Diagnostic, GcPrediction, Severity};
 pub use ast::{parse_line, parse_script, Command, Target};
-pub use error::{ScriptError, ScriptErrorKind};
+pub use error::{ScriptError, ScriptErrorKind, SourceLocation};
 pub use interp::{Interpreter, Output};

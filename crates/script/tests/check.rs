@@ -1,0 +1,243 @@
+//! `gca check` coverage for the shipped scenarios: a golden test pinning
+//! the analyzer's diagnostics for every script under `scripts/`, plus
+//! the differential soundness harness — the analyzer's must-violate set
+//! must be a subset of the violations the interpreter actually reports
+//! (zero false positives at error severity).
+
+use gca_script::{analyze, parse_script, Analysis, Command, Interpreter, Severity};
+
+fn script_path(name: &str) -> String {
+    format!("{}/../../scripts/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn read_script(name: &str) -> String {
+    let path = script_path(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn all_scripts() -> Vec<String> {
+    let dir = format!("{}/../../scripts", env!("CARGO_MANIFEST_DIR"));
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {dir}: {e}"))
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".gca"))
+        .collect();
+    names.sort();
+    names
+}
+
+fn check(name: &str) -> Analysis {
+    analyze(&read_script(name)).unwrap_or_else(|e| panic!("{name}: parse error {e}"))
+}
+
+/// The golden transcript for every shipped script, pinned verbatim.
+/// A new script must be added here — the `goldens_cover_every_script`
+/// test enforces it.
+const GOLDENS: &[(&str, &str)] = &[
+    (
+        "cache_leak.gca",
+        "error[dead-reachable] line 21:1: session: Session (line 14) was asserted dead (line 20) but must still be reachable at this collection\n\
+         \x20 path: cache: Cache (line 11) -.hit-> session: Session (line 14)\n\
+         check: 2 collection(s) analyzed, 1 error(s), 0 warning(s)\n",
+    ),
+    (
+        "checked_clean.gca",
+        "check: 2 collection(s) analyzed, 0 error(s), 0 warning(s)\n",
+    ),
+    (
+        "force_true.gca",
+        "error[dead-reachable] line 19:1: x: Obj (line 14) was asserted dead (line 17) but must still be reachable at this collection\n\
+         \x20 path: h2: Holder (line 12) -.b-> x: Obj (line 14)\n\
+         check: 2 collection(s) analyzed, 1 error(s), 0 warning(s)\n",
+    ),
+    (
+        "generational.gca",
+        "error[dead-reachable] line 21:1: victim: Obj (line 12) was asserted dead (line 14) but must still be reachable at this collection\n\
+         \x20 path: holder: Holder (line 10) -.keep-> victim: Obj (line 12)\n\
+         check: 3 collection(s) analyzed, 1 error(s), 0 warning(s)\n",
+    ),
+    (
+        "ownership.gca",
+        "warning[not-owned] line 26:1: y: Elem (line 17) may be reachable without passing through its owner at this collection\n\
+         \x20 path: table: CacheTable (line 11) -.hit-> y: Elem (line 17)\n\
+         check: 3 collection(s) analyzed, 0 error(s), 1 warning(s)\n",
+    ),
+    (
+        "region_server.gca",
+        "warning[region-escape] line 26:1: req2: Request (line 24) was allocated in the active region (region begun at line 22) but escapes into `audit`, which is outside it\n\
+         error[dead-reachable] line 29:1: req2: Request (line 24) was asserted dead (line 28) but must still be reachable at this collection\n\
+         \x20 path: audit: Audit (line 8) -.entry-> req2: Request (line 24)\n\
+         \x20 allocated inside the region begun at line 22\n\
+         check: 2 collection(s) analyzed, 1 error(s), 1 warning(s)\n",
+    ),
+    (
+        "singleton.gca",
+        "error[instance-limit] line 23:1: instance limit must be exceeded: IndexSearcher 3>1 (asserted line 7)\n\
+         check: 1 collection(s) analyzed, 1 error(s), 0 warning(s)\n",
+    ),
+    (
+        "swap_leak.gca",
+        "error[dead-reachable] line 25:1: fresh: SObject (line 15) was asserted dead (line 23) but must still be reachable at this collection\n\
+         \x20 path: occupant: SObject (line 8) -.rep-> fresh_rep: Rep (line 16) -.outer-> fresh: SObject (line 15)\n\
+         check: 1 collection(s) analyzed, 1 error(s), 0 warning(s)\n",
+    ),
+    (
+        "unshared_tree.gca",
+        "warning[unshared-with-two-stores] line 17:1: b: Node (line 10) now has 2 incoming references (asserted unshared at line 12)\n\
+         error[unshared-violated] line 18:1: b: Node (line 10) was asserted unshared (line 12) but must be reachable through more than one reference\n\
+         \x20 path: root: Node (line 6) -.l-> a: Node (line 8) -.l-> b: Node (line 10)\n\
+         check: 2 collection(s) analyzed, 1 error(s), 1 warning(s)\n",
+    ),
+];
+
+#[test]
+fn goldens_cover_every_script() {
+    let pinned: Vec<&str> = GOLDENS.iter().map(|(n, _)| *n).collect();
+    assert_eq!(
+        all_scripts(),
+        pinned,
+        "every shipped script needs a pinned golden in tests/check.rs"
+    );
+}
+
+#[test]
+fn golden_diagnostics_for_every_script() {
+    for (name, expected) in GOLDENS {
+        let rendered = check(name).render();
+        assert_eq!(
+            rendered, *expected,
+            "golden mismatch for {name}:\n--- got ---\n{rendered}--- want ---\n{expected}"
+        );
+    }
+}
+
+#[test]
+fn swap_leak_is_flagged_with_a_line_accurate_path() {
+    // The ISSUE's named acceptance case: the stale swap is caught
+    // statically, with the paper-style root-to-object path naming each
+    // allocation site and line.
+    let a = check("swap_leak.gca");
+    let d = a
+        .diagnostics
+        .iter()
+        .find(|d| d.severity == Severity::Error)
+        .expect("swap_leak must be statically flagged");
+    assert_eq!(d.code, "dead-reachable");
+    assert_eq!(d.line, 25);
+    let path = d
+        .notes
+        .iter()
+        .find(|n| n.starts_with("path: "))
+        .expect("path note");
+    assert_eq!(
+        path,
+        "path: occupant: SObject (line 8) -.rep-> fresh_rep: Rep (line 16) -.outer-> fresh: SObject (line 15)"
+    );
+}
+
+#[test]
+fn check_exit_condition_matches_must_presence() {
+    // `gca check` exits non-zero iff a must-violate (error-severity)
+    // diagnostic is present; `has_errors` is that exit condition.
+    for name in all_scripts() {
+        let a = check(&name);
+        let has_must = a.collections.iter().any(|c| !c.must.is_empty());
+        let has_runtime_failure = a
+            .diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error && d.code == "expect-will-fail");
+        assert!(
+            !has_runtime_failure,
+            "{name}: analyzer predicts a failing expectation in a shipped script"
+        );
+        assert_eq!(
+            a.has_errors(),
+            has_must,
+            "{name}: error severity must correspond to must-violate verdicts"
+        );
+    }
+}
+
+/// The soundness pin: run analyzer and interpreter side by side over
+/// every shipped script.  At each explicit `gc`, the analyzer's
+/// must-set must be a sub-multiset of the report the interpreter
+/// produced; when nothing was downgraded to may, the prediction must be
+/// *exact*.  Finally the union of all must-sets (implicit collections
+/// included) must be a sub-multiset of the cumulative violation log.
+#[test]
+fn differential_must_set_is_sound() {
+    for name in all_scripts() {
+        let src = read_script(&name);
+        let analysis = analyze(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut predictions = analysis.collections.iter().filter(|c| c.explicit);
+
+        let mut interp = Interpreter::new();
+        let commands = parse_script(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        for (line, cmd) in &commands {
+            interp
+                .execute(*line, cmd)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            if !matches!(cmd, Command::Gc) {
+                continue;
+            }
+            let report = interp.last_report().expect("gc just ran");
+            let actual: Vec<String> = report.violations.iter().map(|v| v.summary()).collect();
+            let pred = predictions
+                .next()
+                .unwrap_or_else(|| panic!("{name} line {line}: analyzer missed this gc"));
+            assert_eq!(
+                pred.line, *line,
+                "{name}: prediction/collection order diverged"
+            );
+            let mut remaining = actual.clone();
+            for must in &pred.must {
+                let pos = remaining.iter().position(|a| a == must).unwrap_or_else(|| {
+                    panic!(
+                        "{name} line {line}: FALSE POSITIVE — analyzer promised `{must}` \
+                         but the interpreter reported {actual:?}"
+                    )
+                });
+                remaining.remove(pos);
+            }
+            if pred.may.is_empty() {
+                assert!(
+                    remaining.is_empty(),
+                    "{name} line {line}: analyzer claimed exactness but the interpreter \
+                     also reported {remaining:?}"
+                );
+            }
+        }
+        assert!(
+            predictions.next().is_none(),
+            "{name}: analyzer predicted a gc the interpreter never ran"
+        );
+
+        // Cumulative check across every collection, implicit and minor
+        // included.
+        let log: Vec<String> = interp
+            .vm_ref()
+            .map(|vm| vm.violation_log().iter().map(|v| v.summary()).collect())
+            .unwrap_or_default();
+        let mut remaining = log.clone();
+        for c in &analysis.collections {
+            for must in &c.must {
+                let pos = remaining.iter().position(|a| a == must).unwrap_or_else(|| {
+                    panic!(
+                        "{name}: cumulative FALSE POSITIVE — `{must}` absent from the \
+                         violation log {log:?}"
+                    )
+                });
+                remaining.remove(pos);
+            }
+        }
+    }
+}
+
+#[test]
+fn checked_clean_scenario_runs_clean() {
+    let out = Interpreter::run_script(&read_script("checked_clean.gca"))
+        .unwrap_or_else(|e| panic!("checked_clean.gca: {e}"));
+    assert_eq!(out.total_violations, 0);
+    assert_eq!(out.collections, 2);
+}

@@ -95,8 +95,7 @@ fn all_scripts_in_directory_run_clean() {
         let path = entry.unwrap().path();
         if path.extension().and_then(|e| e.to_str()) == Some("gca") {
             let src = std::fs::read_to_string(&path).unwrap();
-            Interpreter::run_script(&src)
-                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            Interpreter::run_script(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
             count += 1;
         }
     }

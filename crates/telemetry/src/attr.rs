@@ -133,7 +133,10 @@ impl AssertionOverhead {
 
     /// Sum of all kinds' work units.
     pub fn total(&self) -> u64 {
-        AssertionKind::ALL.iter().map(|&k| self.kind(k).total()).sum()
+        AssertionKind::ALL
+            .iter()
+            .map(|&k| self.kind(k).total())
+            .sum()
     }
 
     /// `true` when no kind recorded any work.
@@ -156,7 +159,10 @@ mod tests {
     #[test]
     fn labels_are_stable_and_distinct() {
         let labels: Vec<&str> = AssertionKind::ALL.iter().map(|k| k.label()).collect();
-        assert_eq!(labels, ["dead", "region", "instances", "unshared", "owned_by"]);
+        assert_eq!(
+            labels,
+            ["dead", "region", "instances", "unshared", "owned_by"]
+        );
     }
 
     #[test]

@@ -342,7 +342,10 @@ impl HeapCensus {
 
     /// The most recent *major* census, if any — "what is on the heap now".
     pub fn latest(&self) -> Option<&CycleCensus> {
-        self.cycles.iter().rev().find(|c| c.kind == CycleKind::Major)
+        self.cycles
+            .iter()
+            .rev()
+            .find(|c| c.kind == CycleKind::Major)
     }
 
     /// The keys *currently* drifting: every class or site whose most
@@ -602,12 +605,11 @@ impl HeapCensus {
             }
         }
 
-        out.push_str("# HELP gca_census_drifting_keys Classes and sites currently flagged as drifting.\n");
+        out.push_str(
+            "# HELP gca_census_drifting_keys Classes and sites currently flagged as drifting.\n",
+        );
         out.push_str("# TYPE gca_census_drifting_keys gauge\n");
-        out.push_str(&format!(
-            "gca_census_drifting_keys {}\n",
-            self.drifts.len()
-        ));
+        out.push_str(&format!("gca_census_drifting_keys {}\n", self.drifts.len()));
         out.push_str("# HELP gca_census_drift Keys flagged as drifting (value = last observed live objects).\n");
         out.push_str("# TYPE gca_census_drift gauge\n");
         for d in &self.drifts {
@@ -741,7 +743,10 @@ mod tests {
     fn monotone_growth_drifts_within_window() {
         let mut c = HeapCensus::with_window(4);
         for i in 0..4u64 {
-            c.record_major(data(&[("Leaky", 10 + 5 * i, (10 + 5 * i) * 8), ("Flat", 7, 56)]));
+            c.record_major(data(&[
+                ("Leaky", 10 + 5 * i, (10 + 5 * i) * 8),
+                ("Flat", 7, 56),
+            ]));
         }
         let drifts = c.drifts();
         assert_eq!(drifts.len(), 1, "only the leaking class drifts");
@@ -841,7 +846,11 @@ mod tests {
         assert_eq!(diff.from_seq, 1);
         assert_eq!(diff.to_seq, 2);
         let names: Vec<&str> = diff.rows.iter().map(|r| r.name.as_str()).collect();
-        assert_eq!(names, ["New", "A", "Gone", "B"], "sorted by byte delta desc");
+        assert_eq!(
+            names,
+            ["New", "A", "Gone", "B"],
+            "sorted by byte delta desc"
+        );
         assert_eq!(diff.rows[0].bytes_delta(), 999);
         assert_eq!(diff.rows[1].objects_delta(), 2);
         assert_eq!(diff.rows[3].bytes_delta(), -100);
@@ -867,7 +876,10 @@ mod tests {
         let mut c = HeapCensus::with_window(3);
         for i in 0..3u64 {
             c.record_major(CensusData {
-                classes: vec![entry("Leak\"y", 10 + 6 * i, (10 + 6 * i) * 8), entry("Ok", 3, 24)],
+                classes: vec![
+                    entry("Leak\"y", 10 + 6 * i, (10 + 6 * i) * 8),
+                    entry("Ok", 3, 24),
+                ],
                 sites: vec![entry("site0", 2, 16)],
             });
         }
@@ -886,7 +898,10 @@ mod tests {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
         for line in text.lines() {
-            assert!(line.starts_with('#') || line.contains(' '), "malformed: {line}");
+            assert!(
+                line.starts_with('#') || line.contains(' '),
+                "malformed: {line}"
+            );
         }
     }
 

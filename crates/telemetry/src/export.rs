@@ -109,7 +109,10 @@ fn push_census_entries(out: &mut String, key: &str, entries: &[CensusEntry]) {
         }
         out.push_str("{\"name\":");
         escape_json(&e.name, out);
-        out.push_str(&format!(",\"objects\":{},\"bytes\":{}}}", e.objects, e.bytes));
+        out.push_str(&format!(
+            ",\"objects\":{},\"bytes\":{}}}",
+            e.objects, e.bytes
+        ));
     }
     out.push(']');
 }
@@ -218,7 +221,11 @@ const MAX_DEPTH: usize = 16;
 
 impl<'a> Parser<'a> {
     fn new(s: &'a str, line: usize) -> Parser<'a> {
-        Parser { bytes: s.as_bytes(), pos: 0, line }
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+            line,
+        }
     }
 
     fn truncated(&self) -> TelemetryParseError {
@@ -226,7 +233,10 @@ impl<'a> Parser<'a> {
     }
 
     fn unexpected(&self) -> TelemetryParseError {
-        TelemetryParseError::Unexpected { line: self.line, offset: self.pos }
+        TelemetryParseError::Unexpected {
+            line: self.line,
+            offset: self.pos,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -309,7 +319,10 @@ impl<'a> Parser<'a> {
             if matches!(self.peek(), Some(b'+') | Some(b'-')) {
                 self.pos += 1;
             }
-            while matches!(self.peek(), Some(b'0'..=b'9') | Some(b'.') | Some(b'e') | Some(b'E')) {
+            while matches!(
+                self.peek(),
+                Some(b'0'..=b'9') | Some(b'.') | Some(b'e') | Some(b'E')
+            ) {
                 self.pos += 1;
             }
             return Ok(Val::Null);
@@ -347,9 +360,8 @@ impl<'a> Parser<'a> {
                             if self.pos + 5 > self.bytes.len() {
                                 return Err(self.truncated());
                             }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                    .map_err(|_| self.unexpected())?;
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.unexpected())?;
                             let code =
                                 u32::from_str_radix(hex, 16).map_err(|_| self.unexpected())?;
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
@@ -444,12 +456,12 @@ fn get_u64(
     }
 }
 
-fn decode_kind_overhead(
-    val: &Val,
-    line: usize,
-) -> Result<KindOverhead, TelemetryParseError> {
+fn decode_kind_overhead(val: &Val, line: usize) -> Result<KindOverhead, TelemetryParseError> {
     let Val::Obj(fields) = val else {
-        return Err(TelemetryParseError::WrongType { line, field: "overhead" });
+        return Err(TelemetryParseError::WrongType {
+            line,
+            field: "overhead",
+        });
     };
     Ok(KindOverhead {
         registered: get_u64(fields, "registered", line)?,
@@ -460,21 +472,29 @@ fn decode_kind_overhead(
     })
 }
 
-fn decode_census_entries(
-    val: &Val,
-    line: usize,
-) -> Result<Vec<CensusEntry>, TelemetryParseError> {
+fn decode_census_entries(val: &Val, line: usize) -> Result<Vec<CensusEntry>, TelemetryParseError> {
     let Val::Arr(items) = val else {
-        return Err(TelemetryParseError::WrongType { line, field: "census" });
+        return Err(TelemetryParseError::WrongType {
+            line,
+            field: "census",
+        });
     };
     let mut out = Vec::with_capacity(items.len());
     for item in items {
         let Val::Obj(fields) = item else {
-            return Err(TelemetryParseError::WrongType { line, field: "census" });
+            return Err(TelemetryParseError::WrongType {
+                line,
+                field: "census",
+            });
         };
         let name = match get(fields, "name") {
             Some(Val::Str(s)) => s.clone(),
-            _ => return Err(TelemetryParseError::WrongType { line, field: "census" }),
+            _ => {
+                return Err(TelemetryParseError::WrongType {
+                    line,
+                    field: "census",
+                })
+            }
         };
         out.push(CensusEntry {
             name,
@@ -487,7 +507,10 @@ fn decode_census_entries(
 
 fn decode_census(val: &Val, line: usize) -> Result<CensusData, TelemetryParseError> {
     let Val::Obj(fields) = val else {
-        return Err(TelemetryParseError::WrongType { line, field: "census" });
+        return Err(TelemetryParseError::WrongType {
+            line,
+            field: "census",
+        });
     };
     let classes = match get(fields, "classes") {
         None => Vec::new(),
@@ -507,13 +530,23 @@ fn decode_record(
     let bench = match get(fields, "bench") {
         None | Some(Val::Null) => None,
         Some(Val::Str(s)) => Some(s.clone()),
-        Some(_) => return Err(TelemetryParseError::WrongType { line, field: "bench" }),
+        Some(_) => {
+            return Err(TelemetryParseError::WrongType {
+                line,
+                field: "bench",
+            })
+        }
     };
     let kind = match get(fields, "kind") {
         None => CycleKind::Major,
         Some(Val::Str(s)) if s == "major" => CycleKind::Major,
         Some(Val::Str(s)) if s == "minor" => CycleKind::Minor,
-        Some(_) => return Err(TelemetryParseError::WrongType { line, field: "kind" }),
+        Some(_) => {
+            return Err(TelemetryParseError::WrongType {
+                line,
+                field: "kind",
+            })
+        }
     };
     let worker_mark_ns = match get(fields, "worker_mark_ns") {
         None => Vec::new(),
@@ -533,7 +566,10 @@ fn decode_record(
             out
         }
         Some(_) => {
-            return Err(TelemetryParseError::WrongType { line, field: "worker_mark_ns" })
+            return Err(TelemetryParseError::WrongType {
+                line,
+                field: "worker_mark_ns",
+            })
         }
     };
     let mut overhead = AssertionOverhead::default();
@@ -546,7 +582,12 @@ fn decode_record(
                 }
             }
         }
-        Some(_) => return Err(TelemetryParseError::WrongType { line, field: "overhead" }),
+        Some(_) => {
+            return Err(TelemetryParseError::WrongType {
+                line,
+                field: "overhead",
+            })
+        }
     }
     let census = match get(fields, "census") {
         None | Some(Val::Null) => None,
@@ -593,7 +634,10 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<JsonlRecord>, TelemetryParseError> 
             return Err(parser.unexpected());
         }
         let Val::Obj(fields) = value else {
-            return Err(TelemetryParseError::WrongType { line, field: "<record>" });
+            return Err(TelemetryParseError::WrongType {
+                line,
+                field: "<record>",
+            });
         };
         out.push(decode_record(&fields, line)?);
     }
@@ -612,7 +656,9 @@ fn ns_as_seconds(ns: u64) -> String {
 }
 
 fn push_histogram(out: &mut String, name: &str, hist: &crate::hist::LatencyHistogram) {
-    out.push_str(&format!("# HELP {name} Log2-bucketed pause time histogram (seconds).\n"));
+    out.push_str(&format!(
+        "# HELP {name} Log2-bucketed pause time histogram (seconds).\n"
+    ));
     out.push_str(&format!("# TYPE {name} histogram\n"));
     let mut cumulative = 0u64;
     if let Some(max) = hist.max_bucket() {
@@ -761,10 +807,22 @@ mod tests {
         assert!(!record_to_json(&rec, None).contains("\"census\""));
         rec.census = Some(CensusData {
             classes: vec![
-                CensusEntry { name: "Node".into(), objects: 12, bytes: 480 },
-                CensusEntry { name: "we\"ird".into(), objects: 1, bytes: 8 },
+                CensusEntry {
+                    name: "Node".into(),
+                    objects: 12,
+                    bytes: 480,
+                },
+                CensusEntry {
+                    name: "we\"ird".into(),
+                    objects: 1,
+                    bytes: 8,
+                },
             ],
-            sites: vec![CensusEntry { name: "loop:3".into(), objects: 7, bytes: 56 }],
+            sites: vec![CensusEntry {
+                name: "loop:3".into(),
+                objects: 7,
+                bytes: 56,
+            }],
         });
         let text = records_to_jsonl(std::slice::from_ref(&rec), Some("bh"));
         assert!(text.contains("\"census\":{\"classes\":[{\"name\":\"Node\""));
@@ -817,10 +875,23 @@ mod tests {
     #[test]
     fn corrupt_bytes_error_not_panic() {
         for garbage in [
-            "{", "}", "[", "null", "42", "\"str\"", "{\"seq\":}", "{\"seq\":1,}",
-            "{\"seq\":-1}", "{\"seq\":1.5}", "{\"seq\":\"x\"}", "{\"worker_mark_ns\":7}",
-            "{\"worker_mark_ns\":[\"x\"]}", "{\"overhead\":[]}", "{\"kind\":3}",
-            "{\"overhead\":{\"dead\":[]}}", "{\"seq\":99999999999999999999999}",
+            "{",
+            "}",
+            "[",
+            "null",
+            "42",
+            "\"str\"",
+            "{\"seq\":}",
+            "{\"seq\":1,}",
+            "{\"seq\":-1}",
+            "{\"seq\":1.5}",
+            "{\"seq\":\"x\"}",
+            "{\"worker_mark_ns\":7}",
+            "{\"worker_mark_ns\":[\"x\"]}",
+            "{\"overhead\":[]}",
+            "{\"kind\":3}",
+            "{\"overhead\":{\"dead\":[]}}",
+            "{\"seq\":99999999999999999999999}",
             "{\"a\":{\"a\":{\"a\":{\"a\":{\"a\":{\"a\":{\"a\":{\"a\":{\"a\":{\"a\":{\"a\":\
              {\"a\":{\"a\":{\"a\":{\"a\":{\"a\":{\"a\":{\"a\":1}}}}}}}}}}}}}}}}}}",
         ] {
@@ -840,8 +911,7 @@ mod tests {
     #[test]
     fn unknown_keys_are_ignored() {
         let parsed =
-            parse_jsonl("{\"seq\":3,\"future_field\":[1,{\"x\":true}],\"total_ns\":10}\n")
-                .unwrap();
+            parse_jsonl("{\"seq\":3,\"future_field\":[1,{\"x\":true}],\"total_ns\":10}\n").unwrap();
         assert_eq!(parsed[0].record.seq, 3);
         assert_eq!(parsed[0].record.total_ns, 10);
     }

@@ -42,7 +42,12 @@ pub enum GcPhase {
 
 impl GcPhase {
     /// All phases, in reporting order.
-    pub const ALL: [GcPhase; 4] = [GcPhase::PreRoot, GcPhase::Mark, GcPhase::Sweep, GcPhase::Minor];
+    pub const ALL: [GcPhase; 4] = [
+        GcPhase::PreRoot,
+        GcPhase::Mark,
+        GcPhase::Sweep,
+        GcPhase::Minor,
+    ];
 
     /// Stable lowercase label used by the exporters.
     pub fn label(self) -> &'static str {
@@ -249,7 +254,10 @@ impl GcTelemetry {
     /// highest worker count seen in any cycle; sequential cycles
     /// contribute to worker 0.
     pub fn worker_mark_times(&self) -> Vec<Duration> {
-        self.worker_mark_ns.iter().map(|&ns| Duration::from_nanos(ns)).collect()
+        self.worker_mark_ns
+            .iter()
+            .map(|&ns| Duration::from_nanos(ns))
+            .collect()
     }
 
     /// Cumulative per-worker mark-phase busy time in nanoseconds.

@@ -4,8 +4,8 @@
 
 use gca_telemetry::export::{parse_jsonl, record_to_json, records_to_jsonl, to_prometheus};
 use gca_telemetry::{
-    AssertionKind, AssertionOverhead, CensusData, CensusEntry, CycleKind, CycleRecord,
-    GcTelemetry, HeapCensus, KindOverhead,
+    AssertionKind, AssertionOverhead, CensusData, CensusEntry, CycleKind, CycleRecord, GcTelemetry,
+    HeapCensus, KindOverhead,
 };
 use proptest::prelude::*;
 
@@ -42,8 +42,16 @@ fn fixture_records() -> Vec<CycleRecord> {
             overhead,
             census: Some(CensusData {
                 classes: vec![
-                    CensusEntry { name: "Node".to_owned(), objects: 6_000, bytes: 192_000 },
-                    CensusEntry { name: "Table".to_owned(), objects: 3_000, bytes: 240_000 },
+                    CensusEntry {
+                        name: "Node".to_owned(),
+                        objects: 6_000,
+                        bytes: 192_000,
+                    },
+                    CensusEntry {
+                        name: "Table".to_owned(),
+                        objects: 3_000,
+                        bytes: 240_000,
+                    },
                 ],
                 sites: vec![CensusEntry {
                     name: "Db209::insert".to_owned(),
@@ -126,7 +134,11 @@ fn fixture_census() -> HeapCensus {
                     objects: 100 + 40 * i,
                     bytes: (100 + 40 * i) * 40,
                 },
-                CensusEntry { name: "SArray".to_owned(), objects: 1, bytes: 416 },
+                CensusEntry {
+                    name: "SArray".to_owned(),
+                    objects: 1,
+                    bytes: 416,
+                },
             ],
             sites: vec![
                 CensusEntry {
@@ -134,12 +146,20 @@ fn fixture_census() -> HeapCensus {
                     objects: 100 + 40 * i,
                     bytes: (100 + 40 * i) * 40,
                 },
-                CensusEntry { name: "<unattributed>".to_owned(), objects: 1, bytes: 416 },
+                CensusEntry {
+                    name: "<unattributed>".to_owned(),
+                    objects: 1,
+                    bytes: 416,
+                },
             ],
         });
     }
     c.record_minor(CensusData {
-        classes: vec![CensusEntry { name: "SObject".to_owned(), objects: 7, bytes: 280 }],
+        classes: vec![CensusEntry {
+            name: "SObject".to_owned(),
+            objects: 7,
+            bytes: 280,
+        }],
         sites: Vec::new(),
     });
     c
@@ -152,13 +172,19 @@ fn fixture_census() -> HeapCensus {
 fn census_prometheus_golden_pin() {
     let got = fixture_census().to_prometheus();
     let want = include_str!("golden/census_prometheus.txt");
-    assert_eq!(got, want, "census Prometheus output drifted from the golden file");
+    assert_eq!(
+        got, want,
+        "census Prometheus output drifted from the golden file"
+    );
 }
 
 #[test]
 #[ignore = "writes the golden fixture; run explicitly to regenerate"]
 fn regenerate_census_prometheus_golden() {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/census_prometheus.txt");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/census_prometheus.txt"
+    );
     std::fs::write(path, fixture_census().to_prometheus()).unwrap();
 }
 
@@ -186,20 +212,25 @@ fn kind_overhead_strategy() -> impl Strategy<Value = KindOverhead> {
         0u64..1_000_000,
         0u64..1_000_000,
     )
-        .prop_map(|(registered, header_bit_checks, counter_bumps, extra, phase_work)| {
-            KindOverhead {
+        .prop_map(
+            |(registered, header_bit_checks, counter_bumps, extra, phase_work)| KindOverhead {
                 registered,
                 header_bit_checks,
                 counter_bumps,
                 extra_edges_traced: extra,
                 phase_work,
-            }
-        })
+            },
+        )
 }
 
 fn census_entry_strategy() -> impl Strategy<Value = CensusEntry> {
-    ("[A-Za-z$:_\"\\\\]{1,12}", any::<u64>(), any::<u64>())
-        .prop_map(|(name, objects, bytes)| CensusEntry { name, objects, bytes })
+    ("[A-Za-z$:_\"\\\\]{1,12}", any::<u64>(), any::<u64>()).prop_map(|(name, objects, bytes)| {
+        CensusEntry {
+            name,
+            objects,
+            bytes,
+        }
+    })
 }
 
 fn census_strategy() -> impl Strategy<Value = Option<CensusData>> {
@@ -226,37 +257,43 @@ fn record_strategy() -> impl Strategy<Value = CycleRecord> {
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>()),
         proptest::collection::vec(any::<u64>(), 0..8),
-        (kind_overhead_strategy(), kind_overhead_strategy(), kind_overhead_strategy()),
+        (
+            kind_overhead_strategy(),
+            kind_overhead_strategy(),
+            kind_overhead_strategy(),
+        ),
         census_strategy(),
     )
-        .prop_map(|(a, b, c, worker_mark_ns, (dead, unshared, owned_by), census)| {
-            let (seq, kind, total_ns, pre_root_ns, mark_ns, sweep_ns) = a;
-            let (objects_marked, edges_traced, pre_root_edges, objects_swept) = b;
-            let (words_swept, promoted, violations) = c;
-            CycleRecord {
-                seq,
-                kind,
-                total_ns,
-                pre_root_ns,
-                mark_ns,
-                sweep_ns,
-                objects_marked,
-                edges_traced,
-                pre_root_edges,
-                objects_swept,
-                words_swept,
-                promoted,
-                violations,
-                worker_mark_ns,
-                overhead: AssertionOverhead {
-                    dead,
-                    unshared,
-                    owned_by,
-                    ..Default::default()
-                },
-                census,
-            }
-        })
+        .prop_map(
+            |(a, b, c, worker_mark_ns, (dead, unshared, owned_by), census)| {
+                let (seq, kind, total_ns, pre_root_ns, mark_ns, sweep_ns) = a;
+                let (objects_marked, edges_traced, pre_root_edges, objects_swept) = b;
+                let (words_swept, promoted, violations) = c;
+                CycleRecord {
+                    seq,
+                    kind,
+                    total_ns,
+                    pre_root_ns,
+                    mark_ns,
+                    sweep_ns,
+                    objects_marked,
+                    edges_traced,
+                    pre_root_edges,
+                    objects_swept,
+                    words_swept,
+                    promoted,
+                    violations,
+                    worker_mark_ns,
+                    overhead: AssertionOverhead {
+                        dead,
+                        unshared,
+                        owned_by,
+                        ..Default::default()
+                    },
+                    census,
+                }
+            },
+        )
 }
 
 proptest! {

@@ -122,7 +122,16 @@ impl Workload for Db209 {
 
         // Load the database.
         for _ in 0..self.initial_entries {
-            self.add_entry(vm, m, db, &entries, entry_class, string_class, next_id, assertions)?;
+            self.add_entry(
+                vm,
+                m,
+                db,
+                &entries,
+                entry_class,
+                string_class,
+                next_id,
+                assertions,
+            )?;
             next_id += 1;
         }
 
@@ -157,7 +166,16 @@ impl Workload for Db209 {
                     }
                 }
                 70..=84 => {
-                    self.add_entry(vm, m, db, &entries, entry_class, string_class, next_id, assertions)?;
+                    self.add_entry(
+                        vm,
+                        m,
+                        db,
+                        &entries,
+                        entry_class,
+                        string_class,
+                        next_id,
+                        assertions,
+                    )?;
                     next_id += 1;
                 }
                 _ => {
@@ -227,8 +245,11 @@ mod tests {
         // Many more assert_owned_by than assert_dead, as in §3.1.2
         // (15,553 vs 695).
         let db = small();
-        let mut vm =
-            gc_assertions::Vm::new(gc_assertions::VmConfig::builder().heap_budget(db.budget).build());
+        let mut vm = gc_assertions::Vm::new(
+            gc_assertions::VmConfig::builder()
+                .heap_budget(db.budget)
+                .build(),
+        );
         db.run(&mut vm, true).unwrap();
         let calls = vm.assertion_calls();
         assert!(calls.owned_by > 5 * calls.dead);

@@ -161,8 +161,11 @@ mod tests {
     #[test]
     fn scratch_cache_bug_caught_by_assert_dead() {
         let l = small(Luindex::with_scratch_cache_bug());
-        let mut vm =
-            gc_assertions::Vm::new(gc_assertions::VmConfig::builder().heap_budget(l.budget).build());
+        let mut vm = gc_assertions::Vm::new(
+            gc_assertions::VmConfig::builder()
+                .heap_budget(l.budget)
+                .build(),
+        );
         l.run(&mut vm, true).unwrap();
         vm.collect().unwrap();
         let log = vm.take_violation_log();
@@ -187,8 +190,11 @@ mod tests {
         // After indexing, every term lookup sees postings that remain
         // owned — repeated GCs stay clean.
         let l = small(Luindex::default());
-        let mut vm =
-            gc_assertions::Vm::new(gc_assertions::VmConfig::builder().heap_budget(l.budget).build());
+        let mut vm = gc_assertions::Vm::new(
+            gc_assertions::VmConfig::builder()
+                .heap_budget(l.budget)
+                .build(),
+        );
         l.run(&mut vm, true).unwrap();
         for _ in 0..3 {
             let report = vm.collect().unwrap();

@@ -160,8 +160,11 @@ mod tests {
     #[test]
     fn per_thread_searchers_fire_instance_limit_with_count_32() {
         let l = small(Lusearch::default());
-        let mut vm =
-            gc_assertions::Vm::new(gc_assertions::VmConfig::builder().heap_budget(l.budget).build());
+        let mut vm = gc_assertions::Vm::new(
+            gc_assertions::VmConfig::builder()
+                .heap_budget(l.budget)
+                .build(),
+        );
         l.run(&mut vm, true).unwrap();
         vm.collect().unwrap();
         let log = vm.take_violation_log();

@@ -294,7 +294,10 @@ fn new_order(
     for k in 0..cfg.compute {
         let line = vm.field(lines, k % cfg.orderlines)?;
         let v = vm.data_word(line, k % 3)?;
-        acc = std::hint::black_box(acc.wrapping_mul(6364136223846793005).wrapping_add(v ^ k as u64));
+        acc = std::hint::black_box(
+            acc.wrapping_mul(6364136223846793005)
+                .wrapping_add(v ^ k as u64),
+        );
     }
     vm.set_data_word(order, 1, acc)?;
     vm.set_data_word(cust, 1, acc)?;
@@ -380,7 +383,9 @@ impl Workload for PseudoJbb {
             for t in 0..txns {
                 let district = rng.gen_range(0..ndistricts);
                 let customer = rng.gen_range(0..self.customers);
-                new_order(vm, m, &cls, self, &mut world, district, customer, assertions)?;
+                new_order(
+                    vm, m, &cls, self, &mut world, district, customer, assertions,
+                )?;
                 if t % self.delivery_batch == self.delivery_batch - 1 {
                     delivery(vm, m, self, &mut world, district, assertions)?;
                 }
@@ -470,7 +475,9 @@ mod tests {
         });
         // Run manually to inspect the violation log.
         let mut vm = gc_assertions::Vm::new(
-            gc_assertions::VmConfig::builder().heap_budget(jbb.budget).build(),
+            gc_assertions::VmConfig::builder()
+                .heap_budget(jbb.budget)
+                .build(),
         );
         jbb.run(&mut vm, true).unwrap();
         vm.collect().unwrap();
@@ -482,7 +489,14 @@ mod tests {
             .expect("a dead-reachable order");
         let text = v.render(vm.registry());
         // Figure 1's chain of types.
-        for cls in ["Company", "Warehouse", "District", "longBTree", "longBTreeNode", "Order"] {
+        for cls in [
+            "Company",
+            "Warehouse",
+            "District",
+            "longBTree",
+            "longBTreeNode",
+            "Order",
+        ] {
             assert!(text.contains(cls), "missing {cls} in:\n{text}");
         }
     }
@@ -491,7 +505,9 @@ mod tests {
     fn both_leaks_found_by_ownership_asserts() {
         let jbb = small(PseudoJbb::buggy_with_ownership_asserts());
         let mut vm = gc_assertions::Vm::new(
-            gc_assertions::VmConfig::builder().heap_budget(jbb.budget).build(),
+            gc_assertions::VmConfig::builder()
+                .heap_budget(jbb.budget)
+                .build(),
         );
         jbb.run(&mut vm, true).unwrap();
         vm.collect().unwrap();
@@ -512,7 +528,9 @@ mod tests {
             ..PseudoJbb::default()
         });
         let mut vm2 = gc_assertions::Vm::new(
-            gc_assertions::VmConfig::builder().heap_budget(jbb2.budget).build(),
+            gc_assertions::VmConfig::builder()
+                .heap_budget(jbb2.budget)
+                .build(),
         );
         jbb2.run(&mut vm2, true).unwrap();
         vm2.collect().unwrap();
@@ -545,7 +563,9 @@ mod tests {
             ..PseudoJbb::default()
         };
         let mut vm = gc_assertions::Vm::new(
-            gc_assertions::VmConfig::builder().heap_budget(jbb.budget).build(),
+            gc_assertions::VmConfig::builder()
+                .heap_budget(jbb.budget)
+                .build(),
         );
         jbb.run(&mut vm, true).unwrap();
         vm.collect().unwrap();

@@ -193,7 +193,14 @@ pub fn run_once_telemetry(
 pub fn run_once_census(
     workload: &dyn Workload,
     config: ExpConfig,
-) -> Result<(Measurement, gc_assertions::GcTelemetry, gc_assertions::HeapCensus), VmError> {
+) -> Result<
+    (
+        Measurement,
+        gc_assertions::GcTelemetry,
+        gc_assertions::HeapCensus,
+    ),
+    VmError,
+> {
     let mode = match config {
         ExpConfig::Base => Mode::Base,
         _ => Mode::Instrumented,

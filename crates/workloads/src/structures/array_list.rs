@@ -53,7 +53,10 @@ impl HArrayList {
         let storage = vm.alloc(m, array_class, capacity.max(1), 0)?;
         vm.set_field(handle, STORAGE, storage)?;
         vm.pop_frame(m)?;
-        Ok(HArrayList { handle, array_class })
+        Ok(HArrayList {
+            handle,
+            array_class,
+        })
     }
 
     /// The in-heap container object.
@@ -249,7 +252,10 @@ mod tests {
         list.set(&mut vm, 0, xs[4]).unwrap();
         assert_eq!(list.get(&vm, 0).unwrap(), xs[4]);
         assert_eq!(list.remove(&mut vm, 1).unwrap(), xs[1]);
-        assert_eq!(list.elements(&vm).unwrap(), vec![xs[4], xs[2], xs[3], xs[4]]);
+        assert_eq!(
+            list.elements(&vm).unwrap(),
+            vec![xs[4], xs[2], xs[3], xs[4]]
+        );
     }
 
     #[test]
@@ -264,7 +270,12 @@ mod tests {
 
     #[test]
     fn growth_under_gc_pressure_preserves_elements() {
-        let mut vm = Vm::new(VmConfig::builder().heap_budget(300).grow_on_oom(true).build());
+        let mut vm = Vm::new(
+            VmConfig::builder()
+                .heap_budget(300)
+                .grow_on_oom(true)
+                .build(),
+        );
         let m = vm.main();
         let elem = vm.register_class("Elem", &[]);
         let list = HArrayList::new(&mut vm, m, 1).unwrap();

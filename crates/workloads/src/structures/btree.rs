@@ -155,7 +155,13 @@ impl HBTree {
     }
 
     /// Splits full child `j` of `parent` (which must have room).
-    fn split_child(&self, vm: &mut Vm, m: MutatorId, parent: ObjRef, j: usize) -> Result<(), VmError> {
+    fn split_child(
+        &self,
+        vm: &mut Vm,
+        m: MutatorId,
+        parent: ObjRef,
+        j: usize,
+    ) -> Result<(), VmError> {
         let child = self.slot(vm, parent, j)?;
         let leaf = self.is_leaf(vm, child)?;
         let right = self.new_node(vm, m, leaf)?;
@@ -252,7 +258,11 @@ impl HBTree {
             let child = self.slot(vm, node, j)?;
             if self.n(vm, child)? == MAX_KEYS {
                 self.split_child(vm, m, node, j)?;
-                let j = if key >= self.key(vm, node, j)? { j + 1 } else { j };
+                let j = if key >= self.key(vm, node, j)? {
+                    j + 1
+                } else {
+                    j
+                };
                 node = self.slot(vm, node, j)?;
             } else {
                 node = child;
@@ -445,10 +455,7 @@ mod tests {
         let vals = tree.values(&vm).unwrap();
         let mut sorted = keys.clone();
         sorted.sort();
-        let got: Vec<u64> = vals
-            .iter()
-            .map(|&v| vm.data_word(v, 0).unwrap())
-            .collect();
+        let got: Vec<u64> = vals.iter().map(|&v| vm.data_word(v, 0).unwrap()).collect();
         assert_eq!(got, sorted);
     }
 
@@ -510,7 +517,12 @@ mod tests {
 
     #[test]
     fn insert_under_gc_pressure() {
-        let mut vm = Vm::new(VmConfig::builder().heap_budget(2000).grow_on_oom(true).build());
+        let mut vm = Vm::new(
+            VmConfig::builder()
+                .heap_budget(2000)
+                .grow_on_oom(true)
+                .build(),
+        );
         let m = vm.main();
         let order = vm.register_class("Order", &[]);
         let tree = HBTree::new(&mut vm, m).unwrap();

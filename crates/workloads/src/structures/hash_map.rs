@@ -318,7 +318,12 @@ mod tests {
 
     #[test]
     fn put_under_gc_pressure() {
-        let mut vm = Vm::new(VmConfig::builder().heap_budget(400).grow_on_oom(true).build());
+        let mut vm = Vm::new(
+            VmConfig::builder()
+                .heap_budget(400)
+                .grow_on_oom(true)
+                .build(),
+        );
         let m = vm.main();
         let elem = vm.register_class("Elem", &[]);
         let map = HHashMap::new(&mut vm, m, 2).unwrap();

@@ -258,7 +258,12 @@ mod tests {
     fn push_survives_gc_pressure() {
         // Tiny heap: pushes trigger collections mid-operation; the
         // internal pinning must keep the half-linked value alive.
-        let mut vm = Vm::new(VmConfig::builder().heap_budget(200).grow_on_oom(true).build());
+        let mut vm = Vm::new(
+            VmConfig::builder()
+                .heap_budget(200)
+                .grow_on_oom(true)
+                .build(),
+        );
         let m = vm.main();
         let elem = vm.register_class("Elem", &[]);
         let list = HList::new(&mut vm, m).unwrap();

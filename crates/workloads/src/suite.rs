@@ -108,8 +108,7 @@ impl Workload for SyntheticWorkload {
                     }
                 }
 
-                if self.survivor_every != 0 && i % self.survivor_every == self.survivor_every - 1
-                {
+                if self.survivor_every != 0 && i % self.survivor_every == self.survivor_every - 1 {
                     let s = vm.alloc(m, survivor_class, 1, self.small_data)?;
                     // Bounded retained set with O(1) slot replacement
                     // (ring eviction), so long-lived churn does not
@@ -537,8 +536,23 @@ mod tests {
         assert_eq!(suite.len(), 18);
         let names: Vec<&str> = suite.iter().map(|w| w.name).collect();
         for expected in [
-            "antlr", "bloat", "chart", "eclipse", "fop", "hsqldb", "jython", "luindex",
-            "lusearch", "pmd", "xalan", "compress", "jess", "db", "javac", "mpegaudio", "mtrt",
+            "antlr",
+            "bloat",
+            "chart",
+            "eclipse",
+            "fop",
+            "hsqldb",
+            "jython",
+            "luindex",
+            "lusearch",
+            "pmd",
+            "xalan",
+            "compress",
+            "jess",
+            "db",
+            "javac",
+            "mpegaudio",
+            "mtrt",
             "jack",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
@@ -567,7 +581,10 @@ mod tests {
         let mut w = dacapo().remove(0);
         w.iterations = 5;
         let jsonl = suite_telemetry_jsonl(&[w], ExpConfig::Infrastructure).unwrap();
-        assert!(!jsonl.is_empty(), "at least one GC cycle should be recorded");
+        assert!(
+            !jsonl.is_empty(),
+            "at least one GC cycle should be recorded"
+        );
         let parsed = gc_assertions::parse_jsonl(&jsonl).unwrap();
         assert!(!parsed.is_empty());
         assert!(parsed.iter().all(|r| r.bench.as_deref() == Some("antlr")));
@@ -582,9 +599,14 @@ mod tests {
         let jsonl = suite_census_jsonl(&[w], ExpConfig::Infrastructure).unwrap();
         let parsed = gc_assertions::parse_jsonl(&jsonl).unwrap();
         assert!(!parsed.is_empty());
-        let censuses: Vec<_> = parsed.iter().filter_map(|r| r.record.census.as_ref()).collect();
+        let censuses: Vec<_> = parsed
+            .iter()
+            .filter_map(|r| r.record.census.as_ref())
+            .collect();
         assert!(!censuses.is_empty(), "census fields present");
-        assert!(censuses.iter().any(|c| c.classes.iter().any(|e| e.name == "Temp")));
+        assert!(censuses
+            .iter()
+            .any(|c| c.classes.iter().any(|e| e.name == "Temp")));
         assert!(censuses
             .iter()
             .all(|c| c.classes.iter().all(|e| e.objects > 0 && e.bytes > 0)));
@@ -598,6 +620,9 @@ mod tests {
         let b = run_once(&w, ExpConfig::Base).unwrap();
         assert_eq!(a.allocations, b.allocations);
         let c = run_once(&w, ExpConfig::Infrastructure).unwrap();
-        assert_eq!(a.allocations, c.allocations, "config must not change behaviour");
+        assert_eq!(
+            a.allocations, c.allocations,
+            "config must not change behaviour"
+        );
     }
 }

@@ -131,8 +131,11 @@ mod tests {
     #[test]
     fn hidden_outer_reference_pins_swapped_objects() {
         let w = SwapLeak::default();
-        let mut vm =
-            gc_assertions::Vm::new(gc_assertions::VmConfig::builder().heap_budget(w.budget).build());
+        let mut vm = gc_assertions::Vm::new(
+            gc_assertions::VmConfig::builder()
+                .heap_budget(w.budget)
+                .build(),
+        );
         w.run(&mut vm, true).unwrap();
         vm.collect().unwrap();
         let log = vm.take_violation_log();

@@ -6,7 +6,7 @@
 //! cargo run --example jbb_order_leak
 //! ```
 
-use gc_assertions::{Vm, VmConfig, ViolationKind};
+use gc_assertions::{ViolationKind, Vm, VmConfig};
 use gca_workloads::pseudojbb::{JbbAssertions, JbbBugs, PseudoJbb};
 use gca_workloads::runner::Workload;
 

@@ -5,7 +5,7 @@
 //! cargo run --example lusearch_singleton
 //! ```
 
-use gc_assertions::{Vm, VmConfig, ViolationKind};
+use gc_assertions::{ViolationKind, Vm, VmConfig};
 use gca_workloads::lusearch_app::Lusearch;
 use gca_workloads::runner::Workload;
 
@@ -25,9 +25,7 @@ fn main() -> Result<(), gc_assertions::VmError> {
         .max();
     match max_count {
         Some(count) => {
-            println!(
-                "assert_instances(IndexSearcher, 1) fired: {count} live instances at GC"
-            );
+            println!("assert_instances(IndexSearcher, 1) fired: {count} live instances at GC");
             println!("(the paper observed 32 — one per search thread)");
             if let Some(v) = log
                 .iter()

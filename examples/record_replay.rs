@@ -30,19 +30,29 @@ fn main() -> Result<(), gc_assertions::VmError> {
     rec.collect()?;
 
     let (prod_vm, log) = rec.finish();
-    println!("production run: {} violation(s)", prod_vm.violation_log().len());
+    println!(
+        "production run: {} violation(s)",
+        prod_vm.violation_log().len()
+    );
     for v in prod_vm.violation_log() {
         println!("  (no path recorded) {}", v.summary());
     }
 
     // Ship the compact log home.
     let wire = encode(&log);
-    println!("\nevent log: {} events, {} bytes on the wire", log.len(), wire.len());
+    println!(
+        "\nevent log: {} events, {} bytes on the wire",
+        log.len(),
+        wire.len()
+    );
 
     // --- lab: identical history, full forensics -----------------------
     let events = decode(&wire).expect("wire format intact");
     let lab_vm = replay(&events, VmConfig::builder().path_tracking(true).build())?;
-    println!("\nlab replay: {} violation(s), now with paths:", lab_vm.violation_log().len());
+    println!(
+        "\nlab replay: {} violation(s), now with paths:",
+        lab_vm.violation_log().len()
+    );
     for v in lab_vm.violation_log() {
         println!("\n{}", v.render(lab_vm.registry()));
     }

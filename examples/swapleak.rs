@@ -10,7 +10,7 @@
 //! cargo run --example swapleak
 //! ```
 
-use gc_assertions::{Vm, VmConfig, ViolationKind};
+use gc_assertions::{ViolationKind, Vm, VmConfig};
 use gca_workloads::runner::Workload;
 use gca_workloads::swapleak::SwapLeak;
 

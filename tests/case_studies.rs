@@ -2,7 +2,7 @@
 //! study's bug is found with the documented assertion, the reported path
 //! explains it, and the documented fix silences it.
 
-use gc_assertions::{Vm, VmConfig, ViolationKind};
+use gc_assertions::{ViolationKind, Vm, VmConfig};
 use gca_workloads::lusearch_app::Lusearch;
 use gca_workloads::pseudojbb::{JbbAssertions, JbbBugs, PseudoJbb};
 use gca_workloads::runner::{run_once, ExpConfig, Workload};

@@ -42,7 +42,11 @@ fn non_timing_cycle_key(report: &GcReport) -> String {
 /// Runs `workload` to completion (plus one final collection) under the
 /// given config and distils the outcome. The caller varies only the
 /// census knob between the two runs of a differential pair.
-fn run_outcome(workload: &dyn Workload, assertions: bool, builder: VmConfigBuilder) -> (Outcome, Vm) {
+fn run_outcome(
+    workload: &dyn Workload,
+    assertions: bool,
+    builder: VmConfigBuilder,
+) -> (Outcome, Vm) {
     let mut vm = Vm::new(builder.build());
     workload.run(&mut vm, assertions).unwrap();
     let report = vm.collect().unwrap();
@@ -113,8 +117,16 @@ fn census_does_not_perturb_any_engine() {
 #[test]
 fn census_does_not_perturb_assertion_workloads() {
     let jbb = PseudoJbb::buggy_with_dead_asserts();
-    let (off, _) = run_outcome(&jbb, true, base_builder(&jbb, Mode::Instrumented).census(false));
-    let (on, _) = run_outcome(&jbb, true, base_builder(&jbb, Mode::Instrumented).census(true));
+    let (off, _) = run_outcome(
+        &jbb,
+        true,
+        base_builder(&jbb, Mode::Instrumented).census(false),
+    );
+    let (on, _) = run_outcome(
+        &jbb,
+        true,
+        base_builder(&jbb, Mode::Instrumented).census(true),
+    );
     assert!(!on.violations.is_empty(), "the planted leaks are reported");
     assert_eq!(off, on, "census changed an assertion outcome");
 }
@@ -229,7 +241,11 @@ fn swapleak_trips_class_and_site_drift() {
 #[test]
 fn steady_state_workloads_do_not_drift() {
     let jbb = PseudoJbb::for_figures();
-    let (_, vm) = run_outcome(&jbb, false, base_builder(&jbb, Mode::Instrumented).census(true));
+    let (_, vm) = run_outcome(
+        &jbb,
+        false,
+        base_builder(&jbb, Mode::Instrumented).census(true),
+    );
     let census = vm.census();
     assert!(
         census.cycles() as usize >= census.window(),
@@ -259,10 +275,7 @@ fn generational_census_covers_minor_cycles() {
 
     let census = vm.census();
     assert_eq!(census.minor_cycles(), outcome.minor_collections);
-    assert!(census
-        .records()
-        .iter()
-        .any(|c| c.kind == CycleKind::Minor));
+    assert!(census.records().iter().any(|c| c.kind == CycleKind::Minor));
 
     // Satellite: minor cycle records now report the same counter set as
     // full collections (objects_marked / edges_traced were previously

@@ -5,8 +5,7 @@
 //! not asserted here (debug-build timing is too noisy).
 
 use gca_bench::{
-    ablation_path_tracking, baseline_detectors, figure1, figures_2_3, figures_4_5,
-    summarize_infra,
+    ablation_path_tracking, baseline_detectors, figure1, figures_2_3, figures_4_5, summarize_infra,
 };
 
 #[test]

@@ -2,7 +2,7 @@
 //! request handlers are bracketed with `start_region` / `assert_alldead`
 //! (§2.3.2's Apache-style use case).
 
-use gc_assertions::{ClassId, MutatorId, Vm, VmConfig, ViolationKind};
+use gc_assertions::{ClassId, MutatorId, ViolationKind, Vm, VmConfig};
 use gca_workloads::structures::{HHashMap, HList};
 
 struct Server {
@@ -110,7 +110,11 @@ fn leaky_handler_pinpointed() {
         .iter()
         .filter(|v| matches!(&v.kind, ViolationKind::DeadReachable { class_name, .. } if class_name == "ListNode"))
         .count();
-    assert_eq!(dead_requests.len(), 3, "exactly the leaked requests: {report}");
+    assert_eq!(
+        dead_requests.len(),
+        3,
+        "exactly the leaked requests: {report}"
+    );
     assert_eq!(dead_nodes, 3, "plus the in-region list nodes: {report}");
     for v in &dead_requests {
         assert!(

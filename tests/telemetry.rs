@@ -162,7 +162,10 @@ fn assertion_kind_counters_are_attributed() {
     let t = vm.telemetry();
     let owned = &t.overhead().owned_by;
     assert!(owned.registered > 0, "db registers owned-by assertions");
-    assert!(owned.phase_work > 0, "ownership phase scanned owners/ownees");
+    assert!(
+        owned.phase_work > 0,
+        "ownership phase scanned owners/ownees"
+    );
     assert!(
         !t.phase_total(GcPhase::PreRoot).is_zero(),
         "ownership work makes the pre-root span observable"

@@ -4,7 +4,7 @@
 //! modes — while cross-checking VM state against a shadow model after
 //! every collection.
 
-use gc_assertions::{Mode, ObjRef, Vm, VmConfig, ViolationKind};
+use gc_assertions::{Mode, ObjRef, ViolationKind, Vm, VmConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -83,8 +83,7 @@ impl Torture {
             }
             // Link two rooted objects.
             40..=59 => {
-                if let (Some((_, a)), Some((_, b))) = (self.random_rooted(), self.random_rooted())
-                {
+                if let (Some((_, a)), Some((_, b))) = (self.random_rooted(), self.random_rooted()) {
                     let nrefs = self.vm.heap().get(a).map(|o| o.ref_count()).unwrap_or(0);
                     if nrefs > 0 {
                         let f = self.rng.gen_range(0..nrefs);
@@ -228,12 +227,11 @@ fn violations_with_workers(
 ) -> (Vec<String>, gc_assertions::GcTelemetry) {
     let mut t = Torture::new_with(seed, false, gc_threads, true);
     t.run(800);
-    let mut kinds: Vec<String> = t
-        .vm
-        .violation_log()
-        .iter()
-        .map(|v| format!("{:?}", v.kind))
-        .collect();
+    let mut kinds: Vec<String> =
+        t.vm.violation_log()
+            .iter()
+            .map(|v| format!("{:?}", v.kind))
+            .collect();
     kinds.sort();
     (kinds, t.vm.telemetry())
 }

@@ -19,7 +19,6 @@
 //!   anything fancier panics loudly rather than silently misgenerating.
 
 #![allow(clippy::type_complexity)]
-
 #![forbid(unsafe_code)]
 
 use std::fmt;
@@ -102,11 +101,7 @@ pub trait Strategy {
 
     /// Keeps only values satisfying `f` (retries; panics after too many
     /// rejections, mirroring upstream's global rejection cap).
-    fn prop_filter<F: Fn(&Self::Value) -> bool>(
-        self,
-        whence: &'static str,
-        f: F,
-    ) -> Filter<Self, F>
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
     where
         Self: Sized,
     {
@@ -298,7 +293,10 @@ fn parse_simple_regex(pat: &str) -> Option<(Vec<char>, usize, usize)> {
         Some('.') => {
             // Printable ASCII; close enough to upstream's "any char" for
             // parser-fuzzing purposes.
-            ((b' '..=b'~').map(char::from).collect::<Vec<_>>(), &chars[1..])
+            (
+                (b' '..=b'~').map(char::from).collect::<Vec<_>>(),
+                &chars[1..],
+            )
         }
         Some('[') => {
             let close = chars
@@ -344,8 +342,10 @@ fn parse_simple_regex(pat: &str) -> Option<(Vec<char>, usize, usize)> {
         .unwrap_or_else(|| panic!("unsupported repetition in pattern {pat:?}"));
     let (lo, hi) = match inner.split_once(',') {
         Some((a, b)) => (
-            a.parse().unwrap_or_else(|_| panic!("bad repeat in {pat:?}")),
-            b.parse().unwrap_or_else(|_| panic!("bad repeat in {pat:?}")),
+            a.parse()
+                .unwrap_or_else(|_| panic!("bad repeat in {pat:?}")),
+            b.parse()
+                .unwrap_or_else(|_| panic!("bad repeat in {pat:?}")),
         ),
         None => {
             let n = inner
@@ -360,9 +360,7 @@ fn parse_simple_regex(pat: &str) -> Option<(Vec<char>, usize, usize)> {
 
 /// Boxes a strategy branch for [`Union`]; used by [`prop_oneof!`] to get
 /// a uniform closure type without inference-placeholder casts.
-pub fn boxed_branch<S: Strategy + 'static>(
-    s: S,
-) -> Box<dyn Fn(&mut TestRng) -> S::Value> {
+pub fn boxed_branch<S: Strategy + 'static>(s: S) -> Box<dyn Fn(&mut TestRng) -> S::Value> {
     Box::new(move |rng| s.new_value(rng))
 }
 
