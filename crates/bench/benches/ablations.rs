@@ -4,10 +4,12 @@
 //! * binary-search ownership checks at two ownee-set sizes (the paper's
 //!   n log n worst case);
 //! * eager (JML-style) per-mutation invariant checking vs GC assertions
-//!   (the §4.1 trade-off).
+//!   (the §4.1 trade-off);
+//! * mark-sweep vs semispace copying backend with assertions attached
+//!   (the Cheney scan checks the same properties during evacuation).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gc_assertions::{Vm, VmConfig};
+use gc_assertions::{CollectorKind, Vm, VmConfig};
 use gca_bench::baseline_eager;
 use gca_workloads::runner::{run_once_config, ExpConfig, Workload};
 use gca_workloads::structures::HArrayList;
@@ -92,10 +94,44 @@ fn bench_eager_vs_gc(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_copying_backend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_copying");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for mut w in suite::full_suite().into_iter().take(4) {
+        w.iterations = (w.iterations / 4).max(2);
+        for (label, collector) in [
+            ("marksweep", CollectorKind::MarkSweep),
+            ("copying", CollectorKind::Copying),
+        ] {
+            let cfg = VmConfig::builder()
+                .heap_budget(w.heap_budget())
+                .grow_on_oom(true)
+                .collector(collector)
+                .build();
+            group.bench_function(format!("{}/{}", w.name(), label), |b| {
+                let cfg = cfg.clone();
+                b.iter_custom(|iters| {
+                    let mut gc = Duration::ZERO;
+                    for _ in 0..iters {
+                        gc += run_once_config(&w, ExpConfig::WithAssertions, cfg.clone())
+                            .unwrap()
+                            .gc;
+                    }
+                    gc
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_path_tracking,
     bench_ownership_scaling,
-    bench_eager_vs_gc
+    bench_eager_vs_gc,
+    bench_copying_backend
 );
 criterion_main!(benches);

@@ -4,6 +4,7 @@
 //! figures [--fig1] [--fig2] [--fig3] [--fig4] [--fig5]
 //!         [--ablations] [--baselines] [--all]
 //!         [--telemetry PATH] [--census PATH]
+//!         [--collector mark-sweep|copying]
 //!         [--reps N] [--scale F]
 //! ```
 //!
@@ -14,12 +15,16 @@
 //! writes one JSON-lines record per GC cycle (tagged with the benchmark
 //! name) to PATH. `--census PATH` does the same with the heap census
 //! also enabled, so every record carries per-class live tallies and top
-//! allocation sites.
+//! allocation sites. `--collector` picks the backend the telemetry and
+//! census suites run on (default mark-sweep); the figure tables always
+//! measure the paper's mark-sweep configuration, and the copying
+//! comparison has its own table (Ablation G) under `--ablations`.
 
+use gc_assertions::CollectorKind;
 use gca_bench::{
-    ablation_census, ablation_path_tracking, baseline_detectors, baseline_eager,
-    baseline_generational, baseline_probes, census_jsonl, figure1, figures_2_3, figures_4_5,
-    summarize_infra, telemetry_jsonl,
+    ablation_census, ablation_copying, ablation_path_tracking, baseline_detectors, baseline_eager,
+    baseline_generational, baseline_probes, census_jsonl_collector, figure1, figures_2_3,
+    figures_4_5, summarize_infra, telemetry_jsonl_collector,
 };
 
 struct Args {
@@ -30,6 +35,7 @@ struct Args {
     baselines: bool,
     telemetry: Option<String>,
     census: Option<String>,
+    collector: CollectorKind,
     reps: usize,
     scale: f64,
 }
@@ -43,6 +49,7 @@ fn parse_args() -> Args {
         baselines: false,
         telemetry: None,
         census: None,
+        collector: CollectorKind::MarkSweep,
         reps: 3,
         scale: 1.0,
     };
@@ -86,6 +93,17 @@ fn parse_args() -> Args {
                 args.census = Some(it.next().expect("--census takes an output path"));
                 any = true;
             }
+            "--collector" => {
+                let v = it.next().expect("--collector takes mark-sweep|copying");
+                args.collector = match v.as_str() {
+                    "mark-sweep" | "marksweep" => CollectorKind::MarkSweep,
+                    "copying" => CollectorKind::Copying,
+                    other => {
+                        eprintln!("--collector expects mark-sweep|copying, got {other}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--reps" => {
                 args.reps = it
                     .next()
@@ -118,18 +136,24 @@ fn main() {
     let args = parse_args();
 
     if let Some(path) = &args.telemetry {
-        let jsonl = telemetry_jsonl(args.scale);
+        let jsonl = telemetry_jsonl_collector(args.scale, args.collector);
         let records = jsonl.lines().count();
         std::fs::write(path, &jsonl).expect("writing the telemetry JSONL file");
-        println!("telemetry: wrote {records} GC-cycle records to {path}");
+        println!(
+            "telemetry: wrote {records} GC-cycle records ({:?} collector) to {path}",
+            args.collector
+        );
         println!();
     }
 
     if let Some(path) = &args.census {
-        let jsonl = census_jsonl(args.scale);
+        let jsonl = census_jsonl_collector(args.scale, args.collector);
         let records = jsonl.lines().count();
         std::fs::write(path, &jsonl).expect("writing the census JSONL file");
-        println!("census: wrote {records} GC-cycle records (with census fields) to {path}");
+        println!(
+            "census: wrote {records} GC-cycle records (with census fields, {:?} collector) to {path}",
+            args.collector
+        );
         println!();
     }
 
@@ -271,6 +295,35 @@ fn main() {
                 r.gc_off.as_secs_f64() * 1e3,
                 r.gc_on.as_secs_f64() * 1e3,
                 r.overhead()
+            );
+        }
+        println!();
+
+        println!("=======================================================================");
+        println!("Ablation G: mark-sweep vs semispace copying backend (GC time)");
+        println!("(same assertions, same verdicts; Cheney scan vs mark/sweep traversal)");
+        println!("=======================================================================");
+        let rows = ablation_copying(args.reps, args.scale, 6);
+        println!(
+            "{:<12} {:>10} {:>10} {:>9} | {:>10} {:>10} {:>9}",
+            "benchmark",
+            "ms-inf(ms)",
+            "cp-inf(ms)",
+            "infra%",
+            "ms-ast(ms)",
+            "cp-ast(ms)",
+            "assert%"
+        );
+        for r in &rows {
+            println!(
+                "{:<12} {:>10.2} {:>10.2} {:>8.2}% | {:>10.2} {:>10.2} {:>8.2}%",
+                r.name,
+                r.ms_infra.as_secs_f64() * 1e3,
+                r.cp_infra.as_secs_f64() * 1e3,
+                r.infra_delta(),
+                r.ms_assert.as_secs_f64() * 1e3,
+                r.cp_assert.as_secs_f64() * 1e3,
+                r.assert_delta()
             );
         }
         println!();

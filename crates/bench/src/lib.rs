@@ -27,7 +27,7 @@
 
 use std::time::{Duration, Instant};
 
-use gc_assertions::{ViolationKind, Vm, VmConfig};
+use gc_assertions::{CollectorKind, ViolationKind, Vm, VmConfig};
 use gca_detectors::{CorkDetector, EagerOwnershipChecker, StalenessDetector};
 use gca_workloads::db::Db209;
 use gca_workloads::pseudojbb::PseudoJbb;
@@ -268,18 +268,29 @@ pub fn figures_4_5(reps: usize, scale: f64) -> Vec<AssertRow> {
 /// overhead attribution). One record per GC cycle, tagged with the
 /// benchmark name. `scale` shrinks iteration counts as for the figures.
 pub fn telemetry_jsonl(scale: f64) -> String {
+    telemetry_jsonl_collector(scale, CollectorKind::MarkSweep)
+}
+
+/// As [`telemetry_jsonl`], but on the chosen collector backend — the CI
+/// copying artifact leg calls this via `figures --telemetry --collector
+/// copying`.
+pub fn telemetry_jsonl_collector(scale: f64, collector: CollectorKind) -> String {
     let workloads: Vec<suite::SyntheticWorkload> = suite::full_suite()
         .into_iter()
         .map(|w| scaled(w, scale))
         .collect();
-    let mut out = suite::suite_telemetry_jsonl(&workloads, ExpConfig::Infrastructure)
-        .expect("suite workloads are infallible");
+    let mut out =
+        suite::suite_telemetry_jsonl_collector(&workloads, ExpConfig::Infrastructure, collector)
+            .expect("suite workloads are infallible");
     let db = scaled_db(scale);
     let jbb = scaled_jbb(scale);
     for w in [&db as &dyn Workload, &jbb as &dyn Workload] {
-        let (_, telemetry) =
-            gca_workloads::runner::run_once_telemetry(w, ExpConfig::WithAssertions)
-                .expect("case-study workloads are infallible");
+        let (_, telemetry) = gca_workloads::runner::run_once_telemetry_collector(
+            w,
+            ExpConfig::WithAssertions,
+            collector,
+        )
+        .expect("case-study workloads are infallible");
         out.push_str(&telemetry.to_jsonl(Some(w.name())));
     }
     out
@@ -291,18 +302,29 @@ pub fn telemetry_jsonl(scale: f64) -> String {
 /// top allocation sites. This is the artifact behind `figures --census`
 /// and the CI census step.
 pub fn census_jsonl(scale: f64) -> String {
+    census_jsonl_collector(scale, CollectorKind::MarkSweep)
+}
+
+/// As [`census_jsonl`], but on the chosen collector backend — the copying
+/// engine observes the census at evacuation time, so its per-class
+/// tallies are bit-identical to mark-sweep's.
+pub fn census_jsonl_collector(scale: f64, collector: CollectorKind) -> String {
     let workloads: Vec<suite::SyntheticWorkload> = suite::full_suite()
         .into_iter()
         .map(|w| scaled(w, scale))
         .collect();
-    let mut out = suite::suite_census_jsonl(&workloads, ExpConfig::Infrastructure)
-        .expect("suite workloads are infallible");
+    let mut out =
+        suite::suite_census_jsonl_collector(&workloads, ExpConfig::Infrastructure, collector)
+            .expect("suite workloads are infallible");
     let db = scaled_db(scale);
     let jbb = scaled_jbb(scale);
     for w in [&db as &dyn Workload, &jbb as &dyn Workload] {
-        let (_, telemetry, _) =
-            gca_workloads::runner::run_once_census(w, ExpConfig::WithAssertions)
-                .expect("case-study workloads are infallible");
+        let (_, telemetry, _) = gca_workloads::runner::run_once_census_collector(
+            w,
+            ExpConfig::WithAssertions,
+            collector,
+        )
+        .expect("case-study workloads are infallible");
         out.push_str(&telemetry.to_jsonl(Some(w.name())));
     }
     out
@@ -434,6 +456,84 @@ pub fn ablation_census(reps: usize, scale: f64, take: usize) -> Vec<CensusAblati
             name: w.name().to_owned(),
             gc_off: off[off.len() / 2],
             gc_on: on[on.len() / 2],
+        });
+    }
+    rows
+}
+
+/// One row of the copying-collector ablation: mark-sweep vs semispace
+/// copying, each with the assertion infrastructure alone and with the
+/// workload's assertions registered.
+#[derive(Debug, Clone)]
+pub struct CopyingAblationRow {
+    /// Benchmark name.
+    pub name: String,
+    /// GC time: mark-sweep, Infrastructure.
+    pub ms_infra: Duration,
+    /// GC time: copying, Infrastructure.
+    pub cp_infra: Duration,
+    /// GC time: mark-sweep, WithAssertions.
+    pub ms_assert: Duration,
+    /// GC time: copying, WithAssertions.
+    pub cp_assert: Duration,
+}
+
+impl CopyingAblationRow {
+    /// Copying GC-time delta vs mark-sweep under Infrastructure, in
+    /// percent (negative = copying is faster).
+    pub fn infra_delta(&self) -> f64 {
+        overhead_percent(self.ms_infra, self.cp_infra)
+    }
+
+    /// Copying GC-time delta vs mark-sweep under WithAssertions.
+    pub fn assert_delta(&self) -> f64 {
+        overhead_percent(self.ms_assert, self.cp_assert)
+    }
+}
+
+/// Ablation G: the semispace copying backend vs mark-sweep, with
+/// assertions off and on (interleaved medians of `reps` runs over the
+/// first `take` suite benchmarks). The assertion verdicts are identical
+/// by construction — the differential fuzz suite pins that — so this
+/// measures pure engine cost: evacuation+compaction against mark+sweep,
+/// and whether the assertion hooks price out the same on both.
+pub fn ablation_copying(reps: usize, scale: f64, take: usize) -> Vec<CopyingAblationRow> {
+    let mut rows = Vec::new();
+    for w in suite::full_suite().into_iter().take(take) {
+        let w = scaled(w, scale);
+        let base_cfg = VmConfig::builder()
+            .heap_budget(w.heap_budget())
+            .grow_on_oom(true)
+            .build();
+        let mut samples = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for _ in 0..reps.max(1) {
+            // Interleave all four legs so drift hits each equally.
+            for (i, (exp, collector)) in [
+                (ExpConfig::Infrastructure, CollectorKind::MarkSweep),
+                (ExpConfig::Infrastructure, CollectorKind::Copying),
+                (ExpConfig::WithAssertions, CollectorKind::MarkSweep),
+                (ExpConfig::WithAssertions, CollectorKind::Copying),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                samples[i].push(
+                    run_once_config(&w, exp, base_cfg.clone().collector(collector))
+                        .expect("runs")
+                        .gc,
+                );
+            }
+        }
+        for s in &mut samples {
+            s.sort();
+        }
+        let median = |s: &[Duration]| s[s.len() / 2];
+        rows.push(CopyingAblationRow {
+            name: w.name().to_owned(),
+            ms_infra: median(&samples[0]),
+            cp_infra: median(&samples[1]),
+            ms_assert: median(&samples[2]),
+            cp_assert: median(&samples[3]),
         });
     }
     rows

@@ -55,6 +55,7 @@
 
 mod census;
 mod collector;
+mod copying;
 mod deque;
 mod hooks;
 mod minor;
@@ -65,6 +66,7 @@ mod tracer;
 
 pub use census::{heap_has_stale_marks, CensusSink};
 pub use collector::{sweep_heap, Collector};
+pub use copying::CopyingCollector;
 pub use deque::StealDeque;
 pub use hooks::{NoHooks, TraceHooks, Visit};
 pub use minor::{collect_minor, MinorStats};
@@ -74,4 +76,4 @@ pub use parallel::{
 };
 pub use path::{HeapPath, PathDisplay, PathStep};
 pub use stats::{CycleStats, GcStats};
-pub use tracer::{TraceCtx, Tracer};
+pub use tracer::{Provenance, TraceCtx, Tracer};

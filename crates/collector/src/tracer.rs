@@ -151,6 +151,8 @@ impl Tracer {
                     path_mode: self.path_mode,
                     tip: r,
                     tip_field: field_index(entry.field),
+                    prov: None,
+                    parent: ObjRef::NULL,
                 };
                 hooks.visit_marked(heap, r, &ctx);
                 continue;
@@ -166,6 +168,8 @@ impl Tracer {
                     path_mode: self.path_mode,
                     tip: r,
                     tip_field: field_index(entry.field),
+                    prov: None,
+                    parent: ObjRef::NULL,
                 };
                 hooks.visit_new(heap, r, &ctx)
             };
@@ -204,6 +208,58 @@ fn field_index(raw: u32) -> Option<usize> {
     }
 }
 
+/// First-arrival parent edges recorded during a breadth-first scan, used
+/// by the copying collector to reconstruct root-to-object paths.
+///
+/// The sequential tracer gets paths for free from its LIFO worklist (the
+/// on-path tag bits, §2.7); a Cheney scan has no stack to read the path
+/// off, so the copying backend records, for every object it evacuates, the
+/// edge through which the object was *first* reached. Walking those edges
+/// from a violating object back to a root reproduces a Figure-1-style
+/// retaining path. The table is keyed by heap slot and rebuilt each cycle;
+/// recording is skipped entirely in plain (no-path) mode.
+#[derive(Debug, Default)]
+pub struct Provenance {
+    /// Per-slot first-arrival edge: `(parent, field)`; a null parent means
+    /// "reached from a root" (or never reached).
+    parents: Vec<(ObjRef, u32)>,
+}
+
+impl Provenance {
+    /// Creates an empty provenance table.
+    pub fn new() -> Provenance {
+        Provenance::default()
+    }
+
+    /// Clears the table and sizes it for a heap of `slot_count` slots.
+    pub fn begin_cycle(&mut self, slot_count: usize) {
+        self.parents.clear();
+        self.parents.resize(slot_count, (ObjRef::NULL, ROOT_FIELD));
+    }
+
+    /// Records that `child` was first reached through `parent`'s reference
+    /// field `field`. Only the first record for a child is kept — exactly
+    /// the first-arrival discipline of the scan itself.
+    pub fn record(&mut self, child: ObjRef, parent: ObjRef, field: usize) {
+        let slot = child.index() as usize;
+        if slot >= self.parents.len() {
+            self.parents.resize(slot + 1, (ObjRef::NULL, ROOT_FIELD));
+        }
+        if self.parents[slot].0.is_null() {
+            self.parents[slot] = (parent, field as u32);
+        }
+    }
+
+    /// The first-arrival edge of `obj`: `(parent, field)`, or `None` if
+    /// `obj` was reached from a root (or not recorded).
+    pub fn parent_of(&self, obj: ObjRef) -> Option<(ObjRef, usize)> {
+        match self.parents.get(obj.index() as usize) {
+            Some(&(p, f)) if p.is_some() => Some((p, f as usize)),
+            _ => None,
+        }
+    }
+}
+
 /// A view of the tracer's state handed to [`TraceHooks`] callbacks, from
 /// which the current root-to-object path can be reconstructed.
 #[derive(Debug)]
@@ -212,6 +268,12 @@ pub struct TraceCtx<'a> {
     path_mode: bool,
     tip: ObjRef,
     tip_field: Option<usize>,
+    /// Breadth-first provenance table, used instead of the worklist when
+    /// the context comes from the copying collector's Cheney scan.
+    prov: Option<&'a Provenance>,
+    /// The scanning parent for a provenance-mode context (null when the
+    /// tip was reached from a root).
+    parent: ObjRef,
 }
 
 impl TraceCtx<'_> {
@@ -223,6 +285,30 @@ impl TraceCtx<'_> {
             path_mode: false,
             tip: ObjRef::NULL,
             tip_field: None,
+            prov: None,
+            parent: ObjRef::NULL,
+        }
+    }
+
+    /// A context backed by a breadth-first [`Provenance`] table instead of
+    /// the sequential tracer's worklist: the copying collector builds one
+    /// per processed edge. `parent` is the object whose field is being
+    /// scanned (null for a root edge), `tip_field` the index of that
+    /// field. Pass `prov = None` for plain (no-path) mode; paths are then
+    /// unavailable, mirroring the Base configuration.
+    pub fn from_provenance<'a>(
+        prov: Option<&'a Provenance>,
+        parent: ObjRef,
+        tip: ObjRef,
+        tip_field: Option<usize>,
+    ) -> TraceCtx<'a> {
+        TraceCtx {
+            entries: &[],
+            path_mode: prov.is_some(),
+            tip,
+            tip_field,
+            prov,
+            parent,
         }
     }
 
@@ -245,6 +331,9 @@ impl TraceCtx<'_> {
     /// references keeping an asserted-dead object alive (§2.6).
     pub fn parent_edge(&self) -> Option<(ObjRef, usize)> {
         let field = self.tip_field?;
+        if self.prov.is_some() {
+            return self.parent.is_some().then_some((self.parent, field));
+        }
         let parent = self.entries.iter().rev().find(|e| e.on_path)?;
         Some((parent.obj, field))
     }
@@ -257,6 +346,9 @@ impl TraceCtx<'_> {
         if !self.path_mode {
             return HeapPath::empty();
         }
+        if let Some(prov) = self.prov {
+            return self.provenance_path(heap, prov);
+        }
         let mut steps: Vec<PathStep> = Vec::new();
         for e in self.entries.iter().filter(|e| e.on_path) {
             if let Ok(o) = heap.get(e.obj) {
@@ -267,6 +359,40 @@ impl TraceCtx<'_> {
                 });
             }
         }
+        if self.tip.is_some() {
+            if let Ok(o) = heap.get(self.tip) {
+                steps.push(PathStep {
+                    object: self.tip,
+                    class: o.class(),
+                    field: self.tip_field,
+                });
+            }
+        }
+        HeapPath::new(steps)
+    }
+
+    /// Path reconstruction for provenance-mode contexts: walk the
+    /// first-arrival edges from the scanning parent back to a root, then
+    /// append the tip. The provenance graph is a forest (each edge points
+    /// at an earlier-visited object), so the walk terminates.
+    fn provenance_path(&self, heap: &Heap, prov: &Provenance) -> HeapPath {
+        let mut steps: Vec<PathStep> = Vec::new();
+        let mut cur = self.parent;
+        while cur.is_some() {
+            match heap.get(cur) {
+                Ok(o) => {
+                    let edge = prov.parent_of(cur);
+                    steps.push(PathStep {
+                        object: cur,
+                        class: o.class(),
+                        field: edge.map(|(_, f)| f),
+                    });
+                    cur = edge.map(|(p, _)| p).unwrap_or(ObjRef::NULL);
+                }
+                Err(_) => break,
+            }
+        }
+        steps.reverse();
         if self.tip.is_some() {
             if let Ok(o) = heap.get(self.tip) {
                 steps.push(PathStep {
@@ -498,5 +624,57 @@ mod tests {
         assert!(!ctx.has_paths());
         assert!(ctx.current_path(&heap).is_empty());
         assert!(ctx.tip().is_null());
+    }
+
+    #[test]
+    fn provenance_keeps_first_arrival_edge() {
+        let (heap, objs) = linked_heap();
+        let mut prov = Provenance::new();
+        prov.begin_cycle(heap.slot_count());
+        prov.record(objs[1], objs[0], 0);
+        prov.record(objs[1], objs[2], 0); // second arrival: ignored
+        assert_eq!(prov.parent_of(objs[1]), Some((objs[0], 0)));
+        assert_eq!(prov.parent_of(objs[0]), None, "roots have no parent");
+    }
+
+    #[test]
+    fn provenance_ctx_reconstructs_chain() {
+        // a -> b -> c as in the DFS test, but recorded breadth-first.
+        let (heap, objs) = linked_heap();
+        let mut prov = Provenance::new();
+        prov.begin_cycle(heap.slot_count());
+        prov.record(objs[1], objs[0], 0);
+        prov.record(objs[2], objs[1], 0);
+
+        // Hook call for the edge b.0 -> c.
+        let ctx = TraceCtx::from_provenance(Some(&prov), objs[1], objs[2], Some(0));
+        assert!(ctx.has_paths());
+        assert_eq!(ctx.parent_edge(), Some((objs[1], 0)));
+        let path = ctx.current_path(&heap);
+        let chain: Vec<ObjRef> = path.steps().iter().map(|s| s.object).collect();
+        assert_eq!(chain, vec![objs[0], objs[1], objs[2]]);
+        assert_eq!(path.steps()[0].field, None);
+        assert_eq!(path.steps()[1].field, Some(0));
+        assert_eq!(path.steps()[2].field, Some(0));
+    }
+
+    #[test]
+    fn provenance_ctx_root_edge() {
+        let (heap, objs) = linked_heap();
+        let prov = Provenance::new();
+        let ctx = TraceCtx::from_provenance(Some(&prov), ObjRef::NULL, objs[0], None);
+        assert_eq!(ctx.parent_edge(), None);
+        let path = ctx.current_path(&heap);
+        let chain: Vec<ObjRef> = path.steps().iter().map(|s| s.object).collect();
+        assert_eq!(chain, vec![objs[0]]);
+    }
+
+    #[test]
+    fn provenance_ctx_plain_mode_has_no_paths() {
+        let (heap, objs) = linked_heap();
+        let ctx = TraceCtx::from_provenance(None, objs[0], objs[1], Some(0));
+        assert!(!ctx.has_paths());
+        assert_eq!(ctx.parent_edge(), None);
+        assert!(ctx.current_path(&heap).is_empty());
     }
 }

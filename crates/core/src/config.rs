@@ -36,6 +36,29 @@ pub enum Mode {
     Instrumented,
 }
 
+/// Which garbage-collection algorithm backs major collections.
+///
+/// The paper's machinery (§2.2–2.5) is defined in terms of the *trace*,
+/// not of any particular collector; this enum makes that claim executable
+/// by offering two structurally different backends that must agree on
+/// every assertion verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CollectorKind {
+    /// The paper's MarkSweep plan: non-moving trace-and-sweep, with the
+    /// sequential DFS tracer or the parallel work-stealing mark phase
+    /// depending on [`VmConfig::gc_threads`].
+    #[default]
+    MarkSweep,
+    /// A semispace copying (Cheney-scan) collector: survivors are
+    /// evacuated to the to-space in BFS order, the spaces flip, and
+    /// assertion checks ride along at evacuation time. Copying changes
+    /// *when* (at which address) objects live, not *whether* they are
+    /// live, so all assertion verdicts are identical to MarkSweep.
+    /// Full-heap and sequential: incompatible with
+    /// [`VmConfig::generational`] and with `gc_threads > 1`.
+    Copying,
+}
+
 /// The classes of assertion a [`Reaction`] override can target — §2.6
 /// suggests "different actions based on the class of assertion that is
 /// violated" as future work; this implements it.
@@ -119,6 +142,9 @@ pub struct VmConfig {
     /// census-on runs are bit-identical to census-off runs in everything
     /// except the census itself.
     pub census: bool,
+    /// Which collector algorithm backs major collections (see
+    /// [`CollectorKind`]). Defaults to the paper's MarkSweep.
+    pub collector: CollectorKind,
 }
 
 impl Default for VmConfig {
@@ -136,6 +162,7 @@ impl Default for VmConfig {
             gc_threads: 1,
             telemetry: false,
             census: false,
+            collector: CollectorKind::MarkSweep,
         }
     }
 }
@@ -223,6 +250,13 @@ impl VmConfig {
     #[must_use]
     pub fn census(mut self, on: bool) -> VmConfig {
         self.census = on;
+        self
+    }
+
+    /// Selects the collector algorithm for major collections.
+    #[must_use]
+    pub fn collector(mut self, kind: CollectorKind) -> VmConfig {
+        self.collector = kind;
         self
     }
 
@@ -358,6 +392,13 @@ impl VmConfigBuilder {
         self
     }
 
+    /// Selects the collector algorithm for major collections (see
+    /// [`CollectorKind`]).
+    pub fn collector(mut self, kind: CollectorKind) -> VmConfigBuilder {
+        self.config.collector = kind;
+        self
+    }
+
     /// Overrides the reaction for one assertion class (later overrides
     /// for the same class win).
     pub fn reaction_for(mut self, class: AssertionClass, reaction: Reaction) -> VmConfigBuilder {
@@ -369,13 +410,25 @@ impl VmConfigBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if the heap budget is zero — every other combination is
-    /// meaningful (setters normalize their own inputs).
+    /// Panics if the heap budget is zero, or if the copying collector is
+    /// combined with generational collection (copying is full-heap) or
+    /// with `gc_threads > 1` (the Cheney scan is sequential).
     pub fn build(self) -> VmConfig {
         assert!(
             self.config.heap_budget > 0,
             "VmConfig: heap budget must be non-zero"
         );
+        if self.config.collector == CollectorKind::Copying {
+            assert!(
+                self.config.generational.is_none(),
+                "VmConfig: the copying collector is full-heap; it cannot be generational"
+            );
+            assert!(
+                self.config.gc_threads <= 1,
+                "VmConfig: the copying collector's Cheney scan is sequential \
+                 (gc_threads must be 0 or 1)"
+            );
+        }
         self.config
     }
 }
@@ -453,6 +506,35 @@ mod tests {
     #[should_panic(expected = "heap budget must be non-zero")]
     fn builder_rejects_zero_budget() {
         let _ = VmConfig::builder().heap_budget(0).build();
+    }
+
+    #[test]
+    fn collector_defaults_to_mark_sweep() {
+        assert_eq!(VmConfig::new().collector, CollectorKind::MarkSweep);
+        let c = VmConfig::builder()
+            .collector(CollectorKind::Copying)
+            .build();
+        assert_eq!(c.collector, CollectorKind::Copying);
+        let c = VmConfig::new().collector(CollectorKind::Copying);
+        assert_eq!(c.collector, CollectorKind::Copying);
+    }
+
+    #[test]
+    #[should_panic(expected = "full-heap")]
+    fn builder_rejects_copying_generational() {
+        let _ = VmConfig::builder()
+            .collector(CollectorKind::Copying)
+            .generational(4)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential")]
+    fn builder_rejects_copying_parallel() {
+        let _ = VmConfig::builder()
+            .collector(CollectorKind::Copying)
+            .gc_threads(4)
+            .build();
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! The VM façade: heap + collector + assertion engine + mutators.
 
-use gca_collector::{CensusSink, Collector, GcStats, NoHooks};
+use gca_collector::{CensusSink, Collector, CopyingCollector, GcStats, NoHooks};
 use gca_heap::{ClassId, Flags, Heap, HeapError, HeapStats, ObjRef, TypeRegistry, HEADER_WORDS};
 
 use crate::census::{AllocSite, CensusState};
-use crate::config::{Mode, Reaction, VmConfig};
+use crate::config::{CollectorKind, Mode, Reaction, VmConfig};
 use crate::engine::AssertionEngine;
 use crate::error::VmError;
 use crate::mutator::{Mutator, MutatorId, Region};
@@ -75,6 +75,11 @@ pub struct AssertionCallCounts {
 pub struct Vm {
     pub(crate) heap: Heap,
     collector: Collector,
+    /// The semispace copying backend, present only when
+    /// [`VmConfig::collector`] is [`CollectorKind::Copying`]. The
+    /// mark-sweep `collector` above still accumulates the cumulative
+    /// [`GcStats`] either way, so reporting is backend-agnostic.
+    copying: Option<Box<CopyingCollector>>,
     pub(crate) engine: AssertionEngine,
     config: VmConfig,
     budget: usize,
@@ -129,15 +134,37 @@ impl std::fmt::Debug for Handler {
 
 impl Vm {
     /// Creates a VM with one mutator (the main thread, [`Vm::main`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` combines the copying collector with generational
+    /// collection or `gc_threads > 1` — [`VmConfig::builder`] rejects
+    /// these at build time; hand-assembled configs are checked here.
     pub fn new(config: VmConfig) -> Vm {
         let budget = config.heap_budget;
         let telemetry = config
             .telemetry
             .then(|| Box::new(gca_telemetry::GcTelemetry::new()));
         let census = config.census.then(|| Box::new(CensusState::new()));
+        let copying = (config.collector == CollectorKind::Copying).then(|| {
+            assert!(
+                config.generational.is_none(),
+                "Vm: the copying collector is full-heap; it cannot be generational"
+            );
+            assert!(
+                config.gc_threads <= 1,
+                "Vm: the copying collector's Cheney scan is sequential"
+            );
+            Box::new(CopyingCollector::new())
+        });
+        let mut heap = Heap::new();
+        if copying.is_some() {
+            heap.enable_copy_spaces();
+        }
         Vm {
-            heap: Heap::new(),
+            heap,
             collector: Collector::new(),
+            copying,
             engine: AssertionEngine::new(&config),
             config,
             budget,
@@ -412,61 +439,101 @@ impl Vm {
         let workers = self.config.effective_gc_threads();
         let want_census = self.census.is_some();
         // Sequential arms report the whole mark span as worker 0's busy
-        // time; parallel arms return the per-worker profile.
-        let (cycle, worker_mark, census_sink) = match (self.config.mode, workers) {
-            (Mode::Base, 0 | 1) if want_census => {
-                let (cycle, sink) = self.collector.collect_census(
-                    &mut self.heap,
-                    &roots,
-                    &mut NoHooks,
-                    CensusSink::new(),
-                )?;
-                (cycle, vec![cycle.mark], Some(sink))
-            }
-            (Mode::Base, 0 | 1) => {
-                let cycle = self
-                    .collector
-                    .collect(&mut self.heap, &roots, &mut NoHooks)?;
-                (cycle, vec![cycle.mark], None)
-            }
-            (Mode::Instrumented, 0 | 1) if want_census => {
-                let (cycle, sink) = self.collector.collect_census(
-                    &mut self.heap,
-                    &roots,
-                    &mut self.engine,
-                    CensusSink::new(),
-                )?;
-                (cycle, vec![cycle.mark], Some(sink))
-            }
-            (Mode::Instrumented, 0 | 1) => {
-                let cycle = self
-                    .collector
-                    .collect(&mut self.heap, &roots, &mut self.engine)?;
-                (cycle, vec![cycle.mark], None)
-            }
-            // Parallel mark phase: the Collector only contributed the
-            // mark/sweep driver, so run the parallel driver directly and
-            // fold the cycle into the collector's cumulative stats.
-            (Mode::Base, n) => {
-                let par = crate::par_engine::collect_parallel_base(
-                    &mut self.heap,
-                    &roots,
-                    n,
-                    want_census,
-                )?;
-                self.collector.record_cycle(&par.cycle);
-                (par.cycle, par.worker_mark, par.census)
-            }
-            (Mode::Instrumented, n) => {
-                let par = crate::par_engine::collect_parallel(
-                    &mut self.engine,
-                    &mut self.heap,
-                    &roots,
-                    n,
-                    want_census,
-                )?;
-                self.collector.record_cycle(&par.cycle);
-                (par.cycle, par.worker_mark, par.census)
+        // time; parallel arms return the per-worker profile. The copying
+        // backend dispatches on collector kind before the (mode, workers)
+        // match — its Cheney scan is always sequential.
+        let (cycle, worker_mark, census_sink) = if self.config.collector == CollectorKind::Copying {
+            let copying = self
+                .copying
+                .as_mut()
+                .expect("copying backend initialized in Vm::new");
+            let out = match self.config.mode {
+                Mode::Base if want_census => {
+                    let (cycle, sink) = copying.collect_census(
+                        &mut self.heap,
+                        &roots,
+                        &mut NoHooks,
+                        CensusSink::new(),
+                    )?;
+                    (cycle, vec![cycle.mark], Some(sink))
+                }
+                Mode::Base => {
+                    let cycle = copying.collect(&mut self.heap, &roots, &mut NoHooks)?;
+                    (cycle, vec![cycle.mark], None)
+                }
+                Mode::Instrumented if want_census => {
+                    let (cycle, sink) = copying.collect_census(
+                        &mut self.heap,
+                        &roots,
+                        &mut self.engine,
+                        CensusSink::new(),
+                    )?;
+                    (cycle, vec![cycle.mark], Some(sink))
+                }
+                Mode::Instrumented => {
+                    let cycle = copying.collect(&mut self.heap, &roots, &mut self.engine)?;
+                    (cycle, vec![cycle.mark], None)
+                }
+            };
+            // Keep the backend-agnostic cumulative stats in one place.
+            self.collector.record_cycle(&out.0);
+            out
+        } else {
+            match (self.config.mode, workers) {
+                (Mode::Base, 0 | 1) if want_census => {
+                    let (cycle, sink) = self.collector.collect_census(
+                        &mut self.heap,
+                        &roots,
+                        &mut NoHooks,
+                        CensusSink::new(),
+                    )?;
+                    (cycle, vec![cycle.mark], Some(sink))
+                }
+                (Mode::Base, 0 | 1) => {
+                    let cycle = self
+                        .collector
+                        .collect(&mut self.heap, &roots, &mut NoHooks)?;
+                    (cycle, vec![cycle.mark], None)
+                }
+                (Mode::Instrumented, 0 | 1) if want_census => {
+                    let (cycle, sink) = self.collector.collect_census(
+                        &mut self.heap,
+                        &roots,
+                        &mut self.engine,
+                        CensusSink::new(),
+                    )?;
+                    (cycle, vec![cycle.mark], Some(sink))
+                }
+                (Mode::Instrumented, 0 | 1) => {
+                    let cycle = self
+                        .collector
+                        .collect(&mut self.heap, &roots, &mut self.engine)?;
+                    (cycle, vec![cycle.mark], None)
+                }
+                // Parallel mark phase: the Collector only contributed the
+                // mark/sweep driver, so run the parallel driver directly and
+                // fold the cycle into the collector's cumulative stats.
+                (Mode::Base, n) => {
+                    let par = crate::par_engine::collect_parallel_base(
+                        &mut self.heap,
+                        &roots,
+                        n,
+                        want_census,
+                    )?;
+                    self.collector.record_cycle(&par.cycle);
+                    (par.cycle, par.worker_mark, par.census)
+                }
+                (Mode::Instrumented, n) => {
+                    let par = crate::par_engine::collect_parallel(
+                        &mut self.engine,
+                        &mut self.heap,
+                        &roots,
+                        n,
+                        want_census,
+                    )?;
+                    self.collector.record_cycle(&par.cycle);
+                    (par.cycle, par.worker_mark, par.census)
+                }
             }
         };
         // Resolve the census right after the sweep, while every marked

@@ -1,9 +1,11 @@
 //! Semantics of `assert-dead` (§2.3.1) and the violation reactions (§2.6).
 
-use gc_assertions::{ObjRef, Reaction, ViolationKind, Vm, VmConfig, VmError};
+mod common;
+
+use gc_assertions::{ObjRef, Reaction, ViolationKind, Vm, VmError};
 
 fn vm() -> Vm {
-    Vm::new(VmConfig::builder().build())
+    Vm::new(common::cfg().build())
 }
 
 #[test]
@@ -88,7 +90,7 @@ fn transient_violation_is_missed() {
 
 #[test]
 fn report_once_suppresses_repeats() {
-    let mut vm = Vm::new(VmConfig::builder().report_once(true).build());
+    let mut vm = Vm::new(common::cfg().report_once(true).build());
     let c = vm.register_class("T", &[]);
     let m = vm.main();
     let x = vm.alloc_rooted(m, c, 0, 0).unwrap();
@@ -100,7 +102,7 @@ fn report_once_suppresses_repeats() {
 
 #[test]
 fn report_every_gc_when_configured() {
-    let mut vm = Vm::new(VmConfig::builder().report_once(false).build());
+    let mut vm = Vm::new(common::cfg().report_once(false).build());
     let c = vm.register_class("T", &[]);
     let m = vm.main();
     let x = vm.alloc_rooted(m, c, 0, 0).unwrap();
@@ -122,7 +124,7 @@ fn retract_dead_withdraws_the_assertion() {
 
 #[test]
 fn halt_reaction_stops_the_vm() {
-    let mut vm = Vm::new(VmConfig::builder().reaction(Reaction::Halt).build());
+    let mut vm = Vm::new(common::cfg().reaction(Reaction::Halt).build());
     let c = vm.register_class("T", &[]);
     let m = vm.main();
     let x = vm.alloc_rooted(m, c, 0, 0).unwrap();
@@ -137,7 +139,7 @@ fn halt_reaction_stops_the_vm() {
 
 #[test]
 fn halt_only_on_actual_violation() {
-    let mut vm = Vm::new(VmConfig::builder().reaction(Reaction::Halt).build());
+    let mut vm = Vm::new(common::cfg().reaction(Reaction::Halt).build());
     let c = vm.register_class("T", &[]);
     let m = vm.main();
     let _x = vm.alloc_rooted(m, c, 0, 0).unwrap();
@@ -150,7 +152,7 @@ fn halt_only_on_actual_violation() {
 fn force_true_reclaims_at_next_gc() {
     // §2.6: the collector nulls incoming references so the object dies at
     // the *next* collection.
-    let mut vm = Vm::new(VmConfig::builder().reaction(Reaction::ForceTrue).build());
+    let mut vm = Vm::new(common::cfg().reaction(Reaction::ForceTrue).build());
     let holder = vm.register_class("Holder", &["a", "b"]);
     let t = vm.register_class("T", &[]);
     let m = vm.main();
@@ -176,7 +178,7 @@ fn force_true_reclaims_at_next_gc() {
 fn force_true_cannot_sever_roots() {
     // A rooted object has no heap parent to null; it survives, and the
     // report (once) is all the programmer gets.
-    let mut vm = Vm::new(VmConfig::builder().reaction(Reaction::ForceTrue).build());
+    let mut vm = Vm::new(common::cfg().reaction(Reaction::ForceTrue).build());
     let c = vm.register_class("T", &[]);
     let m = vm.main();
     let x = vm.alloc_rooted(m, c, 0, 0).unwrap();
@@ -191,7 +193,7 @@ fn force_true_cannot_sever_roots() {
 fn dead_bit_survives_until_reclamation() {
     // An object asserted dead that survives several GCs keeps firing its
     // counter (dead_bits_seen) even with report_once.
-    let mut vm = Vm::new(VmConfig::builder().report_once(true).build());
+    let mut vm = Vm::new(common::cfg().report_once(true).build());
     let c = vm.register_class("T", &[]);
     let m = vm.main();
     let x = vm.alloc_rooted(m, c, 0, 0).unwrap();

@@ -1,9 +1,11 @@
 //! Semantics of `assert-instances` (§2.4.1).
 
-use gc_assertions::{ViolationKind, Vm, VmConfig};
+mod common;
+
+use gc_assertions::{ViolationKind, Vm};
 
 fn vm() -> Vm {
-    Vm::new(VmConfig::builder().build())
+    Vm::new(common::cfg().build())
 }
 
 #[test]
@@ -57,7 +59,7 @@ fn zero_limit_asserts_no_instances() {
     // Once the instance dies the assertion passes again.
     let _ = x;
     vm.pop_frame(m).err(); // base frame; instead clear via set_root
-    let mut vm2 = Vm::new(VmConfig::builder().build());
+    let mut vm2 = Vm::new(common::cfg().build());
     let c2 = vm2.register_class("Forbidden", &[]);
     vm2.assert_instances(c2, 0).unwrap();
     let m2 = vm2.main();

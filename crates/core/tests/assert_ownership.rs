@@ -2,10 +2,12 @@
 //! ownee processing, disjointness warnings, dead-owner floating garbage,
 //! and the strict-owner-lifetime extension.
 
-use gc_assertions::{ObjRef, ViolationKind, Vm, VmConfig};
+mod common;
+
+use gc_assertions::{ObjRef, ViolationKind, Vm};
 
 fn vm() -> Vm {
-    Vm::new(VmConfig::builder().build())
+    Vm::new(common::cfg().build())
 }
 
 /// Container with three element slots, a cache with one slot.
@@ -229,7 +231,7 @@ fn dead_owner_is_collected_but_its_subgraph_floats_one_gc() {
 
 #[test]
 fn strict_owner_lifetime_extension_reports_survivors() {
-    let mut vm = Vm::new(VmConfig::builder().strict_owner_lifetime(true).build());
+    let mut vm = Vm::new(common::cfg().strict_owner_lifetime(true).build());
     let cls = vm.register_class("C", &["x"]);
     let keeper_cls = vm.register_class("Keeper", &["k"]);
     let m = vm.main();
@@ -336,7 +338,7 @@ fn back_edge_into_other_owner_region_does_not_false_positive() {
 #[test]
 fn large_ownee_set_binary_search_scales() {
     // ~1000 ownees in one container; checked in a single pass.
-    let mut vm = Vm::new(VmConfig::builder().heap_budget(1 << 22).build());
+    let mut vm = Vm::new(common::cfg().heap_budget(1 << 22).build());
     let arr = vm.register_class("Array", &[]);
     let elem = vm.register_class("Elem", &[]);
     let m = vm.main();

@@ -1,9 +1,11 @@
 //! Semantics of `start-region` / `assert-alldead` (§2.3.2).
 
-use gc_assertions::{ObjRef, ViolationKind, Vm, VmConfig, VmError};
+mod common;
+
+use gc_assertions::{ObjRef, ViolationKind, Vm, VmError};
 
 fn vm() -> Vm {
-    Vm::new(VmConfig::builder().build())
+    Vm::new(common::cfg().build())
 }
 
 #[test]
@@ -67,12 +69,7 @@ fn objects_dying_mid_region_pass_trivially() {
     // A GC inside the region reclaims short-lived allocations; the region
     // queue must not keep them alive (weak entries), and the stale queue
     // entries must not break assert_alldead.
-    let mut vm = Vm::new(
-        VmConfig::builder()
-            .heap_budget(64)
-            .grow_on_oom(false)
-            .build(),
-    );
+    let mut vm = Vm::new(common::cfg().heap_budget(64).grow_on_oom(false).build());
     let c = vm.register_class("T", &[]);
     let m = vm.main();
     vm.start_region(m).unwrap();

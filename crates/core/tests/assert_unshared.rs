@@ -1,9 +1,11 @@
 //! Semantics of `assert-unshared` (§2.5.1).
 
-use gc_assertions::{ObjRef, ViolationKind, Vm, VmConfig};
+mod common;
+
+use gc_assertions::{ObjRef, ViolationKind, Vm};
 
 fn vm() -> Vm {
-    Vm::new(VmConfig::builder().build())
+    Vm::new(common::cfg().build())
 }
 
 #[test]
@@ -90,7 +92,7 @@ fn sharing_repaired_before_gc_is_missed() {
 
 #[test]
 fn report_once_applies_across_gcs() {
-    let mut vm = Vm::new(VmConfig::builder().report_once(true).build());
+    let mut vm = Vm::new(common::cfg().report_once(true).build());
     let c = vm.register_class("N", &["a", "b"]);
     let m = vm.main();
     let p = vm.alloc_rooted(m, c, 2, 0).unwrap();

@@ -3,7 +3,7 @@
 //! final liveness (after a closing major collection) is identical, and
 //! the heap verifies clean throughout.
 
-use gc_assertions::{ObjRef, Vm, VmConfig};
+use gc_assertions::{CollectorKind, ObjRef, Vm, VmConfig};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -97,6 +97,8 @@ proptest! {
     ) {
         let base = VmConfig::builder().heap_budget(1_200).grow_on_oom(true).build();
         let ms = run(base.clone(), &ops);
+        let cp = run(base.clone().collector(CollectorKind::Copying), &ops);
+        prop_assert_eq!(&ms, &cp, "divergence at copying");
         for major_every in [1usize, 3, 16] {
             let gen = run(base.clone().generational(major_every), &ops);
             prop_assert_eq!(&ms, &gen, "divergence at generational({})", major_every);

@@ -1,0 +1,109 @@
+//! Cross-engine differential fuzz suite: the semispace copying collector
+//! must be *observationally identical* to the mark-sweep family.
+//!
+//! Copying changes *when* (at which address) objects live, not *whether*
+//! they are live — so on arbitrary random heap programs mixing mutation
+//! with every assertion kind, the copying backend must produce exactly the
+//! same final live set, the same violation log (kind, object, report-once
+//! — paths excluded, since a breadth-first scan discovers the same edge
+//! *set* in a different *order*), the same assertion check counters (which
+//! pins the visit multiplicities: one `visit_new` per object, one
+//! `visit_marked` per extra incoming edge), and the same per-class /
+//! per-site census tables as the sequential and parallel mark-sweep
+//! engines.
+//!
+//! The generational engine is compared on final liveness only: its minor
+//! cycles deliberately skip assertion checks (the paper's §2.2
+//! observation), so violation *timing* legitimately differs while the live
+//! set after a closing major collection may not.
+//!
+//! Failures shrink: proptest prints the minimal op sequence that still
+//! diverges.
+//!
+//! Case count: each property runs 256 random programs (64 for the
+//! ForceTrue property), overridable with `PROPTEST_CASES`.
+
+mod common;
+
+use common::{fuzz_op_strategy, run_program, FuzzOp, Outcome};
+use gc_assertions::{CollectorKind, Reaction, VmConfig};
+use proptest::prelude::*;
+
+/// The shared base configuration: small growable heap so collections are
+/// frequent, census on so the census tables are part of the comparison.
+fn base() -> VmConfig {
+    VmConfig::builder()
+        .heap_budget(1_200)
+        .grow_on_oom(true)
+        .census(true)
+        .build()
+}
+
+fn copying(ops: &[FuzzOp]) -> Outcome {
+    run_program(base().collector(CollectorKind::Copying), ops)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Copying vs sequential mark-sweep and the 2- and 4-worker parallel
+    /// mark: full-outcome equality (liveness, violations, check counters,
+    /// census).
+    #[test]
+    fn copying_agrees_with_mark_sweep_family(
+        ops in proptest::collection::vec(fuzz_op_strategy(), 1..120),
+    ) {
+        let cp = copying(&ops);
+        let ms = run_program(base(), &ops);
+        prop_assert_eq!(&ms, &cp, "copying diverged from sequential mark-sweep");
+        for workers in [2usize, 4] {
+            let par = run_program(base().gc_threads(workers), &ops);
+            prop_assert_eq!(
+                &par, &cp,
+                "copying diverged from parallel({}) mark", workers
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Copying vs generational: final-liveness equality only. Minor cycles
+    /// check no assertions, so the violation log and check counters can
+    /// legitimately differ in when (and, with report-once, whether) a
+    /// violation is recorded; the live set after the closing major
+    /// collection cannot.
+    #[test]
+    fn copying_agrees_with_generational_on_liveness(
+        ops in proptest::collection::vec(fuzz_op_strategy(), 1..120),
+    ) {
+        let cp = copying(&ops);
+        for major_every in [1usize, 3, 16] {
+            let gen = run_program(base().generational(major_every), &ops);
+            prop_assert_eq!(
+                &gen.live, &cp.live,
+                "copying diverged from generational({}) on liveness", major_every
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ForceTrue reaction (§2.6): the collector severs every encountered
+    /// incoming edge to an asserted-dead object. A breadth-first scan
+    /// encounters the same edge set as a depth-first one, so the severed
+    /// set — and therefore both the violation log and which objects die
+    /// at the *next* collection — must be identical.
+    #[test]
+    fn force_true_severs_the_same_edges(
+        ops in proptest::collection::vec(fuzz_op_strategy(), 1..120),
+    ) {
+        let cfg = base().reaction(Reaction::ForceTrue);
+        let ms = run_program(cfg.clone(), &ops);
+        let cp = run_program(cfg.collector(CollectorKind::Copying), &ops);
+        prop_assert_eq!(&ms, &cp, "ForceTrue diverged between mark-sweep and copying");
+    }
+}

@@ -2,10 +2,12 @@
 //! checks share one trace, one set of header bits, and one engine, so
 //! their combinations deserve their own coverage.
 
-use gc_assertions::{ObjRef, Reaction, ViolationKind, Vm, VmConfig};
+mod common;
+
+use gc_assertions::{ObjRef, Reaction, ViolationKind, Vm};
 
 fn vm() -> Vm {
-    Vm::new(VmConfig::builder().build())
+    Vm::new(common::cfg().build())
 }
 
 #[test]
@@ -97,7 +99,7 @@ fn dead_ownee_inside_owner_region_reports_both_facts() {
 fn force_true_on_ownee_retires_pair_next_gc() {
     // ForceTrue severs the edges to an asserted-dead ownee; once it dies,
     // its ownership pair is retired and later GCs are clean.
-    let mut vm = Vm::new(VmConfig::builder().reaction(Reaction::ForceTrue).build());
+    let mut vm = Vm::new(common::cfg().reaction(Reaction::ForceTrue).build());
     let m = vm.main();
     let c = vm.register_class("C", &["f"]);
     let owner = vm.alloc_rooted(m, c, 1, 0).unwrap();
@@ -147,7 +149,7 @@ fn report_once_is_per_object_not_per_kind() {
     // One object with both DEAD and UNSHARED asserted: the REPORTED bit
     // is shared, so only the first-detected kind is reported under
     // report-once (documented coupling).
-    let mut vm = Vm::new(VmConfig::builder().report_once(true).build());
+    let mut vm = Vm::new(common::cfg().report_once(true).build());
     let m = vm.main();
     let c = vm.register_class("C", &["a", "b"]);
     let h = vm.alloc_rooted(m, c, 2, 0).unwrap();
@@ -159,7 +161,7 @@ fn report_once_is_per_object_not_per_kind() {
     let report = vm.collect().unwrap();
     assert_eq!(report.violations.len(), 1, "{report}");
     // Without report-once, both kinds fire.
-    let mut vm2 = Vm::new(VmConfig::builder().report_once(false).build());
+    let mut vm2 = Vm::new(common::cfg().report_once(false).build());
     let m2 = vm2.main();
     let c2 = vm2.register_class("C", &["a", "b"]);
     let h2 = vm2.alloc_rooted(m2, c2, 2, 0).unwrap();
@@ -197,7 +199,7 @@ fn instance_counts_unaffected_by_other_violations() {
 fn halt_mid_collection_still_produces_full_report() {
     // Halt stops the *mutator*, not the collection: the report contains
     // every violation found in the cycle, not just the first.
-    let mut vm = Vm::new(VmConfig::builder().reaction(Reaction::Halt).build());
+    let mut vm = Vm::new(common::cfg().reaction(Reaction::Halt).build());
     let m = vm.main();
     let c = vm.register_class("T", &[]);
     for _ in 0..5 {

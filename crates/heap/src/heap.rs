@@ -1,6 +1,6 @@
 //! The non-moving free-list heap.
 
-use crate::{ClassId, Flags, HeapError, HeapStats, ObjRef, Object, TypeRegistry};
+use crate::{ClassId, Flags, HeapError, HeapStats, ObjRef, Object, SemiSpaces, TypeRegistry};
 
 #[derive(Debug)]
 enum SlotState {
@@ -53,6 +53,9 @@ pub struct Heap {
     occupied_words: usize,
     live_objects: usize,
     stats: HeapStats,
+    /// Semispace address bookkeeping, present only when a copying collector
+    /// drives this heap (see [`Heap::enable_copy_spaces`]).
+    copy_spaces: Option<Box<SemiSpaces>>,
 }
 
 impl Heap {
@@ -120,6 +123,9 @@ impl Heap {
                 ObjRef::from_parts(index, 0)
             }
         };
+        if let Some(spaces) = &mut self.copy_spaces {
+            spaces.note_alloc(r.index() as usize, words);
+        }
         self.occupied_words += words;
         self.live_objects += 1;
         self.stats.allocations += 1;
@@ -150,6 +156,9 @@ impl Heap {
             next_free: self.free_head,
         };
         self.free_head = Some(r.index());
+        if let Some(spaces) = &mut self.copy_spaces {
+            spaces.note_free(index);
+        }
         self.occupied_words -= words;
         self.live_objects -= 1;
         self.stats.frees += 1;
@@ -468,6 +477,62 @@ impl Heap {
         problems
     }
 
+    /// Enables semispace address bookkeeping for a copying collector
+    /// backend. Idempotent. Any objects already live are retrofitted with
+    /// from-space addresses in slot order; from then on [`Heap::alloc`] and
+    /// [`Heap::free`] maintain the address space automatically, and a
+    /// copying collector drives evacuation through
+    /// [`Heap::take_copy_spaces`] / [`Heap::put_copy_spaces`].
+    pub fn enable_copy_spaces(&mut self) {
+        if self.copy_spaces.is_some() {
+            return;
+        }
+        let mut spaces = Box::new(SemiSpaces::new());
+        for i in 0..self.slots.len() {
+            if let Some((_, obj)) = self.entry(i) {
+                spaces.note_alloc(i, obj.size_words());
+            }
+        }
+        self.copy_spaces = Some(spaces);
+    }
+
+    /// The semispace bookkeeping, if enabled.
+    pub fn copy_spaces(&self) -> Option<&SemiSpaces> {
+        self.copy_spaces.as_deref()
+    }
+
+    /// Detaches the semispace bookkeeping for the duration of a collection
+    /// cycle so the collector can evacuate while still borrowing the heap
+    /// mutably. While detached, [`Heap::free`] no-ops on the address space;
+    /// that is sound because [`SemiSpaces::finish_gc`] rebuilds residency
+    /// for *every* slot from the forwarding words. Pair with
+    /// [`Heap::put_copy_spaces`].
+    pub fn take_copy_spaces(&mut self) -> Option<Box<SemiSpaces>> {
+        self.copy_spaces.take()
+    }
+
+    /// Reattaches the semispace bookkeeping after a collection cycle.
+    pub fn put_copy_spaces(&mut self, spaces: Box<SemiSpaces>) {
+        debug_assert!(self.copy_spaces.is_none(), "copy spaces already attached");
+        self.copy_spaces = Some(spaces);
+    }
+
+    /// Checks the semispace address invariants against the current live
+    /// set, returning human-readable problems (empty = healthy, or when
+    /// copy spaces are not enabled).
+    pub fn verify_copy_spaces(&self) -> Vec<String> {
+        match &self.copy_spaces {
+            None => Vec::new(),
+            Some(spaces) => {
+                let resident: Vec<(usize, usize)> = self
+                    .iter()
+                    .map(|(r, o)| (r.index() as usize, o.size_words()))
+                    .collect();
+                spaces.verify(&resident)
+            }
+        }
+    }
+
     /// Iterates over all live objects.
     pub fn iter(&self) -> LiveIter<'_> {
         LiveIter {
@@ -705,6 +770,54 @@ mod tests {
             }
         }
         assert!(heap.verify().is_empty(), "{:?}", heap.verify());
+    }
+
+    #[test]
+    fn copy_spaces_track_alloc_and_free() {
+        let (mut heap, c) = heap_with_class();
+        let a = heap.alloc(c, 1, 0).unwrap();
+        heap.enable_copy_spaces();
+        let b = heap.alloc(c, 0, 3).unwrap();
+        let spaces = heap.copy_spaces().unwrap();
+        // `a` was retrofitted by enable_copy_spaces; `b` was bump-allocated
+        // after it.
+        let addr_a = spaces.address_of(a.index() as usize).unwrap();
+        let addr_b = spaces.address_of(b.index() as usize).unwrap();
+        assert!(addr_b > addr_a);
+        assert!(heap.verify_copy_spaces().is_empty());
+        heap.free(b).unwrap();
+        assert!(heap
+            .copy_spaces()
+            .unwrap()
+            .address_of(b.index() as usize)
+            .is_none());
+        assert!(heap.verify_copy_spaces().is_empty());
+    }
+
+    #[test]
+    fn enable_copy_spaces_is_idempotent() {
+        let (mut heap, c) = heap_with_class();
+        let a = heap.alloc(c, 0, 0).unwrap();
+        heap.enable_copy_spaces();
+        let before = heap.copy_spaces().unwrap().address_of(a.index() as usize);
+        heap.enable_copy_spaces();
+        let after = heap.copy_spaces().unwrap().address_of(a.index() as usize);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn take_put_copy_spaces_roundtrip() {
+        let (mut heap, c) = heap_with_class();
+        let a = heap.alloc(c, 0, 0).unwrap();
+        heap.enable_copy_spaces();
+        let mut spaces = heap.take_copy_spaces().unwrap();
+        assert!(heap.copy_spaces().is_none());
+        // Frees while detached are squared away by the next finish_gc.
+        heap.free(a).unwrap();
+        spaces.begin_gc();
+        spaces.finish_gc();
+        heap.put_copy_spaces(spaces);
+        assert!(heap.verify_copy_spaces().is_empty());
     }
 
     #[test]

@@ -51,6 +51,7 @@ mod flags;
 mod heap;
 mod object;
 mod objref;
+mod spaces;
 mod stats;
 
 pub use class::{ClassId, ClassInfo, TypeRegistry};
@@ -59,4 +60,5 @@ pub use flags::{AtomicFlags, Flags};
 pub use heap::{Heap, LiveIter};
 pub use object::{Object, HEADER_WORDS};
 pub use objref::ObjRef;
+pub use spaces::SemiSpaces;
 pub use stats::HeapStats;

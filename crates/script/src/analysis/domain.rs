@@ -130,6 +130,12 @@ pub(crate) struct AbsConfig {
     pub strict_owner_lifetime: bool,
     /// `Some(n)` = generational mode, full GC every `n` minors.
     pub generational: Option<usize>,
+    /// Semispace copying backend. Deliberately *unused* by the abstract
+    /// interpretation: copying changes when (at which address) objects
+    /// live, not whether — verdict prediction is collector-agnostic. The
+    /// field exists so the analyzer validates the key (and its conflict
+    /// with `generational`) exactly like the interpreter.
+    pub copying: bool,
     /// Global violation reaction.
     pub reaction: Reaction,
     /// Base mode: assertion hooks disabled.
@@ -145,6 +151,7 @@ impl Default for AbsConfig {
             path_tracking: true,
             strict_owner_lifetime: false,
             generational: None,
+            copying: false,
             reaction: Reaction::Log,
             base_mode: false,
         }

@@ -1046,11 +1046,38 @@ impl<'a> Analyzer<'a> {
                 .map(|v| cfg.strict_owner_lifetime = v)
                 .is_some(),
             "generational" => match value.parse() {
+                Ok(_) if cfg.copying => {
+                    self.fail(
+                        line,
+                        "bad-config",
+                        "the copying collector is full-heap; it cannot be generational".to_owned(),
+                    );
+                    return;
+                }
                 Ok(v) => {
                     cfg.generational = Some(v);
                     true
                 }
                 Err(_) => false,
+            },
+            "collector" => match value {
+                "mark-sweep" | "marksweep" => {
+                    cfg.copying = false;
+                    true
+                }
+                "copying" if cfg.generational.is_some() => {
+                    self.fail(
+                        line,
+                        "bad-config",
+                        "the copying collector is full-heap; it cannot be generational".to_owned(),
+                    );
+                    return;
+                }
+                "copying" => {
+                    cfg.copying = true;
+                    true
+                }
+                _ => false,
             },
             "reaction" => match value {
                 "log" => {

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use gc_assertions::{ClassId, GcReport, Mode, ObjRef, Reaction, Vm, VmConfig};
+use gc_assertions::{ClassId, CollectorKind, GcReport, Mode, ObjRef, Reaction, Vm, VmConfig};
 
 use crate::ast::{parse_script, Command, Target};
 use crate::error::{ScriptError, ScriptErrorKind};
@@ -144,7 +144,27 @@ impl Interpreter {
             "strict-owner-lifetime" => cfg.strict_owner_lifetime(
                 parse_bool(value).ok_or_else(|| bad("strict-owner-lifetime on|off"))?,
             ),
-            "generational" => cfg.generational(value.parse().map_err(|_| bad("generational <n>"))?),
+            "generational" => {
+                if cfg.collector == CollectorKind::Copying {
+                    return Err(bad(
+                        "the copying collector is full-heap; it cannot be generational",
+                    ));
+                }
+                cfg.generational(value.parse().map_err(|_| bad("generational <n>"))?)
+            }
+            "collector" => {
+                let kind = match value {
+                    "mark-sweep" | "marksweep" => CollectorKind::MarkSweep,
+                    "copying" if cfg.generational.is_some() => {
+                        return Err(bad(
+                            "the copying collector is full-heap; it cannot be generational",
+                        ))
+                    }
+                    "copying" => CollectorKind::Copying,
+                    _ => return Err(bad("collector mark-sweep|copying")),
+                };
+                cfg.collector(kind)
+            }
             "reaction" => cfg.reaction(match value {
                 "log" => Reaction::Log,
                 "halt" => Reaction::Halt,

@@ -46,6 +46,12 @@ const GOLDENS: &[(&str, &str)] = &[
         "check: 2 collection(s) analyzed, 0 error(s), 0 warning(s)\n",
     ),
     (
+        "copying_backend.gca",
+        "error[dead-reachable] line 24:1: session: Session (line 17) was asserted dead (line 23) but must still be reachable at this collection\n\
+         \x20 path: cache: Cache (line 14) -.hit-> session: Session (line 17)\n\
+         check: 2 collection(s) analyzed, 1 error(s), 0 warning(s)\n",
+    ),
+    (
         "force_true.gca",
         "error[dead-reachable] line 19:1: x: Obj (line 14) was asserted dead (line 17) but must still be reachable at this collection\n\
          \x20 path: h2: Holder (line 12) -.b-> x: Obj (line 14)\n\

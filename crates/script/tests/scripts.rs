@@ -87,6 +87,20 @@ fn unshared_tree_scenario() {
 }
 
 #[test]
+fn copying_backend_scenario() {
+    let out = run_file("copying_backend.gca");
+    assert_eq!(out.total_violations, 1);
+    assert_eq!(out.collections, 2);
+    // Same verdict and the same class chain as cache_leak.gca, found by
+    // evacuation instead of marking.
+    assert!(out
+        .lines
+        .iter()
+        .any(|l| l.contains("asserted dead is reachable")));
+    assert!(out.lines.iter().any(|l| l.contains("Cache")));
+}
+
+#[test]
 fn all_scripts_in_directory_run_clean() {
     // Safety net: any script added to scripts/ must at least execute.
     let dir = format!("{}/../../scripts", env!("CARGO_MANIFEST_DIR"));

@@ -4,7 +4,7 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use gc_assertions::{Mode, Vm, VmConfig, VmError};
+use gc_assertions::{CollectorKind, Mode, Vm, VmConfig, VmError};
 
 /// A workload that can be run against a fresh VM.
 ///
@@ -168,6 +168,20 @@ pub fn run_once_telemetry(
     workload: &dyn Workload,
     config: ExpConfig,
 ) -> Result<(Measurement, gc_assertions::GcTelemetry), VmError> {
+    run_once_telemetry_collector(workload, config, CollectorKind::MarkSweep)
+}
+
+/// As [`run_once_telemetry`], but on the chosen collector backend —
+/// telemetry attributes phases to whichever engine ran the cycle.
+///
+/// # Errors
+///
+/// Propagates workload VM errors.
+pub fn run_once_telemetry_collector(
+    workload: &dyn Workload,
+    config: ExpConfig,
+    collector: CollectorKind,
+) -> Result<(Measurement, gc_assertions::GcTelemetry), VmError> {
     let mode = match config {
         ExpConfig::Base => Mode::Base,
         _ => Mode::Instrumented,
@@ -177,6 +191,7 @@ pub fn run_once_telemetry(
         .grow_on_oom(true)
         .mode(mode)
         .telemetry(true)
+        .collector(collector)
         .build();
     let (measurement, vm) = run_once_vm(workload, config, vm_config)?;
     Ok((measurement, vm.telemetry()))
@@ -201,6 +216,28 @@ pub fn run_once_census(
     ),
     VmError,
 > {
+    run_once_census_collector(workload, config, CollectorKind::MarkSweep)
+}
+
+/// As [`run_once_census`], but on the chosen collector backend — the
+/// copying engine observes the census at evacuation time, so the tallies
+/// must come out identical.
+///
+/// # Errors
+///
+/// Propagates workload VM errors.
+pub fn run_once_census_collector(
+    workload: &dyn Workload,
+    config: ExpConfig,
+    collector: CollectorKind,
+) -> Result<
+    (
+        Measurement,
+        gc_assertions::GcTelemetry,
+        gc_assertions::HeapCensus,
+    ),
+    VmError,
+> {
     let mode = match config {
         ExpConfig::Base => Mode::Base,
         _ => Mode::Instrumented,
@@ -211,6 +248,7 @@ pub fn run_once_census(
         .mode(mode)
         .telemetry(true)
         .census(true)
+        .collector(collector)
         .build();
     let (measurement, vm) = run_once_vm(workload, config, vm_config)?;
     let telemetry = vm.telemetry();

@@ -497,9 +497,23 @@ pub fn suite_telemetry_jsonl(
     workloads: &[SyntheticWorkload],
     config: crate::runner::ExpConfig,
 ) -> Result<String, VmError> {
+    suite_telemetry_jsonl_collector(workloads, config, gc_assertions::CollectorKind::MarkSweep)
+}
+
+/// As [`suite_telemetry_jsonl`], but on the chosen collector backend —
+/// the copying leg of the CI artifact step runs through here.
+///
+/// # Errors
+///
+/// Propagates workload VM errors.
+pub fn suite_telemetry_jsonl_collector(
+    workloads: &[SyntheticWorkload],
+    config: crate::runner::ExpConfig,
+    collector: gc_assertions::CollectorKind,
+) -> Result<String, VmError> {
     let mut out = String::new();
     for w in workloads {
-        let (_, telemetry) = crate::runner::run_once_telemetry(w, config)?;
+        let (_, telemetry) = crate::runner::run_once_telemetry_collector(w, config, collector)?;
         out.push_str(&telemetry.to_jsonl(Some(w.name)));
     }
     Ok(out)
@@ -517,9 +531,22 @@ pub fn suite_census_jsonl(
     workloads: &[SyntheticWorkload],
     config: crate::runner::ExpConfig,
 ) -> Result<String, VmError> {
+    suite_census_jsonl_collector(workloads, config, gc_assertions::CollectorKind::MarkSweep)
+}
+
+/// As [`suite_census_jsonl`], but on the chosen collector backend.
+///
+/// # Errors
+///
+/// Propagates workload VM errors.
+pub fn suite_census_jsonl_collector(
+    workloads: &[SyntheticWorkload],
+    config: crate::runner::ExpConfig,
+    collector: gc_assertions::CollectorKind,
+) -> Result<String, VmError> {
     let mut out = String::new();
     for w in workloads {
-        let (_, telemetry, _) = crate::runner::run_once_census(w, config)?;
+        let (_, telemetry, _) = crate::runner::run_once_census_collector(w, config, collector)?;
         out.push_str(&telemetry.to_jsonl(Some(w.name)));
     }
     Ok(out)
