@@ -1,0 +1,147 @@
+//! Ablation H: the retired free-list heap substrate vs the BiBOP page
+//! substrate, on the two loops the rewrite targets.
+//!
+//! * **alloc churn** — steady-state scattered free + re-allocate rounds
+//!   over a 50k-object heap of header-only objects (no libc traffic in
+//!   the timed region, so the numbers isolate substrate bookkeeping);
+//! * **mark loop** — scan for marked objects and clear the per-GC bits:
+//!   per-slot header probing on the free list vs 64-slot bitmap words on
+//!   BiBOP.
+//!
+//! `gca_bench::ablation_bibop` produces the same comparison as a single
+//! medians row for the figures binary; this bench exposes each leg to
+//! criterion's statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gca_bench::freelist::FreeListHeap;
+use gca_heap::{Flags, Heap};
+use std::time::{Duration, Instant};
+
+const OBJECTS: usize = 50_000;
+const ROUNDS: usize = 4;
+
+/// Deterministic LCG step; both substrates see the identical free
+/// schedule and therefore identical fragmentation.
+fn churn_step(x: &mut u64) -> u64 {
+    *x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *x >> 33
+}
+
+fn bench_alloc_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_bibop_alloc");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+
+    group.bench_function("freelist/churn", |b| {
+        b.iter_custom(|iters| {
+            let mut h = FreeListHeap::new();
+            let mut rng = 0x9e3779b97f4a7c15u64;
+            let mut live: Vec<(u32, u32)> = (0..OBJECTS).map(|_| h.alloc(0, 0)).collect();
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let t = Instant::now();
+                for _ in 0..ROUNDS {
+                    let mut kept = Vec::with_capacity(live.len());
+                    for idx in live {
+                        if churn_step(&mut rng) & 1 == 0 {
+                            kept.push(idx);
+                        } else {
+                            h.free(idx);
+                        }
+                    }
+                    let freed = OBJECTS - kept.len();
+                    for _ in 0..freed {
+                        kept.push(h.alloc(0, 0));
+                    }
+                    live = kept;
+                }
+                total += t.elapsed();
+            }
+            total
+        })
+    });
+
+    group.bench_function("bibop/churn", |b| {
+        b.iter_custom(|iters| {
+            let mut heap = Heap::new();
+            let class = heap.register_class("Churn", &[]);
+            let mut rng = 0x9e3779b97f4a7c15u64;
+            let mut live: Vec<_> = (0..OBJECTS)
+                .map(|_| heap.alloc(class, 0, 0).expect("alloc"))
+                .collect();
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let t = Instant::now();
+                for _ in 0..ROUNDS {
+                    let mut kept = Vec::with_capacity(live.len());
+                    for r in live {
+                        if churn_step(&mut rng) & 1 == 0 {
+                            kept.push(r);
+                        } else {
+                            heap.free(r).expect("free");
+                        }
+                    }
+                    let freed = OBJECTS - kept.len();
+                    for _ in 0..freed {
+                        kept.push(heap.alloc(class, 0, 0).expect("alloc"));
+                    }
+                    live = kept;
+                }
+                total += t.elapsed();
+            }
+            total
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_mark_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_bibop_mark");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+
+    group.bench_function("freelist/mark_loop", |b| {
+        let mut h = FreeListHeap::new();
+        let live: Vec<(u32, u32)> = (0..OBJECTS).map(|_| h.alloc(0, 0)).collect();
+        for (i, &idx) in live.iter().enumerate() {
+            if i % 3 == 0 {
+                h.set_flag(idx, Flags::MARK);
+            }
+        }
+        b.iter(|| {
+            let marked = h.mark_scan();
+            criterion::black_box(marked)
+        });
+    });
+
+    group.bench_function("bibop/mark_loop", |b| {
+        let mut heap = Heap::new();
+        let class = heap.register_class("Churn", &[]);
+        let live: Vec<_> = (0..OBJECTS)
+            .map(|_| heap.alloc(class, 0, 0).expect("alloc"))
+            .collect();
+        for (i, &r) in live.iter().enumerate() {
+            if i % 3 == 0 {
+                heap.set_flag(r, Flags::MARK).expect("live");
+            }
+        }
+        b.iter(|| {
+            let mut marked = 0u32;
+            for pid in 0..heap.page_count() {
+                let meta = heap.page_meta(pid);
+                marked += (meta.live_mask() & meta.flag_word(Flags::MARK)).count_ones();
+            }
+            criterion::black_box(marked)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_alloc_churn, bench_mark_loop);
+criterion_main!(benches);

@@ -1,0 +1,243 @@
+//! A faithful replica of the pre-BiBOP free-list heap's allocation hot
+//! path, kept as the measurement baseline for the `ablation_bibop`
+//! comparison now that the real substrate has been replaced.
+//!
+//! The original `gca-heap` stored one `Slot` per object in a single
+//! `Vec`, where each slot was either `Occupied` (an object with an inline
+//! [`AtomicFlags`] header) or `Free`, threading the next-free index
+//! through the slot's own memory. That gives the two costs the ablation
+//! isolates:
+//!
+//! * **allocation reuse is a dependent-load chain** — popping the free
+//!   list reads the freed slot's memory to find the next head, so a
+//!   fragmented heap pays one potential cache miss per allocation;
+//! * **flag scans are per-object** — any mark-loop style pass visits
+//!   every slot, branches on the occupancy enum, and reads a per-object
+//!   atomic, where the BiBOP layout reads one 64-slot bitmap word.
+
+use gca_heap::{AtomicFlags, Flags};
+
+/// One object as the old heap stored it: header flags plus the reference
+/// and data payloads (the same two `Vec` allocations the real `Object`
+/// makes, so both sides of the ablation pay identical payload costs).
+struct FreeListObject {
+    flags: AtomicFlags,
+    refs: Vec<u64>,
+    data: Vec<u64>,
+}
+
+/// Stored inline in the slot, exactly like the original
+/// `SlotState::Occupied(Object)` — each slot is several words wide, so
+/// walking the slot vector strides across much more memory than the
+/// BiBOP side's bitmap words.
+enum SlotState {
+    Free { next_free: Option<u32> },
+    Occupied(FreeListObject),
+}
+
+struct Slot {
+    gen: u32,
+    state: SlotState,
+}
+
+/// The baseline heap: a slot vector with an intrusive free list, exactly
+/// the shape `gca_heap::Heap` had before the BiBOP rewrite.
+#[derive(Default)]
+pub struct FreeListHeap {
+    slots: Vec<Slot>,
+    free_head: Option<u32>,
+    live_objects: usize,
+    occupied_words: usize,
+    allocations: u64,
+    allocated_words: u64,
+    peak_occupied_words: usize,
+    frees: u64,
+    freed_words: u64,
+}
+
+impl FreeListHeap {
+    /// Creates an empty baseline heap.
+    pub fn new() -> FreeListHeap {
+        FreeListHeap::default()
+    }
+
+    /// Allocates an object, reusing the free-list head if one exists —
+    /// the old heap's exact reuse discipline. Returns the `(index,
+    /// generation)` handle the old heap minted (the generation read is
+    /// part of its hot path).
+    pub fn alloc(&mut self, nrefs: usize, data_words: usize) -> (u32, u32) {
+        let object = FreeListObject {
+            flags: AtomicFlags::empty(),
+            refs: vec![0; nrefs],
+            data: vec![0; data_words],
+        };
+        let words = nrefs + data_words;
+        let handle = match self.free_head {
+            Some(index) => {
+                let slot = &mut self.slots[index as usize];
+                let next = match slot.state {
+                    SlotState::Free { next_free } => next_free,
+                    SlotState::Occupied(_) => unreachable!("free list points at occupied slot"),
+                };
+                self.free_head = next;
+                slot.state = SlotState::Occupied(object);
+                (index, slot.gen)
+            }
+            None => {
+                let index = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    gen: 0,
+                    state: SlotState::Occupied(object),
+                });
+                (index, 0)
+            }
+        };
+        // The old heap's per-alloc bookkeeping, replicated so the
+        // comparison charges both substrates their real hot path.
+        self.live_objects += 1;
+        self.occupied_words += words;
+        self.allocations += 1;
+        self.allocated_words += words as u64;
+        if self.occupied_words > self.peak_occupied_words {
+            self.peak_occupied_words = self.occupied_words;
+        }
+        handle
+    }
+
+    /// Frees a slot: validate the handle (the old `Heap::free` ran
+    /// `check()` first — generation compare plus occupancy test), bump the
+    /// generation, push onto the free list, update the free-side stats.
+    pub fn free(&mut self, handle: (u32, u32)) -> usize {
+        let (index, generation) = handle;
+        let slot = self
+            .slots
+            .get_mut(index as usize)
+            .expect("free: invalid handle");
+        assert_eq!(slot.gen, generation, "free: stale handle");
+        let words = match &slot.state {
+            SlotState::Occupied(obj) => obj.refs.len() + obj.data.len(),
+            SlotState::Free { .. } => unreachable!("double free"),
+        };
+        slot.gen = slot.gen.wrapping_add(1);
+        slot.state = SlotState::Free {
+            next_free: self.free_head,
+        };
+        self.free_head = Some(index);
+        self.live_objects -= 1;
+        self.occupied_words -= words;
+        self.frees += 1;
+        self.freed_words += words as u64;
+        words
+    }
+
+    /// Sets header flag bits on a live slot.
+    pub fn set_flag(&mut self, handle: (u32, u32), bits: Flags) {
+        if let SlotState::Occupied(obj) = &self.slots[handle.0 as usize].state {
+            obj.flags.fetch_set(bits);
+        }
+    }
+
+    /// The mark-loop the old collector ran: visit every slot, branch on
+    /// occupancy, read the per-object atomic header. Returns the number
+    /// of marked objects so the whole scan stays observable.
+    pub fn mark_scan(&self) -> usize {
+        let mut marked = 0;
+        for slot in &self.slots {
+            if let SlotState::Occupied(obj) = &slot.state {
+                if obj.flags.contains(Flags::MARK) {
+                    marked += 1;
+                }
+            }
+        }
+        marked
+    }
+
+    /// Clears the per-GC flag bits on every live slot (the old sweep's
+    /// per-object epilogue).
+    pub fn clear_marks(&mut self) {
+        for slot in &mut self.slots {
+            if let SlotState::Occupied(obj) = &slot.state {
+                obj.flags.fetch_clear(Flags::PER_GC);
+            }
+        }
+    }
+
+    /// Live objects currently in the heap.
+    pub fn live_objects(&self) -> usize {
+        self.live_objects
+    }
+
+    /// Total payload words across live objects (the old heap's
+    /// `occupied_words` recount).
+    pub fn live_words(&self) -> usize {
+        self.slots
+            .iter()
+            .filter_map(|s| match &s.state {
+                SlotState::Occupied(obj) => Some(obj.refs.len() + obj.data.len()),
+                SlotState::Free { .. } => None,
+            })
+            .sum()
+    }
+
+    /// Total slots ever created (the vector never shrinks).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Lifetime counters `(allocations, allocated_words,
+    /// peak_occupied_words, frees, freed_words)`, mirroring the old
+    /// `HeapStats`.
+    pub fn stats(&self) -> (u64, u64, usize, u64, u64) {
+        (
+            self.allocations,
+            self.allocated_words,
+            self.peak_occupied_words,
+            self.frees,
+            self.freed_words,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_reuses_freed_slots_lifo() {
+        let mut h = FreeListHeap::new();
+        let a = h.alloc(2, 2);
+        let b = h.alloc(2, 2);
+        h.free(a);
+        h.free(b);
+        // LIFO: b's slot comes back first, one generation older.
+        assert_eq!(h.alloc(2, 2), (b.0, 1));
+        assert_eq!(h.alloc(2, 2), (a.0, 1));
+        assert_eq!(h.slot_count(), 2);
+        assert_eq!(h.live_objects(), 2);
+        assert_eq!(h.live_words(), 8);
+        assert_eq!(h.stats(), (4, 16, 8, 2, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale handle")]
+    fn stale_handle_is_rejected() {
+        let mut h = FreeListHeap::new();
+        let a = h.alloc(1, 1);
+        h.free(a);
+        let _ = h.alloc(1, 1);
+        h.free(a); // generation moved on
+    }
+
+    #[test]
+    fn mark_scan_counts_marked_only() {
+        let mut h = FreeListHeap::new();
+        let a = h.alloc(1, 3);
+        let _b = h.alloc(1, 3);
+        let c = h.alloc(1, 3);
+        h.free(c);
+        h.set_flag(a, Flags::MARK);
+        assert_eq!(h.mark_scan(), 1);
+        h.clear_marks();
+        assert_eq!(h.mark_scan(), 0);
+    }
+}

@@ -25,6 +25,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod freelist;
+
 use std::time::{Duration, Instant};
 
 use gc_assertions::{CollectorKind, ViolationKind, Vm, VmConfig};
@@ -537,6 +539,210 @@ pub fn ablation_copying(reps: usize, scale: f64, take: usize) -> Vec<CopyingAbla
         });
     }
     rows
+}
+
+/// Result of the heap-substrate ablation (Ablation H): the retired
+/// free-list layout vs the BiBOP page substrate on identical
+/// allocation-churn and mark-loop workloads.
+#[derive(Debug, Clone)]
+pub struct BibopAblationRow {
+    /// Objects live at steady state.
+    pub objects: usize,
+    /// Churn rounds (free half, re-allocate half) per measurement.
+    pub rounds: usize,
+    /// Alloc/free churn time on the free-list replica.
+    pub freelist_alloc: Duration,
+    /// Alloc/free churn time on the BiBOP heap.
+    pub bibop_alloc: Duration,
+    /// Mark-loop (scan + per-GC clear) time on the free-list replica.
+    pub freelist_mark: Duration,
+    /// Mark-loop (scan + per-GC clear) time on the BiBOP heap.
+    pub bibop_mark: Duration,
+}
+
+impl BibopAblationRow {
+    /// BiBOP allocation-time delta vs the free list, in percent
+    /// (negative = BiBOP is faster).
+    pub fn alloc_delta(&self) -> f64 {
+        overhead_percent(self.freelist_alloc, self.bibop_alloc)
+    }
+
+    /// BiBOP mark-loop delta vs the free list, in percent.
+    pub fn mark_delta(&self) -> f64 {
+        overhead_percent(self.freelist_mark, self.bibop_mark)
+    }
+}
+
+/// Deterministic LCG step for the churn's scattered free pattern — the
+/// same schedule drives both substrates, so they see identical
+/// fragmentation.
+fn churn_step(x: &mut u64) -> u64 {
+    *x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *x >> 33
+}
+
+/// Ablation H: the free-list substrate this repository used before the
+/// BiBOP rewrite vs the current page-based heap, on the two loops the
+/// redesign targets.
+///
+/// * **Allocation churn** — build `objects` live objects, run two
+///   untimed warm-up rounds, then time `rounds` steady-state rounds that
+///   free every other object (LCG-scattered) and re-allocate the same
+///   count. The free-list replica pays a dependent load per reuse (the
+///   next-free index lives in the freed slot's memory) plus a validated
+///   free; BiBOP pops a dense per-size-class stack and bumps within a
+///   page.
+/// * **Mark loop** — mark a third of the live objects, then scan the
+///   whole heap for marked objects and clear the per-GC bits, the way a
+///   sweep epilogue or stale-mark check does. The free-list replica
+///   visits every slot and reads a per-object atomic; BiBOP reads one
+///   bitmap word per 64 slots.
+///
+/// Objects are header-only (no reference or data payload), so neither
+/// leg touches the system allocator inside the timed region: payload
+/// boxes cost the same on both substrates by construction (the `Object`
+/// representation is shared), and with real payloads that identical libc
+/// traffic is ~70% of the runtime and its arena-state noise swamps the
+/// substrate signal. The deltas here isolate exactly the bookkeeping the
+/// BiBOP rewrite replaced. Medians of `reps` runs, leg order alternated
+/// per rep so process-allocator drift cancels.
+pub fn ablation_bibop(reps: usize, objects: usize, rounds: usize) -> BibopAblationRow {
+    use freelist::FreeListHeap;
+    use gca_heap::{Flags, Heap};
+
+    // Both legs share one schedule: build `objects`, run two untimed
+    // warm-up churn rounds (the build and first-touch transients are
+    // start-up costs, not allocation throughput), then time `rounds`
+    // steady-state rounds of scattered frees and re-allocation.
+    const WARM_ROUNDS: usize = 2;
+
+    fn freelist_leg(objects: usize, rounds: usize) -> (Duration, Duration) {
+        let mut h = FreeListHeap::new();
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        let mut live: Vec<(u32, u32)> = (0..objects).map(|_| h.alloc(0, 0)).collect();
+        let mut alloc = Duration::ZERO;
+        for round in 0..WARM_ROUNDS + rounds {
+            let t = Instant::now();
+            let mut kept = Vec::with_capacity(live.len());
+            for idx in live {
+                if churn_step(&mut rng) & 1 == 0 {
+                    kept.push(idx);
+                } else {
+                    h.free(idx);
+                }
+            }
+            let freed = objects - kept.len();
+            for _ in 0..freed {
+                kept.push(h.alloc(0, 0));
+            }
+            if round >= WARM_ROUNDS {
+                alloc += t.elapsed();
+            }
+            live = kept;
+        }
+        for (i, &idx) in live.iter().enumerate() {
+            if i % 3 == 0 {
+                h.set_flag(idx, Flags::MARK);
+            }
+        }
+        let t = Instant::now();
+        let marked = h.mark_scan();
+        h.clear_marks();
+        let mark = t.elapsed();
+        std::hint::black_box(marked);
+        (alloc, mark)
+    }
+
+    fn bibop_leg(objects: usize, rounds: usize) -> (Duration, Duration) {
+        let mut heap = Heap::new();
+        let c = heap.register_class("Churn", &[]);
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        let mut live: Vec<_> = (0..objects)
+            .map(|_| heap.alloc(c, 0, 0).expect("alloc"))
+            .collect();
+        let mut alloc = Duration::ZERO;
+        for round in 0..WARM_ROUNDS + rounds {
+            let t = Instant::now();
+            let mut kept = Vec::with_capacity(live.len());
+            for r in live {
+                if churn_step(&mut rng) & 1 == 0 {
+                    kept.push(r);
+                } else {
+                    heap.free(r).expect("free");
+                }
+            }
+            let freed = objects - kept.len();
+            for _ in 0..freed {
+                kept.push(heap.alloc(c, 0, 0).expect("alloc"));
+            }
+            if round >= WARM_ROUNDS {
+                alloc += t.elapsed();
+            }
+            live = kept;
+        }
+        let alloc_total = alloc;
+        for (i, &r) in live.iter().enumerate() {
+            if i % 3 == 0 {
+                heap.set_flag(r, Flags::MARK).expect("live");
+            }
+        }
+        let t = Instant::now();
+        let mut marked = 0u32;
+        for pid in 0..heap.page_count() {
+            let meta = heap.page_meta(pid);
+            marked += (meta.live_mask() & meta.flag_word(Flags::MARK)).count_ones();
+        }
+        for pid in 0..heap.page_count() {
+            heap.clear_flag_word(pid, Flags::PER_GC, u64::MAX);
+        }
+        let mark = t.elapsed();
+        std::hint::black_box(marked);
+        (alloc_total, mark)
+    }
+
+    let mut fl_alloc = Vec::new();
+    let mut bp_alloc = Vec::new();
+    let mut fl_mark = Vec::new();
+    let mut bp_mark = Vec::new();
+
+    // One unmeasured warm-up leg each, then alternate the leg order per
+    // rep: the process allocator's free lists drift as the run ages, and
+    // whichever leg runs second inherits the first leg's bin state — the
+    // alternation cancels that bias in the medians.
+    let _ = freelist_leg(objects, rounds);
+    let _ = bibop_leg(objects, rounds);
+    for rep in 0..reps.max(1) {
+        if rep % 2 == 0 {
+            let (a, m) = freelist_leg(objects, rounds);
+            fl_alloc.push(a);
+            fl_mark.push(m);
+            let (a, m) = bibop_leg(objects, rounds);
+            bp_alloc.push(a);
+            bp_mark.push(m);
+        } else {
+            let (a, m) = bibop_leg(objects, rounds);
+            bp_alloc.push(a);
+            bp_mark.push(m);
+            let (a, m) = freelist_leg(objects, rounds);
+            fl_alloc.push(a);
+            fl_mark.push(m);
+        }
+    }
+
+    let median = |s: &mut Vec<Duration>| {
+        s.sort();
+        s[s.len() / 2]
+    };
+    BibopAblationRow {
+        objects,
+        rounds,
+        freelist_alloc: median(&mut fl_alloc),
+        bibop_alloc: median(&mut bp_alloc),
+        freelist_mark: median(&mut fl_mark),
+        bibop_mark: median(&mut bp_mark),
+    }
 }
 
 /// Result of the eager-vs-GC-assertions comparison (Ablation B).

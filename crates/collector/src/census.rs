@@ -23,9 +23,10 @@ use gca_heap::{ClassId, Flags, Heap, ObjRef};
 /// mark phase never re-claims a pre-marked object), so callers skip the
 /// [`CensusSink::verify_live_totals`] cross-check for such cycles.
 pub fn heap_has_stale_marks(heap: &Heap) -> bool {
-    (0..heap.slot_count())
-        .filter_map(|i| heap.entry(i))
-        .any(|(_, o)| o.has_flags(Flags::MARK))
+    (0..heap.page_count()).any(|pid| {
+        let meta = heap.page_meta(pid);
+        meta.live_mask() & meta.flag_word(Flags::MARK) != 0
+    })
 }
 
 /// Per-class running totals: `(objects, words)`.
@@ -107,13 +108,11 @@ impl CensusSink {
         }
         let mut walked: HashMap<ClassId, ClassTally> = HashMap::new();
         let mut walked_words = 0u64;
-        for i in 0..heap.slot_count() {
-            if let Some((_, o)) = heap.entry(i) {
-                let tally = walked.entry(o.class()).or_insert((0, 0));
-                tally.0 += 1;
-                tally.1 += o.size_words() as u64;
-                walked_words += o.size_words() as u64;
-            }
+        for (_, o) in heap.iter() {
+            let tally = walked.entry(o.class()).or_insert((0, 0));
+            tally.0 += 1;
+            tally.1 += o.size_words() as u64;
+            walked_words += o.size_words() as u64;
         }
         debug_assert_eq!(
             self.total_objects() as usize,
@@ -140,7 +139,7 @@ impl CensusSink {
         );
         for &slot in self.marked_slots() {
             debug_assert!(
-                heap.entry(slot as usize).is_some(),
+                heap.object_at(slot).is_some(),
                 "census slot {slot} no longer resolves after the sweep"
             );
         }

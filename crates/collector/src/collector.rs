@@ -170,18 +170,26 @@ impl Collector {
 pub fn sweep_heap<H: TraceHooks>(heap: &mut Heap, hooks: &mut H) -> Result<(u64, u64), HeapError> {
     let mut objects = 0u64;
     let mut words = 0u64;
-    for i in 0..heap.slot_count() {
-        let (r, marked) = match heap.entry(i) {
-            Some((r, o)) => (r, o.has_flags(Flags::MARK)),
-            None => continue,
-        };
-        if marked {
-            heap.clear_flag(r, Flags::PER_GC)?;
-        } else {
+    for pid in 0..heap.page_count() {
+        // One bitmap word per page decides the page's fate: dead slots are
+        // live-but-unmarked; survivors get their PER_GC planes cleared in
+        // a single word-wise operation.
+        let meta = heap.page_meta(pid);
+        let live = meta.live_mask();
+        let survivors = live & meta.flag_word(Flags::MARK);
+        let mut dead = live & !survivors;
+        while dead != 0 {
+            let slot = dead.trailing_zeros() as usize;
+            dead &= dead - 1;
+            let r = heap
+                .page_meta(pid)
+                .handle(slot)
+                .expect("live bitmap slot must hold an object");
             hooks.swept(heap, r);
             words += heap.free(r)? as u64;
             objects += 1;
         }
+        heap.clear_flag_word(pid, Flags::PER_GC, survivors);
     }
     Ok((objects, words))
 }
@@ -387,7 +395,7 @@ mod tests {
         assert_eq!(sink.total_objects(), 2);
         // Every censused slot survived the sweep and still resolves.
         for &slot in sink.marked_slots() {
-            assert!(heap.entry(slot as usize).is_some());
+            assert!(heap.object_at(slot).is_some());
         }
         // The sink was taken back out: a plain collect is unaffected.
         let cycle2 = gc.collect(&mut heap, &[root], &mut NoHooks).unwrap();

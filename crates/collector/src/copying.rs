@@ -37,7 +37,7 @@
 use std::collections::VecDeque;
 use std::time::Instant;
 
-use gca_heap::{Flags, Heap, HeapError, ObjRef, SemiSpaces};
+use gca_heap::{Flags, Heap, HeapError, ObjRef};
 
 use crate::census::CensusSink;
 use crate::collector::sweep_heap;
@@ -56,10 +56,10 @@ use crate::tracer::{Provenance, TraceCtx, Tracer};
 ///
 /// ```
 /// use gca_collector::{CopyingCollector, NoHooks};
-/// use gca_heap::Heap;
+/// use gca_heap::{Heap, SpaceKind};
 ///
 /// # fn main() -> Result<(), gca_heap::HeapError> {
-/// let mut heap = Heap::new();
+/// let mut heap = Heap::with_space(SpaceKind::Semispace);
 /// let c = heap.register_class("Node", &["next"]);
 /// let a = heap.alloc(c, 1, 0)?;
 /// let b = heap.alloc(c, 1, 0)?;
@@ -70,7 +70,7 @@ use crate::tracer::{Provenance, TraceCtx, Tracer};
 /// let cycle = gc.collect(&mut heap, &[a], &mut NoHooks)?;
 /// assert_eq!(cycle.objects_swept, 1); // only `dead` was unreachable
 /// assert!(heap.is_valid(b), "handles are relocation-stable");
-/// assert_eq!(heap.copy_spaces().unwrap().flips(), 1);
+/// assert_eq!(heap.space().flips(), 1);
 /// # Ok(())
 /// # }
 /// ```
@@ -127,7 +127,7 @@ impl CopyingCollector {
         self.tracer.set_path_mode(path_mode);
         self.tracer.begin_cycle();
         if path_mode {
-            self.prov.begin_cycle(heap.slot_count());
+            self.prov.begin_cycle(heap.index_bound());
         }
 
         let t = Instant::now();
@@ -140,12 +140,10 @@ impl CopyingCollector {
         // it back afterwards so `collect_census`'s take sees it.
         let mut census = self.tracer.take_census();
 
-        heap.enable_copy_spaces();
-        let mut spaces = heap.take_copy_spaces().expect("copy spaces enabled above");
-        spaces.begin_gc();
+        heap.evac_begin();
 
         let t = Instant::now();
-        let scan = self.evacuate(heap, roots, hooks, &mut spaces, &mut census, path_mode);
+        let scan = self.evacuate(heap, roots, hooks, &mut census, path_mode);
         if let Some(sink) = census {
             self.tracer.set_census(sink);
         }
@@ -154,8 +152,7 @@ impl CopyingCollector {
             Err(e) => {
                 // Abandon the half-done evacuation so the address space
                 // stays consistent for whoever inspects the wreckage.
-                spaces.finish_gc();
-                heap.put_copy_spaces(spaces);
+                heap.evac_finish();
                 return Err(e);
             }
         };
@@ -171,12 +168,11 @@ impl CopyingCollector {
         let (objects_swept, words_swept) = sweep_heap(heap, hooks)?;
         let sweep_time = t.elapsed();
 
-        spaces.finish_gc();
-        heap.put_copy_spaces(spaces);
+        heap.evac_finish();
         debug_assert!(
-            heap.verify_copy_spaces().is_empty(),
-            "post-flip address space invariants: {:?}",
-            heap.verify_copy_spaces()
+            heap.verify().is_empty(),
+            "post-flip heap invariants: {:?}",
+            heap.verify()
         );
 
         let cycle = CycleStats {
@@ -236,20 +232,25 @@ impl CopyingCollector {
         heap: &mut Heap,
         roots: &[ObjRef],
         hooks: &mut H,
-        spaces: &mut SemiSpaces,
         census: &mut Option<CensusSink>,
         path_mode: bool,
     ) -> Result<(u64, u64), HeapError> {
         // Objects the pre-root phase already marked are forwarded up
-        // front, in slot order, *without* rescanning their fields — the
+        // front, in index order, *without* rescanning their fields — the
         // exact analogue of the sequential drain not descending into
         // already-marked objects. (With ownee truncation this also keeps
         // the ownership phase's bounded-collection property.)
-        for i in 0..heap.slot_count() {
-            if let Some((_, o)) = heap.entry(i) {
-                if o.has_flags(Flags::MARK) {
-                    spaces.forward(i, o.size_words());
-                }
+        for pid in 0..heap.page_count() {
+            let meta = heap.page_meta(pid);
+            let mut premarked = meta.live_mask() & meta.flag_word(Flags::MARK);
+            while premarked != 0 {
+                let slot = premarked.trailing_zeros() as usize;
+                premarked &= premarked - 1;
+                let r = heap
+                    .page_meta(pid)
+                    .handle(slot)
+                    .expect("live bitmap slot must hold an object");
+                heap.evac_forward(r)?;
             }
         }
 
@@ -262,7 +263,6 @@ impl CopyingCollector {
                 self.process_edge(
                     heap,
                     hooks,
-                    spaces,
                     census,
                     path_mode,
                     ObjRef::NULL,
@@ -289,7 +289,6 @@ impl CopyingCollector {
                 self.process_edge(
                     heap,
                     hooks,
-                    spaces,
                     census,
                     path_mode,
                     obj,
@@ -312,7 +311,6 @@ impl CopyingCollector {
         &mut self,
         heap: &mut Heap,
         hooks: &mut H,
-        spaces: &mut SemiSpaces,
         census: &mut Option<CensusSink>,
         path_mode: bool,
         parent: ObjRef,
@@ -329,8 +327,7 @@ impl CopyingCollector {
         }
         heap.set_flag(child, Flags::MARK)?;
         *marked += 1;
-        let words = heap.get(child)?.size_words();
-        spaces.forward(child.index() as usize, words);
+        heap.evac_forward(child)?;
         if path_mode && parent.is_some() {
             if let Some(f) = field {
                 self.prov.record(child, parent, f);
@@ -356,10 +353,15 @@ mod tests {
     use super::*;
     use crate::hooks::NoHooks;
     use crate::path::HeapPath;
+    use gca_heap::SpaceKind;
+
+    fn semispace_heap() -> Heap {
+        Heap::with_space(SpaceKind::Semispace)
+    }
 
     #[test]
     fn unreachable_objects_are_reclaimed() {
-        let mut heap = Heap::new();
+        let mut heap = semispace_heap();
         let c = heap.register_class("T", &["f"]);
         let root = heap.alloc(c, 1, 0).unwrap();
         let kept = heap.alloc(c, 1, 0).unwrap();
@@ -375,43 +377,36 @@ mod tests {
         assert!(heap.is_valid(root) && heap.is_valid(kept));
         assert!(!heap.is_valid(dead1) && !heap.is_valid(dead2));
         assert!(heap.verify().is_empty());
-        assert!(heap.verify_copy_spaces().is_empty());
     }
 
     #[test]
     fn survivors_are_relocated_and_compacted() {
-        let mut heap = Heap::new();
+        let mut heap = semispace_heap();
         let c = heap.register_class("T", &["f"]);
         let root = heap.alloc(c, 1, 2).unwrap();
         let _hole = heap.alloc(c, 1, 50).unwrap(); // dies, leaves a hole
         let kept = heap.alloc(c, 1, 2).unwrap();
         heap.set_ref_field(root, 0, kept).unwrap();
-        heap.enable_copy_spaces();
-        let before_root = heap
-            .copy_spaces()
-            .unwrap()
-            .address_of(root.index() as usize)
-            .unwrap();
+        let before_root = heap.space().address_of(root.index()).unwrap();
 
         let mut gc = CopyingCollector::new();
         gc.collect(&mut heap, &[root], &mut NoHooks).unwrap();
 
-        let spaces = heap.copy_spaces().unwrap();
-        let after_root = spaces.address_of(root.index() as usize).unwrap();
-        let after_kept = spaces.address_of(kept.index() as usize).unwrap();
+        let after_root = heap.space().address_of(root.index()).unwrap();
+        let after_kept = heap.space().address_of(kept.index()).unwrap();
         assert_ne!(before_root, after_root, "root moved to the other space");
         // BFS order: root first, then kept, contiguous (hole squeezed out).
         let root_words = heap.get(root).unwrap().size_words();
         assert_eq!(after_kept, after_root + root_words as u64);
         assert_eq!(
-            spaces.from_space_used(),
+            heap.space().from_space_used(),
             (root_words + heap.get(kept).unwrap().size_words()) as u64
         );
     }
 
     #[test]
     fn handles_cycles_and_self_loops() {
-        let mut heap = Heap::new();
+        let mut heap = semispace_heap();
         let c = heap.register_class("T", &["f", "g"]);
         let a = heap.alloc(c, 2, 0).unwrap();
         let b = heap.alloc(c, 2, 0).unwrap();
@@ -450,7 +445,7 @@ mod tests {
     #[test]
     fn visit_multiplicities_match_mark_sweep() {
         // diamond: root -> {l, r} -> shared ; one extra edge to shared.
-        let mut heap = Heap::new();
+        let mut heap = semispace_heap();
         let c = heap.register_class("T", &["a", "b"]);
         let root = heap.alloc(c, 2, 0).unwrap();
         let l = heap.alloc(c, 2, 0).unwrap();
@@ -474,7 +469,7 @@ mod tests {
     #[test]
     fn paths_follow_first_arrival_edges() {
         // root -> left, root -> right -> leaf (as in the tracer test).
-        let mut heap = Heap::new();
+        let mut heap = semispace_heap();
         let c = heap.register_class("Node", &["l", "r"]);
         let root = heap.alloc(c, 2, 0).unwrap();
         let left = heap.alloc(c, 2, 0).unwrap();
@@ -498,7 +493,7 @@ mod tests {
 
     #[test]
     fn sticky_flags_survive_and_per_gc_flags_clear() {
-        let mut heap = Heap::new();
+        let mut heap = semispace_heap();
         let c = heap.register_class("T", &[]);
         let root = heap.alloc(c, 0, 0).unwrap();
         heap.set_flag(root, Flags::DEAD | Flags::UNSHARED | Flags::OWNEE)
@@ -536,7 +531,7 @@ mod tests {
         // unrooted -> child: the pre-phase marks `child`; it must survive
         // the evacuation (floating garbage, §2.5.2 trade-off) even though
         // no root reaches it, and be reclaimed next cycle.
-        let mut heap = Heap::new();
+        let mut heap = semispace_heap();
         let c = heap.register_class("T", &["f"]);
         let unrooted = heap.alloc(c, 1, 0).unwrap();
         let child = heap.alloc(c, 1, 0).unwrap();
@@ -548,10 +543,7 @@ mod tests {
         assert!(heap.is_valid(child), "pre-phase mark kept it resident");
         assert_eq!(cycle.pre_root_edges, 1);
         assert!(
-            heap.copy_spaces()
-                .unwrap()
-                .address_of(child.index() as usize)
-                .is_some(),
+            heap.space().address_of(child.index()).is_some(),
             "floating garbage was evacuated"
         );
         gc.collect(&mut heap, &[], &mut NoHooks).unwrap();
@@ -560,7 +552,7 @@ mod tests {
 
     #[test]
     fn census_cycle_tallies_evacuated_objects() {
-        let mut heap = Heap::new();
+        let mut heap = semispace_heap();
         let c = heap.register_class("T", &["f"]);
         let root = heap.alloc(c, 1, 0).unwrap();
         let kept = heap.alloc(c, 1, 0).unwrap();
@@ -573,7 +565,7 @@ mod tests {
         assert_eq!(cycle.objects_marked, 2);
         assert_eq!(sink.total_objects(), 2);
         for &slot in sink.marked_slots() {
-            assert!(heap.entry(slot as usize).is_some());
+            assert!(heap.object_at(slot).is_some());
         }
         // Sink was taken back out; a plain collect is unaffected.
         let cycle2 = gc.collect(&mut heap, &[root], &mut NoHooks).unwrap();
@@ -582,7 +574,7 @@ mod tests {
 
     #[test]
     fn census_counts_pre_root_phase_marks() {
-        let mut heap = Heap::new();
+        let mut heap = semispace_heap();
         let c = heap.register_class("T", &["f"]);
         let unrooted = heap.alloc(c, 1, 0).unwrap();
         let child = heap.alloc(c, 1, 0).unwrap();
@@ -597,7 +589,7 @@ mod tests {
 
     #[test]
     fn empty_heap_collects_cleanly() {
-        let mut heap = Heap::new();
+        let mut heap = semispace_heap();
         let mut gc = CopyingCollector::new();
         let cycle = gc.collect(&mut heap, &[], &mut NoHooks).unwrap();
         assert_eq!(cycle.objects_marked, 0);
@@ -609,18 +601,18 @@ mod tests {
 
     #[test]
     fn allocation_between_cycles_lands_in_new_from_space() {
-        let mut heap = Heap::new();
+        let mut heap = semispace_heap();
         let c = heap.register_class("T", &[]);
         let root = heap.alloc(c, 0, 0).unwrap();
         let mut gc = CopyingCollector::new();
         gc.collect(&mut heap, &[root], &mut NoHooks).unwrap();
+        let root_addr = heap.space().address_of(root.index()).unwrap();
         let fresh = heap.alloc(c, 0, 0).unwrap();
-        let spaces = heap.copy_spaces().unwrap();
-        let a = spaces.address_of(fresh.index() as usize).unwrap();
-        assert!(a >= spaces.from_base());
-        assert!(heap.verify_copy_spaces().is_empty());
+        let fresh_addr = heap.space().address_of(fresh.index()).unwrap();
+        assert!(fresh_addr > root_addr, "bump-allocated after the survivors");
+        assert!(heap.verify().is_empty());
         gc.collect(&mut heap, &[root, fresh], &mut NoHooks).unwrap();
         assert!(heap.is_valid(fresh));
-        assert!(heap.verify_copy_spaces().is_empty());
+        assert!(heap.verify().is_empty());
     }
 }

@@ -57,11 +57,7 @@ struct MinorHooks {
 
 impl TraceHooks for MinorHooks {
     fn visit_new(&mut self, heap: &mut Heap, obj: ObjRef, _ctx: &TraceCtx<'_>) -> Visit {
-        if heap
-            .get(obj)
-            .map(|o| o.has_flags(Flags::OLD))
-            .unwrap_or(false)
-        {
+        if heap.has_flag(obj, Flags::OLD).unwrap_or(false) {
             // Old objects are immortal for a minor collection; any young
             // objects they reference are covered by the remembered set.
             self.touched_old.push(obj);

@@ -653,19 +653,22 @@ mod tests {
         tracer
             .drain(&mut seq_heap, &mut crate::hooks::NoHooks)
             .unwrap();
-        let seq_marked: Vec<bool> = (0..seq_heap.slot_count())
+        let seq_marked: Vec<bool> = (0..seq_heap.index_bound() as u32)
             .map(|i| {
                 seq_heap
-                    .entry(i)
-                    .is_some_and(|(_, o)| o.has_flags(Flags::MARK))
+                    .object_at(i)
+                    .is_some_and(|(r, _)| seq_heap.has_flag(r, Flags::MARK).unwrap())
             })
             .collect();
 
         let mut visitors = vec![NoParVisitor; 4];
         let seeds = roots.iter().map(|&r| WorkItem::seed(r, CTX_NONE)).collect();
         let stats = mark_parallel(&heap, seeds, &mut visitors).unwrap();
-        let par_marked: Vec<bool> = (0..heap.slot_count())
-            .map(|i| heap.entry(i).is_some_and(|(_, o)| o.has_flags(Flags::MARK)))
+        let par_marked: Vec<bool> = (0..heap.index_bound() as u32)
+            .map(|i| {
+                heap.object_at(i)
+                    .is_some_and(|(r, _)| heap.has_flag(r, Flags::MARK).unwrap())
+            })
             .collect();
 
         assert_eq!(seq_marked, par_marked);

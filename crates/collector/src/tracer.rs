@@ -630,7 +630,7 @@ mod tests {
     fn provenance_keeps_first_arrival_edge() {
         let (heap, objs) = linked_heap();
         let mut prov = Provenance::new();
-        prov.begin_cycle(heap.slot_count());
+        prov.begin_cycle(heap.index_bound());
         prov.record(objs[1], objs[0], 0);
         prov.record(objs[1], objs[2], 0); // second arrival: ignored
         assert_eq!(prov.parent_of(objs[1]), Some((objs[0], 0)));
@@ -642,7 +642,7 @@ mod tests {
         // a -> b -> c as in the DFS test, but recorded breadth-first.
         let (heap, objs) = linked_heap();
         let mut prov = Provenance::new();
-        prov.begin_cycle(heap.slot_count());
+        prov.begin_cycle(heap.index_bound());
         prov.record(objs[1], objs[0], 0);
         prov.record(objs[2], objs[1], 0);
 

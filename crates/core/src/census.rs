@@ -118,7 +118,7 @@ impl CensusState {
 
         let mut per_site: HashMap<u32, (u64, u64)> = HashMap::new();
         for &slot in sink.marked_slots() {
-            if let Some((_, o)) = heap.entry(slot as usize) {
+            if let Some((_, o)) = heap.object_at(slot) {
                 let site = self
                     .site_of
                     .get(slot as usize)

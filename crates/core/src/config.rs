@@ -59,6 +59,30 @@ pub enum CollectorKind {
     Copying,
 }
 
+/// How a generational *minor* collection discovers old→young references.
+///
+/// Both strategies produce bit-identical collection results — the same
+/// survivors, promotions and assertion verdicts — because any extra old
+/// objects a card scan visits only have their old (skipped) or
+/// already-young-listed children examined. Only scan-effort statistics
+/// differ. The knob exists so the equivalence is testable (and so the
+/// ablation benches can price each barrier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MinorStrategy {
+    /// Harvest the heap's card table: every reference-field store dirties
+    /// the *source* page's card (an unconditional one-bit write), and the
+    /// minor scans the old objects resident on dirty pages. Cheapest
+    /// barrier; the scan may visit old objects that never acquired a
+    /// young reference.
+    #[default]
+    Cards,
+    /// Maintain an exact remembered-set side list: the write barrier
+    /// tests the source and target generations and logs old objects that
+    /// acquire young references (deduplicated by the `REMEMBERED` header
+    /// bit). Costlier barrier; minimal scan.
+    RememberedSet,
+}
+
 /// The classes of assertion a [`Reaction`] override can target — §2.6
 /// suggests "different actions based on the class of assertion that is
 /// violated" as future work; this implements it.
@@ -145,6 +169,10 @@ pub struct VmConfig {
     /// Which collector algorithm backs major collections (see
     /// [`CollectorKind`]). Defaults to the paper's MarkSweep.
     pub collector: CollectorKind,
+    /// How minor collections discover old→young references (see
+    /// [`MinorStrategy`]); irrelevant unless [`VmConfig::generational`]
+    /// is set. Defaults to card marking.
+    pub minor_strategy: MinorStrategy,
 }
 
 impl Default for VmConfig {
@@ -163,6 +191,7 @@ impl Default for VmConfig {
             telemetry: false,
             census: false,
             collector: CollectorKind::MarkSweep,
+            minor_strategy: MinorStrategy::Cards,
         }
     }
 }
@@ -257,6 +286,13 @@ impl VmConfig {
     #[must_use]
     pub fn collector(mut self, kind: CollectorKind) -> VmConfig {
         self.collector = kind;
+        self
+    }
+
+    /// Selects how minor collections discover old→young references.
+    #[must_use]
+    pub fn minor_strategy(mut self, strategy: MinorStrategy) -> VmConfig {
+        self.minor_strategy = strategy;
         self
     }
 
@@ -396,6 +432,13 @@ impl VmConfigBuilder {
     /// [`CollectorKind`]).
     pub fn collector(mut self, kind: CollectorKind) -> VmConfigBuilder {
         self.config.collector = kind;
+        self
+    }
+
+    /// Selects how minor collections discover old→young references (see
+    /// [`MinorStrategy`]).
+    pub fn minor_strategy(mut self, strategy: MinorStrategy) -> VmConfigBuilder {
+        self.config.minor_strategy = strategy;
         self
     }
 

@@ -237,7 +237,7 @@ impl TraceHooks for AssertionEngine {
         // reachable through its owner.
         let pending = std::mem::take(&mut self.pending_unowned);
         for (obj, path) in pending {
-            let flags = heap.get(obj)?.flags();
+            let flags = heap.flags_of(obj)?;
             if flags.contains(Flags::OWNED) {
                 continue;
             }
@@ -266,10 +266,8 @@ impl TraceHooks for AssertionEngine {
     }
 
     fn visit_new(&mut self, heap: &mut Heap, obj: ObjRef, ctx: &TraceCtx<'_>) -> Visit {
-        let (flags, class) = {
-            let o = heap.get(obj).expect("traced object is live");
-            (o.flags(), o.class())
-        };
+        let flags = heap.flags_of(obj).expect("traced object is live");
+        let class = heap.get(obj).expect("traced object is live").class();
 
         // assert-instances: count every traced object of a tracked class
         // ("we check the RVMClass of every object during tracing").
@@ -368,7 +366,7 @@ impl TraceHooks for AssertionEngine {
     }
 
     fn visit_marked(&mut self, heap: &mut Heap, obj: ObjRef, ctx: &TraceCtx<'_>) {
-        let flags = heap.get(obj).expect("traced object is live").flags();
+        let flags = heap.flags_of(obj).expect("traced object is live");
         // During the ownership phase, an already-marked ownee of the
         // *current* owner may have been marked through another region's
         // back edge before its owner's scan reached it — credit it now and
@@ -410,8 +408,7 @@ impl TraceHooks for AssertionEngine {
     fn swept(&mut self, heap: &Heap, obj: ObjRef) {
         // A flag test per reclaimed object — the header is already being
         // touched by the free.
-        if let Ok(o) = heap.get(obj) {
-            let flags = o.flags();
+        if let Ok(flags) = heap.flags_of(obj) {
             if flags.contains(Flags::OWNEE) {
                 self.swept_ownees.push(obj);
             }

@@ -87,7 +87,9 @@ mod vm;
 
 pub use assertions::{Assertions, RegionGuard};
 pub use census::AllocSite;
-pub use config::{AssertionClass, CollectorKind, Mode, Reaction, VmConfig, VmConfigBuilder};
+pub use config::{
+    AssertionClass, CollectorKind, MinorStrategy, Mode, Reaction, VmConfig, VmConfigBuilder,
+};
 pub use engine::AssertionEngine;
 pub use error::VmError;
 pub use mutator::MutatorId;

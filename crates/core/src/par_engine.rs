@@ -637,8 +637,8 @@ fn violation_path(
     }
     let ownership = &engine.ownership;
     reconstruct_path(heap, &starts, obj, |h, o| {
-        let flags = match h.get(o) {
-            Ok(object) => object.flags(),
+        let flags = match h.flags_of(o) {
+            Ok(flags) => flags,
             Err(_) => return false,
         };
         if flags.contains(Flags::OWNER) {

@@ -163,14 +163,8 @@ fn run_traversal<H: TraceHooks>(
 
 /// Clears the marks left behind by a probe traversal.
 fn clear_probe_marks(heap: &mut Heap) -> Result<(), VmError> {
-    for i in 0..heap.slot_count() {
-        let (r, marked) = match heap.entry(i) {
-            Some((r, o)) => (r, o.flags().intersects(Flags::PER_GC)),
-            None => continue,
-        };
-        if marked {
-            heap.clear_flag(r, Flags::PER_GC)?;
-        }
+    for pid in 0..heap.page_count() {
+        heap.clear_flag_word(pid, Flags::PER_GC, u64::MAX);
     }
     Ok(())
 }

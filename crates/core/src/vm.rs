@@ -1,10 +1,12 @@
 //! The VM façade: heap + collector + assertion engine + mutators.
 
 use gca_collector::{CensusSink, Collector, CopyingCollector, GcStats, NoHooks};
-use gca_heap::{ClassId, Flags, Heap, HeapError, HeapStats, ObjRef, TypeRegistry, HEADER_WORDS};
+use gca_heap::{
+    ClassId, Flags, Heap, HeapError, HeapStats, ObjRef, SpaceKind, TypeRegistry, HEADER_WORDS,
+};
 
 use crate::census::{AllocSite, CensusState};
-use crate::config::{CollectorKind, Mode, Reaction, VmConfig};
+use crate::config::{CollectorKind, MinorStrategy, Mode, Reaction, VmConfig};
 use crate::engine::AssertionEngine;
 use crate::error::VmError;
 use crate::mutator::{Mutator, MutatorId, Region};
@@ -157,10 +159,13 @@ impl Vm {
             );
             Box::new(CopyingCollector::new())
         });
-        let mut heap = Heap::new();
-        if copying.is_some() {
-            heap.enable_copy_spaces();
-        }
+        // The collector kind alone determines the space layout: the
+        // copying backend needs semispace address bookkeeping, everything
+        // else runs on the non-moving paged space.
+        let heap = Heap::with_space(match config.collector {
+            CollectorKind::Copying => SpaceKind::Semispace,
+            _ => SpaceKind::Paged,
+        });
         Vm {
             heap,
             collector: Collector::new(),
@@ -281,11 +286,16 @@ impl Vm {
     ) -> Result<ObjRef, VmError> {
         self.check_running()?;
         let old = self.heap.set_ref_field(obj, field, value)?;
-        // Generational write barrier: record old objects that acquire
-        // references to young objects (deduplicated by the REMEMBERED
-        // header bit).
-        if self.config.generational.is_some() && value.is_some() {
-            let src = self.heap.get(obj)?.flags();
+        // Generational write barrier. Card-marking minors need no work
+        // here: `Heap::set_ref_field` already dirtied the source page's
+        // card. The remembered-set strategy additionally records old
+        // objects that acquire references to young objects (deduplicated
+        // by the REMEMBERED header bit).
+        if self.config.generational.is_some()
+            && self.config.minor_strategy == MinorStrategy::RememberedSet
+            && value.is_some()
+        {
+            let src = self.heap.flags_of(obj)?;
             if src.contains(Flags::OLD) && !src.contains(Flags::REMEMBERED) {
                 let dst_old = self.heap.has_flag(value, Flags::OLD)?;
                 if !dst_old {
@@ -564,6 +574,9 @@ impl Vm {
             }
             self.remembered.clear();
             self.minors_since_major = 0;
+            // Every old->young edge the cards were tracking is now
+            // old->old (all survivors promoted); start a clean epoch.
+            self.heap.clear_cards();
         }
 
         // Purge region queues of entries that died during the collection
@@ -696,7 +709,15 @@ impl Vm {
         self.check_running()?;
         let roots = self.gather_roots();
         let young = std::mem::take(&mut self.young);
-        let remembered = std::mem::take(&mut self.remembered);
+        // Sources of hidden old->young edges, by strategy. The card
+        // harvest is a superset of the remembered set (every dirty page's
+        // live old objects, in index order) but the extra entries only
+        // reference old children, which the minor trace skips — so both
+        // strategies reclaim and promote exactly the same objects.
+        let remembered = match self.config.minor_strategy {
+            MinorStrategy::Cards => self.heap.remembered_from_cards(),
+            MinorStrategy::RememberedSet => std::mem::take(&mut self.remembered),
+        };
         let mut tracer = gca_collector::Tracer::new();
         let stats = match self.config.mode {
             Mode::Base => gca_collector::collect_minor(
@@ -725,6 +746,9 @@ impl Vm {
         self.minors_since_major += 1;
         self.minor_collections += 1;
         self.minor_gc_time += stats.total;
+        // The minor promoted every young survivor, so each tracked
+        // old->young edge is now old->old; the dirty cards are spent.
+        self.heap.clear_cards();
         // Minor census: the still-valid entries of the taken young list
         // are exactly the nursery survivors the sweep promoted. Minors
         // are recorded beside majors but never feed the drift windows

@@ -42,11 +42,10 @@ fn build_graph(vm: &mut Vm) -> (ObjRef, ObjRef, ObjRef, ObjRef) {
 /// addresses moved) — so the tests below cannot silently pass against a
 /// non-moving heap.
 fn collect_and_flip(vm: &mut Vm) {
-    let before = vm.heap().copy_spaces().expect("copying heap").flips();
+    let before = vm.heap().space().flips();
     vm.collect().unwrap();
-    let spaces = vm.heap().copy_spaces().expect("copying heap");
     assert_eq!(
-        spaces.flips(),
+        vm.heap().space().flips(),
         before + 1,
         "collection must flip semispaces"
     );

@@ -110,6 +110,13 @@ impl Flags {
     pub fn bits(self) -> u16 {
         self.0
     }
+
+    /// Rebuilds flags from a raw bit pattern (the page table composes
+    /// per-object flags from its side bit-planes).
+    #[inline]
+    pub(crate) const fn from_bits(bits: u16) -> Flags {
+        Flags(bits)
+    }
 }
 
 impl BitOr for Flags {

@@ -1,29 +1,30 @@
-//! The non-moving free-list heap.
+//! The heap: BiBOP page-table storage behind a pluggable space backend.
 
-use crate::{ClassId, Flags, HeapError, HeapStats, ObjRef, Object, SemiSpaces, TypeRegistry};
+use crate::pages::{PageMeta, PageTable, RefFault, PAGE_SHIFT, PAGE_SLOTS};
+use crate::{
+    CardTable, ClassId, Flags, HeapError, HeapSpace, HeapStats, ObjRef, Object, SemiSpaces,
+    SpaceKind, TypeRegistry,
+};
 
-#[derive(Debug)]
-enum SlotState {
-    Free { next_free: Option<u32> },
-    Occupied(Object),
-}
-
-#[derive(Debug)]
-struct Slot {
-    gen: u32,
-    state: SlotState,
-}
-
-/// A non-moving heap of [`Object`]s with a free list of reclaimed slots.
+/// A heap of [`Object`]s stored in Big-Bag-of-Pages size-class pages.
 ///
 /// This is the substrate the collector and assertion engine operate on —
-/// the analogue of Jikes RVM's MarkSweep space. The heap itself is
-/// unbounded; the VM layer imposes the budget and triggers collections
-/// (§3.1.1 runs every benchmark at a fixed heap of 2× its minimum).
+/// the analogue of Jikes RVM's MarkSweep space. Object storage always
+/// lives in the [`PageTable`]: indices are stable, per-slot generations
+/// are bumped on [`Heap::free`] so stale [`ObjRef`]s are detected, and
+/// all per-object flags live in per-page side bit-planes rather than
+/// object headers, so the mark and sweep loops work on whole 64-slot
+/// bitmap words.
 ///
-/// Slot indices are stable (non-moving collector), and every slot carries a
-/// generation that is bumped on [`Heap::free`], so stale [`ObjRef`]s are
-/// detected rather than resolving to a recycled object.
+/// *Where objects live in (simulated) memory* is the space backend's
+/// business: [`Heap::with_space`] selects [`SpaceKind::Paged`]
+/// (non-moving page-geometry addresses) or [`SpaceKind::Semispace`]
+/// (Cheney from/to bookkeeping for the copying collector). Engines
+/// observe the backend through the [`HeapSpace`] facade ([`Heap::space`]).
+///
+/// The heap itself is unbounded; the VM layer imposes the budget and
+/// triggers collections (§3.1.1 runs every benchmark at a fixed heap of
+/// 2× its minimum).
 ///
 /// # Example
 ///
@@ -47,21 +48,32 @@ struct Slot {
 /// ```
 #[derive(Debug, Default)]
 pub struct Heap {
-    slots: Vec<Slot>,
-    free_head: Option<u32>,
+    table: PageTable,
+    /// Semispace address bookkeeping, present only for
+    /// [`SpaceKind::Semispace`] heaps.
+    semi: Option<Box<SemiSpaces>>,
+    cards: CardTable,
     registry: TypeRegistry,
-    occupied_words: usize,
-    live_objects: usize,
     stats: HeapStats,
-    /// Semispace address bookkeeping, present only when a copying collector
-    /// drives this heap (see [`Heap::enable_copy_spaces`]).
-    copy_spaces: Option<Box<SemiSpaces>>,
 }
 
 impl Heap {
-    /// Creates an empty heap.
+    /// Creates an empty heap on the default [`SpaceKind::Paged`] backend.
     pub fn new() -> Heap {
         Heap::default()
+    }
+
+    /// Creates an empty heap on the given space backend. The backend is
+    /// fixed for the heap's lifetime; the VM derives it from the
+    /// collector kind, so `CollectorKind` alone determines the layout.
+    pub fn with_space(kind: SpaceKind) -> Heap {
+        Heap {
+            semi: match kind {
+                SpaceKind::Paged => None,
+                SpaceKind::Semispace => Some(Box::new(SemiSpaces::new())),
+            },
+            ..Heap::default()
+        }
     }
 
     /// Registers a class in the heap's type registry (idempotent by name).
@@ -86,7 +98,8 @@ impl Heap {
 
     /// Allocates an object of `class` with `nrefs` reference fields and a
     /// `data_words`-word payload. All reference fields start null, all
-    /// flags clear.
+    /// flags clear. The object is binned into the smallest size class
+    /// that fits it (or a dedicated large-object page).
     ///
     /// The heap never refuses an allocation — budget enforcement is the VM
     /// layer's job, so the collector can always allocate its own metadata.
@@ -103,64 +116,41 @@ impl Heap {
     ) -> Result<ObjRef, HeapError> {
         let object = Object::new(class, nrefs, data_words);
         let words = object.size_words();
-        let r = match self.free_head {
-            Some(index) => {
-                let slot = &mut self.slots[index as usize];
-                let next = match slot.state {
-                    SlotState::Free { next_free } => next_free,
-                    SlotState::Occupied(_) => unreachable!("free list points at occupied slot"),
-                };
-                self.free_head = next;
-                slot.state = SlotState::Occupied(object);
-                ObjRef::from_parts(index, slot.gen)
-            }
-            None => {
-                let index = self.slots.len() as u32;
-                self.slots.push(Slot {
-                    gen: 0,
-                    state: SlotState::Occupied(object),
-                });
-                ObjRef::from_parts(index, 0)
-            }
-        };
-        if let Some(spaces) = &mut self.copy_spaces {
-            spaces.note_alloc(r.index() as usize, words);
+        let r = self.table.alloc(object);
+        if self.table.page_count() > self.cards.page_span() {
+            self.cards.ensure_pages(self.table.page_count());
         }
-        self.occupied_words += words;
-        self.live_objects += 1;
+        if let Some(semi) = &mut self.semi {
+            semi.note_alloc(r.index() as usize, words);
+        }
         self.stats.allocations += 1;
         self.stats.allocated_words += words as u64;
-        if self.occupied_words > self.stats.peak_occupied_words {
-            self.stats.peak_occupied_words = self.occupied_words;
+        if self.table.occupied_words() > self.stats.peak_occupied_words {
+            self.stats.peak_occupied_words = self.table.occupied_words();
         }
         Ok(r)
     }
 
-    /// Frees the object behind `r`, returning its size in words. The slot's
-    /// generation is bumped so `r` (and any copy of it) becomes stale.
+    /// Frees the object behind `r`, returning its size in words. The
+    /// slot's generation is bumped so `r` (and any copy of it) becomes
+    /// stale, and the slot's flag-plane bits are cleared.
     ///
     /// # Errors
     ///
     /// [`HeapError::NullRef`], [`HeapError::InvalidRef`] or
     /// [`HeapError::StaleRef`] if `r` does not name a live object.
     pub fn free(&mut self, r: ObjRef) -> Result<usize, HeapError> {
-        self.check(r)?;
-        let index = r.index() as usize;
-        let slot = &mut self.slots[index];
-        let words = match &slot.state {
-            SlotState::Occupied(obj) => obj.size_words(),
-            SlotState::Free { .. } => unreachable!("check() verified occupancy"),
-        };
-        slot.gen = slot.gen.wrapping_add(1);
-        slot.state = SlotState::Free {
-            next_free: self.free_head,
-        };
-        self.free_head = Some(r.index());
-        if let Some(spaces) = &mut self.copy_spaces {
-            spaces.note_free(index);
+        if r.is_null() {
+            return Err(HeapError::NullRef);
         }
-        self.occupied_words -= words;
-        self.live_objects -= 1;
+        let words = match self.table.free_checked(r.index(), r.generation()) {
+            Ok(words) => words,
+            Err(RefFault::Invalid) => return Err(HeapError::InvalidRef(r)),
+            Err(RefFault::Stale) => return Err(HeapError::StaleRef(r)),
+        };
+        if let Some(semi) = &mut self.semi {
+            semi.note_free(r.index() as usize);
+        }
         self.stats.frees += 1;
         self.stats.freed_words += words as u64;
         Ok(words)
@@ -171,12 +161,10 @@ impl Heap {
         if r.is_null() {
             return Err(HeapError::NullRef);
         }
-        match self.slots.get(r.index() as usize) {
+        match self.table.gen_and_live(r.index()) {
             None => Err(HeapError::InvalidRef(r)),
-            Some(slot) => match slot.state {
-                SlotState::Occupied(_) if slot.gen == r.generation() => Ok(()),
-                _ => Err(HeapError::StaleRef(r)),
-            },
+            Some((gen, live)) if gen == r.generation() && live => Ok(()),
+            Some(_) => Err(HeapError::StaleRef(r)),
         }
     }
 
@@ -194,10 +182,7 @@ impl Heap {
     #[inline]
     pub fn get(&self, r: ObjRef) -> Result<&Object, HeapError> {
         self.check(r)?;
-        match &self.slots[r.index() as usize].state {
-            SlotState::Occupied(obj) => Ok(obj),
-            SlotState::Free { .. } => unreachable!(),
-        }
+        Ok(self.table.object(r.index()))
     }
 
     /// Mutably borrows the object behind `r`.
@@ -208,10 +193,7 @@ impl Heap {
     #[inline]
     pub fn get_mut(&mut self, r: ObjRef) -> Result<&mut Object, HeapError> {
         self.check(r)?;
-        match &mut self.slots[r.index() as usize].state {
-            SlotState::Occupied(obj) => Ok(obj),
-            SlotState::Free { .. } => unreachable!(),
-        }
+        Ok(self.table.object_mut(r.index()))
     }
 
     /// The class of the object behind `r`.
@@ -243,6 +225,9 @@ impl Heap {
     /// Writes reference field `field` of `obj`, returning the old value.
     /// `value` may be [`ObjRef::NULL`]; a non-null `value` must be live.
     ///
+    /// Dirties the card of `obj`'s page — the generational write barrier
+    /// is this single unconditional bit set.
+    ///
     /// # Errors
     ///
     /// Reference-validity errors for `obj` or a non-null `value`, or
@@ -266,7 +251,9 @@ impl Heap {
                 field,
                 len,
             })?;
-        Ok(std::mem::replace(slot, value))
+        let old = std::mem::replace(slot, value);
+        self.cards.dirty(obj.index() >> PAGE_SHIFT);
+        Ok(old)
     }
 
     /// Reads data word `index` of `obj`.
@@ -314,26 +301,30 @@ impl Heap {
         }
     }
 
-    /// Sets flag bits on the object behind `r`. Takes `&self`: flags are
-    /// atomic so tracer workers can mark through a shared heap borrow.
+    /// Sets flag bits on the object behind `r`. Takes `&self`: flags live
+    /// in atomic side bit-planes so tracer workers can mark through a
+    /// shared heap borrow.
     ///
     /// # Errors
     ///
     /// Reference-validity errors.
     pub fn set_flag(&self, r: ObjRef, bits: Flags) -> Result<(), HeapError> {
-        self.get(r)?.set_flags(bits);
+        self.check(r)?;
+        self.table.set_flags(r.index(), bits);
         Ok(())
     }
 
     /// Atomically sets flag bits on the object behind `r`, returning the
-    /// flags held *before* the update (see
-    /// [`Object::fetch_set_flags`][crate::Object::fetch_set_flags]).
+    /// flags held *before* the update: during a parallel trace, the
+    /// worker that sees the claimed bit clear in the return value is the
+    /// object's unique visitor.
     ///
     /// # Errors
     ///
     /// Reference-validity errors.
     pub fn fetch_set_flag(&self, r: ObjRef, bits: Flags) -> Result<Flags, HeapError> {
-        Ok(self.get(r)?.fetch_set_flags(bits))
+        self.check(r)?;
+        Ok(self.table.fetch_set_flags(r.index(), bits))
     }
 
     /// Clears flag bits on the object behind `r`.
@@ -342,7 +333,8 @@ impl Heap {
     ///
     /// Reference-validity errors.
     pub fn clear_flag(&self, r: ObjRef, bits: Flags) -> Result<(), HeapError> {
-        self.get(r)?.clear_flags(bits);
+        self.check(r)?;
+        self.table.clear_flags(r.index(), bits);
         Ok(())
     }
 
@@ -352,40 +344,176 @@ impl Heap {
     ///
     /// Reference-validity errors.
     pub fn has_flag(&self, r: ObjRef, bits: Flags) -> Result<bool, HeapError> {
-        Ok(self.get(r)?.has_flags(bits))
+        self.check(r)?;
+        Ok(self.table.has_flags(r.index(), bits))
+    }
+
+    /// The full flag word of the object behind `r`, composed from the
+    /// side bit-planes.
+    ///
+    /// # Errors
+    ///
+    /// Reference-validity errors.
+    pub fn flags_of(&self, r: ObjRef) -> Result<Flags, HeapError> {
+        self.check(r)?;
+        Ok(self.table.flags_of(r.index()))
     }
 
     /// Number of live objects.
     #[inline]
     pub fn live_objects(&self) -> usize {
-        self.live_objects
+        self.table.live_objects()
     }
 
-    /// Words currently occupied by live objects.
+    /// Words currently occupied by live objects (exact
+    /// [`Object::size_words`] footprints, not size-class-rounded).
     #[inline]
     pub fn occupied_words(&self) -> usize {
-        self.occupied_words
+        self.table.occupied_words()
     }
 
-    /// Number of slots (live + free); the collector's sweep iterates slot
-    /// indices `0..slot_count()`.
+    /// Exclusive upper bound of the object-index space
+    /// (`page_count() * PAGE_SLOTS`); every live index is below it.
     #[inline]
-    pub fn slot_count(&self) -> usize {
-        self.slots.len()
+    pub fn index_bound(&self) -> usize {
+        self.table.index_bound()
     }
 
-    /// The live object in slot `index`, if any, as a `(handle, object)`
-    /// pair. Used by the sweep phase and the heuristic detectors to walk
-    /// the whole heap by index.
+    /// Number of pages in the table.
     #[inline]
-    pub fn entry(&self, index: usize) -> Option<(ObjRef, &Object)> {
-        match self.slots.get(index) {
-            Some(slot) => match &slot.state {
-                SlotState::Occupied(obj) => Some((ObjRef::from_parts(index as u32, slot.gen), obj)),
-                SlotState::Free { .. } => None,
-            },
-            None => None,
+    pub fn page_count(&self) -> usize {
+        self.table.page_count()
+    }
+
+    /// Metadata view of page `pid` (`0..page_count()`): liveness bitmap,
+    /// flag-plane words, size class — the facade the collectors' word-wise
+    /// mark/sweep loops consume.
+    #[inline]
+    pub fn page_meta(&self, pid: usize) -> PageMeta<'_> {
+        PageMeta::new(self.table.page(pid), pid as u32)
+    }
+
+    /// The live object at `index`, if any, as a `(handle, object)` pair.
+    /// O(1): the index decomposes into `(page, slot)` by shift/mask.
+    #[inline]
+    pub fn object_at(&self, index: u32) -> Option<(ObjRef, &Object)> {
+        if self.table.is_live(index) {
+            let gen = self.table.gen_at(index)?;
+            Some((ObjRef::from_parts(index, gen), self.table.object(index)))
+        } else {
+            None
         }
+    }
+
+    /// Word-wise flag clear: removes the `mask` slots' bits of page `pid`
+    /// from every plane in `bits`. One atomic op per plane — the sweep
+    /// uses this to clear `PER_GC` bits on a whole page of survivors.
+    #[inline]
+    pub fn clear_flag_word(&self, pid: usize, bits: Flags, mask: u64) {
+        self.table.clear_flag_word(pid, bits, mask);
+    }
+
+    /// The dirty-card table (one card per page; see
+    /// [`Heap::set_ref_field`]).
+    pub fn cards(&self) -> &CardTable {
+        &self.cards
+    }
+
+    /// Wipes every card clean (the generational collector calls this at
+    /// the end of each collection).
+    pub fn clear_cards(&mut self) {
+        self.cards.clear();
+    }
+
+    /// Harvests the card table into a remembered set: every **old** live
+    /// object resident on a dirty page, in ascending index order. Young
+    /// residents are excluded — they are reached through the young list,
+    /// and treating them as roots would change the minor's live set.
+    pub fn remembered_from_cards(&self) -> Vec<ObjRef> {
+        let mut out = Vec::new();
+        for pid in self.cards.dirty_pages() {
+            if pid as usize >= self.table.page_count() {
+                break;
+            }
+            let meta = self.page_meta(pid as usize);
+            let mut olds = meta.live_mask() & meta.flag_word(Flags::OLD);
+            while olds != 0 {
+                let slot = olds.trailing_zeros() as usize;
+                olds &= olds - 1;
+                if let Some(r) = meta.handle(slot) {
+                    out.push(r);
+                }
+            }
+        }
+        out
+    }
+
+    /// Which space backend this heap was built with.
+    pub fn space_kind(&self) -> SpaceKind {
+        match self.semi {
+            Some(_) => SpaceKind::Semispace,
+            None => SpaceKind::Paged,
+        }
+    }
+
+    /// The active space backend, as the read-only [`HeapSpace`] facade.
+    pub fn space(&self) -> &dyn HeapSpace {
+        match &self.semi {
+            Some(semi) => semi.as_ref(),
+            None => &self.table,
+        }
+    }
+
+    /// Starts an evacuation cycle on the semispace backend.
+    ///
+    /// # Panics
+    ///
+    /// If the heap is not on [`SpaceKind::Semispace`], or a cycle is
+    /// already in progress — both are collector-contract violations.
+    pub fn evac_begin(&mut self) {
+        self.semi_mut().begin_gc();
+    }
+
+    /// Evacuates the live object behind `r` to the to-space, installing
+    /// and returning its forwarding address. Each object may be forwarded
+    /// at most once per cycle.
+    ///
+    /// # Errors
+    ///
+    /// Reference-validity errors.
+    ///
+    /// # Panics
+    ///
+    /// If the heap is not on [`SpaceKind::Semispace`], no cycle is in
+    /// progress, or `r` was already forwarded this cycle.
+    pub fn evac_forward(&mut self, r: ObjRef) -> Result<u64, HeapError> {
+        self.check(r)?;
+        let words = self.table.object(r.index()).size_words();
+        Ok(self.semi_mut().forward(r.index() as usize, words))
+    }
+
+    /// The forwarding address installed for `r` this cycle, if any.
+    pub fn evac_forwarding_of(&self, r: ObjRef) -> Option<u64> {
+        self.semi
+            .as_ref()
+            .and_then(|s| s.forwarding_of(r.index() as usize))
+    }
+
+    /// Completes the evacuation cycle: survivors take their forwarding
+    /// addresses and the semispaces flip.
+    ///
+    /// # Panics
+    ///
+    /// If the heap is not on [`SpaceKind::Semispace`] or no cycle is in
+    /// progress.
+    pub fn evac_finish(&mut self) {
+        self.semi_mut().finish_gc();
+    }
+
+    fn semi_mut(&mut self) -> &mut SemiSpaces {
+        self.semi
+            .as_deref_mut()
+            .expect("evacuation requires the semispace backend (SpaceKind::Semispace)")
     }
 
     /// Cumulative statistics.
@@ -394,180 +522,93 @@ impl Heap {
     }
 
     /// Verifies the heap's internal invariants, returning a list of
-    /// human-readable violations (empty = healthy):
+    /// human-readable violations (empty = healthy). One backend-dispatched
+    /// check covers everything:
     ///
-    /// * the free list is acyclic, covers exactly the free slots, and
-    ///   only contains free slots;
-    /// * `live_objects` / `occupied_words` match a full recount;
+    /// * page-table structure — live/free bitmaps vs bump pointers and
+    ///   slot storage, flag planes confined to live slots, size-class
+    ///   binning, LOS arity, avail-stack consistency, and counter drift;
+    /// * the card table spans every page;
     /// * every non-null reference field points at a live object (the
-    ///   collector never leaves dangling edges behind).
+    ///   collector never leaves dangling edges behind);
+    /// * the active space's address invariants
+    ///   ([`HeapSpace::verify_layout`]) against the current live set.
     ///
     /// Intended for tests and debugging (full heap walk).
     pub fn verify(&self) -> Vec<String> {
-        let mut problems = Vec::new();
-
-        // Free-list walk with a visited set (detects cycles/corruption).
-        let mut free_from_list = vec![false; self.slots.len()];
-        let mut cursor = self.free_head;
-        let mut steps = 0usize;
-        while let Some(i) = cursor {
-            if steps > self.slots.len() {
-                problems.push("free list is cyclic".to_owned());
-                break;
-            }
-            steps += 1;
-            match self.slots.get(i as usize) {
-                Some(Slot {
-                    state: SlotState::Free { next_free },
-                    ..
-                }) => {
-                    if free_from_list[i as usize] {
-                        problems.push(format!("slot {i} appears twice in the free list"));
-                        break;
-                    }
-                    free_from_list[i as usize] = true;
-                    cursor = *next_free;
-                }
-                Some(_) => {
-                    problems.push(format!("free list points at occupied slot {i}"));
-                    break;
-                }
-                None => {
-                    problems.push(format!("free list points outside the heap ({i})"));
-                    break;
-                }
-            }
-        }
-
-        let mut live = 0usize;
-        let mut words = 0usize;
-        for (i, slot) in self.slots.iter().enumerate() {
-            match &slot.state {
-                SlotState::Free { .. } => {
-                    if !free_from_list[i] && problems.is_empty() {
-                        problems.push(format!("free slot {i} missing from the free list"));
-                    }
-                }
-                SlotState::Occupied(obj) => {
-                    if free_from_list[i] {
-                        problems.push(format!("occupied slot {i} is on the free list"));
-                    }
-                    live += 1;
-                    words += obj.size_words();
-                    for (f, &r) in obj.refs().iter().enumerate() {
-                        if r.is_some() && !self.is_valid(r) {
-                            problems.push(format!("dangling reference: slot {i} field {f} -> {r}"));
-                        }
-                    }
-                }
-            }
-        }
-        if live != self.live_objects {
+        let mut problems = self.table.verify_structure();
+        if self.cards.page_span() < self.table.page_count() {
             problems.push(format!(
-                "live-object count drift: counted {live}, cached {}",
-                self.live_objects
+                "card table spans {} pages but the heap has {}",
+                self.cards.page_span(),
+                self.table.page_count()
             ));
         }
-        if words != self.occupied_words {
-            problems.push(format!(
-                "occupied-words drift: counted {words}, cached {}",
-                self.occupied_words
-            ));
+        let mut resident = Vec::with_capacity(self.live_objects());
+        for (r, obj) in self.iter() {
+            for (f, &child) in obj.refs().iter().enumerate() {
+                if child.is_some() && !self.is_valid(child) {
+                    problems.push(format!(
+                        "dangling reference: index {} field {f} -> {child}",
+                        r.index()
+                    ));
+                }
+            }
+            resident.push((r.index(), obj.size_words()));
         }
+        problems.extend(self.space().verify_layout(&resident));
         problems
     }
 
-    /// Enables semispace address bookkeeping for a copying collector
-    /// backend. Idempotent. Any objects already live are retrofitted with
-    /// from-space addresses in slot order; from then on [`Heap::alloc`] and
-    /// [`Heap::free`] maintain the address space automatically, and a
-    /// copying collector drives evacuation through
-    /// [`Heap::take_copy_spaces`] / [`Heap::put_copy_spaces`].
-    pub fn enable_copy_spaces(&mut self) {
-        if self.copy_spaces.is_some() {
-            return;
-        }
-        let mut spaces = Box::new(SemiSpaces::new());
-        for i in 0..self.slots.len() {
-            if let Some((_, obj)) = self.entry(i) {
-                spaces.note_alloc(i, obj.size_words());
-            }
-        }
-        self.copy_spaces = Some(spaces);
-    }
-
-    /// The semispace bookkeeping, if enabled.
-    pub fn copy_spaces(&self) -> Option<&SemiSpaces> {
-        self.copy_spaces.as_deref()
-    }
-
-    /// Detaches the semispace bookkeeping for the duration of a collection
-    /// cycle so the collector can evacuate while still borrowing the heap
-    /// mutably. While detached, [`Heap::free`] no-ops on the address space;
-    /// that is sound because [`SemiSpaces::finish_gc`] rebuilds residency
-    /// for *every* slot from the forwarding words. Pair with
-    /// [`Heap::put_copy_spaces`].
-    pub fn take_copy_spaces(&mut self) -> Option<Box<SemiSpaces>> {
-        self.copy_spaces.take()
-    }
-
-    /// Reattaches the semispace bookkeeping after a collection cycle.
-    pub fn put_copy_spaces(&mut self, spaces: Box<SemiSpaces>) {
-        debug_assert!(self.copy_spaces.is_none(), "copy spaces already attached");
-        self.copy_spaces = Some(spaces);
-    }
-
-    /// Checks the semispace address invariants against the current live
-    /// set, returning human-readable problems (empty = healthy, or when
-    /// copy spaces are not enabled).
-    pub fn verify_copy_spaces(&self) -> Vec<String> {
-        match &self.copy_spaces {
-            None => Vec::new(),
-            Some(spaces) => {
-                let resident: Vec<(usize, usize)> = self
-                    .iter()
-                    .map(|(r, o)| (r.index() as usize, o.size_words()))
-                    .collect();
-                spaces.verify(&resident)
-            }
-        }
-    }
-
-    /// Iterates over all live objects.
+    /// Iterates over all live objects in ascending index order.
     pub fn iter(&self) -> LiveIter<'_> {
         LiveIter {
             heap: self,
-            index: 0,
+            pid: 0,
+            mask: if self.table.page_count() == 0 {
+                0
+            } else {
+                self.page_meta(0).live_mask()
+            },
         }
     }
 }
 
 /// Iterator over the live objects of a [`Heap`], yielded as
-/// `(handle, object)` pairs in slot order. Produced by [`Heap::iter`].
+/// `(handle, object)` pairs in ascending index order. Walks the per-page
+/// liveness bitmaps word by word. Produced by [`Heap::iter`].
 #[derive(Debug)]
 pub struct LiveIter<'a> {
     heap: &'a Heap,
-    index: usize,
+    pid: usize,
+    mask: u64,
 }
 
 impl<'a> Iterator for LiveIter<'a> {
     type Item = (ObjRef, &'a Object);
 
     fn next(&mut self) -> Option<Self::Item> {
-        while self.index < self.heap.slot_count() {
-            let i = self.index;
-            self.index += 1;
-            if let Some(pair) = self.heap.entry(i) {
-                return Some(pair);
+        loop {
+            if self.mask != 0 {
+                let slot = self.mask.trailing_zeros();
+                self.mask &= self.mask - 1;
+                let index = (self.pid * PAGE_SLOTS) as u32 + slot;
+                return self.heap.object_at(index);
             }
+            self.pid += 1;
+            if self.pid >= self.heap.page_count() {
+                return None;
+            }
+            self.mask = self.heap.page_meta(self.pid).live_mask();
         }
-        None
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pages::{LOS_THRESHOLD, SIZE_CLASSES};
+    use crate::HEADER_WORDS;
 
     fn heap_with_class() -> (Heap, ClassId) {
         let mut heap = Heap::new();
@@ -602,7 +643,12 @@ mod tests {
     #[test]
     fn slot_reuse_bumps_generation() {
         let (mut heap, c) = heap_with_class();
-        let a = heap.alloc(c, 0, 0).unwrap();
+        // Fill the first page so the bump pointer is exhausted and the
+        // freed slot must be reused.
+        let first: Vec<ObjRef> = (0..PAGE_SLOTS)
+            .map(|_| heap.alloc(c, 0, 0).unwrap())
+            .collect();
+        let a = first[0];
         heap.free(a).unwrap();
         let b = heap.alloc(c, 0, 0).unwrap();
         assert_eq!(a.index(), b.index(), "slot should be reused");
@@ -695,8 +741,37 @@ mod tests {
         assert!(!heap.has_flag(a, Flags::DEAD).unwrap());
         heap.set_flag(a, Flags::DEAD).unwrap();
         assert!(heap.has_flag(a, Flags::DEAD).unwrap());
+        assert_eq!(heap.flags_of(a).unwrap(), Flags::DEAD);
         heap.clear_flag(a, Flags::DEAD).unwrap();
         assert!(!heap.has_flag(a, Flags::DEAD).unwrap());
+        assert!(heap.flags_of(a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fetch_set_reports_previous_bits() {
+        let (mut heap, c) = heap_with_class();
+        let a = heap.alloc(c, 0, 0).unwrap();
+        heap.set_flag(a, Flags::DEAD).unwrap();
+        let prev = heap.fetch_set_flag(a, Flags::MARK).unwrap();
+        assert!(!prev.contains(Flags::MARK), "first setter sees it clear");
+        assert!(prev.contains(Flags::DEAD), "other planes are reported too");
+        let prev = heap.fetch_set_flag(a, Flags::MARK).unwrap();
+        assert!(prev.contains(Flags::MARK), "second setter sees it set");
+    }
+
+    #[test]
+    fn freed_slot_flags_do_not_leak_to_next_tenant() {
+        let (mut heap, c) = heap_with_class();
+        let first: Vec<ObjRef> = (0..PAGE_SLOTS)
+            .map(|_| heap.alloc(c, 0, 0).unwrap())
+            .collect();
+        let a = first[3];
+        heap.set_flag(a, Flags::DEAD | Flags::UNSHARED | Flags::OLD)
+            .unwrap();
+        heap.free(a).unwrap();
+        let b = heap.alloc(c, 0, 0).unwrap();
+        assert_eq!(b.index(), a.index());
+        assert!(heap.flags_of(b).unwrap().is_empty(), "planes were scrubbed");
     }
 
     #[test]
@@ -711,13 +786,13 @@ mod tests {
     }
 
     #[test]
-    fn entry_by_index() {
+    fn object_at_by_index() {
         let (mut heap, c) = heap_with_class();
         let a = heap.alloc(c, 0, 0).unwrap();
-        assert_eq!(heap.entry(0).map(|(r, _)| r), Some(a));
+        assert_eq!(heap.object_at(0).map(|(r, _)| r), Some(a));
         heap.free(a).unwrap();
-        assert!(heap.entry(0).is_none());
-        assert!(heap.entry(42).is_none());
+        assert!(heap.object_at(0).is_none());
+        assert!(heap.object_at(4200).is_none());
     }
 
     #[test]
@@ -772,66 +847,206 @@ mod tests {
         assert!(heap.verify().is_empty(), "{:?}", heap.verify());
     }
 
+    // ---- BiBOP page invariants ----------------------------------------
+
     #[test]
-    fn copy_spaces_track_alloc_and_free() {
+    fn bump_allocation_stays_in_page_bounds() {
         let (mut heap, c) = heap_with_class();
-        let a = heap.alloc(c, 1, 0).unwrap();
-        heap.enable_copy_spaces();
-        let b = heap.alloc(c, 0, 3).unwrap();
-        let spaces = heap.copy_spaces().unwrap();
-        // `a` was retrofitted by enable_copy_spaces; `b` was bump-allocated
-        // after it.
-        let addr_a = spaces.address_of(a.index() as usize).unwrap();
-        let addr_b = spaces.address_of(b.index() as usize).unwrap();
-        assert!(addr_b > addr_a);
-        assert!(heap.verify_copy_spaces().is_empty());
-        heap.free(b).unwrap();
-        assert!(heap
-            .copy_spaces()
-            .unwrap()
-            .address_of(b.index() as usize)
-            .is_none());
-        assert!(heap.verify_copy_spaces().is_empty());
+        // All same class: the first PAGE_SLOTS allocations fill page 0 in
+        // bump order, the next one opens page 1.
+        let refs: Vec<ObjRef> = (0..PAGE_SLOTS + 1)
+            .map(|_| heap.alloc(c, 0, 0).unwrap())
+            .collect();
+        for (i, r) in refs.iter().take(PAGE_SLOTS).enumerate() {
+            assert_eq!(r.index(), i as u32, "bump order inside page 0");
+        }
+        assert_eq!(refs[PAGE_SLOTS].index(), PAGE_SLOTS as u32);
+        assert_eq!(heap.page_count(), 2);
+        let meta = heap.page_meta(0);
+        assert_eq!(meta.bump(), PAGE_SLOTS as u32);
+        assert_eq!(meta.live_mask(), u64::MAX);
+        assert_eq!(heap.page_meta(1).bump(), 1);
+        assert!(heap.verify().is_empty());
     }
 
     #[test]
-    fn enable_copy_spaces_is_idempotent() {
+    fn size_class_binning_separates_pages() {
         let (mut heap, c) = heap_with_class();
-        let a = heap.alloc(c, 0, 0).unwrap();
-        heap.enable_copy_spaces();
-        let before = heap.copy_spaces().unwrap().address_of(a.index() as usize);
-        heap.enable_copy_spaces();
-        let after = heap.copy_spaces().unwrap().address_of(a.index() as usize);
-        assert_eq!(before, after);
+        let small = heap.alloc(c, 0, 0).unwrap(); // 2 words -> class 4
+        let medium = heap.alloc(c, 2, 10).unwrap(); // 14 words -> class 16
+        let big = heap.alloc(c, 0, 100).unwrap(); // 102 words -> class 128
+        let pages: Vec<u32> = [small, medium, big]
+            .iter()
+            .map(|r| r.index() >> PAGE_SHIFT)
+            .collect();
+        assert_eq!(pages.len(), 3);
+        assert!(pages[0] != pages[1] && pages[1] != pages[2] && pages[0] != pages[2]);
+        assert_eq!(heap.page_meta(pages[0] as usize).slot_words(), 4);
+        assert_eq!(heap.page_meta(pages[1] as usize).slot_words(), 16);
+        assert_eq!(heap.page_meta(pages[2] as usize).slot_words(), 128);
+        // Same class reuses the same page.
+        let small2 = heap.alloc(c, 1, 0).unwrap(); // 3 words -> class 4
+        assert_eq!(small2.index() >> PAGE_SHIFT, pages[0]);
+        assert!(heap.verify().is_empty());
     }
 
     #[test]
-    fn take_put_copy_spaces_roundtrip() {
+    fn los_threshold_gets_dedicated_page() {
         let (mut heap, c) = heap_with_class();
-        let a = heap.alloc(c, 0, 0).unwrap();
-        heap.enable_copy_spaces();
-        let mut spaces = heap.take_copy_spaces().unwrap();
-        assert!(heap.copy_spaces().is_none());
-        // Frees while detached are squared away by the next finish_gc.
-        heap.free(a).unwrap();
-        spaces.begin_gc();
-        spaces.finish_gc();
-        heap.put_copy_spaces(spaces);
-        assert!(heap.verify_copy_spaces().is_empty());
+        // Exactly at the threshold: still a size-class object.
+        let at = heap.alloc(c, 0, LOS_THRESHOLD - HEADER_WORDS).unwrap();
+        let at_meta = heap.page_meta((at.index() >> PAGE_SHIFT) as usize);
+        assert!(!at_meta.is_los());
+        assert_eq!(at_meta.slot_words(), *SIZE_CLASSES.last().unwrap());
+        // One word over: large object space, capacity-1 page, exact size.
+        let over = heap.alloc(c, 0, LOS_THRESHOLD - HEADER_WORDS + 1).unwrap();
+        let over_meta = heap.page_meta((over.index() >> PAGE_SHIFT) as usize);
+        assert!(over_meta.is_los());
+        assert_eq!(over_meta.capacity(), 1);
+        assert_eq!(over_meta.slot_words(), LOS_THRESHOLD + 1);
+        assert_eq!(over.index() % PAGE_SLOTS as u32, 0, "LOS object at slot 0");
+        // Freeing and reallocating a large object reuses the page.
+        heap.free(over).unwrap();
+        let again = heap.alloc(c, 0, 400).unwrap();
+        assert_eq!(again.index(), over.index(), "vacated LOS page is reused");
+        assert_eq!(
+            heap.page_meta((again.index() >> PAGE_SHIFT) as usize)
+                .slot_words(),
+            HEADER_WORDS + 400
+        );
+        assert!(heap.verify().is_empty());
     }
 
     #[test]
-    fn free_list_reuses_lifo() {
+    fn set_ref_field_dirties_the_source_card() {
+        let (mut heap, c) = heap_with_class();
+        let a = heap.alloc(c, 2, 0).unwrap();
+        let big = heap.alloc(c, 0, 300).unwrap(); // separate (LOS) page
+        assert_eq!(
+            heap.cards().dirty_count(),
+            0,
+            "allocation leaves cards clean"
+        );
+        heap.set_ref_field(a, 0, big).unwrap();
+        assert!(heap.cards().is_dirty(a.index() >> PAGE_SHIFT));
+        assert!(
+            !heap.cards().is_dirty(big.index() >> PAGE_SHIFT),
+            "only the *source* page is dirtied"
+        );
+        heap.clear_cards();
+        assert_eq!(heap.cards().dirty_count(), 0);
+        // A null store still dirties (the barrier is unconditional).
+        heap.set_ref_field(a, 0, ObjRef::NULL).unwrap();
+        assert!(heap.cards().is_dirty(a.index() >> PAGE_SHIFT));
+    }
+
+    #[test]
+    fn remembered_from_cards_is_old_only_in_index_order() {
+        let (mut heap, c) = heap_with_class();
+        let old_a = heap.alloc(c, 2, 0).unwrap();
+        let young = heap.alloc(c, 2, 0).unwrap();
+        let old_b = heap.alloc(c, 2, 0).unwrap();
+        heap.set_flag(old_a, Flags::OLD).unwrap();
+        heap.set_flag(old_b, Flags::OLD).unwrap();
+        heap.set_ref_field(old_b, 0, young).unwrap();
+        heap.set_ref_field(young, 0, old_a).unwrap();
+        // All three share page 0; the harvest takes the old ones only.
+        assert_eq!(heap.remembered_from_cards(), vec![old_a, old_b]);
+        heap.clear_cards();
+        assert!(heap.remembered_from_cards().is_empty());
+    }
+
+    #[test]
+    fn clear_flag_word_clears_only_masked_slots() {
         let (mut heap, c) = heap_with_class();
         let a = heap.alloc(c, 0, 0).unwrap();
         let b = heap.alloc(c, 0, 0).unwrap();
-        heap.free(a).unwrap();
+        heap.set_flag(a, Flags::MARK | Flags::DEAD).unwrap();
+        heap.set_flag(b, Flags::MARK).unwrap();
+        heap.clear_flag_word(0, Flags::PER_GC, 1 << a.index());
+        assert!(!heap.has_flag(a, Flags::MARK).unwrap());
+        assert!(
+            heap.has_flag(a, Flags::DEAD).unwrap(),
+            "non-PER_GC plane kept"
+        );
+        assert!(heap.has_flag(b, Flags::MARK).unwrap(), "unmasked slot kept");
+    }
+
+    #[test]
+    fn page_meta_flag_words_match_per_object_flags() {
+        let (mut heap, c) = heap_with_class();
+        let refs: Vec<ObjRef> = (0..5).map(|_| heap.alloc(c, 0, 0).unwrap()).collect();
+        heap.set_flag(refs[1], Flags::MARK).unwrap();
+        heap.set_flag(refs[3], Flags::MARK).unwrap();
+        heap.set_flag(refs[3], Flags::OLD).unwrap();
+        let meta = heap.page_meta(0);
+        assert_eq!(meta.flag_word(Flags::MARK), 0b01010);
+        assert_eq!(meta.flag_word(Flags::OLD), 0b01000);
+        assert_eq!(meta.live_mask(), 0b11111);
+        assert_eq!(meta.handle(1), Some(refs[1]));
+        assert_eq!(meta.handle(63), None);
+    }
+
+    // ---- space backends ------------------------------------------------
+
+    #[test]
+    fn paged_space_reports_geometry_addresses() {
+        let (mut heap, c) = heap_with_class();
+        let a = heap.alloc(c, 0, 0).unwrap();
+        let b = heap.alloc(c, 0, 0).unwrap();
+        assert_eq!(heap.space_kind(), SpaceKind::Paged);
+        let space = heap.space();
+        assert_eq!(space.kind(), SpaceKind::Paged);
+        let addr_a = space.address_of(a.index()).unwrap();
+        let addr_b = space.address_of(b.index()).unwrap();
+        assert_eq!(addr_b - addr_a, 4 * 8, "adjacent class-4 slots");
+        assert_eq!(space.flips(), 0);
         heap.free(b).unwrap();
-        // LIFO free list: b's slot first.
-        let x = heap.alloc(c, 0, 0).unwrap();
-        let y = heap.alloc(c, 0, 0).unwrap();
-        assert_eq!(x.index(), b.index());
-        assert_eq!(y.index(), a.index());
-        assert_eq!(heap.slot_count(), 2);
+        assert!(heap.space().address_of(b.index()).is_none());
+        assert!(heap.verify().is_empty());
+    }
+
+    #[test]
+    fn semispace_heap_tracks_alloc_and_free() {
+        let mut heap = Heap::with_space(SpaceKind::Semispace);
+        let c = heap.register_class("T", &["a"]);
+        let a = heap.alloc(c, 1, 0).unwrap();
+        let b = heap.alloc(c, 0, 3).unwrap();
+        assert_eq!(heap.space_kind(), SpaceKind::Semispace);
+        let addr_a = heap.space().address_of(a.index()).unwrap();
+        let addr_b = heap.space().address_of(b.index()).unwrap();
+        assert!(addr_b > addr_a, "bump order in from-space");
+        assert!(heap.verify().is_empty());
+        heap.free(b).unwrap();
+        assert!(heap.space().address_of(b.index()).is_none());
+        assert!(heap.verify().is_empty());
+    }
+
+    #[test]
+    fn evacuation_relocates_survivors() {
+        let mut heap = Heap::with_space(SpaceKind::Semispace);
+        let c = heap.register_class("T", &[]);
+        let keep = heap.alloc(c, 0, 0).unwrap();
+        let drop = heap.alloc(c, 0, 0).unwrap();
+        let before = heap.space().address_of(keep.index()).unwrap();
+        heap.evac_begin();
+        let fwd = heap.evac_forward(keep).unwrap();
+        assert_eq!(heap.evac_forwarding_of(keep), Some(fwd));
+        assert_eq!(heap.evac_forwarding_of(drop), None);
+        heap.free(drop).unwrap();
+        heap.evac_finish();
+        let after = heap.space().address_of(keep.index()).unwrap();
+        assert_eq!(after, fwd);
+        assert_ne!(before, after, "survivor relocated");
+        assert_eq!(heap.space().flips(), 1);
+        assert!(heap.space().address_of(drop.index()).is_none());
+        assert!(heap.verify().is_empty(), "{:?}", heap.verify());
+    }
+
+    #[test]
+    #[should_panic(expected = "semispace backend")]
+    fn evacuating_a_paged_heap_panics() {
+        let mut heap = Heap::new();
+        heap.evac_begin();
     }
 }

@@ -1,21 +1,22 @@
 //! In-heap object representation.
 
-use crate::{AtomicFlags, ClassId, Flags, ObjRef};
+use crate::{ClassId, ObjRef};
 
 /// Simulated per-object header cost in words (Jikes RVM uses a two-word
 /// header; the paper's assertion bits live in its spare bits).
 pub const HEADER_WORDS: usize = 2;
 
-/// A heap object: header flags, a class id, reference fields, and a data
-/// payload of whole words (the analogue of Java primitive fields and
-/// primitive array storage, zero-initialized like Java's defaults).
+/// A heap object: a class id, reference fields, and a data payload of
+/// whole words (the analogue of Java primitive fields and primitive array
+/// storage, zero-initialized like Java's defaults).
 ///
-/// The header flags are stored as [`AtomicFlags`] so the parallel mark
-/// phase can set mark/assertion bits through a shared `&Heap`; all flag
-/// operations therefore take `&self`.
+/// Header flag bits are *not* stored here: the BiBOP page table keeps
+/// them in per-page side bit-planes (see
+/// [`Heap::flags_of`](crate::Heap::flags_of)), so the mark and sweep
+/// loops can operate on 64 objects per bitmap word. The header's two
+/// words are still charged to [`Object::size_words`].
 #[derive(Debug, Clone)]
 pub struct Object {
-    flags: AtomicFlags,
     class: ClassId,
     refs: Box<[ObjRef]>,
     data: Box<[u64]>,
@@ -24,7 +25,6 @@ pub struct Object {
 impl Object {
     pub(crate) fn new(class: ClassId, nrefs: usize, data_words: usize) -> Object {
         Object {
-            flags: AtomicFlags::empty(),
             class,
             refs: vec![ObjRef::NULL; nrefs].into_boxed_slice(),
             data: vec![0; data_words].into_boxed_slice(),
@@ -35,38 +35,6 @@ impl Object {
     #[inline]
     pub fn class(&self) -> ClassId {
         self.class
-    }
-
-    /// Current header flags.
-    #[inline]
-    pub fn flags(&self) -> Flags {
-        self.flags.load()
-    }
-
-    /// Sets the given flag bits.
-    #[inline]
-    pub fn set_flags(&self, bits: Flags) {
-        self.flags.fetch_set(bits);
-    }
-
-    /// Atomically sets `bits` and returns the flags held *before* the
-    /// update: during a parallel trace, the worker that sees the mark bit
-    /// clear in the return value is the object's unique visitor.
-    #[inline]
-    pub fn fetch_set_flags(&self, bits: Flags) -> Flags {
-        self.flags.fetch_set(bits)
-    }
-
-    /// Clears the given flag bits.
-    #[inline]
-    pub fn clear_flags(&self, bits: Flags) {
-        self.flags.fetch_clear(bits);
-    }
-
-    /// Tests whether all of `bits` are set.
-    #[inline]
-    pub fn has_flags(&self, bits: Flags) -> bool {
-        self.flags.contains(bits)
     }
 
     /// The reference fields, in declaration order.
@@ -121,22 +89,10 @@ mod tests {
     #[test]
     fn new_object_is_clean() {
         let o = Object::new(class(), 3, 5);
-        assert!(o.flags().is_empty());
         assert_eq!(o.ref_count(), 3);
         assert!(o.refs().iter().all(|r| r.is_null()));
         assert_eq!(o.data_words(), 5);
         assert_eq!(o.size_words(), HEADER_WORDS + 3 + 5);
-    }
-
-    #[test]
-    fn flag_round_trip() {
-        let o = Object::new(class(), 0, 0);
-        o.set_flags(Flags::MARK | Flags::DEAD);
-        assert!(o.has_flags(Flags::MARK));
-        assert!(o.has_flags(Flags::DEAD));
-        o.clear_flags(Flags::MARK);
-        assert!(!o.has_flags(Flags::MARK));
-        assert!(o.has_flags(Flags::DEAD));
     }
 
     #[test]

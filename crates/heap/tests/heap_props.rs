@@ -1,4 +1,4 @@
-//! Property-based tests for the free-list heap.
+//! Property-based tests for the BiBOP heap.
 //!
 //! Drives the heap through random interleavings of alloc / free / field
 //! writes and checks the core invariants against a shadow model:
@@ -6,7 +6,9 @@
 //! * live-object count and occupied-word accounting stay exact,
 //! * freed handles are permanently stale, live handles always resolve,
 //! * slot reuse never lets a stale handle observe the new occupant,
-//! * field writes are only visible through the written object.
+//! * field writes are only visible through the written object,
+//! * the page-table structural invariants (`Heap::verify`) hold after
+//!   arbitrary churn.
 
 use gca_heap::{Flags, Heap, HeapError, ObjRef};
 use proptest::prelude::*;
@@ -115,6 +117,14 @@ proptest! {
         from_iter.sort();
         expected.sort();
         prop_assert_eq!(from_iter, expected);
+
+        // Structural invariants survive arbitrary churn. (Manual frees may
+        // leave dangling fields behind, which verify reports; everything
+        // else must be clean.)
+        let problems = heap.verify();
+        for p in &problems {
+            prop_assert!(p.contains("dangling"), "unexpected problem: {}", p);
+        }
     }
 
     #[test]
@@ -122,13 +132,15 @@ proptest! {
         let mut heap = Heap::new();
         let class = heap.register_class("Q", &[]);
         let first: Vec<ObjRef> = (0..n).map(|_| heap.alloc(class, 1, 1).unwrap()).collect();
-        let peak_slots = heap.slot_count();
+        let peak_pages = heap.page_count();
         for r in &first {
             heap.free(*r).unwrap();
         }
         let second: Vec<ObjRef> = (0..n).map(|_| heap.alloc(class, 1, 1).unwrap()).collect();
-        // Non-moving free-list heap must reuse every slot.
-        prop_assert_eq!(heap.slot_count(), peak_slots);
+        // Same-class churn must recycle pages: the BiBOP table reuses
+        // every vacated slot before opening a new page.
+        prop_assert_eq!(heap.page_count(), peak_pages);
+        prop_assert_eq!(heap.index_bound(), peak_pages * gca_heap::PAGE_SLOTS);
         for r in &first {
             prop_assert!(!heap.is_valid(*r));
         }

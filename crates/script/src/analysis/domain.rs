@@ -136,6 +136,12 @@ pub(crate) struct AbsConfig {
     /// field exists so the analyzer validates the key (and its conflict
     /// with `generational`) exactly like the interpreter.
     pub copying: bool,
+    /// Card-marking minors (vs the remembered-set side list). Deliberately
+    /// *unused* like [`AbsConfig::copying`]: the two strategies reclaim and
+    /// promote identical object sets, so verdict prediction is
+    /// strategy-agnostic. The field exists so the analyzer validates the
+    /// key exactly like the interpreter.
+    pub minor_strategy_cards: bool,
     /// Global violation reaction.
     pub reaction: Reaction,
     /// Base mode: assertion hooks disabled.
@@ -152,6 +158,7 @@ impl Default for AbsConfig {
             strict_owner_lifetime: false,
             generational: None,
             copying: false,
+            minor_strategy_cards: true,
             reaction: Reaction::Log,
             base_mode: false,
         }

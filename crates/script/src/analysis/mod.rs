@@ -1079,6 +1079,17 @@ impl<'a> Analyzer<'a> {
                 }
                 _ => false,
             },
+            "minor-strategy" => match value {
+                "cards" => {
+                    cfg.minor_strategy_cards = true;
+                    true
+                }
+                "remembered-set" => {
+                    cfg.minor_strategy_cards = false;
+                    true
+                }
+                _ => false,
+            },
             "reaction" => match value {
                 "log" => {
                     cfg.reaction = Reaction::Log;

@@ -2,7 +2,9 @@
 
 use std::collections::HashMap;
 
-use gc_assertions::{ClassId, CollectorKind, GcReport, Mode, ObjRef, Reaction, Vm, VmConfig};
+use gc_assertions::{
+    ClassId, CollectorKind, GcReport, MinorStrategy, Mode, ObjRef, Reaction, Vm, VmConfig,
+};
 
 use crate::ast::{parse_script, Command, Target};
 use crate::error::{ScriptError, ScriptErrorKind};
@@ -165,6 +167,11 @@ impl Interpreter {
                 };
                 cfg.collector(kind)
             }
+            "minor-strategy" => cfg.minor_strategy(match value {
+                "cards" => MinorStrategy::Cards,
+                "remembered-set" => MinorStrategy::RememberedSet,
+                _ => return Err(bad("minor-strategy cards|remembered-set")),
+            }),
             "reaction" => cfg.reaction(match value {
                 "log" => Reaction::Log,
                 "halt" => Reaction::Halt,
