@@ -96,6 +96,15 @@ impl Collector {
 
         hooks.trace_done(heap);
 
+        // Invariant module (debug builds and the `mcheck` profile): the
+        // transitive mark is complete, so no black-to-white edge may
+        // exist — the sweep is about to free everything unmarked.
+        #[cfg(debug_assertions)]
+        {
+            let problems = crate::invariants::tricolor_violations(heap);
+            assert!(problems.is_empty(), "tri-color at trace_done: {problems:?}");
+        }
+
         let t = Instant::now();
         let (objects_swept, words_swept) = sweep_heap(heap, hooks)?;
         let sweep_time = t.elapsed();

@@ -160,6 +160,21 @@ impl CopyingCollector {
 
         hooks.trace_done(heap);
 
+        // Invariant modules (debug builds and the `mcheck` profile): the
+        // trace is complete and the evacuation is still open, so both the
+        // tri-color and the forwarding-totality properties must hold
+        // exactly here.
+        #[cfg(debug_assertions)]
+        {
+            let problems = crate::invariants::tricolor_violations(heap);
+            assert!(problems.is_empty(), "tri-color at trace_done: {problems:?}");
+            let problems = crate::invariants::forwarding_totality_violations(heap);
+            assert!(
+                problems.is_empty(),
+                "forwarding totality at trace_done: {problems:?}"
+            );
+        }
+
         // Identical reclamation decisions to mark-sweep: everything
         // without a MARK bit goes. In copying terms these are the objects
         // that were never evacuated; freeing the slot models their
@@ -168,7 +183,13 @@ impl CopyingCollector {
         let (objects_swept, words_swept) = sweep_heap(heap, hooks)?;
         let sweep_time = t.elapsed();
 
+        let flips_before = heap.space().flips();
         heap.evac_finish();
+        debug_assert_eq!(
+            heap.space().flips(),
+            flips_before + 1,
+            "the flip counter must advance exactly once per cycle"
+        );
         debug_assert!(
             heap.verify().is_empty(),
             "post-flip heap invariants: {:?}",
@@ -235,6 +256,11 @@ impl CopyingCollector {
         census: &mut Option<CensusSink>,
         path_mode: bool,
     ) -> Result<(u64, u64), HeapError> {
+        // Fault injection (see `crate::sabotage`): while armed, drop the
+        // first forwarding install of every cycle. The invariant modules
+        // and the model checker must catch the resulting corruption.
+        let mut skip_forwards = usize::from(crate::sabotage::skip_first_forward());
+
         // Objects the pre-root phase already marked are forwarded up
         // front, in index order, *without* rescanning their fields — the
         // exact analogue of the sequential drain not descending into
@@ -250,7 +276,11 @@ impl CopyingCollector {
                     .page_meta(pid)
                     .handle(slot)
                     .expect("live bitmap slot must hold an object");
-                heap.evac_forward(r)?;
+                if skip_forwards > 0 {
+                    skip_forwards -= 1;
+                } else {
+                    heap.evac_forward(r)?;
+                }
             }
         }
 
@@ -270,6 +300,7 @@ impl CopyingCollector {
                     r,
                     &mut gray,
                     &mut marked,
+                    &mut skip_forwards,
                 )?;
             }
         }
@@ -296,6 +327,7 @@ impl CopyingCollector {
                     child,
                     &mut gray,
                     &mut marked,
+                    &mut skip_forwards,
                 )?;
             }
         }
@@ -318,6 +350,7 @@ impl CopyingCollector {
         child: ObjRef,
         gray: &mut VecDeque<ObjRef>,
         marked: &mut u64,
+        skip_forwards: &mut usize,
     ) -> Result<(), HeapError> {
         if heap.has_flag(child, Flags::MARK)? {
             let ctx =
@@ -327,7 +360,11 @@ impl CopyingCollector {
         }
         heap.set_flag(child, Flags::MARK)?;
         *marked += 1;
-        heap.evac_forward(child)?;
+        if *skip_forwards > 0 {
+            *skip_forwards -= 1;
+        } else {
+            heap.evac_forward(child)?;
+        }
         if path_mode && parent.is_some() {
             if let Some(f) = field {
                 self.prov.record(child, parent, f);

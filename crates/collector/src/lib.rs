@@ -58,9 +58,12 @@ mod collector;
 mod copying;
 mod deque;
 mod hooks;
+mod invariants;
 mod minor;
 mod parallel;
 mod path;
+#[doc(hidden)]
+pub mod sabotage;
 mod stats;
 mod tracer;
 
@@ -69,6 +72,7 @@ pub use collector::{sweep_heap, Collector};
 pub use copying::CopyingCollector;
 pub use deque::StealDeque;
 pub use hooks::{NoHooks, TraceHooks, Visit};
+pub use invariants::{forwarding_totality_violations, tricolor_violations};
 pub use minor::{collect_minor, MinorStats};
 pub use parallel::{
     mark_parallel, push_child_items, reconstruct_path, NoParVisitor, ParMarkStats, ParVisitor,

@@ -1,0 +1,71 @@
+//! Test-only fault injection for validating the verification tooling
+//! itself.
+//!
+//! The exhaustive model checker and the invariant modules claim to catch
+//! real collector bugs; this module lets a test *plant* one and prove the
+//! claim. While the thread-local switch is on, every copying-collector
+//! cycle skips its **first** forwarding-address installation — the
+//! survivor is marked but never evacuated, so at the flip it loses its
+//! address. The fault re-arms each cycle, so a shrunk counterexample
+//! (which re-runs the program many times) keeps failing deterministically.
+//!
+//! The switch is thread-local: proptest/model-check workers on other
+//! threads are unaffected. Use [`SkipFirstForwardGuard`] so a panicking
+//! test (the expected outcome!) still disarms the fault.
+
+use std::cell::Cell;
+
+thread_local! {
+    static SKIP_FIRST_FORWARD: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Arms or disarms the skip-first-forward fault on this thread.
+pub fn set_skip_first_forward(on: bool) {
+    SKIP_FIRST_FORWARD.with(|c| c.set(on));
+}
+
+/// Whether the fault is armed on this thread.
+pub fn skip_first_forward() -> bool {
+    SKIP_FIRST_FORWARD.with(|c| c.get())
+}
+
+/// RAII guard: arms the fault on construction, disarms on drop (including
+/// on panic, which is how sabotaged runs are expected to end).
+#[derive(Debug)]
+pub struct SkipFirstForwardGuard(());
+
+impl SkipFirstForwardGuard {
+    /// Arms the fault for the guard's lifetime.
+    #[must_use = "the fault disarms when the guard drops"]
+    pub fn arm() -> SkipFirstForwardGuard {
+        set_skip_first_forward(true);
+        SkipFirstForwardGuard(())
+    }
+}
+
+impl Drop for SkipFirstForwardGuard {
+    fn drop(&mut self) {
+        set_skip_first_forward(false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_arms_and_disarms_even_on_panic() {
+        assert!(!skip_first_forward());
+        {
+            let _g = SkipFirstForwardGuard::arm();
+            assert!(skip_first_forward());
+        }
+        assert!(!skip_first_forward());
+        let result = std::panic::catch_unwind(|| {
+            let _g = SkipFirstForwardGuard::arm();
+            panic!("sabotaged runs end in panics");
+        });
+        assert!(result.is_err());
+        assert!(!skip_first_forward());
+    }
+}

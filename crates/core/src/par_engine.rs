@@ -431,6 +431,14 @@ pub(crate) fn collect_parallel(
 
     TraceHooks::trace_done(engine, heap);
 
+    // Invariant module (debug builds): the parallel mark must leave no
+    // black-to-white edge, same as the sequential tracer.
+    #[cfg(debug_assertions)]
+    {
+        let problems = gca_collector::tricolor_violations(heap);
+        assert!(problems.is_empty(), "tri-color at trace_done: {problems:?}");
+    }
+
     let t = Instant::now();
     let (objects_swept, words_swept) = sweep_heap(heap, engine)?;
     let sweep = t.elapsed();
@@ -700,6 +708,12 @@ pub(crate) fn collect_parallel_base(
         (mark_parallel(heap, seeds, &mut visitors)?, None)
     };
     let mark = t.elapsed();
+
+    #[cfg(debug_assertions)]
+    {
+        let problems = gca_collector::tricolor_violations(heap);
+        assert!(problems.is_empty(), "tri-color at trace_done: {problems:?}");
+    }
 
     let t = Instant::now();
     let (objects_swept, words_swept) = sweep_heap(heap, &mut NoHooks)?;

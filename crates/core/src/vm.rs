@@ -577,6 +577,11 @@ impl Vm {
             // Every old->young edge the cards were tracking is now
             // old->old (all survivors promoted); start a clean epoch.
             self.heap.clear_cards();
+            debug_assert_eq!(
+                self.heap.cards().dirty_count(),
+                0,
+                "card-clear postcondition: a major must start a clean card epoch"
+            );
         }
 
         // Purge region queues of entries that died during the collection
@@ -588,6 +593,25 @@ impl Vm {
             }
         }
         let (violations, counters) = self.engine.drain();
+        // Report-once invariant (debug builds): with the `REPORTED` bit
+        // gating, one collection can report a given object at most once
+        // across the bit-gated kinds (dead-reachable / shared). A
+        // duplicate means a checking phase bypassed `should_report`.
+        #[cfg(debug_assertions)]
+        if self.config.report_once {
+            let bit_gated_object = |v: &crate::violation::Violation| match &v.kind {
+                crate::violation::ViolationKind::DeadReachable { object, .. }
+                | crate::violation::ViolationKind::Shared { object, .. } => Some(object.index()),
+                _ => None,
+            };
+            let mut seen = std::collections::HashSet::new();
+            for obj in violations.iter().filter_map(bit_gated_object) {
+                assert!(
+                    seen.insert(obj),
+                    "report-once invariant: object slot {obj} reported twice in one cycle"
+                );
+            }
+        }
         // Per-class reaction policy (§2.6 future work): halt if any
         // violation's class is configured to halt; notify the
         // programmatic handler about every violation.
@@ -597,6 +621,16 @@ impl Vm {
         if halted {
             self.halted = true;
         }
+        // Halt-latch invariant: the latch is monotone (a halted VM never
+        // un-halts) and a Halt-reaction violation always engages it.
+        debug_assert!(
+            self.halted == (halted || self.halted),
+            "halt latch must be monotone"
+        );
+        debug_assert!(
+            !halted || self.halted,
+            "a Halt-reaction violation must latch the VM halted"
+        );
         if let Some(handler) = self.handler.0.as_mut() {
             for v in &violations {
                 handler(v, self.heap.registry());
@@ -749,6 +783,11 @@ impl Vm {
         // The minor promoted every young survivor, so each tracked
         // old->young edge is now old->old; the dirty cards are spent.
         self.heap.clear_cards();
+        debug_assert_eq!(
+            self.heap.cards().dirty_count(),
+            0,
+            "card-clear postcondition: a minor must spend every dirty card"
+        );
         // Minor census: the still-valid entries of the taken young list
         // are exactly the nursery survivors the sweep promoted. Minors
         // are recorded beside majors but never feed the drift windows

@@ -2,106 +2,54 @@
 //! collector agree — on arbitrary random programs over rooted objects,
 //! final liveness (after a closing major collection) is identical, and
 //! the heap verifies clean throughout.
+//!
+//! The op language and interpreter are the shared ones from
+//! `gca-modelcheck` (see `common`): this suite drives the mutation-only
+//! subset (no assertion sites), since generational engines are compared
+//! on liveness rather than full observables.
 
-use gc_assertions::{CollectorKind, ObjRef, Vm, VmConfig};
+mod common;
+
+use common::{mutation_op_strategy, run_program, FuzzOp};
+use gc_assertions::{CollectorKind, VmConfig};
 use proptest::prelude::*;
-
-#[derive(Debug, Clone)]
-enum Op {
-    Alloc {
-        data: usize,
-        root: bool,
-    },
-    Link {
-        from: usize,
-        field: usize,
-        to: usize,
-    },
-    Unlink {
-        from: usize,
-        field: usize,
-    },
-    UnrootTo {
-        keep: usize,
-    },
-    Collect,
-}
-
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (0usize..6, any::<bool>()).prop_map(|(data, root)| Op::Alloc { data, root }),
-        2 => (0usize..64, 0usize..3, 0usize..64)
-            .prop_map(|(from, field, to)| Op::Link { from, field, to }),
-        1 => (0usize..64, 0usize..3).prop_map(|(from, field)| Op::Unlink { from, field }),
-        1 => (0usize..16).prop_map(|keep| Op::UnrootTo { keep }),
-        1 => Just(Op::Collect),
-    ]
-}
-
-/// Runs the op stream; operations only ever reference *rooted* objects,
-/// so the stream is valid under any collection schedule. Returns the
-/// allocation-ordered liveness bitmap after a final major collection.
-fn run(config: VmConfig, ops: &[Op]) -> Vec<bool> {
-    let mut vm = Vm::new(config);
-    let c = vm.register_class("N", &["a", "b", "c"]);
-    let m = vm.main();
-    let mut allocated: Vec<ObjRef> = Vec::new();
-    // Rooted handles with their root-slot indices (we unroot suffixes).
-    let mut rooted: Vec<(usize, ObjRef)> = Vec::new();
-
-    for op in ops {
-        match op {
-            Op::Alloc { data, root } => {
-                let o = vm.alloc(m, c, 3, *data).unwrap();
-                allocated.push(o);
-                if *root {
-                    let slot = vm.add_root(m, o).unwrap();
-                    rooted.push((slot, o));
-                }
-            }
-            Op::Link { from, field, to } if !rooted.is_empty() => {
-                let f = rooted[from % rooted.len()].1;
-                let t = rooted[to % rooted.len()].1;
-                vm.set_field(f, field % 3, t).unwrap();
-            }
-            Op::Unlink { from, field } if !rooted.is_empty() => {
-                let f = rooted[from % rooted.len()].1;
-                vm.set_field(f, field % 3, ObjRef::NULL).unwrap();
-            }
-            Op::UnrootTo { keep } if rooted.len() > *keep => {
-                for &(slot, _) in &rooted[*keep..] {
-                    vm.set_root(m, slot, ObjRef::NULL).unwrap();
-                }
-                rooted.truncate(*keep);
-            }
-            Op::Collect => {
-                vm.collect().unwrap();
-                let problems = vm.heap().verify();
-                assert!(problems.is_empty(), "heap corruption: {problems:?}");
-            }
-            _ => {}
-        }
-    }
-    vm.collect().unwrap();
-    let problems = vm.heap().verify();
-    assert!(problems.is_empty(), "heap corruption: {problems:?}");
-    allocated.iter().map(|&o| vm.is_live(o)).collect()
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
     fn generational_agrees_with_marksweep(
-        ops in proptest::collection::vec(op_strategy(), 1..120),
+        ops in proptest::collection::vec(mutation_op_strategy(), 1..120),
     ) {
         let base = VmConfig::builder().heap_budget(1_200).grow_on_oom(true).build();
-        let ms = run(base.clone(), &ops);
-        let cp = run(base.clone().collector(CollectorKind::Copying), &ops);
-        prop_assert_eq!(&ms, &cp, "divergence at copying");
+        let ms = run_program(base.clone(), &ops);
+        let cp = run_program(base.clone().collector(CollectorKind::Copying), &ops);
+        prop_assert_eq!(&ms.live, &cp.live, "divergence at copying");
         for major_every in [1usize, 3, 16] {
-            let gen = run(base.clone().generational(major_every), &ops);
-            prop_assert_eq!(&ms, &gen, "divergence at generational({})", major_every);
+            let gen = run_program(base.clone().generational(major_every), &ops);
+            prop_assert_eq!(&ms.live, &gen.live, "divergence at generational({})", major_every);
+        }
+    }
+
+    #[test]
+    fn minor_collections_never_change_final_liveness(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                4 => mutation_op_strategy(),
+                1 => Just(FuzzOp::MinorGc),
+            ],
+            1..120,
+        ),
+    ) {
+        // Interleaving minor collections anywhere in a generational run
+        // must not change what the closing major finds live — and the
+        // generational answer must still match full-heap mark-sweep on
+        // the same program (minors are no-ops there).
+        let base = VmConfig::builder().heap_budget(1_200).grow_on_oom(true).build();
+        let ms = run_program(base.clone(), &ops);
+        for major_every in [1usize, 3, 16] {
+            let gen = run_program(base.clone().generational(major_every), &ops);
+            prop_assert_eq!(&ms.live, &gen.live, "divergence at generational({})", major_every);
         }
     }
 }

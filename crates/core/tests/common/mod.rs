@@ -1,5 +1,5 @@
 //! Shared helpers for the integration-test corpus and the cross-engine
-//! differential fuzz suite (`copying_equivalence.rs`).
+//! differential fuzz suites.
 //!
 //! The assertion corpus (`assert_*.rs`, `interactions.rs`) builds every VM
 //! through [`cfg()`], which honours the `GCA_TEST_COLLECTOR` environment
@@ -7,18 +7,24 @@
 //! tier-1 is unchanged; `GCA_TEST_COLLECTOR=copying` re-runs the exact same
 //! corpus against the semispace copying backend — CI runs both legs.
 //!
-//! The fuzz half of this module defines a random heap-program language
-//! ([`FuzzOp`]), a proptest strategy for it, and a deterministic interpreter
-//! ([`run_program`]) that replays one program on one engine and returns the
-//! full observable [`Outcome`] (liveness, normalized violation log, check
-//! counters, census tables) for cross-engine comparison.
+//! The random heap-program language the fuzz suites replay lives in the
+//! `gca-modelcheck` crate ([`gca_modelcheck::program`]) and is re-exported
+//! here: the exhaustive model checker, the proptest fuzzers, and the
+//! counterexample shrinker all consume the *same* `FuzzOp` definition and
+//! interpreter, so they can never drift apart.
 
 #![allow(dead_code)]
 
-use gc_assertions::{
-    CollectorKind, ObjRef, Violation, ViolationKind, Vm, VmConfig, VmConfigBuilder,
+// One op language, one interpreter, shared with the model checker. Each
+// test binary compiles its own copy of this module and uses a different
+// subset of the re-exports.
+#[allow(unused_imports)]
+pub use gca_modelcheck::{
+    fuzz_op_strategy, minimize_counterexample, mutation_op_strategy, normalize_violations,
+    run_program, violation_key, FuzzOp, Outcome,
 };
-use proptest::prelude::*;
+
+use gc_assertions::{CollectorKind, VmConfig, VmConfigBuilder};
 
 // ---------------------------------------------------------------------------
 // Corpus engine selection
@@ -43,292 +49,4 @@ pub fn corpus_collector() -> CollectorKind {
 /// collector backend comes from `GCA_TEST_COLLECTOR`.
 pub fn cfg() -> VmConfigBuilder {
     VmConfig::builder().collector(corpus_collector())
-}
-
-// ---------------------------------------------------------------------------
-// Differential fuzz language
-// ---------------------------------------------------------------------------
-
-/// One step of a random heap program. Object-referencing operations index
-/// into the *rooted* set (modulo its length), so every program is valid
-/// under any collection schedule — an engine can never make an op dangle.
-#[derive(Debug, Clone)]
-pub enum FuzzOp {
-    /// Allocate a 3-field `N` object, optionally rooting it.
-    Alloc { data: usize, root: bool },
-    /// `rooted[from].field = rooted[to]`.
-    Link {
-        from: usize,
-        field: usize,
-        to: usize,
-    },
-    /// `rooted[from].field = null`.
-    Unlink { from: usize, field: usize },
-    /// Unroot every rooted object past the first `keep`.
-    UnrootTo { keep: usize },
-    /// Full collection + heap verification.
-    Collect,
-    /// `assert-dead` on a rooted object. It passes if a later `UnrootTo`
-    /// kills the object before the next collection, and reports a
-    /// `DeadReachable` violation otherwise — both outcomes must be
-    /// engine-independent.
-    AssertDead { target: usize },
-    /// `assert-unshared` on a rooted object.
-    AssertUnshared { target: usize },
-    /// `assert-instances` on class `N`.
-    AssertInstances { limit: u32 },
-    /// A bracketed `start_region` / `assert_alldead` pair allocating
-    /// `1 + len % 4` objects inline; with `leak` the first one is rooted,
-    /// which must produce a `DeadReachable` violation on every engine.
-    Region { len: usize, leak: bool },
-    /// Allocate an owner and an ownee, pin both as globals (so no
-    /// collection schedule can kill a participant mid-program), link
-    /// `owner -> ownee` and `assert_owned_by`.
-    OwnPair,
-    /// Leak the most recent ownee: `rooted[from].field = ownee`. Harmless
-    /// while the owner edge stands (the pre-phase marks the ownee owned),
-    /// but after `BreakOwner` the root scan reaches an unowned ownee.
-    LeakOwnee { from: usize },
-    /// Sever the most recent owner's edge to its ownee.
-    BreakOwner,
-}
-
-/// Strategy over [`FuzzOp`], weighted so programs mix heap mutation with
-/// every assertion kind.
-pub fn fuzz_op_strategy() -> impl Strategy<Value = FuzzOp> {
-    prop_oneof![
-        4 => (0usize..6, any::<bool>()).prop_map(|(data, root)| FuzzOp::Alloc { data, root }),
-        3 => (0usize..64, 0usize..3, 0usize..64)
-            .prop_map(|(from, field, to)| FuzzOp::Link { from, field, to }),
-        2 => (0usize..64, 0usize..3).prop_map(|(from, field)| FuzzOp::Unlink { from, field }),
-        1 => (0usize..16).prop_map(|keep| FuzzOp::UnrootTo { keep }),
-        2 => Just(FuzzOp::Collect),
-        2 => (0usize..64).prop_map(|target| FuzzOp::AssertDead { target }),
-        2 => (0usize..64).prop_map(|target| FuzzOp::AssertUnshared { target }),
-        1 => (0u32..4).prop_map(|limit| FuzzOp::AssertInstances { limit }),
-        1 => (0usize..4, any::<bool>()).prop_map(|(len, leak)| FuzzOp::Region { len, leak }),
-        1 => Just(FuzzOp::OwnPair),
-        1 => (0usize..64).prop_map(|from| FuzzOp::LeakOwnee { from }),
-        1 => Just(FuzzOp::BreakOwner),
-    ]
-}
-
-/// Everything one engine run observably produced. Two engines agree on a
-/// program iff their `Outcome`s are equal (`PartialEq` derives field-wise).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Outcome {
-    /// Allocation-ordered liveness bitmap after the closing collection.
-    pub live: Vec<bool>,
-    /// Normalized, sorted violation log across the whole run — one string
-    /// per report keyed by (kind, object slot, class names); paths are
-    /// deliberately excluded (a BFS scan reports edges in a different
-    /// *order* than a DFS scan, but must report the same *set*).
-    pub violations: Vec<String>,
-    /// Cumulative assertion-checking work: this pins the visit
-    /// *multiplicities* (one `visit_new` per object, one `visit_marked`
-    /// per extra edge), not just the verdicts.
-    pub check_totals: (u64, u64, u64, u64, u64, u64),
-    /// Per-class live totals from the final collection's census.
-    pub census_classes: Vec<(String, u64, u64)>,
-    /// Per-allocation-site live totals from the final collection's census.
-    pub census_sites: Vec<(String, u64, u64)>,
-}
-
-/// Collapses a violation to an order-independent, path-independent key.
-pub fn violation_key(v: &Violation) -> String {
-    match &v.kind {
-        ViolationKind::DeadReachable { object, class_name } => {
-            format!("dead:{}:{}", object.index(), class_name)
-        }
-        ViolationKind::InstanceLimit {
-            class_name,
-            limit,
-            count,
-        } => format!("instances:{class_name}:{limit}:{count}"),
-        ViolationKind::Shared { object, class_name } => {
-            format!("shared:{}:{}", object.index(), class_name)
-        }
-        ViolationKind::NotOwned {
-            ownee,
-            ownee_class,
-            owner,
-            owner_class,
-        } => format!(
-            "notowned:{}:{}:{}:{}",
-            ownee.index(),
-            ownee_class,
-            owner.index(),
-            owner_class
-        ),
-        ViolationKind::ImproperOwnership {
-            ownee,
-            ownee_class,
-            scanned_owner,
-            scanned_owner_class,
-        } => format!(
-            "improper:{}:{}:{}:{}",
-            ownee.index(),
-            ownee_class,
-            scanned_owner.index(),
-            scanned_owner_class
-        ),
-        ViolationKind::OwneeOutlivedOwner {
-            ownee,
-            ownee_class,
-            owner_class,
-        } => format!("outlived:{}:{}:{}", ownee.index(), ownee_class, owner_class),
-        other => panic!("violation_key: unhandled violation kind {other:?}"),
-    }
-}
-
-/// Normalizes a violation log for cross-engine comparison: per-violation
-/// keys, sorted.
-pub fn normalize_violations(vs: &[Violation]) -> Vec<String> {
-    let mut out: Vec<String> = vs.iter().map(violation_key).collect();
-    out.sort();
-    out
-}
-
-/// Replays `ops` on a fresh VM built from `config` and returns the full
-/// [`Outcome`]. Panics (failing the property) on any VM error or heap
-/// verification failure.
-pub fn run_program(config: VmConfig, ops: &[FuzzOp]) -> Outcome {
-    let mut vm = Vm::new(config);
-    let n = vm.register_class("N", &["a", "b", "c"]);
-    let owner_c = vm.register_class("Owner", &["prop"]);
-    let ownee_c = vm.register_class("Ownee", &["x"]);
-    let m = vm.main();
-
-    let mut allocated: Vec<ObjRef> = Vec::new();
-    // Rooted handles with their root-slot indices (we unroot suffixes).
-    let mut rooted: Vec<(usize, ObjRef)> = Vec::new();
-    // Ownership participants are pinned as globals, never unrooted.
-    let mut owners: Vec<ObjRef> = Vec::new();
-    let mut ownees: Vec<ObjRef> = Vec::new();
-
-    let verify = |vm: &Vm| {
-        // One backend-dispatched check: page/card structure, dangling
-        // references, and the active space's address invariants.
-        let problems = vm.heap().verify();
-        assert!(problems.is_empty(), "heap corruption: {problems:?}");
-    };
-
-    for op in ops {
-        match op {
-            FuzzOp::Alloc { data, root } => {
-                let o = vm.alloc(m, n, 3, *data).unwrap();
-                allocated.push(o);
-                if *root {
-                    let slot = vm.add_root(m, o).unwrap();
-                    rooted.push((slot, o));
-                }
-            }
-            FuzzOp::Link { from, field, to } if !rooted.is_empty() => {
-                let f = rooted[from % rooted.len()].1;
-                let t = rooted[to % rooted.len()].1;
-                vm.set_field(f, field % 3, t).unwrap();
-            }
-            FuzzOp::Unlink { from, field } if !rooted.is_empty() => {
-                let f = rooted[from % rooted.len()].1;
-                vm.set_field(f, field % 3, ObjRef::NULL).unwrap();
-            }
-            FuzzOp::UnrootTo { keep } if rooted.len() > *keep => {
-                for &(slot, _) in &rooted[*keep..] {
-                    vm.set_root(m, slot, ObjRef::NULL).unwrap();
-                }
-                rooted.truncate(*keep);
-            }
-            FuzzOp::Collect => {
-                vm.collect().unwrap();
-                verify(&vm);
-            }
-            FuzzOp::AssertDead { target } if !rooted.is_empty() => {
-                let t = rooted[target % rooted.len()].1;
-                vm.assert_dead(t).unwrap();
-            }
-            FuzzOp::AssertUnshared { target } if !rooted.is_empty() => {
-                let t = rooted[target % rooted.len()].1;
-                vm.assert_unshared(t).unwrap();
-            }
-            FuzzOp::AssertInstances { limit } => {
-                vm.assert_instances(n, *limit).unwrap();
-            }
-            FuzzOp::Region { len, leak } => {
-                vm.start_region(m).unwrap();
-                let mut first = None;
-                for _ in 0..(len % 4) + 1 {
-                    let o = vm.alloc(m, n, 3, 0).unwrap();
-                    allocated.push(o);
-                    first.get_or_insert(o);
-                }
-                if *leak {
-                    let o = first.unwrap();
-                    let slot = vm.add_root(m, o).unwrap();
-                    rooted.push((slot, o));
-                }
-                vm.assert_alldead(m).unwrap();
-            }
-            FuzzOp::OwnPair => {
-                let o = vm.alloc(m, owner_c, 1, 0).unwrap();
-                let e = vm.alloc(m, ownee_c, 1, 0).unwrap();
-                allocated.push(o);
-                allocated.push(e);
-                vm.add_global(o).unwrap();
-                // The ownee is pinned too: after `BreakOwner` it must stay
-                // referenceable (for `LeakOwnee`) and the global root then
-                // reaches an unowned ownee — a deterministic `NotOwned`.
-                vm.add_global(e).unwrap();
-                vm.set_field(o, 0, e).unwrap();
-                vm.assert_owned_by(o, e).unwrap();
-                owners.push(o);
-                ownees.push(e);
-            }
-            FuzzOp::LeakOwnee { from } if !rooted.is_empty() && !ownees.is_empty() => {
-                let f = rooted[from % rooted.len()].1;
-                vm.set_field(f, from % 3, *ownees.last().unwrap()).unwrap();
-            }
-            FuzzOp::BreakOwner if !owners.is_empty() => {
-                vm.set_field(*owners.last().unwrap(), 0, ObjRef::NULL)
-                    .unwrap();
-            }
-            _ => {}
-        }
-    }
-    vm.collect().unwrap();
-    verify(&vm);
-
-    let t = vm.check_totals();
-    let check_totals = (
-        t.owners_scanned,
-        t.ownees_checked,
-        t.deferred_ownees_processed,
-        t.dead_bits_seen,
-        t.tracked_instances_counted,
-        t.unshared_bits_seen,
-    );
-    let census = vm.census();
-    let (census_classes, census_sites) = match census.latest() {
-        None => (Vec::new(), Vec::new()),
-        Some(cycle) => (
-            cycle
-                .data
-                .classes
-                .iter()
-                .map(|e| (e.name.clone(), e.objects, e.bytes))
-                .collect(),
-            cycle
-                .data
-                .sites
-                .iter()
-                .map(|e| (e.name.clone(), e.objects, e.bytes))
-                .collect(),
-        ),
-    };
-    Outcome {
-        live: allocated.iter().map(|&o| vm.is_live(o)).collect(),
-        violations: normalize_violations(vm.violation_log()),
-        check_totals,
-        census_classes,
-        census_sites,
-    }
 }

@@ -17,16 +17,20 @@
 //! observation), so violation *timing* legitimately differs while the live
 //! set after a closing major collection may not.
 //!
-//! Failures shrink: proptest prints the minimal op sequence that still
-//! diverges.
+//! Failures shrink twice: proptest shrinks the generated input as usual,
+//! and the failure path additionally runs the model checker's greedy
+//! 1-minimal shrinker ([`gca_modelcheck::minimize_counterexample`]) and
+//! prints a compact replay seed plus a runnable `.gca` script for the
+//! implicated engine — zero overhead on passing cases.
 //!
 //! Case count: each property runs 256 random programs (64 for the
 //! ForceTrue property), overridable with `PROPTEST_CASES`.
 
 mod common;
 
-use common::{fuzz_op_strategy, run_program, FuzzOp, Outcome};
+use common::{fuzz_op_strategy, FuzzOp};
 use gc_assertions::{CollectorKind, Reaction, VmConfig};
+use gca_modelcheck::{check_program_with, minimize_counterexample, EngineSpec};
 use proptest::prelude::*;
 
 /// The shared base configuration: small growable heap so collections are
@@ -39,8 +43,21 @@ fn base() -> VmConfig {
         .build()
 }
 
-fn copying(ops: &[FuzzOp]) -> Outcome {
-    run_program(base().collector(CollectorKind::Copying), ops)
+/// Differential check against an explicit engine matrix; on divergence,
+/// minimizes the failing program and fails the property with the replay
+/// seed and the runnable `.gca` counterexample.
+fn check_minimized(matrix: &[EngineSpec], ops: &[FuzzOp]) {
+    if let Err(error) = check_program_with(matrix, ops) {
+        let cx = minimize_counterexample(matrix, ops);
+        panic!(
+            "{error}\nminimized {} ops -> {} ops: {}\nreplay seed: {}\n{}",
+            ops.len(),
+            cx.ops.len(),
+            cx.error,
+            cx.seed,
+            cx.script
+        );
+    }
 }
 
 proptest! {
@@ -53,16 +70,13 @@ proptest! {
     fn copying_agrees_with_mark_sweep_family(
         ops in proptest::collection::vec(fuzz_op_strategy(), 1..120),
     ) {
-        let cp = copying(&ops);
-        let ms = run_program(base(), &ops);
-        prop_assert_eq!(&ms, &cp, "copying diverged from sequential mark-sweep");
-        for workers in [2usize, 4] {
-            let par = run_program(base().gc_threads(workers), &ops);
-            prop_assert_eq!(
-                &par, &cp,
-                "copying diverged from parallel({}) mark", workers
-            );
-        }
+        let matrix = [
+            EngineSpec { name: "ms", config: base() },
+            EngineSpec { name: "par2", config: base().gc_threads(2) },
+            EngineSpec { name: "par4", config: base().gc_threads(4) },
+            EngineSpec { name: "copying", config: base().collector(CollectorKind::Copying) },
+        ];
+        check_minimized(&matrix, &ops);
     }
 }
 
@@ -73,18 +87,19 @@ proptest! {
     /// check no assertions, so the violation log and check counters can
     /// legitimately differ in when (and, with report-once, whether) a
     /// violation is recorded; the live set after the closing major
-    /// collection cannot.
+    /// collection cannot. One matrix per period: distinct major schedules
+    /// legitimately differ from *each other* on full outcomes, so they
+    /// must not land in the same minor-strategy pairing group.
     #[test]
     fn copying_agrees_with_generational_on_liveness(
         ops in proptest::collection::vec(fuzz_op_strategy(), 1..120),
     ) {
-        let cp = copying(&ops);
-        for major_every in [1usize, 3, 16] {
-            let gen = run_program(base().generational(major_every), &ops);
-            prop_assert_eq!(
-                &gen.live, &cp.live,
-                "copying diverged from generational({}) on liveness", major_every
-            );
+        for (name, major_every) in [("gen-1", 1usize), ("gen-3", 3), ("gen-16", 16)] {
+            let matrix = [
+                EngineSpec { name: "copying", config: base().collector(CollectorKind::Copying) },
+                EngineSpec { name, config: base().generational(major_every) },
+            ];
+            check_minimized(&matrix, &ops);
         }
     }
 }
@@ -101,9 +116,13 @@ proptest! {
     fn force_true_severs_the_same_edges(
         ops in proptest::collection::vec(fuzz_op_strategy(), 1..120),
     ) {
-        let cfg = base().reaction(Reaction::ForceTrue);
-        let ms = run_program(cfg.clone(), &ops);
-        let cp = run_program(cfg.collector(CollectorKind::Copying), &ops);
-        prop_assert_eq!(&ms, &cp, "ForceTrue diverged between mark-sweep and copying");
+        let matrix = [
+            EngineSpec { name: "ms", config: base().reaction(Reaction::ForceTrue) },
+            EngineSpec {
+                name: "copying",
+                config: base().reaction(Reaction::ForceTrue).collector(CollectorKind::Copying),
+            },
+        ];
+        check_minimized(&matrix, &ops);
     }
 }

@@ -1,0 +1,165 @@
+//! Command-line driver for the bounded model checker.
+//!
+//! ```text
+//! modelcheck [--k N]          exhaustive sweep at uniform scope k (default 2,
+//!                             or $GCA_MODELCHECK_K); exits 1 on a mismatch
+//! modelcheck --scope O,L,M,R,G,A
+//!                             sweep a fine-grained scope: objects, large
+//!                             objects, mutations, root ops, GCs, asserts
+//! modelcheck --table MAXK     state-space table for k = 1..=MAXK (markdown)
+//! modelcheck --replay SEED    re-check one program from a replay seed
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use gca_modelcheck::{explore, parse_replay, replay_seed, Counterexample, Report, Scope};
+
+fn print_report(r: &Report) {
+    println!(
+        "scope k: objects={} large={} mutations={} root_ops={} gcs={} asserts={}",
+        r.scope.objects,
+        r.scope.large,
+        r.scope.mutations,
+        r.scope.root_ops,
+        r.scope.gcs,
+        r.scope.asserts
+    );
+    println!("programs checked : {}", r.programs_checked);
+    println!("distinct states  : {}", r.distinct_states);
+    println!("pruned expansions: {}", r.pruned);
+    println!("max depth        : {}", r.max_depth);
+}
+
+fn print_counterexample(cx: &Counterexample) {
+    eprintln!("MISMATCH: {}", cx.error);
+    eprintln!(
+        "minimized from {} ops to {}; replay seed: {}",
+        cx.original_len,
+        cx.ops.len(),
+        replay_seed(&cx.ops)
+    );
+    eprintln!("--- counterexample.gca ---");
+    eprint!("{}", cx.script);
+    eprintln!("--------------------------");
+}
+
+fn sweep(scope: &Scope) -> ExitCode {
+    let start = Instant::now();
+    let report = explore(scope);
+    print_report(&report);
+    println!("wall time        : {:.2?}", start.elapsed());
+    match &report.counterexample {
+        None => {
+            println!("verified clean at scope {scope:?}");
+            ExitCode::SUCCESS
+        }
+        Some(cx) => {
+            print_counterexample(cx);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--scope O,L,M,R,G,A` into per-dimension budgets.
+fn parse_scope(s: &str) -> Option<Scope> {
+    let parts: Vec<usize> = s
+        .split(',')
+        .map(|p| p.trim().parse().ok())
+        .collect::<Option<_>>()?;
+    match parts.as_slice() {
+        &[objects, large, mutations, root_ops, gcs, asserts] => Some(Scope {
+            objects,
+            large,
+            mutations,
+            root_ops,
+            gcs,
+            asserts,
+        }),
+        _ => None,
+    }
+}
+
+fn table(max_k: usize) -> ExitCode {
+    println!("| k | programs checked | distinct states | pruned | max depth | wall time |");
+    println!("|---|-----------------:|----------------:|-------:|----------:|----------:|");
+    let mut failed = false;
+    for k in 1..=max_k {
+        let start = Instant::now();
+        let report = explore(&Scope::uniform(k));
+        println!(
+            "| {k} | {} | {} | {} | {} | {:.2?} |",
+            report.programs_checked,
+            report.distinct_states,
+            report.pruned,
+            report.max_depth,
+            start.elapsed()
+        );
+        if let Some(cx) = &report.counterexample {
+            print_counterexample(cx);
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn replay(seed: &str) -> ExitCode {
+    let ops = match parse_replay(seed) {
+        Ok(ops) => ops,
+        Err(e) => {
+            eprintln!("bad replay seed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("replaying {} ops", ops.len());
+    match gca_modelcheck::check_program(&ops) {
+        Ok(()) => {
+            println!("all engine pairings agree");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            let cx =
+                gca_modelcheck::minimize_counterexample(&gca_modelcheck::engine_matrix(), &ops);
+            eprintln!("check failed: {e}");
+            print_counterexample(&cx);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parse_k = |s: &str| -> Option<usize> { s.parse().ok() };
+    match args.as_slice() {
+        [] => {
+            let k = std::env::var("GCA_MODELCHECK_K")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(2);
+            sweep(&Scope::uniform(k))
+        }
+        [flag, value] if flag == "--k" => match parse_k(value) {
+            Some(k) => sweep(&Scope::uniform(k)),
+            None => usage(),
+        },
+        [flag, value] if flag == "--scope" => match parse_scope(value) {
+            Some(scope) => sweep(&scope),
+            None => usage(),
+        },
+        [flag, value] if flag == "--table" => match parse_k(value) {
+            Some(k) if k >= 1 => table(k),
+            _ => usage(),
+        },
+        [flag, seed] if flag == "--replay" => replay(seed),
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: modelcheck [--k N | --scope O,L,M,R,G,A | --table MAXK | --replay SEED]");
+    ExitCode::FAILURE
+}

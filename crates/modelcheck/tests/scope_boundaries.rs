@@ -1,0 +1,213 @@
+//! Scope-boundary edge cases, pinned across all four engine families.
+//!
+//! The exhaustive walk visits these implicitly; pinning them as named
+//! tests keeps their *expected* verdicts explicit (the model checker
+//! only proves the engines agree — these prove they agree on the right
+//! answer) and keeps the cases covered even when someone shrinks the CI
+//! scope.
+
+use gc_assertions::{Vm, VmConfig};
+use gca_modelcheck::{engine_matrix, run_program, FuzzOp, Outcome};
+
+/// Runs `ops` on every engine in the matrix, asserts the pinned
+/// expectations on each outcome, and returns the outcomes.
+fn on_all_engines(ops: &[FuzzOp], expect: impl Fn(&str, &Outcome)) {
+    for spec in engine_matrix() {
+        let out = run_program(spec.config.clone(), ops);
+        expect(spec.name, &out);
+    }
+}
+
+#[test]
+fn empty_program() {
+    // No ops at all: only the closing collection runs. Nothing is live,
+    // nothing violates, every checking counter is zero.
+    on_all_engines(&[], |name, out| {
+        assert!(out.live.is_empty(), "{name}: no objects were allocated");
+        assert!(out.violations.is_empty(), "{name}: nothing to report");
+        assert_eq!(
+            out.check_totals,
+            (0, 0, 0, 0, 0, 0),
+            "{name}: no checking work on an empty heap"
+        );
+        assert!(out.census_classes.is_empty(), "{name}: empty census");
+    });
+}
+
+#[test]
+fn gc_with_empty_root_set() {
+    // Allocate without rooting, then collect with an empty root set:
+    // everything dies, on every engine, with no checking work.
+    let ops = vec![
+        FuzzOp::Alloc {
+            data: 0,
+            root: false,
+        },
+        FuzzOp::Alloc {
+            data: 27,
+            root: false,
+        },
+        FuzzOp::Collect,
+    ];
+    on_all_engines(&ops, |name, out| {
+        assert_eq!(out.live, vec![false, false], "{name}");
+        assert!(out.violations.is_empty(), "{name}");
+    });
+}
+
+#[test]
+fn assertion_before_first_allocation() {
+    // assert-instances on a class with zero allocations, registered
+    // before anything exists: vacuously satisfied at every GC.
+    let ops = vec![
+        FuzzOp::AssertInstances { limit: 0 },
+        FuzzOp::Collect,
+        FuzzOp::Alloc {
+            data: 0,
+            root: false,
+        },
+        FuzzOp::Collect,
+    ];
+    on_all_engines(&ops, |name, out| {
+        assert_eq!(out.live, vec![false], "{name}");
+        assert!(
+            out.violations.is_empty(),
+            "{name}: an unrooted object is never live at GC time, so the \
+             zero-instance limit holds"
+        );
+    });
+}
+
+#[test]
+fn assertion_before_first_allocation_then_violated() {
+    // Same site, but the allocation is rooted: the limit-0 assertion
+    // must fire identically on the full-outcome engines. (The checker's
+    // policy compares generational engines on liveness only, so pin the
+    // violation explicitly here instead.)
+    let ops = vec![
+        FuzzOp::AssertInstances { limit: 0 },
+        FuzzOp::Alloc {
+            data: 0,
+            root: true,
+        },
+    ];
+    on_all_engines(&ops, |name, out| {
+        assert_eq!(out.live, vec![true], "{name}");
+        assert_eq!(
+            out.violations,
+            vec!["instances:N:0:1".to_string()],
+            "{name}: one live instance against a limit of zero"
+        );
+    });
+}
+
+#[test]
+fn large_object_only_heap() {
+    // A heap holding nothing but large-object-space residents: survives
+    // when rooted, dies when unrooted, and the census sees its words.
+    let ops = vec![
+        FuzzOp::Alloc {
+            data: 300,
+            root: true,
+        },
+        FuzzOp::Alloc {
+            data: 300,
+            root: false,
+        },
+        FuzzOp::Collect,
+    ];
+    on_all_engines(&ops, |name, out| {
+        assert_eq!(out.live, vec![true, false], "{name}");
+        assert!(out.violations.is_empty(), "{name}");
+        assert_eq!(out.census_classes.len(), 1, "{name}: only class N lives");
+        let (class, objects, _) = &out.census_classes[0];
+        assert_eq!((class.as_str(), *objects), ("N", 1), "{name}");
+    });
+}
+
+#[test]
+fn region_bracket_with_zero_allocations() {
+    // assert-alldead on an empty region: zero objects asserted, nothing
+    // reported — on every engine. (The op language always allocates
+    // inside a region, so this drives the VM directly.)
+    for spec in engine_matrix() {
+        let mut vm = Vm::new(spec.config.clone());
+        let m = vm.main();
+        vm.start_region(m).unwrap();
+        let asserted = vm.assert_alldead(m).unwrap();
+        assert_eq!(asserted, 0, "{}: empty region", spec.name);
+        vm.collect().unwrap();
+        assert!(
+            vm.violation_log().is_empty(),
+            "{}: empty region cannot violate",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn assert_dead_on_large_object_reports_on_every_engine() {
+    // Cross-cutting boundary: the DEAD bit on a large-object-space
+    // resident must be seen by the trace on all engines (the LOS is
+    // swept differently from the small-object pages).
+    let ops = vec![
+        FuzzOp::Alloc {
+            data: 300,
+            root: true,
+        },
+        FuzzOp::AssertDead { target: 0 },
+    ];
+    on_all_engines(&ops, |name, out| {
+        assert_eq!(out.live, vec![true], "{name}");
+        assert_eq!(
+            out.violations,
+            vec!["dead:0:N".to_string()],
+            "{name}: the rooted large object is reachable at the close"
+        );
+    });
+}
+
+#[test]
+fn boundary_outcomes_agree_pairwise_in_full() {
+    // The same edge cases, swept through the differential checker itself
+    // (full Outcome comparison policy, not just the pinned fields).
+    let cases: Vec<Vec<FuzzOp>> = vec![
+        vec![],
+        vec![FuzzOp::Collect],
+        vec![FuzzOp::AssertInstances { limit: 0 }, FuzzOp::Collect],
+        vec![
+            FuzzOp::Alloc {
+                data: 300,
+                root: true,
+            },
+            FuzzOp::Collect,
+        ],
+        vec![
+            FuzzOp::Region {
+                len: 0,
+                leak: false,
+            },
+            FuzzOp::Collect,
+        ],
+        vec![FuzzOp::Region { len: 0, leak: true }, FuzzOp::Collect],
+    ];
+    for ops in &cases {
+        gca_modelcheck::check_program(ops)
+            .unwrap_or_else(|e| panic!("boundary case {ops:?} diverged: {e}"));
+    }
+}
+
+#[test]
+fn minor_gc_before_any_allocation() {
+    // A minor collection on a completely empty nursery, before anything
+    // exists: legal, and a no-op everywhere.
+    let out = run_program(
+        VmConfig::builder()
+            .heap_budget(gca_modelcheck::MODEL_HEAP_WORDS)
+            .generational(2)
+            .build(),
+        &[FuzzOp::MinorGc],
+    );
+    assert!(out.live.is_empty());
+    assert!(out.violations.is_empty());
+}
