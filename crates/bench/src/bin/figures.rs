@@ -3,7 +3,7 @@
 //! ```text
 //! figures [--fig1] [--fig2] [--fig3] [--fig4] [--fig5]
 //!         [--ablations] [--baselines] [--all]
-//!         [--telemetry PATH] [--census PATH]
+//!         [--telemetry PATH] [--census PATH] [--soak-bench PATH]
 //!         [--collector mark-sweep|copying]
 //!         [--reps N] [--scale F]
 //! ```
@@ -15,7 +15,11 @@
 //! writes one JSON-lines record per GC cycle (tagged with the benchmark
 //! name) to PATH. `--census PATH` does the same with the heap census
 //! also enabled, so every record carries per-class live tallies and top
-//! allocation sites. `--collector` picks the backend the telemetry and
+//! allocation sites. `--soak-bench PATH` runs the deterministic 2-shard
+//! fleet soak (virtual pacing, one injected leak) and writes its
+//! `BENCH_soak.json` summary — detection latency, per-shard latency
+//! quantiles, false-positive rate — to PATH. `--collector` picks the
+//! backend the telemetry and
 //! census suites run on (default mark-sweep); the figure tables always
 //! measure the paper's mark-sweep configuration, and the copying
 //! comparison has its own table (Ablation G) under `--ablations`.
@@ -35,6 +39,7 @@ struct Args {
     baselines: bool,
     telemetry: Option<String>,
     census: Option<String>,
+    soak_bench: Option<String>,
     collector: CollectorKind,
     reps: usize,
     scale: f64,
@@ -49,6 +54,7 @@ fn parse_args() -> Args {
         baselines: false,
         telemetry: None,
         census: None,
+        soak_bench: None,
         collector: CollectorKind::MarkSweep,
         reps: 3,
         scale: 1.0,
@@ -91,6 +97,10 @@ fn parse_args() -> Args {
             }
             "--census" => {
                 args.census = Some(it.next().expect("--census takes an output path"));
+                any = true;
+            }
+            "--soak-bench" => {
+                args.soak_bench = Some(it.next().expect("--soak-bench takes an output path"));
                 any = true;
             }
             "--collector" => {
@@ -154,6 +164,22 @@ fn main() {
             "census: wrote {records} GC-cycle records (with census fields, {:?} collector) to {path}",
             args.collector
         );
+        println!();
+    }
+
+    if let Some(path) = &args.soak_bench {
+        // The deterministic smoke fleet plus one seeded leak, so the
+        // bench records a real detection-latency figure.
+        let mut config = gca_soak::SoakConfig::smoke();
+        config.faults = vec![gca_soak::FaultPlan::new(1, gca_soak::FaultKind::Leak, 100)];
+        config.bench_out = Some(path.into());
+        let report = gca_soak::run_soak(config).expect("running the smoke soak");
+        print!("{}", report.summary());
+        println!("soak: wrote BENCH summary to {path}");
+        if !report.passed() {
+            eprintln!("soak smoke FAILED");
+            std::process::exit(1);
+        }
         println!();
     }
 

@@ -173,6 +173,12 @@ pub struct VmConfig {
     /// [`MinorStrategy`]); irrelevant unless [`VmConfig::generational`]
     /// is set. Defaults to card marking.
     pub minor_strategy: MinorStrategy,
+    /// Shard identity when this VM is one member of a fleet (the soak
+    /// harness runs one VM per shard thread). Purely informational: the
+    /// VM never branches on it, but exporters use it to label telemetry
+    /// series and event records with their shard of origin. `None`
+    /// (default) for a standalone VM.
+    pub shard: Option<u64>,
 }
 
 impl Default for VmConfig {
@@ -192,6 +198,7 @@ impl Default for VmConfig {
             census: false,
             collector: CollectorKind::MarkSweep,
             minor_strategy: MinorStrategy::Cards,
+            shard: None,
         }
     }
 }
@@ -293,6 +300,13 @@ impl VmConfig {
     #[must_use]
     pub fn minor_strategy(mut self, strategy: MinorStrategy) -> VmConfig {
         self.minor_strategy = strategy;
+        self
+    }
+
+    /// Tags this VM as shard `shard` of a fleet (see [`VmConfig::shard`]).
+    #[must_use]
+    pub fn shard(mut self, shard: u64) -> VmConfig {
+        self.shard = Some(shard);
         self
     }
 
@@ -442,6 +456,12 @@ impl VmConfigBuilder {
         self
     }
 
+    /// Tags this VM as shard `shard` of a fleet (see [`VmConfig::shard`]).
+    pub fn shard(mut self, shard: u64) -> VmConfigBuilder {
+        self.config.shard = Some(shard);
+        self
+    }
+
     /// Overrides the reaction for one assertion class (later overrides
     /// for the same class win).
     pub fn reaction_for(mut self, class: AssertionClass, reaction: Reaction) -> VmConfigBuilder {
@@ -491,6 +511,13 @@ mod tests {
         assert!(c.grow);
         assert!(!c.telemetry, "telemetry is observably dark by default");
         assert!(!c.census, "census is observably dark by default");
+        assert_eq!(c.shard, None, "standalone VMs carry no shard tag");
+    }
+
+    #[test]
+    fn shard_tag_round_trips_through_both_builders() {
+        assert_eq!(VmConfig::new().shard(3).shard, Some(3));
+        assert_eq!(VmConfig::builder().shard(7).build().shard, Some(7));
     }
 
     #[test]

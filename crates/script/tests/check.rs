@@ -78,6 +78,12 @@ const GOLDENS: &[(&str, &str)] = &[
          check: 2 collection(s) analyzed, 1 error(s), 1 warning(s)\n",
     ),
     (
+        "session_lru.gca",
+        "error[dead-reachable] line 33:1: s2: Session (line 17) was asserted dead (line 32) but must still be reachable at this collection\n\
+         \x20 path: sampler: Sampler (line 12) -.last-> s2: Session (line 17)\n\
+         check: 3 collection(s) analyzed, 1 error(s), 0 warning(s)\n",
+    ),
+    (
         "singleton.gca",
         "error[instance-limit] line 23:1: instance limit must be exceeded: IndexSearcher 3>1 (asserted line 7)\n\
          check: 1 collection(s) analyzed, 1 error(s), 0 warning(s)\n",

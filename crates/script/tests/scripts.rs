@@ -101,6 +101,18 @@ fn copying_backend_scenario() {
 }
 
 #[test]
+fn session_lru_scenario() {
+    let out = run_file("session_lru.gca");
+    // Clean eviction, one pinned evictee, clean after the fix.
+    assert_eq!(out.total_violations, 1);
+    assert!(out
+        .lines
+        .iter()
+        .any(|l| l.contains("asserted dead is reachable")));
+    assert!(out.lines.iter().any(|l| l.contains("Sampler")));
+}
+
+#[test]
 fn all_scripts_in_directory_run_clean() {
     // Safety net: any script added to scripts/ must at least execute.
     let dir = format!("{}/../../scripts", env!("CARGO_MANIFEST_DIR"));

@@ -1,0 +1,297 @@
+//! One shard: a VM plus a scenario, driven through the open-loop
+//! arrival schedule on its own thread, publishing snapshots for the
+//! observability plane.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use gc_assertions::{Vm, VmConfig};
+use gca_telemetry::{GcTelemetry, HeapCensus, LatencyHistogram};
+use gca_workloads::scenario::ScenarioKind;
+
+use crate::config::{Arrivals, Pacing, SoakConfig, GC_PENALTY_NS, SERVICE_NS};
+use crate::fault::{Detection, FaultInjector, FaultKind};
+
+/// How often (in served requests) a shard republishes its snapshot.
+const PUBLISH_EVERY: u64 = 32;
+
+/// The state a shard exposes to the observability plane. Shard threads
+/// own their VM outright; scrapes only ever see these cloned snapshots,
+/// so a slow scrape never blocks a mutator.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: u64,
+    /// Scenario label this shard runs.
+    pub scenario: &'static str,
+    /// Requests served so far.
+    pub requests_done: u64,
+    /// Total scheduled requests.
+    pub requests_total: u64,
+    /// Telemetry snapshot (cycles, phases, overhead, pauses).
+    pub telemetry: GcTelemetry,
+    /// Census snapshot (per-class/site live histograms, drifts).
+    pub census: HeapCensus,
+    /// Request-latency histogram (completion − scheduled arrival).
+    pub latency: LatencyHistogram,
+    /// Latency samples above the configured SLO.
+    pub slo_breaches: u64,
+    /// Assertion violations reported so far.
+    pub violations: u64,
+    /// Census drift reports currently active.
+    pub drifting_keys: usize,
+    /// Scenario counters (hits/misses, produced/consumed, ...).
+    pub counters: Vec<(&'static str, u64)>,
+    /// The fault planned for this shard, if any.
+    pub fault: Option<FaultKind>,
+    /// Whether the planned fault has been injected yet.
+    pub fault_armed: bool,
+    /// Detection record, once the fault was reported.
+    pub detection: Option<Detection>,
+    /// The shard finished its schedule (or was stopped).
+    pub done: bool,
+    /// The shard died on a VM error (reported in `error`).
+    pub error: Option<String>,
+}
+
+impl ShardSnapshot {
+    fn new(shard: u64, scenario: &'static str, requests_total: u64) -> ShardSnapshot {
+        ShardSnapshot {
+            shard,
+            scenario,
+            requests_done: 0,
+            requests_total,
+            telemetry: GcTelemetry::default(),
+            census: HeapCensus::default(),
+            latency: LatencyHistogram::new(),
+            slo_breaches: 0,
+            violations: 0,
+            drifting_keys: 0,
+            counters: Vec::new(),
+            fault: None,
+            fault_armed: false,
+            detection: None,
+            done: false,
+            error: None,
+        }
+    }
+
+    /// `true` when the shard has neither violations nor active drift —
+    /// the state every *clean* shard must end a soak in.
+    pub fn is_clean(&self) -> bool {
+        self.violations == 0 && self.drifting_keys == 0
+    }
+}
+
+/// Everything a shard thread needs to run.
+pub(crate) struct ShardTask {
+    pub shard: u64,
+    pub kind: ScenarioKind,
+    pub seed: u64,
+    pub pacing: Pacing,
+    pub arrivals: Arrivals,
+    pub slo_ns: u64,
+    pub fault: Option<FaultInjector>,
+    pub snapshot: Arc<Mutex<ShardSnapshot>>,
+    pub stop: Arc<AtomicBool>,
+    /// Stream this shard's cycle records here as JSONL, when set.
+    pub jsonl_path: Option<std::path::PathBuf>,
+}
+
+/// Creates the published snapshot slot for a shard before its thread
+/// starts, so the observability plane has a full fleet view immediately.
+pub(crate) fn snapshot_slot(config: &SoakConfig, shard: usize) -> Arc<Mutex<ShardSnapshot>> {
+    let kind = config.scenario_for(shard);
+    let mut snap = ShardSnapshot::new(
+        shard as u64,
+        kind.label(),
+        config.requests_per_shard() as u64,
+    );
+    snap.fault = config.fault_for(shard).map(|f| f.kind);
+    Arc::new(Mutex::new(snap))
+}
+
+/// The shard thread body: builds the VM, runs setup, then serves the
+/// arrival schedule, measuring latency and watching for its fault.
+pub(crate) fn run_shard(mut task: ShardTask) {
+    let mut scenario = task.kind.build(task.seed);
+    let config = VmConfig::builder()
+        .heap_budget(scenario.heap_budget())
+        .grow_on_oom(true)
+        .telemetry(true)
+        .census(true)
+        .shard(task.shard)
+        .build();
+    let mut vm = Vm::new(config);
+
+    if let Err(e) = scenario.setup(&mut vm, true) {
+        let mut snap = task.snapshot.lock().unwrap();
+        snap.error = Some(format!("setup: {e}"));
+        snap.done = true;
+        return;
+    }
+
+    let started = Instant::now();
+    let mut latency = LatencyHistogram::new();
+    let mut slo_breaches = 0u64;
+    let mut violations = 0u64;
+    let mut requests_done = 0u64;
+    // Virtual-pacing server model: the instant the server frees up.
+    let mut busy_until_ns = 0u64;
+    let mut last_cycles = vm.collections();
+    let mut last_census_cycles = 0u64;
+    let mut drifting = false;
+    let mut records_streamed = 0usize;
+
+    let arrivals: Vec<u64> = task.arrivals.clone().collect();
+    for &arrival_ns in &arrivals {
+        if task.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        // Open loop: wall pacing waits for the scheduled arrival (never
+        // for the previous completion); virtual pacing just advances the
+        // model clock.
+        if task.pacing == Pacing::Wall {
+            let now = started.elapsed().as_nanos() as u64;
+            if now < arrival_ns {
+                std::thread::sleep(std::time::Duration::from_nanos(arrival_ns - now));
+            }
+        }
+
+        if let Err(e) = scenario.request(&mut vm, true) {
+            let mut snap = task.snapshot.lock().unwrap();
+            snap.error = Some(format!("request {requests_done}: {e}"));
+            break;
+        }
+        requests_done += 1;
+        if let Some(inj) = task.fault.as_mut() {
+            if let Err(e) = inj.after_request(&mut vm, requests_done) {
+                let mut snap = task.snapshot.lock().unwrap();
+                snap.error = Some(format!("fault injection: {e}"));
+                break;
+            }
+        }
+
+        // Latency: completion minus *scheduled* arrival, so queueing
+        // delay (from GC pauses or a spike outrunning the server) counts.
+        let sample_ns = match task.pacing {
+            Pacing::Wall => (started.elapsed().as_nanos() as u64).saturating_sub(arrival_ns),
+            Pacing::Virtual => {
+                let gc_delta = vm.collections() - last_cycles;
+                let service = SERVICE_NS + gc_delta * GC_PENALTY_NS;
+                busy_until_ns = busy_until_ns.max(arrival_ns) + service;
+                busy_until_ns - arrival_ns
+            }
+        };
+        latency.record_ns(sample_ns);
+        if sample_ns > task.slo_ns {
+            slo_breaches += 1;
+        }
+
+        // Observe: drain new violations; re-read the census only when a
+        // collection actually happened (snapshotting it clones maps).
+        let cycles = vm.collections();
+        let drained = vm.take_violation_log();
+        violations += drained.len() as u64;
+        if cycles != last_census_cycles {
+            drifting = !vm.census().drifts().is_empty();
+            last_census_cycles = cycles;
+        }
+        if let Some(inj) = task.fault.as_mut() {
+            inj.observe(&vm, &drained, drifting);
+        }
+        last_cycles = cycles;
+
+        if requests_done.is_multiple_of(PUBLISH_EVERY) {
+            publish(
+                &task,
+                &vm,
+                scenario.counters(),
+                &latency,
+                slo_breaches,
+                violations,
+                requests_done,
+                false,
+            );
+            stream_jsonl(&task, &vm, &mut records_streamed);
+        }
+    }
+
+    // Settle: one final collection so end-of-run assertions (evictions,
+    // acks, a just-armed fault) get their verdict, then publish.
+    if vm.collect().is_ok() {
+        let drained = vm.take_violation_log();
+        violations += drained.len() as u64;
+        drifting = !vm.census().drifts().is_empty();
+        if let Some(inj) = task.fault.as_mut() {
+            inj.observe(&vm, &drained, drifting);
+        }
+    }
+    publish(
+        &task,
+        &vm,
+        scenario.counters(),
+        &latency,
+        slo_breaches,
+        violations,
+        requests_done,
+        true,
+    );
+    stream_jsonl(&task, &vm, &mut records_streamed);
+}
+
+/// Appends the cycle records produced since the last call to the shard's
+/// JSONL file, each line tagged with the scenario label and shard index.
+fn stream_jsonl(task: &ShardTask, vm: &Vm, streamed: &mut usize) {
+    use std::io::Write as _;
+    let Some(path) = task.jsonl_path.as_ref() else {
+        return;
+    };
+    let telemetry = vm.telemetry();
+    let records = telemetry.records();
+    if records.len() <= *streamed {
+        return;
+    }
+    let chunk = gca_telemetry::export::records_to_jsonl_tagged(
+        &records[*streamed..],
+        Some(task.kind.label()),
+        Some(task.shard),
+    );
+    *streamed = records.len();
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = f.write_all(chunk.as_bytes());
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn publish(
+    task: &ShardTask,
+    vm: &Vm,
+    counters: Vec<(&'static str, u64)>,
+    latency: &LatencyHistogram,
+    slo_breaches: u64,
+    violations: u64,
+    requests_done: u64,
+    done: bool,
+) {
+    let census = vm.census();
+    let mut snap = task.snapshot.lock().unwrap();
+    snap.requests_done = requests_done;
+    snap.telemetry = vm.telemetry();
+    snap.drifting_keys = census.drifts().len();
+    snap.census = census;
+    snap.latency = latency.clone();
+    snap.slo_breaches = slo_breaches;
+    snap.violations = violations;
+    snap.counters = counters;
+    if let Some(inj) = task.fault.as_ref() {
+        snap.fault_armed = inj.armed();
+        snap.detection = inj.detection();
+    }
+    snap.done = done;
+}

@@ -240,7 +240,7 @@ pub struct CycleCensus {
 pub const DEFAULT_DRIFT_WINDOW: usize = 6;
 
 /// How many top classes/sites the Prometheus exporter emits.
-const PROM_TOP_N: usize = 10;
+pub(crate) const PROM_TOP_N: usize = 10;
 
 /// Rolling per-key state for the drift detector.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -563,74 +563,7 @@ impl HeapCensus {
     ///   `assert-instances` limits for drifted classes.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::with_capacity(1024);
-        out.push_str("# HELP gca_census_cycles_total Major census cycles recorded.\n");
-        out.push_str("# TYPE gca_census_cycles_total counter\n");
-        out.push_str(&format!("gca_census_cycles_total {}\n", self.majors));
-        out.push_str("# HELP gca_census_minor_cycles_total Minor census cycles recorded.\n");
-        out.push_str("# TYPE gca_census_minor_cycles_total counter\n");
-        out.push_str(&format!("gca_census_minor_cycles_total {}\n", self.minors));
-
-        out.push_str("# HELP gca_census_live_objects Live objects per class, latest major census (top classes by bytes).\n");
-        out.push_str("# TYPE gca_census_live_objects gauge\n");
-        let latest = self.latest();
-        if let Some(c) = latest {
-            for e in c.data.top_classes_by_bytes(PROM_TOP_N) {
-                out.push_str(&format!(
-                    "gca_census_live_objects{{class=\"{}\"}} {}\n",
-                    prom_escape(&e.name),
-                    e.objects
-                ));
-            }
-        }
-        out.push_str("# HELP gca_census_live_bytes Live bytes per class, latest major census (top classes by bytes).\n");
-        out.push_str("# TYPE gca_census_live_bytes gauge\n");
-        if let Some(c) = latest {
-            for e in c.data.top_classes_by_bytes(PROM_TOP_N) {
-                out.push_str(&format!(
-                    "gca_census_live_bytes{{class=\"{}\"}} {}\n",
-                    prom_escape(&e.name),
-                    e.bytes
-                ));
-            }
-        }
-        out.push_str("# HELP gca_census_site_live_bytes Live bytes per allocation site, latest major census (top sites by bytes).\n");
-        out.push_str("# TYPE gca_census_site_live_bytes gauge\n");
-        if let Some(c) = latest {
-            for e in c.data.top_sites_by_bytes(PROM_TOP_N) {
-                out.push_str(&format!(
-                    "gca_census_site_live_bytes{{site=\"{}\"}} {}\n",
-                    prom_escape(&e.name),
-                    e.bytes
-                ));
-            }
-        }
-
-        out.push_str(
-            "# HELP gca_census_drifting_keys Classes and sites currently flagged as drifting.\n",
-        );
-        out.push_str("# TYPE gca_census_drifting_keys gauge\n");
-        out.push_str(&format!("gca_census_drifting_keys {}\n", self.drifts.len()));
-        out.push_str("# HELP gca_census_drift Keys flagged as drifting (value = last observed live objects).\n");
-        out.push_str("# TYPE gca_census_drift gauge\n");
-        for d in &self.drifts {
-            out.push_str(&format!(
-                "gca_census_drift{{scope=\"{}\",name=\"{}\"}} {}\n",
-                d.scope.label(),
-                prom_escape(&d.name),
-                d.last_objects
-            ));
-        }
-        out.push_str("# HELP gca_census_suggested_instance_limit Data-derived assert-instances limit for drifted classes.\n");
-        out.push_str("# TYPE gca_census_suggested_instance_limit gauge\n");
-        for d in &self.drifts {
-            if d.scope == DriftScope::Class {
-                out.push_str(&format!(
-                    "gca_census_suggested_instance_limit{{class=\"{}\"}} {}\n",
-                    prom_escape(&d.name),
-                    d.suggested_limit
-                ));
-            }
-        }
+        crate::export::push_census_families(&mut out, &[(String::new(), self)]);
         out
     }
 }
@@ -678,19 +611,6 @@ fn window_grows(y: &[u64]) -> bool {
     let sum_iy: u64 = y.iter().enumerate().map(|(i, &v)| i as u64 * v).sum();
     let slope_num = (n * sum_iy) as i128 - (sum_i as i128 * sum_y as i128);
     slope_num > 0 && span >= 2 * (n - 1)
-}
-
-fn prom_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 #[cfg(test)]

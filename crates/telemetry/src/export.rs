@@ -10,15 +10,18 @@
 use std::fmt;
 
 use crate::attr::{AssertionKind, AssertionOverhead, KindOverhead};
-use crate::census::{CensusData, CensusEntry};
+use crate::census::{CensusData, CensusEntry, DriftScope, HeapCensus};
+use crate::hist::LatencyHistogram;
 use crate::record::{CycleKind, CycleRecord, GcPhase, GcTelemetry};
 
 /// One parsed JSONL line: the cycle record plus its optional benchmark
-/// label.
+/// label and — for fleet (multi-VM) logs — the shard that produced it.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct JsonlRecord {
     /// The `"bench"` label the line carried, if any.
     pub bench: Option<String>,
+    /// The `"shard"` index the line carried, if any (fleet logs only).
+    pub shard: Option<u64>,
     /// The cycle record itself.
     pub record: CycleRecord,
 }
@@ -123,12 +126,26 @@ fn push_census_entries(out: &mut String, key: &str, entries: &[CensusEntry]) {
 /// work (an all-zero attribution serializes as `"overhead":{}`); the
 /// `"census"` object is emitted only when the record carries one.
 pub fn record_to_json(record: &CycleRecord, bench: Option<&str>) -> String {
+    record_to_json_tagged(record, bench, None)
+}
+
+/// As [`record_to_json`], additionally tagging the line with the shard
+/// index that produced it (emitted right after `"bench"`). Fleet soak
+/// logs use this so per-shard streams stay attributable after merging.
+pub fn record_to_json_tagged(
+    record: &CycleRecord,
+    bench: Option<&str>,
+    shard: Option<u64>,
+) -> String {
     let mut out = String::with_capacity(256);
     out.push('{');
     if let Some(b) = bench {
         out.push_str("\"bench\":");
         escape_json(b, &mut out);
         out.push(',');
+    }
+    if let Some(s) = shard {
+        out.push_str(&format!("\"shard\":{s},"));
     }
     out.push_str(&format!(
         "\"seq\":{},\"kind\":\"{}\",\"total_ns\":{},\"pre_root_ns\":{},\
@@ -185,9 +202,18 @@ pub fn record_to_json(record: &CycleRecord, bench: Option<&str>) -> String {
 /// newline after each — optionally labelling every line with a benchmark
 /// name.
 pub fn records_to_jsonl(records: &[CycleRecord], bench: Option<&str>) -> String {
+    records_to_jsonl_tagged(records, bench, None)
+}
+
+/// As [`records_to_jsonl`], tagging every line with a shard index.
+pub fn records_to_jsonl_tagged(
+    records: &[CycleRecord],
+    bench: Option<&str>,
+    shard: Option<u64>,
+) -> String {
     let mut out = String::new();
     for record in records {
-        out.push_str(&record_to_json(record, bench));
+        out.push_str(&record_to_json_tagged(record, bench, shard));
         out.push('\n');
     }
     out
@@ -537,6 +563,16 @@ fn decode_record(
             })
         }
     };
+    let shard = match get(fields, "shard") {
+        None | Some(Val::Null) => None,
+        Some(Val::Int(n)) => Some(*n),
+        Some(_) => {
+            return Err(TelemetryParseError::WrongType {
+                line,
+                field: "shard",
+            })
+        }
+    };
     let kind = match get(fields, "kind") {
         None => CycleKind::Major,
         Some(Val::Str(s)) if s == "major" => CycleKind::Major,
@@ -595,6 +631,7 @@ fn decode_record(
     };
     Ok(JsonlRecord {
         bench,
+        shard,
         record: CycleRecord {
             seq: get_u64(fields, "seq", line)?,
             kind,
@@ -655,25 +692,83 @@ fn ns_as_seconds(ns: u64) -> String {
     format!("{}.{:09}", ns / 1_000_000_000, ns % 1_000_000_000)
 }
 
-fn push_histogram(out: &mut String, name: &str, hist: &crate::hist::LatencyHistogram) {
-    out.push_str(&format!(
-        "# HELP {name} Log2-bucketed pause time histogram (seconds).\n"
-    ));
-    out.push_str(&format!("# TYPE {name} histogram\n"));
+/// Escapes a Prometheus label *value* per the text exposition format:
+/// backslash, double-quote and newline become `\\`, `\"` and `\n`;
+/// everything else (including other control characters and UTF-8) passes
+/// through verbatim. Shared by the telemetry, census and fleet renderers
+/// so hostile class/site names can never break a scrape.
+pub fn prom_escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one `key="value"` label pair with the value escaped.
+pub fn prom_label(key: &str, value: &str) -> String {
+    format!("{key}=\"{}\"", prom_escape_label(value))
+}
+
+/// Joins a pre-rendered label prefix (e.g. `shard="3"`) with a family's
+/// own labels into a `{...}` label set; empty when both parts are empty,
+/// so unlabelled single-VM output keeps its historical shape.
+fn labelset(prefix: &str, rest: &str) -> String {
+    match (prefix.is_empty(), rest.is_empty()) {
+        (true, true) => String::new(),
+        (false, true) => format!("{{{prefix}}}"),
+        (true, false) => format!("{{{rest}}}"),
+        (false, false) => format!("{{{prefix},{rest}}}"),
+    }
+}
+
+fn push_help_type(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n"));
+    out.push_str(&format!("# TYPE {name} {kind}\n"));
+}
+
+/// Emits one histogram's sample lines (`_bucket`/`_sum`/`_count`, no
+/// HELP/TYPE headers) with `prefix` merged into every label set. Buckets
+/// are emitted up to the highest non-empty one, then `+Inf`.
+pub fn push_histogram_series(out: &mut String, name: &str, hist: &LatencyHistogram, prefix: &str) {
     let mut cumulative = 0u64;
     if let Some(max) = hist.max_bucket() {
         for (i, &c) in hist.bucket_counts().iter().enumerate().take(max + 1) {
             cumulative += c;
-            let le = crate::hist::LatencyHistogram::bucket_upper_bound(i);
-            out.push_str(&format!(
-                "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
-                ns_as_seconds(le)
-            ));
+            let le = LatencyHistogram::bucket_upper_bound(i);
+            let ls = labelset(prefix, &format!("le=\"{}\"", ns_as_seconds(le)));
+            out.push_str(&format!("{name}_bucket{ls} {cumulative}\n"));
         }
     }
-    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", hist.count()));
-    out.push_str(&format!("{name}_sum {}\n", ns_as_seconds(hist.sum_ns())));
-    out.push_str(&format!("{name}_count {}\n", hist.count()));
+    let ls = labelset(prefix, "le=\"+Inf\"");
+    out.push_str(&format!("{name}_bucket{ls} {}\n", hist.count()));
+    let ls = labelset(prefix, "");
+    out.push_str(&format!(
+        "{name}_sum{ls} {}\n",
+        ns_as_seconds(hist.sum_ns())
+    ));
+    out.push_str(&format!("{name}_count{ls} {}\n", hist.count()));
+}
+
+/// Emits one histogram metric family: HELP/TYPE headers once, then one
+/// series per `(label-prefix, histogram)` pair. Used by the fleet
+/// exporter (one series per shard) and by external consumers (the soak
+/// harness's request-latency histograms).
+pub fn push_histogram_family(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    series: &[(String, &LatencyHistogram)],
+) {
+    push_help_type(out, name, help, "histogram");
+    for (prefix, hist) in series {
+        push_histogram_series(out, name, hist, prefix);
+    }
 }
 
 /// Renders a snapshot in the Prometheus text exposition format.
@@ -693,62 +788,293 @@ fn push_histogram(out: &mut String, name: &str, hist: &crate::hist::LatencyHisto
 ///   non-empty one.
 pub fn to_prometheus(t: &GcTelemetry) -> String {
     let mut out = String::with_capacity(2048);
+    push_telemetry_families(&mut out, &[(String::new(), t)]);
+    out
+}
 
-    out.push_str("# HELP gca_gc_cycles_total Major collection cycles observed.\n");
-    out.push_str("# TYPE gca_gc_cycles_total counter\n");
-    out.push_str(&format!("gca_gc_cycles_total {}\n", t.cycles()));
-
-    out.push_str("# HELP gca_gc_minor_cycles_total Minor collection cycles observed.\n");
-    out.push_str("# TYPE gca_gc_minor_cycles_total counter\n");
-    out.push_str(&format!("gca_gc_minor_cycles_total {}\n", t.minor_cycles()));
-
-    out.push_str("# HELP gca_gc_violations_total Assertion violations detected.\n");
-    out.push_str("# TYPE gca_gc_violations_total counter\n");
-    out.push_str(&format!("gca_gc_violations_total {}\n", t.violations()));
-
-    out.push_str("# HELP gca_gc_phase_seconds_total Cumulative wall time per GC phase.\n");
-    out.push_str("# TYPE gca_gc_phase_seconds_total counter\n");
-    for phase in GcPhase::ALL {
+/// Emits every telemetry metric family: HELP/TYPE once per family, then
+/// one series per `(label-prefix, snapshot)` pair. With a single empty
+/// prefix this is exactly the historical [`to_prometheus`] output; the
+/// fleet exporter passes one `shard="i"` prefix per shard.
+fn push_telemetry_families(out: &mut String, shards: &[(String, &GcTelemetry)]) {
+    push_help_type(
+        out,
+        "gca_gc_cycles_total",
+        "Major collection cycles observed.",
+        "counter",
+    );
+    for (p, t) in shards {
         out.push_str(&format!(
-            "gca_gc_phase_seconds_total{{phase=\"{}\"}} {}\n",
-            phase.label(),
-            ns_as_seconds(t.phase_total(phase).as_nanos() as u64)
+            "gca_gc_cycles_total{} {}\n",
+            labelset(p, ""),
+            t.cycles()
         ));
     }
 
-    out.push_str(
-        "# HELP gca_gc_worker_mark_seconds_total Cumulative mark-phase busy time per worker.\n",
+    push_help_type(
+        out,
+        "gca_gc_minor_cycles_total",
+        "Minor collection cycles observed.",
+        "counter",
     );
-    out.push_str("# TYPE gca_gc_worker_mark_seconds_total counter\n");
-    for (i, &ns) in t.worker_mark_ns().iter().enumerate() {
+    for (p, t) in shards {
         out.push_str(&format!(
-            "gca_gc_worker_mark_seconds_total{{worker=\"{i}\"}} {}\n",
-            ns_as_seconds(ns)
+            "gca_gc_minor_cycles_total{} {}\n",
+            labelset(p, ""),
+            t.minor_cycles()
         ));
     }
 
-    out.push_str(
-        "# HELP gca_assertion_overhead_total Assertion-checking work units by kind and mechanism.\n",
+    push_help_type(
+        out,
+        "gca_gc_violations_total",
+        "Assertion violations detected.",
+        "counter",
     );
-    out.push_str("# TYPE gca_assertion_overhead_total counter\n");
-    for kind in AssertionKind::ALL {
-        let k = t.overhead().kind(kind);
-        let cells = [
-            ("registered", k.registered),
-            ("header_bit_checks", k.header_bit_checks),
-            ("counter_bumps", k.counter_bumps),
-            ("extra_edges_traced", k.extra_edges_traced),
-            ("phase_work", k.phase_work),
-        ];
-        for (metric, value) in cells {
+    for (p, t) in shards {
+        out.push_str(&format!(
+            "gca_gc_violations_total{} {}\n",
+            labelset(p, ""),
+            t.violations()
+        ));
+    }
+
+    push_help_type(
+        out,
+        "gca_gc_phase_seconds_total",
+        "Cumulative wall time per GC phase.",
+        "counter",
+    );
+    for (p, t) in shards {
+        for phase in GcPhase::ALL {
             out.push_str(&format!(
-                "gca_assertion_overhead_total{{kind=\"{}\",metric=\"{metric}\"}} {value}\n",
-                kind.label()
+                "gca_gc_phase_seconds_total{} {}\n",
+                labelset(p, &format!("phase=\"{}\"", phase.label())),
+                ns_as_seconds(t.phase_total(phase).as_nanos() as u64)
             ));
         }
     }
 
-    push_histogram(&mut out, "gca_gc_pause_seconds", t.pause_histogram());
+    push_help_type(
+        out,
+        "gca_gc_worker_mark_seconds_total",
+        "Cumulative mark-phase busy time per worker.",
+        "counter",
+    );
+    for (p, t) in shards {
+        for (i, &ns) in t.worker_mark_ns().iter().enumerate() {
+            out.push_str(&format!(
+                "gca_gc_worker_mark_seconds_total{} {}\n",
+                labelset(p, &format!("worker=\"{i}\"")),
+                ns_as_seconds(ns)
+            ));
+        }
+    }
+
+    push_help_type(
+        out,
+        "gca_assertion_overhead_total",
+        "Assertion-checking work units by kind and mechanism.",
+        "counter",
+    );
+    for (p, t) in shards {
+        for kind in AssertionKind::ALL {
+            let k = t.overhead().kind(kind);
+            let cells = [
+                ("registered", k.registered),
+                ("header_bit_checks", k.header_bit_checks),
+                ("counter_bumps", k.counter_bumps),
+                ("extra_edges_traced", k.extra_edges_traced),
+                ("phase_work", k.phase_work),
+            ];
+            for (metric, value) in cells {
+                out.push_str(&format!(
+                    "gca_assertion_overhead_total{} {value}\n",
+                    labelset(p, &format!("kind=\"{}\",metric=\"{metric}\"", kind.label()))
+                ));
+            }
+        }
+    }
+
+    push_help_type(
+        out,
+        "gca_gc_pause_seconds",
+        "Log2-bucketed pause time histogram (seconds).",
+        "histogram",
+    );
+    for (p, t) in shards {
+        push_histogram_series(out, "gca_gc_pause_seconds", t.pause_histogram(), p);
+    }
+}
+
+/// Emits every census metric family, HELP/TYPE once per family, one
+/// series set per `(label-prefix, census)` pair. Class, site and drift
+/// names are escaped with [`prom_escape_label`] — a hostile name
+/// (backslashes, quotes, embedded newlines) must never corrupt a scrape.
+pub(crate) fn push_census_families(out: &mut String, shards: &[(String, &HeapCensus)]) {
+    push_help_type(
+        out,
+        "gca_census_cycles_total",
+        "Major census cycles recorded.",
+        "counter",
+    );
+    for (p, c) in shards {
+        out.push_str(&format!(
+            "gca_census_cycles_total{} {}\n",
+            labelset(p, ""),
+            c.cycles()
+        ));
+    }
+    push_help_type(
+        out,
+        "gca_census_minor_cycles_total",
+        "Minor census cycles recorded.",
+        "counter",
+    );
+    for (p, c) in shards {
+        out.push_str(&format!(
+            "gca_census_minor_cycles_total{} {}\n",
+            labelset(p, ""),
+            c.minor_cycles()
+        ));
+    }
+
+    push_help_type(
+        out,
+        "gca_census_live_objects",
+        "Live objects per class, latest major census (top classes by bytes).",
+        "gauge",
+    );
+    for (p, c) in shards {
+        if let Some(latest) = c.latest() {
+            for e in latest.data.top_classes_by_bytes(crate::census::PROM_TOP_N) {
+                out.push_str(&format!(
+                    "gca_census_live_objects{} {}\n",
+                    labelset(p, &prom_label("class", &e.name)),
+                    e.objects
+                ));
+            }
+        }
+    }
+    push_help_type(
+        out,
+        "gca_census_live_bytes",
+        "Live bytes per class, latest major census (top classes by bytes).",
+        "gauge",
+    );
+    for (p, c) in shards {
+        if let Some(latest) = c.latest() {
+            for e in latest.data.top_classes_by_bytes(crate::census::PROM_TOP_N) {
+                out.push_str(&format!(
+                    "gca_census_live_bytes{} {}\n",
+                    labelset(p, &prom_label("class", &e.name)),
+                    e.bytes
+                ));
+            }
+        }
+    }
+    push_help_type(
+        out,
+        "gca_census_site_live_bytes",
+        "Live bytes per allocation site, latest major census (top sites by bytes).",
+        "gauge",
+    );
+    for (p, c) in shards {
+        if let Some(latest) = c.latest() {
+            for e in latest.data.top_sites_by_bytes(crate::census::PROM_TOP_N) {
+                out.push_str(&format!(
+                    "gca_census_site_live_bytes{} {}\n",
+                    labelset(p, &prom_label("site", &e.name)),
+                    e.bytes
+                ));
+            }
+        }
+    }
+
+    push_help_type(
+        out,
+        "gca_census_drifting_keys",
+        "Classes and sites currently flagged as drifting.",
+        "gauge",
+    );
+    for (p, c) in shards {
+        out.push_str(&format!(
+            "gca_census_drifting_keys{} {}\n",
+            labelset(p, ""),
+            c.drifts().len()
+        ));
+    }
+    push_help_type(
+        out,
+        "gca_census_drift",
+        "Keys flagged as drifting (value = last observed live objects).",
+        "gauge",
+    );
+    for (p, c) in shards {
+        for d in c.drifts() {
+            out.push_str(&format!(
+                "gca_census_drift{} {}\n",
+                labelset(
+                    p,
+                    &format!(
+                        "scope=\"{}\",{}",
+                        d.scope.label(),
+                        prom_label("name", &d.name)
+                    )
+                ),
+                d.last_objects
+            ));
+        }
+    }
+    push_help_type(
+        out,
+        "gca_census_suggested_instance_limit",
+        "Data-derived assert-instances limit for drifted classes.",
+        "gauge",
+    );
+    for (p, c) in shards {
+        for d in c.drifts() {
+            if d.scope == DriftScope::Class {
+                out.push_str(&format!(
+                    "gca_census_suggested_instance_limit{} {}\n",
+                    labelset(p, &prom_label("class", &d.name)),
+                    d.suggested_limit
+                ));
+            }
+        }
+    }
+}
+
+/// One shard's exportable state for [`fleet_to_prometheus`].
+#[derive(Debug)]
+pub struct ShardExport<'a> {
+    /// The `shard` label value (conventionally the shard index).
+    pub shard: String,
+    /// The shard's telemetry snapshot.
+    pub telemetry: &'a GcTelemetry,
+    /// The shard's census snapshot, when census is enabled.
+    pub census: Option<&'a HeapCensus>,
+}
+
+/// Renders a whole fleet's telemetry (and census, where enabled) in the
+/// Prometheus text exposition format: HELP/TYPE once per metric family,
+/// then one series per shard carrying a `shard="i"` label merged into the
+/// family's own labels. This is the `/metrics` payload of the soak
+/// harness's scrape endpoint.
+pub fn fleet_to_prometheus(shards: &[ShardExport<'_>]) -> String {
+    let mut out = String::with_capacity(4096 * shards.len().max(1));
+    let tel: Vec<(String, &GcTelemetry)> = shards
+        .iter()
+        .map(|s| (prom_label("shard", &s.shard), s.telemetry))
+        .collect();
+    push_telemetry_families(&mut out, &tel);
+    let cens: Vec<(String, &HeapCensus)> = shards
+        .iter()
+        .filter_map(|s| s.census.map(|c| (prom_label("shard", &s.shard), c)))
+        .collect();
+    if !cens.is_empty() {
+        push_census_families(&mut out, &cens);
+    }
     out
 }
 
@@ -790,6 +1116,46 @@ mod tests {
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].bench.as_deref(), Some("bh"));
         assert_eq!(parsed[0].record, rec);
+    }
+
+    #[test]
+    fn shard_tag_roundtrips_and_is_absent_by_default() {
+        let rec = sample_record();
+        let plain = record_to_json(&rec, Some("bh"));
+        assert!(!plain.contains("\"shard\""));
+        let tagged = record_to_json_tagged(&rec, Some("bh"), Some(3));
+        assert!(tagged.starts_with("{\"bench\":\"bh\",\"shard\":3,\"seq\":"));
+        let parsed = parse_jsonl(&tagged).unwrap();
+        assert_eq!(parsed[0].shard, Some(3));
+        assert_eq!(parsed[0].bench.as_deref(), Some("bh"));
+        assert_eq!(parsed[0].record, rec);
+        // Without a bench label the shard still leads the record.
+        let bare = record_to_json_tagged(&rec, None, Some(0));
+        assert!(bare.starts_with("{\"shard\":0,\"seq\":"));
+        let parsed = parse_jsonl(&bare).unwrap();
+        assert_eq!(parsed[0].shard, Some(0));
+        assert_eq!(parsed[0].bench, None);
+        // A wrong-typed shard errors cleanly.
+        assert!(parse_jsonl("{\"shard\":\"x\",\"seq\":1}").is_err());
+    }
+
+    #[test]
+    fn fleet_jsonl_merge_stays_attributable() {
+        let recs = [sample_record(), CycleRecord::default()];
+        let mut merged = String::new();
+        for (shard, rec) in recs.iter().enumerate() {
+            merged.push_str(&records_to_jsonl_tagged(
+                std::slice::from_ref(rec),
+                Some("soak"),
+                Some(shard as u64),
+            ));
+        }
+        let parsed = parse_jsonl(&merged).unwrap();
+        assert_eq!(parsed.len(), 2);
+        for (i, line) in parsed.iter().enumerate() {
+            assert_eq!(line.shard, Some(i as u64));
+            assert_eq!(line.record, recs[i]);
+        }
     }
 
     #[test]
@@ -932,6 +1298,90 @@ mod tests {
         assert_eq!(ns_as_seconds(1), "0.000000001");
         assert_eq!(ns_as_seconds(1_500_000_000), "1.500000000");
         assert_eq!(ns_as_seconds(u64::MAX), "18446744073.709551615");
+    }
+
+    #[test]
+    fn hostile_label_values_are_escaped_per_exposition_format() {
+        // The three characters the exposition format requires escaping in
+        // label values: backslash, double quote, newline.
+        assert_eq!(prom_escape_label(r"C:\temp"), r"C:\\temp");
+        assert_eq!(prom_escape_label("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(prom_escape_label("a\nb"), "a\\nb");
+        // Pin the full rendered line for a hostile allocation-site name.
+        let mut census = HeapCensus::new();
+        census.record_major(CensusData {
+            classes: Vec::new(),
+            sites: vec![CensusEntry {
+                name: "Evil\\site\"x\"\nalloc".to_owned(),
+                objects: 2,
+                bytes: 64,
+            }],
+        });
+        let text = census.to_prometheus();
+        let want = "gca_census_site_live_bytes{site=\"Evil\\\\site\\\"x\\\"\\nalloc\"} 64";
+        assert!(
+            text.lines().any(|l| l == want),
+            "missing exact line {want:?} in:\n{text}"
+        );
+        // No raw newline may survive inside any sample line: every line
+        // must still be a well-formed `name{labels} value` or comment.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.rsplit_once(' ').is_some(),
+                "malformed line: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_prometheus_merges_shards_under_one_header_set() {
+        let mut t0 = GcTelemetry::new();
+        t0.record(sample_record());
+        let t1 = GcTelemetry::new();
+        let mut census = HeapCensus::new();
+        census.record_major(CensusData {
+            classes: vec![CensusEntry {
+                name: "Session".to_owned(),
+                objects: 5,
+                bytes: 200,
+            }],
+            sites: Vec::new(),
+        });
+        let text = fleet_to_prometheus(&[
+            ShardExport {
+                shard: "0".to_owned(),
+                telemetry: &t0,
+                census: Some(&census),
+            },
+            ShardExport {
+                shard: "1".to_owned(),
+                telemetry: &t1,
+                census: None,
+            },
+        ]);
+        // Exactly one HELP/TYPE per family even with two shards.
+        assert_eq!(
+            text.matches("# HELP gca_gc_cycles_total ").count(),
+            1,
+            "duplicate headers in:\n{text}"
+        );
+        assert_eq!(text.matches("# TYPE gca_gc_pause_seconds ").count(), 1);
+        for needle in [
+            "gca_gc_cycles_total{shard=\"0\"} 1",
+            "gca_gc_cycles_total{shard=\"1\"} 0",
+            "gca_gc_violations_total{shard=\"0\"} 2",
+            "gca_gc_phase_seconds_total{shard=\"0\",phase=\"mark\"}",
+            "gca_gc_worker_mark_seconds_total{shard=\"0\",worker=\"1\"}",
+            "gca_assertion_overhead_total{shard=\"1\",kind=\"dead\",metric=\"registered\"} 0",
+            "gca_gc_pause_seconds_bucket{shard=\"0\",le=\"+Inf\"} 1",
+            "gca_gc_pause_seconds_sum{shard=\"1\"} 0.000000000",
+            "gca_census_live_objects{shard=\"0\",class=\"Session\"} 5",
+            "gca_census_cycles_total{shard=\"0\"} 1",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // Shard 1 has no census, so no census series for it.
+        assert!(!text.contains("gca_census_cycles_total{shard=\"1\"}"));
     }
 
     #[test]

@@ -101,6 +101,31 @@ impl LatencyHistogram {
     pub fn mean_ns(&self) -> u64 {
         self.sum_ns.checked_div(self.count).unwrap_or(0)
     }
+
+    /// Upper bound (in nanoseconds) of the bucket holding the requested
+    /// quantile, with the quantile given as an integer percentage
+    /// (`50` = p50, `99` = p99, clamped to 1..=100). Returns 0 when the
+    /// histogram is empty.
+    ///
+    /// Because buckets are log₂-sized the answer is the quantile rounded
+    /// *up* to its bucket boundary — a conservative (never understated)
+    /// figure, which is the right direction for SLO reporting.
+    pub fn quantile_ns(&self, percent: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let percent = percent.clamp(1, 100);
+        // Rank of the quantile sample, 1-based, rounded up.
+        let rank = (self.count * percent).div_ceil(100).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return Self::bucket_upper_bound(i);
+            }
+        }
+        Self::bucket_upper_bound(BUCKETS - 1)
+    }
 }
 
 #[cfg(test)]
@@ -145,6 +170,25 @@ mod tests {
         assert_eq!(LatencyHistogram::bucket_upper_bound(10), 1023);
         assert_eq!(LatencyHistogram::bucket_upper_bound(63), u64::MAX);
         assert_eq!(LatencyHistogram::bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_round_up_to_bucket_bounds() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ns(50), 0, "empty histogram");
+        for _ in 0..90 {
+            h.record_ns(700); // bucket 10: [512, 1024)
+        }
+        for _ in 0..10 {
+            h.record_ns(5_000); // bucket 13: [4096, 8192)
+        }
+        assert_eq!(h.quantile_ns(50), 1023);
+        assert_eq!(h.quantile_ns(90), 1023);
+        assert_eq!(h.quantile_ns(99), 8191);
+        assert_eq!(h.quantile_ns(100), 8191);
+        // Out-of-range quantiles clamp instead of panicking.
+        assert_eq!(h.quantile_ns(0), 1023);
+        assert_eq!(h.quantile_ns(700), 8191);
     }
 
     #[test]

@@ -46,6 +46,6 @@ pub use census::{
     CensusData, CensusDrift, CensusEntry, CycleCensus, DriftScope, HeapCensus, HeapDiff,
     HeapDiffRow,
 };
-pub use export::{JsonlRecord, TelemetryParseError};
+pub use export::{fleet_to_prometheus, JsonlRecord, ShardExport, TelemetryParseError};
 pub use hist::LatencyHistogram;
 pub use record::{CycleKind, CycleRecord, GcPhase, GcTelemetry};

@@ -15,7 +15,10 @@
 //!   the Customer→Order leak, the `oldCompany` drag, and the orderTable
 //!   BTree leak), [`db`] (`_209_db` with ownership assertions),
 //!   [`lusearch_app`] (the 32-IndexSearcher finding), and [`swapleak`]
-//!   (the hidden inner-class reference).
+//!   (the hidden inner-class reference);
+//! * [`scenario`] — session-style scenarios driven one request at a time
+//!   by the fleet soak harness ([`session_cache`], [`social_graph`],
+//!   [`broker`]), each doubling as a batch [`runner::Workload`].
 //!
 //! All workloads are deterministic (seeded [`rand::rngs::SmallRng`]), so
 //! every experiment in the repository reproduces bit-for-bit.
@@ -24,11 +27,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod broker;
 pub mod db;
 pub mod luindex_app;
 pub mod lusearch_app;
 pub mod pseudojbb;
 pub mod runner;
+pub mod scenario;
+pub mod session_cache;
+pub mod social_graph;
 pub mod structures;
 pub mod suite;
 pub mod swapleak;

@@ -1,0 +1,156 @@
+//! Stepwise session scenarios — the request-at-a-time face of a workload.
+//!
+//! The batch [`crate::runner::Workload`] interface runs a whole workload
+//! against a fresh VM; the fleet soak harness instead needs to *drive*
+//! a VM one request at a time, under arrival-rate control, while the
+//! observability plane watches from outside. A [`Scenario`] is that
+//! stepwise face: `setup` builds the steady-state heap (so the census
+//! sees a plateau, not a startup ramp), then each `request` call serves
+//! one simulated user request, registering the scenario's GC assertions
+//! when they are enabled.
+//!
+//! Scenarios are deterministic (seeded RNG) and designed to be
+//! *assertion-clean*: with assertions on and no injected fault, a
+//! scenario must produce zero violations and zero census drift at steady
+//! state — the fleet's false-positive measurement depends on it.
+
+use gc_assertions::{Vm, VmError};
+
+use crate::broker::MessageBroker;
+use crate::session_cache::SessionCache;
+use crate::social_graph::SocialGraph;
+
+/// A workload that can be driven one request at a time.
+///
+/// Implementations must be deterministic for a fixed seed and must keep
+/// their live set bounded at steady state (the census drift detector is
+/// watching). `Send` so a fleet can run one scenario per shard thread.
+pub trait Scenario: Send {
+    /// Display name (matches [`ScenarioKind::label`]).
+    fn name(&self) -> &'static str;
+
+    /// Heap budget in words suited to one shard running this scenario.
+    fn heap_budget(&self) -> usize;
+
+    /// One-time heap construction on a fresh VM, through to steady state.
+    ///
+    /// # Errors
+    ///
+    /// VM errors (should not occur for a correct scenario).
+    fn setup(&mut self, vm: &mut Vm, assertions: bool) -> Result<(), VmError>;
+
+    /// Serves one request. `assertions` selects whether the scenario's
+    /// own GC assertions ride along (the always-on-monitor configuration).
+    ///
+    /// # Errors
+    ///
+    /// VM errors (should not occur for a correct scenario).
+    fn request(&mut self, vm: &mut Vm, assertions: bool) -> Result<(), VmError>;
+
+    /// Scenario-specific counters for the fleet status plane
+    /// (name, value) — hits/misses, messages produced, and so on.
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
+}
+
+/// The built-in session-style scenarios the soak harness can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// LRU session cache: lookups, misses, evictions asserted dead.
+    SessionCache,
+    /// Social-graph friend-of-friend traversal with region-bracketed
+    /// per-request temporaries.
+    SocialGraph,
+    /// Message-broker topic queues: single-owner messages, unshared and
+    /// ownership assertions, acked messages asserted dead.
+    Broker,
+}
+
+impl ScenarioKind {
+    /// All kinds, in reporting order.
+    pub const ALL: [ScenarioKind; 3] = [
+        ScenarioKind::SessionCache,
+        ScenarioKind::SocialGraph,
+        ScenarioKind::Broker,
+    ];
+
+    /// Stable CLI/exporter label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScenarioKind::SessionCache => "session-cache",
+            ScenarioKind::SocialGraph => "social-graph",
+            ScenarioKind::Broker => "broker",
+        }
+    }
+
+    /// Parses a CLI label (as printed by [`ScenarioKind::label`]).
+    pub fn parse(s: &str) -> Option<ScenarioKind> {
+        ScenarioKind::ALL.into_iter().find(|k| k.label() == s)
+    }
+
+    /// Builds a fresh scenario instance with soak-sized parameters,
+    /// seeded deterministically.
+    pub fn build(self, seed: u64) -> Box<dyn Scenario> {
+        match self {
+            ScenarioKind::SessionCache => Box::new(SessionCache::new(seed)),
+            ScenarioKind::SocialGraph => Box::new(SocialGraph::new(seed)),
+            ScenarioKind::Broker => Box::new(MessageBroker::new(seed)),
+        }
+    }
+}
+
+impl std::fmt::Display for ScenarioKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_assertions::VmConfig;
+
+    #[test]
+    fn labels_parse_back() {
+        for kind in ScenarioKind::ALL {
+            assert_eq!(ScenarioKind::parse(kind.label()), Some(kind));
+            assert_eq!(kind.to_string(), kind.label());
+        }
+        assert_eq!(ScenarioKind::parse("nope"), None);
+    }
+
+    /// Every scenario, driven stepwise with assertions on, stays
+    /// violation-free and census-drift-free at steady state — the
+    /// clean-shard guarantee the fleet's false-positive rate rests on.
+    #[test]
+    fn every_scenario_is_assertion_clean_and_drift_free() {
+        for kind in ScenarioKind::ALL {
+            let mut s = kind.build(7);
+            let mut vm = Vm::new(
+                VmConfig::builder()
+                    .heap_budget(s.heap_budget())
+                    .grow_on_oom(true)
+                    .telemetry(true)
+                    .census(true)
+                    .build(),
+            );
+            s.setup(&mut vm, true).unwrap();
+            for _ in 0..400 {
+                s.request(&mut vm, true).unwrap();
+            }
+            vm.collect().unwrap();
+            assert_eq!(
+                vm.violation_log().len(),
+                0,
+                "{kind}: clean scenario must not violate"
+            );
+            assert!(
+                vm.census().drifts().is_empty(),
+                "{kind}: steady state must not drift: {:?}",
+                vm.census().drifts()
+            );
+            assert!(vm.collections() > 0, "{kind}: soak pressure must collect");
+        }
+    }
+}
