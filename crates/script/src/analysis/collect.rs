@@ -288,7 +288,7 @@ impl Cycle {
 
 /// Mirror of `OwnershipTable::retire` + the strict-owner-lifetime
 /// reporting in `gc_end` / `after_minor`.
-fn retire(
+pub(crate) fn retire(
     st: &mut AbsState,
     dead_ownees: &[ObjId],
     dead_owners: &[ObjId],

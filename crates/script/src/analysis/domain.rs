@@ -86,6 +86,15 @@ pub(crate) struct AbsObj {
     /// Line of the `start-region` whose region allocated this object
     /// (sticky provenance for diagnostics).
     pub region_site: Option<usize>,
+    /// A bounded access-graph summary node: this object stands for
+    /// *every* allocation its site performs inside a summarized
+    /// `repeat`/`proc` body, so field stores to it are weak updates.
+    pub summary: bool,
+    /// Weak field edges accumulated on a summary node: `(field, target)`
+    /// pairs that *some* concretization may hold in addition to
+    /// [`AbsObj::fields`].  Never removed — reachability through a
+    /// summary node is an over-approximation by construction.
+    pub summary_edges: Vec<(usize, ObjId)>,
 }
 
 impl AbsObj {
@@ -210,6 +219,24 @@ pub(crate) struct AbsState {
     /// Ownership was ever active during a collection: the analyzer's
     /// exactness flag for expectation predictions is cleared.
     pub exact: bool,
+    /// Summary node per allocation-site line, created while a block is
+    /// being summarized and reused on every later round/iteration.
+    pub summary_by_line: HashMap<usize, ObjId>,
+    /// A block was ever summarized: collections switch permanently to
+    /// the over-approximating access-graph collector (flag state such as
+    /// report-once suppression can no longer be tracked exactly).
+    pub summarized_ever: bool,
+    /// The per-site strawman domain is active (or a fixpoint failed to
+    /// converge): collections lose field-edge reasoning and treat every
+    /// live object as may-reachable.
+    pub graph_blind: bool,
+    /// A work cap tripped mid-replay, so the abstract heap may be
+    /// missing edges: collections must not claim Safe for anything.
+    pub havoc: bool,
+    /// Occupancy can no longer be tracked exactly (a summarized loop's
+    /// total allocation is unknown): implicit-collection and
+    /// out-of-memory prediction are disabled.
+    pub occupancy_unknown: bool,
     /// Violations predicted for the last *explicit* `gc`.
     pub last_report: Vec<super::collect::PredViolation>,
     /// All predicted violations, cumulative (mirror of the violation log).
@@ -233,8 +260,8 @@ impl AbsState {
     }
 
     /// Incoming reference count for `obj`: heap edges from live objects
-    /// plus stack roots plus globals.  Drives the
-    /// `unshared-with-two-stores` lint.
+    /// (weak summary edges included) plus stack roots plus globals.
+    /// Drives the `unshared-with-two-stores` lint.
     pub fn incoming(&self, obj: ObjId) -> usize {
         let heap_edges = self
             .objects
@@ -243,9 +270,16 @@ impl AbsState {
             .flat_map(|o| o.fields.iter())
             .filter(|f| **f == Some(obj))
             .count();
+        let weak_edges = self
+            .objects
+            .iter()
+            .filter(|o| o.alive)
+            .flat_map(|o| o.summary_edges.iter())
+            .filter(|(_, t)| *t == obj)
+            .count();
         let roots = self.roots.iter().filter(|(r, _)| *r == obj).count();
         let globals = self.globals.iter().filter(|(g, _)| *g == obj).count();
-        heap_edges + roots + globals
+        heap_edges + weak_edges + roots + globals
     }
 
     /// `label (Class, line N)` for messages and abstract paths.

@@ -30,14 +30,34 @@
 mod collect;
 mod diag;
 mod domain;
+pub mod json;
+mod suggest;
+mod summary;
 
 pub use diag::{Diagnostic, Severity};
+pub use suggest::{apply_suggestions, suggest, SuggestOutcome, Suggestion};
 
 use crate::ast::{parse_script, token_column, Command, Target};
 use crate::error::ScriptError;
 
 use collect::{Collection, CycleOutcome, PathStep, PredKind, PredViolation};
 use domain::{AbsClass, AbsObj, AbsState, InstanceLimit, ObjId, OwnerEntry, Reaction};
+
+/// Which abstract heap domain drives the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DomainKind {
+    /// Bounded access graphs (the default): `repeat`/`proc` bodies are
+    /// exactly unrolled when small, otherwise summarized to a fixpoint
+    /// with per-site summary nodes and weak field edges — looping
+    /// scripts can still earn Safe (and, via unrolling, Must) verdicts.
+    #[default]
+    AccessGraph,
+    /// The PR 4 per-site strawman: no field-edge reasoning across
+    /// loop or procedure bodies, so every assertion a loop touches
+    /// degrades to May.  Kept as a comparison baseline; `gca check
+    /// --domain per-site` selects it.
+    PerSite,
+}
 
 /// What the analyzer predicts one collection will report.
 #[derive(Debug, Clone)]
@@ -54,6 +74,11 @@ pub struct GcPrediction {
     pub must: Vec<String>,
     /// Violations possible but not promised (ownership humility).
     pub may: Vec<String>,
+    /// The prediction stands for *every* dynamic execution of this
+    /// collection site inside a summarized `repeat`/`proc` body (its
+    /// must-set is empty by construction); the differential harness
+    /// matches it against all runtime collections at this line.
+    pub summarized: bool,
 }
 
 /// The result of statically checking a script.
@@ -77,9 +102,16 @@ impl Analysis {
     }
 
     /// Renders every diagnostic plus a one-line verdict summary.
+    ///
+    /// Note-severity advisories (the liveness lints) are omitted here to
+    /// keep the classic transcript stable; they are carried in
+    /// [`Analysis::diagnostics`] and the `--json` output.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for d in &self.diagnostics {
+            if d.severity == Severity::Note {
+                continue;
+            }
             out.push_str(&d.to_string());
             out.push('\n');
         }
@@ -111,22 +143,74 @@ impl Analysis {
 /// reported as error-severity [`Diagnostic`]s in the returned
 /// [`Analysis`] instead, with analysis stopping at the first one.
 pub fn analyze(src: &str) -> Result<Analysis, ScriptError> {
+    analyze_with(src, DomainKind::AccessGraph)
+}
+
+/// [`analyze`] with an explicit abstract domain — [`DomainKind::PerSite`]
+/// reproduces the PR 4 baseline's loop-blindness for comparison pins.
+///
+/// # Errors
+///
+/// Parse errors only, exactly like [`analyze`].
+pub fn analyze_with(src: &str, domain: DomainKind) -> Result<Analysis, ScriptError> {
     let commands = parse_script(src)?;
-    let mut an = Analyzer::new(src);
+    let mut an = Analyzer::new(src, domain);
     for (line, cmd) in &commands {
         an.execute(*line, cmd);
         if an.stopped {
             break;
         }
     }
+    an.finish_analysis();
     Ok(Analysis {
         diagnostics: an.diagnostics,
         collections: an.collections,
     })
 }
 
+/// Exact unrolling bound: a `repeat` whose `count × body-length` stays at
+/// or below this replays exactly (full Must/Safe precision); larger loops
+/// are summarized to a fixpoint.
+const UNROLL_LIMIT: usize = 128;
+/// Fixpoint rounds before the analyzer gives up and goes blind (havoc).
+const MAX_ROUNDS: usize = 8;
+/// Commands replayed inside a single top-level `call` tree before the
+/// analyzer stops replaying and goes blind (guards against exponential
+/// multi-call recursion; the runtime bound is depth, not work).
+const REPLAY_WORK_LIMIT: usize = 20_000;
+/// Default `call` depth bound, mirroring the interpreter.
+const DEFAULT_CALL_LIMIT: usize = 16;
+
+/// Which structured block an open recording belongs to.
+#[derive(Debug, Clone)]
+enum BlockKind {
+    Repeat { count: usize },
+    Proc { name: String },
+}
+
+/// A block body being buffered, mirroring the interpreter's recorder.
+#[derive(Debug)]
+struct Recording {
+    kind: BlockKind,
+    line: usize,
+    /// Nested openers: `true` = repeat, `false` = proc.
+    open: Vec<bool>,
+    body: Vec<(usize, Command)>,
+}
+
+/// Per-`assert-dead`-site outcome tracking for the
+/// `redundant-assert-dead` lint.
+#[derive(Debug, Default, Clone, Copy)]
+struct DeadAssertOutcome {
+    /// Some collection examined the assertion.
+    checked: bool,
+    /// Some collection produced a (must or may) dead-reachable verdict.
+    nonsafe: bool,
+}
+
 struct Analyzer<'a> {
     st: AbsState,
+    domain: DomainKind,
     lines: Vec<&'a str>,
     diagnostics: Vec<Diagnostic>,
     collections: Vec<GcPrediction>,
@@ -134,17 +218,51 @@ struct Analyzer<'a> {
     halt_line: Option<usize>,
     /// A predicted runtime failure was emitted; analysis stops.
     stopped: bool,
+    /// Open `repeat`/`proc` block being recorded.
+    recording: Option<Recording>,
+    /// Recorded procedure bodies by name.
+    procs: std::collections::HashMap<String, Vec<(usize, Command)>>,
+    /// Dynamic `call` nesting depth (mirrors the interpreter).
+    call_depth: usize,
+    /// `config call-depth` bound.
+    call_limit: usize,
+    /// Depth of summarized-block execution (allocations become summary
+    /// nodes, collections run the summary collector).
+    summarizing: usize,
+    /// Depth of *quiet* fixpoint rounds: diagnostics and predictions are
+    /// suppressed while the state converges.
+    quiet: usize,
+    /// Commands replayed in the current top-level `call` tree.
+    replay_work: usize,
+    /// Advisory diagnostics already emitted, for idempotent loud rounds
+    /// and exact unrolling: `(line, code, message)`.
+    seen_advisory: std::collections::HashSet<(usize, &'static str, String)>,
+    /// Per-`assert-dead`-line verdict history for the redundancy lint.
+    dead_asserts: std::collections::BTreeMap<usize, DeadAssertOutcome>,
+    /// `loop-invariant-assertion` notes already emitted, by line.
+    linted_invariant: std::collections::HashSet<usize>,
 }
 
 impl<'a> Analyzer<'a> {
-    fn new(src: &'a str) -> Analyzer<'a> {
+    fn new(src: &'a str, domain: DomainKind) -> Analyzer<'a> {
         Analyzer {
             st: AbsState::new(),
+            domain,
             lines: src.lines().collect(),
             diagnostics: Vec::new(),
             collections: Vec::new(),
             halt_line: None,
             stopped: false,
+            recording: None,
+            procs: std::collections::HashMap::new(),
+            call_depth: 0,
+            call_limit: DEFAULT_CALL_LIMIT,
+            summarizing: 0,
+            quiet: 0,
+            replay_work: 0,
+            seen_advisory: std::collections::HashSet::new(),
+            dead_asserts: std::collections::BTreeMap::new(),
+            linted_invariant: std::collections::HashSet::new(),
         }
     }
 
@@ -153,6 +271,13 @@ impl<'a> Analyzer<'a> {
     }
 
     fn diag(&mut self, line: usize, severity: Severity, code: &'static str, message: String) {
+        if severity != Severity::Error {
+            // Quiet fixpoint rounds converge silently; advisory
+            // diagnostics dedupe so replayed bodies emit each once.
+            if self.quiet > 0 || !self.seen_advisory.insert((line, code, message.clone())) {
+                return;
+            }
+        }
         let column = self.col(line);
         self.diagnostics.push(Diagnostic {
             line,
@@ -396,6 +521,11 @@ impl<'a> Analyzer<'a> {
             PredKind::ImproperOwnership => "improper-ownership",
             PredKind::OwneeOutlivedOwner => "ownee-outlived-owner",
         };
+        if severity != Severity::Error
+            && (self.quiet > 0 || !self.seen_advisory.insert((line, code, message.clone())))
+        {
+            return;
+        }
         let column = self.col(line);
         self.diagnostics.push(Diagnostic {
             line,
@@ -421,6 +551,7 @@ impl<'a> Analyzer<'a> {
         if self.st.halted && self.halt_line.is_none() {
             self.halt_line = Some(line);
         }
+        self.mark_dead_outcomes(&outcome.violations);
         let mut must_summaries = Vec::new();
         let mut may_summaries = Vec::new();
         for v in &outcome.violations {
@@ -441,16 +572,44 @@ impl<'a> Analyzer<'a> {
             minor: false,
             must: must_summaries,
             may: may_summaries,
+            summarized: false,
         });
     }
 
-    fn record_minor(&mut self, line: usize, violations: Vec<PredViolation>) {
+    /// Records one *summary* cycle (a collection inside or after a
+    /// summarized block): every verdict is may, the must-set is empty by
+    /// construction, and the prediction stands for all dynamic
+    /// executions of this line.
+    fn record_summary(&mut self, line: usize, explicit: bool, outcome: CycleOutcome) {
+        self.st.exact = false;
+        self.mark_dead_outcomes(&outcome.violations);
+        let mut may_summaries = Vec::new();
+        for v in &outcome.violations {
+            self.violation_diag(line, v, true);
+            may_summaries.push(v.summary.clone());
+        }
+        if explicit {
+            self.st.last_report = outcome.violations.clone();
+        }
+        self.st.violation_log.extend(outcome.violations);
+        self.collections.push(GcPrediction {
+            line,
+            explicit,
+            minor: false,
+            must: Vec::new(),
+            may: may_summaries,
+            summarized: true,
+        });
+    }
+
+    fn record_minor(&mut self, line: usize, violations: Vec<PredViolation>, summarized: bool) {
         // Minors check no assertions; only strict-owner-lifetime
         // retirements can report, and those are ownership territory —
         // always may.
-        if !self.st.ownership.is_empty() || !violations.is_empty() {
+        if !self.st.ownership.is_empty() || !violations.is_empty() || summarized {
             self.st.exact = false;
         }
+        self.mark_dead_outcomes(&violations);
         let mut may_summaries = Vec::new();
         for v in &violations {
             self.violation_diag(line, v, true);
@@ -463,6 +622,7 @@ impl<'a> Analyzer<'a> {
             minor: true,
             must: Vec::new(),
             may: may_summaries,
+            summarized,
         });
     }
 
@@ -470,7 +630,43 @@ impl<'a> Analyzer<'a> {
         for ev in events {
             match ev {
                 Collection::Major(outcome) => self.record_major(line, false, outcome),
-                Collection::Minor(violations) => self.record_minor(line, violations),
+                Collection::Minor(violations) => self.record_minor(line, violations, false),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Redundancy lint bookkeeping
+    // ------------------------------------------------------------------
+
+    /// Before a collection runs: every live object carrying a registered
+    /// `assert-dead` is about to be examined.
+    fn pre_collect_dead_watch(&mut self) {
+        for o in &self.st.objects {
+            if o.alive && o.dead {
+                if let Some(l) = o.dead_line {
+                    if let Some(e) = self.dead_asserts.get_mut(&l) {
+                        e.checked = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// After a collection: any dead-reachable verdict (must *or* may,
+    /// quiet rounds included) disqualifies its assertion site from the
+    /// `redundant-assert-dead` note.
+    fn mark_dead_outcomes(&mut self, violations: &[PredViolation]) {
+        for v in violations {
+            if v.kind != PredKind::DeadReachable {
+                continue;
+            }
+            if let Some(obj) = v.obj {
+                if let Some(l) = self.st.objects[obj].dead_line {
+                    if let Some(e) = self.dead_asserts.get_mut(&l) {
+                        e.nonsafe = true;
+                    }
+                }
             }
         }
     }
@@ -497,11 +693,369 @@ impl<'a> Analyzer<'a> {
     }
 
     // ------------------------------------------------------------------
+    // Structured control: record/replay, exact unrolling, fixpoints
+    // ------------------------------------------------------------------
+
+    /// Collections route through the summary collector once any block
+    /// has been summarized — runtime flag state (report-once
+    /// suppression) diverges after the first summarized iteration, so
+    /// the exact replay cycle would no longer mirror the VM.
+    fn use_summary(&self) -> bool {
+        self.summarizing > 0 || self.st.summarized_ever
+    }
+
+    /// Top-level dispatch, mirroring the interpreter's streaming
+    /// recorder: while a block is open, commands buffer; structured
+    /// commands open/close blocks; everything else interprets directly.
+    fn execute(&mut self, line: usize, cmd: &Command) {
+        if self.recording.is_some() {
+            self.record(line, cmd);
+            return;
+        }
+        match cmd {
+            Command::Repeat(count) => {
+                self.recording = Some(Recording {
+                    kind: BlockKind::Repeat { count: *count },
+                    line,
+                    open: Vec::new(),
+                    body: Vec::new(),
+                });
+            }
+            Command::Proc(name) => {
+                self.recording = Some(Recording {
+                    kind: BlockKind::Proc { name: name.clone() },
+                    line,
+                    open: Vec::new(),
+                    body: Vec::new(),
+                });
+            }
+            Command::EndRepeat => self.fail(
+                line,
+                "block-structure",
+                "`end-repeat` without an open `repeat`".to_owned(),
+            ),
+            Command::EndProc => self.fail(
+                line,
+                "block-structure",
+                "`end-proc` without an open `proc`".to_owned(),
+            ),
+            Command::Call(name) => {
+                let name = name.clone();
+                self.run_call(line, &name);
+            }
+            _ => self.execute_one(line, cmd),
+        }
+    }
+
+    /// Buffers one command into the open recording, tracking nested
+    /// block structure; the matching closer replays or stores the body.
+    fn record(&mut self, line: usize, cmd: &Command) {
+        let closes_repeat = match cmd {
+            Command::EndRepeat => true,
+            Command::EndProc => false,
+            _ => {
+                let rec = self.recording.as_mut().expect("recording is open");
+                match cmd {
+                    Command::Repeat(_) => rec.open.push(true),
+                    Command::Proc(_) => rec.open.push(false),
+                    _ => {}
+                }
+                rec.body.push((line, cmd.clone()));
+                return;
+            }
+        };
+        let rec = self.recording.as_mut().expect("recording is open");
+        if let Some(opener_is_repeat) = rec.open.pop() {
+            if opener_is_repeat == closes_repeat {
+                rec.body.push((line, cmd.clone()));
+            } else {
+                self.block_mismatch(line, closes_repeat);
+            }
+            return;
+        }
+        let kind_is_repeat = matches!(rec.kind, BlockKind::Repeat { .. });
+        if kind_is_repeat != closes_repeat {
+            self.block_mismatch(line, closes_repeat);
+            return;
+        }
+        let rec = self.recording.take().expect("checked above");
+        match rec.kind {
+            BlockKind::Repeat { count } => self.run_repeat(count, &rec.body),
+            BlockKind::Proc { name } => {
+                self.procs.insert(name, rec.body);
+            }
+        }
+    }
+
+    fn block_mismatch(&mut self, line: usize, closes_repeat: bool) {
+        let msg = if closes_repeat {
+            "`end-repeat` cannot close a `proc` (use `end-proc`)"
+        } else {
+            "`end-proc` cannot close a `repeat` (use `end-repeat`)"
+        };
+        self.fail(line, "block-structure", msg.to_owned());
+    }
+
+    /// One `call`: exact depth-bounded replay under the access-graph
+    /// domain (mirroring the runtime), a blind summarized pass under
+    /// per-site.
+    fn run_call(&mut self, line: usize, name: &str) {
+        let Some(body) = self.procs.get(name).cloned() else {
+            self.fail(
+                line,
+                "unknown-proc",
+                format!("call of undefined proc `{name}` (define it with `proc {name}` first)"),
+            );
+            return;
+        };
+        if self.call_depth >= self.call_limit {
+            // The runtime treats a call at the depth bound as a no-op.
+            return;
+        }
+        if self.call_depth == 0 && self.summarizing == 0 {
+            self.replay_work = 0;
+        }
+        match self.domain {
+            DomainKind::AccessGraph => {
+                self.call_depth += 1;
+                for (l, c) in &body {
+                    self.replay_work += 1;
+                    if self.replay_work > REPLAY_WORK_LIMIT {
+                        // Multi-call recursion can be exponential in the
+                        // depth bound; past the work cap the heap may be
+                        // missing edges, so go blind instead.
+                        self.st.exact = false;
+                        self.st.summarized_ever = true;
+                        self.st.occupancy_unknown = true;
+                        self.st.havoc = true;
+                        break;
+                    }
+                    self.execute(*l, c);
+                    if self.stopped {
+                        break;
+                    }
+                }
+                self.call_depth -= 1;
+            }
+            DomainKind::PerSite => {
+                // The strawman never replays: one blind summarized pass
+                // per call level.
+                self.st.exact = false;
+                self.st.summarized_ever = true;
+                self.st.occupancy_unknown = true;
+                self.st.graph_blind = true;
+                self.summarizing += 1;
+                self.call_depth += 1;
+                for (l, c) in &body {
+                    self.execute(*l, c);
+                    if self.stopped {
+                        break;
+                    }
+                }
+                self.call_depth -= 1;
+                self.summarizing -= 1;
+            }
+        }
+    }
+
+    /// One `repeat`: small bodies unroll exactly (keeping Must/Safe
+    /// precision), large ones run to a summarized fixpoint.
+    fn run_repeat(&mut self, count: usize, body: &[(usize, Command)]) {
+        self.lint_loop_invariant(body);
+        if count == 0 || self.stopped {
+            return;
+        }
+        let cost = count.saturating_mul(body.len());
+        if self.domain == DomainKind::AccessGraph && cost <= UNROLL_LIMIT {
+            for _ in 0..count {
+                for (l, c) in body {
+                    self.execute(*l, c);
+                    if self.stopped {
+                        return;
+                    }
+                }
+            }
+        } else {
+            self.summarize_block(body);
+        }
+    }
+
+    /// Widening for a large block: allocations collapse onto per-site
+    /// summary nodes with weak (accumulate-only) field edges, quiet
+    /// rounds replay the body until the abstract state stops changing,
+    /// then one loud round emits diagnostics and summarized predictions.
+    /// Monotone by construction (summary edges only grow, variables
+    /// converge in a branch-free language); non-convergence within
+    /// [`MAX_ROUNDS`] trips [`domain::AbsState::havoc`], which blinds
+    /// every later collection instead of risking a false Safe.
+    fn summarize_block(&mut self, body: &[(usize, Command)]) {
+        self.st.exact = false;
+        self.st.summarized_ever = true;
+        self.st.occupancy_unknown = true;
+        if self.domain == DomainKind::PerSite {
+            self.st.graph_blind = true;
+        }
+        self.summarizing += 1;
+        self.quiet += 1;
+        let mut converged = false;
+        for _ in 0..MAX_ROUNDS {
+            let before = self.fingerprint();
+            for (l, c) in body {
+                self.execute(*l, c);
+                if self.stopped {
+                    break;
+                }
+            }
+            if self.stopped {
+                break;
+            }
+            if self.fingerprint() == before {
+                converged = true;
+                break;
+            }
+        }
+        self.quiet -= 1;
+        if self.stopped {
+            self.summarizing -= 1;
+            return;
+        }
+        if !converged {
+            self.st.havoc = true;
+        }
+        for (l, c) in body {
+            self.execute(*l, c);
+            if self.stopped {
+                break;
+            }
+        }
+        self.summarizing -= 1;
+    }
+
+    /// A stable digest of everything the abstract collections can
+    /// observe — the fixpoint termination test.
+    fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        let mut vars: Vec<(&String, &ObjId)> = self.st.vars.iter().collect();
+        vars.sort();
+        format!("{vars:?}").hash(&mut h);
+        for o in &self.st.objects {
+            format!(
+                "{} {} {} {} {} {} {} {} {} {:?} {:?}",
+                o.alive,
+                o.dead,
+                o.unshared,
+                o.summary,
+                o.ownee,
+                o.owner,
+                o.old,
+                o.region,
+                o.mark,
+                o.fields,
+                o.summary_edges,
+            )
+            .hash(&mut h);
+        }
+        format!(
+            "{:?} {:?} {:?} {:?} {:?} {} {:?} {} {:?}",
+            self.st.roots,
+            self.st.globals,
+            self.st.region_queue,
+            self.st.young,
+            self.st.remembered,
+            self.st.region_open,
+            self.st.frames,
+            self.st.minors_since_major,
+            self.st.ownership,
+        )
+        .hash(&mut h);
+        h.finish()
+    }
+
+    /// The `loop-invariant-assertion` note: an assertion inside a
+    /// `repeat` whose subject is never rebound in the body registers the
+    /// same object (or class limit) on every iteration.
+    fn lint_loop_invariant(&mut self, body: &[(usize, Command)]) {
+        if self.quiet > 0 {
+            return;
+        }
+        let mut rebound: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for (_, c) in body {
+            match c {
+                Command::New { var, .. } => {
+                    rebound.insert(var);
+                }
+                Command::Copy { dst, .. } => {
+                    rebound.insert(dst);
+                }
+                _ => {}
+            }
+        }
+        let mut notes = Vec::new();
+        for (l, c) in body {
+            let invariant = match c {
+                Command::AssertDead(v) | Command::AssertUnshared(v) => {
+                    !rebound.contains(v.as_str())
+                }
+                Command::AssertInstances { .. } => true,
+                _ => false,
+            };
+            if invariant && self.linted_invariant.insert(*l) {
+                notes.push(*l);
+            }
+        }
+        for l in notes {
+            self.diag(
+                l,
+                Severity::Note,
+                "loop-invariant-assertion",
+                "this assertion registers the same target on every iteration — hoist it out of the loop".to_owned(),
+            );
+        }
+    }
+
+    /// End-of-script bookkeeping: unclosed blocks fail exactly like the
+    /// interpreter, and `assert-dead` sites that stayed Safe at every
+    /// collection that examined them earn the redundancy note.
+    fn finish_analysis(&mut self) {
+        if self.stopped {
+            return;
+        }
+        if let Some(rec) = self.recording.take() {
+            let msg = match &rec.kind {
+                BlockKind::Repeat { .. } => {
+                    "`repeat` opened here is never closed by `end-repeat`".to_owned()
+                }
+                BlockKind::Proc { name } => {
+                    format!("`proc {name}` opened here is never closed by `end-proc`")
+                }
+            };
+            self.fail(rec.line, "block-structure", msg);
+            return;
+        }
+        let safe_sites: Vec<usize> = self
+            .dead_asserts
+            .iter()
+            .filter(|(_, e)| e.checked && !e.nonsafe)
+            .map(|(l, _)| *l)
+            .collect();
+        for l in safe_sites {
+            self.diag(
+                l,
+                Severity::Note,
+                "redundant-assert-dead",
+                "this `assert-dead` is proven Safe at every collection that examines it — the assertion can be removed".to_owned(),
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
     // The forward interpretation
     // ------------------------------------------------------------------
 
     #[allow(clippy::too_many_lines)]
-    fn execute(&mut self, line: usize, cmd: &Command) {
+    fn execute_one(&mut self, line: usize, cmd: &Command) {
         match cmd {
             Command::Config { key, value } => self.exec_config(line, key, value),
             Command::Class { name, fields } => {
@@ -535,8 +1089,67 @@ impl<'a> Analyzer<'a> {
                     return;
                 }
                 let nrefs = self.st.classes[cls].fields.len();
+                if self.summarizing > 0 {
+                    // Inside a summarized block one node per site line
+                    // stands for every allocation the site performs;
+                    // re-executing the site revives and reuses it.
+                    let id = match self.st.summary_by_line.get(&line) {
+                        Some(&id) if self.st.objects[id].class == cls => id,
+                        _ => {
+                            let id = self.st.objects.len();
+                            self.st.objects.push(AbsObj {
+                                class: cls,
+                                site_var: var.clone(),
+                                site_line: line,
+                                fields: vec![None; nrefs],
+                                size_words: *data_words,
+                                alive: true,
+                                dead: false,
+                                dead_line: None,
+                                unshared: false,
+                                unshared_line: None,
+                                ownee: false,
+                                owner: false,
+                                reported: false,
+                                old: false,
+                                remembered: false,
+                                mark: false,
+                                owned: false,
+                                region: false,
+                                region_site: None,
+                                summary: true,
+                                summary_edges: Vec::new(),
+                            });
+                            self.st.summary_by_line.insert(line, id);
+                            id
+                        }
+                    };
+                    self.st.objects[id].alive = true;
+                    if self.st.region_open {
+                        self.st.objects[id].region = true;
+                        if self.st.objects[id].region_site.is_none() {
+                            self.st.objects[id].region_site = Some(self.st.region_line);
+                        }
+                        if !self.st.region_queue.contains(&id) {
+                            self.st.region_queue.push(id);
+                        }
+                    }
+                    if self.st.config.generational.is_some()
+                        && !self.st.objects[id].old
+                        && !self.st.young.contains(&id)
+                    {
+                        self.st.young.push(id);
+                    }
+                    self.st.vars.insert(var.clone(), id);
+                    return;
+                }
                 let size = domain::HEADER_WORDS + nrefs + *data_words;
-                if self.st.occupied + size > self.st.config.heap_budget {
+                // Once a summarized loop has run, total allocation is
+                // unknown and implicit-collection/OOM prediction is off.
+                if !self.st.occupancy_unknown
+                    && self.st.occupied + size > self.st.config.heap_budget
+                {
+                    self.pre_collect_dead_watch();
                     let events = collect::collect_auto(&mut self.st);
                     self.record_auto(line, events);
                     if !self.check_running(line) {
@@ -580,6 +1193,8 @@ impl<'a> Analyzer<'a> {
                     owned: false,
                     region: self.st.region_open,
                     region_site: self.st.region_open.then_some(self.st.region_line),
+                    summary: false,
+                    summary_edges: Vec::new(),
                 });
                 self.st.occupied += size;
                 if self.st.config.generational.is_some() {
@@ -642,6 +1257,18 @@ impl<'a> Analyzer<'a> {
                         self.st.remembered.push(recv);
                     }
                 }
+                // Stores into a summary node are weak updates: the old
+                // value survives as an accumulate-only summary edge,
+                // because some concretization of the node still holds it.
+                if self.st.objects[recv].summary {
+                    if let Some(old) = self.st.objects[recv].fields[idx] {
+                        if Some(old) != val
+                            && !self.st.objects[recv].summary_edges.contains(&(idx, old))
+                        {
+                            self.st.objects[recv].summary_edges.push((idx, old));
+                        }
+                    }
+                }
                 self.st.objects[recv].fields[idx] = val;
                 if let Some(v) = val {
                     self.lint_use_after_dead(line, v, "storing a reference to");
@@ -693,7 +1320,11 @@ impl<'a> Analyzer<'a> {
                 let Some(obj) = self.live_var(line, var) else {
                     return;
                 };
-                self.st.roots.push((obj, line));
+                // Under summarization re-rooting dedupes so the
+                // fixpoint converges (root *multiplicity* is advisory).
+                if self.summarizing == 0 || !self.st.roots.contains(&(obj, line)) {
+                    self.st.roots.push((obj, line));
+                }
                 self.lint_use_after_dead(line, obj, "rooting");
                 self.lint_unshared_stores(line, obj);
             }
@@ -720,7 +1351,9 @@ impl<'a> Analyzer<'a> {
                 let Some(obj) = self.live_var(line, var) else {
                     return;
                 };
-                self.st.globals.push((obj, line));
+                if self.summarizing == 0 || !self.st.globals.contains(&(obj, line)) {
+                    self.st.globals.push((obj, line));
+                }
                 self.lint_use_after_dead(line, obj, "making a global of");
                 self.lint_unshared_stores(line, obj);
             }
@@ -752,6 +1385,7 @@ impl<'a> Analyzer<'a> {
                 }
                 self.st.objects[obj].dead = true;
                 self.st.objects[obj].dead_line = Some(line);
+                self.dead_asserts.entry(line).or_default();
             }
             Command::AssertUnshared(var) => {
                 self.st.started = true;
@@ -851,16 +1485,35 @@ impl<'a> Analyzer<'a> {
             }
             Command::Gc => {
                 self.st.started = true;
-                let outcome = collect::collect_major(&mut self.st);
-                self.record_major(line, true, outcome);
+                self.pre_collect_dead_watch();
+                if self.use_summary() {
+                    let outcome = summary::collect_summary(&mut self.st);
+                    if self.quiet > 0 {
+                        // Quiet fixpoint rounds converge silently, but
+                        // verdict history still feeds the lints.
+                        self.mark_dead_outcomes(&outcome.violations);
+                    } else {
+                        self.record_summary(line, true, outcome);
+                    }
+                } else {
+                    let outcome = collect::collect_major(&mut self.st);
+                    self.record_major(line, true, outcome);
+                }
             }
             Command::MinorGc => {
                 self.st.started = true;
                 if !self.check_running(line) {
                     return;
                 }
-                let violations = collect::collect_minor(&mut self.st);
-                self.record_minor(line, violations);
+                if self.use_summary() {
+                    let violations = summary::collect_minor_summary(&mut self.st);
+                    if self.quiet == 0 {
+                        self.record_minor(line, violations, true);
+                    }
+                } else {
+                    let violations = collect::collect_minor(&mut self.st);
+                    self.record_minor(line, violations, false);
+                }
             }
             Command::Probe(var) => {
                 self.st.started = true;
@@ -960,6 +1613,20 @@ impl<'a> Analyzer<'a> {
                         );
                     }
                 }
+            }
+            Command::Copy { dst, src } => {
+                self.st.started = true;
+                let Some(obj) = self.var(line, src) else {
+                    return;
+                };
+                self.st.vars.insert(dst.clone(), obj);
+            }
+            Command::Repeat(_)
+            | Command::EndRepeat
+            | Command::Proc(_)
+            | Command::EndProc
+            | Command::Call(_) => {
+                unreachable!("structured commands are dispatched by `execute`")
             }
         }
     }
@@ -1115,6 +1782,16 @@ impl<'a> Analyzer<'a> {
                     true
                 }
                 _ => false,
+            },
+            // Worker count changes scheduling, never verdicts — the
+            // analyzer only validates the value.
+            "gc-threads" => value.parse::<usize>().is_ok(),
+            "call-depth" => match value.parse::<usize>() {
+                Ok(v) => {
+                    self.call_limit = v;
+                    true
+                }
+                Err(_) => false,
             },
             _ => false,
         };
@@ -1336,5 +2013,135 @@ mod tests {
         let r = a.render();
         assert!(r.contains("error[dead-reachable] line 5"), "{r}");
         assert!(r.contains("1 error(s)"), "{r}");
+    }
+
+    /// A list built by a large loop, then severed: per-site can only say
+    /// May, the access graph proves Safe.
+    const LIST_LOOP: &str = "class Head next\nclass Cell next\nnew head Head\nroot head\ncopy prev head\nrepeat 200\nnew cell Cell\nset prev.next cell\ncopy prev cell\nend-repeat\nset head.next null\nassert-dead prev\ngc\nexpect-violations 0\n";
+
+    #[test]
+    fn summarized_loop_earns_safe_where_per_site_says_may() {
+        let a = analyze(LIST_LOOP).unwrap();
+        assert!(errors(&a).is_empty(), "{:?}", a.diagnostics);
+        assert!(warnings(&a).is_empty(), "{:?}", a.diagnostics);
+        let gc = &a.collections[0];
+        assert!(gc.summarized);
+        assert!(gc.must.is_empty());
+        assert!(gc.may.is_empty());
+
+        let b = analyze_with(LIST_LOOP, DomainKind::PerSite).unwrap();
+        assert!(errors(&b).is_empty(), "{:?}", b.diagnostics);
+        assert_eq!(warnings(&b), ["dead-reachable"], "{:?}", b.diagnostics);
+        assert_eq!(b.collections[0].may, ["dead-reachable Cell"]);
+    }
+
+    #[test]
+    fn small_loops_unroll_exactly_and_keep_must_verdicts() {
+        // 3 iterations x 3 commands is far under the unroll limit, so
+        // the dead-but-rooted cell is still a *must*, not a may.
+        let a = analyze(
+            "class T f\nnew a T\nroot a\nrepeat 3\nnew b T\nset a.f b\nend-repeat\nroot b\nassert-dead b\ngc\n",
+        )
+        .unwrap();
+        assert_eq!(errors(&a), ["dead-reachable"], "{:?}", a.diagnostics);
+        assert!(a.collections[0].must == ["dead-reachable T"]);
+        assert!(!a.collections[0].summarized);
+    }
+
+    #[test]
+    fn recursive_procs_replay_exactly() {
+        // Depth-bounded recursion allocates exactly `call-depth` nodes;
+        // exact replay keeps expectation predictions on.
+        let a = analyze(
+            "config call-depth 4\nclass T f\nnew top T\nroot top\ncopy cur top\nproc grow\nnew child T\nset cur.f child\ncopy cur child\ncall grow\nend-proc\ncall grow\ngc\nexpect-instances T 5\n",
+        )
+        .unwrap();
+        assert!(errors(&a).is_empty(), "{:?}", a.diagnostics);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn per_site_is_blind_through_procs() {
+        let b = analyze_with(
+            "class T\nproc make\nnew t T\nend-proc\ncall make\nassert-dead t\ngc\n",
+            DomainKind::PerSite,
+        )
+        .unwrap();
+        // t is genuinely unreachable (never rooted), but the blind
+        // domain cannot prove it: May, not Safe, and never Must.
+        assert!(errors(&b).is_empty(), "{:?}", b.diagnostics);
+        assert_eq!(warnings(&b), ["dead-reachable"], "{:?}", b.diagnostics);
+    }
+
+    #[test]
+    fn block_structure_mismatches_are_errors() {
+        let a = analyze("repeat 2\nend-proc\n").unwrap();
+        assert_eq!(errors(&a), ["block-structure"]);
+        let b = analyze("proc p\nnew a T\n").unwrap();
+        assert_eq!(errors(&b), ["block-structure"]);
+        let c = analyze("class T\ncall nope\n").unwrap();
+        assert_eq!(errors(&c), ["unknown-proc"]);
+    }
+
+    #[test]
+    fn loop_invariant_assertion_gets_a_note() {
+        let a = analyze("class T\nnew a T\nroot a\nrepeat 3\nassert-unshared a\ngc\nend-repeat\n")
+            .unwrap();
+        let notes: Vec<_> = a
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Note && d.code == "loop-invariant-assertion")
+            .collect();
+        assert_eq!(notes.len(), 1, "{:?}", a.diagnostics);
+        assert_eq!(notes[0].line, 5);
+        // Notes never reach the classic transcript.
+        assert!(!a.render().contains("loop-invariant"), "{}", a.render());
+    }
+
+    #[test]
+    fn provably_safe_assert_dead_gets_the_redundancy_note() {
+        let a = analyze("class T\nnew a T\nassert-dead a\ngc\n").unwrap();
+        let notes: Vec<_> = a
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "redundant-assert-dead")
+            .collect();
+        assert_eq!(notes.len(), 1, "{:?}", a.diagnostics);
+        assert_eq!(notes[0].line, 3);
+        assert_eq!(notes[0].severity, Severity::Note);
+        // A must-violating assertion never earns the note.
+        let b = analyze("class T\nnew a T\nroot a\nassert-dead a\ngc\n").unwrap();
+        assert!(
+            b.diagnostics
+                .iter()
+                .all(|d| d.code != "redundant-assert-dead"),
+            "{:?}",
+            b.diagnostics
+        );
+    }
+
+    #[test]
+    fn summarized_collections_never_promise_must() {
+        // Dead-but-rooted *inside* a big loop: the runtime reports it on
+        // some iteration, the summary collection may only warn.
+        let a = analyze("class T\nrepeat 64\nnew a T\nroot a\nassert-dead a\ngc\nend-repeat\n")
+            .unwrap();
+        assert!(errors(&a).is_empty(), "{:?}", a.diagnostics);
+        for gc in &a.collections {
+            assert!(gc.summarized);
+            assert!(gc.must.is_empty());
+        }
+        assert!(
+            warnings(&a).contains(&"dead-reachable"),
+            "{:?}",
+            a.diagnostics
+        );
+    }
+
+    #[test]
+    fn unclosed_blocks_fail_like_the_interpreter() {
+        let a = analyze("class T\nrepeat 2\nnew a T\n").unwrap();
+        assert_eq!(errors(&a), ["block-structure"]);
+        assert_eq!(a.diagnostics[0].line, 2);
     }
 }

@@ -1,0 +1,499 @@
+//! `gca suggest`: assertion auto-placement for unannotated scripts.
+//!
+//! The generator runs the script *concretely* through the interpreter,
+//! probing reachability of every top-level allocation after every
+//! top-level step (the QVM-style immediate queries the paper's
+//! assertions amortize away — affordable here because suggestion runs
+//! are offline).  From the observed lifetimes it proposes maximal sound
+//! placements:
+//!
+//! * `assert-dead <var>` at last use — inserted right before the step
+//!   that makes the object permanently unreachable;
+//! * `start-region` / `all-dead` brackets around a contiguous birth
+//!   span of objects that all die before the next collection (member
+//!   objects then need no individual `assert-dead`);
+//! * `assert-instances <Class> <limit>` after the class declaration,
+//!   with the census suggested-limit formula
+//!   `(peak + peak/4).max(peak + 1)` headroom over the observed peak.
+//!
+//! Every proposal is then **verified by splice-execute-recheck**: the
+//! suggestion is spliced into the source, the result must run with zero
+//! violations *and* come back clean from `analyze` — candidates that
+//! fail are dropped, so the emitted set is sound by construction, not
+//! by argument.
+
+use std::collections::HashMap;
+
+use crate::ast::{parse_script, Command};
+use crate::error::ScriptError;
+use crate::interp::Interpreter;
+
+use gc_assertions::ObjRef;
+
+/// One verified placement: insert `text` as a new line immediately
+/// before 1-based source line `before_line` (one past the last source
+/// line appends).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suggestion {
+    /// 1-based source line the new command goes in front of.
+    pub before_line: usize,
+    /// The command to insert, without a trailing newline.
+    pub text: String,
+    /// Human-readable evidence from the observation run.
+    pub reason: String,
+}
+
+/// The result of a suggestion run.
+#[derive(Debug)]
+pub struct SuggestOutcome {
+    /// Verified placements, in splice order.
+    pub suggestions: Vec<Suggestion>,
+    /// The script already carries assertions (or disables them):
+    /// suggestion declined, with the reason.
+    pub refused: Option<String>,
+    /// Candidate placements the verification pass rejected.
+    pub rejected: usize,
+}
+
+impl SuggestOutcome {
+    /// Renders the human transcript: one `@ line N: + command` block per
+    /// placement, plus a one-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if let Some(reason) = &self.refused {
+            out.push_str(&format!("suggest: declined — {reason}\n"));
+            return out;
+        }
+        for s in &self.suggestions {
+            out.push_str(&format!("@ line {}: + {}\n", s.before_line, s.text));
+            out.push_str(&format!("    reason: {}\n", s.reason));
+        }
+        out.push_str(&format!(
+            "suggest: {} placement(s), {} candidate(s) rejected by splice-and-verify\n",
+            self.suggestions.len(),
+            self.rejected
+        ));
+        out
+    }
+}
+
+/// Splices `suggestions` into `src`: each suggestion's `text` becomes a
+/// new line immediately before its `before_line` (stable for multiple
+/// suggestions at one line, in slice order).  All line numbers refer to
+/// the *original* source.
+pub fn apply_suggestions(src: &str, suggestions: &[Suggestion]) -> String {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut out = String::new();
+    for (i, line) in lines.iter().enumerate() {
+        for s in suggestions {
+            if s.before_line == i + 1 {
+                out.push_str(&s.text);
+                out.push('\n');
+            }
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    for s in suggestions {
+        if s.before_line > lines.len() {
+            out.push_str(&s.text);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// The census suggested-limit formula (see `gca-telemetry`'s census
+/// detector): 25% headroom over the observed peak, and at least one.
+fn suggest_limit(observed: u32) -> u32 {
+    (observed + observed / 4).max(observed + 1)
+}
+
+/// What the observation run learned about one top-level allocation.
+#[derive(Debug)]
+struct TrackedObj {
+    var: String,
+    class: String,
+    /// Step index of the allocating `new`.
+    born: usize,
+    /// 1-based source line of the allocating `new`.
+    born_line: usize,
+    obj: ObjRef,
+    /// Per-step: reachable from the roots after that step ran.
+    reachable: Vec<bool>,
+    /// Per-step: the site variable still binds this object.
+    bound: Vec<bool>,
+}
+
+/// Commands that mean the script is already annotated (or has opted out
+/// of assertion checking) — suggestion declines rather than second-guess
+/// the author.
+fn annotation_reason(cmd: &Command) -> Option<&'static str> {
+    match cmd {
+        Command::AssertDead(_) => Some("the script already uses `assert-dead`"),
+        Command::AssertUnshared(_) => Some("the script already uses `assert-unshared`"),
+        Command::AssertInstances { .. } => Some("the script already uses `assert-instances`"),
+        Command::AssertOwnedBy { .. } => Some("the script already uses `assert-owned-by`"),
+        Command::ReleaseOwnee(_) => Some("the script already uses `release-ownee`"),
+        Command::StartRegion | Command::AllDead => {
+            Some("the script already uses region assertions")
+        }
+        Command::Config { key, value } if key == "mode" && value == "base" => {
+            Some("assertions are disabled (`config mode base`)")
+        }
+        _ => None,
+    }
+}
+
+/// Proposes and verifies assertion placements for `src`.
+///
+/// # Errors
+///
+/// Parse errors, or the failure of the *unmodified* script's observation
+/// run — a script that cannot run cleanly has nothing to suggest over.
+pub fn suggest(src: &str) -> Result<SuggestOutcome, ScriptError> {
+    let commands = parse_script(src)?;
+    for (_, cmd) in &commands {
+        if let Some(reason) = annotation_reason(cmd) {
+            return Ok(SuggestOutcome {
+                suggestions: Vec::new(),
+                refused: Some(reason.to_owned()),
+                rejected: 0,
+            });
+        }
+    }
+
+    // ---- Observation run: feed the commands one by one, probing the
+    // live heap after every step.
+    let mut interp = Interpreter::new();
+    let mut tracked: Vec<TrackedObj> = Vec::new();
+    // Step index -> (source line, fed at top level, is an explicit gc,
+    // is a class decl, is a `new`).
+    let mut anchors: Vec<bool> = Vec::with_capacity(commands.len());
+    let mut gc_steps: Vec<usize> = Vec::new();
+    let mut class_decl_step: HashMap<String, usize> = HashMap::new();
+    let mut peak_instances: HashMap<String, u32> = HashMap::new();
+
+    for (step, (line, cmd)) in commands.iter().enumerate() {
+        let top_level = !interp.is_recording();
+        anchors.push(top_level);
+        interp.execute(*line, cmd)?;
+        if top_level {
+            match cmd {
+                Command::New { var, class, .. } => {
+                    if let Some(obj) = interp.binding(var) {
+                        tracked.push(TrackedObj {
+                            var: var.clone(),
+                            class: class.clone(),
+                            born: step,
+                            born_line: *line,
+                            obj,
+                            reachable: Vec::new(),
+                            bound: Vec::new(),
+                        });
+                    }
+                }
+                Command::Class { name, .. } => {
+                    class_decl_step.entry(name.clone()).or_insert(step);
+                }
+                Command::Gc | Command::MinorGc => gc_steps.push(step),
+                _ => {}
+            }
+        }
+        // Probe every tracked object's reachability right now.  A probe
+        // error means the reference went stale (the object was swept) —
+        // definitively unreachable.
+        for t in &mut tracked {
+            let reachable = match interp.vm_mut_opt() {
+                Some(vm) => vm.probe_reachable(t.obj).unwrap_or(false),
+                None => false,
+            };
+            t.reachable.push(reachable);
+            t.bound.push(interp.binding(&t.var) == Some(t.obj));
+        }
+        // Class peaks for assert-instances, same probe budget.
+        for class in class_decl_step.keys() {
+            if let Some(id) = interp.class_id(class) {
+                if let Some(vm) = interp.vm_mut_opt() {
+                    if let Ok(n) = vm.probe_instances(id) {
+                        let peak = peak_instances.entry(class.clone()).or_insert(0);
+                        *peak = (*peak).max(n);
+                    }
+                }
+            }
+        }
+    }
+    let steps = commands.len();
+    // Pad timelines for objects born mid-run (probe loop above only ran
+    // from their birth step onward is already handled: every step pushes
+    // for every tracked object that exists, so early steps are missing).
+    for t in &mut tracked {
+        let missing = steps.saturating_sub(t.reachable.len());
+        if missing > 0 {
+            let mut pre = vec![false; missing];
+            pre.append(&mut t.reachable);
+            t.reachable = pre;
+            let mut pre = vec![false; missing];
+            pre.append(&mut t.bound);
+            t.bound = pre;
+        }
+    }
+
+    // The first step after `i` where a new command may be inserted:
+    // top-level boundaries only, never inside a recorded body.
+    let next_anchor = |from: usize| -> Option<usize> { (from..steps).find(|&s| anchors[s]) };
+
+    // ---- Candidate generation.  Candidates form atomic *groups* — a
+    // region's start-region/all-dead pair stands or falls together.
+    let mut groups: Vec<Vec<Suggestion>> = Vec::new();
+
+    // Death step per object: the first step from which it is never
+    // reachable again (None while it stays reachable to the end).
+    let deaths: Vec<Option<usize>> = tracked
+        .iter()
+        .map(|t| {
+            let mut d = None;
+            for s in t.born..steps {
+                if t.reachable[s] {
+                    d = None;
+                } else if d.is_none() {
+                    d = Some(s);
+                }
+            }
+            d
+        })
+        .collect();
+
+    // Region brackets: a run of >= 2 consecutive dying top-level births
+    // with no collection in between, closed once every member is dead.
+    let mut in_region: Vec<bool> = vec![false; tracked.len()];
+    let mut i = 0;
+    while i < tracked.len() {
+        if deaths[i].is_none() || !anchors[tracked[i].born] {
+            i += 1;
+            continue;
+        }
+        let mut j = i;
+        while j + 1 < tracked.len()
+            && deaths[j + 1].is_some()
+            && anchors[tracked[j + 1].born]
+            && !gc_steps
+                .iter()
+                .any(|&g| g > tracked[j].born && g < tracked[j + 1].born)
+        {
+            j += 1;
+        }
+        if j > i {
+            let last_death = (i..=j).map(|k| deaths[k].expect("span members die")).max();
+            let last_born = tracked[j].born;
+            let want = last_death.expect("non-empty span").max(last_born + 1);
+            if let Some(close) = next_anchor(want) {
+                let no_gc_inside = !gc_steps.iter().any(|&g| g >= tracked[i].born && g < close);
+                if no_gc_inside {
+                    let open_line = commands[tracked[i].born].0;
+                    groups.push(vec![
+                        Suggestion {
+                            before_line: open_line,
+                            text: "start-region".to_owned(),
+                            reason: format!(
+                                "{} allocation(s) on lines {}-{} all die before the next collection",
+                                j - i + 1,
+                                open_line,
+                                commands[last_born].0,
+                            ),
+                        },
+                        Suggestion {
+                            before_line: commands[close].0,
+                            text: "all-dead".to_owned(),
+                            reason: "every allocation of the region above is unreachable here"
+                                .to_owned(),
+                        },
+                    ]);
+                    in_region[i..=j].fill(true);
+                }
+            }
+        }
+        i = j + 1;
+    }
+
+    // assert-dead at last use, for objects not covered by a region.
+    for (k, t) in tracked.iter().enumerate() {
+        if in_region[k] {
+            continue;
+        }
+        let Some(d) = deaths[k] else { continue };
+        // Insert right before the killing step (or right after the
+        // allocation when the object was never reachable), snapped
+        // forward to a top-level boundary.
+        let want = d.max(t.born + 1);
+        let Some(at) = next_anchor(want) else {
+            continue;
+        };
+        // The site variable must still name the object where the
+        // assertion lands.
+        if at == 0 || !t.bound[at - 1] {
+            continue;
+        }
+        groups.push(vec![Suggestion {
+            before_line: commands[at].0,
+            text: format!("assert-dead {}", t.var),
+            reason: format!(
+                "{}: {} (line {}) is unreachable from here to the end of the run",
+                t.var, t.class, t.born_line
+            ),
+        }]);
+    }
+
+    // assert-instances after each class declaration with a tracked peak.
+    let mut classes: Vec<(&String, usize)> = class_decl_step.iter().map(|(c, &s)| (c, s)).collect();
+    classes.sort();
+    for (class, decl_step) in classes {
+        let Some(&peak) = peak_instances.get(class) else {
+            continue;
+        };
+        if peak == 0 || !anchors[decl_step] {
+            continue;
+        }
+        let limit = suggest_limit(peak);
+        groups.push(vec![Suggestion {
+            before_line: commands[decl_step].0 + 1,
+            text: format!("assert-instances {class} {limit}"),
+            reason: format!(
+                "observed peak of {peak} live `{class}` instance(s); limit adds census headroom"
+            ),
+        }]);
+    }
+
+    groups.sort_by_key(|g| (g[0].before_line, g[0].text.clone()));
+
+    // ---- Verification: greedy splice-execute-recheck.  A group joins
+    // the accepted set only if the spliced script still runs with zero
+    // violations and re-checks clean.
+    let mut accepted: Vec<Suggestion> = Vec::new();
+    let mut rejected = 0;
+    for group in groups {
+        let mut trial = accepted.clone();
+        trial.extend(group.iter().cloned());
+        trial.sort_by_key(|s| s.before_line);
+        if verify(src, &trial) {
+            accepted = trial;
+        } else {
+            rejected += group.len();
+        }
+    }
+
+    Ok(SuggestOutcome {
+        suggestions: accepted,
+        refused: None,
+        rejected,
+    })
+}
+
+/// The soundness gate: the spliced script must execute with zero
+/// violations and come back from the static checker with no errors.
+fn verify(src: &str, suggestions: &[Suggestion]) -> bool {
+    let spliced = apply_suggestions(src, suggestions);
+    match Interpreter::run_script(&spliced) {
+        Ok(out) if out.total_violations == 0 => {}
+        _ => return false,
+    }
+    match super::analyze(&spliced) {
+        Ok(a) => !a.has_errors(),
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suggests_assert_dead_at_last_use() {
+        let src = "class T\nnew a T\nroot a\nnew b T\nset a.f b\ngc\n";
+        // b has no field on T — use a class with a field instead.
+        let src = src.replace("class T", "class T f");
+        let out = suggest(&src).unwrap();
+        assert!(out.refused.is_none());
+        // Nothing dies here (both stay reachable), so no assert-dead;
+        // instance limits are still proposed.
+        assert!(
+            out.suggestions
+                .iter()
+                .all(|s| !s.text.starts_with("assert-dead")),
+            "{out:?}"
+        );
+        assert!(
+            out.suggestions
+                .iter()
+                .any(|s| s.text.starts_with("assert-instances T")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn dead_temporary_gets_an_assert_dead() {
+        let src = "class Keep\nclass Tmp\nnew k Keep\nroot k\nnew t Tmp\ngc\nexpect-violations 0\n";
+        let out = suggest(src).unwrap();
+        let dead: Vec<_> = out
+            .suggestions
+            .iter()
+            .filter(|s| s.text == "assert-dead t")
+            .collect();
+        assert_eq!(dead.len(), 1, "{out:?}");
+        // Right after the allocation on line 5 — before the gc on 6.
+        assert_eq!(dead[0].before_line, 6);
+        // And the spliced result still runs clean end to end.
+        let spliced = apply_suggestions(src, &out.suggestions);
+        let run = Interpreter::run_script(&spliced).unwrap();
+        assert_eq!(run.total_violations, 0, "{spliced}");
+    }
+
+    #[test]
+    fn annotated_scripts_are_declined() {
+        let out = suggest("class T\nnew a T\nassert-dead a\ngc\n").unwrap();
+        assert!(out.refused.is_some());
+        assert!(out.suggestions.is_empty());
+    }
+
+    #[test]
+    fn region_bracket_covers_a_birth_span() {
+        let src = "class Keep\nclass Tmp\nnew k Keep\nroot k\nnew t1 Tmp\nnew t2 Tmp\nnew t3 Tmp\nprobe k\ngc\nexpect-violations 0\n";
+        let out = suggest(src).unwrap();
+        assert!(
+            out.suggestions.iter().any(|s| s.text == "start-region"),
+            "{out:?}"
+        );
+        assert!(
+            out.suggestions.iter().any(|s| s.text == "all-dead"),
+            "{out:?}"
+        );
+        // Members need no individual assert-dead.
+        assert!(
+            out.suggestions
+                .iter()
+                .all(|s| !s.text.starts_with("assert-dead t")),
+            "{out:?}"
+        );
+        let spliced = apply_suggestions(src, &out.suggestions);
+        let run = Interpreter::run_script(&spliced).unwrap();
+        assert_eq!(run.total_violations, 0, "{spliced}");
+    }
+
+    #[test]
+    fn splice_is_stable_and_line_addressed() {
+        let src = "a\nb\nc\n";
+        let s = vec![
+            Suggestion {
+                before_line: 2,
+                text: "x".to_owned(),
+                reason: String::new(),
+            },
+            Suggestion {
+                before_line: 4,
+                text: "y".to_owned(),
+                reason: String::new(),
+            },
+        ];
+        assert_eq!(apply_suggestions(src, &s), "a\nx\nb\nc\ny\n");
+    }
+}

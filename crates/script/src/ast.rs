@@ -120,6 +120,27 @@ pub enum Command {
         /// Expected live count.
         count: u32,
     },
+    /// `repeat <n>` — execute the block up to the matching `end-repeat`
+    /// exactly `n` times.
+    Repeat(usize),
+    /// `end-repeat` — close the innermost open `repeat` block.
+    EndRepeat,
+    /// `proc <name>` — begin recording a procedure body (not executed).
+    Proc(String),
+    /// `end-proc` — close the innermost open `proc` definition.
+    EndProc,
+    /// `call <name>` — execute a recorded procedure.  Recursion is
+    /// allowed; a call at the configured `call-depth` bound is a no-op,
+    /// so recursive procedures terminate deterministically.
+    Call(String),
+    /// `copy <dst> <src>` — bind `dst` to the object `src` refers to
+    /// (variable aliasing; the only way a loop can chain a structure).
+    Copy {
+        /// Variable to (re)bind.
+        dst: String,
+        /// Existing binding to alias.
+        src: String,
+    },
 }
 
 fn err(line: usize, kind: ScriptErrorKind) -> ScriptError {
@@ -300,6 +321,23 @@ fn parse_tokens(
             })?),
             _ => return Err(bad(line_no, "expect-total-violations <n>")),
         },
+        "repeat" => match args {
+            [n] => Command::Repeat(n.parse().map_err(|_| {
+                bad(line_no, "count must be an integer").with_token(*n, token_column(line, 1))
+            })?),
+            _ => return Err(bad(line_no, "repeat <n>")),
+        },
+        "end-repeat" => no_args(line_no, args, "end-repeat", Command::EndRepeat)?,
+        "proc" => one_var(line_no, args, "proc <name>", Command::Proc)?,
+        "end-proc" => no_args(line_no, args, "end-proc", Command::EndProc)?,
+        "call" => one_var(line_no, args, "call <name>", Command::Call)?,
+        "copy" => match args {
+            [dst, src] => Command::Copy {
+                dst: (*dst).to_owned(),
+                src: (*src).to_owned(),
+            },
+            _ => return Err(bad(line_no, "copy <dst> <src>")),
+        },
         "expect-live" => one_var(line_no, args, "expect-live <var>", Command::ExpectLive)?,
         "expect-dead" => one_var(line_no, args, "expect-dead <var>", Command::ExpectDead)?,
         "expect-instances" => match args {
@@ -471,6 +509,35 @@ mod tests {
         ] {
             assert_eq!(parse_line(1, src).is_ok(), ok, "{src}");
         }
+    }
+
+    #[test]
+    fn structured_commands_parse() {
+        assert_eq!(parse_line(1, "repeat 8").unwrap(), Some(Command::Repeat(8)));
+        assert_eq!(
+            parse_line(1, "end-repeat").unwrap(),
+            Some(Command::EndRepeat)
+        );
+        assert_eq!(
+            parse_line(1, "proc grow").unwrap(),
+            Some(Command::Proc("grow".into()))
+        );
+        assert_eq!(parse_line(1, "end-proc").unwrap(), Some(Command::EndProc));
+        assert_eq!(
+            parse_line(1, "call grow").unwrap(),
+            Some(Command::Call("grow".into()))
+        );
+        assert_eq!(
+            parse_line(1, "copy prev cell").unwrap(),
+            Some(Command::Copy {
+                dst: "prev".into(),
+                src: "cell".into()
+            })
+        );
+        assert!(parse_line(1, "repeat many").is_err());
+        assert!(parse_line(1, "repeat").is_err());
+        assert!(parse_line(1, "copy a").is_err());
+        assert!(parse_line(1, "call").is_err());
     }
 
     #[test]

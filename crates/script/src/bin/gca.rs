@@ -2,11 +2,16 @@
 //! heap-scenario scripts.
 //!
 //! ```text
-//! gca <script.gca>          # run a script file
-//! gca -                     # read the script from stdin
-//! gca check <script.gca>    # static analysis only: predict verdicts
-//! gca --check <script.gca>  # pre-flight check, then run
-//! gca soak [options]        # run a fleet soak (see `gca soak --help`)
+//! gca <script.gca>            # run a script file
+//! gca -                       # read the script from stdin
+//! gca check <script.gca>      # static analysis only: predict verdicts
+//!     [--json]                # machine-readable report on stdout
+//!     [--domain access-graph | per-site]
+//! gca suggest <script.gca>    # propose verified assertion placements
+//!     [--json]                # machine-readable placements
+//!     [--apply]               # print the annotated script on stdout
+//! gca --check <script.gca>    # pre-flight check, then run
+//! gca soak [options]          # run a fleet soak (see `gca soak --help`)
 //! ```
 //!
 //! Run mode exits 0 when the script (including its `expect-*`
@@ -17,6 +22,12 @@
 //! then runs the script regardless (a predicted violation may be exactly
 //! what the script expects); the exit status is the run's.
 //!
+//! Suggest mode proposes `assert-dead` / region-bracket /
+//! `assert-instances` placements for an unannotated script, each
+//! verified by splicing it in and re-running; it exits 0 whether or not
+//! placements were found (an already-annotated script is declined with a
+//! reason), and 1 on usage, read, parse, or runtime errors.
+//!
 //! Soak mode drives a sharded VM fleet through an open-loop arrival
 //! schedule with GC assertions on, optionally injecting faults and
 //! serving a live `/metrics` endpoint; it exits 0 only when every
@@ -25,9 +36,12 @@
 use std::io::Read;
 use std::process::ExitCode;
 
-use gca_script::{analyze, Interpreter};
+use gca_script::analysis::json;
+use gca_script::{analyze_with, apply_suggestions, suggest, DomainKind, Interpreter};
 
-const USAGE: &str = "usage: gca [check | --check] <script.gca | ->  |  gca soak [options]";
+const USAGE: &str =
+    "usage: gca [check [--json] [--domain D] | suggest [--json | --apply] | --check] \
+                     <script.gca | ->  |  gca soak [options]";
 
 const SOAK_USAGE: &str = "\
 usage: gca soak [options]
@@ -203,10 +217,14 @@ fn read_source(path: &str) -> Result<String, ExitCode> {
 }
 
 /// Exit 0 = clean, 1 = parse error, 2 = must-violate present.
-fn check(source: &str) -> ExitCode {
-    match analyze(source) {
+fn check(source: &str, domain: DomainKind, as_json: bool) -> ExitCode {
+    match analyze_with(source, domain) {
         Ok(analysis) => {
-            print!("{}", analysis.render());
+            if as_json {
+                println!("{}", json::analysis_to_json(&analysis, domain));
+            } else {
+                print!("{}", analysis.render());
+            }
             if analysis.has_errors() {
                 ExitCode::from(2)
             } else {
@@ -218,6 +236,83 @@ fn check(source: &str) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `gca suggest`: propose placements (text or `--json`), or `--apply`
+/// to print the spliced script. Exit 0 on success (including a
+/// declined annotated script), 1 on any error.
+fn suggest_cmd(source: &str, as_json: bool, apply: bool) -> ExitCode {
+    match suggest(source) {
+        Ok(outcome) => {
+            if apply {
+                print!("{}", apply_suggestions(source, &outcome.suggestions));
+                if let Some(reason) = &outcome.refused {
+                    eprintln!("suggest: declined — {reason}");
+                }
+            } else if as_json {
+                println!("{}", json::suggest_to_json(&outcome));
+            } else {
+                print!("{}", outcome.render());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `check` / `suggest` flag lists: the one non-flag argument is
+/// the script path; flags are validated per subcommand.
+struct CheckArgs {
+    path: String,
+    json: bool,
+    apply: bool,
+    domain: DomainKind,
+}
+
+fn parse_check_args(cmd: &str, args: &[String]) -> Result<CheckArgs, String> {
+    let mut path = None;
+    let mut json = false;
+    let mut apply = false;
+    let mut domain = DomainKind::AccessGraph;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--apply" if cmd == "suggest" => apply = true,
+            "--domain" if cmd == "check" => {
+                domain = match it.next().map(String::as_str) {
+                    Some("access-graph") => DomainKind::AccessGraph,
+                    Some("per-site") => DomainKind::PerSite,
+                    other => {
+                        return Err(format!(
+                            "--domain wants access-graph or per-site, got {other:?}"
+                        ))
+                    }
+                };
+            }
+            flag if flag.starts_with('-') && flag != "-" => {
+                return Err(format!("unknown flag {flag} for gca {cmd}"));
+            }
+            p => {
+                if path.replace(p.to_string()).is_some() {
+                    return Err(format!("gca {cmd} takes exactly one script path"));
+                }
+            }
+        }
+    }
+    if json && apply {
+        return Err("--json and --apply are mutually exclusive".into());
+    }
+    let path = path.ok_or_else(|| format!("gca {cmd} needs a script path"))?;
+    Ok(CheckArgs {
+        path,
+        json,
+        apply,
+        domain,
+    })
 }
 
 fn run(source: &str) -> ExitCode {
@@ -245,10 +340,24 @@ fn main() -> ExitCode {
         return soak(&args[1..]);
     }
     match args.as_slice() {
-        [cmd, path] if cmd == "check" => match read_source(path) {
-            Ok(source) => check(&source),
-            Err(code) => code,
-        },
+        [cmd, rest @ ..] if (cmd == "check" || cmd == "suggest") && !rest.is_empty() => {
+            let parsed = match parse_check_args(cmd, rest) {
+                Ok(p) => p,
+                Err(msg) => {
+                    eprintln!("error: {msg}\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let source = match read_source(&parsed.path) {
+                Ok(s) => s,
+                Err(code) => return code,
+            };
+            if cmd == "check" {
+                check(&source, parsed.domain, parsed.json)
+            } else {
+                suggest_cmd(&source, parsed.json, parsed.apply)
+            }
+        }
         [flag, path] if flag == "--check" => {
             let source = match read_source(path) {
                 Ok(s) => s,
@@ -256,7 +365,7 @@ fn main() -> ExitCode {
             };
             // Pre-flight: diagnostics go to stderr so the run's output
             // stays clean on stdout.
-            match analyze(&source) {
+            match analyze_with(&source, DomainKind::AccessGraph) {
                 Ok(analysis) => eprint!("{}", analysis.render()),
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -265,10 +374,12 @@ fn main() -> ExitCode {
             }
             run(&source)
         }
-        [path] if path != "check" && path != "--check" => match read_source(path) {
-            Ok(source) => run(&source),
-            Err(code) => code,
-        },
+        [path] if path != "check" && path != "--check" && path != "suggest" => {
+            match read_source(path) {
+                Ok(source) => run(&source),
+                Err(code) => code,
+            }
+        }
         _ => {
             eprintln!("{USAGE}");
             ExitCode::FAILURE

@@ -21,6 +21,37 @@ pub struct Output {
     pub collections: u64,
     /// Minor collections performed.
     pub minor_collections: u64,
+    /// One entry per explicit `gc` command, in execution order: the
+    /// script line of the `gc` and the summaries of the violations that
+    /// collection reported.  Loops and procedure calls append one entry
+    /// per *dynamic* execution, so a `gc` inside `repeat 3` appears
+    /// three times under the same line — this is what the differential
+    /// soundness harness aligns the analyzer's predictions against.
+    pub explicit_gcs: Vec<(usize, Vec<String>)>,
+}
+
+/// Which structured block an open [`Recording`] belongs to.
+#[derive(Debug, Clone)]
+enum BlockKind {
+    /// `repeat <n>` … `end-repeat`: replay the body `n` times on close.
+    Repeat { count: usize },
+    /// `proc <name>` … `end-proc`: store the body for later `call`s.
+    Proc { name: String },
+}
+
+/// A block body being recorded.  While a recording is open, commands are
+/// buffered instead of executed; the matching `end-repeat`/`end-proc`
+/// closes it and the body is replayed (repeat) or stored (proc).  Nested
+/// blocks stay flat in the buffer — replay re-records them naturally.
+#[derive(Debug)]
+struct Recording {
+    kind: BlockKind,
+    /// Line of the opening `repeat`/`proc`, for unclosed-block errors.
+    line: usize,
+    /// Openers nested inside the body: `true` for `repeat`, `false` for
+    /// `proc`.  Used to match each `end-*` against the right opener.
+    open: Vec<bool>,
+    body: Vec<(usize, Command)>,
 }
 
 #[derive(Debug, Clone)]
@@ -51,7 +82,19 @@ pub struct Interpreter {
     classes: HashMap<String, ClassDecl>,
     last_report: Option<GcReport>,
     output: Output,
+    /// The block currently being recorded, if a `repeat`/`proc` is open.
+    recording: Option<Recording>,
+    /// Procedure bodies by name, recorded by `proc` … `end-proc`.
+    procs: HashMap<String, Vec<(usize, Command)>>,
+    /// Current dynamic `call` nesting depth.
+    call_depth: usize,
+    /// Depth bound: a `call` at this depth is a silent no-op, which is
+    /// what makes unconditionally recursive procedures terminate.
+    call_limit: usize,
 }
+
+/// Default `call` depth bound; override with `config call-depth <n>`.
+const DEFAULT_CALL_LIMIT: usize = 16;
 
 impl Interpreter {
     /// Creates an interpreter with the default VM configuration (tweak it
@@ -64,6 +107,10 @@ impl Interpreter {
             classes: HashMap::new(),
             last_report: None,
             output: Output::default(),
+            recording: None,
+            procs: HashMap::new(),
+            call_depth: 0,
+            call_limit: DEFAULT_CALL_LIMIT,
         }
     }
 
@@ -77,6 +124,20 @@ impl Interpreter {
         let mut interp = Interpreter::new();
         for (line, cmd) in parse_script(src)? {
             interp.execute(line, &cmd)?;
+        }
+        if let Some(rec) = &interp.recording {
+            let msg = match &rec.kind {
+                BlockKind::Repeat { .. } => {
+                    "`repeat` opened here is never closed by `end-repeat`".to_owned()
+                }
+                BlockKind::Proc { name } => {
+                    format!("`proc {name}` opened here is never closed by `end-proc`")
+                }
+            };
+            return Err(ScriptError::new(
+                rec.line,
+                ScriptErrorKind::BadArguments(msg),
+            ));
         }
         Ok(interp.finish())
     }
@@ -106,6 +167,28 @@ impl Interpreter {
     /// The VM, if any command has started it yet.
     pub fn vm_ref(&self) -> Option<&Vm> {
         self.vm.as_ref()
+    }
+
+    /// Whether a `repeat`/`proc` recording is open — commands fed now
+    /// are buffered, not executed.  (`gca suggest` uses this to tell
+    /// top-level anchor steps from loop-body commands.)
+    pub(crate) fn is_recording(&self) -> bool {
+        self.recording.is_some()
+    }
+
+    /// The object currently bound to `name`, if any.
+    pub(crate) fn binding(&self, name: &str) -> Option<ObjRef> {
+        self.vars.get(name).copied()
+    }
+
+    /// The declared class id for `name`, if any.
+    pub(crate) fn class_id(&self, name: &str) -> Option<ClassId> {
+        self.classes.get(name).map(|c| c.id)
+    }
+
+    /// Mutable VM access for immediate heap probes, if started.
+    pub(crate) fn vm_mut_opt(&mut self) -> Option<&mut Vm> {
+        self.vm.as_mut()
     }
 
     fn var(&self, line: usize, name: &str) -> Result<ObjRef, ScriptError> {
@@ -183,6 +266,11 @@ impl Interpreter {
                 "instrumented" => Mode::Instrumented,
                 _ => return Err(bad("mode base|instrumented")),
             }),
+            "gc-threads" => cfg.gc_threads(value.parse().map_err(|_| bad("gc-threads <workers>"))?),
+            "call-depth" => {
+                self.call_limit = value.parse().map_err(|_| bad("call-depth <n>"))?;
+                cfg
+            }
             _ => return Err(bad("unknown config key")),
         };
         Ok(())
@@ -190,10 +278,139 @@ impl Interpreter {
 
     /// Executes one command.
     ///
+    /// While a `repeat`/`proc` block is open this *records* the command
+    /// instead of running it; the matching `end-repeat` replays the body
+    /// the requested number of times and `end-proc` stores it for later
+    /// `call`s.  The method is therefore safe to feed one line at a time
+    /// from a flat [`parse_script`] stream.
+    ///
     /// # Errors
     ///
-    /// VM errors and failed expectations, tagged with `line`.
+    /// VM errors, failed expectations, and block-structure errors
+    /// (mismatched or stray `end-repeat`/`end-proc`, `call` of an
+    /// undefined proc), tagged with `line`.
     pub fn execute(&mut self, line: usize, cmd: &Command) -> Result<(), ScriptError> {
+        if self.recording.is_some() {
+            return self.record(line, cmd);
+        }
+        match cmd {
+            Command::Repeat(count) => {
+                self.recording = Some(Recording {
+                    kind: BlockKind::Repeat { count: *count },
+                    line,
+                    open: Vec::new(),
+                    body: Vec::new(),
+                });
+                Ok(())
+            }
+            Command::Proc(name) => {
+                self.recording = Some(Recording {
+                    kind: BlockKind::Proc { name: name.clone() },
+                    line,
+                    open: Vec::new(),
+                    body: Vec::new(),
+                });
+                Ok(())
+            }
+            Command::EndRepeat => Err(ScriptError::new(
+                line,
+                ScriptErrorKind::BadArguments("end-repeat without an open `repeat`".to_owned()),
+            )),
+            Command::EndProc => Err(ScriptError::new(
+                line,
+                ScriptErrorKind::BadArguments("end-proc without an open `proc`".to_owned()),
+            )),
+            Command::Call(name) => self.run_call(line, name),
+            _ => self.execute_one(line, cmd),
+        }
+    }
+
+    /// Buffers `cmd` into the open recording, closing the block when the
+    /// matching `end-repeat`/`end-proc` arrives.
+    fn record(&mut self, line: usize, cmd: &Command) -> Result<(), ScriptError> {
+        let rec = self.recording.as_mut().expect("recording is open");
+        let closes_repeat = match cmd {
+            Command::Repeat(_) => {
+                rec.open.push(true);
+                rec.body.push((line, cmd.clone()));
+                return Ok(());
+            }
+            Command::Proc(_) => {
+                rec.open.push(false);
+                rec.body.push((line, cmd.clone()));
+                return Ok(());
+            }
+            Command::EndRepeat => true,
+            Command::EndProc => false,
+            _ => {
+                rec.body.push((line, cmd.clone()));
+                return Ok(());
+            }
+        };
+        let mismatch = |line: usize, closes_repeat: bool| {
+            let msg = if closes_repeat {
+                "end-repeat cannot close a `proc` (use end-proc)"
+            } else {
+                "end-proc cannot close a `repeat` (use end-repeat)"
+            };
+            ScriptError::new(line, ScriptErrorKind::BadArguments(msg.to_owned()))
+        };
+        if let Some(opener_is_repeat) = rec.open.pop() {
+            // Closes a block nested inside the body: keep recording.
+            if opener_is_repeat != closes_repeat {
+                return Err(mismatch(line, closes_repeat));
+            }
+            rec.body.push((line, cmd.clone()));
+            return Ok(());
+        }
+        // Closes the outermost open block.
+        if matches!(rec.kind, BlockKind::Repeat { .. }) != closes_repeat {
+            return Err(mismatch(line, closes_repeat));
+        }
+        let rec = self.recording.take().expect("recording is open");
+        match rec.kind {
+            BlockKind::Repeat { count } => {
+                for _ in 0..count {
+                    for (l, c) in &rec.body {
+                        self.execute(*l, c)?;
+                    }
+                }
+            }
+            BlockKind::Proc { name } => {
+                self.procs.insert(name, rec.body);
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs a recorded procedure body; a call at the depth bound is a
+    /// silent no-op, so unconditionally recursive procs terminate.
+    fn run_call(&mut self, line: usize, name: &str) -> Result<(), ScriptError> {
+        let body = self.procs.get(name).cloned().ok_or_else(|| {
+            ScriptError::new(
+                line,
+                ScriptErrorKind::BadArguments(format!(
+                    "call of undefined proc `{name}` (define it with `proc {name}` first)"
+                )),
+            )
+        })?;
+        if self.call_depth >= self.call_limit {
+            return Ok(());
+        }
+        self.call_depth += 1;
+        let mut result = Ok(());
+        for (l, c) in &body {
+            if let Err(e) = self.execute(*l, c) {
+                result = Err(e);
+                break;
+            }
+        }
+        self.call_depth -= 1;
+        result
+    }
+
+    /// Executes one non-structural command against the VM.
+    fn execute_one(&mut self, line: usize, cmd: &Command) -> Result<(), ScriptError> {
         let ve = Self::vm_err(line);
         match cmd {
             Command::Config { key, value } => self.apply_config(line, key, value)?,
@@ -314,9 +531,17 @@ impl Interpreter {
                     .lines
                     .push(format!("all-dead: {n} object(s) asserted"));
             }
+            Command::Copy { dst, src } => {
+                let obj = self.var(line, src)?;
+                self.vars.insert(dst.clone(), obj);
+            }
             Command::Gc => {
                 let report = self.vm().collect().map_err(&ve)?;
                 self.output.lines.push(format!("gc: {report}"));
+                self.output.explicit_gcs.push((
+                    line,
+                    report.violations.iter().map(|v| v.summary()).collect(),
+                ));
                 self.last_report = Some(report);
             }
             Command::MinorGc => {
@@ -431,6 +656,13 @@ impl Interpreter {
                         format!("expected {count} live {class} instance(s), found {got}"),
                     ));
                 }
+            }
+            Command::Repeat(_)
+            | Command::EndRepeat
+            | Command::Proc(_)
+            | Command::EndProc
+            | Command::Call(_) => {
+                unreachable!("structured commands are dispatched by `execute`")
             }
         }
         Ok(())
@@ -583,5 +815,131 @@ expect-violations 0
             "class S\nnew a S\nroot a\nnew b S\nroot b\nexpect-instances S 2\n",
         )
         .unwrap();
+    }
+
+    #[test]
+    fn repeat_builds_a_list_via_copy() {
+        // A loop chains ten cells head-first; nulling the head kills them
+        // all, which `all-dead` then proves.
+        let out = Interpreter::run_script(
+            "
+class Head next
+class Cell next
+new head Head
+root head
+copy prev head
+repeat 10
+new cell Cell
+set prev.next cell
+copy prev cell
+end-repeat
+expect-instances Cell 10
+set head.next null
+gc
+expect-instances Cell 0
+",
+        )
+        .unwrap();
+        assert_eq!(out.total_violations, 0);
+        assert_eq!(out.collections, 1);
+    }
+
+    #[test]
+    fn repeat_zero_skips_the_body() {
+        let out =
+            Interpreter::run_script("class T\nrepeat 0\nnew a T\nroot a\nend-repeat\nstats\n")
+                .unwrap();
+        let stats = out.lines.iter().find(|l| l.starts_with("stats:")).unwrap();
+        assert!(stats.contains("0 live objects"), "{stats}");
+    }
+
+    #[test]
+    fn nested_repeats_multiply() {
+        let out = Interpreter::run_script(
+            "class T\nrepeat 3\nrepeat 4\nnew a T\nroot a\nend-repeat\nend-repeat\nexpect-instances T 12\n",
+        )
+        .unwrap();
+        assert_eq!(out.total_violations, 0);
+    }
+
+    #[test]
+    fn recursive_proc_is_depth_bounded() {
+        // `grow` allocates one node then calls itself; the depth bound
+        // turns the infinite recursion into exactly `call-depth` rounds.
+        let out = Interpreter::run_script(
+            "
+config call-depth 5
+class Node next
+proc grow
+new n Node
+root n
+call grow
+end-proc
+call grow
+expect-instances Node 5
+",
+        )
+        .unwrap();
+        assert_eq!(out.total_violations, 0);
+    }
+
+    #[test]
+    fn gc_inside_repeat_records_each_execution() {
+        let out = Interpreter::run_script("class T\nrepeat 3\nnew a T\ngc\nend-repeat\n").unwrap();
+        assert_eq!(out.collections, 3);
+        assert_eq!(out.explicit_gcs.len(), 3);
+        assert!(out
+            .explicit_gcs
+            .iter()
+            .all(|(line, v)| *line == 4 && v.is_empty()));
+    }
+
+    #[test]
+    fn block_structure_errors_are_line_tagged() {
+        let e = Interpreter::run_script("class T\nend-repeat\n").unwrap_err();
+        assert_eq!(e.line, 2);
+
+        let e = Interpreter::run_script("repeat 2\nclass T\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("never closed"), "{e}");
+
+        let e = Interpreter::run_script("proc p\nclass T\nend-repeat\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("end-proc"), "{e}");
+
+        let e = Interpreter::run_script("class T\ncall nowhere\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("undefined proc"), "{e}");
+    }
+
+    #[test]
+    fn assertions_and_frames_work_inside_loops() {
+        // Frames, regions, and assert-dead all live inside a repeat body;
+        // each iteration's temporary dies before the gc at iteration end.
+        let out = Interpreter::run_script(
+            "
+class Buf
+repeat 4
+start-region
+frame
+new tmp Buf 8
+root tmp
+end-frame
+all-dead
+gc
+expect-violations 0
+end-repeat
+",
+        )
+        .unwrap();
+        assert_eq!(out.total_violations, 0);
+        assert_eq!(out.collections, 4);
+    }
+
+    #[test]
+    fn gc_threads_config_is_accepted() {
+        let out =
+            Interpreter::run_script("config gc-threads 2\nclass T\nnew a T\nroot a\ngc\n").unwrap();
+        assert_eq!(out.collections, 1);
     }
 }

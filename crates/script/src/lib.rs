@@ -69,7 +69,10 @@ mod ast;
 mod error;
 mod interp;
 
-pub use analysis::{analyze, Analysis, Diagnostic, GcPrediction, Severity};
+pub use analysis::{
+    analyze, analyze_with, apply_suggestions, suggest, Analysis, Diagnostic, DomainKind,
+    GcPrediction, Severity, SuggestOutcome, Suggestion,
+};
 pub use ast::{parse_line, parse_script, Command, Target};
 pub use error::{ScriptError, ScriptErrorKind, SourceLocation};
 pub use interp::{Interpreter, Output};

@@ -4,7 +4,13 @@
 //! must be a subset of the violations the interpreter actually reports
 //! (zero false positives at error severity).
 
-use gca_script::{analyze, parse_script, Analysis, Command, Interpreter, Severity};
+use std::collections::{HashMap, VecDeque};
+
+use gca_script::analysis::json;
+use gca_script::{
+    analyze, analyze_with, apply_suggestions, parse_script, suggest, Analysis, DomainKind,
+    GcPrediction, Interpreter, Severity,
+};
 
 fn script_path(name: &str) -> String {
     format!("{}/../../scripts/{name}", env!("CARGO_MANIFEST_DIR"))
@@ -64,10 +70,18 @@ const GOLDENS: &[(&str, &str)] = &[
          check: 3 collection(s) analyzed, 1 error(s), 0 warning(s)\n",
     ),
     (
+        "list_builder.gca",
+        "check: 1 collection(s) analyzed, 0 error(s), 0 warning(s)\n",
+    ),
+    (
         "ownership.gca",
         "warning[not-owned] line 26:1: y: Elem (line 17) may be reachable without passing through its owner at this collection\n\
          \x20 path: table: CacheTable (line 11) -.hit-> y: Elem (line 17)\n\
          check: 3 collection(s) analyzed, 0 error(s), 1 warning(s)\n",
+    ),
+    (
+        "recursive_tree.gca",
+        "check: 2 collection(s) analyzed, 0 error(s), 0 warning(s)\n",
     ),
     (
         "region_server.gca",
@@ -87,6 +101,10 @@ const GOLDENS: &[(&str, &str)] = &[
         "singleton.gca",
         "error[instance-limit] line 23:1: instance limit must be exceeded: IndexSearcher 3>1 (asserted line 7)\n\
          check: 1 collection(s) analyzed, 1 error(s), 0 warning(s)\n",
+    ),
+    (
+        "suggest_demo.gca",
+        "check: 2 collection(s) analyzed, 0 error(s), 0 warning(s)\n",
     ),
     (
         "swap_leak.gca",
@@ -171,37 +189,45 @@ fn check_exit_condition_matches_must_presence() {
     }
 }
 
-/// The soundness pin: run analyzer and interpreter side by side over
-/// every shipped script.  At each explicit `gc`, the analyzer's
-/// must-set must be a sub-multiset of the report the interpreter
-/// produced; when nothing was downgraded to may, the prediction must be
-/// *exact*.  Finally the union of all must-sets (implicit collections
-/// included) must be a sub-multiset of the cumulative violation log.
-#[test]
-fn differential_must_set_is_sound() {
-    for name in all_scripts() {
-        let src = read_script(&name);
-        let analysis = analyze(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
-        let mut predictions = analysis.collections.iter().filter(|c| c.explicit);
+/// Checks one script's analyzer predictions against one dynamic run.
+///
+/// Since loops and procedures landed, a single `gc` *line* can execute
+/// any number of times, so predictions are keyed by line rather than
+/// zipped in stream order: exact predictions form a FIFO queue per line
+/// (the analyzer replays blocks in program order, so queue order is
+/// dynamic order), while a summarized prediction collapses to one
+/// sticky entry standing for *every* dynamic execution of its line —
+/// its must-set is empty by construction, which we also assert.
+fn differential_check(name: &str, src: &str, analysis: &Analysis) {
+    let mut interp = Interpreter::new();
+    for (line, cmd) in parse_script(src).unwrap_or_else(|e| panic!("{name}: {e}")) {
+        interp
+            .execute(line, &cmd)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+    let log: Vec<String> = interp
+        .vm_ref()
+        .map(|vm| vm.violation_log().iter().map(|v| v.summary()).collect())
+        .unwrap_or_default();
+    let out = interp.finish();
 
-        let mut interp = Interpreter::new();
-        let commands = parse_script(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
-        for (line, cmd) in &commands {
-            interp
-                .execute(*line, cmd)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
-            if !matches!(cmd, Command::Gc) {
-                continue;
-            }
-            let report = interp.last_report().expect("gc just ran");
-            let actual: Vec<String> = report.violations.iter().map(|v| v.summary()).collect();
-            let pred = predictions
-                .next()
-                .unwrap_or_else(|| panic!("{name} line {line}: analyzer missed this gc"));
-            assert_eq!(
-                pred.line, *line,
-                "{name}: prediction/collection order diverged"
+    let mut queues: HashMap<usize, VecDeque<&GcPrediction>> = HashMap::new();
+    let mut sticky: HashMap<usize, &GcPrediction> = HashMap::new();
+    for c in analysis.collections.iter().filter(|c| c.explicit) {
+        if c.summarized {
+            assert!(
+                c.must.is_empty(),
+                "{name} line {}: a summarized collection must never promise a must-set",
+                c.line
             );
+            sticky.insert(c.line, c);
+        } else {
+            queues.entry(c.line).or_default().push_back(c);
+        }
+    }
+
+    for (line, actual) in &out.explicit_gcs {
+        if let Some(pred) = queues.get_mut(line).and_then(|q| q.pop_front()) {
             let mut remaining = actual.clone();
             for must in &pred.must {
                 let pos = remaining.iter().position(|a| a == must).unwrap_or_else(|| {
@@ -219,31 +245,138 @@ fn differential_must_set_is_sound() {
                      also reported {remaining:?}"
                 );
             }
-        }
-        assert!(
-            predictions.next().is_none(),
-            "{name}: analyzer predicted a gc the interpreter never ran"
-        );
-
-        // Cumulative check across every collection, implicit and minor
-        // included.
-        let log: Vec<String> = interp
-            .vm_ref()
-            .map(|vm| vm.violation_log().iter().map(|v| v.summary()).collect())
-            .unwrap_or_default();
-        let mut remaining = log.clone();
-        for c in &analysis.collections {
-            for must in &c.must {
-                let pos = remaining.iter().position(|a| a == must).unwrap_or_else(|| {
-                    panic!(
-                        "{name}: cumulative FALSE POSITIVE — `{must}` absent from the \
-                         violation log {log:?}"
-                    )
-                });
-                remaining.remove(pos);
-            }
+        } else {
+            assert!(
+                sticky.contains_key(line),
+                "{name} line {line}: the interpreter ran a gc the analyzer never predicted"
+            );
         }
     }
+    for (line, q) in &queues {
+        assert!(
+            q.is_empty(),
+            "{name} line {line}: analyzer predicted {} gc(s) the interpreter never ran",
+            q.len()
+        );
+    }
+
+    // Cumulative check across every collection, implicit and minor
+    // included.
+    let mut remaining = log.clone();
+    for c in &analysis.collections {
+        for must in &c.must {
+            let pos = remaining.iter().position(|a| a == must).unwrap_or_else(|| {
+                panic!(
+                    "{name}: cumulative FALSE POSITIVE — `{must}` absent from the \
+                     violation log {log:?}"
+                )
+            });
+            remaining.remove(pos);
+        }
+    }
+}
+
+/// The soundness pin: run analyzer and interpreter side by side over
+/// every shipped script.  At each explicit `gc`, the analyzer's
+/// must-set must be a sub-multiset of the report the interpreter
+/// produced; when nothing was downgraded to may, the prediction must be
+/// *exact*.  Finally the union of all must-sets (implicit collections
+/// included) must be a sub-multiset of the cumulative violation log.
+#[test]
+fn differential_must_set_is_sound() {
+    for name in all_scripts() {
+        let src = read_script(&name);
+        let analysis = analyze(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        differential_check(&name, &src, &analysis);
+    }
+}
+
+/// The access graph earns Safe on `list_builder.gca`'s severed chain —
+/// the before/after comparison against the per-site strawman, pinned:
+/// the per-site domain is loop-blind and can only answer May.
+#[test]
+fn list_builder_loop_summary_beats_per_site() {
+    let src = read_script("list_builder.gca");
+
+    let graph = analyze_with(&src, DomainKind::AccessGraph)
+        .unwrap_or_else(|e| panic!("list_builder.gca: {e}"));
+    assert!(!graph.has_errors(), "{:?}", graph.diagnostics);
+    assert!(
+        graph
+            .diagnostics
+            .iter()
+            .all(|d| d.severity != Severity::Warning),
+        "{:?}",
+        graph.diagnostics
+    );
+    let gc = &graph.collections[0];
+    assert!(gc.summarized, "the 200-iteration loop must be summarized");
+    assert!(gc.must.is_empty() && gc.may.is_empty(), "Safe verdict");
+
+    let per_site =
+        analyze_with(&src, DomainKind::PerSite).unwrap_or_else(|e| panic!("list_builder.gca: {e}"));
+    let warnings: Vec<&str> = per_site
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .map(|d| d.code)
+        .collect();
+    assert_eq!(
+        warnings,
+        ["dead-reachable"],
+        "per-site must downgrade the severed chain to May"
+    );
+    assert_eq!(per_site.collections[0].may, ["dead-reachable Cell"]);
+}
+
+/// One `--json` report pinned verbatim as the machine-readable contract
+/// (satellite of the ISSUE): shape changes here are API changes.
+#[test]
+fn json_report_is_pinned_for_list_builder() {
+    let a = check("list_builder.gca");
+    assert_eq!(
+        json::analysis_to_json(&a, DomainKind::AccessGraph),
+        "{\"tool\":\"gca-check\",\"domain\":\"access-graph\",\"errors\":0,\"warnings\":0,\
+         \"notes\":1,\"diagnostics\":[{\"line\":24,\"column\":1,\"severity\":\"note\",\
+         \"code\":\"redundant-assert-dead\",\"message\":\"this `assert-dead` is proven Safe \
+         at every collection that examines it — the assertion can be removed\",\"notes\":[]}],\
+         \"collections\":[{\"line\":25,\"explicit\":true,\"minor\":false,\"summarized\":true,\
+         \"must\":[],\"may\":[]}]}"
+    );
+}
+
+/// `gca suggest` on the unannotated demo: placements pinned verbatim,
+/// then spliced back in and re-run — the annotated script must hold.
+#[test]
+fn suggest_demo_placements_are_pinned_and_verified() {
+    let src = read_script("suggest_demo.gca");
+    let out = suggest(&src).unwrap_or_else(|e| panic!("suggest_demo.gca: {e}"));
+    assert!(out.refused.is_none(), "{:?}", out.refused);
+    assert_eq!(out.rejected, 0, "all placements must survive verification");
+    assert_eq!(
+        out.render(),
+        "@ line 7: + assert-instances Doc 2\n\
+         \x20   reason: observed peak of 1 live `Doc` instance(s); limit adds census headroom\n\
+         @ line 12: + start-region\n\
+         \x20   reason: 3 allocation(s) on lines 12-14 all die before the next collection\n\
+         @ line 16: + all-dead\n\
+         \x20   reason: every allocation of the region above is unreachable here\n\
+         @ line 20: + assert-dead tmp\n\
+         \x20   reason: tmp: Scratch (line 19) is unreachable from here to the end of the run\n\
+         suggest: 4 placement(s), 0 candidate(s) rejected by splice-and-verify\n"
+    );
+
+    let spliced = apply_suggestions(&src, &out.suggestions);
+    let run = Interpreter::run_script(&spliced)
+        .unwrap_or_else(|e| panic!("spliced suggest_demo.gca: {e}"));
+    assert_eq!(run.total_violations, 0, "spliced assertions must all hold");
+    let a = analyze(&spliced).unwrap_or_else(|e| panic!("spliced suggest_demo.gca: {e}"));
+    assert!(!a.has_errors(), "{:?}", a.diagnostics);
+
+    // Annotated scripts are declined rather than double-annotated.
+    let again = suggest(&spliced).unwrap_or_else(|e| panic!("re-suggest: {e}"));
+    assert!(again.refused.is_some());
+    assert!(again.suggestions.is_empty());
 }
 
 #[test]

@@ -60,7 +60,10 @@ fn shipped_scripts_report_identical_class_chains() {
     for script in [
         "cache_leak.gca",
         "checked_clean.gca",
+        "list_builder.gca",
         "ownership.gca",
+        "recursive_tree.gca",
+        "suggest_demo.gca",
         "region_server.gca",
         "singleton.gca",
         "swap_leak.gca",

@@ -113,6 +113,33 @@ fn session_lru_scenario() {
 }
 
 #[test]
+fn list_builder_scenario() {
+    let out = run_file("list_builder.gca");
+    // The 200-cell chain is severed by one store and fully collected.
+    assert_eq!(out.total_violations, 0);
+    assert_eq!(out.collections, 1);
+}
+
+#[test]
+fn recursive_tree_scenario() {
+    let out = run_file("recursive_tree.gca");
+    // The call-depth bound terminates the recursion; ownership holds
+    // throughout and the spine dies with the owner's one reference.
+    assert_eq!(out.total_violations, 0);
+    assert_eq!(out.collections, 2);
+    assert!(out.lines.iter().any(|l| l.contains("7 ownees checked")));
+}
+
+#[test]
+fn suggest_demo_scenario() {
+    let out = run_file("suggest_demo.gca");
+    // Unannotated on purpose — `gca suggest` adds the assertions (see
+    // tests/check.rs for the pinned placements).
+    assert_eq!(out.total_violations, 0);
+    assert_eq!(out.collections, 2);
+}
+
+#[test]
 fn all_scripts_in_directory_run_clean() {
     // Safety net: any script added to scripts/ must at least execute.
     let dir = format!("{}/../../scripts", env!("CARGO_MANIFEST_DIR"));
